@@ -1,0 +1,230 @@
+// Ablations over EdgStr's design choices (beyond the paper's figures):
+//
+//   A1  sync interval   — staleness window vs. background WAN traffic
+//   A2  CRDT deltas     — op-based sync vs. shipping the full replicated
+//                         snapshot every round (the naive alternative)
+//   A3  normalization   — entry/exit identification success across all 42
+//                         services with and without the temporary-variable
+//                         normalization pass (§III-E)
+//   A4  append-merge    — concurrent log appends: RGA-style merge vs.
+//                         whole-file LWW data loss
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "minijs/parser.h"
+#include "minijs/printer.h"
+#include "refactor/dependence.h"
+#include "refactor/normalize.h"
+#include "trace/fuzzer.h"
+
+using namespace edgstr;
+using namespace edgstr::bench;
+
+namespace {
+
+// ------------------------------------------------------------------- A1 --
+
+void ablation_sync_interval() {
+  std::printf("\n=== A1: sync interval vs staleness and WAN traffic ===\n\n");
+  const apps::SubjectApp& app = apps::sensor_hub();
+  const core::TransformResult& result = transformed(app);
+  if (!result.ok) return;
+
+  std::printf("%14s %18s %22s\n", "interval (s)", "sync bytes / min", "mean staleness (s)");
+  print_rule();
+  for (const double interval : {0.1, 0.25, 0.5, 1.0, 2.0, 5.0}) {
+    core::DeploymentConfig config;
+    config.start_sync = true;
+    config.sync_interval_s = interval;
+    core::ThreeTierDeployment three(result, config);
+    netsim::SimClock& clock = three.network().clock();
+
+    // One edge write every 2 s for a minute; staleness of a write = time
+    // until the cloud replica holds it (~interval/2 + transfer on average).
+    util::Rng rng(3);
+    double total_staleness = 0;
+    int writes = 0;
+    for (double t = 1.0; t < 60.0; t += 2.0) {
+      clock.schedule_at(t, [&, t] {
+        http::HttpRequest req;
+        req.verb = http::Verb::kPost;
+        req.path = "/ingest";
+        req.params = json::Value::object(
+            {{"sensor", "s"}, {"values", json::Value::array({t})}});
+        three.proxy(0).request(req, [](http::HttpResponse, double) {});
+      });
+    }
+    // Sample cloud-visible row count each 0.1 s to integrate staleness.
+    double last_cloud_rows = 0;
+    std::map<int, double> write_visible_at;
+    for (double t = 1.0; t < 70.0; t += 0.1) {
+      clock.schedule_at(t, [&, t] {
+        const double rows = static_cast<double>(
+            three.cloud().service()->database().execute("SELECT * FROM readings").rows.size());
+        while (last_cloud_rows < rows) {
+          ++last_cloud_rows;
+          write_visible_at[static_cast<int>(last_cloud_rows)] = t;
+        }
+      });
+    }
+    clock.run_until(70.0);
+    three.sync().stop();
+
+    for (const auto& [idx, visible_at] : write_visible_at) {
+      const double written_at = 1.0 + 2.0 * (idx - 1);
+      total_staleness += visible_at - written_at;
+      ++writes;
+    }
+    const double bytes_per_min = double(three.sync().total_sync_bytes()) * 60.0 / 70.0;
+    std::printf("%14.2f %18.0f %22.2f\n", interval, bytes_per_min,
+                writes ? total_staleness / writes : -1);
+  }
+  std::printf("\nTrade-off: shorter intervals shrink the eventual-consistency window\n"
+              "linearly but spend proportionally more background WAN traffic.\n");
+}
+
+// ------------------------------------------------------------------- A2 --
+
+void ablation_delta_vs_snapshot() {
+  std::printf("\n=== A2: CRDT delta sync vs full-snapshot shipping ===\n\n");
+  std::printf("%-15s %20s %24s %9s\n", "app", "delta bytes/round", "snapshot bytes/round",
+              "ratio");
+  print_rule();
+  for (const apps::SubjectApp* app : apps::all_subject_apps()) {
+    const core::TransformResult& result = transformed(*app);
+    if (!result.ok) continue;
+    core::DeploymentConfig config;
+    config.start_sync = false;
+    core::ThreeTierDeployment three(result, config);
+
+    // One edge-served mutation, then one sync round.
+    three.request_sync(primary_request(*app), 0);
+    three.sync().reset_traffic_stats();
+    three.sync().tick();
+    three.network().clock().run();
+    const double delta = double(three.sync().total_sync_bytes());
+    // Naive alternative: replicas exchange the whole replicated snapshot
+    // both ways every round.
+    const double snapshot = 2.0 * double(result.init_snapshot.size_bytes());
+    std::printf("%-15s %20.0f %24.0f %8.1fx\n", app->name.c_str(), delta, snapshot,
+                snapshot / std::max(delta, 1.0));
+  }
+}
+
+// ------------------------------------------------------------------- A3 --
+
+void ablation_normalization() {
+  std::printf("\n=== A3: entry/exit identification with vs without normalization ===\n\n");
+  std::printf("%-15s %26s %26s\n", "app", "normalized (ok/fallback)", "raw (ok/fallback)");
+  print_rule();
+
+  auto analyze_variant = [](const apps::SubjectApp& app, bool normalized, int* ok,
+                            int* fallback) {
+    *ok = 0;
+    *fallback = 0;
+    minijs::Program program = minijs::parse_program(app.server_source);
+    if (normalized) program = refactor::normalize(program);
+    trace::ProfilingHarness harness(minijs::print_program(program));
+    const http::TrafficRecorder traffic = core::record_traffic(app.server_source, app.workload);
+    refactor::DependenceAnalyzer analyzer(harness.interpreter().program());
+    trace::Fuzzer fuzzer(harness, util::Rng(17));
+    for (const http::ServiceProfile& profile : traffic.infer_services()) {
+      try {
+        const refactor::ExtractionPlan plan = analyzer.analyze(fuzzer.fuzz(profile, 4));
+        if (plan.ok) {
+          ++*ok;
+          if (plan.exit_is_fallback) ++*fallback;
+        }
+      } catch (const std::exception&) {
+      }
+    }
+  };
+
+  int total_norm_ok = 0, total_raw_ok = 0;
+  int total_norm_fb = 0, total_raw_fb = 0;
+  for (const apps::SubjectApp* app : apps::all_subject_apps()) {
+    int norm_ok = 0, norm_fb = 0, raw_ok = 0, raw_fb = 0;
+    analyze_variant(*app, true, &norm_ok, &norm_fb);
+    analyze_variant(*app, false, &raw_ok, &raw_fb);
+    total_norm_ok += norm_ok;
+    total_raw_ok += raw_ok;
+    total_norm_fb += norm_fb;
+    total_raw_fb += raw_fb;
+    std::printf("%-15s %18d / %-5d %18d / %-5d\n", app->name.c_str(), norm_ok, norm_fb,
+                raw_ok, raw_fb);
+  }
+  std::printf("\ntotals: normalized %d analyzable (%d exit-fallbacks) vs raw %d (%d).\n"
+              "Normalization pins res.send arguments into named temporaries, so the\n"
+              "marshal point is identified exactly instead of via the fallback.\n",
+              total_norm_ok, total_norm_fb, total_raw_ok, total_raw_fb);
+}
+
+// ------------------------------------------------------------------- A4 --
+
+void ablation_append_merge() {
+  std::printf("\n=== A4: concurrent log appends — append-merge vs whole-file LWW ===\n\n");
+
+  auto run_trial = [](bool merge_mode, int appends_per_edge) {
+    vfs::Vfs fa, fb;
+    fa.write("notes.log", "");
+    const json::Value snap = fa.snapshot();
+    crdt::CrdtFiles a("a", &fa), b("b", &fb);
+    a.initialize(snap);
+    b.initialize(snap);
+    if (!merge_mode) {
+      a.set_append_merge_suffixes({});
+      b.set_append_merge_suffixes({});
+    }
+    for (int i = 0; i < appends_per_edge; ++i) {
+      fa.append("notes.log", "a" + std::to_string(i) + ";");
+      fb.append("notes.log", "b" + std::to_string(i) + ";");
+      a.record_local_changes();
+      b.record_local_changes();
+      b.applyChanges(a.getChanges(b.version()));
+      a.applyChanges(b.getChanges(a.version()));
+    }
+    // Count surviving entries out of 2 * appends_per_edge.
+    int survived = 0;
+    const std::string content = fa.read("notes.log");
+    for (int i = 0; i < appends_per_edge; ++i) {
+      if (content.find("a" + std::to_string(i) + ";") != std::string::npos) ++survived;
+      if (content.find("b" + std::to_string(i) + ";") != std::string::npos) ++survived;
+    }
+    return std::pair<int, int>(survived, 2 * appends_per_edge);
+  };
+
+  for (const int n : {2, 8, 32}) {
+    const auto [merged, total] = run_trial(true, n);
+    const auto [lww, total2] = run_trial(false, n);
+    std::printf("  %2d appends/edge: append-merge keeps %d/%d entries, LWW keeps %d/%d\n", n,
+                merged, total, lww, total2);
+  }
+  std::printf("\nWhole-file LWW silently drops one replica's concurrent log entries;\n"
+              "the RGA-style append-merge preserves every entry in a deterministic\n"
+              "stamp order on all replicas.\n");
+}
+
+void BM_SyncTick(benchmark::State& state) {
+  const apps::SubjectApp& app = apps::sensor_hub();
+  const core::TransformResult& result = transformed(app);
+  core::DeploymentConfig config;
+  config.start_sync = false;
+  core::ThreeTierDeployment three(result, config);
+  for (auto _ : state) {
+    three.sync().tick();
+    three.network().clock().run();
+  }
+}
+BENCHMARK(BM_SyncTick);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ablation_sync_interval();
+  ablation_delta_vs_snapshot();
+  ablation_normalization();
+  ablation_append_merge();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,228 @@
+// Figure 10(b): EdgStr versus caching and batching proxy strategies
+// (§IV-E2), over the limited cloud network.
+//
+// Workload: a mix of repeated and unique requests against each subject's
+// primary service (repeats make caching meaningful; only Bookworm and
+// med-chem-rules are effectively cacheable — image/sensor inputs never
+// repeat). Batching aggregates 2-10 requests per WAN message. We report
+// the min / Q1 / median / Q3 / max of per-request latency per strategy,
+// pooled across subjects — the paper's box plot.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "util/stats.h"
+#include "edgstr/baselines.h"
+
+using namespace edgstr;
+using namespace edgstr::bench;
+
+namespace {
+
+/// Builds the request mix: cacheable apps repeat parameters; data apps
+/// produce unique payloads per request.
+std::vector<http::HttpRequest> build_workload(const apps::SubjectApp& app, int n,
+                                              util::Rng& rng) {
+  std::vector<http::HttpRequest> reqs;
+  const http::HttpRequest base = primary_request(app);
+  const bool cacheable =
+      app.name == "bookworm" || app.name == "med-chem-rules";  // the paper's finding
+  for (int i = 0; i < n; ++i) {
+    http::HttpRequest req = base;
+    if (cacheable) {
+      // Draw from a small pool of parameter values: repeats dominate.
+      req = trace::Fuzzer::perturb(base, static_cast<int>(rng.uniform_int(0, 2)));
+    } else {
+      // Unique camera images / sensor batches: no repeats to cache.
+      req = trace::Fuzzer::perturb(base, i + 1);
+    }
+    reqs.push_back(std::move(req));
+  }
+  return reqs;
+}
+
+void print_box(const char* name, const util::Summary& s) {
+  const util::BoxStats box = util::box_stats(s);
+  std::printf("  %-10s min %8.1f  Q1 %8.1f  med %8.1f  Q3 %8.1f  max %8.1f  (ms)\n", name,
+              box.min, box.q1, box.median, box.q3, box.max);
+}
+
+/// Sequential client: one request at a time (an ordinary HTTP client loop),
+/// each latency measured from its own issue time.
+template <typename IssueFn>
+util::Summary run_sequential(netsim::SimClock& clock,
+                             const std::vector<http::HttpRequest>& workload, IssueFn issue) {
+  util::Summary latencies;
+  for (const http::HttpRequest& req : workload) {
+    bool done = false;
+    issue(req, [&](http::HttpResponse, double latency) {
+      latencies.add(latency * 1000);
+      done = true;
+    });
+    while (!done && clock.step()) {
+    }
+  }
+  return latencies;
+}
+
+/// Facade client: all calls handed over at once (the scenario DTO / Remote
+/// Facade aggregation exists for); latencies measured from the handoff.
+template <typename IssueFn>
+util::Summary run_simultaneous(netsim::SimClock& clock,
+                               const std::vector<http::HttpRequest>& workload, IssueFn issue) {
+  auto latencies = std::make_shared<util::Summary>();
+  auto remaining = std::make_shared<std::size_t>(workload.size());
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    issue(workload[i], [latencies, remaining](http::HttpResponse, double latency) {
+      latencies->add(latency * 1000);
+      --*remaining;
+    });
+  }
+  while (*remaining > 0 && clock.step()) {
+  }
+  return *latencies;
+}
+
+/// The limited WAN with fresh-connection handshakes: flaky long-haul links
+/// do not keep connections alive, so every message pays the setup cost —
+/// the overhead batching amortizes.
+netsim::LinkConfig handshake_wan() {
+  netsim::LinkConfig wan = netsim::LinkConfig::limited_wan();
+  wan.per_message_setup_s = 2 * wan.latency_s;  // TCP SYN/SYN-ACK exchange
+  return wan;
+}
+
+void run_fig10b() {
+  std::printf("\n=== Figure 10(b): latency by proxying strategy (limited WAN) ===\n");
+  constexpr int kRequests = 20;
+
+  util::Summary pooled_baseline, pooled_caching, pooled_batching, pooled_edgstr;
+
+  for (const apps::SubjectApp* app : apps::all_subject_apps()) {
+    const core::TransformResult& result = transformed(*app);
+    if (!result.ok) continue;
+    util::Rng rng(util::fnv1a(app->name));
+    const std::vector<http::HttpRequest> workload = build_workload(*app, kRequests, rng);
+
+    util::Summary baseline, caching, batching, edgstr_lat;
+
+    // Baseline: unproxied cloud execution (requests contend on the WAN).
+    {
+      core::DeploymentConfig config;
+      config.start_sync = false;
+      config.wan = handshake_wan();
+      core::TwoTierDeployment two(result.cloud_source, config);
+      baseline = run_sequential(two.network().clock(), workload,
+                                [&](const http::HttpRequest& req, runtime::RequestCallback done) {
+                                  two.path().request(req, std::move(done));
+                                });
+    }
+    // Caching proxy at the edge.
+    {
+      core::DeploymentConfig config;
+      config.start_sync = false;
+      config.wan = handshake_wan();
+      core::TwoTierDeployment cloud_only(result.cloud_source, config);
+      netsim::Network& net = cloud_only.network();
+      net.connect("client", "edgeP", netsim::LinkConfig::lan());
+      net.connect("edgeP", "cloud", config.wan);
+      core::CachingProxy proxy(net, "client", "edgeP", cloud_only.cloud());
+      caching = run_sequential(net.clock(), workload,
+                               [&](const http::HttpRequest& req, runtime::RequestCallback done) {
+                                 proxy.request(req, std::move(done));
+                               });
+    }
+    // Batching proxy (DTO / Remote Façade), batch sizes 2-10.
+    {
+      core::DeploymentConfig config;
+      config.start_sync = false;
+      config.wan = handshake_wan();
+      core::TwoTierDeployment cloud_only(result.cloud_source, config);
+      netsim::Network& net = cloud_only.network();
+      net.connect("client", "edgeP", netsim::LinkConfig::lan());
+      net.connect("edgeP", "cloud", config.wan);
+      util::Rng brng(9);
+      core::BatchingConfig bconfig;
+      bconfig.batch_size = static_cast<std::size_t>(brng.uniform_int(2, 10));
+      core::BatchingProxy proxy(net, "client", "edgeP", cloud_only.cloud(), bconfig);
+      const util::Summary raw =
+          run_simultaneous(net.clock(), workload,
+                           [&](const http::HttpRequest& req, runtime::RequestCallback done) {
+                             proxy.request(req, std::move(done));
+                           });
+      proxy.flush();  // ship any partial tail batch
+      net.clock().run();
+      // The paper reports "the average latency of batching between 2 and 10
+      // executions": a batch completes as a unit, so the per-execution cost
+      // is the batch turnaround amortized over its members.
+      for (const double sample : raw.samples()) {
+        batching.add(sample / double(bconfig.batch_size));
+      }
+    }
+    // EdgStr three-tier.
+    {
+      core::DeploymentConfig config;
+      config.start_sync = true;
+      config.sync_interval_s = 1.0;
+      config.wan = handshake_wan();
+      core::ThreeTierDeployment three(result, config);
+      edgstr_lat = run_sequential(three.network().clock(), workload,
+                                  [&](const http::HttpRequest& req,
+                                      runtime::RequestCallback done) {
+                                    three.proxy(0).request(req, std::move(done));
+                                  });
+      three.sync().stop();
+    }
+
+    std::printf("\n%s:\n", app->name.c_str());
+    print_box("baseline", baseline);
+    print_box("caching", caching);
+    print_box("batching", batching);
+    print_box("EdgStr", edgstr_lat);
+
+    pooled_baseline.merge(baseline);
+    pooled_caching.merge(caching);
+    pooled_batching.merge(batching);
+    pooled_edgstr.merge(edgstr_lat);
+  }
+
+  std::printf("\npooled across all subjects:\n");
+  print_box("baseline", pooled_baseline);
+  print_box("caching", pooled_caching);
+  print_box("batching", pooled_batching);
+  print_box("EdgStr", pooled_edgstr);
+  std::printf(
+      "\nShape check (paper): every proxy strategy beats the unproxied baseline;\n"
+      "caching takes min/Q1/median where inputs repeat but pays on max/Q3 (stale\n"
+      "revalidation + uncacheable subjects); batching helps least because the\n"
+      "aggregated transfers saturate the limited bandwidth; EdgStr is lowest for\n"
+      "most points.\n");
+}
+
+void BM_CacheHit(benchmark::State& state) {
+  const apps::SubjectApp& app = apps::bookworm();
+  const core::TransformResult& result = transformed(app);
+  core::DeploymentConfig config;
+  config.start_sync = false;
+  core::TwoTierDeployment cloud_only(result.cloud_source, config);
+  netsim::Network& net = cloud_only.network();
+  net.connect("client", "edgeP", netsim::LinkConfig::lan());
+  net.connect("edgeP", "cloud", config.wan);
+  core::CachingConfig cache_config;
+  cache_config.revalidate_every = 1u << 30;  // never revalidate in this microbench
+  core::CachingProxy proxy(net, "client", "edgeP", cloud_only.cloud(), cache_config);
+  const http::HttpRequest req = primary_request(app);
+  timed_request(net.clock(), proxy, req);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(timed_request(net.clock(), proxy, req));
+  }
+}
+BENCHMARK(BM_CacheHit);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_fig10b();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 6(b): benchmarking throughput across device classes.
+//
+// The paper regresses per-subject throughput on the edge devices against
+// throughput on the cloud box. Two checks reproduce its findings:
+//   * the cloud-vs-edge slopes are far below y = x (the subjects are
+//     well-optimized for a powerful server), and
+//   * the RPI-4 vs RPI-3 slope ratio ~= 1.71 (CPU benchmark factor 1.8).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "util/stats.h"
+
+using namespace edgstr;
+using namespace edgstr::bench;
+
+namespace {
+
+/// Compute-bound service throughput on a device (requests/s, no network).
+double device_throughput(const core::TransformResult& result, const http::HttpRequest& req,
+                         const cluster::DeviceProfile& device) {
+  netsim::SimClock clock;
+  runtime::Node node(clock, device.spec("node"));
+  node.host(std::make_unique<runtime::ServiceRuntime>(result.cloud_source));
+  double total = 0;
+  const int reps = 20;
+  for (int i = 0; i < reps; ++i) {
+    node.execute(req, [](runtime::ExecutionResult) {});
+  }
+  clock.run();
+  total = clock.now();
+  return reps / total;
+}
+
+void run_fig6() {
+  std::printf("\n=== Figure 6(b): throughput regression across device classes ===\n\n");
+  std::printf("%-15s %14s %12s %12s\n", "app (primary)", "cloud (req/s)", "rpi4 (req/s)",
+              "rpi3 (req/s)");
+  print_rule();
+
+  std::vector<double> cloud_tput, rpi4_tput, rpi3_tput;
+  for (const apps::SubjectApp* app : apps::all_subject_apps()) {
+    const core::TransformResult& result = transformed(*app);
+    if (!result.ok) continue;
+    const http::HttpRequest req = primary_request(*app);
+    const double c = device_throughput(result, req, cluster::DeviceProfile::optiplex5050());
+    const double p4 = device_throughput(result, req, cluster::DeviceProfile::rpi4());
+    const double p3 = device_throughput(result, req, cluster::DeviceProfile::rpi3());
+    cloud_tput.push_back(c);
+    rpi4_tput.push_back(p4);
+    rpi3_tput.push_back(p3);
+    std::printf("%-15s %14.1f %12.1f %12.1f\n", app->name.c_str(), c, p4, p3);
+  }
+
+  const util::LinearFit fit4 = util::linear_regression(cloud_tput, rpi4_tput);
+  const util::LinearFit fit3 = util::linear_regression(cloud_tput, rpi3_tput);
+  std::printf("\nregression edge = slope * cloud:\n");
+  std::printf("  RPI-4 slope: %.4f (r2 = %.3f)\n", fit4.slope, fit4.r2);
+  std::printf("  RPI-3 slope: %.4f (r2 = %.3f)\n", fit3.slope, fit3.r2);
+  std::printf("  both slopes << 1.0: subjects are optimized for a powerful server\n");
+  std::printf("  RPI-4 / RPI-3 slope ratio: %.2f  (paper: 1.71, CPU benchmark: 1.8)\n",
+              fit4.slope / fit3.slope);
+}
+
+void BM_DeviceExecution_Rpi4(benchmark::State& state) {
+  const apps::SubjectApp& app = apps::fobojet();
+  const core::TransformResult& result = transformed(app);
+  const http::HttpRequest req = primary_request(app);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device_throughput(result, req, cluster::DeviceProfile::rpi4()));
+  }
+}
+BENCHMARK(BM_DeviceExecution_Rpi4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_fig6();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

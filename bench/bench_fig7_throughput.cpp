@@ -1,0 +1,143 @@
+// Figure 7: cloud network speed versus throughput, plus the Data Deluge
+// index (Fig. 7(g)).
+//
+// For each subject we sweep the WAN bandwidth over the paper's 0.1-5 MB/s
+// range and measure closed-loop throughput of the primary service for the
+// original client-cloud deployment vs the EdgStr client-edge-cloud variant.
+// Expected shape: client-cloud wins on a fast WAN, decays as the WAN
+// narrows, and crosses below the (bandwidth-independent) edge line; the
+// crossover comes earliest for data-heavy subjects.
+//
+// I_deluge = dNet/dTput: network resources needed to raise normalized
+// throughput — grows with transferred bytes for cloud execution, while the
+// edge variant's WAN usage stays flat.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace edgstr;
+using namespace edgstr::bench;
+
+namespace {
+
+const double kBandwidthsMBps[] = {0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0};
+
+struct SweepPoint {
+  double bw_mbps;
+  double cloud_tput;
+  double edge_tput;
+  double cloud_wan_bytes;
+  double edge_wan_bytes;
+};
+
+std::vector<SweepPoint> sweep_app(const apps::SubjectApp& app) {
+  const core::TransformResult& result = transformed(app);
+  std::vector<SweepPoint> points;
+  if (!result.ok) return points;
+  const http::HttpRequest req = primary_request(app);
+  const double duration_s = 10;
+  const int concurrency = 64;  // enough outstanding requests that bandwidth
+                               // and compute, not the RTT, set the ceiling
+
+  for (const double bw : kBandwidthsMBps) {
+    SweepPoint point;
+    point.bw_mbps = bw;
+    netsim::LinkConfig wan = netsim::LinkConfig::wan(0.03, bw * 1024 * 1024);
+
+    {
+      core::DeploymentConfig config;
+      config.wan = wan;
+      config.start_sync = false;
+      core::TwoTierDeployment two(result.cloud_source, config);
+      point.cloud_tput = measure_throughput(
+          two.network().clock(),
+          [&](runtime::RequestCallback done) { two.path().request(req, std::move(done)); },
+          duration_s, concurrency);
+      point.cloud_wan_bytes = double(two.network().channel("client", "cloud").total_bytes());
+    }
+    {
+      core::DeploymentConfig config;
+      config.wan = wan;
+      config.start_sync = true;
+      config.sync_interval_s = 1.0;
+      core::ThreeTierDeployment three(result, config);
+      point.edge_tput = measure_throughput(
+          three.network().clock(),
+          [&](runtime::RequestCallback done) { three.proxy(0).request(req, std::move(done)); },
+          duration_s, concurrency);
+      three.sync().stop();
+      point.edge_wan_bytes = double(three.network().channel("edge0", "cloud").total_bytes());
+    }
+    points.push_back(point);
+  }
+  return points;
+}
+
+void run_fig7() {
+  std::printf("\n=== Figure 7: WAN speed vs throughput (primary service per app) ===\n");
+  for (const apps::SubjectApp* app : apps::all_subject_apps()) {
+    const std::vector<SweepPoint> points = sweep_app(*app);
+    if (points.empty()) continue;
+
+    std::printf("\n%s  (payload %s)\n", app->name.c_str(),
+                util::format_bytes(double(primary_request(*app).payload_bytes)).c_str());
+    std::printf("  %10s %16s %16s %10s\n", "WAN(MB/s)", "cloud (req/s)", "edge (req/s)",
+                "winner");
+    double crossover = -1;
+    for (const SweepPoint& p : points) {
+      const char* winner = p.edge_tput > p.cloud_tput ? "EDGE" : "cloud";
+      if (p.edge_tput > p.cloud_tput) crossover = p.bw_mbps;
+      std::printf("  %10.2f %16.2f %16.2f %10s\n", p.bw_mbps, p.cloud_tput, p.edge_tput,
+                  winner);
+    }
+    if (crossover > 0) {
+      std::printf("  -> edge wins up to ~%.2f MB/s WAN bandwidth\n", crossover);
+    } else {
+      std::printf("  -> cloud wins across the sweep (compute-dominated service)\n");
+    }
+
+    // Fig 7(g): Data Deluge index between sweep endpoints.
+    const SweepPoint& lo = points.front();
+    const SweepPoint& hi = points.back();
+    const double max_cloud = hi.cloud_tput;
+    if (max_cloud > 0 && hi.cloud_tput != lo.cloud_tput) {
+      const double dtput_cloud = (hi.cloud_tput - lo.cloud_tput) / max_cloud;
+      const double dnet_cloud = (hi.cloud_wan_bytes - lo.cloud_wan_bytes) / 1024.0 / 1024.0;
+      const double deluge_cloud = dnet_cloud / dtput_cloud;
+      const double dtput_edge =
+          (hi.edge_tput - lo.edge_tput) / std::max(hi.edge_tput, 1e-9);
+      const double dnet_edge = (hi.edge_wan_bytes - lo.edge_wan_bytes) / 1024.0 / 1024.0;
+      const double deluge_edge =
+          std::abs(dtput_edge) > 1e-6 ? dnet_edge / dtput_edge : 0.0;
+      std::printf("  I_deluge (MB per unit normalized tput): cloud %.1f, edgstr %.1f\n",
+                  deluge_cloud, deluge_edge);
+    }
+  }
+  std::printf("\nShape check (paper): deluge index of the original grows with the\n"
+              "volume of transmitted data; EdgStr's WAN usage does not gate its\n"
+              "throughput, so its index stays near zero.\n");
+}
+
+void BM_ThroughputSweepPoint(benchmark::State& state) {
+  const apps::SubjectApp& app = apps::text_notes();
+  const core::TransformResult& result = transformed(app);
+  const http::HttpRequest req = primary_request(app);
+  for (auto _ : state) {
+    core::DeploymentConfig config;
+    config.start_sync = false;
+    core::TwoTierDeployment two(result.cloud_source, config);
+    benchmark::DoNotOptimize(measure_throughput(
+        two.network().clock(),
+        [&](runtime::RequestCallback done) { two.path().request(req, std::move(done)); }, 5));
+  }
+}
+BENCHMARK(BM_ThroughputSweepPoint);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_fig7();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,169 @@
+// edgstr_cli — command-line driver over the EdgStr library.
+//
+//   edgstr_cli list
+//       Lists the bundled subject applications and their services.
+//   edgstr_cli capture <app> [--out FILE]
+//       Runs the app's client workload against a live instance and writes
+//       the captured HTTP traffic as JSON (HAR-style persistence).
+//   edgstr_cli transform <app> [--traffic FILE] [--replica] [--consult]
+//       Runs the full pipeline. --replica prints the generated edge source;
+//       --consult prints the §III-D developer-consultation prompts.
+//   edgstr_cli compare <app> [--wan limited|fast|intercontinental]
+//       Deploys two-tier vs three-tier and reports per-request latencies.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "apps/app.h"
+#include "edgstr/deployment.h"
+#include "edgstr/pipeline.h"
+#include "edgstr/transform.h"
+#include "json/parse.h"
+#include "util/strings.h"
+
+using namespace edgstr;
+
+namespace {
+
+const apps::SubjectApp* find_app(const std::string& name) {
+  for (const apps::SubjectApp* app : apps::all_subject_apps()) {
+    if (app->name == name) return app;
+  }
+  return nullptr;
+}
+
+bool has_flag(const std::vector<std::string>& args, const std::string& flag) {
+  for (const std::string& a : args) {
+    if (a == flag) return true;
+  }
+  return false;
+}
+
+std::string flag_value(const std::vector<std::string>& args, const std::string& flag,
+                       const std::string& fallback) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == flag) return args[i + 1];
+  }
+  return fallback;
+}
+
+int cmd_list() {
+  std::printf("%-16s %-9s %s\n", "app", "services", "description");
+  for (const apps::SubjectApp* app : apps::all_subject_apps()) {
+    std::printf("%-16s %-9zu %s\n", app->name.c_str(), app->services.size(),
+                app->description.c_str());
+    for (const http::Route& svc : app->services) {
+      std::printf("    %s\n", svc.to_string().c_str());
+    }
+  }
+  std::printf("\ntotal: %zu apps, %zu services\n", apps::all_subject_apps().size(),
+              apps::total_service_count());
+  return 0;
+}
+
+int cmd_capture(const apps::SubjectApp& app, const std::vector<std::string>& args) {
+  const http::TrafficRecorder traffic = core::record_traffic(app.server_source, app.workload);
+  const std::string out = flag_value(args, "--out", app.name + "-traffic.json");
+  std::ofstream file(out);
+  if (!file) {
+    std::cerr << "cannot write " << out << "\n";
+    return 1;
+  }
+  file << traffic.to_json().dump_pretty() << "\n";
+  std::printf("captured %zu exchanges from %s -> %s\n", traffic.size(), app.name.c_str(),
+              out.c_str());
+  return 0;
+}
+
+http::TrafficRecorder load_or_capture(const apps::SubjectApp& app,
+                                      const std::vector<std::string>& args) {
+  const std::string path = flag_value(args, "--traffic", "");
+  if (path.empty()) return core::record_traffic(app.server_source, app.workload);
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot read traffic file: " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return http::TrafficRecorder::from_json(json::parse(buffer.str()));
+}
+
+int cmd_transform(const apps::SubjectApp& app, const std::vector<std::string>& args) {
+  const http::TrafficRecorder traffic = load_or_capture(app, args);
+  const core::TransformResult result =
+      core::Pipeline().transform(app.name, app.server_source, traffic);
+  std::cout << core::render_transform_report(result);
+  if (!result.ok) return 1;
+  if (has_flag(args, "--consult")) {
+    std::cout << "\n";
+    for (const core::ServiceAnalysis& svc : result.services) {
+      if (svc.state_info.stateful) std::cout << core::render_consultation(svc.state_info) << "\n";
+    }
+  }
+  if (has_flag(args, "--replica")) {
+    std::cout << "\n--- generated edge replica ---\n" << result.replica.source;
+  }
+  return 0;
+}
+
+int cmd_compare(const apps::SubjectApp& app, const std::vector<std::string>& args) {
+  const http::TrafficRecorder traffic = core::record_traffic(app.server_source, app.workload);
+  const core::TransformResult result =
+      core::Pipeline().transform(app.name, app.server_source, traffic);
+  if (!result.ok) {
+    std::cerr << "transform failed: " << result.error << "\n";
+    return 1;
+  }
+  core::DeploymentConfig config;
+  config.start_sync = false;
+  const std::string wan = flag_value(args, "--wan", "limited");
+  if (wan == "fast") config.wan = netsim::LinkConfig::fast_wan();
+  else if (wan == "intercontinental") config.wan = netsim::LinkConfig::intercontinental_wan();
+  else config.wan = netsim::LinkConfig::limited_wan();
+
+  core::TwoTierDeployment two(result.cloud_source, config);
+  core::ThreeTierDeployment three(result, config);
+  std::printf("%-28s %14s %14s %7s\n", "request", "cloud (ms)", "edge (ms)", "same?");
+  for (const http::HttpRequest& req : app.workload) {
+    double cloud_ms = 0, edge_ms = 0;
+    const http::HttpResponse a = two.request_sync(req, &cloud_ms);
+    const http::HttpResponse b = three.request_sync(req, 0, &edge_ms);
+    std::printf("%-28s %14.1f %14.1f %7s\n",
+                (http::to_string(req.verb) + " " + req.path).c_str(), cloud_ms * 1000,
+                edge_ms * 1000, a.body == b.body ? "yes" : "NO");
+  }
+  const int rounds = three.sync().sync_until_converged();
+  std::printf("\nstate sync: converged in %d round(s), %llu bytes over the WAN\n", rounds,
+              static_cast<unsigned long long>(three.sync().total_sync_bytes()));
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: edgstr_cli <list | capture <app> | transform <app> | compare <app>>\n"
+               "  capture   [--out FILE]\n"
+               "  transform [--traffic FILE] [--replica] [--consult]\n"
+               "  compare   [--wan limited|fast|intercontinental]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  const std::string cmd = args[0];
+  if (cmd == "list") return cmd_list();
+  if (args.size() < 2) return usage();
+  const apps::SubjectApp* app = find_app(args[1]);
+  if (!app) {
+    std::cerr << "unknown app '" << args[1] << "' (see: edgstr_cli list)\n";
+    return 2;
+  }
+  try {
+    if (cmd == "capture") return cmd_capture(*app, args);
+    if (cmd == "transform") return cmd_transform(*app, args);
+    if (cmd == "compare") return cmd_compare(*app, args);
+  } catch (const std::exception& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,38 @@
+// Transformation inspector: runs the EdgStr pipeline over every subject app
+// and prints the full analysis — entry/exit statements, extraction sizes,
+// replication/synchronization sets, and the developer-consultation prompts
+// (§III-D) for each stateful service.
+#include <iostream>
+
+#include "apps/app.h"
+#include "edgstr/pipeline.h"
+#include "edgstr/transform.h"
+
+using namespace edgstr;
+
+int main(int argc, char** argv) {
+  const bool show_source = argc > 1 && std::string(argv[1]) == "--source";
+
+  for (const apps::SubjectApp* app : apps::all_subject_apps()) {
+    const http::TrafficRecorder traffic =
+        core::record_traffic(app->server_source, app->workload);
+    const core::TransformResult result =
+        core::Pipeline().transform(app->name, app->server_source, traffic);
+
+    std::cout << core::render_transform_report(result) << "\n";
+    if (!result.ok) continue;
+
+    for (const core::ServiceAnalysis& svc : result.services) {
+      if (svc.state_info.stateful) {
+        std::cout << core::render_consultation(svc.state_info) << "\n";
+      }
+    }
+    if (show_source) {
+      std::cout << "--- generated replica for " << app->name << " ---\n"
+                << result.replica.source << "\n";
+    }
+    std::cout << std::string(72, '-') << "\n";
+  }
+  std::cout << "total services across subjects: " << apps::total_service_count() << "\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// The paper's motivating example (§II-A): firebase-objdet-node.
+//
+// A mobile client captures 2 MB camera images and ships them to a cloud
+// object-detection service. Under a congested or intercontinental WAN the
+// round trip balloons; EdgStr replicates the detection service onto a
+// Raspberry Pi on the local network and the mission-critical latency
+// target becomes reachable again.
+#include <iostream>
+
+#include "apps/app.h"
+#include "edgstr/deployment.h"
+#include "edgstr/pipeline.h"
+#include "util/strings.h"
+
+using namespace edgstr;
+
+int main() {
+  const apps::SubjectApp& app = apps::fobojet();
+  const http::TrafficRecorder traffic = core::record_traffic(app.server_source, app.workload);
+  const core::TransformResult result =
+      core::Pipeline().transform(app.name, app.server_source, traffic);
+  if (!result.ok) {
+    std::cerr << "transform failed: " << result.error << "\n";
+    return 1;
+  }
+  std::cout << "replicated " << result.replicable_count() << "/" << result.services.size()
+            << " services of " << app.name << "\n\n";
+
+  http::HttpRequest predict = app.workload.front();
+
+  struct Scenario {
+    const char* name;
+    netsim::LinkConfig wan;
+  };
+  const Scenario scenarios[] = {
+      {"fast same-continent WAN", netsim::LinkConfig::fast_wan()},
+      {"intercontinental WAN", netsim::LinkConfig::intercontinental_wan()},
+      {"limited cloud network (paper's setup)", netsim::LinkConfig::limited_wan()},
+  };
+
+  std::cout << "POST /predict with a " << util::format_bytes(double(predict.payload_bytes))
+            << " camera image:\n\n";
+  std::cout << "  scenario                                   cloud (2-tier)   edge (3-tier)\n";
+  for (const Scenario& s : scenarios) {
+    core::DeploymentConfig config;
+    config.wan = s.wan;
+    config.start_sync = false;
+    config.edge_devices = {cluster::DeviceProfile::rpi4()};
+    core::TwoTierDeployment two(result.cloud_source, config);
+    core::ThreeTierDeployment three(result, config);
+
+    double cloud_latency = 0, edge_latency = 0;
+    two.request_sync(predict, &cloud_latency);
+    three.request_sync(predict, 0, &edge_latency);
+    std::printf("  %-42s %9.2f s %12.3f s\n", s.name, cloud_latency, edge_latency);
+  }
+
+  std::cout << "\nThe Pi is ~10x slower per compute unit than the cloud box, but the\n"
+               "image never crosses the WAN, so the edge replica wins whenever the\n"
+               "network — not the model — is the bottleneck.\n";
+  return 0;
+}

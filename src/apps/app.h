@@ -1,0 +1,52 @@
+// Subject applications (§IV-A).
+//
+// Seven third-party-style distributed apps, each a MiniJS server plus a
+// representative client workload, mirroring the paper's GitHub subjects:
+// Express-style servers invoked over HTTP by mobile clients, several using
+// server-side databases and a TensorFlow-style inference model (the
+// compute() cost stand-in). 42 remote services in total.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "http/message.h"
+#include "http/router.h"
+
+namespace edgstr::apps {
+
+struct SubjectApp {
+  std::string name;
+  std::string description;
+  std::string server_source;  ///< MiniJS server program
+  /// Representative client requests: used as the captured live traffic, as
+  /// the fuzzing exemplars, and as the regression suite for RQ1.
+  std::vector<http::HttpRequest> workload;
+  /// The app's documented REST services.
+  std::vector<http::Route> services;
+  /// Nominal per-request upload payload (camera image, digit scan, ...)
+  /// for the heavy route, in bytes; 0 for text-only apps.
+  std::uint64_t typical_payload_bytes = 0;
+  /// The service used in single-route performance benches (the heaviest).
+  http::Route primary_route;
+};
+
+const SubjectApp& fobojet();        ///< firebase-objdet-node: object detection
+const SubjectApp& mnist_rest();     ///< handwritten digit recognition
+const SubjectApp& bookworm();       ///< book catalog (read-mostly, cacheable)
+const SubjectApp& med_chem_rules(); ///< chemical rule checking (cacheable)
+const SubjectApp& sensor_hub();     ///< IoT sensor aggregation
+const SubjectApp& geo_tagger();     ///< photo geotagging
+const SubjectApp& text_notes();     ///< notes with sentiment analysis
+
+/// All seven subjects.
+const std::vector<const SubjectApp*>& all_subject_apps();
+
+/// Total number of remote services across all subjects (the paper's 42).
+std::size_t total_service_count();
+
+/// Convenience: builds a request for a route with params/payload.
+http::HttpRequest make_request(const http::Route& route, json::Value params,
+                               std::uint64_t payload_bytes = 0);
+
+}  // namespace edgstr::apps

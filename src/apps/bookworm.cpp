@@ -1,0 +1,129 @@
+#include "apps/app.h"
+
+namespace edgstr::apps {
+
+namespace {
+
+// Bookworm: a book catalog and review service. Read-mostly — the paper
+// identifies it as one of only two cacheable subjects (§IV-E2).
+const char* kServer = R"JS(
+var reviewCount = 0;
+var shelfVersion = 0;
+
+db.query("CREATE TABLE books (id, title, author, year, rating)");
+db.query("CREATE TABLE reviews (book, stars, text)");
+db.query("CREATE TABLE shelves (user, book, status)");
+db.query("INSERT INTO books (id, title, author, year, rating) VALUES (1, 'Dune', 'Herbert', 1965, 46)");
+db.query("INSERT INTO books (id, title, author, year, rating) VALUES (2, 'Hyperion', 'Simmons', 1989, 44)");
+db.query("INSERT INTO books (id, title, author, year, rating) VALUES (3, 'Neuromancer', 'Gibson', 1984, 41)");
+db.query("INSERT INTO books (id, title, author, year, rating) VALUES (4, 'Foundation', 'Asimov', 1951, 43)");
+fs.writeFile("data/quotes.txt", "Fear is the mind-killer|The sky above the port|He who controls the spice");
+
+app.get("/books", function (req, res) {
+  var minYear = req.params.minYear;
+  var rows = db.query("SELECT id, title, author, year FROM books WHERE year >= ? ORDER BY year", [minYear]);
+  res.send({ books: rows, minYear: minYear });
+});
+
+app.get("/book", function (req, res) {
+  var id = req.params.id;
+  var rows = db.query("SELECT * FROM books WHERE id = ?", [id]);
+  if (rows.length > 0) {
+    res.send({ found: true, book: rows[0], queried: id });
+  } else {
+    res.send({ found: false, queried: id });
+  }
+});
+
+app.post("/review", function (req, res) {
+  var book = req.params.book;
+  var stars = req.params.stars;
+  var text = req.params.text;
+  compute(10);
+  db.query("INSERT INTO reviews (book, stars, text) VALUES (?, ?, ?)", [book, stars, text]);
+  reviewCount = reviewCount + 1;
+  res.send({ accepted: true, reviews: reviewCount, book: book });
+});
+
+app.get("/reviews", function (req, res) {
+  var book = req.params.book;
+  var rows = db.query("SELECT stars, text FROM reviews WHERE book = ?", [book]);
+  var sum = 0;
+  for (var i = 0; i < rows.length; i = i + 1) {
+    sum = sum + rows[i].stars;
+  }
+  var avg = rows.length > 0 ? sum / rows.length : 0;
+  res.send({ book: book, reviews: rows, average: avg });
+});
+
+app.get("/recommend", function (req, res) {
+  var taste = req.params.taste;
+  compute(40);
+  var rows = db.query("SELECT id, title, rating FROM books ORDER BY rating DESC LIMIT 3");
+  var pick = rows[taste % rows.length];
+  res.send({ recommended: pick, basedOn: taste });
+});
+
+app.post("/shelf", function (req, res) {
+  var user = req.params.user;
+  var book = req.params.book;
+  var status = req.params.status;
+  db.query("INSERT INTO shelves (user, book, status) VALUES (?, ?, ?)", [user, book, status]);
+  shelfVersion = shelfVersion + 1;
+  res.send({ user: user, book: book, status: status, version: shelfVersion });
+});
+
+app.get("/quotes", function (req, res) {
+  var idx = req.params.idx;
+  var all = fs.readFile("data/quotes.txt").split("|");
+  res.send({ quote: all[idx % all.length], total: all.length, idx: idx });
+});
+)JS";
+
+SubjectApp build() {
+  SubjectApp app;
+  app.name = "bookworm";
+  app.description = "book catalog + reviews (read-mostly, cacheable)";
+  app.server_source = kServer;
+  app.typical_payload_bytes = 0;
+  app.primary_route = {http::Verb::kGet, "/recommend"};
+  app.services = {
+      {http::Verb::kGet, "/books"},    {http::Verb::kGet, "/book"},
+      {http::Verb::kPost, "/review"},  {http::Verb::kGet, "/reviews"},
+      {http::Verb::kGet, "/recommend"},{http::Verb::kPost, "/shelf"},
+      {http::Verb::kGet, "/quotes"},
+  };
+  app.workload.push_back(
+      make_request({http::Verb::kGet, "/books"}, json::Value::object({{"minYear", 1960}})));
+  app.workload.push_back(
+      make_request({http::Verb::kGet, "/book"}, json::Value::object({{"id", 2}})));
+  app.workload.push_back(
+      make_request({http::Verb::kGet, "/book"}, json::Value::object({{"id", 3}})));
+  app.workload.push_back(make_request(
+      {http::Verb::kPost, "/review"},
+      json::Value::object({{"book", 1}, {"stars", 5}, {"text", "classic"}})));
+  app.workload.push_back(make_request(
+      {http::Verb::kPost, "/review"},
+      json::Value::object({{"book", 2}, {"stars", 4}, {"text", "epic scope"}})));
+  app.workload.push_back(
+      make_request({http::Verb::kGet, "/reviews"}, json::Value::object({{"book", 1}})));
+  app.workload.push_back(
+      make_request({http::Verb::kGet, "/recommend"}, json::Value::object({{"taste", 1}})));
+  app.workload.push_back(
+      make_request({http::Verb::kGet, "/recommend"}, json::Value::object({{"taste", 2}})));
+  app.workload.push_back(make_request(
+      {http::Verb::kPost, "/shelf"},
+      json::Value::object({{"user", "kim"}, {"book", 3}, {"status", "reading"}})));
+  app.workload.push_back(
+      make_request({http::Verb::kGet, "/quotes"}, json::Value::object({{"idx", 1}})));
+  return app;
+}
+
+}  // namespace
+
+const SubjectApp& bookworm() {
+  static const SubjectApp app = build();
+  return app;
+}
+
+}  // namespace edgstr::apps

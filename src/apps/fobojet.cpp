@@ -1,0 +1,118 @@
+#include "apps/app.h"
+
+namespace edgstr::apps {
+
+namespace {
+
+// firebase-objdet-node: the motivating example (§II-A, Figure 1). A mobile
+// client captures images and POSTs them to /predict; the server localizes
+// and identifies objects with a pre-trained deep-learning model (heavy
+// compute + a large model file), logs detections to a database, and keeps
+// running counters in globals.
+const char* kServer = R"JS(
+var hits = 0;
+var lastLabel = "";
+var labelTable = ["person", "car", "bicycle", "dog", "cat", "bus", "chair"];
+
+db.query("CREATE TABLE detections (ts, label, score, size)");
+db.query("CREATE TABLE feedback (ts, label, vote)");
+fs.writeFile("models/ssd_mobilenet.bin", pad("ssd-mobilenet-v2-weights-9f8e7d6c.", 2097152));
+fs.writeFile("models/labels.txt", "person,car,bicycle,dog,cat,bus,chair");
+
+function runModel(img) {
+  // TensorFlow-style inference: loads the model weights, then runs a
+  // forward pass whose cost scales with image size.
+  var weights = fs.readFile("models/ssd_mobilenet.bin");
+  compute(400 + img.size / 4096);
+  var h = blobHash(img, "ssd_mobilenet" + weights.length);
+  var idx = h % 7;
+  var score = (h % 83) / 100 + 0.17;
+  return { label: labelTable[idx], score: score, box: [h % 640, h % 480, 64 + (h % 128), 48 + (h % 96)] };
+}
+
+app.post("/predict", function (req, res) {
+  var img = req.payload;
+  var det = runModel(img);
+  hits = hits + 1;
+  lastLabel = det.label;
+  db.query("INSERT INTO detections (ts, label, score, size) VALUES (?, ?, ?, ?)",
+           [hits, det.label, det.score, img.size]);
+  res.send({ detection: det, seq: hits });
+});
+
+app.get("/labels", function (req, res) {
+  var text = fs.readFile("models/labels.txt");
+  res.send({ labels: text.split(",") });
+});
+
+app.get("/history", function (req, res) {
+  var limit = req.params.limit;
+  var rows = db.query("SELECT ts, label, score FROM detections ORDER BY ts DESC LIMIT 20");
+  var out = [];
+  for (var i = 0; i < rows.length && i < limit; i = i + 1) {
+    out.push(rows[i]);
+  }
+  res.send({ history: out, requested: limit });
+});
+
+app.post("/feedback", function (req, res) {
+  var label = req.params.label;
+  var vote = req.params.vote;
+  hits = hits + 0;
+  db.query("INSERT INTO feedback (ts, label, vote) VALUES (?, ?, ?)", [hits, label, vote]);
+  var rows = db.query("SELECT vote FROM feedback WHERE label = ?", [label]);
+  var total = 0;
+  for (var i = 0; i < rows.length; i = i + 1) {
+    total = total + rows[i].vote;
+  }
+  res.send({ label: label, totalVotes: total });
+});
+
+app.get("/stats", function (req, res) {
+  var salt = req.params.salt;
+  res.send({ hits: hits, lastLabel: lastLabel, echo: salt });
+});
+)JS";
+
+SubjectApp build() {
+  SubjectApp app;
+  app.name = "fobojet";
+  app.description = "firebase-objdet-node: cloud object detection for mobile camera images";
+  app.server_source = kServer;
+  app.typical_payload_bytes = 2 * 1024 * 1024;  // ~2 MB camera image
+  app.primary_route = {http::Verb::kPost, "/predict"};
+  app.services = {
+      {http::Verb::kPost, "/predict"},  {http::Verb::kGet, "/labels"},
+      {http::Verb::kGet, "/history"},   {http::Verb::kPost, "/feedback"},
+      {http::Verb::kGet, "/stats"},
+  };
+  // Workload: several invocations per service (captured traffic + tests).
+  for (int i = 1; i <= 3; ++i) {
+    http::HttpRequest predict = make_request(app.primary_route, json::Value::object({}),
+                                             app.typical_payload_bytes + i * 4096);
+    app.workload.push_back(predict);
+  }
+  app.workload.push_back(make_request({http::Verb::kGet, "/labels"}, json::Value::object({})));
+  app.workload.push_back(
+      make_request({http::Verb::kGet, "/history"}, json::Value::object({{"limit", 5}})));
+  app.workload.push_back(
+      make_request({http::Verb::kGet, "/history"}, json::Value::object({{"limit", 2}})));
+  app.workload.push_back(make_request(
+      {http::Verb::kPost, "/feedback"},
+      json::Value::object({{"label", "person"}, {"vote", 1}})));
+  app.workload.push_back(make_request(
+      {http::Verb::kPost, "/feedback"},
+      json::Value::object({{"label", "car"}, {"vote", 2}})));
+  app.workload.push_back(
+      make_request({http::Verb::kGet, "/stats"}, json::Value::object({{"salt", 11}})));
+  return app;
+}
+
+}  // namespace
+
+const SubjectApp& fobojet() {
+  static const SubjectApp app = build();
+  return app;
+}
+
+}  // namespace edgstr::apps

@@ -1,0 +1,131 @@
+#include "apps/app.h"
+
+namespace edgstr::apps {
+
+namespace {
+
+// geo-tagger: photo geotagging. Clients upload photos with GPS metadata;
+// the server extracts scene tags (inference), indexes them by location, and
+// maintains a shared notes file.
+const char* kServer = R"JS(
+var tagCount = 0;
+var sceneTable = ["beach", "forest", "city", "mountain", "indoor"];
+
+db.query("CREATE TABLE tags (id, lat, lon, scene, conf)");
+fs.writeFile("models/scene_net.bin", pad("resnet18-places-weights-cc01.", 1310720));
+fs.writeFile("data/notes.log", "");
+
+function classifyScene(photo) {
+  var weights = fs.readFile("models/scene_net.bin");
+  compute(250 + photo.size / 8192);
+  var h = blobHash(photo, "scene_net" + weights.length);
+  return { scene: sceneTable[h % 5], conf: 0.4 + (h % 60) / 100 };
+}
+
+app.post("/tag", function (req, res) {
+  var photo = req.payload;
+  var lat = req.params.lat;
+  var lon = req.params.lon;
+  var result = classifyScene(photo);
+  tagCount = tagCount + 1;
+  db.query("INSERT INTO tags (id, lat, lon, scene, conf) VALUES (?, ?, ?, ?, ?)",
+           [tagCount, lat, lon, result.scene, result.conf]);
+  res.send({ id: tagCount, scene: result.scene, conf: result.conf, at: [lat, lon] });
+});
+
+app.get("/nearby", function (req, res) {
+  var lat = req.params.lat;
+  var lon = req.params.lon;
+  compute(15);
+  var rows = db.query("SELECT id, lat, lon, scene FROM tags");
+  var close = [];
+  for (var i = 0; i < rows.length; i = i + 1) {
+    var dlat = rows[i].lat - lat;
+    var dlon = rows[i].lon - lon;
+    if (dlat * dlat + dlon * dlon < 1.0) {
+      close.push(rows[i]);
+    }
+  }
+  res.send({ nearby: close, center: [lat, lon] });
+});
+
+app.get("/heatmap", function (req, res) {
+  var cells = req.params.cells;
+  compute(80);
+  var rows = db.query("SELECT lat, lon FROM tags");
+  var grid = [];
+  for (var i = 0; i < cells; i = i + 1) {
+    grid.push(0);
+  }
+  for (var j = 0; j < rows.length; j = j + 1) {
+    var cell = Math.floor(Math.abs(rows[j].lat + rows[j].lon)) % cells;
+    grid[cell] = grid[cell] + 1;
+  }
+  res.send({ grid: grid, points: rows.length });
+});
+
+app.post("/note", function (req, res) {
+  var text = req.params.text;
+  fs.appendFile("data/notes.log", text + ";");
+  var all = fs.readFile("data/notes.log");
+  res.send({ noted: text, totalChars: all.length });
+});
+
+app.get("/notes", function (req, res) {
+  var limit = req.params.limit;
+  var all = fs.readFile("data/notes.log").split(";");
+  var out = [];
+  for (var i = 0; i < all.length && i < limit; i = i + 1) {
+    if (all[i].length > 0) { out.push(all[i]); }
+  }
+  res.send({ notes: out, limit: limit });
+});
+
+app.get("/tag-count", function (req, res) {
+  var scene = req.params.scene;
+  var rows = db.query("SELECT id FROM tags WHERE scene = ?", [scene]);
+  res.send({ scene: scene, count: rows.length, total: tagCount });
+});
+)JS";
+
+SubjectApp build() {
+  SubjectApp app;
+  app.name = "geo-tagger";
+  app.description = "photo geotagging with scene classification";
+  app.server_source = kServer;
+  app.typical_payload_bytes = 1536 * 1024;  // ~1.5 MB photo
+  app.primary_route = {http::Verb::kPost, "/tag"};
+  app.services = {
+      {http::Verb::kPost, "/tag"},     {http::Verb::kGet, "/nearby"},
+      {http::Verb::kGet, "/heatmap"},  {http::Verb::kPost, "/note"},
+      {http::Verb::kGet, "/notes"},    {http::Verb::kGet, "/tag-count"},
+  };
+  for (int i = 1; i <= 2; ++i) {
+    app.workload.push_back(make_request(
+        app.primary_route,
+        json::Value::object({{"lat", 37.2 + i}, {"lon", -80.4 - i}}),
+        app.typical_payload_bytes + i * 2048));
+  }
+  app.workload.push_back(make_request(
+      {http::Verb::kGet, "/nearby"}, json::Value::object({{"lat", 38.2}, {"lon", -81.4}})));
+  app.workload.push_back(
+      make_request({http::Verb::kGet, "/heatmap"}, json::Value::object({{"cells", 6}})));
+  app.workload.push_back(make_request({http::Verb::kPost, "/note"},
+                                      json::Value::object({{"text", "sunset over ridge"}})));
+  app.workload.push_back(make_request({http::Verb::kPost, "/note"},
+                                      json::Value::object({{"text", "trailhead parking"}})));
+  app.workload.push_back(
+      make_request({http::Verb::kGet, "/notes"}, json::Value::object({{"limit", 4}})));
+  app.workload.push_back(
+      make_request({http::Verb::kGet, "/tag-count"}, json::Value::object({{"scene", "city"}})));
+  return app;
+}
+
+}  // namespace
+
+const SubjectApp& geo_tagger() {
+  static const SubjectApp app = build();
+  return app;
+}
+
+}  // namespace edgstr::apps

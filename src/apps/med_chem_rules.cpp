@@ -1,0 +1,121 @@
+#include "apps/app.h"
+
+namespace edgstr::apps {
+
+namespace {
+
+// med-chem-rules: medicinal-chemistry rule checking. CPU-bound screening of
+// molecule descriptors against rule files; the paper's other cacheable
+// subject (deterministic verdicts for identical descriptors).
+const char* kServer = R"JS(
+var checksRun = 0;
+var violationsSeen = 0;
+
+db.query("CREATE TABLE compounds (name, mw, logp, donors, acceptors)");
+fs.writeFile("data/lipinski.rules", "mw<=500;logp<=5;donors<=5;acceptors<=10");
+fs.writeFile("data/tox.rules", "nitro:0.8;azide:0.9;peroxide:0.7");
+
+function lipinskiViolations(mw, logp, donors, acceptors) {
+  compute(60);
+  var v = 0;
+  if (mw > 500) { v = v + 1; }
+  if (logp > 5) { v = v + 1; }
+  if (donors > 5) { v = v + 1; }
+  if (acceptors > 10) { v = v + 1; }
+  return v;
+}
+
+app.post("/check-lipinski", function (req, res) {
+  var mw = req.params.mw;
+  var logp = req.params.logp;
+  var donors = req.params.donors;
+  var acceptors = req.params.acceptors;
+  var violations = lipinskiViolations(mw, logp, donors, acceptors);
+  checksRun = checksRun + 1;
+  violationsSeen = violationsSeen + violations;
+  res.send({ druglike: violations <= 1, violations: violations, mw: mw });
+});
+
+app.post("/check-toxicity", function (req, res) {
+  var smiles = req.params.smiles;
+  compute(90);
+  var h = blobHash(smiles, "toxmodel");
+  var risk = (h % 100) / 100;
+  checksRun = checksRun + 1;
+  res.send({ smiles: smiles, risk: risk, flagged: risk > 0.7 });
+});
+
+app.get("/rules", function (req, res) {
+  var which = req.params.which;
+  var file = which == "tox" ? "data/tox.rules" : "data/lipinski.rules";
+  var text = fs.readFile(file);
+  res.send({ rules: text.split(";"), source: file });
+});
+
+app.post("/log-compound", function (req, res) {
+  var name = req.params.name;
+  var mw = req.params.mw;
+  db.query("INSERT INTO compounds (name, mw, logp, donors, acceptors) VALUES (?, ?, ?, ?, ?)",
+           [name, mw, req.params.logp, req.params.donors, req.params.acceptors]);
+  var rows = db.query("SELECT name FROM compounds");
+  res.send({ logged: name, total: rows.length });
+});
+
+app.get("/compounds", function (req, res) {
+  var maxMw = req.params.maxMw;
+  var rows = db.query("SELECT name, mw FROM compounds WHERE mw <= ? ORDER BY mw", [maxMw]);
+  res.send({ compounds: rows, maxMw: maxMw });
+});
+
+app.get("/rule-stats", function (req, res) {
+  var salt = req.params.salt;
+  var rate = checksRun > 0 ? violationsSeen / checksRun : 0;
+  res.send({ checks: checksRun, violationRate: rate, echo: salt });
+});
+)JS";
+
+SubjectApp build() {
+  SubjectApp app;
+  app.name = "med-chem-rules";
+  app.description = "medicinal chemistry rule screening (CPU-bound, cacheable)";
+  app.server_source = kServer;
+  app.typical_payload_bytes = 0;
+  app.primary_route = {http::Verb::kPost, "/check-lipinski"};
+  app.services = {
+      {http::Verb::kPost, "/check-lipinski"}, {http::Verb::kPost, "/check-toxicity"},
+      {http::Verb::kGet, "/rules"},           {http::Verb::kPost, "/log-compound"},
+      {http::Verb::kGet, "/compounds"},       {http::Verb::kGet, "/rule-stats"},
+  };
+  app.workload.push_back(make_request(
+      app.primary_route,
+      json::Value::object({{"mw", 342.4}, {"logp", 2.7}, {"donors", 2}, {"acceptors", 6}})));
+  app.workload.push_back(make_request(
+      app.primary_route,
+      json::Value::object({{"mw", 612.0}, {"logp", 6.1}, {"donors", 7}, {"acceptors", 12}})));
+  app.workload.push_back(make_request({http::Verb::kPost, "/check-toxicity"},
+                                      json::Value::object({{"smiles", "CC(=O)Oc1ccccc1C(=O)O"}})));
+  app.workload.push_back(
+      make_request({http::Verb::kGet, "/rules"}, json::Value::object({{"which", "lipinski"}})));
+  app.workload.push_back(make_request(
+      {http::Verb::kPost, "/log-compound"},
+      json::Value::object(
+          {{"name", "aspirin"}, {"mw", 180.2}, {"logp", 1.2}, {"donors", 1}, {"acceptors", 4}})));
+  app.workload.push_back(make_request(
+      {http::Verb::kPost, "/log-compound"},
+      json::Value::object(
+          {{"name", "caffeine"}, {"mw", 194.2}, {"logp", -0.1}, {"donors", 0}, {"acceptors", 6}})));
+  app.workload.push_back(
+      make_request({http::Verb::kGet, "/compounds"}, json::Value::object({{"maxMw", 250}})));
+  app.workload.push_back(
+      make_request({http::Verb::kGet, "/rule-stats"}, json::Value::object({{"salt", 5}})));
+  return app;
+}
+
+}  // namespace
+
+const SubjectApp& med_chem_rules() {
+  static const SubjectApp app = build();
+  return app;
+}
+
+}  // namespace edgstr::apps

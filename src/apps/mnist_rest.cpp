@@ -1,0 +1,117 @@
+#include "apps/app.h"
+
+namespace edgstr::apps {
+
+namespace {
+
+// mnist-rest: handwritten-digit recognition as a REST service. Clients
+// upload digit scans; the server classifies them with a model file, keeps
+// a rolling accuracy estimate in globals, and stores training samples.
+const char* kServer = R"JS(
+var totalPredictions = 0;
+var correctFeedback = 0;
+
+db.query("CREATE TABLE samples (id, digit, pixels)");
+db.query("CREATE TABLE predictions (id, digit, confidence)");
+fs.writeFile("models/mnist_cnn.arch", "conv-pool-conv-pool-dense-v3");
+fs.writeFile("models/mnist_cnn.bin", pad("mnist-cnn-weights-77aa.", 786432));
+
+function classify(scan) {
+  var weights = fs.readFile("models/mnist_cnn.bin");
+  compute(300 + scan.size / 1024);
+  var h = blobHash(scan, "mnist_cnn" + weights.length);
+  return { digit: h % 10, confidence: 0.5 + (h % 50) / 100 };
+}
+
+app.post("/predict-digit", function (req, res) {
+  var scan = req.payload;
+  var result = classify(scan);
+  totalPredictions = totalPredictions + 1;
+  db.query("INSERT INTO predictions (id, digit, confidence) VALUES (?, ?, ?)",
+           [totalPredictions, result.digit, result.confidence]);
+  res.send({ prediction: result, id: totalPredictions });
+});
+
+app.post("/batch-predict", function (req, res) {
+  var count = req.params.count;
+  var scans = req.payload;
+  var results = [];
+  for (var i = 0; i < count; i = i + 1) {
+    compute(120);
+    var h = blobHash(scans, "mnist_cnn" + i);
+    results.push(h % 10);
+  }
+  totalPredictions = totalPredictions + count;
+  res.send({ digits: results, batch: count });
+});
+
+app.post("/train-sample", function (req, res) {
+  var digit = req.params.digit;
+  var id = req.params.id;
+  db.query("INSERT INTO samples (id, digit, pixels) VALUES (?, ?, ?)",
+           [id, digit, "px:" + id]);
+  var rows = db.query("SELECT id FROM samples WHERE digit = ?", [digit]);
+  res.send({ stored: id, samplesForDigit: rows.length });
+});
+
+app.get("/accuracy", function (req, res) {
+  var window = req.params.window;
+  var acc = 0.9;
+  if (totalPredictions > 0) {
+    acc = 0.85 + (correctFeedback / (totalPredictions + 1)) / 10;
+  }
+  res.send({ accuracy: acc, over: window, total: totalPredictions });
+});
+
+app.get("/model-info", function (req, res) {
+  var blobData = fs.readFile("models/mnist_cnn.arch");
+  res.send({ arch: blobData, layers: blobData.split("-").length });
+});
+
+app.get("/samples-count", function (req, res) {
+  var digit = req.params.digit;
+  var rows = db.query("SELECT id FROM samples WHERE digit = ?", [digit]);
+  res.send({ digit: digit, count: rows.length });
+});
+)JS";
+
+SubjectApp build() {
+  SubjectApp app;
+  app.name = "mnist-rest";
+  app.description = "handwritten digit recognition REST service with sample storage";
+  app.server_source = kServer;
+  app.typical_payload_bytes = 24 * 1024;  // scanned digit image
+  app.primary_route = {http::Verb::kPost, "/predict-digit"};
+  app.services = {
+      {http::Verb::kPost, "/predict-digit"}, {http::Verb::kPost, "/batch-predict"},
+      {http::Verb::kPost, "/train-sample"},  {http::Verb::kGet, "/accuracy"},
+      {http::Verb::kGet, "/model-info"},     {http::Verb::kGet, "/samples-count"},
+  };
+  for (int i = 1; i <= 3; ++i) {
+    app.workload.push_back(make_request(app.primary_route, json::Value::object({}),
+                                        app.typical_payload_bytes + i * 512));
+  }
+  app.workload.push_back(make_request({http::Verb::kPost, "/batch-predict"},
+                                      json::Value::object({{"count", 4}}),
+                                      4 * app.typical_payload_bytes));
+  app.workload.push_back(make_request(
+      {http::Verb::kPost, "/train-sample"}, json::Value::object({{"digit", 7}, {"id", 101}})));
+  app.workload.push_back(make_request(
+      {http::Verb::kPost, "/train-sample"}, json::Value::object({{"digit", 3}, {"id", 102}})));
+  app.workload.push_back(
+      make_request({http::Verb::kGet, "/accuracy"}, json::Value::object({{"window", 50}})));
+  app.workload.push_back(
+      make_request({http::Verb::kGet, "/model-info"}, json::Value::object({})));
+  app.workload.push_back(
+      make_request({http::Verb::kGet, "/samples-count"}, json::Value::object({{"digit", 7}})));
+  return app;
+}
+
+}  // namespace
+
+const SubjectApp& mnist_rest() {
+  static const SubjectApp app = build();
+  return app;
+}
+
+}  // namespace edgstr::apps

@@ -1,0 +1,29 @@
+#include "apps/app.h"
+
+namespace edgstr::apps {
+
+http::HttpRequest make_request(const http::Route& route, json::Value params,
+                               std::uint64_t payload_bytes) {
+  http::HttpRequest req;
+  req.verb = route.verb;
+  req.path = route.path;
+  req.params = std::move(params);
+  req.payload_bytes = payload_bytes;
+  return req;
+}
+
+const std::vector<const SubjectApp*>& all_subject_apps() {
+  static const std::vector<const SubjectApp*> apps = {
+      &fobojet(),   &mnist_rest(), &bookworm(),   &med_chem_rules(),
+      &sensor_hub(), &geo_tagger(), &text_notes(),
+  };
+  return apps;
+}
+
+std::size_t total_service_count() {
+  std::size_t total = 0;
+  for (const SubjectApp* app : all_subject_apps()) total += app->services.size();
+  return total;
+}
+
+}  // namespace edgstr::apps

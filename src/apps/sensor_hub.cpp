@@ -1,0 +1,124 @@
+#include "apps/app.h"
+
+namespace edgstr::apps {
+
+namespace {
+
+// sensor-hub: IoT sensor ingestion and summarization — the archetypal
+// EdgStr-friendly service (§II-D): CPU-bound transformation of
+// client-collected sensor data into computed summaries, persisted for
+// future referencing, tolerant of temporary inconsistency.
+const char* kServer = R"JS(
+var ingested = 0;
+var alertThreshold = 75;
+var runningMean = 0;
+
+db.query("CREATE TABLE readings (seq, sensor, value, unit)");
+db.query("CREATE TABLE calibrations (sensor, offset)");
+fs.writeFile("data/hub.cfg", "window=32;units=celsius");
+
+app.post("/ingest", function (req, res) {
+  var sensor = req.params.sensor;
+  var values = req.params.values;
+  compute(20 + values.length * 5);
+  var sum = 0;
+  for (var i = 0; i < values.length; i = i + 1) {
+    ingested = ingested + 1;
+    sum = sum + values[i];
+    db.query("INSERT INTO readings (seq, sensor, value, unit) VALUES (?, ?, ?, 'C')",
+             [ingested, sensor, values[i]]);
+  }
+  var mean = values.length > 0 ? sum / values.length : 0;
+  runningMean = (runningMean * 3 + mean) / 4;
+  res.send({ sensor: sensor, accepted: values.length, batchMean: mean });
+});
+
+app.get("/summary", function (req, res) {
+  var sensor = req.params.sensor;
+  compute(30);
+  var rows = db.query("SELECT value FROM readings WHERE sensor = ?", [sensor]);
+  var sum = 0;
+  var peak = -1000;
+  for (var i = 0; i < rows.length; i = i + 1) {
+    sum = sum + rows[i].value;
+    if (rows[i].value > peak) { peak = rows[i].value; }
+  }
+  var mean = rows.length > 0 ? sum / rows.length : 0;
+  res.send({ sensor: sensor, count: rows.length, mean: mean, peak: peak });
+});
+
+app.get("/alerts", function (req, res) {
+  var since = req.params.since;
+  compute(25);
+  var rows = db.query("SELECT seq, sensor, value FROM readings WHERE value > ? AND seq >= ?",
+                      [alertThreshold, since]);
+  res.send({ alerts: rows, threshold: alertThreshold, since: since });
+});
+
+app.post("/threshold", function (req, res) {
+  var level = req.params.level;
+  alertThreshold = level;
+  res.send({ threshold: alertThreshold, applied: true });
+});
+
+app.get("/export", function (req, res) {
+  var tag = req.params.tag;
+  var rows = db.query("SELECT seq, value FROM readings ORDER BY seq DESC LIMIT 8");
+  var lines = [];
+  for (var i = 0; i < rows.length; i = i + 1) {
+    lines.push(rows[i].seq + "=" + rows[i].value);
+  }
+  var report = "export[" + tag + "]:" + lines.join(",");
+  fs.writeFile("data/export.csv", report);
+  res.send({ written: report.length, tag: tag, rows: rows.length });
+});
+
+app.post("/calibrate", function (req, res) {
+  var sensor = req.params.sensor;
+  var offset = req.params.offset;
+  compute(50);
+  db.query("INSERT INTO calibrations (sensor, offset) VALUES (?, ?)", [sensor, offset]);
+  res.send({ sensor: sensor, offset: offset, mean: runningMean });
+});
+)JS";
+
+SubjectApp build() {
+  SubjectApp app;
+  app.name = "sensor-hub";
+  app.description = "IoT sensor ingestion, summaries, alerts, calibration";
+  app.server_source = kServer;
+  app.typical_payload_bytes = 0;
+  app.primary_route = {http::Verb::kPost, "/ingest"};
+  app.services = {
+      {http::Verb::kPost, "/ingest"},    {http::Verb::kGet, "/summary"},
+      {http::Verb::kGet, "/alerts"},     {http::Verb::kPost, "/threshold"},
+      {http::Verb::kGet, "/export"},     {http::Verb::kPost, "/calibrate"},
+  };
+  app.workload.push_back(make_request(
+      app.primary_route, json::Value::object({{"sensor", "t1"},
+                                              {"values", json::Value::array({61, 72, 80})}})));
+  app.workload.push_back(make_request(
+      app.primary_route, json::Value::object({{"sensor", "t2"},
+                                              {"values", json::Value::array({55, 91})}})));
+  app.workload.push_back(
+      make_request({http::Verb::kGet, "/summary"}, json::Value::object({{"sensor", "t1"}})));
+  app.workload.push_back(
+      make_request({http::Verb::kGet, "/alerts"}, json::Value::object({{"since", 1}})));
+  app.workload.push_back(
+      make_request({http::Verb::kPost, "/threshold"}, json::Value::object({{"level", 85}})));
+  app.workload.push_back(
+      make_request({http::Verb::kGet, "/export"}, json::Value::object({{"tag", "daily"}})));
+  app.workload.push_back(make_request(
+      {http::Verb::kPost, "/calibrate"},
+      json::Value::object({{"sensor", "t1"}, {"offset", 1.5}})));
+  return app;
+}
+
+}  // namespace
+
+const SubjectApp& sensor_hub() {
+  static const SubjectApp app = build();
+  return app;
+}
+
+}  // namespace edgstr::apps

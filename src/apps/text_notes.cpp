@@ -1,0 +1,118 @@
+#include "apps/app.h"
+
+namespace edgstr::apps {
+
+namespace {
+
+// text-notes: note-taking with lightweight sentiment scoring. Text-only
+// traffic (small requests) — the subject where edge offloading wins least
+// on bandwidth and the compute/RTT trade dominates.
+const char* kServer = R"JS(
+var noteSeq = 0;
+var sentimentSum = 0;
+
+db.query("CREATE TABLE notes (id, text, sentiment)");
+fs.writeFile("data/archive.log", "");
+
+function scoreSentiment(text) {
+  compute(30 + text.length / 8);
+  var score = 0;
+  var words = text.split(" ");
+  for (var i = 0; i < words.length; i = i + 1) {
+    var w = words[i].toLowerCase();
+    if (w == "good" || w == "great" || w == "love") { score = score + 1; }
+    if (w == "bad" || w == "awful" || w == "hate") { score = score - 1; }
+  }
+  return score;
+}
+
+app.post("/note", function (req, res) {
+  var text = req.params.text;
+  var sentiment = scoreSentiment(text);
+  noteSeq = noteSeq + 1;
+  sentimentSum = sentimentSum + sentiment;
+  db.query("INSERT INTO notes (id, text, sentiment) VALUES (?, ?, ?)",
+           [noteSeq, text, sentiment]);
+  res.send({ id: noteSeq, sentiment: sentiment });
+});
+
+app.get("/notes", function (req, res) {
+  var limit = req.params.limit;
+  var rows = db.query("SELECT id, text, sentiment FROM notes ORDER BY id DESC LIMIT 10");
+  var out = [];
+  for (var i = 0; i < rows.length && i < limit; i = i + 1) {
+    out.push(rows[i]);
+  }
+  res.send({ notes: out, limit: limit });
+});
+
+app.post("/search", function (req, res) {
+  var term = req.params.term;
+  compute(12);
+  var rows = db.query("SELECT id, text FROM notes WHERE text LIKE ?", ["%" + term + "%"]);
+  res.send({ matches: rows, term: term });
+});
+
+app.get("/sentiment-summary", function (req, res) {
+  var salt = req.params.salt;
+  var avg = noteSeq > 0 ? sentimentSum / noteSeq : 0;
+  res.send({ notes: noteSeq, averageSentiment: avg, echo: salt });
+});
+
+app.delete("/note", function (req, res) {
+  var id = req.params.id;
+  var removed = db.query("DELETE FROM notes WHERE id = ?", [id]);
+  res.send({ id: id, removed: removed });
+});
+
+app.post("/archive", function (req, res) {
+  var upTo = req.params.upTo;
+  var rows = db.query("SELECT id, text FROM notes WHERE id <= ?", [upTo]);
+  var archived = 0;
+  for (var i = 0; i < rows.length; i = i + 1) {
+    fs.appendFile("data/archive.log", rows[i].id + ":" + rows[i].text + "|");
+    archived = archived + 1;
+  }
+  res.send({ archived: archived, upTo: upTo });
+});
+)JS";
+
+SubjectApp build() {
+  SubjectApp app;
+  app.name = "text-notes";
+  app.description = "note taking with sentiment scoring and archiving";
+  app.server_source = kServer;
+  app.typical_payload_bytes = 0;
+  app.primary_route = {http::Verb::kPost, "/note"};
+  app.services = {
+      {http::Verb::kPost, "/note"},            {http::Verb::kGet, "/notes"},
+      {http::Verb::kPost, "/search"},          {http::Verb::kGet, "/sentiment-summary"},
+      {http::Verb::kDelete, "/note"},          {http::Verb::kPost, "/archive"},
+  };
+  app.workload.push_back(make_request(
+      app.primary_route, json::Value::object({{"text", "what a good great day"}})));
+  app.workload.push_back(make_request(
+      app.primary_route, json::Value::object({{"text", "traffic was awful today"}})));
+  app.workload.push_back(make_request(
+      app.primary_route, json::Value::object({{"text", "love the new trail"}})));
+  app.workload.push_back(
+      make_request({http::Verb::kGet, "/notes"}, json::Value::object({{"limit", 5}})));
+  app.workload.push_back(
+      make_request({http::Verb::kPost, "/search"}, json::Value::object({{"term", "good"}})));
+  app.workload.push_back(make_request({http::Verb::kGet, "/sentiment-summary"},
+                                      json::Value::object({{"salt", 3}})));
+  app.workload.push_back(
+      make_request({http::Verb::kDelete, "/note"}, json::Value::object({{"id", 2}})));
+  app.workload.push_back(
+      make_request({http::Verb::kPost, "/archive"}, json::Value::object({{"upTo", 2}})));
+  return app;
+}
+
+}  // namespace
+
+const SubjectApp& text_notes() {
+  static const SubjectApp app = build();
+  return app;
+}
+
+}  // namespace edgstr::apps

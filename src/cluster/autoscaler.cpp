@@ -1,0 +1,41 @@
+#include "cluster/autoscaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgstr::cluster {
+
+AutoScaler::AutoScaler(LoadBalancer& balancer, AutoScalerPolicy policy)
+    : balancer_(balancer), policy_(policy) {
+  target_active_ = std::max(policy_.min_active, 1);
+}
+
+void AutoScaler::evaluate() {
+  const double current = static_cast<double>(balancer_.total_active_connections());
+  smoothed_ = policy_.smoothing * current + (1.0 - policy_.smoothing) * smoothed_;
+
+  const int total = static_cast<int>(balancer_.nodes().size());
+  int desired = static_cast<int>(std::ceil(smoothed_ / policy_.connections_per_node));
+  desired = std::clamp(desired, policy_.min_active, total);
+  target_active_ = desired;
+
+  // Activate from the front, park from the back (stable ordering keeps the
+  // same nodes hot, maximizing park time for the rest).
+  int active_seen = 0;
+  for (runtime::Node* node : balancer_.nodes()) {
+    const bool should_be_active = active_seen < desired;
+    if (should_be_active) ++active_seen;
+    if (should_be_active && node->power_state() == runtime::PowerState::kLowPower) {
+      node->set_power_state(runtime::PowerState::kActive);
+      ++scale_ups_;
+    } else if (!should_be_active && node->power_state() == runtime::PowerState::kActive) {
+      // Never park a node that still holds connections.
+      if (node->active_connections() == 0) {
+        node->set_power_state(runtime::PowerState::kLowPower);
+        ++scale_downs_;
+      }
+    }
+  }
+}
+
+}  // namespace edgstr::cluster

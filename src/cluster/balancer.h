@@ -1,0 +1,74 @@
+// Edge-cluster load balancing (§IV-D).
+//
+// The balancer (1) directs client request traffic to the active edge node
+// with the fewest active connections and (2) exposes the total connection
+// count as the utilization signal the autoscaler consumes. The
+// ClusterGateway is the client-facing entry point of the whole cluster:
+// it picks a node per request, serves replicated routes there, and falls
+// back to the cloud when no edge capacity is active or execution fails.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "netsim/network.h"
+#include "runtime/proxy.h"
+
+namespace edgstr::cluster {
+
+class LoadBalancer {
+ public:
+  explicit LoadBalancer(std::vector<runtime::Node*> nodes) : nodes_(std::move(nodes)) {}
+
+  /// Least-connections choice among active (non-parked) nodes; nullptr if
+  /// every node is parked. `extra_load` adds caller-tracked in-flight
+  /// assignments (requests dispatched but not yet delivered to the node)
+  /// to the node's own connection count.
+  runtime::Node* pick(const std::map<runtime::Node*, std::size_t>* extra_load = nullptr) const;
+
+  /// Total in-flight connections across active nodes — the traffic-volume
+  /// estimate of §IV-D capability (2).
+  std::size_t total_active_connections() const;
+
+  std::size_t active_node_count() const;
+  const std::vector<runtime::Node*>& nodes() const { return nodes_; }
+
+ private:
+  std::vector<runtime::Node*> nodes_;
+};
+
+class ClusterGateway {
+ public:
+  ClusterGateway(netsim::Network& network, std::string client_host, LoadBalancer& balancer,
+                 runtime::Node& cloud, std::set<http::Route> served_routes);
+
+  /// Attaches per-node sync states so local executions are harvested into
+  /// CRDT ops (aligned by node index in the balancer).
+  void set_sync_states(std::vector<runtime::ReplicaState*> states) {
+    sync_states_ = std::move(states);
+  }
+
+  void request(const http::HttpRequest& req, runtime::RequestCallback done);
+
+  const runtime::PathStats& stats() const { return stats_; }
+
+ private:
+  netsim::Network& network_;
+  std::string client_host_;
+  LoadBalancer& balancer_;
+  runtime::Node& cloud_;
+  std::set<http::Route> served_routes_;
+  std::vector<runtime::ReplicaState*> sync_states_;
+  runtime::PathStats stats_;
+  /// Requests assigned to a node but still in LAN flight — the node's own
+  /// active_connections() only sees them on arrival, so the balancer would
+  /// otherwise dog-pile bursts onto one replica.
+  std::map<runtime::Node*, std::size_t> in_flight_;
+
+  runtime::ReplicaState* sync_state_for(const runtime::Node* node) const;
+  void forward_to_cloud(const http::HttpRequest& req, double start, runtime::RequestCallback done,
+                        bool was_failure);
+};
+
+}  // namespace edgstr::cluster

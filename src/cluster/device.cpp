@@ -1,0 +1,62 @@
+#include "cluster/device.h"
+
+#include <algorithm>
+
+namespace edgstr::cluster {
+
+runtime::NodeSpec DeviceProfile::spec(const std::string& host_name) const {
+  runtime::NodeSpec spec;
+  spec.name = host_name;
+  spec.seconds_per_unit = seconds_per_unit;
+  spec.request_overhead_s = request_overhead_s;
+  spec.cores = cores;
+  spec.active_power_w = active_power_w;
+  spec.idle_power_w = idle_power_w;
+  spec.lowpower_power_w = lowpower_power_w;
+  return spec;
+}
+
+DeviceProfile DeviceProfile::optiplex5050() {
+  return DeviceProfile{
+      "DELL-OPTIPLEX5050 (i7-7700 3.6GHzX8)",
+      1.0e-5,  // ~order of magnitude faster than the Pis
+      1.0e-3,  // server-grade HTTP stack
+      8,
+      65.0, 20.0, 2.0,  // desktop power (not used in edge-energy plots)
+  };
+}
+
+DeviceProfile DeviceProfile::rpi3() {
+  return DeviceProfile{
+      "RPI-3 (Cortex-A53 1.4GHzX4)",
+      1.62e-4,  // = 1.8 x the RPI-4 per-unit time (paper's CPU factor)
+      1.5e-2,   // Node-on-a-Pi request handling cost
+      4,
+      3.7, 1.9, 0.3,
+  };
+}
+
+DeviceProfile DeviceProfile::rpi4() {
+  return DeviceProfile{
+      "RPI-4 (Cortex-A72 1.5GHzX4)",
+      9.0e-5,
+      8.0e-3,
+      4,
+      6.4, 2.7, 0.5,
+  };
+}
+
+double MobileDevice::request_energy_from_latency(double latency_s, std::uint64_t sent_bytes,
+                                                 std::uint64_t received_bytes,
+                                                 double uplink_bytes_per_s) const {
+  const double tx_s =
+      uplink_bytes_per_s > 0 ? static_cast<double>(sent_bytes) / uplink_bytes_per_s : 0.0;
+  const double rx_s =
+      uplink_bytes_per_s > 0 ? static_cast<double>(received_bytes) / uplink_bytes_per_s : 0.0;
+  const double bounded_tx = std::min(tx_s, latency_s);
+  const double bounded_rx = std::min(rx_s, std::max(0.0, latency_s - bounded_tx));
+  const double wait_s = std::max(0.0, latency_s - bounded_tx - bounded_rx);
+  return request_energy_j(bounded_tx, wait_s, bounded_rx);
+}
+
+}  // namespace edgstr::cluster

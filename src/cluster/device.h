@@ -1,0 +1,59 @@
+// Device profiles for the paper's testbed hardware (Figure 6-(a)).
+//
+//   cloud : DELL OptiPlex 5050 (i7-7700, 3.6 GHz x 8)
+//   edge  : Raspberry Pi 3 (Cortex-A53, 1.4 GHz x 4)
+//           Raspberry Pi 4 (Cortex-A72, 1.5 GHz x 4)
+//   client: Android phone (Snapdragon)
+//
+// Only *relative* compute speed matters for reproducing the paper's result
+// shapes. Per the CPU benchmark the paper cites, RPI-4 is 1.8x the RPI-3;
+// the OptiPlex is roughly an order of magnitude faster again. Power draws
+// are the commonly published figures for these boards.
+#pragma once
+
+#include <string>
+
+#include "runtime/node.h"
+
+namespace edgstr::cluster {
+
+struct DeviceProfile {
+  std::string model;
+  double seconds_per_unit;    ///< execution time for one compute unit
+  double request_overhead_s;  ///< request handling fixed cost (HTTP stack)
+  int cores;                  ///< parallel execution channels
+  double active_power_w;
+  double idle_power_w;
+  double lowpower_power_w;
+
+  /// Converts to the runtime node spec with the given host name.
+  runtime::NodeSpec spec(const std::string& host_name) const;
+
+  static DeviceProfile optiplex5050();  ///< the cloud server
+  static DeviceProfile rpi3();
+  static DeviceProfile rpi4();
+};
+
+/// Mobile client energy model (Figure 8). While a request is in flight the
+/// phone transmits, then waits in low-power idle, then receives. The paper
+/// measures battery power with the Treep profiler on a Snapdragon device.
+struct MobileDevice {
+  double tx_power_w = 2.6;     ///< radio transmitting
+  double rx_power_w = 2.1;     ///< radio receiving
+  double wait_power_w = 0.35;  ///< low-power mode while awaiting response
+  double base_power_w = 0.9;   ///< screen/SoC floor while the app runs
+
+  /// Energy for one request: transmit `tx_s`, wait `wait_s`, receive `rx_s`.
+  double request_energy_j(double tx_s, double wait_s, double rx_s) const {
+    return (tx_power_w * tx_s) + (wait_power_w * wait_s) + (rx_power_w * rx_s) +
+           base_power_w * (tx_s + wait_s + rx_s);
+  }
+
+  /// Convenience: splits a measured end-to-end latency into phases given
+  /// the transfer sizes and the first-hop link bandwidth (bytes/s).
+  double request_energy_from_latency(double latency_s, std::uint64_t sent_bytes,
+                                     std::uint64_t received_bytes,
+                                     double uplink_bytes_per_s) const;
+};
+
+}  // namespace edgstr::cluster

@@ -1,0 +1,36 @@
+#include "cluster/energy.h"
+
+#include <algorithm>
+
+namespace edgstr::cluster {
+
+double EnergyMeter::total_energy_j() const {
+  double total = 0;
+  for (const runtime::Node* node : nodes_) total += node->consumed_energy_j();
+  return total;
+}
+
+double EnergyMeter::always_active_energy_j() const {
+  double total = 0;
+  for (const runtime::Node* node : nodes_) {
+    const double wall = node->time_active() + node->time_low_power();
+    const double busy = std::min(node->busy_seconds(), wall);
+    const double idle = wall - busy;
+    total += busy * node->spec().active_power_w + idle * node->spec().idle_power_w;
+  }
+  return total;
+}
+
+double EnergyMeter::savings_fraction() const {
+  const double baseline = always_active_energy_j();
+  if (baseline <= 0) return 0;
+  return 1.0 - total_energy_j() / baseline;
+}
+
+double EnergyMeter::total_low_power_seconds() const {
+  double total = 0;
+  for (const runtime::Node* node : nodes_) total += node->time_low_power();
+  return total;
+}
+
+}  // namespace edgstr::cluster

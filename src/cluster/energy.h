@@ -1,0 +1,35 @@
+// Cluster-level energy accounting (Figure 9-right).
+//
+// Each runtime::Node already integrates busy/idle/low-power time under its
+// device power model; the meter aggregates across the cluster and computes
+// the savings of elastic parking versus an always-active baseline.
+#pragma once
+
+#include <vector>
+
+#include "runtime/node.h"
+
+namespace edgstr::cluster {
+
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(std::vector<runtime::Node*> nodes) : nodes_(std::move(nodes)) {}
+
+  /// Total joules consumed by the cluster so far.
+  double total_energy_j() const;
+
+  /// Hypothetical consumption had every node stayed active (idle when not
+  /// executing) the whole time — the naive-edge-processing baseline.
+  double always_active_energy_j() const;
+
+  /// Relative savings of elastic parking: 1 - total/always_active.
+  double savings_fraction() const;
+
+  /// Total seconds the cluster's nodes spent parked.
+  double total_low_power_seconds() const;
+
+ private:
+  std::vector<runtime::Node*> nodes_;
+};
+
+}  // namespace edgstr::cluster

@@ -1,0 +1,136 @@
+#include "crdt/change.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edgstr::crdt {
+
+json::Value Op::to_json() const {
+  return json::Value::object({{"origin", origin},
+                              {"seq", static_cast<double>(seq)},
+                              {"stamp", stamp.to_json()},
+                              {"payload", payload}});
+}
+
+Op Op::from_json(const json::Value& v) {
+  Op op;
+  op.origin = v["origin"].as_string();
+  op.seq = static_cast<std::uint64_t>(v["seq"].as_number());
+  op.stamp = Stamp::from_json(v["stamp"]);
+  op.payload = v["payload"];
+  return op;
+}
+
+json::Value version_to_json(const VersionVector& version) {
+  json::Object obj;
+  for (const auto& [replica, seq] : version) obj.set(replica, static_cast<double>(seq));
+  return json::Value(std::move(obj));
+}
+
+VersionVector version_from_json(const json::Value& v) {
+  VersionVector version;
+  for (const auto& [replica, seq] : v.as_object()) {
+    version[replica] = static_cast<std::uint64_t>(seq.as_number());
+  }
+  return version;
+}
+
+Op OpLog::make_local(json::Value payload) {
+  Op op;
+  op.origin = replica_;
+  op.seq = version_[replica_] + 1;
+  op.stamp = Stamp{++lamport_, replica_};
+  op.payload = std::move(payload);
+  return op;
+}
+
+bool OpLog::seen(const std::string& origin, std::uint64_t seq) const {
+  auto it = version_.find(origin);
+  return it != version_.end() && seq <= it->second;
+}
+
+bool OpLog::record(const Op& op) {
+  const std::uint64_t expected = version_[op.origin] + 1;
+  if (op.seq < expected) return false;  // duplicate
+  if (op.seq > expected) {
+    // Ops from one origin are generated and shipped in order; a gap means
+    // the transport reordered within a single batch, which the sync engine
+    // never does. Fail loudly rather than corrupt causality.
+    throw std::logic_error("OpLog: out-of-order op from " + op.origin + " (seq " +
+                           std::to_string(op.seq) + ", expected " + std::to_string(expected) + ")");
+  }
+  version_[op.origin] = op.seq;
+  ops_.push_back(op);
+  observe(op.stamp);
+  return true;
+}
+
+void OpLog::observe(const Stamp& stamp) {
+  if (stamp.counter > lamport_) lamport_ = stamp.counter;
+}
+
+VersionVector version_min(const VersionVector& a, const VersionVector& b) {
+  VersionVector out;
+  for (const auto& [origin, seq] : a) {
+    auto it = b.find(origin);
+    out[origin] = it == b.end() ? 0 : std::min(seq, it->second);
+  }
+  // Components present only in b floor to 0 and can be omitted entirely.
+  return out;
+}
+
+std::size_t OpLog::compact(const VersionVector& acked) {
+  const std::size_t before = ops_.size();
+  ops_.erase(std::remove_if(ops_.begin(), ops_.end(),
+                            [&](const Op& op) {
+                              auto it = acked.find(op.origin);
+                              return it != acked.end() && op.seq <= it->second;
+                            }),
+             ops_.end());
+  for (const auto& [origin, seq] : acked) {
+    auto it = floor_.find(origin);
+    if (it == floor_.end() || it->second < seq) floor_[origin] = seq;
+  }
+  return before - ops_.size();
+}
+
+bool OpLog::can_serve(const VersionVector& known) const {
+  for (const auto& [origin, compacted_to] : floor_) {
+    auto it = known.find(origin);
+    const std::uint64_t has = it == known.end() ? 0 : it->second;
+    if (has < compacted_to) return false;  // would need compacted ops
+  }
+  return true;
+}
+
+std::vector<Op> OpLog::changes_since(const VersionVector& known) const {
+  std::vector<Op> out;
+  for (const Op& op : ops_) {
+    auto it = known.find(op.origin);
+    const std::uint64_t have = it == known.end() ? 0 : it->second;
+    if (op.seq > have) out.push_back(op);
+  }
+  return out;
+}
+
+json::Value OpLog::to_json() const {
+  json::Array ops;
+  for (const Op& op : ops_) ops.push_back(op.to_json());
+  return json::Value::object({{"replica", replica_},
+                              {"ops", json::Value(std::move(ops))},
+                              {"lamport", static_cast<double>(lamport_)}});
+}
+
+void OpLog::restore(const json::Value& v) {
+  replica_ = v["replica"].as_string();
+  lamport_ = static_cast<std::uint64_t>(v["lamport"].as_number());
+  ops_.clear();
+  version_.clear();
+  for (const json::Value& op : v["ops"].as_array()) {
+    const Op parsed = Op::from_json(op);
+    version_[parsed.origin] = parsed.seq;
+    ops_.push_back(parsed);
+  }
+}
+
+}  // namespace edgstr::crdt

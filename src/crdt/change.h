@@ -1,0 +1,118 @@
+// Change (op) log shared by the CRDT document types.
+//
+// EdgStr's CRDT structures expose the automerge-style API the paper names
+// (§III-G): initialize / getChanges / applyChanges. Concretely, every local
+// mutation appends an Op — (origin replica, per-replica sequence number,
+// Lamport stamp, JSON payload) — and getChanges(since) returns the ops a
+// peer has not seen according to its version vector. Ops are designed to be
+// commutative (LWW stamps / OR-set tags) and idempotent (dedup by
+// origin+seq), which is what makes the merge conflict-free.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crdt/vector_clock.h"
+#include "json/value.h"
+
+namespace edgstr::crdt {
+
+/// Lamport timestamp with replica tie-break: total order on events.
+struct Stamp {
+  std::uint64_t counter = 0;
+  std::string replica;
+
+  bool operator<(const Stamp& other) const {
+    if (counter != other.counter) return counter < other.counter;
+    return replica < other.replica;
+  }
+  bool operator==(const Stamp& other) const {
+    return counter == other.counter && replica == other.replica;
+  }
+  json::Value to_json() const {
+    return json::Value::object({{"c", static_cast<double>(counter)}, {"r", replica}});
+  }
+  static Stamp from_json(const json::Value& v) {
+    return Stamp{static_cast<std::uint64_t>(v["c"].as_number()), v["r"].as_string()};
+  }
+};
+
+/// One replicated operation.
+struct Op {
+  std::string origin;      ///< replica that generated the op
+  std::uint64_t seq = 0;   ///< contiguous per-origin sequence number
+  Stamp stamp;             ///< Lamport stamp for LWW resolution
+  json::Value payload;     ///< CRDT-type-specific content
+
+  json::Value to_json() const;
+  static Op from_json(const json::Value& v);
+  std::uint64_t wire_size() const { return to_json().wire_size(); }
+};
+
+/// Version vector: highest contiguous seq applied per origin replica.
+using VersionVector = std::map<std::string, std::uint64_t>;
+
+json::Value version_to_json(const VersionVector& version);
+VersionVector version_from_json(const json::Value& v);
+
+/// Op storage + dedup + delta computation, embedded by each CRDT type.
+class OpLog {
+ public:
+  explicit OpLog(std::string replica_id) : replica_(std::move(replica_id)) {}
+
+  const std::string& replica() const { return replica_; }
+
+  /// Creates a new local op with the next seq and a fresh Lamport stamp.
+  Op make_local(json::Value payload);
+
+  /// Records an op (local or remote). Returns false when it was already
+  /// known (idempotent delivery).
+  bool record(const Op& op);
+
+  /// True if (origin, seq) has been recorded.
+  bool seen(const std::string& origin, std::uint64_t seq) const;
+
+  /// Ops the peer with `known` lacks, in (origin, seq) order.
+  std::vector<Op> changes_since(const VersionVector& known) const;
+
+  /// Drops ops every peer has already acknowledged: an op (origin, seq) is
+  /// removable once seq <= acked[origin]. The CRDT state is unaffected —
+  /// compaction only bounds the log's memory. After compacting past some
+  /// version, changes_since() can no longer serve peers *behind* that
+  /// version (a brand-new replica must bootstrap from a state snapshot
+  /// instead); compact_floor() reports the serving horizon. Returns the
+  /// number of ops removed.
+  std::size_t compact(const VersionVector& acked);
+
+  /// Per-origin floor below which ops have been compacted away.
+  const VersionVector& compact_floor() const { return floor_; }
+
+  /// True if changes_since(known) can fully serve a peer at `known`.
+  bool can_serve(const VersionVector& known) const;
+
+  /// This log's own version vector.
+  const VersionVector& version() const { return version_; }
+
+  const std::vector<Op>& all_ops() const { return ops_; }
+  std::size_t size() const { return ops_.size(); }
+
+  /// Advances the Lamport clock past an observed stamp.
+  void observe(const Stamp& stamp);
+
+  json::Value to_json() const;
+  void restore(const json::Value& v);
+
+ private:
+  std::string replica_;
+  std::vector<Op> ops_;
+  VersionVector version_;
+  VersionVector floor_;  ///< highest compacted seq per origin
+  std::uint64_t lamport_ = 0;
+};
+
+/// Pointwise minimum of version vectors (missing components count as 0).
+VersionVector version_min(const VersionVector& a, const VersionVector& b);
+
+}  // namespace edgstr::crdt

@@ -1,0 +1,41 @@
+#include "crdt/gcounter.h"
+
+namespace edgstr::crdt {
+
+void GCounter::increment(const std::string& replica, std::uint64_t by) {
+  tallies_[replica] += by;
+}
+
+std::uint64_t GCounter::value() const {
+  std::uint64_t total = 0;
+  for (const auto& [replica, tally] : tallies_) total += tally;
+  return total;
+}
+
+std::uint64_t GCounter::local(const std::string& replica) const {
+  auto it = tallies_.find(replica);
+  return it == tallies_.end() ? 0 : it->second;
+}
+
+void GCounter::merge(const GCounter& other) {
+  for (const auto& [replica, tally] : other.tallies_) {
+    auto it = tallies_.find(replica);
+    if (it == tallies_.end() || it->second < tally) tallies_[replica] = tally;
+  }
+}
+
+json::Value GCounter::to_json() const {
+  json::Object obj;
+  for (const auto& [replica, tally] : tallies_) obj.set(replica, static_cast<double>(tally));
+  return json::Value(std::move(obj));
+}
+
+GCounter GCounter::from_json(const json::Value& v) {
+  GCounter c;
+  for (const auto& [replica, tally] : v.as_object()) {
+    c.tallies_[replica] = static_cast<std::uint64_t>(tally.as_number());
+  }
+  return c;
+}
+
+}  // namespace edgstr::crdt

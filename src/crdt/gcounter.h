@@ -1,0 +1,59 @@
+// Grow-only and positive-negative counters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "json/value.h"
+
+namespace edgstr::crdt {
+
+/// Grow-only counter: per-replica tallies joined by pointwise max.
+class GCounter {
+ public:
+  void increment(const std::string& replica, std::uint64_t by = 1);
+  std::uint64_t value() const;
+  std::uint64_t local(const std::string& replica) const;
+  void merge(const GCounter& other);
+  bool operator==(const GCounter& other) const { return tallies_ == other.tallies_; }
+
+  json::Value to_json() const;
+  static GCounter from_json(const json::Value& v);
+
+ private:
+  std::map<std::string, std::uint64_t> tallies_;
+};
+
+/// Counter supporting decrement, as a pair of GCounters.
+class PnCounter {
+ public:
+  void increment(const std::string& replica, std::uint64_t by = 1) { inc_.increment(replica, by); }
+  void decrement(const std::string& replica, std::uint64_t by = 1) { dec_.increment(replica, by); }
+  std::int64_t value() const {
+    return static_cast<std::int64_t>(inc_.value()) - static_cast<std::int64_t>(dec_.value());
+  }
+  void merge(const PnCounter& other) {
+    inc_.merge(other.inc_);
+    dec_.merge(other.dec_);
+  }
+  bool operator==(const PnCounter& other) const {
+    return inc_ == other.inc_ && dec_ == other.dec_;
+  }
+
+  json::Value to_json() const {
+    return json::Value::object({{"inc", inc_.to_json()}, {"dec", dec_.to_json()}});
+  }
+  static PnCounter from_json(const json::Value& v) {
+    PnCounter c;
+    c.inc_ = GCounter::from_json(v["inc"]);
+    c.dec_ = GCounter::from_json(v["dec"]);
+    return c;
+  }
+
+ private:
+  GCounter inc_;
+  GCounter dec_;
+};
+
+}  // namespace edgstr::crdt

@@ -1,0 +1,73 @@
+#include "crdt/json_doc.h"
+
+namespace edgstr::crdt {
+
+void CrdtJson::initialize(const json::Value& snapshot) {
+  // Baseline entries carry the zero stamp so any replicated op wins.
+  for (const auto& [key, value] : snapshot.as_object()) {
+    state_.put(key, value, Stamp{0, ""});
+  }
+}
+
+void CrdtJson::set(const std::string& key, json::Value value) {
+  Op op = log_.make_local(
+      json::Value::object({{"type", "set"}, {"key", key}, {"value", value}}));
+  log_.record(op);
+  state_.put(key, std::move(value), op.stamp);
+}
+
+void CrdtJson::remove(const std::string& key) {
+  Op op = log_.make_local(json::Value::object({{"type", "del"}, {"key", key}}));
+  log_.record(op);
+  state_.remove(key, op.stamp);
+}
+
+std::size_t CrdtJson::sync_from(const json::Value& current) {
+  std::size_t ops = 0;
+  // New or changed keys.
+  for (const auto& [key, value] : current.as_object()) {
+    const std::optional<json::Value> existing = state_.get(key);
+    if (!existing || !(*existing == value)) {
+      set(key, value);
+      ++ops;
+    }
+  }
+  // Keys removed from the live state.
+  for (const std::string& key : state_.keys()) {
+    if (!current.find(key)) {
+      remove(key);
+      ++ops;
+    }
+  }
+  return ops;
+}
+
+void CrdtJson::apply_payload(const json::Value& payload, const Stamp& stamp) {
+  const std::string& type = payload["type"].as_string();
+  const std::string& key = payload["key"].as_string();
+  if (type == "set") {
+    state_.put(key, payload["value"], stamp);
+  } else if (type == "del") {
+    state_.remove(key, stamp);
+  }
+}
+
+std::size_t CrdtJson::applyChanges(const std::vector<Op>& ops) {
+  std::size_t applied = 0;
+  for (const Op& op : ops) {
+    if (op.origin == log_.replica()) continue;  // our own ops echoed back
+    if (log_.seen(op.origin, op.seq)) continue;
+    log_.record(op);
+    apply_payload(op.payload, op.stamp);
+    ++applied;
+  }
+  return applied;
+}
+
+json::Value CrdtJson::materialize() const {
+  json::Object obj;
+  for (const std::string& key : state_.keys()) obj.set(key, *state_.get(key));
+  return json::Value(std::move(obj));
+}
+
+}  // namespace edgstr::crdt

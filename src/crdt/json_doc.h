@@ -1,0 +1,69 @@
+// CRDT-JSON: replicated key/value document for "global variables" (§III-G).
+//
+// Each replicated global variable is one top-level key. Local state changes
+// become LWW put/del ops in the embedded OpLog; the automerge-style API —
+// initialize / getChanges / applyChanges — is what the generated replica
+// code calls.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crdt/change.h"
+#include "crdt/lww.h"
+
+namespace edgstr::crdt {
+
+class CrdtJson {
+ public:
+  explicit CrdtJson(std::string replica_id) : log_(std::move(replica_id)) {}
+
+  const std::string& replica() const { return log_.replica(); }
+
+  /// Seeds the document with a shared snapshot (an object of key->value).
+  /// All replicas must initialize from the same snapshot; the baseline is
+  /// not itself replicated as ops.
+  void initialize(const json::Value& snapshot);
+
+  /// Local write/remove; generates one op.
+  void set(const std::string& key, json::Value value);
+  void remove(const std::string& key);
+
+  std::optional<json::Value> get(const std::string& key) const { return state_.get(key); }
+  std::vector<std::string> keys() const { return state_.keys(); }
+
+  /// Diffs `current` (an object of key->value) against the replicated
+  /// state and emits set/remove ops for every difference. This is the hook
+  /// the generated service code calls after each execution to connect
+  /// "service state changes to CRDT update operations".
+  /// Returns the number of ops generated.
+  std::size_t sync_from(const json::Value& current);
+
+  /// Ops the peer lacks.
+  std::vector<Op> getChanges(const VersionVector& known) const {
+    return log_.changes_since(known);
+  }
+  /// Applies remote ops (idempotent); returns how many were new.
+  std::size_t applyChanges(const std::vector<Op>& ops);
+
+  const VersionVector& version() const { return log_.version(); }
+
+  /// Drops ops all peers have acknowledged (see OpLog::compact).
+  std::size_t compact(const VersionVector& acked) { return log_.compact(acked); }
+  std::size_t op_count() const { return log_.size(); }
+
+  /// Live document as a JSON object.
+  json::Value materialize() const;
+
+  /// Observable-state equality (convergence check).
+  bool converged_with(const CrdtJson& other) const { return state_ == other.state_; }
+
+ private:
+  OpLog log_;
+  LwwMap state_;
+
+  void apply_payload(const json::Value& payload, const Stamp& stamp);
+};
+
+}  // namespace edgstr::crdt

@@ -1,0 +1,77 @@
+// State-based Last-Writer-Wins register and map.
+//
+// These are the foundational convergent types: merge is join (max by
+// stamp), which is commutative, associative, and idempotent — the property
+// suite verifies all three under random interleavings.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crdt/change.h"
+#include "json/value.h"
+
+namespace edgstr::crdt {
+
+/// A single replicated cell resolved by latest Stamp.
+class LwwRegister {
+ public:
+  LwwRegister() = default;
+
+  const json::Value& value() const { return value_; }
+  const Stamp& stamp() const { return stamp_; }
+  bool assigned() const { return stamp_.counter > 0; }
+
+  /// Local write with an explicit stamp (stamps come from the OpLog's
+  /// Lamport clock so cross-replica writes are totally ordered).
+  void set(json::Value value, Stamp stamp);
+
+  /// Join: keeps the entry with the larger stamp.
+  void merge(const LwwRegister& other);
+
+  bool operator==(const LwwRegister& other) const {
+    return value_ == other.value_ && stamp_ == other.stamp_;
+  }
+
+  json::Value to_json() const;
+  static LwwRegister from_json(const json::Value& v);
+
+ private:
+  json::Value value_;
+  Stamp stamp_;
+};
+
+/// Keyed LWW entries with tombstoned removal.
+class LwwMap {
+ public:
+  /// Non-deleted value for a key, if any.
+  std::optional<json::Value> get(const std::string& key) const;
+  bool contains(const std::string& key) const { return get(key).has_value(); }
+
+  void put(const std::string& key, json::Value value, Stamp stamp);
+  void remove(const std::string& key, Stamp stamp);
+
+  /// Join: pointwise LWW merge (delete vs write also resolves by stamp).
+  void merge(const LwwMap& other);
+
+  /// Live (non-tombstoned) keys.
+  std::vector<std::string> keys() const;
+  std::size_t live_size() const { return keys().size(); }
+
+  bool operator==(const LwwMap& other) const;
+
+  json::Value to_json() const;
+  static LwwMap from_json(const json::Value& v);
+
+ private:
+  struct Entry {
+    json::Value value;
+    Stamp stamp;
+    bool deleted = false;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace edgstr::crdt

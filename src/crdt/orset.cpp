@@ -1,0 +1,88 @@
+#include "crdt/orset.h"
+
+namespace edgstr::crdt {
+
+void OrSet::add(const std::string& element, const std::string& replica) {
+  const std::uint64_t n = ++tag_counters_[replica];
+  adds_[element].insert(replica + "#" + std::to_string(n));
+}
+
+void OrSet::remove(const std::string& element) {
+  auto it = adds_.find(element);
+  if (it == adds_.end()) return;
+  for (const std::string& tag : it->second) tombstones_.insert(tag);
+  adds_.erase(it);
+}
+
+bool OrSet::contains(const std::string& element) const {
+  auto it = adds_.find(element);
+  return it != adds_.end() && !it->second.empty();
+}
+
+std::vector<std::string> OrSet::elements() const {
+  std::vector<std::string> out;
+  for (const auto& [element, tags] : adds_) {
+    if (!tags.empty()) out.push_back(element);
+  }
+  return out;
+}
+
+void OrSet::merge(const OrSet& other) {
+  // Union removes.
+  for (const std::string& tag : other.tombstones_) tombstones_.insert(tag);
+  // Union adds, then drop tombstoned tags.
+  for (const auto& [element, tags] : other.adds_) {
+    auto& mine = adds_[element];
+    for (const std::string& tag : tags) mine.insert(tag);
+  }
+  for (auto it = adds_.begin(); it != adds_.end();) {
+    auto& tags = it->second;
+    for (auto tag_it = tags.begin(); tag_it != tags.end();) {
+      if (tombstones_.count(*tag_it)) tag_it = tags.erase(tag_it);
+      else ++tag_it;
+    }
+    if (tags.empty()) it = adds_.erase(it);
+    else ++it;
+  }
+  // Keep tag counters fresh so future local adds stay unique.
+  for (const auto& [replica, counter] : other.tag_counters_) {
+    auto it = tag_counters_.find(replica);
+    if (it == tag_counters_.end() || it->second < counter) tag_counters_[replica] = counter;
+  }
+}
+
+json::Value OrSet::to_json() const {
+  json::Object adds;
+  for (const auto& [element, tags] : adds_) {
+    json::Array arr;
+    for (const std::string& tag : tags) arr.emplace_back(tag);
+    adds.set(element, json::Value(std::move(arr)));
+  }
+  json::Array tombs;
+  for (const std::string& tag : tombstones_) tombs.emplace_back(tag);
+  json::Object counters;
+  for (const auto& [replica, counter] : tag_counters_) {
+    counters.set(replica, static_cast<double>(counter));
+  }
+  return json::Value::object({{"adds", json::Value(std::move(adds))},
+                              {"tombstones", json::Value(std::move(tombs))},
+                              {"counters", json::Value(std::move(counters))}});
+}
+
+OrSet OrSet::from_json(const json::Value& v) {
+  OrSet set;
+  for (const auto& [element, tags] : v["adds"].as_object()) {
+    for (const json::Value& tag : tags.as_array()) {
+      set.adds_[element].insert(tag.as_string());
+    }
+  }
+  for (const json::Value& tag : v["tombstones"].as_array()) {
+    set.tombstones_.insert(tag.as_string());
+  }
+  for (const auto& [replica, counter] : v["counters"].as_object()) {
+    set.tag_counters_[replica] = static_cast<std::uint64_t>(counter.as_number());
+  }
+  return set;
+}
+
+}  // namespace edgstr::crdt

@@ -1,0 +1,44 @@
+// Observed-Remove Set (OR-Set).
+//
+// Add wins over concurrent remove: each add carries a unique tag; remove
+// tombstones only the tags it has observed. Used for replicated collections
+// where concurrent insertion of the same logical element must survive.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "json/value.h"
+
+namespace edgstr::crdt {
+
+class OrSet {
+ public:
+  /// Adds the element with a fresh unique tag (replica + counter).
+  void add(const std::string& element, const std::string& replica);
+
+  /// Removes all currently-observed tags of the element.
+  void remove(const std::string& element);
+
+  bool contains(const std::string& element) const;
+  std::vector<std::string> elements() const;
+  std::size_t size() const { return elements().size(); }
+
+  /// Join: union of adds and removes.
+  void merge(const OrSet& other);
+
+  bool operator==(const OrSet& other) const { return elements() == other.elements(); }
+
+  json::Value to_json() const;
+  static OrSet from_json(const json::Value& v);
+
+ private:
+  // element -> live tags; removed tags move to tombstones_.
+  std::map<std::string, std::set<std::string>> adds_;
+  std::set<std::string> tombstones_;
+  std::map<std::string, std::uint64_t> tag_counters_;  ///< per-replica tag uniqueness
+};
+
+}  // namespace edgstr::crdt

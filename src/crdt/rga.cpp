@@ -1,0 +1,102 @@
+#include "crdt/rga.h"
+
+#include <algorithm>
+
+namespace edgstr::crdt {
+
+Rga::Element* Rga::find(Element& node, const ElementId& id) {
+  if (node.id == id) return &node;
+  for (Element& child : node.children) {
+    if (Element* found = find(child, id)) return found;
+  }
+  return nullptr;
+}
+
+void Rga::apply_insert(const ElementId& anchor, const ElementId& id, json::Value value) {
+  if (known_elements_.count(id.stamp)) return;  // duplicate insert
+  Element* parent = find(root_, anchor);
+  if (!parent) parent = &root_;  // anchor tombstoned & pruned: degrade to front
+  Element element{id, std::move(value), false, {}};
+  // Classic RGA sibling order: descending by id, so a newer insert lands
+  // immediately after its anchor (intention preservation) and every
+  // replica computes the identical order for concurrent inserts.
+  auto it = std::upper_bound(parent->children.begin(), parent->children.end(), element,
+                             [](const Element& a, const Element& b) { return b.id < a.id; });
+  parent->children.insert(it, std::move(element));
+  known_elements_[id.stamp] = true;
+}
+
+void Rga::apply_erase(Element& node, const ElementId& id) {
+  if (Element* element = find(node, id)) element->tombstone = true;
+}
+
+ElementId Rga::insert_after(const ElementId& anchor, json::Value value) {
+  Op op = log_.make_local(json::Value::object(
+      {{"type", "ins"}, {"anchor", anchor.to_json()}, {"value", value}}));
+  log_.record(op);
+  const ElementId id{op.stamp};
+  apply_insert(anchor, id, std::move(value));
+  return id;
+}
+
+ElementId Rga::push_back(json::Value value) {
+  const auto live = entries();
+  const ElementId anchor = live.empty() ? ElementId::head() : live.back().first;
+  return insert_after(anchor, std::move(value));
+}
+
+void Rga::erase(const ElementId& id) {
+  Op op = log_.make_local(json::Value::object({{"type", "del"}, {"id", id.to_json()}}));
+  log_.record(op);
+  apply_erase(root_, id);
+}
+
+void Rga::collect(const Element& node,
+                  std::vector<std::pair<ElementId, json::Value>>& out) const {
+  if (!node.tombstone) out.emplace_back(node.id, node.value);
+  for (const Element& child : node.children) collect(child, out);
+}
+
+std::vector<std::pair<ElementId, json::Value>> Rga::entries() const {
+  std::vector<std::pair<ElementId, json::Value>> out;
+  collect(root_, out);
+  return out;
+}
+
+std::vector<json::Value> Rga::values() const {
+  std::vector<json::Value> out;
+  for (const auto& [id, value] : entries()) out.push_back(value);
+  return out;
+}
+
+std::size_t Rga::size() const { return entries().size(); }
+
+void Rga::apply_payload(const Op& op) {
+  const std::string& type = op.payload["type"].as_string();
+  if (type == "ins") {
+    apply_insert(ElementId::from_json(op.payload["anchor"]), ElementId{op.stamp},
+                 op.payload["value"]);
+  } else if (type == "del") {
+    apply_erase(root_, ElementId::from_json(op.payload["id"]));
+  }
+}
+
+std::size_t Rga::applyChanges(const std::vector<Op>& ops) {
+  std::size_t applied = 0;
+  for (const Op& op : ops) {
+    if (op.origin == log_.replica()) continue;
+    if (log_.seen(op.origin, op.seq)) continue;
+    log_.record(op);
+    apply_payload(op);
+    ++applied;
+  }
+  return applied;
+}
+
+json::Value Rga::to_json() const {
+  json::Array arr;
+  for (const json::Value& v : values()) arr.push_back(v);
+  return json::Value(std::move(arr));
+}
+
+}  // namespace edgstr::crdt

@@ -1,0 +1,92 @@
+// Replicated Growable Array (RGA): a list CRDT.
+//
+// Automerge — the CRDT library EdgStr delegates to — merges lists and text
+// with an RGA-family algorithm: every element carries a unique id, inserts
+// anchor after the id of their left neighbour, deletes tombstone. Merge of
+// any two replicas is conflict-free: concurrent inserts after the same
+// anchor order by (stamp, replica), which is identical on every replica.
+//
+// The sync engine uses the RGA for append-merge files (see crdt/files.h);
+// it is also exposed directly as a building block for list-valued state.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crdt/change.h"
+#include "json/value.h"
+
+namespace edgstr::crdt {
+
+/// Unique element identifier: the stamp of the insert op.
+struct ElementId {
+  Stamp stamp;
+
+  bool is_head() const { return stamp.counter == 0 && stamp.replica.empty(); }
+  bool operator<(const ElementId& other) const { return stamp < other.stamp; }
+  bool operator==(const ElementId& other) const { return stamp == other.stamp; }
+
+  static ElementId head() { return ElementId{}; }
+  json::Value to_json() const { return stamp.to_json(); }
+  static ElementId from_json(const json::Value& v) { return ElementId{Stamp::from_json(v)}; }
+};
+
+class Rga {
+ public:
+  explicit Rga(std::string replica_id) : log_(std::move(replica_id)) {}
+
+  const std::string& replica() const { return log_.replica(); }
+
+  /// Inserts `value` after the element `anchor` (ElementId::head() for the
+  /// front). Returns the new element's id.
+  ElementId insert_after(const ElementId& anchor, json::Value value);
+
+  /// Appends at the logical end.
+  ElementId push_back(json::Value value);
+
+  /// Tombstones an element. Idempotent; unknown ids are ignored.
+  void erase(const ElementId& id);
+
+  /// Live elements, in list order.
+  std::vector<json::Value> values() const;
+  /// Live (id, value) pairs in list order.
+  std::vector<std::pair<ElementId, json::Value>> entries() const;
+  std::size_t size() const;
+
+  std::vector<Op> getChanges(const VersionVector& known) const {
+    return log_.changes_since(known);
+  }
+  std::size_t applyChanges(const std::vector<Op>& ops);
+
+  const VersionVector& version() const { return log_.version(); }
+
+  /// Drops ops all peers have acknowledged (see OpLog::compact).
+  std::size_t compact(const VersionVector& acked) { return log_.compact(acked); }
+  std::size_t op_count() const { return log_.size(); }
+
+  bool converged_with(const Rga& other) const { return values() == other.values(); }
+
+  json::Value to_json() const;  ///< live values as a JSON array
+
+ private:
+  struct Element {
+    ElementId id;
+    json::Value value;
+    bool tombstone = false;
+    std::vector<Element> children;  ///< inserts anchored at this element
+  };
+
+  OpLog log_;
+  Element root_{ElementId::head(), json::Value(), true, {}};
+  std::map<Stamp, bool> known_elements_;  ///< insert dedup by element stamp
+
+  Element* find(Element& node, const ElementId& id);
+  void apply_insert(const ElementId& anchor, const ElementId& id, json::Value value);
+  void apply_erase(Element& node, const ElementId& id);
+  void collect(const Element& node, std::vector<std::pair<ElementId, json::Value>>& out) const;
+  void apply_payload(const Op& op);
+};
+
+}  // namespace edgstr::crdt

@@ -1,0 +1,155 @@
+#include "crdt/table.h"
+
+#include <stdexcept>
+
+namespace edgstr::crdt {
+
+namespace {
+
+json::Value cells_to_json(const std::vector<sqldb::SqlValue>& cells) {
+  json::Array arr;
+  arr.reserve(cells.size());
+  for (const sqldb::SqlValue& cell : cells) arr.push_back(cell.to_json());
+  return json::Value(std::move(arr));
+}
+
+std::vector<sqldb::SqlValue> cells_from_json(const json::Value& v) {
+  std::vector<sqldb::SqlValue> cells;
+  cells.reserve(v.as_array().size());
+  for (const json::Value& cell : v.as_array()) cells.push_back(sqldb::SqlValue::from_json(cell));
+  return cells;
+}
+
+}  // namespace
+
+CrdtTable::CrdtTable(std::string replica_id, sqldb::Database* db)
+    : log_(std::move(replica_id)), db_(db) {
+  if (!db_) throw std::invalid_argument("CrdtTable: null database");
+}
+
+void CrdtTable::initialize(const json::Value& db_snapshot) {
+  db_->restore(db_snapshot);
+  attach_existing();
+}
+
+void CrdtTable::attach_existing() {
+  for (const std::string& table : db_->table_names()) {
+    for (const sqldb::Row& row : db_->table(table).rows()) {
+      const std::string key = "init:" + table + ":" + std::to_string(row.rid);
+      key_to_rid_[key] = row.rid;
+      rid_to_key_[table][row.rid] = key;
+      rows_.put(key,
+                json::Value::object({{"table", table}, {"cells", cells_to_json(row.cells)}}),
+                Stamp{0, ""});
+    }
+  }
+}
+
+std::string CrdtTable::key_for(const std::string& table, std::uint64_t rid) {
+  auto table_it = rid_to_key_.find(table);
+  if (table_it != rid_to_key_.end()) {
+    auto it = table_it->second.find(rid);
+    if (it != table_it->second.end()) return it->second;
+  }
+  // Locally-originated row: mint a globally unique key.
+  const std::string key = log_.replica() + ":" + table + ":" + std::to_string(rid);
+  key_to_rid_[key] = rid;
+  rid_to_key_[table][rid] = key;
+  return key;
+}
+
+std::size_t CrdtTable::record_local_mutations() {
+  std::size_t count = 0;
+  for (const sqldb::RowMutation& m : db_->drain_mutations()) {
+    const std::string key = key_for(m.table, m.rid);
+    json::Value payload;
+    if (m.kind == sqldb::RowMutation::Kind::kDelete) {
+      payload = json::Value::object({{"type", "del"}, {"key", key}, {"table", m.table}});
+    } else {
+      payload = json::Value::object({{"type", "put"},
+                                     {"key", key},
+                                     {"table", m.table},
+                                     {"cells", cells_to_json(m.cells)}});
+    }
+    Op op = log_.make_local(std::move(payload));
+    log_.record(op);
+    if (op.payload["type"].as_string() == "del") {
+      rows_.remove(key, op.stamp);
+      // Local DB already reflects the delete.
+      auto rid_it = key_to_rid_.find(key);
+      if (rid_it != key_to_rid_.end()) {
+        rid_to_key_[m.table].erase(rid_it->second);
+        key_to_rid_.erase(rid_it);
+      }
+    } else {
+      rows_.put(key, op.payload, op.stamp);
+    }
+    ++count;
+  }
+  return count;
+}
+
+void CrdtTable::materialize(const std::string& key) {
+  const std::optional<json::Value> row = rows_.get(key);
+  if (!row) {
+    // Deleted: remove the local row if we track it.
+    auto it = key_to_rid_.find(key);
+    if (it != key_to_rid_.end()) {
+      // Table name is embedded in the key between the first and last ':'.
+      // We stored it in rid_to_key_, so scan; cheap at our scale.
+      for (auto& [table, rid_map] : rid_to_key_) {
+        auto rid_it = rid_map.find(it->second);
+        if (rid_it != rid_map.end() && rid_it->second == key) {
+          if (db_->has_table(table)) {
+            const std::uint64_t rid = it->second;
+            db_->table(table).delete_where(
+                [rid](const sqldb::Row& r) { return r.rid == rid; });
+          }
+          rid_map.erase(rid_it);
+          break;
+        }
+      }
+      key_to_rid_.erase(it);
+    }
+    return;
+  }
+  const std::string& table = (*row)["table"].as_string();
+  if (!db_->has_table(table)) return;  // schema not present locally
+  std::vector<sqldb::SqlValue> cells = cells_from_json((*row)["cells"]);
+
+  auto it = key_to_rid_.find(key);
+  if (it != key_to_rid_.end()) {
+    if (sqldb::Row* local = db_->table(table).find(it->second)) {
+      local->cells = std::move(cells);
+      return;
+    }
+    // Row vanished locally (shouldn't happen); fall through to re-insert.
+  }
+  const std::uint64_t rid = db_->table(table).insert(std::move(cells));
+  key_to_rid_[key] = rid;
+  rid_to_key_[table][rid] = key;
+}
+
+std::size_t CrdtTable::applyChanges(const std::vector<Op>& ops) {
+  std::size_t applied = 0;
+  for (const Op& op : ops) {
+    if (op.origin == log_.replica()) continue;
+    if (log_.seen(op.origin, op.seq)) continue;
+    log_.record(op);
+    const std::string& type = op.payload["type"].as_string();
+    const std::string& key = op.payload["key"].as_string();
+    if (type == "del") {
+      rows_.remove(key, op.stamp);
+    } else {
+      rows_.put(key, op.payload, op.stamp);
+    }
+    materialize(key);
+    ++applied;
+  }
+  // Note: materialize() writes through the Table API, which bypasses the
+  // Database mutation log, so replicated rows are never re-broadcast as
+  // local edits.
+  return applied;
+}
+
+}  // namespace edgstr::crdt

@@ -1,0 +1,56 @@
+#include "crdt/vector_clock.h"
+
+namespace edgstr::crdt {
+
+std::uint64_t VectorClock::get(const std::string& replica) const {
+  auto it = clock_.find(replica);
+  return it == clock_.end() ? 0 : it->second;
+}
+
+void VectorClock::set(const std::string& replica, std::uint64_t value) {
+  clock_[replica] = value;
+}
+
+std::uint64_t VectorClock::increment(const std::string& replica) { return ++clock_[replica]; }
+
+void VectorClock::merge(const VectorClock& other) {
+  for (const auto& [replica, value] : other.clock_) {
+    auto it = clock_.find(replica);
+    if (it == clock_.end() || it->second < value) clock_[replica] = value;
+  }
+}
+
+Ordering VectorClock::compare(const VectorClock& other) const {
+  bool less = false;    // some component strictly smaller
+  bool greater = false;
+
+  auto scan = [&](const VectorClock& a, const VectorClock& b, bool& a_greater) {
+    for (const auto& [replica, value] : a.clock_) {
+      const std::uint64_t bv = b.get(replica);
+      if (value > bv) a_greater = true;
+    }
+  };
+  scan(*this, other, greater);
+  scan(other, *this, less);
+
+  if (less && greater) return Ordering::kConcurrent;
+  if (greater) return Ordering::kAfter;
+  if (less) return Ordering::kBefore;
+  return Ordering::kEqual;
+}
+
+json::Value VectorClock::to_json() const {
+  json::Object obj;
+  for (const auto& [replica, value] : clock_) obj.set(replica, static_cast<double>(value));
+  return json::Value(std::move(obj));
+}
+
+VectorClock VectorClock::from_json(const json::Value& v) {
+  VectorClock clock;
+  for (const auto& [replica, value] : v.as_object()) {
+    clock.set(replica, static_cast<std::uint64_t>(value.as_number()));
+  }
+  return clock;
+}
+
+}  // namespace edgstr::crdt

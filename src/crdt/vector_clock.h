@@ -1,0 +1,43 @@
+// Vector clocks: causality tracking across replicas.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "json/value.h"
+
+namespace edgstr::crdt {
+
+enum class Ordering { kBefore, kAfter, kEqual, kConcurrent };
+
+/// Classic vector clock keyed by replica id.
+class VectorClock {
+ public:
+  std::uint64_t get(const std::string& replica) const;
+  void set(const std::string& replica, std::uint64_t value);
+  /// Bumps this replica's component by one and returns the new value.
+  std::uint64_t increment(const std::string& replica);
+  /// Pointwise maximum.
+  void merge(const VectorClock& other);
+
+  Ordering compare(const VectorClock& other) const;
+  bool dominates(const VectorClock& other) const {
+    const Ordering o = compare(other);
+    return o == Ordering::kAfter || o == Ordering::kEqual;
+  }
+  bool concurrent_with(const VectorClock& other) const {
+    return compare(other) == Ordering::kConcurrent;
+  }
+
+  const std::map<std::string, std::uint64_t>& components() const { return clock_; }
+  bool operator==(const VectorClock& other) const { return clock_ == other.clock_; }
+
+  json::Value to_json() const;
+  static VectorClock from_json(const json::Value& v);
+
+ private:
+  std::map<std::string, std::uint64_t> clock_;
+};
+
+}  // namespace edgstr::crdt

@@ -1,0 +1,157 @@
+#include "datalog/engine.h"
+
+#include <stdexcept>
+
+namespace edgstr::datalog {
+
+bool Engine::add_fact(const std::string& predicate, Fact fact) {
+  return facts_[predicate].insert(std::move(fact)).second;
+}
+
+void Engine::add_rule(Rule rule) {
+  if (rule.head.terms.empty()) throw std::invalid_argument("rule head needs terms");
+  for (const Term& t : rule.head.terms) {
+    if (t.is_var()) {
+      bool bound = false;
+      for (const Atom& b : rule.body) {
+        for (const Term& bt : b.terms) {
+          if (bt.is_var() && bt.var_name() == t.var_name()) bound = true;
+        }
+      }
+      if (!bound) {
+        throw std::invalid_argument("unsafe rule: head variable '" + t.var_name() +
+                                    "' not bound in body: " + rule.to_string());
+      }
+    }
+  }
+  rules_.push_back(std::move(rule));
+}
+
+std::optional<Bindings> Engine::unify(const Atom& pattern, const Fact& fact,
+                                      const Bindings& bindings) {
+  if (pattern.terms.size() != fact.size()) return std::nullopt;
+  Bindings extended = bindings;
+  for (std::size_t i = 0; i < fact.size(); ++i) {
+    const Term& t = pattern.terms[i];
+    if (t.is_var()) {
+      auto it = extended.find(t.var_name());
+      if (it == extended.end()) {
+        extended.emplace(t.var_name(), fact[i]);
+      } else if (!(it->second == fact[i])) {
+        return std::nullopt;
+      }
+    } else if (!(t.value() == fact[i])) {
+      return std::nullopt;
+    }
+  }
+  return extended;
+}
+
+void Engine::join(const std::vector<Atom>& body, std::size_t i, const Bindings& bindings,
+                  const std::map<std::string, std::set<Fact>>* delta,
+                  std::optional<std::size_t> delta_index, const std::vector<Disequality>& diseq,
+                  std::vector<Bindings>& out) const {
+  if (i == body.size()) {
+    for (const Disequality& d : diseq) {
+      auto l = bindings.find(d.left);
+      auto r = bindings.find(d.right);
+      if (l != bindings.end() && r != bindings.end() && l->second == r->second) return;
+    }
+    out.push_back(bindings);
+    return;
+  }
+  const Atom& a = body[i];
+  const std::set<Fact>* source = nullptr;
+  if (delta_index && *delta_index == i) {
+    if (delta) {
+      auto it = delta->find(a.predicate);
+      if (it == delta->end()) return;
+      source = &it->second;
+    }
+  } else {
+    auto it = facts_.find(a.predicate);
+    if (it == facts_.end()) return;
+    source = &it->second;
+  }
+  for (const Fact& fact : *source) {
+    if (auto extended = unify(a, fact, bindings)) {
+      join(body, i + 1, *extended, delta, delta_index, diseq, out);
+    }
+  }
+}
+
+void Engine::run() {
+  // Round 0: naive pass over all rules to seed the delta.
+  std::map<std::string, std::set<Fact>> delta;
+  for (const Rule& rule : rules_) {
+    std::vector<Bindings> results;
+    join(rule.body, 0, {}, nullptr, std::nullopt, rule.diseq, results);
+    for (const Bindings& b : results) {
+      Fact fact;
+      fact.reserve(rule.head.terms.size());
+      for (const Term& t : rule.head.terms) {
+        fact.push_back(t.is_var() ? b.at(t.var_name()) : t.value());
+      }
+      if (add_fact(rule.head.predicate, fact)) delta[rule.head.predicate].insert(fact);
+    }
+  }
+
+  // Semi-naive rounds: each body atom in turn is restricted to the delta.
+  while (!delta.empty()) {
+    std::map<std::string, std::set<Fact>> next_delta;
+    for (const Rule& rule : rules_) {
+      for (std::size_t pos = 0; pos < rule.body.size(); ++pos) {
+        if (!delta.count(rule.body[pos].predicate)) continue;
+        std::vector<Bindings> results;
+        join(rule.body, 0, {}, &delta, pos, rule.diseq, results);
+        for (const Bindings& b : results) {
+          Fact fact;
+          fact.reserve(rule.head.terms.size());
+          for (const Term& t : rule.head.terms) {
+            fact.push_back(t.is_var() ? b.at(t.var_name()) : t.value());
+          }
+          if (add_fact(rule.head.predicate, fact)) next_delta[rule.head.predicate].insert(fact);
+        }
+      }
+    }
+    delta = std::move(next_delta);
+  }
+}
+
+const std::set<Fact>& Engine::facts(const std::string& predicate) const {
+  static const std::set<Fact> kEmpty;
+  auto it = facts_.find(predicate);
+  return it == facts_.end() ? kEmpty : it->second;
+}
+
+bool Engine::holds(const std::string& predicate, const Fact& fact) const {
+  auto it = facts_.find(predicate);
+  return it != facts_.end() && it->second.count(fact) > 0;
+}
+
+std::vector<Bindings> Engine::query(const Atom& pattern) const {
+  std::vector<Bindings> out;
+  join({pattern}, 0, {}, nullptr, std::nullopt, {}, out);
+  return out;
+}
+
+std::vector<Bindings> Engine::query_all(const std::vector<Atom>& pattern) const {
+  std::vector<Bindings> out;
+  join(pattern, 0, {}, nullptr, std::nullopt, {}, out);
+  return out;
+}
+
+std::size_t Engine::fact_count() const {
+  std::size_t total = 0;
+  for (const auto& [pred, facts] : facts_) total += facts.size();
+  return total;
+}
+
+std::vector<std::string> Engine::predicates() const {
+  std::vector<std::string> out;
+  out.reserve(facts_.size());
+  for (const auto& [pred, facts] : facts_) out.push_back(pred);
+  return out;
+}
+
+}  // namespace edgstr::datalog

@@ -1,0 +1,68 @@
+// Bottom-up Datalog evaluation engine (semi-naive).
+//
+// Scale note: the statement universes involved (one service handler plus
+// its callees) are hundreds of statements, so the engine favours clarity
+// over asymptotics while still implementing proper semi-naive iteration —
+// each round joins only against the facts newly derived in the previous
+// round, so transitive closures converge in O(paths), not O(rounds*facts).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datalog/term.h"
+
+namespace edgstr::datalog {
+
+/// Variable bindings produced by a query.
+using Bindings = std::map<std::string, Value>;
+
+class Engine {
+ public:
+  /// Asserts one ground fact. Returns false if it was already present.
+  bool add_fact(const std::string& predicate, Fact fact);
+
+  /// Registers a rule. Rules added after run() require a re-run.
+  void add_rule(Rule rule);
+
+  /// Evaluates all rules to fixpoint (semi-naive).
+  void run();
+
+  /// All facts of a predicate.
+  const std::set<Fact>& facts(const std::string& predicate) const;
+
+  /// True if the ground atom holds.
+  bool holds(const std::string& predicate, const Fact& fact) const;
+
+  /// Finds every binding of the pattern's variables against the database.
+  /// Ground terms in the pattern filter; variables bind.
+  std::vector<Bindings> query(const Atom& pattern) const;
+
+  /// Multi-atom conjunctive query with shared variables.
+  std::vector<Bindings> query_all(const std::vector<Atom>& pattern) const;
+
+  std::size_t fact_count() const;
+  std::size_t predicate_count() const { return facts_.size(); }
+  std::vector<std::string> predicates() const;
+
+ private:
+  std::map<std::string, std::set<Fact>> facts_;
+  std::vector<Rule> rules_;
+
+  /// Attempts to unify a pattern atom against a fact under `bindings`;
+  /// returns the extended bindings on success.
+  static std::optional<Bindings> unify(const Atom& pattern, const Fact& fact,
+                                       const Bindings& bindings);
+
+  /// Enumerates all bindings satisfying body[i..] given current bindings;
+  /// `delta_index`, if set, forces that body position to match only facts
+  /// from `delta` (semi-naive restriction).
+  void join(const std::vector<Atom>& body, std::size_t i, const Bindings& bindings,
+            const std::map<std::string, std::set<Fact>>* delta, std::optional<std::size_t> delta_index,
+            const std::vector<Disequality>& diseq, std::vector<Bindings>& out) const;
+};
+
+}  // namespace edgstr::datalog

@@ -1,0 +1,44 @@
+#include "datalog/term.h"
+
+namespace edgstr::datalog {
+
+Term Term::var(std::string name) {
+  Term t;
+  t.is_var_ = true;
+  t.name_ = std::move(name);
+  return t;
+}
+
+Term Term::val(Value value) {
+  Term t;
+  t.is_var_ = false;
+  t.value_ = std::move(value);
+  return t;
+}
+
+Atom atom(std::string predicate, std::vector<Term> terms) {
+  return Atom{std::move(predicate), std::move(terms)};
+}
+
+std::string Atom::to_string() const {
+  std::string out = predicate + "(";
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (i) out += ", ";
+    out += terms[i].to_string();
+  }
+  return out + ")";
+}
+
+std::string Rule::to_string() const {
+  std::string out = head.to_string() + " :- ";
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (i) out += ", ";
+    out += body[i].to_string();
+  }
+  for (const Disequality& d : diseq) {
+    out += ", " + d.left + " != " + d.right;
+  }
+  return out + ".";
+}
+
+}  // namespace edgstr::datalog

@@ -1,0 +1,97 @@
+// Datalog terms, atoms, facts, and rules.
+//
+// EdgStr expresses its dependence analysis declaratively (§III-E): MiniJS
+// statements become facts (RW-LOG, ACTUAL, POST-DOM, ...) and the analysis
+// rules (STMT-UNMAR, STMT-MAR, STMT-DEP with transitive closure) become
+// Datalog rules evaluated bottom-up.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace edgstr::datalog {
+
+/// A ground value: integer or symbol (interned string).
+class Value {
+ public:
+  Value() : data_(std::int64_t{0}) {}
+  Value(std::int64_t i) : data_(i) {}
+  Value(int i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(const char* s) : data_(std::string(s)) {}
+
+  bool is_int() const { return std::holds_alternative<std::int64_t>(data_); }
+  bool is_symbol() const { return std::holds_alternative<std::string>(data_); }
+  std::int64_t as_int() const { return std::get<std::int64_t>(data_); }
+  const std::string& as_symbol() const { return std::get<std::string>(data_); }
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator<(const Value& other) const { return data_ < other.data_; }
+
+  std::string to_string() const {
+    return is_int() ? std::to_string(as_int()) : "'" + as_symbol() + "'";
+  }
+
+ private:
+  std::variant<std::int64_t, std::string> data_;
+};
+
+/// A term: either a variable (by name) or a ground value.
+class Term {
+ public:
+  /// Variable term, e.g. Term::var("S1").
+  static Term var(std::string name);
+  /// Constant term.
+  static Term val(Value value);
+  static Term val(std::int64_t i) { return val(Value(i)); }
+  static Term val(std::string s) { return val(Value(std::move(s))); }
+
+  bool is_var() const { return is_var_; }
+  const std::string& var_name() const { return name_; }
+  const Value& value() const { return value_; }
+
+  std::string to_string() const { return is_var_ ? name_ : value_.to_string(); }
+
+ private:
+  bool is_var_ = false;
+  std::string name_;
+  Value value_;
+};
+
+/// A ground tuple for one predicate.
+using Fact = std::vector<Value>;
+
+/// predicate(t1, ..., tn), possibly with variables.
+struct Atom {
+  std::string predicate;
+  std::vector<Term> terms;
+
+  std::string to_string() const;
+};
+
+/// Inequality side-constraint between two body variables: X != Y.
+struct Disequality {
+  std::string left;
+  std::string right;
+};
+
+/// head :- body[0], ..., body[k], diseq constraints.
+struct Rule {
+  Atom head;
+  std::vector<Atom> body;
+  std::vector<Disequality> diseq;
+
+  std::string to_string() const;
+};
+
+// Convenience builders.
+inline Term V(std::string name) { return Term::var(std::move(name)); }
+inline Term C(std::int64_t i) { return Term::val(i); }
+inline Term C(std::string s) { return Term::val(std::move(s)); }
+inline Term C(const char* s) { return Term::val(std::string(s)); }
+
+Atom atom(std::string predicate, std::vector<Term> terms);
+
+}  // namespace edgstr::datalog

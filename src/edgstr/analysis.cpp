@@ -1,0 +1,49 @@
+#include "edgstr/analysis.h"
+
+#include <set>
+
+#include "minijs/printer.h"
+
+namespace edgstr::core {
+
+ConsistencyAdvisor accept_all_advisor() {
+  return [](const ServiceStateInfo&) { return true; };
+}
+
+ServiceStateInfo summarize_state(const minijs::Program& program,
+                                 const refactor::ExtractionPlan& plan,
+                                 const trace::FuzzReport& report) {
+  ServiceStateInfo info;
+  info.route = plan.route;
+  info.stateful = plan.is_stateful();
+  info.mutated_tables.assign(plan.mutated_tables.begin(), plan.mutated_tables.end());
+  info.mutated_files.assign(plan.mutated_files.begin(), plan.mutated_files.end());
+  info.mutated_globals.assign(plan.mutated_globals.begin(), plan.mutated_globals.end());
+
+  // Source statements performing the mutations: SQL-mutation statements,
+  // file-write statements, and writes to replicated globals.
+  std::set<int> stmt_ids;
+  for (const trace::FuzzRun& run : report.runs) {
+    for (const trace::SqlEvent& e : run.sql_events) {
+      if (e.mutation) stmt_ids.insert(e.stmt_id);
+    }
+    for (const trace::FileEvent& e : run.file_events) {
+      if (e.write) stmt_ids.insert(e.stmt_id);
+    }
+    for (const trace::RwEvent& e : run.events) {
+      if (e.kind == trace::RwEvent::Kind::kWrite && plan.mutated_globals.count(e.name)) {
+        stmt_ids.insert(e.stmt_id);
+      }
+    }
+  }
+  for (const int id : stmt_ids) {
+    if (const minijs::StmtPtr stmt = minijs::find_statement(program, id)) {
+      std::string text = minijs::print_stmt(stmt, 0);
+      while (!text.empty() && text.back() == '\n') text.pop_back();
+      info.mutation_statements.push_back("s" + std::to_string(id) + ": " + text);
+    }
+  }
+  return info;
+}
+
+}  // namespace edgstr::core

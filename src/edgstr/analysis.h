@@ -1,0 +1,52 @@
+// Per-service analysis artifacts and the developer-consultation step.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "refactor/codegen.h"
+#include "refactor/dependence.h"
+
+namespace edgstr::core {
+
+/// The isolated-state information EdgStr presents to the programmer
+/// (§III-D): which state units the service mutates, pinned to the source
+/// statements that mutate them. The programmer decides whether eventual
+/// consistency is acceptable for this state.
+struct ServiceStateInfo {
+  http::Route route;
+  bool stateful = false;
+  std::vector<std::string> mutated_tables;
+  std::vector<std::string> mutated_files;
+  std::vector<std::string> mutated_globals;
+  /// Source statements (pretty-printed) that perform the mutations.
+  std::vector<std::string> mutation_statements;
+};
+
+/// The Consult Developer step: return true iff eventual consistency is
+/// congruent with this service's requirements. The default advisor accepts
+/// everything (the paper's subject services all tolerate it).
+using ConsistencyAdvisor = std::function<bool(const ServiceStateInfo&)>;
+
+ConsistencyAdvisor accept_all_advisor();
+
+/// One service's complete analysis output.
+struct ServiceAnalysis {
+  http::Route route;
+  bool replicable = false;       ///< analysis succeeded AND advisor accepted
+  bool advisor_rejected = false;
+  std::string failure_reason;
+  trace::FuzzReport fuzz_report;
+  refactor::ExtractionPlan plan;
+  refactor::ExtractedFunction function;
+  ServiceStateInfo state_info;
+  double mean_compute_units = 0;  ///< profiled CPU cost per execution
+};
+
+/// Builds the state-info summary from a plan + the (normalized) program.
+ServiceStateInfo summarize_state(const minijs::Program& program,
+                                 const refactor::ExtractionPlan& plan,
+                                 const trace::FuzzReport& report);
+
+}  // namespace edgstr::core

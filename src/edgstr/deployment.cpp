@@ -1,0 +1,109 @@
+#include "edgstr/deployment.h"
+
+namespace edgstr::core {
+
+std::string edge_host(std::size_t i) { return "edge" + std::to_string(i); }
+
+TwoTierDeployment::TwoTierDeployment(const std::string& cloud_source,
+                                     const DeploymentConfig& config)
+    : network_(config.seed) {
+  cloud_ = std::make_unique<runtime::Node>(network_.clock(), config.cloud_device.spec(kCloudHost));
+  cloud_->host(std::make_unique<runtime::ServiceRuntime>(cloud_source));
+  network_.connect(kClientHost, kCloudHost, config.wan);
+  path_ = std::make_unique<runtime::TwoTierPath>(network_, kClientHost, *cloud_);
+}
+
+http::HttpResponse TwoTierDeployment::request_sync(const http::HttpRequest& req,
+                                                   double* latency_s) {
+  http::HttpResponse out;
+  bool done = false;
+  path_->request(req, [&](http::HttpResponse resp, double latency) {
+    out = std::move(resp);
+    if (latency_s) *latency_s = latency;
+    done = true;
+  });
+  while (!done && network_.clock().step()) {
+  }
+  return out;
+}
+
+ThreeTierDeployment::ThreeTierDeployment(const TransformResult& transform,
+                                         const DeploymentConfig& config)
+    : network_(config.seed) {
+  if (!transform.ok) throw std::invalid_argument("ThreeTierDeployment: transform failed");
+
+  // ---- cloud master -------------------------------------------------------
+  cloud_ = std::make_unique<runtime::Node>(network_.clock(), config.cloud_device.spec(kCloudHost));
+  cloud_->host(std::make_unique<runtime::ServiceRuntime>(transform.cloud_source));
+  network_.connect(kClientHost, kCloudHost, config.wan);
+
+  cloud_state_ = std::make_shared<runtime::ReplicaState>(
+      "cloud", cloud_->service(), transform.replicated_files, transform.replicated_globals);
+  cloud_state_->attach_existing();
+
+  sync_ = std::make_unique<runtime::SyncEngine>(network_, kCloudHost);
+  sync_->set_cloud(cloud_state_);
+
+  for (const http::Route& route : transform.replica.served_routes()) {
+    served_routes_.insert(route);
+  }
+
+  // ---- edge replicas ------------------------------------------------------
+  for (std::size_t i = 0; i < config.edge_devices.size(); ++i) {
+    const std::string host = edge_host(i);
+    auto node = std::make_unique<runtime::Node>(network_.clock(),
+                                                config.edge_devices[i].spec(host));
+    auto service = std::make_unique<runtime::ServiceRuntime>(transform.replica.source);
+    auto state = std::make_shared<runtime::ReplicaState>(
+        host, service.get(), transform.replicated_files, transform.replicated_globals);
+    state->initialize_from_snapshot(transform.init_snapshot);
+    node->host(std::move(service));
+
+    network_.connect(kClientHost, host, config.lan);
+    network_.connect(host, kCloudHost, config.wan);
+    sync_->add_edge(host, state);
+
+    proxies_.push_back(std::make_unique<runtime::EdgeProxy>(
+        network_, kClientHost, *node, *cloud_, served_routes_, state.get(),
+        cloud_state_.get()));
+    edge_states_.push_back(std::move(state));
+    edges_.push_back(std::move(node));
+  }
+
+  // ---- cluster management -------------------------------------------------
+  std::vector<runtime::Node*> node_ptrs;
+  for (const auto& node : edges_) node_ptrs.push_back(node.get());
+  balancer_ = std::make_unique<cluster::LoadBalancer>(node_ptrs);
+  gateway_ = std::make_unique<cluster::ClusterGateway>(network_, kClientHost, *balancer_, *cloud_,
+                                                       served_routes_);
+  std::vector<runtime::ReplicaState*> state_ptrs;
+  for (const auto& state : edge_states_) state_ptrs.push_back(state.get());
+  gateway_->set_sync_states(state_ptrs);
+  autoscaler_ = std::make_unique<cluster::AutoScaler>(*balancer_);
+  energy_meter_ = std::make_unique<cluster::EnergyMeter>(node_ptrs);
+
+  if (config.start_sync) sync_->start(config.sync_interval_s);
+}
+
+http::HttpResponse ThreeTierDeployment::request_sync(const http::HttpRequest& req,
+                                                     std::size_t edge_index, double* latency_s) {
+  http::HttpResponse out;
+  bool done = false;
+  proxies_.at(edge_index)->request(req, [&](http::HttpResponse resp, double latency) {
+    out = std::move(resp);
+    if (latency_s) *latency_s = latency;
+    done = true;
+  });
+  while (!done && network_.clock().step()) {
+  }
+  return out;
+}
+
+bool ThreeTierDeployment::converged() {
+  for (const auto& edge : edge_states_) {
+    if (!edge->converged_with(*cloud_state_)) return false;
+  }
+  return true;
+}
+
+}  // namespace edgstr::core

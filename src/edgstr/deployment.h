@@ -1,0 +1,107 @@
+// Deployment builders: stand up the simulated two-tier baseline and the
+// EdgStr three-tier topology from a TransformResult.
+//
+// Three-tier topology (Figure 5-(b) / Figure 6-(a)):
+//
+//   client ==LAN== edge0..k (replica runtimes, RPI devices)
+//   client --WAN-- cloud    (fallback path when no edge is active)
+//   edge_i --WAN-- cloud    (forwarding + CRDT sync channels)
+//
+// The builder wires every replica's state into the SyncEngine, initializes
+// the replicas from the filtered cloud snapshot, and attaches the cloud
+// master's live state as the CRDT baseline.
+#pragma once
+
+#include <memory>
+
+#include "cluster/autoscaler.h"
+#include "cluster/balancer.h"
+#include "cluster/device.h"
+#include "cluster/energy.h"
+#include "edgstr/pipeline.h"
+#include "runtime/proxy.h"
+
+namespace edgstr::core {
+
+struct DeploymentConfig {
+  netsim::LinkConfig wan = netsim::LinkConfig::limited_wan();
+  netsim::LinkConfig lan = netsim::LinkConfig::lan();
+  cluster::DeviceProfile cloud_device = cluster::DeviceProfile::optiplex5050();
+  std::vector<cluster::DeviceProfile> edge_devices = {cluster::DeviceProfile::rpi4()};
+  double sync_interval_s = 0.5;   ///< background sync period
+  bool start_sync = true;
+  std::uint64_t seed = 42;
+};
+
+/// The original client-cloud deployment (baseline in every benchmark).
+class TwoTierDeployment {
+ public:
+  TwoTierDeployment(const std::string& cloud_source, const DeploymentConfig& config);
+
+  netsim::Network& network() { return network_; }
+  runtime::Node& cloud() { return *cloud_; }
+  runtime::TwoTierPath& path() { return *path_; }
+
+  /// Issues a request and runs the clock until it completes; returns the
+  /// response and fills `latency_s`.
+  http::HttpResponse request_sync(const http::HttpRequest& req, double* latency_s = nullptr);
+
+ private:
+  netsim::Network network_;
+  std::unique_ptr<runtime::Node> cloud_;
+  std::unique_ptr<runtime::TwoTierPath> path_;
+};
+
+/// The EdgStr client-edge-cloud deployment.
+class ThreeTierDeployment {
+ public:
+  ThreeTierDeployment(const TransformResult& transform, const DeploymentConfig& config);
+
+  netsim::Network& network() { return network_; }
+  runtime::Node& cloud() { return *cloud_; }
+  std::vector<std::unique_ptr<runtime::Node>>& edges() { return edges_; }
+  runtime::Node& edge(std::size_t i = 0) { return *edges_.at(i); }
+
+  runtime::SyncEngine& sync() { return *sync_; }
+  runtime::ReplicaState& cloud_state() { return *cloud_state_; }
+  runtime::ReplicaState& edge_state(std::size_t i = 0) { return *edge_states_.at(i); }
+
+  /// Single-edge proxy path (latency/throughput benches).
+  runtime::EdgeProxy& proxy(std::size_t i = 0) { return *proxies_.at(i); }
+
+  /// Cluster pieces (Figure 9 benches).
+  cluster::LoadBalancer& balancer() { return *balancer_; }
+  cluster::ClusterGateway& gateway() { return *gateway_; }
+  cluster::AutoScaler& autoscaler() { return *autoscaler_; }
+  cluster::EnergyMeter& energy_meter() { return *energy_meter_; }
+
+  /// Issues a request through edge i's proxy and drains the clock.
+  http::HttpResponse request_sync(const http::HttpRequest& req, std::size_t edge_index = 0,
+                                  double* latency_s = nullptr);
+
+  /// True when every edge replica's CRDT state matches the cloud's.
+  bool converged();
+
+  const std::set<http::Route>& served_routes() const { return served_routes_; }
+
+ private:
+  netsim::Network network_;
+  std::unique_ptr<runtime::Node> cloud_;
+  std::vector<std::unique_ptr<runtime::Node>> edges_;
+  std::shared_ptr<runtime::ReplicaState> cloud_state_;
+  std::vector<std::shared_ptr<runtime::ReplicaState>> edge_states_;
+  std::unique_ptr<runtime::SyncEngine> sync_;
+  std::vector<std::unique_ptr<runtime::EdgeProxy>> proxies_;
+  std::unique_ptr<cluster::LoadBalancer> balancer_;
+  std::unique_ptr<cluster::ClusterGateway> gateway_;
+  std::unique_ptr<cluster::AutoScaler> autoscaler_;
+  std::unique_ptr<cluster::EnergyMeter> energy_meter_;
+  std::set<http::Route> served_routes_;
+};
+
+/// Canonical host names used in the simulated topology.
+inline constexpr const char* kClientHost = "client";
+inline constexpr const char* kCloudHost = "cloud";
+std::string edge_host(std::size_t i);
+
+}  // namespace edgstr::core

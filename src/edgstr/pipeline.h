@@ -1,0 +1,72 @@
+// The EdgStr pipeline (Figure 3): end-to-end transformation of a two-tier
+// client-cloud application into its three-tier client-edge-cloud variant.
+//
+//   HTTP traffic  ->  Subject interface inference         (§III-A)
+//   profiling     ->  state capture + isolation           (§III-B/C)
+//   fuzzing       ->  entry/exit discovery                (§III-E)
+//   Datalog       ->  dependence analysis, Algorithm 1    (§III-E)
+//   consult dev   ->  eventual-consistency gate           (§III-D)
+//   extraction    ->  standalone service functions        (§III-E)
+//   codegen       ->  edge replica source                 (§III-G2)
+//   snapshot      ->  filtered init state for replicas    (§III-B)
+#pragma once
+
+#include "edgstr/analysis.h"
+#include "http/traffic.h"
+#include "trace/state_capture.h"
+
+namespace edgstr::core {
+
+struct PipelineConfig {
+  int fuzz_runs = 4;
+  ConsistencyAdvisor advisor = accept_all_advisor();
+  minijs::InterpreterConfig interpreter;
+};
+
+/// Complete output of one transformation.
+struct TransformResult {
+  std::string app_name;
+  bool ok = false;
+  std::string error;
+
+  /// The normalized cloud program source (deployed to the cloud master;
+  /// semantically identical to the input).
+  std::string cloud_source;
+  /// The generated edge replica program.
+  refactor::GeneratedReplica replica;
+  /// Per-service analyses, replicable or not.
+  std::vector<ServiceAnalysis> services;
+  /// Init snapshot filtered to the union of replication needs.
+  trace::Snapshot init_snapshot;
+  /// Full (unfiltered) init snapshot — the cross-ISA S_app baseline.
+  trace::Snapshot full_snapshot;
+
+  // Union replication filters for deployment wiring.
+  std::set<std::string> replicated_files;
+  std::set<std::string> replicated_globals;
+
+  std::size_t replicable_count() const;
+  const ServiceAnalysis* find_service(const http::Route& route) const;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineConfig config = PipelineConfig()) : config_(std::move(config)) {}
+
+  /// Runs the whole transformation. `traffic` must contain at least one
+  /// successful exchange per service to be considered (EdgStr only sees
+  /// services that appear in the captured traffic).
+  TransformResult transform(const std::string& app_name, const std::string& server_source,
+                            const http::TrafficRecorder& traffic) const;
+
+ private:
+  PipelineConfig config_;
+};
+
+/// Convenience: drives the app's own client requests through a profiling
+/// harness to record traffic (the "attach to a running app" step). Returns
+/// the recorder with one entry per request.
+http::TrafficRecorder record_traffic(const std::string& server_source,
+                                     const std::vector<http::HttpRequest>& client_requests);
+
+}  // namespace edgstr::core

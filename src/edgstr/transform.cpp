@@ -1,0 +1,81 @@
+#include "edgstr/transform.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace edgstr::core {
+
+std::string render_consultation(const ServiceStateInfo& info) {
+  std::ostringstream out;
+  out << "Consult Developer — " << info.route.to_string() << "\n";
+  if (!info.stateful) {
+    out << "  service is stateless: replication is trivially safe\n";
+    return out.str();
+  }
+  out << "  the following replicated state would be kept *eventually* consistent:\n";
+  if (!info.mutated_tables.empty()) {
+    out << "    tables : " << util::join(info.mutated_tables, ", ") << "\n";
+  }
+  if (!info.mutated_files.empty()) {
+    out << "    files  : " << util::join(info.mutated_files, ", ") << "\n";
+  }
+  if (!info.mutated_globals.empty()) {
+    out << "    globals: " << util::join(info.mutated_globals, ", ") << "\n";
+  }
+  out << "  mutating statements:\n";
+  for (const std::string& stmt : info.mutation_statements) {
+    out << "    " << stmt << "\n";
+  }
+  out << "  accept eventual consistency for this service? [the advisor decides]\n";
+  return out.str();
+}
+
+std::string render_transform_report(const TransformResult& result) {
+  std::ostringstream out;
+  out << "EdgStr transformation report — " << result.app_name << "\n";
+  out << std::string(64, '=') << "\n";
+  if (!result.ok) {
+    out << "FAILED: " << result.error << "\n";
+    for (const ServiceAnalysis& svc : result.services) {
+      out << "- " << svc.route.to_string() << ": "
+          << (svc.replicable ? "ok" : svc.failure_reason) << "\n";
+    }
+    return out.str();
+  }
+  out << "services analyzed   : " << result.services.size() << "\n";
+  out << "services replicable : " << result.replicable_count() << "\n";
+  out << "full app state S_app: " << util::format_bytes(
+             static_cast<double>(result.full_snapshot.size_bytes()))
+      << "\n";
+  out << "replicated snapshot : " << util::format_bytes(
+             static_cast<double>(result.init_snapshot.size_bytes()))
+      << "\n\n";
+
+  for (const ServiceAnalysis& svc : result.services) {
+    out << "- " << svc.route.to_string() << "\n";
+    if (!svc.replicable) {
+      out << "    NOT replicated: " << svc.failure_reason << "\n";
+      continue;
+    }
+    out << "    entry stmt s" << svc.plan.entry_stmt << " (unmarshals into '"
+        << svc.plan.unmar_var << "'), exit stmt s" << svc.plan.exit_stmt << " (marshals '"
+        << svc.plan.mar_var << "')" << (svc.plan.exit_is_fallback ? " [fallback]" : "") << "\n";
+    out << "    extracted " << svc.function.statement_count << " statements into "
+        << svc.function.name << "\n";
+    out << "    needs  — tables[" << svc.plan.needed_tables.size() << "] files["
+        << svc.plan.needed_files.size() << "] globals[" << svc.plan.needed_globals.size()
+        << "]\n";
+    out << "    syncs  — tables[" << svc.plan.mutated_tables.size() << "] files["
+        << svc.plan.mutated_files.size() << "] globals[" << svc.plan.mutated_globals.size()
+        << "]\n";
+    out << "    datalog — " << svc.plan.fact_count << " facts, " << svc.plan.derived_dep_count
+        << " derived dependences\n";
+    out << "    profiled compute: " << util::format_double(svc.mean_compute_units, 1)
+        << " units/execution\n";
+  }
+  out << "\ngenerated replica: " << result.replica.source.size() << " bytes of MiniJS\n";
+  return out.str();
+}
+
+}  // namespace edgstr::core

@@ -1,0 +1,18 @@
+// Human-readable reports of a transformation (used by examples and docs).
+#pragma once
+
+#include <string>
+
+#include "edgstr/pipeline.h"
+
+namespace edgstr::core {
+
+/// Multi-line summary: per-service verdicts, entry/exit points, replication
+/// units, and generated-code statistics.
+std::string render_transform_report(const TransformResult& result);
+
+/// The Consult-Developer prompt for one service: the isolated state as
+/// source statements, exactly what §III-D says the programmer reviews.
+std::string render_consultation(const ServiceStateInfo& info);
+
+}  // namespace edgstr::core

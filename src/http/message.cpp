@@ -1,0 +1,50 @@
+#include "http/message.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace edgstr::http {
+
+namespace {
+// Nominal framing overhead (request line / status line + headers).
+constexpr std::uint64_t kHeaderOverhead = 180;
+}  // namespace
+
+std::string to_string(Verb verb) {
+  switch (verb) {
+    case Verb::kGet: return "GET";
+    case Verb::kPost: return "POST";
+    case Verb::kPut: return "PUT";
+    case Verb::kDelete: return "DELETE";
+    case Verb::kPatch: return "PATCH";
+  }
+  return "?";
+}
+
+Verb verb_from_string(const std::string& text) {
+  const std::string upper = util::to_lower(text);
+  if (upper == "get") return Verb::kGet;
+  if (upper == "post") return Verb::kPost;
+  if (upper == "put") return Verb::kPut;
+  if (upper == "delete") return Verb::kDelete;
+  if (upper == "patch") return Verb::kPatch;
+  throw std::invalid_argument("unknown HTTP verb: " + text);
+}
+
+std::uint64_t HttpRequest::wire_size() const {
+  return kHeaderOverhead + path.size() + params.wire_size() + payload_bytes;
+}
+
+std::uint64_t HttpResponse::wire_size() const {
+  return kHeaderOverhead + body.wire_size() + payload_bytes;
+}
+
+HttpResponse HttpResponse::error(int status, const std::string& message) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = json::Value::object({{"error", message}});
+  return resp;
+}
+
+}  // namespace edgstr::http

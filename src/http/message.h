@@ -1,0 +1,43 @@
+// HTTP message model.
+//
+// EdgStr works at the level of *decoded* RESTful request/response pairs (the
+// paper's packet sniffer operates post-TLS-termination), so the model keeps
+// structured JSON bodies plus an explicit `payload_bytes` field that lets
+// subject apps represent opaque binary payloads (camera images, MNIST
+// digits) without materializing megabytes of data in memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "json/value.h"
+
+namespace edgstr::http {
+
+enum class Verb { kGet, kPost, kPut, kDelete, kPatch };
+
+std::string to_string(Verb verb);
+Verb verb_from_string(const std::string& text);
+
+struct HttpRequest {
+  Verb verb = Verb::kGet;
+  std::string path;            ///< e.g. "/predict"
+  json::Value params;          ///< decoded body / query parameters
+  std::uint64_t payload_bytes = 0;  ///< extra opaque payload (image bytes, ...)
+
+  /// Total bytes this request occupies on the wire.
+  std::uint64_t wire_size() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  json::Value body;
+  std::uint64_t payload_bytes = 0;
+
+  bool ok() const { return status >= 200 && status < 300; }
+  std::uint64_t wire_size() const;
+
+  static HttpResponse error(int status, const std::string& message);
+};
+
+}  // namespace edgstr::http

@@ -1,0 +1,24 @@
+#include "http/router.h"
+
+namespace edgstr::http {
+
+void Router::add(Verb verb, const std::string& path, Handler handler) {
+  handlers_[Route{verb, path}] = std::move(handler);
+}
+
+HttpResponse Router::dispatch(const HttpRequest& request) const {
+  auto it = handlers_.find(Route{request.verb, request.path});
+  if (it == handlers_.end()) {
+    return HttpResponse::error(404, "no route for " + to_string(request.verb) + " " + request.path);
+  }
+  return it->second(request);
+}
+
+std::vector<Route> Router::routes() const {
+  std::vector<Route> out;
+  out.reserve(handlers_.size());
+  for (const auto& [route, handler] : handlers_) out.push_back(route);
+  return out;
+}
+
+}  // namespace edgstr::http

@@ -1,0 +1,45 @@
+// Express-style route table: (verb, path) -> handler.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "http/message.h"
+
+namespace edgstr::http {
+
+using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Identifies one REST endpoint.
+struct Route {
+  Verb verb;
+  std::string path;
+
+  bool operator<(const Route& other) const {
+    if (path != other.path) return path < other.path;
+    return static_cast<int>(verb) < static_cast<int>(other.verb);
+  }
+  bool operator==(const Route& other) const {
+    return verb == other.verb && path == other.path;
+  }
+  std::string to_string() const { return http::to_string(verb) + " " + path; }
+};
+
+/// Dispatches requests to registered handlers; unmatched requests get 404.
+class Router {
+ public:
+  void add(Verb verb, const std::string& path, Handler handler);
+  bool has(const Route& route) const { return handlers_.count(route) > 0; }
+
+  HttpResponse dispatch(const HttpRequest& request) const;
+
+  std::vector<Route> routes() const;
+  std::size_t size() const { return handlers_.size(); }
+
+ private:
+  std::map<Route, Handler> handlers_;
+};
+
+}  // namespace edgstr::http

@@ -1,0 +1,210 @@
+#include "json/parse.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace edgstr::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    skip_ws();
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void fail(const std::string& what) { throw ParseError(pos_, what); }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char advance() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (advance() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Value(nullptr);
+        fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), parse_value());
+      skip_ws();
+      const char next = advance();
+      if (next == '}') return Value(std::move(obj));
+      if (next != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char next = advance();
+      if (next == ']') return Value(std::move(arr));
+      if (next != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = advance();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = advance();
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = advance();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("invalid \\u escape");
+            }
+            // Encode as UTF-8 (BMP only; surrogate pairs are passed through
+            // as replacement characters, sufficient for our ASCII payloads).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            fail("invalid escape character");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) fail("invalid number");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      fail("invalid number");
+    }
+    return Value(d);
+  }
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+std::optional<Value> try_parse(std::string_view text) {
+  try {
+    return parse(text);
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace edgstr::json

@@ -1,0 +1,31 @@
+// Recursive-descent JSON parser.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string_view>
+
+#include "json/value.h"
+
+namespace edgstr::json {
+
+/// Error thrown by parse() with a byte offset and description.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t offset, const std::string& what)
+      : std::runtime_error("json parse error @" + std::to_string(offset) + ": " + what),
+        offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Parses the complete text as one JSON value; throws ParseError on failure
+/// (including trailing garbage).
+Value parse(std::string_view text);
+
+/// Non-throwing variant; returns std::nullopt on any parse failure.
+std::optional<Value> try_parse(std::string_view text);
+
+}  // namespace edgstr::json

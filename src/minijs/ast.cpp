@@ -1,0 +1,242 @@
+#include "minijs/ast.h"
+
+namespace edgstr::minijs {
+
+ExprPtr Expr::clone() const {
+  auto copy = std::make_shared<Expr>();
+  copy->kind = kind;
+  copy->line = line;
+  copy->number = number;
+  copy->text = text;
+  copy->boolean = boolean;
+  if (a) copy->a = a->clone();
+  if (b) copy->b = b->clone();
+  if (c) copy->c = c->clone();
+  copy->args.reserve(args.size());
+  for (const ExprPtr& arg : args) copy->args.push_back(arg->clone());
+  copy->entries.reserve(entries.size());
+  for (const auto& [key, value] : entries) copy->entries.emplace_back(key, value->clone());
+  copy->params = params;
+  if (body) copy->body = body->clone();
+  copy->binary_op = binary_op;
+  copy->unary_op = unary_op;
+  copy->assign_op = assign_op;
+  return copy;
+}
+
+StmtPtr Stmt::clone() const {
+  auto copy = std::make_shared<Stmt>();
+  copy->kind = kind;
+  copy->id = id;
+  copy->line = line;
+  copy->name = name;
+  if (expr) copy->expr = expr->clone();
+  copy->params = params;
+  copy->stmts.reserve(stmts.size());
+  for (const StmtPtr& s : stmts) copy->stmts.push_back(s->clone());
+  if (a_block) copy->a_block = a_block->clone();
+  if (b_block) copy->b_block = b_block->clone();
+  if (for_init) copy->for_init = for_init->clone();
+  if (for_update) copy->for_update = for_update->clone();
+  copy->catch_name = catch_name;
+  return copy;
+}
+
+Program Program::clone() const {
+  Program copy;
+  copy.next_stmt_id = next_stmt_id;
+  copy.body.reserve(body.size());
+  for (const StmtPtr& s : body) copy.body.push_back(s->clone());
+  return copy;
+}
+
+ExprPtr make_number(double v, int line) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kNumber;
+  e->number = v;
+  e->line = line;
+  return e;
+}
+
+ExprPtr make_string(std::string v, int line) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kString;
+  e->text = std::move(v);
+  e->line = line;
+  return e;
+}
+
+ExprPtr make_bool(bool v, int line) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBool;
+  e->boolean = v;
+  e->line = line;
+  return e;
+}
+
+ExprPtr make_null(int line) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kNull;
+  e->line = line;
+  return e;
+}
+
+ExprPtr make_ident(std::string name, int line) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kIdent;
+  e->text = std::move(name);
+  e->line = line;
+  return e;
+}
+
+ExprPtr make_member(ExprPtr object, std::string name, int line) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kMember;
+  e->a = std::move(object);
+  e->text = std::move(name);
+  e->line = line;
+  return e;
+}
+
+ExprPtr make_index(ExprPtr object, ExprPtr index, int line) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kIndex;
+  e->a = std::move(object);
+  e->b = std::move(index);
+  e->line = line;
+  return e;
+}
+
+ExprPtr make_call(ExprPtr callee, std::vector<ExprPtr> args, int line) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kCall;
+  e->a = std::move(callee);
+  e->args = std::move(args);
+  e->line = line;
+  return e;
+}
+
+ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs, int line) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->a = std::move(lhs);
+  e->b = std::move(rhs);
+  e->line = line;
+  return e;
+}
+
+ExprPtr make_assign(ExprPtr target, ExprPtr value, int line) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kAssign;
+  e->assign_op = AssignOp::kAssign;
+  e->a = std::move(target);
+  e->b = std::move(value);
+  e->line = line;
+  return e;
+}
+
+StmtPtr make_var_decl(int id, std::string name, ExprPtr init, int line) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kVarDecl;
+  s->id = id;
+  s->name = std::move(name);
+  s->expr = std::move(init);
+  s->line = line;
+  return s;
+}
+
+StmtPtr make_expr_stmt(int id, ExprPtr expr, int line) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kExpr;
+  s->id = id;
+  s->expr = std::move(expr);
+  s->line = line;
+  return s;
+}
+
+StmtPtr make_return(int id, ExprPtr expr, int line) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kReturn;
+  s->id = id;
+  s->expr = std::move(expr);
+  s->line = line;
+  return s;
+}
+
+StmtPtr make_block(int id, std::vector<StmtPtr> stmts, int line) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kBlock;
+  s->id = id;
+  s->stmts = std::move(stmts);
+  s->line = line;
+  return s;
+}
+
+StmtPtr make_function_decl(int id, std::string name, std::vector<std::string> params,
+                           StmtPtr body, int line) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = StmtKind::kFunctionDecl;
+  s->id = id;
+  s->name = std::move(name);
+  s->params = std::move(params);
+  s->a_block = std::move(body);
+  s->line = line;
+  return s;
+}
+
+namespace {
+
+void visit_expr_statements(const ExprPtr& expr, const std::function<void(const StmtPtr&)>& fn);
+
+void visit_impl(const StmtPtr& stmt, const std::function<void(const StmtPtr&)>& fn) {
+  if (!stmt) return;
+  fn(stmt);
+  visit_expr_statements(stmt->expr, fn);
+  for (const StmtPtr& s : stmt->stmts) visit_impl(s, fn);
+  visit_impl(stmt->a_block, fn);
+  visit_impl(stmt->b_block, fn);
+  visit_impl(stmt->for_init, fn);
+  visit_expr_statements(stmt->for_update, fn);
+}
+
+void visit_expr_statements(const ExprPtr& expr, const std::function<void(const StmtPtr&)>& fn) {
+  if (!expr) return;
+  visit_expr_statements(expr->a, fn);
+  visit_expr_statements(expr->b, fn);
+  visit_expr_statements(expr->c, fn);
+  for (const ExprPtr& arg : expr->args) visit_expr_statements(arg, fn);
+  for (const auto& [key, value] : expr->entries) visit_expr_statements(value, fn);
+  if (expr->body) visit_impl(expr->body, fn);
+}
+
+}  // namespace
+
+void visit_statements(const StmtPtr& stmt, const std::function<void(const StmtPtr&)>& fn) {
+  visit_impl(stmt, fn);
+}
+
+void visit_statements(const Program& program, const std::function<void(const StmtPtr&)>& fn) {
+  for (const StmtPtr& s : program.body) visit_impl(s, fn);
+}
+
+int renumber_statements(Program& program, int first_id) {
+  int next = first_id;
+  visit_statements(program, [&](const StmtPtr& stmt) {
+    // visit_statements passes const refs, but the nodes are owned by the
+    // program we hold mutably; the id write is safe.
+    const_cast<Stmt&>(*stmt).id = next++;
+  });
+  program.next_stmt_id = next;
+  return next;
+}
+
+StmtPtr find_statement(const Program& program, int id) {
+  StmtPtr found;
+  visit_statements(program, [&](const StmtPtr& stmt) {
+    if (stmt->id == id) found = stmt;
+  });
+  return found;
+}
+
+}  // namespace edgstr::minijs

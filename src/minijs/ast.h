@@ -1,0 +1,160 @@
+// MiniJS abstract syntax tree.
+//
+// Every *statement* carries a unique integer id assigned at parse time.
+// Statement ids are the currency of the whole analysis pipeline: the
+// jalangi-style RW logs, the Datalog dependence facts, and the Extract
+// Function refactoring all reference statements by id (the paper's s_i).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace edgstr::minijs {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::shared_ptr<Expr>;
+using StmtPtr = std::shared_ptr<Stmt>;
+
+// ---------------------------------------------------------------- exprs --
+
+enum class ExprKind {
+  kNumber,
+  kString,
+  kBool,
+  kNull,
+  kIdent,
+  kMember,
+  kIndex,
+  kCall,
+  kBinary,
+  kUnary,
+  kTernary,
+  kObject,
+  kArray,
+  kFunction,
+  kAssign,
+};
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+enum class UnaryOp { kNot, kNeg };
+
+enum class AssignOp { kAssign, kAddAssign, kSubAssign };
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  // kNumber
+  double number = 0;
+  // kString / kIdent / kMember(name)
+  std::string text;
+  // kBool
+  bool boolean = false;
+  // kMember/kIndex/kUnary: object/operand in a; kIndex: index in b
+  // kBinary: a op b; kTernary: a ? b : c; kAssign: a (target) = b
+  ExprPtr a, b, c;
+  // kCall: a = callee, args
+  std::vector<ExprPtr> args;
+  // kObject: entries; kArray uses args as items
+  std::vector<std::pair<std::string, ExprPtr>> entries;
+  // kFunction
+  std::vector<std::string> params;
+  StmtPtr body;  ///< Block
+  // op fields
+  BinaryOp binary_op = BinaryOp::kAdd;
+  UnaryOp unary_op = UnaryOp::kNot;
+  AssignOp assign_op = AssignOp::kAssign;
+
+  /// Deep copy (shares nothing with the original).
+  ExprPtr clone() const;
+};
+
+// ---------------------------------------------------------------- stmts --
+
+enum class StmtKind {
+  kVarDecl,
+  kExpr,
+  kIf,
+  kWhile,
+  kFor,
+  kReturn,
+  kBlock,
+  kFunctionDecl,
+  kThrow,
+  kTryCatch,
+  kBreak,
+  kContinue,
+};
+
+struct Stmt {
+  StmtKind kind;
+  int id = 0;    ///< unique statement id (the analysis handle)
+  int line = 0;
+
+  // kVarDecl: name + optional init; kFunctionDecl: name, params, body
+  std::string name;
+  ExprPtr expr;  ///< init / expression / condition / return value / throw value
+  std::vector<std::string> params;
+  // kBlock: stmts; kIf: then=a_block else=b_block; loops: body=a_block
+  std::vector<StmtPtr> stmts;
+  StmtPtr a_block, b_block;
+  // kFor extras
+  StmtPtr for_init;    ///< VarDecl or ExprStmt (may be null)
+  ExprPtr for_update;  ///< may be null
+  // kTryCatch
+  std::string catch_name;
+
+  StmtPtr clone() const;
+};
+
+/// A parsed compilation unit.
+struct Program {
+  std::vector<StmtPtr> body;
+  int next_stmt_id = 1;  ///< first free statement id
+
+  Program clone() const;
+};
+
+// -------------------------------------------------------------- helpers --
+
+/// Factory helpers used by the parser, normalizer and code generator.
+ExprPtr make_number(double v, int line = 0);
+ExprPtr make_string(std::string v, int line = 0);
+ExprPtr make_bool(bool v, int line = 0);
+ExprPtr make_null(int line = 0);
+ExprPtr make_ident(std::string name, int line = 0);
+ExprPtr make_member(ExprPtr object, std::string name, int line = 0);
+ExprPtr make_index(ExprPtr object, ExprPtr index, int line = 0);
+ExprPtr make_call(ExprPtr callee, std::vector<ExprPtr> args, int line = 0);
+ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs, int line = 0);
+ExprPtr make_assign(ExprPtr target, ExprPtr value, int line = 0);
+
+StmtPtr make_var_decl(int id, std::string name, ExprPtr init, int line = 0);
+StmtPtr make_expr_stmt(int id, ExprPtr expr, int line = 0);
+StmtPtr make_return(int id, ExprPtr expr, int line = 0);
+StmtPtr make_block(int id, std::vector<StmtPtr> stmts, int line = 0);
+StmtPtr make_function_decl(int id, std::string name, std::vector<std::string> params,
+                           StmtPtr body, int line = 0);
+
+/// Depth-first visit of every statement (including nested blocks and
+/// function-literal bodies). The callback may not mutate structure.
+void visit_statements(const StmtPtr& stmt, const std::function<void(const StmtPtr&)>& fn);
+void visit_statements(const Program& program, const std::function<void(const StmtPtr&)>& fn);
+
+/// Reassigns fresh statement ids over the whole program (used after cloning
+/// or splicing generated code). Returns the next free id.
+int renumber_statements(Program& program, int first_id = 1);
+
+/// Finds the statement with the given id; nullptr if absent.
+StmtPtr find_statement(const Program& program, int id);
+
+}  // namespace edgstr::minijs

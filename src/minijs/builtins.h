@@ -1,0 +1,23 @@
+// Host bindings exposed to MiniJS server programs.
+//
+// The builtin surface mirrors what the paper's Node.js subjects use:
+//   app.get/post/put/delete(path, handler)  -- Express-style routing
+//   db.query(sql [, params])                -- MySQL-style driver
+//   fs.readFile/writeFile/appendFile/exists/unlink
+//   JSON.stringify / JSON.parse
+//   Math.*, console.log
+//   compute(units)  -- simulated CPU-intensive work (TensorFlow inference)
+//   blob(size [, seed]) -- opaque payload (images); blobHash mixes a blob
+//   into a deterministic digest so "analysis results" depend on the input
+#pragma once
+
+#include "minijs/value.h"
+
+namespace edgstr::minijs {
+
+class Interpreter;
+
+/// Installs every builtin binding into `env` (the interpreter's root scope).
+void install_builtins(Interpreter& interp, Environment& env);
+
+}  // namespace edgstr::minijs

@@ -1,0 +1,626 @@
+#include "minijs/interpreter.h"
+
+#include <cmath>
+
+#include "minijs/builtins.h"
+
+namespace edgstr::minijs {
+
+Interpreter::Interpreter(Program program, Config config)
+    : program_(std::move(program)), config_(config), rng_(config.rng_seed) {
+  builtins_ = std::make_shared<Environment>();
+  globals_ = std::make_shared<Environment>(builtins_);
+  install_builtins(*this, *builtins_);
+}
+
+void Interpreter::register_route(http::Verb verb, const std::string& path, JsValue handler) {
+  if (!handler.is_callable()) throw JsError("app route handler must be a function");
+  routes_[http::Route{verb, path}] = std::move(handler);
+}
+
+void Interpreter::tick() {
+  if (++steps_ > config_.max_steps) {
+    throw JsError("step limit exceeded (possible infinite loop)");
+  }
+}
+
+void Interpreter::run_toplevel() {
+  for (const StmtPtr& stmt : program_.body) {
+    exec_stmt(stmt, globals_);
+  }
+}
+
+void Interpreter::set_pending_response(JsValue value, int status) {
+  pending_response_ = std::move(value);
+  pending_status_ = status;
+  response_sent_ = true;
+}
+
+JsValue make_request_object(const http::HttpRequest& request) {
+  auto req = std::make_shared<JsObject>();
+  req->set("params", JsValue::from_json(request.params));
+  req->set("path", JsValue(request.path));
+  req->set("method", JsValue(http::to_string(request.verb)));
+  if (request.payload_bytes > 0) {
+    req->set("payload", JsValue(Blob{request.payload_bytes,
+                                     request.payload_bytes * 0x9e3779b9ULL}));
+  }
+  return JsValue(std::move(req));
+}
+
+namespace {
+std::uint64_t collect_blob_bytes(const JsValue& value) {
+  switch (value.type()) {
+    case JsValue::Type::kBlob: return value.as_blob().size;
+    case JsValue::Type::kArray: {
+      std::uint64_t total = 0;
+      for (const JsValue& item : *value.as_array()) total += collect_blob_bytes(item);
+      return total;
+    }
+    case JsValue::Type::kObject: {
+      std::uint64_t total = 0;
+      for (const auto& [k, v] : value.as_object()->entries()) total += collect_blob_bytes(v);
+      return total;
+    }
+    default: return 0;
+  }
+}
+}  // namespace
+
+http::HttpResponse make_response(const JsValue& sent, int status) {
+  http::HttpResponse resp;
+  resp.status = status;
+  resp.body = sent.to_json();
+  resp.payload_bytes = collect_blob_bytes(sent);
+  return resp;
+}
+
+http::HttpResponse Interpreter::invoke(const http::Route& route,
+                                       const http::HttpRequest& request) {
+  auto it = routes_.find(route);
+  if (it == routes_.end()) {
+    return http::HttpResponse::error(404, "no handler for " + route.to_string());
+  }
+  response_sent_ = false;
+  pending_status_ = 200;
+  pending_response_ = JsValue();
+
+  // Unmarshal (step 2): HTTP parameters -> req object.
+  JsValue req = make_request_object(request);
+  auto res = std::make_shared<JsObject>();
+  res->set("send", JsValue(std::make_shared<NativeFunction>(NativeFunction{
+               "send", [](Interpreter& interp, std::vector<JsValue>& args) {
+                 interp.set_pending_response(args.empty() ? JsValue() : args[0], 200);
+                 return JsValue();
+               }})));
+  res->set("status", JsValue(std::make_shared<NativeFunction>(NativeFunction{
+               "status", [this](Interpreter&, std::vector<JsValue>& args) {
+                 if (!args.empty()) pending_status_ = static_cast<int>(args[0].as_number());
+                 return JsValue();
+               }})));
+
+  // Execute (step 3).
+  call_function(it->second, {req, JsValue(std::move(res))});
+
+  // Marshal (step 4).
+  if (!response_sent_) throw JsError("handler for " + route.to_string() + " never called res.send");
+  return make_response(pending_response_, pending_status_);
+}
+
+JsValue Interpreter::call_function(const JsValue& fn, std::vector<JsValue> args) {
+  const std::string name = fn.type() == JsValue::Type::kClosure ? fn.as_closure()->name
+                           : fn.type() == JsValue::Type::kNative ? fn.as_native()->name
+                                                                 : "";
+  return call_value(fn, name, args);
+}
+
+JsValue Interpreter::call_global(const std::string& name, std::vector<JsValue> args) {
+  if (!globals_->has(name)) throw JsError("no such global function: " + name);
+  return call_value(globals_->get(name), name, args);
+}
+
+JsValue Interpreter::call_value(const JsValue& fn, const std::string& name,
+                                std::vector<JsValue>& args) {
+  tick();
+  if (fn.type() == JsValue::Type::kNative) {
+    JsValue result = fn.as_native()->fn(*this, args);
+    // Natives report their qualified registration name ("db.query") so the
+    // instrumentation can classify SQL / file-system invocations.
+    const std::string& native_name = fn.as_native()->name;
+    if (hooks_) hooks_->on_invoke(current_stmt_, native_name.empty() ? name : native_name, args, result);
+    return result;
+  }
+  if (fn.type() == JsValue::Type::kClosure) {
+    if (call_depth_ >= config_.max_call_depth) {
+      throw JsError("maximum call depth exceeded (" +
+                    std::to_string(config_.max_call_depth) + ") calling '" + name + "'");
+    }
+    ++call_depth_;
+    struct DepthGuard {
+      int* depth;
+      ~DepthGuard() { --*depth; }
+    } guard{&call_depth_};
+
+    const auto& closure = fn.as_closure();
+    auto frame = std::make_shared<Environment>(closure->env);
+    for (std::size_t i = 0; i < closure->params.size(); ++i) {
+      frame->define(closure->params[i], i < args.size() ? args[i] : JsValue());
+    }
+    JsValue result;
+    try {
+      exec_block(closure->body, frame);
+    } catch (ReturnSignal& ret) {
+      result = std::move(ret.value);
+    }
+    if (hooks_) hooks_->on_invoke(current_stmt_, name, args, result);
+    return result;
+  }
+  throw JsError("attempt to call a non-function value" + (name.empty() ? "" : " '" + name + "'"));
+}
+
+void Interpreter::exec_block(const StmtPtr& block, const std::shared_ptr<Environment>& env) {
+  for (const StmtPtr& stmt : block->stmts) exec_stmt(stmt, env);
+}
+
+void Interpreter::exec_stmt(const StmtPtr& stmt, const std::shared_ptr<Environment>& env) {
+  tick();
+  const int saved_stmt = current_stmt_;
+  current_stmt_ = stmt->id;
+  struct Restore {
+    int* slot;
+    int value;
+    ~Restore() { *slot = value; }
+  } restore{&current_stmt_, saved_stmt};
+
+  switch (stmt->kind) {
+    case StmtKind::kVarDecl: {
+      JsValue init = stmt->expr ? eval(stmt->expr, env) : JsValue();
+      env->define(stmt->name, init);
+      if (hooks_) hooks_->on_declare(stmt->id, stmt->name, env->get(stmt->name));
+      if (hooks_) hooks_->on_write(stmt->id, stmt->name, env->get(stmt->name));
+      return;
+    }
+    case StmtKind::kExpr:
+      eval(stmt->expr, env);
+      return;
+    case StmtKind::kIf:
+      if (eval(stmt->expr, env).truthy()) {
+        exec_block(stmt->a_block, std::make_shared<Environment>(env));
+      } else if (stmt->b_block) {
+        exec_block(stmt->b_block, std::make_shared<Environment>(env));
+      }
+      return;
+    case StmtKind::kWhile:
+      while (eval(stmt->expr, env).truthy()) {
+        tick();
+        try {
+          exec_block(stmt->a_block, std::make_shared<Environment>(env));
+        } catch (BreakSignal&) {
+          break;
+        } catch (ContinueSignal&) {
+          continue;
+        }
+      }
+      return;
+    case StmtKind::kFor: {
+      auto loop_env = std::make_shared<Environment>(env);
+      if (stmt->for_init) exec_stmt(stmt->for_init, loop_env);
+      while (!stmt->expr || eval(stmt->expr, loop_env).truthy()) {
+        tick();
+        bool brk = false;
+        try {
+          exec_block(stmt->a_block, std::make_shared<Environment>(loop_env));
+        } catch (BreakSignal&) {
+          brk = true;
+        } catch (ContinueSignal&) {
+        }
+        if (brk) break;
+        if (stmt->for_update) eval(stmt->for_update, loop_env);
+      }
+      return;
+    }
+    case StmtKind::kReturn:
+      throw ReturnSignal{stmt->expr ? eval(stmt->expr, env) : JsValue()};
+    case StmtKind::kBlock:
+      exec_block(stmt, std::make_shared<Environment>(env));
+      return;
+    case StmtKind::kFunctionDecl: {
+      auto closure = std::make_shared<Closure>();
+      closure->name = stmt->name;
+      closure->params = stmt->params;
+      closure->body = stmt->a_block;
+      closure->env = env;
+      env->define(stmt->name, JsValue(std::move(closure)));
+      if (hooks_) hooks_->on_declare(stmt->id, stmt->name, env->get(stmt->name));
+      return;
+    }
+    case StmtKind::kThrow: {
+      JsValue value = eval(stmt->expr, env);
+      throw JsError("minijs throw: " + value.to_display(), std::move(value));
+    }
+    case StmtKind::kTryCatch:
+      try {
+        exec_block(stmt->a_block, std::make_shared<Environment>(env));
+      } catch (JsError& err) {
+        auto catch_env = std::make_shared<Environment>(env);
+        JsValue caught = err.value();
+        if (caught.is_null()) caught = JsValue(std::string(err.what()));
+        catch_env->define(stmt->catch_name, std::move(caught));
+        exec_block(stmt->b_block, catch_env);
+      }
+      return;
+    case StmtKind::kBreak:
+      throw BreakSignal{};
+    case StmtKind::kContinue:
+      throw ContinueSignal{};
+  }
+}
+
+std::string Interpreter::root_name(const ExprPtr& expr) {
+  const Expr* e = expr.get();
+  while (e) {
+    if (e->kind == ExprKind::kIdent) return e->text;
+    if (e->kind == ExprKind::kMember || e->kind == ExprKind::kIndex) {
+      e = e->a.get();
+      continue;
+    }
+    return "";
+  }
+  return "";
+}
+
+JsValue Interpreter::eval(const ExprPtr& expr, const std::shared_ptr<Environment>& env) {
+  tick();
+  switch (expr->kind) {
+    case ExprKind::kNumber: return JsValue(expr->number);
+    case ExprKind::kString: return JsValue(expr->text);
+    case ExprKind::kBool: return JsValue(expr->boolean);
+    case ExprKind::kNull: return JsValue();
+    case ExprKind::kIdent: {
+      if (!env->has(expr->text)) throw JsError("undefined variable: " + expr->text);
+      const JsValue& value = env->get(expr->text);
+      if (hooks_) hooks_->on_read(current_stmt_, expr->text, value);
+      return value;
+    }
+    case ExprKind::kMember: {
+      JsValue object = eval(expr->a, env);
+      if (object.is_object()) return object.as_object()->get(expr->text);
+      if (object.is_array()) {
+        if (expr->text == "length") return JsValue(static_cast<double>(object.as_array()->size()));
+        // Array methods are resolved at call sites; bare access yields null.
+        return JsValue();
+      }
+      if (object.is_string()) {
+        if (expr->text == "length") return JsValue(static_cast<double>(object.as_string().size()));
+        return JsValue();
+      }
+      if (object.is_blob()) {
+        if (expr->text == "size") return JsValue(static_cast<double>(object.as_blob().size));
+        if (expr->text == "fingerprint") {
+          return JsValue(static_cast<double>(object.as_blob().fingerprint));
+        }
+        return JsValue();
+      }
+      if (object.is_null()) throw JsError("cannot read property '" + expr->text + "' of null");
+      return JsValue();
+    }
+    case ExprKind::kIndex: {
+      JsValue object = eval(expr->a, env);
+      JsValue index = eval(expr->b, env);
+      if (object.is_array()) {
+        const auto& arr = *object.as_array();
+        const auto i = static_cast<std::size_t>(index.as_number());
+        if (i >= arr.size()) return JsValue();
+        return arr[i];
+      }
+      if (object.is_object()) {
+        return object.as_object()->get(index.is_string() ? index.as_string()
+                                                         : index.to_display());
+      }
+      if (object.is_string()) {
+        const std::string& s = object.as_string();
+        const auto i = static_cast<std::size_t>(index.as_number());
+        if (i >= s.size()) return JsValue();
+        return JsValue(std::string(1, s[i]));
+      }
+      throw JsError("cannot index a " + object.to_display());
+    }
+    case ExprKind::kCall:
+      return eval_call(expr, env);
+    case ExprKind::kBinary: {
+      // Short-circuit operators first.
+      if (expr->binary_op == BinaryOp::kAnd) {
+        JsValue lhs = eval(expr->a, env);
+        if (!lhs.truthy()) return lhs;
+        return eval(expr->b, env);
+      }
+      if (expr->binary_op == BinaryOp::kOr) {
+        JsValue lhs = eval(expr->a, env);
+        if (lhs.truthy()) return lhs;
+        return eval(expr->b, env);
+      }
+      JsValue lhs = eval(expr->a, env);
+      JsValue rhs = eval(expr->b, env);
+      switch (expr->binary_op) {
+        case BinaryOp::kAdd:
+          if (lhs.is_string() || rhs.is_string()) {
+            return JsValue(lhs.to_display() + rhs.to_display());
+          }
+          return JsValue(lhs.as_number() + rhs.as_number());
+        case BinaryOp::kSub: return JsValue(lhs.as_number() - rhs.as_number());
+        case BinaryOp::kMul: return JsValue(lhs.as_number() * rhs.as_number());
+        case BinaryOp::kDiv: return JsValue(lhs.as_number() / rhs.as_number());
+        case BinaryOp::kMod: return JsValue(std::fmod(lhs.as_number(), rhs.as_number()));
+        case BinaryOp::kEq: return JsValue(lhs.equals(rhs));
+        case BinaryOp::kNe: return JsValue(!lhs.equals(rhs));
+        case BinaryOp::kLt:
+          if (lhs.is_string() && rhs.is_string()) return JsValue(lhs.as_string() < rhs.as_string());
+          return JsValue(lhs.as_number() < rhs.as_number());
+        case BinaryOp::kLe:
+          if (lhs.is_string() && rhs.is_string()) return JsValue(lhs.as_string() <= rhs.as_string());
+          return JsValue(lhs.as_number() <= rhs.as_number());
+        case BinaryOp::kGt:
+          if (lhs.is_string() && rhs.is_string()) return JsValue(lhs.as_string() > rhs.as_string());
+          return JsValue(lhs.as_number() > rhs.as_number());
+        case BinaryOp::kGe:
+          if (lhs.is_string() && rhs.is_string()) return JsValue(lhs.as_string() >= rhs.as_string());
+          return JsValue(lhs.as_number() >= rhs.as_number());
+        default:
+          throw JsError("unhandled binary operator");
+      }
+    }
+    case ExprKind::kUnary: {
+      JsValue operand = eval(expr->a, env);
+      if (expr->unary_op == UnaryOp::kNot) return JsValue(!operand.truthy());
+      return JsValue(-operand.as_number());
+    }
+    case ExprKind::kTernary:
+      return eval(expr->a, env).truthy() ? eval(expr->b, env) : eval(expr->c, env);
+    case ExprKind::kObject: {
+      auto obj = std::make_shared<JsObject>();
+      for (const auto& [key, value_expr] : expr->entries) {
+        obj->set(key, eval(value_expr, env));
+      }
+      return JsValue(std::move(obj));
+    }
+    case ExprKind::kArray: {
+      auto arr = std::make_shared<JsArray>();
+      arr->reserve(expr->args.size());
+      for (const ExprPtr& item : expr->args) arr->push_back(eval(item, env));
+      return JsValue(std::move(arr));
+    }
+    case ExprKind::kFunction: {
+      auto closure = std::make_shared<Closure>();
+      closure->params = expr->params;
+      closure->body = expr->body;
+      closure->env = env;
+      return JsValue(std::move(closure));
+    }
+    case ExprKind::kAssign:
+      return eval_assign(expr, env);
+  }
+  throw JsError("unhandled expression kind");
+}
+
+JsValue Interpreter::eval_assign(const ExprPtr& expr, const std::shared_ptr<Environment>& env) {
+  JsValue rhs = eval(expr->b, env);
+  const ExprPtr& target = expr->a;
+
+  auto combined = [&](const JsValue& current) -> JsValue {
+    switch (expr->assign_op) {
+      case AssignOp::kAssign: return rhs;
+      case AssignOp::kAddAssign:
+        if (current.is_string() || rhs.is_string()) {
+          return JsValue(current.to_display() + rhs.to_display());
+        }
+        return JsValue(current.as_number() + rhs.as_number());
+      case AssignOp::kSubAssign: return JsValue(current.as_number() - rhs.as_number());
+    }
+    return rhs;
+  };
+
+  if (target->kind == ExprKind::kIdent) {
+    if (!env->has(target->text)) {
+      // Implicit global creation (sloppy-mode JS); subject code relies on
+      // plain assignment to globals declared elsewhere, so this throws to
+      // catch typos instead.
+      throw JsError("assignment to undeclared variable: " + target->text);
+    }
+    JsValue value = combined(env->get(target->text));
+    env->set(target->text, value);
+    if (hooks_) hooks_->on_write(current_stmt_, target->text, value);
+    return value;
+  }
+  if (target->kind == ExprKind::kMember) {
+    JsValue object = eval(target->a, env);
+    if (!object.is_object()) throw JsError("cannot set property on non-object");
+    JsValue value = combined(object.as_object()->get(target->text));
+    object.as_object()->set(target->text, value);
+    const std::string root = root_name(target);
+    if (hooks_ && !root.empty()) hooks_->on_write(current_stmt_, root, object);
+    return value;
+  }
+  if (target->kind == ExprKind::kIndex) {
+    JsValue object = eval(target->a, env);
+    JsValue index = eval(target->b, env);
+    if (object.is_array()) {
+      auto& arr = *object.as_array();
+      const auto i = static_cast<std::size_t>(index.as_number());
+      if (i >= arr.size()) arr.resize(i + 1);
+      JsValue value = combined(arr[i]);
+      arr[i] = value;
+      const std::string root = root_name(target);
+      if (hooks_ && !root.empty()) hooks_->on_write(current_stmt_, root, object);
+      return value;
+    }
+    if (object.is_object()) {
+      const std::string key = index.is_string() ? index.as_string() : index.to_display();
+      JsValue value = combined(object.as_object()->get(key));
+      object.as_object()->set(key, value);
+      const std::string root = root_name(target);
+      if (hooks_ && !root.empty()) hooks_->on_write(current_stmt_, root, object);
+      return value;
+    }
+    throw JsError("cannot index-assign a " + object.to_display());
+  }
+  throw JsError("invalid assignment target");
+}
+
+JsValue Interpreter::eval_call(const ExprPtr& expr, const std::shared_ptr<Environment>& env) {
+  // Method call: receiver.method(args)
+  if (expr->a->kind == ExprKind::kMember) {
+    JsValue receiver = eval(expr->a->a, env);
+    const std::string& method = expr->a->text;
+
+    std::vector<JsValue> args;
+    args.reserve(expr->args.size());
+    for (const ExprPtr& arg : expr->args) args.push_back(eval(arg, env));
+
+    // Built-in string/array methods take precedence.
+    bool handled = false;
+    JsValue builtin_result = builtin_method(receiver, method, args, handled);
+    if (handled) {
+      if (hooks_) hooks_->on_invoke(current_stmt_, method, args, builtin_result);
+      // A mutating method (push/pop/...) counts as a write of the receiver
+      // root variable, so RW logs see container mutations.
+      if ((method == "push" || method == "pop" || method == "splice" || method == "sort" ||
+           method == "shift" || method == "unshift") &&
+          hooks_) {
+        const std::string root = root_name(expr->a->a);
+        if (!root.empty()) hooks_->on_write(current_stmt_, root, receiver);
+      }
+      return builtin_result;
+    }
+
+    if (receiver.is_object()) {
+      JsValue fn = receiver.as_object()->get(method);
+      if (fn.is_callable()) return call_value(fn, method, args);
+    }
+    throw JsError("no such method '" + method + "' on " + receiver.to_display());
+  }
+
+  // Plain call: f(args)
+  JsValue callee = eval(expr->a, env);
+  std::vector<JsValue> args;
+  args.reserve(expr->args.size());
+  for (const ExprPtr& arg : expr->args) args.push_back(eval(arg, env));
+  const std::string name = expr->a->kind == ExprKind::kIdent ? expr->a->text : "";
+  return call_value(callee, name, args);
+}
+
+JsValue Interpreter::builtin_method(const JsValue& receiver, const std::string& method,
+                                    std::vector<JsValue>& args, bool& handled) {
+  handled = true;
+  if (receiver.is_array()) {
+    auto& arr = *receiver.as_array();
+    if (method == "push") {
+      for (const JsValue& v : args) arr.push_back(v);
+      return JsValue(static_cast<double>(arr.size()));
+    }
+    if (method == "pop") {
+      if (arr.empty()) return JsValue();
+      JsValue back = arr.back();
+      arr.pop_back();
+      return back;
+    }
+    if (method == "join") {
+      const std::string sep = args.empty() ? "," : args[0].as_string();
+      std::string out;
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (i) out += sep;
+        out += arr[i].to_display();
+      }
+      return JsValue(out);
+    }
+    if (method == "indexOf") {
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (!args.empty() && arr[i].equals(args[0])) return JsValue(static_cast<double>(i));
+      }
+      return JsValue(-1.0);
+    }
+    if (method == "slice") {
+      std::size_t begin = args.size() > 0 ? static_cast<std::size_t>(args[0].as_number()) : 0;
+      std::size_t end = args.size() > 1 ? static_cast<std::size_t>(args[1].as_number()) : arr.size();
+      begin = std::min(begin, arr.size());
+      end = std::min(end, arr.size());
+      auto out = std::make_shared<JsArray>();
+      for (std::size_t i = begin; i < end; ++i) out->push_back(arr[i]);
+      return JsValue(std::move(out));
+    }
+    if (method == "map" || method == "filter" || method == "forEach") {
+      if (args.empty() || !args[0].is_callable()) throw JsError(method + " expects a function");
+      auto out = std::make_shared<JsArray>();
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        std::vector<JsValue> call_args = {arr[i], JsValue(static_cast<double>(i))};
+        JsValue mapped = call_value(args[0], method + "#fn", call_args);
+        if (method == "map") out->push_back(mapped);
+        if (method == "filter" && mapped.truthy()) out->push_back(arr[i]);
+      }
+      if (method == "forEach") return JsValue();
+      return JsValue(std::move(out));
+    }
+  }
+  if (receiver.is_string()) {
+    const std::string& s = receiver.as_string();
+    if (method == "split") {
+      const std::string sep = args.empty() ? "" : args[0].as_string();
+      auto out = std::make_shared<JsArray>();
+      if (sep.empty()) {
+        for (char c : s) out->push_back(JsValue(std::string(1, c)));
+      } else {
+        std::size_t start = 0;
+        while (true) {
+          const std::size_t pos = s.find(sep, start);
+          if (pos == std::string::npos) {
+            out->push_back(JsValue(s.substr(start)));
+            break;
+          }
+          out->push_back(JsValue(s.substr(start, pos - start)));
+          start = pos + sep.size();
+        }
+      }
+      return JsValue(std::move(out));
+    }
+    if (method == "substring" || method == "substr" || method == "slice") {
+      std::size_t begin = args.size() > 0 ? static_cast<std::size_t>(args[0].as_number()) : 0;
+      std::size_t end = args.size() > 1 ? static_cast<std::size_t>(args[1].as_number()) : s.size();
+      begin = std::min(begin, s.size());
+      end = std::min(std::max(end, begin), s.size());
+      return JsValue(s.substr(begin, end - begin));
+    }
+    if (method == "indexOf") {
+      if (args.empty()) return JsValue(-1.0);
+      const std::size_t pos = s.find(args[0].as_string());
+      return JsValue(pos == std::string::npos ? -1.0 : static_cast<double>(pos));
+    }
+    if (method == "toUpperCase" || method == "toLowerCase") {
+      std::string out = s;
+      for (char& c : out) {
+        c = method == "toUpperCase" ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+                                    : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      return JsValue(out);
+    }
+    if (method == "trim") {
+      std::size_t b = 0, e = s.size();
+      while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+      while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+      return JsValue(s.substr(b, e - b));
+    }
+    if (method == "startsWith") {
+      return JsValue(!args.empty() && s.rfind(args[0].as_string(), 0) == 0);
+    }
+    if (method == "includes") {
+      return JsValue(!args.empty() && s.find(args[0].as_string()) != std::string::npos);
+    }
+    if (method == "charCodeAt") {
+      const std::size_t i = args.empty() ? 0 : static_cast<std::size_t>(args[0].as_number());
+      if (i >= s.size()) return JsValue();
+      return JsValue(static_cast<double>(static_cast<unsigned char>(s[i])));
+    }
+  }
+  handled = false;
+  return JsValue();
+}
+
+}  // namespace edgstr::minijs

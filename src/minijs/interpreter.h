@@ -1,0 +1,181 @@
+// MiniJS tree-walking interpreter with jalangi-style instrumentation.
+//
+// The interpreter hosts one *server program*: executing the top level is
+// the service's `init` (§III-B step 1) — it loads models, creates tables,
+// declares globals, and registers REST routes via `app.get(path, handler)`.
+// `invoke()` then performs steps (2)(3)(4) of one service execution:
+// unmarshal the HTTP parameters into a `req` object, run the handler, and
+// marshal whatever the handler passed to `res.send(...)`.
+//
+// Instrumentation hooks mirror jalangi's callback API (the paper modifies
+// INVOKEFUNCTION(LOC, F, ARGS, VAL)): every declare/read/write/invoke is
+// reported with the enclosing statement id, which is what the trace module
+// turns into RW-LOG facts.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "http/message.h"
+#include "http/router.h"
+#include "minijs/ast.h"
+#include "minijs/value.h"
+#include "sqldb/database.h"
+#include "util/rng.h"
+#include "vfs/vfs.h"
+
+namespace edgstr::minijs {
+
+/// Runtime error raised by MiniJS code (`throw`), by builtins, or by the
+/// interpreter itself (type errors, step-limit exhaustion).
+class JsError : public std::runtime_error {
+ public:
+  explicit JsError(const std::string& what, JsValue value = JsValue())
+      : std::runtime_error(what), value_(std::move(value)) {}
+  const JsValue& value() const { return value_; }
+
+ private:
+  JsValue value_;
+};
+
+/// jalangi-equivalent callback surface.
+class InstrumentationHooks {
+ public:
+  virtual ~InstrumentationHooks() = default;
+  virtual void on_declare(int stmt_id, const std::string& name, const JsValue& value) {
+    (void)stmt_id; (void)name; (void)value;
+  }
+  virtual void on_read(int stmt_id, const std::string& name, const JsValue& value) {
+    (void)stmt_id; (void)name; (void)value;
+  }
+  virtual void on_write(int stmt_id, const std::string& name, const JsValue& value) {
+    (void)stmt_id; (void)name; (void)value;
+  }
+  /// F = function name, ARGS, VAL = result — the INVOKEFUNCTION callback.
+  virtual void on_invoke(int stmt_id, const std::string& fn, const std::vector<JsValue>& args,
+                         const JsValue& result) {
+    (void)stmt_id; (void)fn; (void)args; (void)result;
+  }
+};
+
+/// Interpreter tuning knobs.
+struct InterpreterConfig {
+  std::uint64_t max_steps = 10'000'000;  ///< runaway-loop guard
+  std::uint64_t rng_seed = 7;            ///< for Math.random determinism
+  int max_call_depth = 512;              ///< guards the host C++ stack
+};
+
+class Interpreter {
+ public:
+  using Config = InterpreterConfig;
+
+  explicit Interpreter(Program program, Config config = Config());
+
+  // Host bindings (must be set before run_toplevel for services that use
+  // them; they may also be swapped between executions for state isolation).
+  void bind_database(sqldb::Database* db) { db_ = db; }
+  void bind_vfs(vfs::Vfs* vfs) { vfs_ = vfs; }
+  void set_hooks(InstrumentationHooks* hooks) { hooks_ = hooks; }
+
+  sqldb::Database* database() { return db_; }
+  vfs::Vfs* filesystem() { return vfs_; }
+
+  /// Executes the program top level (the service `init`).
+  void run_toplevel();
+
+  /// REST routes registered during init.
+  const std::map<http::Route, JsValue>& routes() const { return routes_; }
+  bool has_route(const http::Route& route) const { return routes_.count(route) > 0; }
+
+  /// One service execution exec_i: unmarshal -> handler -> marshal.
+  /// Throws JsError if the handler throws or never calls res.send.
+  http::HttpResponse invoke(const http::Route& route, const http::HttpRequest& request);
+
+  /// Calls an arbitrary function value (used by the extracted replica
+  /// functions and by tests).
+  JsValue call_function(const JsValue& fn, std::vector<JsValue> args);
+
+  /// Calls a function *bound in the global scope* by name.
+  JsValue call_global(const std::string& name, std::vector<JsValue> args);
+
+  /// The user-global scope (top-level `var`s land here; builtins live in
+  /// the parent scope and are invisible to state capture).
+  const std::shared_ptr<Environment>& globals() { return globals_; }
+
+  /// Program access for the analysis/refactoring stages.
+  const Program& program() const { return program_; }
+
+  /// Simulated CPU work units accrued by `compute(u)` since last drain.
+  double drain_compute_units() {
+    const double units = compute_units_;
+    compute_units_ = 0;
+    return units;
+  }
+  void add_compute(double units) { compute_units_ += units; }
+
+  /// console.log lines captured since construction.
+  const std::vector<std::string>& console_output() const { return console_; }
+  void append_console(std::string line) { console_.push_back(std::move(line)); }
+
+  util::Rng& rng() { return rng_; }
+
+  /// Used by the `res.send` builtin.
+  void set_pending_response(JsValue value, int status);
+  bool has_pending_response() const { return response_sent_; }
+
+  /// Used by the `app.get/post/...` builtins during init.
+  void register_route(http::Verb verb, const std::string& path, JsValue handler);
+
+ private:
+  Program program_;
+  Config config_;
+  std::shared_ptr<Environment> builtins_;  ///< root scope: natives
+  std::shared_ptr<Environment> globals_;   ///< user globals
+  std::map<http::Route, JsValue> routes_;
+  InstrumentationHooks* hooks_ = nullptr;
+  sqldb::Database* db_ = nullptr;
+  vfs::Vfs* vfs_ = nullptr;
+  util::Rng rng_;
+  std::uint64_t steps_ = 0;
+  double compute_units_ = 0;
+  std::vector<std::string> console_;
+
+  // Per-invocation response slot.
+  JsValue pending_response_;
+  int pending_status_ = 200;
+  bool response_sent_ = false;
+
+  int current_stmt_ = 0;  ///< statement id for hook attribution
+  int call_depth_ = 0;    ///< live closure-call nesting
+
+  // Control-flow signals.
+  struct ReturnSignal { JsValue value; };
+  struct BreakSignal {};
+  struct ContinueSignal {};
+
+  void tick();
+  void exec_stmt(const StmtPtr& stmt, const std::shared_ptr<Environment>& env);
+  void exec_block(const StmtPtr& block, const std::shared_ptr<Environment>& env);
+  JsValue eval(const ExprPtr& expr, const std::shared_ptr<Environment>& env);
+  JsValue eval_call(const ExprPtr& expr, const std::shared_ptr<Environment>& env);
+  JsValue eval_assign(const ExprPtr& expr, const std::shared_ptr<Environment>& env);
+  JsValue call_value(const JsValue& fn, const std::string& name, std::vector<JsValue>& args);
+  JsValue builtin_method(const JsValue& receiver, const std::string& method,
+                         std::vector<JsValue>& args, bool& handled);
+
+  /// Base identifier of an lvalue chain (obj.a[i].b -> "obj"); empty if the
+  /// chain is not rooted in an identifier.
+  static std::string root_name(const ExprPtr& expr);
+};
+
+/// Builds a `req` JsValue from an HttpRequest (params + payload blob).
+JsValue make_request_object(const http::HttpRequest& request);
+
+/// Converts a handler's res.send argument into an HttpResponse, moving blob
+/// payload bytes out of the JSON body into payload_bytes.
+http::HttpResponse make_response(const JsValue& sent, int status);
+
+}  // namespace edgstr::minijs

@@ -1,0 +1,193 @@
+#include "minijs/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+namespace edgstr::minijs {
+
+namespace {
+
+const std::map<std::string, TokenKind>& keywords() {
+  static const std::map<std::string, TokenKind> kKeywords = {
+      {"var", TokenKind::kVar},       {"function", TokenKind::kFunction},
+      {"return", TokenKind::kReturn}, {"if", TokenKind::kIf},
+      {"else", TokenKind::kElse},     {"while", TokenKind::kWhile},
+      {"for", TokenKind::kFor},       {"true", TokenKind::kTrue},
+      {"false", TokenKind::kFalse},   {"null", TokenKind::kNull},
+      {"throw", TokenKind::kThrow},   {"try", TokenKind::kTry},
+      {"catch", TokenKind::kCatch},   {"break", TokenKind::kBreak},
+      {"continue", TokenKind::kContinue},
+      // `let`/`const` are accepted as synonyms of `var`.
+      {"let", TokenKind::kVar},       {"const", TokenKind::kVar},
+  };
+  return kKeywords;
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) {
+  std::vector<Token> tokens;
+  std::size_t pos = 0;
+  int line = 1;
+  int line_start = 0;
+
+  auto column = [&]() { return static_cast<int>(pos) - line_start + 1; };
+  auto push = [&](TokenKind kind, std::string text) {
+    tokens.push_back(Token{kind, std::move(text), 0, line, column()});
+  };
+
+  while (pos < source.size()) {
+    const char c = source[pos];
+
+    if (c == '\n') {
+      ++line;
+      ++pos;
+      line_start = static_cast<int>(pos);
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && pos + 1 < source.size()) {
+      if (source[pos + 1] == '/') {
+        while (pos < source.size() && source[pos] != '\n') ++pos;
+        continue;
+      }
+      if (source[pos + 1] == '*') {
+        pos += 2;
+        while (pos + 1 < source.size() && !(source[pos] == '*' && source[pos + 1] == '/')) {
+          if (source[pos] == '\n') {
+            ++line;
+            line_start = static_cast<int>(pos) + 1;
+          }
+          ++pos;
+        }
+        if (pos + 1 >= source.size()) throw LexError(line, "unterminated block comment");
+        pos += 2;
+        continue;
+      }
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      const std::size_t start = pos;
+      while (pos < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[pos])) || source[pos] == '_' ||
+              source[pos] == '$')) {
+        ++pos;
+      }
+      std::string word = source.substr(start, pos - start);
+      auto kw = keywords().find(word);
+      if (kw != keywords().end()) {
+        push(kw->second, std::move(word));
+      } else {
+        push(TokenKind::kIdent, std::move(word));
+      }
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const std::size_t start = pos;
+      while (pos < source.size() &&
+             (std::isdigit(static_cast<unsigned char>(source[pos])) || source[pos] == '.')) {
+        ++pos;
+      }
+      // Exponent part.
+      if (pos < source.size() && (source[pos] == 'e' || source[pos] == 'E')) {
+        ++pos;
+        if (pos < source.size() && (source[pos] == '+' || source[pos] == '-')) ++pos;
+        while (pos < source.size() && std::isdigit(static_cast<unsigned char>(source[pos]))) ++pos;
+      }
+      std::string text = source.substr(start, pos - start);
+      Token tok{TokenKind::kNumber, text, std::strtod(text.c_str(), nullptr), line, column()};
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Strings.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++pos;
+      std::string text;
+      while (true) {
+        if (pos >= source.size()) throw LexError(line, "unterminated string literal");
+        const char s = source[pos++];
+        if (s == quote) break;
+        if (s == '\n') throw LexError(line, "newline in string literal");
+        if (s == '\\') {
+          if (pos >= source.size()) throw LexError(line, "dangling escape");
+          const char esc = source[pos++];
+          switch (esc) {
+            case 'n': text.push_back('\n'); break;
+            case 't': text.push_back('\t'); break;
+            case 'r': text.push_back('\r'); break;
+            case '\\': text.push_back('\\'); break;
+            case '\'': text.push_back('\''); break;
+            case '"': text.push_back('"'); break;
+            case '0': text.push_back('\0'); break;
+            default: text.push_back(esc); break;
+          }
+        } else {
+          text.push_back(s);
+        }
+      }
+      push(TokenKind::kString, std::move(text));
+      continue;
+    }
+    // Operators / punctuation.
+    auto two = [&](char a, char b) {
+      return c == a && pos + 1 < source.size() && source[pos + 1] == b;
+    };
+    auto three = [&](const char* s) {
+      return pos + 2 < source.size() && source[pos] == s[0] && source[pos + 1] == s[1] &&
+             source[pos + 2] == s[2];
+    };
+
+    if (three("===")) { push(TokenKind::kEq, "==="); pos += 3; continue; }
+    if (three("!==")) { push(TokenKind::kNe, "!=="); pos += 3; continue; }
+    if (two('=', '=')) { push(TokenKind::kEq, "=="); pos += 2; continue; }
+    if (two('!', '=')) { push(TokenKind::kNe, "!="); pos += 2; continue; }
+    if (two('<', '=')) { push(TokenKind::kLe, "<="); pos += 2; continue; }
+    if (two('>', '=')) { push(TokenKind::kGe, ">="); pos += 2; continue; }
+    if (two('&', '&')) { push(TokenKind::kAndAnd, "&&"); pos += 2; continue; }
+    if (two('|', '|')) { push(TokenKind::kOrOr, "||"); pos += 2; continue; }
+    if (two('+', '=')) { push(TokenKind::kPlusAssign, "+="); pos += 2; continue; }
+    if (two('-', '=')) { push(TokenKind::kMinusAssign, "-="); pos += 2; continue; }
+    if (two('+', '+')) { push(TokenKind::kPlusPlus, "++"); pos += 2; continue; }
+    if (two('-', '-')) { push(TokenKind::kMinusMinus, "--"); pos += 2; continue; }
+
+    TokenKind kind;
+    switch (c) {
+      case '(': kind = TokenKind::kLParen; break;
+      case ')': kind = TokenKind::kRParen; break;
+      case '{': kind = TokenKind::kLBrace; break;
+      case '}': kind = TokenKind::kRBrace; break;
+      case '[': kind = TokenKind::kLBracket; break;
+      case ']': kind = TokenKind::kRBracket; break;
+      case ',': kind = TokenKind::kComma; break;
+      case ';': kind = TokenKind::kSemicolon; break;
+      case ':': kind = TokenKind::kColon; break;
+      case '.': kind = TokenKind::kDot; break;
+      case '?': kind = TokenKind::kQuestion; break;
+      case '=': kind = TokenKind::kAssign; break;
+      case '+': kind = TokenKind::kPlus; break;
+      case '-': kind = TokenKind::kMinus; break;
+      case '*': kind = TokenKind::kStar; break;
+      case '/': kind = TokenKind::kSlash; break;
+      case '%': kind = TokenKind::kPercent; break;
+      case '<': kind = TokenKind::kLt; break;
+      case '>': kind = TokenKind::kGt; break;
+      case '!': kind = TokenKind::kBang; break;
+      default:
+        throw LexError(line, std::string("unexpected character '") + c + "'");
+    }
+    push(kind, std::string(1, c));
+    ++pos;
+  }
+
+  tokens.push_back(Token{TokenKind::kEnd, "", 0, line, column()});
+  return tokens;
+}
+
+}  // namespace edgstr::minijs

@@ -1,0 +1,22 @@
+// Hand-written lexer for MiniJS. Supports // and /* */ comments, single- and
+// double-quoted strings with the usual escapes, and decimal numbers.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "minijs/token.h"
+
+namespace edgstr::minijs {
+
+class LexError : public std::runtime_error {
+ public:
+  LexError(int line, const std::string& what)
+      : std::runtime_error("lex error (line " + std::to_string(line) + "): " + what) {}
+};
+
+/// Tokenizes the whole source; the result always ends with a kEnd token.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace edgstr::minijs

@@ -1,0 +1,515 @@
+#include "minijs/parser.h"
+
+#include "minijs/lexer.h"
+
+namespace edgstr::minijs {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, int first_id)
+      : tokens_(std::move(tokens)), next_id_(first_id) {}
+
+  Program parse() {
+    Program program;
+    while (!at(TokenKind::kEnd)) {
+      program.body.push_back(statement());
+    }
+    program.next_stmt_id = next_id_;
+    return program;
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  int next_id_;
+
+  const Token& current() const { return tokens_[pos_]; }
+  int line() const { return current().line; }
+  bool at(TokenKind kind) const { return current().kind == kind; }
+
+  const Token& advance() { return tokens_[pos_++]; }
+
+  bool accept(TokenKind kind) {
+    if (at(kind)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  const Token& expect(TokenKind kind) {
+    if (!at(kind)) {
+      throw ParseError(line(), "expected " + token_kind_name(kind) + ", got " +
+                                   token_kind_name(current().kind) +
+                                   (current().text.empty() ? "" : " '" + current().text + "'"));
+    }
+    return advance();
+  }
+
+  int fresh_id() { return next_id_++; }
+
+  // ------------------------------------------------------------- stmts --
+
+  StmtPtr statement() {
+    switch (current().kind) {
+      case TokenKind::kVar: return var_decl();
+      case TokenKind::kFunction: return function_decl();
+      case TokenKind::kReturn: return return_stmt();
+      case TokenKind::kIf: return if_stmt();
+      case TokenKind::kWhile: return while_stmt();
+      case TokenKind::kFor: return for_stmt();
+      case TokenKind::kLBrace: return block();
+      case TokenKind::kThrow: return throw_stmt();
+      case TokenKind::kTry: return try_stmt();
+      case TokenKind::kBreak: {
+        auto s = std::make_shared<Stmt>();
+        s->kind = StmtKind::kBreak;
+        s->id = fresh_id();
+        s->line = line();
+        advance();
+        accept(TokenKind::kSemicolon);
+        return s;
+      }
+      case TokenKind::kContinue: {
+        auto s = std::make_shared<Stmt>();
+        s->kind = StmtKind::kContinue;
+        s->id = fresh_id();
+        s->line = line();
+        advance();
+        accept(TokenKind::kSemicolon);
+        return s;
+      }
+      default: {
+        const int l = line();
+        ExprPtr e = expression();
+        accept(TokenKind::kSemicolon);
+        return make_expr_stmt(fresh_id(), std::move(e), l);
+      }
+    }
+  }
+
+  StmtPtr var_decl() {
+    const int l = line();
+    expect(TokenKind::kVar);
+    std::string name = expect(TokenKind::kIdent).text;
+    ExprPtr init;
+    if (accept(TokenKind::kAssign)) init = expression();
+    accept(TokenKind::kSemicolon);
+    return make_var_decl(fresh_id(), std::move(name), std::move(init), l);
+  }
+
+  StmtPtr function_decl() {
+    const int l = line();
+    expect(TokenKind::kFunction);
+    std::string name = expect(TokenKind::kIdent).text;
+    std::vector<std::string> params = param_list();
+    StmtPtr body = block();
+    return make_function_decl(fresh_id(), std::move(name), std::move(params), std::move(body), l);
+  }
+
+  std::vector<std::string> param_list() {
+    expect(TokenKind::kLParen);
+    std::vector<std::string> params;
+    if (!at(TokenKind::kRParen)) {
+      while (true) {
+        params.push_back(expect(TokenKind::kIdent).text);
+        if (!accept(TokenKind::kComma)) break;
+      }
+    }
+    expect(TokenKind::kRParen);
+    return params;
+  }
+
+  StmtPtr return_stmt() {
+    const int l = line();
+    expect(TokenKind::kReturn);
+    ExprPtr value;
+    if (!at(TokenKind::kSemicolon) && !at(TokenKind::kRBrace)) value = expression();
+    accept(TokenKind::kSemicolon);
+    return make_return(fresh_id(), std::move(value), l);
+  }
+
+  StmtPtr if_stmt() {
+    const int l = line();
+    expect(TokenKind::kIf);
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::kIf;
+    s->id = fresh_id();
+    s->line = l;
+    expect(TokenKind::kLParen);
+    s->expr = expression();
+    expect(TokenKind::kRParen);
+    s->a_block = statement_as_block();
+    if (accept(TokenKind::kElse)) s->b_block = statement_as_block();
+    return s;
+  }
+
+  StmtPtr while_stmt() {
+    const int l = line();
+    expect(TokenKind::kWhile);
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::kWhile;
+    s->id = fresh_id();
+    s->line = l;
+    expect(TokenKind::kLParen);
+    s->expr = expression();
+    expect(TokenKind::kRParen);
+    s->a_block = statement_as_block();
+    return s;
+  }
+
+  StmtPtr for_stmt() {
+    const int l = line();
+    expect(TokenKind::kFor);
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::kFor;
+    s->id = fresh_id();
+    s->line = l;
+    expect(TokenKind::kLParen);
+    if (!at(TokenKind::kSemicolon)) {
+      if (at(TokenKind::kVar)) {
+        s->for_init = var_decl();  // consumes the ';'
+      } else {
+        ExprPtr e = expression();
+        expect(TokenKind::kSemicolon);
+        s->for_init = make_expr_stmt(fresh_id(), std::move(e), l);
+      }
+    } else {
+      expect(TokenKind::kSemicolon);
+    }
+    if (!at(TokenKind::kSemicolon)) s->expr = expression();
+    expect(TokenKind::kSemicolon);
+    if (!at(TokenKind::kRParen)) s->for_update = expression();
+    expect(TokenKind::kRParen);
+    s->a_block = statement_as_block();
+    return s;
+  }
+
+  StmtPtr throw_stmt() {
+    const int l = line();
+    expect(TokenKind::kThrow);
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::kThrow;
+    s->id = fresh_id();
+    s->line = l;
+    s->expr = expression();
+    accept(TokenKind::kSemicolon);
+    return s;
+  }
+
+  StmtPtr try_stmt() {
+    const int l = line();
+    expect(TokenKind::kTry);
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::kTryCatch;
+    s->id = fresh_id();
+    s->line = l;
+    s->a_block = block();
+    if (!accept(TokenKind::kCatch)) throw ParseError(line(), "try without catch");
+    expect(TokenKind::kLParen);
+    s->catch_name = expect(TokenKind::kIdent).text;
+    expect(TokenKind::kRParen);
+    s->b_block = block();
+    return s;
+  }
+
+  StmtPtr block() {
+    const int l = line();
+    expect(TokenKind::kLBrace);
+    std::vector<StmtPtr> stmts;
+    while (!at(TokenKind::kRBrace)) {
+      if (at(TokenKind::kEnd)) throw ParseError(l, "unterminated block");
+      stmts.push_back(statement());
+    }
+    expect(TokenKind::kRBrace);
+    return make_block(fresh_id(), std::move(stmts), l);
+  }
+
+  /// A single statement used where a block is expected; wraps non-blocks.
+  StmtPtr statement_as_block() {
+    if (at(TokenKind::kLBrace)) return block();
+    const int l = line();
+    StmtPtr single = statement();
+    return make_block(fresh_id(), {std::move(single)}, l);
+  }
+
+  // ------------------------------------------------------------- exprs --
+
+  ExprPtr expression() { return assignment(); }
+
+  ExprPtr assignment() {
+    ExprPtr lhs = ternary();
+    AssignOp op;
+    if (at(TokenKind::kAssign)) op = AssignOp::kAssign;
+    else if (at(TokenKind::kPlusAssign)) op = AssignOp::kAddAssign;
+    else if (at(TokenKind::kMinusAssign)) op = AssignOp::kSubAssign;
+    else return lhs;
+
+    if (lhs->kind != ExprKind::kIdent && lhs->kind != ExprKind::kMember &&
+        lhs->kind != ExprKind::kIndex) {
+      throw ParseError(line(), "invalid assignment target");
+    }
+    const int l = line();
+    advance();
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::kAssign;
+    e->assign_op = op;
+    e->a = std::move(lhs);
+    e->b = assignment();  // right associative
+    e->line = l;
+    return e;
+  }
+
+  ExprPtr ternary() {
+    ExprPtr cond = logical_or();
+    if (!accept(TokenKind::kQuestion)) return cond;
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::kTernary;
+    e->line = cond->line;
+    e->a = std::move(cond);
+    e->b = assignment();
+    expect(TokenKind::kColon);
+    e->c = assignment();
+    return e;
+  }
+
+  ExprPtr logical_or() {
+    ExprPtr lhs = logical_and();
+    while (at(TokenKind::kOrOr)) {
+      const int l = line();
+      advance();
+      lhs = make_binary(BinaryOp::kOr, std::move(lhs), logical_and(), l);
+    }
+    return lhs;
+  }
+
+  ExprPtr logical_and() {
+    ExprPtr lhs = equality();
+    while (at(TokenKind::kAndAnd)) {
+      const int l = line();
+      advance();
+      lhs = make_binary(BinaryOp::kAnd, std::move(lhs), equality(), l);
+    }
+    return lhs;
+  }
+
+  ExprPtr equality() {
+    ExprPtr lhs = relational();
+    while (at(TokenKind::kEq) || at(TokenKind::kNe)) {
+      const BinaryOp op = at(TokenKind::kEq) ? BinaryOp::kEq : BinaryOp::kNe;
+      const int l = line();
+      advance();
+      lhs = make_binary(op, std::move(lhs), relational(), l);
+    }
+    return lhs;
+  }
+
+  ExprPtr relational() {
+    ExprPtr lhs = additive();
+    while (true) {
+      BinaryOp op;
+      if (at(TokenKind::kLt)) op = BinaryOp::kLt;
+      else if (at(TokenKind::kLe)) op = BinaryOp::kLe;
+      else if (at(TokenKind::kGt)) op = BinaryOp::kGt;
+      else if (at(TokenKind::kGe)) op = BinaryOp::kGe;
+      else return lhs;
+      const int l = line();
+      advance();
+      lhs = make_binary(op, std::move(lhs), additive(), l);
+    }
+  }
+
+  ExprPtr additive() {
+    ExprPtr lhs = multiplicative();
+    while (at(TokenKind::kPlus) || at(TokenKind::kMinus)) {
+      const BinaryOp op = at(TokenKind::kPlus) ? BinaryOp::kAdd : BinaryOp::kSub;
+      const int l = line();
+      advance();
+      lhs = make_binary(op, std::move(lhs), multiplicative(), l);
+    }
+    return lhs;
+  }
+
+  ExprPtr multiplicative() {
+    ExprPtr lhs = unary();
+    while (at(TokenKind::kStar) || at(TokenKind::kSlash) || at(TokenKind::kPercent)) {
+      BinaryOp op = BinaryOp::kMul;
+      if (at(TokenKind::kSlash)) op = BinaryOp::kDiv;
+      if (at(TokenKind::kPercent)) op = BinaryOp::kMod;
+      const int l = line();
+      advance();
+      lhs = make_binary(op, std::move(lhs), unary(), l);
+    }
+    return lhs;
+  }
+
+  ExprPtr unary() {
+    if (at(TokenKind::kBang) || at(TokenKind::kMinus)) {
+      const UnaryOp op = at(TokenKind::kBang) ? UnaryOp::kNot : UnaryOp::kNeg;
+      const int l = line();
+      advance();
+      auto e = std::make_shared<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->unary_op = op;
+      e->a = unary();
+      e->line = l;
+      return e;
+    }
+    // Prefix ++/-- desugar to (x = x + 1).
+    if (at(TokenKind::kPlusPlus) || at(TokenKind::kMinusMinus)) {
+      const BinaryOp op = at(TokenKind::kPlusPlus) ? BinaryOp::kAdd : BinaryOp::kSub;
+      const int l = line();
+      advance();
+      ExprPtr target = postfix();
+      // Clone BEFORE building the call: argument evaluation order is
+      // unsequenced, so `target->clone()` next to `std::move(target)` in
+      // one expression would be use-after-move.
+      ExprPtr lvalue = target->clone();
+      ExprPtr increment = make_binary(op, std::move(target), make_number(1, l), l);
+      return make_assign(std::move(lvalue), std::move(increment), l);
+    }
+    return postfix();
+  }
+
+  ExprPtr postfix() {
+    ExprPtr e = primary();
+    while (true) {
+      if (accept(TokenKind::kDot)) {
+        std::string name = expect(TokenKind::kIdent).text;
+        e = make_member(std::move(e), std::move(name), line());
+        continue;
+      }
+      if (at(TokenKind::kLBracket)) {
+        const int l = line();
+        advance();
+        ExprPtr index = expression();
+        expect(TokenKind::kRBracket);
+        e = make_index(std::move(e), std::move(index), l);
+        continue;
+      }
+      if (at(TokenKind::kLParen)) {
+        const int l = line();
+        advance();
+        std::vector<ExprPtr> args;
+        if (!at(TokenKind::kRParen)) {
+          while (true) {
+            args.push_back(expression());
+            if (!accept(TokenKind::kComma)) break;
+          }
+        }
+        expect(TokenKind::kRParen);
+        e = make_call(std::move(e), std::move(args), l);
+        continue;
+      }
+      // Postfix ++/-- desugar to assignment (value semantics differ from JS
+      // but no subject code relies on the pre-increment value).
+      if (at(TokenKind::kPlusPlus) || at(TokenKind::kMinusMinus)) {
+        const BinaryOp op = at(TokenKind::kPlusPlus) ? BinaryOp::kAdd : BinaryOp::kSub;
+        const int l = line();
+        advance();
+        ExprPtr lvalue = e->clone();  // sequence the clone before the move
+        ExprPtr increment = make_binary(op, std::move(e), make_number(1, l), l);
+        e = make_assign(std::move(lvalue), std::move(increment), l);
+        continue;
+      }
+      return e;
+    }
+  }
+
+  ExprPtr primary() {
+    const int l = line();
+    switch (current().kind) {
+      case TokenKind::kNumber: {
+        const double v = current().number;
+        advance();
+        return make_number(v, l);
+      }
+      case TokenKind::kString: {
+        std::string v = current().text;
+        advance();
+        return make_string(std::move(v), l);
+      }
+      case TokenKind::kTrue:
+        advance();
+        return make_bool(true, l);
+      case TokenKind::kFalse:
+        advance();
+        return make_bool(false, l);
+      case TokenKind::kNull:
+        advance();
+        return make_null(l);
+      case TokenKind::kIdent: {
+        std::string name = current().text;
+        advance();
+        return make_ident(std::move(name), l);
+      }
+      case TokenKind::kLParen: {
+        advance();
+        ExprPtr e = expression();
+        expect(TokenKind::kRParen);
+        return e;
+      }
+      case TokenKind::kLBracket: {
+        advance();
+        auto e = std::make_shared<Expr>();
+        e->kind = ExprKind::kArray;
+        e->line = l;
+        if (!at(TokenKind::kRBracket)) {
+          while (true) {
+            e->args.push_back(expression());
+            if (!accept(TokenKind::kComma)) break;
+          }
+        }
+        expect(TokenKind::kRBracket);
+        return e;
+      }
+      case TokenKind::kLBrace: {
+        advance();
+        auto e = std::make_shared<Expr>();
+        e->kind = ExprKind::kObject;
+        e->line = l;
+        if (!at(TokenKind::kRBrace)) {
+          while (true) {
+            std::string key;
+            if (at(TokenKind::kIdent) || at(TokenKind::kString)) {
+              key = current().text;
+              advance();
+            } else if (at(TokenKind::kNumber)) {
+              key = current().text;
+              advance();
+            } else {
+              throw ParseError(line(), "expected object key");
+            }
+            expect(TokenKind::kColon);
+            e->entries.emplace_back(std::move(key), expression());
+            if (!accept(TokenKind::kComma)) break;
+          }
+        }
+        expect(TokenKind::kRBrace);
+        return e;
+      }
+      case TokenKind::kFunction: {
+        advance();
+        auto e = std::make_shared<Expr>();
+        e->kind = ExprKind::kFunction;
+        e->line = l;
+        if (at(TokenKind::kIdent)) advance();  // optional name, ignored
+        e->params = param_list();
+        e->body = block();
+        return e;
+      }
+      default:
+        throw ParseError(l, "unexpected token " + token_kind_name(current().kind));
+    }
+  }
+};
+
+}  // namespace
+
+Program parse_program(const std::string& source, int first_stmt_id) {
+  return Parser(lex(source), first_stmt_id).parse();
+}
+
+}  // namespace edgstr::minijs

@@ -1,0 +1,21 @@
+// Recursive-descent parser for MiniJS.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "minijs/ast.h"
+
+namespace edgstr::minijs {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& what)
+      : std::runtime_error("parse error (line " + std::to_string(line) + "): " + what) {}
+};
+
+/// Parses a complete program; statement ids are assigned in source order
+/// starting at `first_stmt_id`.
+Program parse_program(const std::string& source, int first_stmt_id = 1);
+
+}  // namespace edgstr::minijs

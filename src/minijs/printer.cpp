@@ -1,0 +1,214 @@
+#include "minijs/printer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace edgstr::minijs {
+
+namespace {
+
+std::string escape_string(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string number_text(double d) {
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", d);
+  return buf;
+}
+
+const char* binary_op_text(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "&&";
+    case BinaryOp::kOr: return "||";
+  }
+  return "?";
+}
+
+std::string indent_str(int indent) { return std::string(static_cast<std::size_t>(indent) * 2, ' '); }
+
+void print_block_body(const StmtPtr& block, int indent, std::string& out);
+
+}  // namespace
+
+std::string print_expr(const ExprPtr& expr) {
+  if (!expr) return "";
+  switch (expr->kind) {
+    case ExprKind::kNumber: return number_text(expr->number);
+    case ExprKind::kString: return escape_string(expr->text);
+    case ExprKind::kBool: return expr->boolean ? "true" : "false";
+    case ExprKind::kNull: return "null";
+    case ExprKind::kIdent: return expr->text;
+    case ExprKind::kMember: return print_expr(expr->a) + "." + expr->text;
+    case ExprKind::kIndex: return print_expr(expr->a) + "[" + print_expr(expr->b) + "]";
+    case ExprKind::kCall: {
+      std::string out = print_expr(expr->a) + "(";
+      for (std::size_t i = 0; i < expr->args.size(); ++i) {
+        if (i) out += ", ";
+        out += print_expr(expr->args[i]);
+      }
+      return out + ")";
+    }
+    case ExprKind::kBinary:
+      return "(" + print_expr(expr->a) + " " + binary_op_text(expr->binary_op) + " " +
+             print_expr(expr->b) + ")";
+    case ExprKind::kUnary:
+      return std::string(expr->unary_op == UnaryOp::kNot ? "!" : "-") + print_expr(expr->a);
+    case ExprKind::kTernary:
+      return "(" + print_expr(expr->a) + " ? " + print_expr(expr->b) + " : " +
+             print_expr(expr->c) + ")";
+    case ExprKind::kObject: {
+      if (expr->entries.empty()) return "{}";
+      std::string out = "{ ";
+      for (std::size_t i = 0; i < expr->entries.size(); ++i) {
+        if (i) out += ", ";
+        out += expr->entries[i].first + ": " + print_expr(expr->entries[i].second);
+      }
+      return out + " }";
+    }
+    case ExprKind::kArray: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < expr->args.size(); ++i) {
+        if (i) out += ", ";
+        out += print_expr(expr->args[i]);
+      }
+      return out + "]";
+    }
+    case ExprKind::kFunction: {
+      std::string out = "function (";
+      for (std::size_t i = 0; i < expr->params.size(); ++i) {
+        if (i) out += ", ";
+        out += expr->params[i];
+      }
+      out += ") {\n";
+      print_block_body(expr->body, 1, out);
+      out += "}";
+      return out;
+    }
+    case ExprKind::kAssign: {
+      const char* op = expr->assign_op == AssignOp::kAssign      ? "="
+                       : expr->assign_op == AssignOp::kAddAssign ? "+="
+                                                                 : "-=";
+      return print_expr(expr->a) + " " + op + " " + print_expr(expr->b);
+    }
+  }
+  return "?";
+}
+
+namespace {
+void print_block_body(const StmtPtr& block, int indent, std::string& out) {
+  if (!block) return;
+  for (const StmtPtr& stmt : block->stmts) out += print_stmt(stmt, indent);
+}
+}  // namespace
+
+std::string print_stmt(const StmtPtr& stmt, int indent) {
+  const std::string pad = indent_str(indent);
+  switch (stmt->kind) {
+    case StmtKind::kVarDecl:
+      if (stmt->expr) return pad + "var " + stmt->name + " = " + print_expr(stmt->expr) + ";\n";
+      return pad + "var " + stmt->name + ";\n";
+    case StmtKind::kExpr:
+      return pad + print_expr(stmt->expr) + ";\n";
+    case StmtKind::kIf: {
+      std::string out = pad + "if (" + print_expr(stmt->expr) + ") {\n";
+      print_block_body(stmt->a_block, indent + 1, out);
+      if (stmt->b_block) {
+        out += pad + "} else {\n";
+        print_block_body(stmt->b_block, indent + 1, out);
+      }
+      out += pad + "}\n";
+      return out;
+    }
+    case StmtKind::kWhile: {
+      std::string out = pad + "while (" + print_expr(stmt->expr) + ") {\n";
+      print_block_body(stmt->a_block, indent + 1, out);
+      out += pad + "}\n";
+      return out;
+    }
+    case StmtKind::kFor: {
+      std::string init;
+      if (stmt->for_init) {
+        init = print_stmt(stmt->for_init, 0);
+        // strip trailing ";\n" -> keep ";"? for-header wants "init; cond; update"
+        while (!init.empty() && (init.back() == '\n' || init.back() == ';')) init.pop_back();
+      }
+      std::string out = pad + "for (" + init + "; " + print_expr(stmt->expr) + "; " +
+                        print_expr(stmt->for_update) + ") {\n";
+      print_block_body(stmt->a_block, indent + 1, out);
+      out += pad + "}\n";
+      return out;
+    }
+    case StmtKind::kReturn:
+      if (stmt->expr) return pad + "return " + print_expr(stmt->expr) + ";\n";
+      return pad + "return;\n";
+    case StmtKind::kBlock: {
+      std::string out = pad + "{\n";
+      print_block_body(stmt, indent + 1, out);
+      out += pad + "}\n";
+      return out;
+    }
+    case StmtKind::kFunctionDecl: {
+      std::string out = pad + "function " + stmt->name + "(";
+      for (std::size_t i = 0; i < stmt->params.size(); ++i) {
+        if (i) out += ", ";
+        out += stmt->params[i];
+      }
+      out += ") {\n";
+      print_block_body(stmt->a_block, indent + 1, out);
+      out += pad + "}\n";
+      return out;
+    }
+    case StmtKind::kThrow:
+      return pad + "throw " + print_expr(stmt->expr) + ";\n";
+    case StmtKind::kTryCatch: {
+      std::string out = pad + "try {\n";
+      print_block_body(stmt->a_block, indent + 1, out);
+      out += pad + "} catch (" + stmt->catch_name + ") {\n";
+      print_block_body(stmt->b_block, indent + 1, out);
+      out += pad + "}\n";
+      return out;
+    }
+    case StmtKind::kBreak:
+      return pad + "break;\n";
+    case StmtKind::kContinue:
+      return pad + "continue;\n";
+  }
+  return pad + "/* ? */\n";
+}
+
+std::string print_program(const Program& program) {
+  std::string out;
+  for (const StmtPtr& stmt : program.body) out += print_stmt(stmt, 0);
+  return out;
+}
+
+}  // namespace edgstr::minijs

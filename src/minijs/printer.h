@@ -1,0 +1,18 @@
+// Pretty-printer: renders MiniJS ASTs back to source text.
+//
+// The code generator (§III-G2) emits edge-replica programs as *readable
+// source* "that can be tweaked by hand"; the printer is what turns the
+// transformed AST into that source. print->parse->print is a fixpoint.
+#pragma once
+
+#include <string>
+
+#include "minijs/ast.h"
+
+namespace edgstr::minijs {
+
+std::string print_expr(const ExprPtr& expr);
+std::string print_stmt(const StmtPtr& stmt, int indent = 0);
+std::string print_program(const Program& program);
+
+}  // namespace edgstr::minijs

@@ -1,0 +1,76 @@
+// Token definitions for MiniJS, the JavaScript-subset language that stands
+// in for Node.js server code in this reproduction.
+#pragma once
+
+#include <string>
+
+namespace edgstr::minijs {
+
+enum class TokenKind {
+  // literals / identifiers
+  kNumber,
+  kString,
+  kIdent,
+  // keywords
+  kVar,
+  kFunction,
+  kReturn,
+  kIf,
+  kElse,
+  kWhile,
+  kFor,
+  kTrue,
+  kFalse,
+  kNull,
+  kThrow,
+  kTry,
+  kCatch,
+  kBreak,
+  kContinue,
+  // punctuation
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemicolon,
+  kColon,
+  kDot,
+  kQuestion,
+  // operators
+  kAssign,     // =
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kEq,         // ==, ===
+  kNe,         // !=, !==
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAndAnd,
+  kOrOr,
+  kBang,
+  kPlusAssign,   // +=
+  kMinusAssign,  // -=
+  kPlusPlus,     // ++
+  kMinusMinus,   // --
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;    ///< raw identifier / string contents / number text
+  double number = 0;   ///< value for kNumber
+  int line = 0;
+  int column = 0;
+};
+
+/// Human-readable token-kind name for diagnostics.
+std::string token_kind_name(TokenKind kind);
+
+}  // namespace edgstr::minijs

@@ -1,0 +1,311 @@
+#include "minijs/value.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace edgstr::minijs {
+
+// ------------------------------------------------------------- JsObject --
+
+bool JsObject::has(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+JsValue JsObject::get(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return v;
+  }
+  return JsValue();
+}
+
+void JsObject::set(const std::string& key, JsValue value) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  entries_.emplace_back(key, std::move(value));
+}
+
+bool JsObject::erase(const std::string& key) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first == key) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> JsObject::keys() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [k, v] : entries_) out.push_back(k);
+  return out;
+}
+
+// -------------------------------------------------------------- JsValue --
+
+JsValue JsValue::new_array(JsArray items) {
+  return JsValue(std::make_shared<JsArray>(std::move(items)));
+}
+
+JsValue JsValue::new_object() { return JsValue(std::make_shared<JsObject>()); }
+
+bool JsValue::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&data_)) return *b;
+  throw std::logic_error("JsValue: not a bool");
+}
+
+double JsValue::as_number() const {
+  if (const double* d = std::get_if<double>(&data_)) return *d;
+  throw std::logic_error("JsValue: not a number (got " + to_display() + ")");
+}
+
+const std::string& JsValue::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&data_)) return *s;
+  throw std::logic_error("JsValue: not a string (got " + to_display() + ")");
+}
+
+const std::shared_ptr<JsArray>& JsValue::as_array() const {
+  if (const auto* a = std::get_if<std::shared_ptr<JsArray>>(&data_)) return *a;
+  throw std::logic_error("JsValue: not an array (got " + to_display() + ")");
+}
+
+const std::shared_ptr<JsObject>& JsValue::as_object() const {
+  if (const auto* o = std::get_if<std::shared_ptr<JsObject>>(&data_)) return *o;
+  throw std::logic_error("JsValue: not an object (got " + to_display() + ")");
+}
+
+const std::shared_ptr<Closure>& JsValue::as_closure() const {
+  if (const auto* c = std::get_if<std::shared_ptr<Closure>>(&data_)) return *c;
+  throw std::logic_error("JsValue: not a function");
+}
+
+const std::shared_ptr<NativeFunction>& JsValue::as_native() const {
+  if (const auto* n = std::get_if<std::shared_ptr<NativeFunction>>(&data_)) return *n;
+  throw std::logic_error("JsValue: not a native function");
+}
+
+Blob JsValue::as_blob() const {
+  if (const Blob* b = std::get_if<Blob>(&data_)) return *b;
+  throw std::logic_error("JsValue: not a blob");
+}
+
+bool JsValue::truthy() const {
+  switch (type()) {
+    case Type::kNull: return false;
+    case Type::kBool: return std::get<bool>(data_);
+    case Type::kNumber: {
+      const double d = std::get<double>(data_);
+      return d != 0.0 && !std::isnan(d);
+    }
+    case Type::kString: return !std::get<std::string>(data_).empty();
+    default: return true;
+  }
+}
+
+bool JsValue::equals(const JsValue& other) const {
+  if (type() != other.type()) {
+    // Numeric/bool coercions are not applied: subject code compares
+    // like-typed values.
+    return false;
+  }
+  switch (type()) {
+    case Type::kNull: return true;
+    case Type::kBool: return std::get<bool>(data_) == std::get<bool>(other.data_);
+    case Type::kNumber: return std::get<double>(data_) == std::get<double>(other.data_);
+    case Type::kString: return std::get<std::string>(data_) == std::get<std::string>(other.data_);
+    case Type::kArray: {
+      const auto& a = *std::get<std::shared_ptr<JsArray>>(data_);
+      const auto& b = *std::get<std::shared_ptr<JsArray>>(other.data_);
+      if (a.size() != b.size()) return false;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!a[i].equals(b[i])) return false;
+      }
+      return true;
+    }
+    case Type::kObject: {
+      const auto& a = *std::get<std::shared_ptr<JsObject>>(data_);
+      const auto& b = *std::get<std::shared_ptr<JsObject>>(other.data_);
+      if (a.size() != b.size()) return false;
+      for (const auto& [k, v] : a.entries()) {
+        if (!b.has(k) || !b.get(k).equals(v)) return false;
+      }
+      return true;
+    }
+    case Type::kClosure:
+      return std::get<std::shared_ptr<Closure>>(data_) ==
+             std::get<std::shared_ptr<Closure>>(other.data_);
+    case Type::kNative:
+      return std::get<std::shared_ptr<NativeFunction>>(data_) ==
+             std::get<std::shared_ptr<NativeFunction>>(other.data_);
+    case Type::kBlob: {
+      const Blob a = std::get<Blob>(data_);
+      const Blob b = std::get<Blob>(other.data_);
+      return a.size == b.size && a.fingerprint == b.fingerprint;
+    }
+  }
+  return false;
+}
+
+JsValue JsValue::deep_copy() const {
+  switch (type()) {
+    case Type::kArray: {
+      auto copy = std::make_shared<JsArray>();
+      copy->reserve(as_array()->size());
+      for (const JsValue& item : *as_array()) copy->push_back(item.deep_copy());
+      return JsValue(std::move(copy));
+    }
+    case Type::kObject: {
+      auto copy = std::make_shared<JsObject>();
+      for (const auto& [k, v] : as_object()->entries()) copy->set(k, v.deep_copy());
+      return JsValue(std::move(copy));
+    }
+    default:
+      return *this;  // immutable or identity-shared
+  }
+}
+
+std::string JsValue::to_display() const {
+  switch (type()) {
+    case Type::kNull: return "null";
+    case Type::kBool: return std::get<bool>(data_) ? "true" : "false";
+    case Type::kNumber: {
+      const double d = std::get<double>(data_);
+      if (d == std::floor(d) && std::abs(d) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", d);
+        return buf;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", d);
+      return buf;
+    }
+    case Type::kString: return std::get<std::string>(data_);
+    case Type::kArray:
+    case Type::kObject: return to_json().dump();
+    case Type::kClosure: return "[function " + std::get<std::shared_ptr<Closure>>(data_)->name + "]";
+    case Type::kNative: return "[native " + std::get<std::shared_ptr<NativeFunction>>(data_)->name + "]";
+    case Type::kBlob: {
+      const Blob b = std::get<Blob>(data_);
+      return "[blob " + std::to_string(b.size) + "B]";
+    }
+  }
+  return "?";
+}
+
+json::Value JsValue::to_json() const {
+  switch (type()) {
+    case Type::kNull: return json::Value(nullptr);
+    case Type::kBool: return json::Value(std::get<bool>(data_));
+    case Type::kNumber: return json::Value(std::get<double>(data_));
+    case Type::kString: return json::Value(std::get<std::string>(data_));
+    case Type::kArray: {
+      json::Array arr;
+      for (const JsValue& item : *as_array()) arr.push_back(item.to_json());
+      return json::Value(std::move(arr));
+    }
+    case Type::kObject: {
+      json::Object obj;
+      for (const auto& [k, v] : as_object()->entries()) obj.set(k, v.to_json());
+      return json::Value(std::move(obj));
+    }
+    case Type::kBlob: {
+      const Blob b = std::get<Blob>(data_);
+      return json::Value::object({{"__blob__", static_cast<double>(b.size)},
+                                  {"fp", static_cast<double>(b.fingerprint)}});
+    }
+    case Type::kClosure:
+    case Type::kNative:
+      return json::Value(nullptr);
+  }
+  return json::Value(nullptr);
+}
+
+JsValue JsValue::from_json(const json::Value& v) {
+  switch (v.type()) {
+    case json::Value::Type::kNull: return JsValue();
+    case json::Value::Type::kBool: return JsValue(v.as_bool());
+    case json::Value::Type::kNumber: return JsValue(v.as_number());
+    case json::Value::Type::kString: return JsValue(v.as_string());
+    case json::Value::Type::kArray: {
+      JsArray items;
+      items.reserve(v.as_array().size());
+      for (const json::Value& item : v.as_array()) items.push_back(from_json(item));
+      return new_array(std::move(items));
+    }
+    case json::Value::Type::kObject: {
+      if (const json::Value* size = v.find("__blob__")) {
+        Blob blob;
+        blob.size = static_cast<std::uint64_t>(size->as_number());
+        if (const json::Value* fp = v.find("fp")) {
+          blob.fingerprint = static_cast<std::uint64_t>(fp->as_number());
+        }
+        return JsValue(blob);
+      }
+      auto obj = std::make_shared<JsObject>();
+      for (const auto& [k, value] : v.as_object()) obj->set(k, from_json(value));
+      return JsValue(std::move(obj));
+    }
+  }
+  return JsValue();
+}
+
+std::uint64_t JsValue::wire_size() const {
+  if (is_blob()) return as_blob().size;
+  if (is_array()) {
+    std::uint64_t total = 2;
+    for (const JsValue& item : *as_array()) total += item.wire_size() + 1;
+    return total;
+  }
+  if (is_object()) {
+    std::uint64_t total = 2;
+    for (const auto& [k, v] : as_object()->entries()) total += k.size() + 3 + v.wire_size() + 1;
+    return total;
+  }
+  return to_json().wire_size();
+}
+
+// ---------------------------------------------------------- Environment --
+
+void Environment::define(const std::string& name, JsValue value) {
+  vars_[name] = std::move(value);
+}
+
+bool Environment::has(const std::string& name) const {
+  if (vars_.count(name)) return true;
+  return parent_ && parent_->has(name);
+}
+
+const JsValue& Environment::get(const std::string& name) const {
+  auto it = vars_.find(name);
+  if (it != vars_.end()) return it->second;
+  if (parent_) return parent_->get(name);
+  throw std::out_of_range("undefined variable: " + name);
+}
+
+void Environment::set(const std::string& name, JsValue value) {
+  auto it = vars_.find(name);
+  if (it != vars_.end()) {
+    it->second = std::move(value);
+    return;
+  }
+  if (parent_) {
+    parent_->set(name, std::move(value));
+    return;
+  }
+  throw std::out_of_range("assignment to undefined variable: " + name);
+}
+
+Environment& Environment::global() {
+  Environment* env = this;
+  while (env->parent_) env = env->parent_.get();
+  return *env;
+}
+
+}  // namespace edgstr::minijs

@@ -1,0 +1,163 @@
+// MiniJS runtime values and lexical environments.
+//
+// Values mirror JavaScript's: null, boolean, number, string, array, object,
+// function (closure or native). One addition: Blob, an *opaque payload*
+// with an explicit byte size and content fingerprint. Blobs stand in for
+// the camera images / MNIST digits the subject apps ship over HTTP, so the
+// simulator can account for megabytes of traffic without storing them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "json/value.h"
+#include "minijs/ast.h"
+
+namespace edgstr::minijs {
+
+class JsValue;
+class Interpreter;
+
+using JsArray = std::vector<JsValue>;
+
+/// Order-preserving property map (JavaScript object semantics).
+class JsObject {
+ public:
+  bool has(const std::string& key) const;
+  /// Returns null for missing keys (JS `undefined` behaviour).
+  JsValue get(const std::string& key) const;
+  void set(const std::string& key, JsValue value);
+  bool erase(const std::string& key);
+  std::vector<std::string> keys() const;
+  std::size_t size() const { return entries_.size(); }
+
+  const std::vector<std::pair<std::string, JsValue>>& entries() const { return entries_; }
+
+ private:
+  std::vector<std::pair<std::string, JsValue>> entries_;
+};
+
+class Environment;
+
+/// User-defined function value.
+struct Closure {
+  std::string name;  ///< for diagnostics and invoke hooks; may be empty
+  std::vector<std::string> params;
+  StmtPtr body;  ///< Block
+  std::shared_ptr<Environment> env;
+};
+
+/// Host-provided function.
+struct NativeFunction {
+  std::string name;
+  std::function<JsValue(Interpreter&, std::vector<JsValue>&)> fn;
+};
+
+/// Opaque payload: size + fingerprint, no contents.
+struct Blob {
+  std::uint64_t size = 0;
+  std::uint64_t fingerprint = 0;
+};
+
+class JsValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject, kClosure, kNative, kBlob };
+
+  JsValue() : data_(nullptr) {}
+  JsValue(std::nullptr_t) : data_(nullptr) {}
+  JsValue(bool b) : data_(b) {}
+  JsValue(double d) : data_(d) {}
+  JsValue(int i) : data_(static_cast<double>(i)) {}
+  JsValue(const char* s) : data_(std::string(s)) {}
+  JsValue(std::string s) : data_(std::move(s)) {}
+  JsValue(std::shared_ptr<JsArray> a) : data_(std::move(a)) {}
+  JsValue(std::shared_ptr<JsObject> o) : data_(std::move(o)) {}
+  JsValue(std::shared_ptr<Closure> c) : data_(std::move(c)) {}
+  JsValue(std::shared_ptr<NativeFunction> n) : data_(std::move(n)) {}
+  JsValue(Blob b) : data_(b) {}
+
+  static JsValue new_array(JsArray items = {});
+  static JsValue new_object();
+
+  Type type() const { return static_cast<Type>(data_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_number() const { return type() == Type::kNumber; }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+  bool is_callable() const { return type() == Type::kClosure || type() == Type::kNative; }
+  bool is_blob() const { return type() == Type::kBlob; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::shared_ptr<JsArray>& as_array() const;
+  const std::shared_ptr<JsObject>& as_object() const;
+  const std::shared_ptr<Closure>& as_closure() const;
+  const std::shared_ptr<NativeFunction>& as_native() const;
+  Blob as_blob() const;
+
+  /// JavaScript truthiness.
+  bool truthy() const;
+
+  /// Deep structural equality (arrays/objects by value, functions by
+  /// identity, blobs by size+fingerprint).
+  bool equals(const JsValue& other) const;
+
+  /// Deep copy: arrays/objects are cloned recursively; functions and blobs
+  /// are shared. This is the "deeply copies all global variables" operation
+  /// of §III-C.
+  JsValue deep_copy() const;
+
+  /// Display string (console.log formatting / string concatenation).
+  std::string to_display() const;
+
+  /// Conversion to JSON for marshaling over HTTP and snapshotting. Blobs
+  /// serialize as {"__blob__": size, "fp": fingerprint}; functions as null.
+  json::Value to_json() const;
+  static JsValue from_json(const json::Value& v);
+
+  /// Wire size contribution: JSON size, but blobs count their full payload.
+  std::uint64_t wire_size() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, std::shared_ptr<JsArray>,
+               std::shared_ptr<JsObject>, std::shared_ptr<Closure>,
+               std::shared_ptr<NativeFunction>, Blob>
+      data_;
+};
+
+/// Lexical scope chain.
+class Environment : public std::enable_shared_from_this<Environment> {
+ public:
+  explicit Environment(std::shared_ptr<Environment> parent = nullptr)
+      : parent_(std::move(parent)) {}
+
+  /// Declares a binding in *this* scope (shadows outer bindings).
+  void define(const std::string& name, JsValue value);
+  /// True if bound anywhere in the chain.
+  bool has(const std::string& name) const;
+  /// True if bound in this scope directly.
+  bool has_local(const std::string& name) const { return vars_.count(name) > 0; }
+  /// Reads a binding; throws std::out_of_range if unbound.
+  const JsValue& get(const std::string& name) const;
+  /// Writes the nearest binding; throws std::out_of_range if unbound.
+  void set(const std::string& name, JsValue value);
+
+  /// The root (global) scope of this chain.
+  Environment& global();
+  const std::map<std::string, JsValue>& locals() const { return vars_; }
+  std::map<std::string, JsValue>& locals_mutable() { return vars_; }
+
+ private:
+  std::map<std::string, JsValue> vars_;
+  std::shared_ptr<Environment> parent_;
+};
+
+}  // namespace edgstr::minijs

@@ -1,0 +1,66 @@
+// Discrete-event simulation clock.
+//
+// All latency/throughput/energy results in the evaluation harness are
+// produced on this virtual clock, which makes every experiment deterministic
+// and independent of host machine speed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace edgstr::netsim {
+
+/// Simulated time, in seconds since simulation start.
+using SimTime = double;
+
+/// Event-driven virtual clock. Events scheduled at equal times fire in
+/// scheduling order (stable FIFO tie-break).
+class SimClock {
+ public:
+  SimClock() = default;
+  SimClock(const SimClock&) = delete;
+  SimClock& operator=(const SimClock&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` seconds from now. Negative delays clamp
+  /// to zero (fire "immediately", but still via the event loop).
+  void schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedules `fn` at an absolute simulation time (>= now).
+  void schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Runs events until the queue is empty.
+  void run();
+
+  /// Runs events with timestamps <= deadline, then advances now() to the
+  /// deadline even if the queue still holds later events.
+  void run_until(SimTime deadline);
+
+  /// Executes at most one event; returns false if the queue was empty.
+  bool step();
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace edgstr::netsim

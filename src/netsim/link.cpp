@@ -1,0 +1,89 @@
+#include "netsim/link.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace edgstr::netsim {
+
+LinkConfig LinkConfig::lan() {
+  LinkConfig cfg;
+  cfg.name = "lan";
+  cfg.latency_s = 0.002;        // 2 ms single hop
+  cfg.bandwidth_bps = 12.5e6;   // ~100 Mbit/s Wi-Fi
+  cfg.jitter_s = 0.0005;
+  cfg.loss_probability = 0.0;
+  return cfg;
+}
+
+LinkConfig LinkConfig::fast_wan() {
+  LinkConfig cfg;
+  cfg.name = "fast-wan";
+  cfg.latency_s = 0.020;       // 20 ms same-continent
+  cfg.bandwidth_bps = 12.5e6;  // ~100 Mbit/s: the paper's "good network
+                               // conditions" baseline matches typical edge
+                               // network bandwidth
+  cfg.jitter_s = 0.002;
+  return cfg;
+}
+
+LinkConfig LinkConfig::limited_wan() {
+  LinkConfig cfg;
+  cfg.name = "limited-wan";
+  cfg.latency_s = 0.300;       // within the paper's [100,1000] ms band
+  cfg.bandwidth_bps = 62500;   // 500 Kbit/s = midpoint of [100,1000] Kbps
+  cfg.jitter_s = 0.020;
+  return cfg;
+}
+
+LinkConfig LinkConfig::intercontinental_wan() {
+  LinkConfig cfg;
+  cfg.name = "intercontinental-wan";
+  cfg.latency_s = 0.180;       // ~order of magnitude above same-continent
+  cfg.bandwidth_bps = 2.5e6;   // ~20 Mbit/s transoceanic share
+  cfg.jitter_s = 0.015;
+  return cfg;
+}
+
+LinkConfig LinkConfig::wan(double latency_s, double bandwidth_bytes_per_s) {
+  LinkConfig cfg;
+  cfg.name = "wan";
+  cfg.latency_s = latency_s;
+  cfg.bandwidth_bps = bandwidth_bytes_per_s;
+  return cfg;
+}
+
+Link::Link(SimClock& clock, LinkConfig config, util::Rng rng)
+    : clock_(clock), config_(std::move(config)), rng_(rng) {}
+
+double Link::nominal_transfer_time(std::uint64_t bytes) const {
+  const double serialization =
+      config_.bandwidth_bps > 0 ? static_cast<double>(bytes) / config_.bandwidth_bps : 0.0;
+  return config_.per_message_setup_s + serialization + config_.latency_s;
+}
+
+SimTime Link::send(std::uint64_t bytes, std::function<void()> on_delivered) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += bytes;
+
+  if (config_.loss_probability > 0 && rng_.chance(config_.loss_probability)) {
+    ++stats_.messages_dropped;
+    return -1;
+  }
+
+  const double serialization =
+      config_.bandwidth_bps > 0 ? static_cast<double>(bytes) / config_.bandwidth_bps : 0.0;
+  double jitter = config_.jitter_s > 0 ? rng_.normal(0.0, config_.jitter_s) : 0.0;
+  jitter = std::max(jitter, -config_.latency_s);  // latency can't go negative
+
+  // FIFO serialization: the message starts transmitting when the link frees.
+  const SimTime start = std::max(clock_.now(), busy_until_);
+  busy_until_ = start + serialization;
+  stats_.busy_time_s += serialization;
+
+  const SimTime delivery =
+      busy_until_ + config_.latency_s + jitter + config_.per_message_setup_s;
+  clock_.schedule_at(delivery, std::move(on_delivered));
+  return delivery;
+}
+
+}  // namespace edgstr::netsim

@@ -1,0 +1,86 @@
+// Point-to-point network link model.
+//
+// A Link has propagation latency, serialization bandwidth, optional jitter
+// and loss. Transmissions queue behind each other (single-channel FIFO), so
+// a saturated link exhibits rising queueing delay — the effect that drives
+// the Figure 7 throughput crossover and the Figure 10(b) batching result.
+//
+// Presets mirror the paper's testbed: an "edge network" LAN (strong-signal
+// Wi-Fi) and a configurable WAN emulated with comcast-style bandwidth and
+// delay offsets (100–1000 Kbps, 100–1000 ms for the "limited cloud network").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "netsim/clock.h"
+#include "util/rng.h"
+
+namespace edgstr::netsim {
+
+/// Static link characteristics.
+struct LinkConfig {
+  std::string name = "link";
+  double latency_s = 0.001;        ///< one-way propagation delay
+  double bandwidth_bps = 1e9;      ///< bytes/sec NOT bits: bytes per second
+  double jitter_s = 0.0;           ///< stddev of gaussian latency jitter
+  double loss_probability = 0.0;   ///< per-message drop probability
+  /// Per-message connection-establishment cost (TCP/TLS handshakes on
+  /// links where connections are not reused). Paid once per message, which
+  /// is exactly what request batching amortizes.
+  double per_message_setup_s = 0.0;
+
+  /// LAN preset: single-hop 802.11 at strong signal (-55 dBm or better).
+  static LinkConfig lan();
+  /// Fast WAN preset: well-provisioned same-continent cloud path.
+  static LinkConfig fast_wan();
+  /// Limited-cloud-network preset from §IV-C: midpoint of the paper's
+  /// [100,1000] Kbps bandwidth and [100,1000] ms latency ranges.
+  static LinkConfig limited_wan();
+  /// Cross-continent preset for the §II-A motivation (order-of-magnitude
+  /// larger RTT than same-continent).
+  static LinkConfig intercontinental_wan();
+  /// Arbitrary WAN with the given one-way latency and bandwidth.
+  static LinkConfig wan(double latency_s, double bandwidth_bytes_per_s);
+};
+
+/// Cumulative traffic counters for one link direction.
+struct LinkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+  double busy_time_s = 0;  ///< total serialization time
+};
+
+/// A unidirectional transmission channel on the simulation clock.
+class Link {
+ public:
+  Link(SimClock& clock, LinkConfig config, util::Rng rng);
+
+  /// Queues a message of `bytes` for transmission; `on_delivered` fires on
+  /// the clock when the last byte arrives (or never, if the message drops).
+  /// Returns the scheduled delivery time, or a negative value if dropped.
+  SimTime send(std::uint64_t bytes, std::function<void()> on_delivered);
+
+  /// Pure arithmetic: serialization + propagation for a message of `bytes`
+  /// on an idle link (no queueing, no jitter).
+  double nominal_transfer_time(std::uint64_t bytes) const;
+
+  const LinkConfig& config() const { return config_; }
+  const LinkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = LinkStats{}; }
+
+  /// Replaces the link characteristics mid-simulation (used by the WAN
+  /// sweep benchmarks between runs).
+  void set_config(LinkConfig config) { config_ = std::move(config); }
+
+ private:
+  SimClock& clock_;
+  LinkConfig config_;
+  util::Rng rng_;
+  LinkStats stats_;
+  SimTime busy_until_ = 0;  ///< FIFO serialization horizon
+};
+
+}  // namespace edgstr::netsim

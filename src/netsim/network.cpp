@@ -1,0 +1,52 @@
+#include "netsim/network.h"
+
+namespace edgstr::netsim {
+
+Channel& Network::connect(const std::string& a, const std::string& b,
+                          const LinkConfig& config) {
+  const Key k = key(a, b);
+  auto it = channels_.find(k);
+  if (it != channels_.end()) {
+    it->second->set_config(config);
+    return *it->second;
+  }
+  auto channel = std::make_unique<Channel>(clock_, config, rng_);
+  Channel& ref = *channel;
+  channels_.emplace(k, std::move(channel));
+  return ref;
+}
+
+Channel& Network::channel(const std::string& a, const std::string& b) {
+  auto it = channels_.find(key(a, b));
+  if (it == channels_.end()) {
+    throw std::out_of_range("Network::channel: no channel between '" + a + "' and '" + b + "'");
+  }
+  return *it->second;
+}
+
+bool Network::connected(const std::string& a, const std::string& b) const {
+  return channels_.count(key(a, b)) > 0;
+}
+
+Link& Network::directed_link(const std::string& from, const std::string& to) {
+  Channel& ch = channel(from, to);
+  // Channel::forward() carries traffic in the lexicographically-smaller ->
+  // larger direction by construction of key().
+  return from < to ? ch.forward() : ch.backward();
+}
+
+SimTime Network::send(const std::string& from, const std::string& to, std::uint64_t bytes,
+                      std::function<void()> on_delivered) {
+  return directed_link(from, to).send(bytes, std::move(on_delivered));
+}
+
+double Network::nominal_transfer_time(const std::string& from, const std::string& to,
+                                      std::uint64_t bytes) {
+  return directed_link(from, to).nominal_transfer_time(bytes);
+}
+
+void Network::reset_stats() {
+  for (auto& [k, ch] : channels_) ch->reset_stats();
+}
+
+}  // namespace edgstr::netsim

@@ -1,0 +1,89 @@
+// Network topology: named hosts connected by bidirectional channels.
+//
+// The evaluation topology mirrors the paper's testbed (Figure 6(a)):
+//
+//   mobile client --LAN--> edge router --LAN--> edge nodes (RPI-3/RPI-4)
+//                                   \--WAN--> cloud server (OptiPlex)
+//
+// Hosts are plain string ids; a channel is a pair of unidirectional Links.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "netsim/link.h"
+
+namespace edgstr::netsim {
+
+/// A bidirectional channel: one Link per direction, independent FIFO queues.
+class Channel {
+ public:
+  Channel(SimClock& clock, const LinkConfig& config, util::Rng& rng)
+      : forward_(clock, config, rng.split()), backward_(clock, config, rng.split()) {}
+
+  Link& forward() { return forward_; }    ///< a -> b direction
+  Link& backward() { return backward_; }  ///< b -> a direction
+
+  /// Combined byte count over both directions.
+  std::uint64_t total_bytes() const {
+    return forward_.stats().bytes_sent + backward_.stats().bytes_sent;
+  }
+  void reset_stats() {
+    forward_.reset_stats();
+    backward_.reset_stats();
+  }
+  void set_config(const LinkConfig& config) {
+    forward_.set_config(config);
+    backward_.set_config(config);
+  }
+
+ private:
+  Link forward_;
+  Link backward_;
+};
+
+/// Topology of hosts and channels on a shared clock.
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 42) : rng_(seed) {}
+
+  SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
+
+  /// Creates (or reconfigures) the channel between two hosts.
+  Channel& connect(const std::string& a, const std::string& b, const LinkConfig& config);
+
+  /// Returns the channel between two hosts; throws if absent.
+  Channel& channel(const std::string& a, const std::string& b);
+  bool connected(const std::string& a, const std::string& b) const;
+
+  /// Sends `bytes` from `from` to `to`; `on_delivered` fires at arrival.
+  /// Returns the delivery time (negative if the message was dropped).
+  SimTime send(const std::string& from, const std::string& to, std::uint64_t bytes,
+               std::function<void()> on_delivered);
+
+  /// Idle-link transfer time from `from` to `to` for `bytes`.
+  double nominal_transfer_time(const std::string& from, const std::string& to,
+                               std::uint64_t bytes);
+
+  /// Clears traffic counters on every channel.
+  void reset_stats();
+
+ private:
+  using Key = std::pair<std::string, std::string>;
+  static Key key(const std::string& a, const std::string& b) {
+    return a < b ? Key{a, b} : Key{b, a};
+  }
+
+  SimClock clock_;
+  util::Rng rng_;
+  std::map<Key, std::unique_ptr<Channel>> channels_;
+
+  /// Link for the from->to direction; throws if not connected.
+  Link& directed_link(const std::string& from, const std::string& to);
+};
+
+}  // namespace edgstr::netsim

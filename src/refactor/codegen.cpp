@@ -1,0 +1,117 @@
+#include "refactor/codegen.h"
+
+#include <set>
+
+#include "minijs/printer.h"
+#include "util/strings.h"
+
+namespace edgstr::refactor {
+
+std::string render_template(const std::string& tmpl,
+                            const std::vector<std::pair<std::string, std::string>>& values) {
+  std::string out = tmpl;
+  for (const auto& [key, value] : values) {
+    out = util::replace_all(out, "{{" + key + "}}", value);
+  }
+  // Drop any unknown placeholders.
+  while (true) {
+    const std::size_t open = out.find("{{");
+    if (open == std::string::npos) break;
+    const std::size_t close = out.find("}}", open);
+    if (close == std::string::npos) break;
+    out.erase(open, close - open + 2);
+  }
+  return out;
+}
+
+namespace {
+
+constexpr const char* kReplicaTemplate = R"(// ==== EdgStr edge replica for {{app}} ====
+// Generated from captured HTTP traffic; {{service_count}} replicable service(s).
+// State units: tables [{{tables}}], files [{{files}}], globals [{{globals}}].
+// Replica state is initialized from the cloud snapshot and kept eventually
+// consistent via CRDT-Table / CRDT-Files / CRDT-JSON synchronization.
+
+{{global_decls}}
+{{helper_functions}}
+{{service_functions}}
+{{route_registrations}}
+)";
+
+constexpr const char* kRouteTemplate = R"(app.{{verb}}("{{path}}", function ({{req}}, res) {
+  var edgstr_result = {{fn}}({{req}});
+  res.send(edgstr_result);
+});
+)";
+
+std::string join_set(const std::set<std::string>& items) {
+  std::vector<std::string> v(items.begin(), items.end());
+  return util::join(v, ", ");
+}
+
+}  // namespace
+
+std::vector<http::Route> GeneratedReplica::served_routes() const {
+  std::vector<http::Route> out;
+  out.reserve(services.size());
+  for (const ServiceCodegen& s : services) out.push_back(s.plan.route);
+  return out;
+}
+
+GeneratedReplica ReplicaCodegen::generate(const std::string& app_name,
+                                          const minijs::Program& program,
+                                          const std::vector<ServiceCodegen>& services) const {
+  GeneratedReplica replica;
+  replica.app_name = app_name;
+  replica.services = services;
+
+  // Union of replication needs across services.
+  std::set<std::string> tables, files, globals, helpers;
+  for (const ServiceCodegen& s : services) {
+    tables.insert(s.plan.needed_tables.begin(), s.plan.needed_tables.end());
+    files.insert(s.plan.needed_files.begin(), s.plan.needed_files.end());
+    globals.insert(s.plan.needed_globals.begin(), s.plan.needed_globals.end());
+    helpers.insert(s.plan.called_functions.begin(), s.plan.called_functions.end());
+  }
+
+  // Global declarations: values are placeholders; the deployment runtime
+  // restores the snapshot values before serving.
+  std::string global_decls;
+  for (const std::string& g : globals) {
+    global_decls += "var " + g + " = null; // restored from cloud snapshot\n";
+  }
+
+  // Helper user functions carried verbatim from the cloud program.
+  std::string helper_functions;
+  for (const minijs::StmtPtr& stmt : program.body) {
+    if (stmt->kind == minijs::StmtKind::kFunctionDecl && helpers.count(stmt->name)) {
+      helper_functions += minijs::print_stmt(stmt, 0);
+    }
+  }
+
+  std::string service_functions;
+  std::string route_registrations;
+  for (const ServiceCodegen& s : services) {
+    if (!s.function.ok || !s.function.decl) continue;
+    service_functions += minijs::print_stmt(s.function.decl, 0);
+    route_registrations += render_template(
+        kRouteTemplate, {{"verb", util::to_lower(http::to_string(s.plan.route.verb))},
+                         {"path", s.plan.route.path},
+                         {"req", s.function.request_param},
+                         {"fn", s.function.name}});
+  }
+
+  replica.source = render_template(
+      kReplicaTemplate, {{"app", app_name},
+                         {"service_count", std::to_string(services.size())},
+                         {"tables", join_set(tables)},
+                         {"files", join_set(files)},
+                         {"globals", join_set(globals)},
+                         {"global_decls", global_decls},
+                         {"helper_functions", helper_functions},
+                         {"service_functions", service_functions},
+                         {"route_registrations", route_registrations}});
+  return replica;
+}
+
+}  // namespace edgstr::refactor

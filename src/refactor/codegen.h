@@ -1,0 +1,46 @@
+// Edge-replica code generation (§III-G2).
+//
+// Given the extracted functions and plans for every replicable service,
+// emits a complete, readable MiniJS replica program via a handlebars-style
+// template, "readable code that can be tweaked by hand". The generated
+// replica re-parses and runs under the same interpreter; its state is
+// initialized from the cloud snapshot by the deployment runtime and kept
+// eventually consistent by the CRDT sync engine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "refactor/extract.h"
+
+namespace edgstr::refactor {
+
+/// Minimal handlebars-style substitution: replaces each {{key}} with its
+/// value. Unknown keys render empty. (The paper uses handlebars.js.)
+std::string render_template(const std::string& tmpl,
+                            const std::vector<std::pair<std::string, std::string>>& values);
+
+/// One replicable service's generated artifacts.
+struct ServiceCodegen {
+  ExtractionPlan plan;
+  ExtractedFunction function;
+};
+
+struct GeneratedReplica {
+  std::string app_name;
+  std::string source;  ///< complete MiniJS replica program
+  std::vector<ServiceCodegen> services;
+
+  /// Routes the replica serves locally; everything else is forwarded.
+  std::vector<http::Route> served_routes() const;
+};
+
+class ReplicaCodegen {
+ public:
+  /// `program` is the normalized cloud program (for carried helper
+  /// functions and global declarations).
+  GeneratedReplica generate(const std::string& app_name, const minijs::Program& program,
+                            const std::vector<ServiceCodegen>& services) const;
+};
+
+}  // namespace edgstr::refactor

@@ -1,0 +1,110 @@
+#include "refactor/extract.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace edgstr::refactor {
+
+namespace {
+
+using namespace minijs;
+
+/// True if the subtree rooted at `stmt` contains any included statement id.
+bool subtree_included(const StmtPtr& stmt, const std::set<int>& included) {
+  bool found = false;
+  visit_statements(stmt, [&](const StmtPtr& s) {
+    if (included.count(s->id)) found = true;
+  });
+  return found;
+}
+
+/// Rewrites `res.send(X)` statements into `return X;` and removes
+/// `res.*(...)` bookkeeping, recursively. `res_name` is the handler's
+/// response parameter.
+void rewrite_res_calls(const StmtPtr& block, const std::string& res_name) {
+  if (!block) return;
+  std::vector<StmtPtr> out;
+  out.reserve(block->stmts.size());
+  for (const StmtPtr& stmt : block->stmts) {
+    // Recurse into nested structures first.
+    rewrite_res_calls(stmt->a_block, res_name);
+    rewrite_res_calls(stmt->b_block, res_name);
+    if (stmt->kind == StmtKind::kBlock) rewrite_res_calls(stmt, res_name);
+
+    if (stmt->kind == StmtKind::kExpr && stmt->expr && stmt->expr->kind == ExprKind::kCall &&
+        stmt->expr->a->kind == ExprKind::kMember &&
+        stmt->expr->a->a->kind == ExprKind::kIdent && stmt->expr->a->a->text == res_name) {
+      const std::string& method = stmt->expr->a->text;
+      if (method == "send") {
+        ExprPtr value = stmt->expr->args.empty() ? make_null(stmt->line)
+                                                 : stmt->expr->args[0]->clone();
+        out.push_back(make_return(stmt->id, std::move(value), stmt->line));
+        continue;
+      }
+      if (method == "status") continue;  // drop
+    }
+    out.push_back(stmt);
+  }
+  block->stmts = std::move(out);
+}
+
+/// Drops top-level statements of the block whose subtree is not included.
+void filter_block(const StmtPtr& block, const std::set<int>& included) {
+  if (!block) return;
+  std::vector<StmtPtr> kept;
+  for (const StmtPtr& stmt : block->stmts) {
+    if (subtree_included(stmt, included)) kept.push_back(stmt);
+  }
+  block->stmts = std::move(kept);
+}
+
+}  // namespace
+
+std::string function_name_for(const http::Route& route) {
+  std::string name = "ftn";
+  for (char c : route.path) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      name.push_back(c);
+    } else if (!name.empty() && name.back() != '_') {
+      name.push_back('_');
+    }
+  }
+  if (name.back() != '_') name.push_back('_');
+  name += util::to_lower(http::to_string(route.verb));
+  return name;
+}
+
+ExtractedFunction extract_function(const minijs::Program& program, const ExtractionPlan& plan) {
+  ExtractedFunction result;
+  if (!plan.ok) {
+    result.error = "extraction plan is not viable: " + plan.error;
+    return result;
+  }
+  const ExprPtr handler = find_handler(program, plan.route);
+  if (!handler) {
+    result.error = "no handler registration found for " + plan.route.to_string();
+    return result;
+  }
+  if (handler->params.size() < 2) {
+    result.error = "handler for " + plan.route.to_string() + " lacks (req, res) parameters";
+    return result;
+  }
+  const std::string req_name = handler->params[0];
+  const std::string res_name = handler->params[1];
+
+  StmtPtr body = handler->body->clone();
+  filter_block(body, plan.included);
+  rewrite_res_calls(body, res_name);
+
+  result.name = function_name_for(plan.route);
+  result.request_param = req_name;
+  result.decl = make_function_decl(0, result.name, {req_name}, std::move(body));
+  std::size_t count = 0;
+  visit_statements(result.decl, [&](const StmtPtr&) { ++count; });
+  result.statement_count = count;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace edgstr::refactor

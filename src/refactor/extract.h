@@ -1,0 +1,37 @@
+// Extract Function refactoring (§III-E, Figure 4).
+//
+// Given a service's handler and its ExtractionPlan, produce a standalone
+// invocable function ftn_s:
+//   * the handler body statements the plan included are copied over,
+//   * the marshal statement `res.send(X)` becomes `return X;` (adapting
+//     St_mar to return a result at v_mar),
+//   * `res.status(...)` bookkeeping is dropped (edge replicas answer 200 or
+//     forward failures to the cloud),
+//   * the unmarshal statement stays — the extracted function receives the
+//     whole `req` object as its parameter and unmarshals exactly as the
+//     original did.
+#pragma once
+
+#include <string>
+
+#include "refactor/dependence.h"
+
+namespace edgstr::refactor {
+
+struct ExtractedFunction {
+  bool ok = false;
+  std::string error;
+  std::string name;          ///< e.g. ftn_predict_post
+  minijs::StmtPtr decl;      ///< FunctionDecl AST
+  std::string request_param; ///< the handler's req parameter name
+  std::size_t statement_count = 0;
+};
+
+/// Derives a valid identifier from a route ("/predict" POST -> ftn_predict_post).
+std::string function_name_for(const http::Route& route);
+
+/// Performs the extraction. `program` must be the same (normalized) program
+/// the plan was computed against.
+ExtractedFunction extract_function(const minijs::Program& program, const ExtractionPlan& plan);
+
+}  // namespace edgstr::refactor

@@ -1,0 +1,170 @@
+#include "refactor/normalize.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace edgstr::refactor {
+
+namespace {
+
+using namespace minijs;
+
+class Normalizer {
+ public:
+  Program run(const Program& program) {
+    Program out = program.clone();
+    std::vector<StmtPtr> body;
+    body.reserve(out.body.size());
+    for (const StmtPtr& stmt : out.body) {
+      descend(stmt);
+      std::vector<StmtPtr> prelude;
+      if (stmt->expr) stmt->expr = normalize_expr(stmt->expr, prelude);
+      for (StmtPtr& p : prelude) body.push_back(std::move(p));
+      body.push_back(stmt);
+    }
+    out.body = std::move(body);
+    renumber_statements(out);
+    return out;
+  }
+
+ private:
+  int next_temp_ = 1;
+
+  std::string fresh_temp() { return "tv" + std::to_string(next_temp_++); }
+
+  static bool is_trivial(const ExprPtr& e) {
+    switch (e->kind) {
+      case ExprKind::kNumber:
+      case ExprKind::kString:
+      case ExprKind::kBool:
+      case ExprKind::kNull:
+      case ExprKind::kIdent:
+      case ExprKind::kFunction:  // function literals are values; hoisting
+                                 // them would hide route handlers
+        return true;
+      case ExprKind::kMember:
+        // req.payload / obj.field chains are already named accesses.
+        return is_trivial(e->a);
+      default:
+        return false;
+    }
+  }
+
+  /// Hoists non-trivial call arguments inside `expr` into `prelude`
+  /// temporaries; returns the rewritten expression. Nested function-literal
+  /// bodies are normalized recursively (with their own preludes).
+  ExprPtr normalize_expr(ExprPtr expr, std::vector<StmtPtr>& prelude) {
+    if (!expr) return expr;
+    switch (expr->kind) {
+      case ExprKind::kCall: {
+        if (expr->a->kind == ExprKind::kMember) {
+          expr->a->a = normalize_expr(expr->a->a, prelude);
+        } else {
+          expr->a = normalize_expr(expr->a, prelude);
+        }
+        for (ExprPtr& arg : expr->args) {
+          arg = normalize_expr(arg, prelude);
+          if (!is_trivial(arg)) {
+            const std::string name = fresh_temp();
+            prelude.push_back(make_var_decl(0, name, arg, arg->line));
+            arg = make_ident(name, arg->line);
+          }
+        }
+        return expr;
+      }
+      case ExprKind::kAssign:
+        expr->b = normalize_expr(expr->b, prelude);
+        return expr;
+      case ExprKind::kBinary:
+      case ExprKind::kIndex:
+        expr->a = normalize_expr(expr->a, prelude);
+        expr->b = normalize_expr(expr->b, prelude);
+        return expr;
+      case ExprKind::kUnary:
+      case ExprKind::kMember:
+        expr->a = normalize_expr(expr->a, prelude);
+        return expr;
+      case ExprKind::kTernary:
+        // Branch arms must not be hoisted (that would evaluate both);
+        // only the condition is.
+        expr->a = normalize_expr(expr->a, prelude);
+        return expr;
+      case ExprKind::kArray:
+        for (ExprPtr& item : expr->args) item = normalize_expr(item, prelude);
+        return expr;
+      case ExprKind::kObject:
+        for (auto& [key, value] : expr->entries) value = normalize_expr(value, prelude);
+        return expr;
+      case ExprKind::kFunction:
+        normalize_block(expr->body);
+        return expr;
+      default:
+        return expr;
+    }
+  }
+
+  /// Normalizes every statement of a block, splicing prelude temporaries
+  /// before the statement they feed (flat, same scope — no nested blocks).
+  void normalize_block(const StmtPtr& block) {
+    if (!block) return;
+    std::vector<StmtPtr> out;
+    out.reserve(block->stmts.size());
+    for (const StmtPtr& stmt : block->stmts) {
+      descend(stmt);
+      std::vector<StmtPtr> prelude;
+      if (stmt->expr && stmt->kind != StmtKind::kWhile && stmt->kind != StmtKind::kFor) {
+        // While/for conditions re-evaluate per iteration; hoisting them
+        // would change semantics, so loop headers stay as written.
+        stmt->expr = normalize_expr(stmt->expr, prelude);
+      }
+      for (StmtPtr& p : prelude) out.push_back(std::move(p));
+      out.push_back(stmt);
+    }
+    block->stmts = std::move(out);
+  }
+
+  /// Recurses into nested blocks / function bodies without touching this
+  /// statement's own expression.
+  void descend(const StmtPtr& stmt) {
+    switch (stmt->kind) {
+      case StmtKind::kBlock:
+        normalize_block(stmt);
+        return;
+      case StmtKind::kFunctionDecl:
+      case StmtKind::kWhile:
+        normalize_block(stmt->a_block);
+        return;
+      case StmtKind::kFor:
+        normalize_block(stmt->a_block);
+        return;
+      case StmtKind::kIf:
+      case StmtKind::kTryCatch:
+        normalize_block(stmt->a_block);
+        normalize_block(stmt->b_block);
+        return;
+      default:
+        return;
+    }
+  }
+};
+
+}  // namespace
+
+minijs::Program normalize(const minijs::Program& program) { return Normalizer().run(program); }
+
+std::size_t count_temporaries(const minijs::Program& program) {
+  std::size_t count = 0;
+  minijs::visit_statements(program, [&](const minijs::StmtPtr& stmt) {
+    if (stmt->kind == minijs::StmtKind::kVarDecl && util::starts_with(stmt->name, "tv")) {
+      bool numeric_tail = stmt->name.size() > 2;
+      for (std::size_t i = 2; i < stmt->name.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(stmt->name[i]))) numeric_tail = false;
+      }
+      if (numeric_tail) ++count;
+    }
+  });
+  return count;
+}
+
+}  // namespace edgstr::refactor

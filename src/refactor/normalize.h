@@ -1,0 +1,25 @@
+// Code normalization (§III-E).
+//
+// EdgStr "normalizes the entire server code by introducing temporary
+// variables" so entry/exit points appear as distinct statements the RW
+// logs can pin down — e.g. `res.send(f(x))` becomes
+//     var tv1 = f(x);
+//     res.send(tv1);
+// Normalization hoists every non-trivial argument of a call (and the
+// receiver value of res.send) into a fresh `var tvN = ...;` statement.
+// The transformation is semantics-preserving and idempotent.
+#pragma once
+
+#include "minijs/ast.h"
+
+namespace edgstr::refactor {
+
+/// Normalizes the whole program in place-by-copy. Statement ids are
+/// renumbered afterwards (fresh ids for the introduced temporaries).
+minijs::Program normalize(const minijs::Program& program);
+
+/// Number of `tv` temporaries a normalize() pass introduced into `program`
+/// (counts var-decls whose name matches the tv prefix).
+std::size_t count_temporaries(const minijs::Program& program);
+
+}  // namespace edgstr::refactor

@@ -1,0 +1,80 @@
+#include "runtime/node.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edgstr::runtime {
+
+Node::Node(netsim::SimClock& clock, NodeSpec spec) : clock_(clock), spec_(std::move(spec)) {
+  if (spec_.cores < 1) throw std::invalid_argument("NodeSpec.cores must be >= 1");
+  core_busy_until_.assign(static_cast<std::size_t>(spec_.cores), 0.0);
+}
+
+netsim::SimTime Node::busy_until() const {
+  return *std::min_element(core_busy_until_.begin(), core_busy_until_.end());
+}
+
+void Node::execute(const http::HttpRequest& request, std::function<void(ExecutionResult)> done) {
+  if (!runtime_) throw std::logic_error("Node '" + spec_.name + "' hosts no service");
+  if (power_state_ != PowerState::kActive) {
+    throw std::logic_error("Node '" + spec_.name + "' is parked in low-power mode");
+  }
+  ++active_connections_;
+
+  // State effects apply immediately (the simulation is single-threaded);
+  // timing is scheduled onto the clock.
+  ExecutionResult result = runtime_->handle(request);
+  const double duration = spec_.request_overhead_s + result.compute_units * spec_.seconds_per_unit;
+
+  // Dispatch to the earliest-free core.
+  auto core = std::min_element(core_busy_until_.begin(), core_busy_until_.end());
+  const netsim::SimTime start = std::max(clock_.now(), *core);
+  *core = start + duration;
+  busy_seconds_ += duration;
+
+  clock_.schedule_at(*core, [this, result = std::move(result),
+                             done = std::move(done)]() mutable {
+    --active_connections_;
+    ++requests_completed_;
+    done(std::move(result));
+  });
+}
+
+void Node::settle_state_time() {
+  const double elapsed = clock_.now() - state_since_;
+  if (power_state_ == PowerState::kActive) accum_active_s_ += elapsed;
+  else accum_lowpower_s_ += elapsed;
+  state_since_ = clock_.now();
+}
+
+void Node::set_power_state(PowerState state) {
+  if (state == power_state_) return;
+  if (state == PowerState::kLowPower && active_connections_ > 0) {
+    throw std::logic_error("Node '" + spec_.name + "': cannot park with active connections");
+  }
+  settle_state_time();
+  power_state_ = state;
+}
+
+double Node::time_active() const {
+  double total = accum_active_s_;
+  if (power_state_ == PowerState::kActive) total += clock_.now() - state_since_;
+  return total;
+}
+
+double Node::time_low_power() const {
+  double total = accum_lowpower_s_;
+  if (power_state_ == PowerState::kLowPower) total += clock_.now() - state_since_;
+  return total;
+}
+
+double Node::consumed_energy_j() const {
+  // Active window splits into busy (executing) and idle time.
+  const double active = time_active();
+  const double busy = std::min(busy_seconds_, active);
+  const double idle = active - busy;
+  return busy * spec_.active_power_w + idle * spec_.idle_power_w +
+         time_low_power() * spec_.lowpower_power_w;
+}
+
+}  // namespace edgstr::runtime

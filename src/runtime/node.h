@@ -1,0 +1,84 @@
+// A simulated compute host: executes service requests with device-specific
+// timing on the shared simulation clock.
+//
+// A node has `cores` parallel execution channels (the testbed's Pis are
+// quad-core, the OptiPlex eight-way); each incoming request is dispatched
+// to the earliest-free channel, FIFO within a channel. Execution time =
+// fixed per-request overhead + the handler's compute units scaled by the
+// device's seconds-per-unit factor.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "netsim/clock.h"
+#include "runtime/service_runtime.h"
+
+namespace edgstr::runtime {
+
+/// Device timing/power characteristics a Node needs. Full profiles (with
+/// names matching the paper's hardware) live in cluster/device.h.
+struct NodeSpec {
+  std::string name;               ///< network host id
+  double seconds_per_unit = 1e-4; ///< compute-unit execution cost
+  double request_overhead_s = 2e-4;
+  int cores = 1;                  ///< parallel execution channels
+  double active_power_w = 3.0;    ///< while executing
+  double idle_power_w = 1.5;      ///< powered on, not executing
+  double lowpower_power_w = 0.3;  ///< parked (paper's low-power mode)
+};
+
+enum class PowerState { kActive, kLowPower };
+
+class Node {
+ public:
+  Node(netsim::SimClock& clock, NodeSpec spec);
+
+  const std::string& name() const { return spec_.name; }
+  const NodeSpec& spec() const { return spec_; }
+
+  /// Attaches the service this node hosts.
+  void host(std::unique_ptr<ServiceRuntime> runtime) { runtime_ = std::move(runtime); }
+  ServiceRuntime* service() { return runtime_.get(); }
+  bool hosting() const { return runtime_ != nullptr; }
+
+  /// Queues one request; `done` fires on the clock when execution finishes.
+  /// The node must be hosting a service and be in the active power state.
+  void execute(const http::HttpRequest& request, std::function<void(ExecutionResult)> done);
+
+  /// Busy/queueing horizon (earliest time any core frees up).
+  netsim::SimTime busy_until() const;
+  /// Requests arrived but not yet completed (the load-balancer signal).
+  std::size_t active_connections() const { return active_connections_; }
+
+  PowerState power_state() const { return power_state_; }
+  void set_power_state(PowerState state);
+  /// Seconds spent in each state since construction (integrated lazily).
+  double time_active() const;
+  double time_low_power() const;
+  /// Total execution (busy) seconds.
+  double busy_seconds() const { return busy_seconds_; }
+  /// Consumed energy in joules under the spec's power model.
+  double consumed_energy_j() const;
+
+  std::uint64_t requests_completed() const { return requests_completed_; }
+
+ private:
+  netsim::SimClock& clock_;
+  NodeSpec spec_;
+  std::unique_ptr<ServiceRuntime> runtime_;
+  std::vector<netsim::SimTime> core_busy_until_;  ///< per-core horizon
+  std::size_t active_connections_ = 0;
+  std::uint64_t requests_completed_ = 0;
+  double busy_seconds_ = 0;
+
+  PowerState power_state_ = PowerState::kActive;
+  netsim::SimTime state_since_ = 0;
+  double accum_active_s_ = 0;
+  double accum_lowpower_s_ = 0;
+
+  void settle_state_time();
+};
+
+}  // namespace edgstr::runtime

@@ -1,0 +1,94 @@
+#include "runtime/proxy.h"
+
+namespace edgstr::runtime {
+
+TwoTierPath::TwoTierPath(netsim::Network& network, std::string client_host, Node& cloud)
+    : network_(network), client_host_(std::move(client_host)), cloud_(cloud) {}
+
+void TwoTierPath::request(const http::HttpRequest& req, RequestCallback done) {
+  ++stats_.requests;
+  const double start = network_.clock().now();
+  // Client -> cloud (WAN).
+  network_.send(client_host_, cloud_.name(), req.wire_size(),
+                [this, req, start, done = std::move(done)]() mutable {
+                  cloud_.execute(req, [this, start, done = std::move(done)](
+                                          ExecutionResult result) mutable {
+                    // Cloud -> client (WAN).
+                    const http::HttpResponse resp = result.response;
+                    network_.send(cloud_.name(), client_host_, resp.wire_size(),
+                                  [this, resp, start, done = std::move(done)]() {
+                                    done(resp, network_.clock().now() - start);
+                                  });
+                  });
+                });
+}
+
+EdgeProxy::EdgeProxy(netsim::Network& network, std::string client_host, Node& edge, Node& cloud,
+                     std::set<http::Route> served_routes, ReplicaState* sync_state,
+                     ReplicaState* cloud_sync_state)
+    : network_(network),
+      client_host_(std::move(client_host)),
+      edge_(edge),
+      cloud_(cloud),
+      served_routes_(std::move(served_routes)),
+      sync_state_(sync_state),
+      cloud_sync_state_(cloud_sync_state) {}
+
+void EdgeProxy::respond_to_client(const http::HttpResponse& resp, double start_time,
+                                  RequestCallback done) {
+  // Edge -> client (LAN).
+  network_.send(edge_.name(), client_host_, resp.wire_size(),
+                [this, resp, start_time, done = std::move(done)]() {
+                  done(resp, network_.clock().now() - start_time);
+                });
+}
+
+void EdgeProxy::forward_to_cloud(const http::HttpRequest& req, double start_time,
+                                 RequestCallback done, bool was_failure) {
+  ++stats_.forwarded_to_cloud;
+  if (was_failure) ++stats_.failures_forwarded;
+  // Edge -> cloud (WAN).
+  network_.send(edge_.name(), cloud_.name(), req.wire_size(),
+                [this, req, start_time, done = std::move(done)]() mutable {
+                  cloud_.execute(req, [this, start_time, done = std::move(done)](
+                                          ExecutionResult result) mutable {
+                    if (cloud_sync_state_) cloud_sync_state_->record_local();
+                    const http::HttpResponse resp = result.response;
+                    // Cloud -> edge (WAN).
+                    network_.send(cloud_.name(), edge_.name(), resp.wire_size(),
+                                  [this, resp, start_time, done = std::move(done)]() mutable {
+                                    respond_to_client(resp, start_time, std::move(done));
+                                  });
+                  });
+                });
+}
+
+void EdgeProxy::request(const http::HttpRequest& req, RequestCallback done) {
+  ++stats_.requests;
+  const double start = network_.clock().now();
+  // Client -> edge (LAN).
+  network_.send(
+      client_host_, edge_.name(), req.wire_size(),
+      [this, req, start, done = std::move(done)]() mutable {
+        const http::Route route{req.verb, req.path};
+        const bool serve_here = served_routes_.count(route) > 0 && edge_.hosting() &&
+                                edge_.power_state() == PowerState::kActive;
+        if (!serve_here) {
+          forward_to_cloud(req, start, std::move(done), /*was_failure=*/false);
+          return;
+        }
+        edge_.execute(req, [this, req, start, done = std::move(done)](
+                               ExecutionResult result) mutable {
+          if (result.failed) {
+            // Failure policy: the replica only detects; the cloud handles.
+            forward_to_cloud(req, start, std::move(done), /*was_failure=*/true);
+            return;
+          }
+          ++stats_.served_at_edge;
+          if (sync_state_) sync_state_->record_local();
+          respond_to_client(result.response, start, std::move(done));
+        });
+      });
+}
+
+}  // namespace edgstr::runtime

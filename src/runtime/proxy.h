@@ -1,0 +1,78 @@
+// Request paths: the original two-tier client->cloud call and the
+// EdgStr-generated three-tier client->edge->cloud Remote Proxy (§II-C).
+//
+// The edge proxy serves replicated routes in place; requests for
+// non-replicated routes — and any local execution that *fails* — are
+// transparently forwarded to the cloud master (the paper's failure policy:
+// replicas detect failures but delegate handling to the cloud).
+#pragma once
+
+#include <functional>
+#include <set>
+
+#include "netsim/network.h"
+#include "runtime/node.h"
+#include "runtime/sync_engine.h"
+
+namespace edgstr::runtime {
+
+/// Completion callback: response + end-to-end latency in seconds.
+using RequestCallback = std::function<void(http::HttpResponse, double latency_s)>;
+
+/// Outcome counters shared by both paths.
+struct PathStats {
+  std::uint64_t requests = 0;
+  std::uint64_t served_at_edge = 0;
+  std::uint64_t forwarded_to_cloud = 0;
+  std::uint64_t failures_forwarded = 0;
+};
+
+/// Baseline: the unmodified client-cloud deployment. The client talks to
+/// the cloud node over the WAN.
+class TwoTierPath {
+ public:
+  TwoTierPath(netsim::Network& network, std::string client_host, Node& cloud);
+
+  /// Issues one request at the current simulation time.
+  void request(const http::HttpRequest& req, RequestCallback done);
+
+  const PathStats& stats() const { return stats_; }
+
+ private:
+  netsim::Network& network_;
+  std::string client_host_;
+  Node& cloud_;
+  PathStats stats_;
+};
+
+/// EdgStr's three-tier deployment: client -> edge proxy -> cloud.
+class EdgeProxy {
+ public:
+  /// `sync_state`, when provided, harvests the replica's state changes into
+  /// CRDT ops immediately after each local execution (the ops still travel
+  /// only on the next background sync round).
+  EdgeProxy(netsim::Network& network, std::string client_host, Node& edge, Node& cloud,
+            std::set<http::Route> served_routes, ReplicaState* sync_state = nullptr,
+            ReplicaState* cloud_sync_state = nullptr);
+
+  void request(const http::HttpRequest& req, RequestCallback done);
+
+  const PathStats& stats() const { return stats_; }
+  Node& edge() { return edge_; }
+
+ private:
+  netsim::Network& network_;
+  std::string client_host_;
+  Node& edge_;
+  Node& cloud_;
+  std::set<http::Route> served_routes_;
+  ReplicaState* sync_state_;
+  ReplicaState* cloud_sync_state_;
+  PathStats stats_;
+
+  void forward_to_cloud(const http::HttpRequest& req, double start_time, RequestCallback done,
+                        bool was_failure);
+  void respond_to_client(const http::HttpResponse& resp, double start_time, RequestCallback done);
+};
+
+}  // namespace edgstr::runtime

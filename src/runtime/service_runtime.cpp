@@ -1,0 +1,50 @@
+#include "runtime/service_runtime.h"
+
+#include "minijs/parser.h"
+
+namespace edgstr::runtime {
+
+ServiceRuntime::ServiceRuntime(const std::string& source, minijs::InterpreterConfig config) {
+  minijs::Program program = minijs::parse_program(source);
+  interp_ = std::make_unique<minijs::Interpreter>(std::move(program), config);
+  interp_->bind_database(&db_);
+  interp_->bind_vfs(&fs_);
+  interp_->run_toplevel();
+  interp_->drain_compute_units();
+  db_.drain_mutations();  // init-time DB writes are baseline, not deltas
+}
+
+void ServiceRuntime::restore_state(const trace::Snapshot& snapshot) {
+  db_.restore(snapshot.database);
+  fs_.restore(snapshot.files);
+  trace::restore_globals(*interp_, snapshot.globals);
+}
+
+trace::Snapshot ServiceRuntime::capture_state() {
+  return trace::Snapshot{db_.snapshot(), fs_.snapshot(), trace::capture_globals(*interp_)};
+}
+
+ExecutionResult ServiceRuntime::handle(const http::HttpRequest& request) {
+  ExecutionResult result;
+  interp_->drain_compute_units();
+  ++requests_served_;
+  try {
+    result.response = interp_->invoke(http::Route{request.verb, request.path}, request);
+  } catch (const minijs::JsError& err) {
+    ++failures_;
+    result.failed = true;
+    result.failure = err.what();
+    result.response = http::HttpResponse::error(500, err.what());
+  }
+  result.compute_units = interp_->drain_compute_units();
+  return result;
+}
+
+std::vector<http::Route> ServiceRuntime::routes() const {
+  std::vector<http::Route> out;
+  out.reserve(interp_->routes().size());
+  for (const auto& [route, handler] : interp_->routes()) out.push_back(route);
+  return out;
+}
+
+}  // namespace edgstr::runtime

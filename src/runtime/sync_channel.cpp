@@ -1,0 +1,29 @@
+#include "runtime/sync_channel.h"
+
+namespace edgstr::runtime {
+
+SyncChannel::SyncChannel(netsim::Network& network, std::string cloud_host, std::string edge_host)
+    : network_(network), cloud_host_(std::move(cloud_host)), edge_host_(std::move(edge_host)) {}
+
+void SyncChannel::send(const std::string& from, const std::string& to, const json::Value& payload,
+                       std::function<void(const json::Value&)> on_delivered,
+                       std::uint64_t& counter) {
+  const std::uint64_t bytes = payload.wire_size() + 64;  // framing overhead
+  counter += bytes;
+  ++messages_;
+  // The payload is captured by value; delivery applies it at arrival time.
+  network_.send(from, to, bytes,
+                [payload, on_delivered = std::move(on_delivered)]() { on_delivered(payload); });
+}
+
+void SyncChannel::send_to_cloud(const json::Value& payload,
+                                std::function<void(const json::Value&)> on_delivered) {
+  send(edge_host_, cloud_host_, payload, std::move(on_delivered), bytes_to_cloud_);
+}
+
+void SyncChannel::send_to_edge(const json::Value& payload,
+                               std::function<void(const json::Value&)> on_delivered) {
+  send(cloud_host_, edge_host_, payload, std::move(on_delivered), bytes_to_edge_);
+}
+
+}  // namespace edgstr::runtime

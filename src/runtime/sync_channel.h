@@ -1,0 +1,52 @@
+// Bidirectional state-synchronization channel (the socket.io stand-in).
+//
+// Carries cloud_state / edge_state messages (Figure 5-(b)) between the
+// cloud master and one edge replica over the simulated WAN, accounting
+// sync traffic separately from request traffic — the W_AN_e column of
+// Table II comes from these counters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "json/value.h"
+#include "netsim/network.h"
+
+namespace edgstr::runtime {
+
+class SyncChannel {
+ public:
+  SyncChannel(netsim::Network& network, std::string cloud_host, std::string edge_host);
+
+  /// Sends a JSON payload edge -> cloud; `on_delivered` fires at arrival.
+  void send_to_cloud(const json::Value& payload,
+                     std::function<void(const json::Value&)> on_delivered);
+  /// Sends a JSON payload cloud -> edge.
+  void send_to_edge(const json::Value& payload,
+                    std::function<void(const json::Value&)> on_delivered);
+
+  std::uint64_t bytes_to_cloud() const { return bytes_to_cloud_; }
+  std::uint64_t bytes_to_edge() const { return bytes_to_edge_; }
+  std::uint64_t total_bytes() const { return bytes_to_cloud_ + bytes_to_edge_; }
+  std::uint64_t messages() const { return messages_; }
+  void reset_stats() {
+    bytes_to_cloud_ = bytes_to_edge_ = messages_ = 0;
+  }
+
+  const std::string& cloud_host() const { return cloud_host_; }
+  const std::string& edge_host() const { return edge_host_; }
+
+ private:
+  netsim::Network& network_;
+  std::string cloud_host_;
+  std::string edge_host_;
+  std::uint64_t bytes_to_cloud_ = 0;
+  std::uint64_t bytes_to_edge_ = 0;
+  std::uint64_t messages_ = 0;
+
+  void send(const std::string& from, const std::string& to, const json::Value& payload,
+            std::function<void(const json::Value&)> on_delivered, std::uint64_t& counter);
+};
+
+}  // namespace edgstr::runtime

@@ -1,0 +1,96 @@
+// In-memory SQL database with transactions, snapshots and a mutation log.
+//
+// This is the substrate behind the paper's "Database Tables" replication
+// unit (§III-C): EdgStr's shadow execution wraps SQL commands in
+// START TRANSACTION / ROLLBACK to keep tables unchanged during profiling,
+// and snapshots the whole database to capture the service init state.
+// The mutation log feeds CRDT-Table so each committed row change becomes a
+// CRDT update operation (§III-G).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sqldb/parser.h"
+#include "sqldb/table.h"
+
+namespace edgstr::sqldb {
+
+/// A query result: column names plus rows of cells.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<std::vector<SqlValue>> rows;
+  std::vector<std::uint64_t> rids;  ///< aligned with rows (SELECT only)
+  std::size_t affected = 0;         ///< rows touched by a mutation
+
+  bool empty() const { return rows.empty(); }
+  json::Value to_json() const;
+};
+
+/// One committed row-level change, consumed by CRDT-Table.
+struct RowMutation {
+  enum class Kind { kInsert, kUpdate, kDelete };
+  Kind kind;
+  std::string table;
+  std::uint64_t rid;
+  std::vector<SqlValue> cells;  ///< post-image (empty for deletes)
+};
+
+class Database {
+ public:
+  Database() = default;
+
+  /// Parses and executes one SQL statement. `params` bind `?` placeholders
+  /// in order. Throws SqlError on parse/binding errors or unknown tables.
+  ResultSet execute(const std::string& sql, const std::vector<SqlValue>& params = {});
+
+  /// Executes a pre-parsed statement.
+  ResultSet execute(const Statement& stmt, const std::vector<SqlValue>& params = {});
+
+  bool has_table(const std::string& name) const { return tables_.count(name) > 0; }
+  const Table& table(const std::string& name) const;
+  Table& table(const std::string& name);
+  std::vector<std::string> table_names() const;
+
+  /// Transaction control (single level; BEGIN inside a transaction throws).
+  void begin();
+  void commit();
+  void rollback();
+  bool in_transaction() const { return transaction_backup_.has_value(); }
+
+  /// Whole-database snapshot/restore — the `save "init"` / `restore "init"`
+  /// operations of §III-B.
+  json::Value snapshot() const;
+  void restore(const json::Value& snap);
+
+  /// Approximate state size in bytes (serialized snapshot size); used for
+  /// the cross-ISA S_app comparison in Figure 10(a).
+  std::uint64_t state_size_bytes() const;
+
+  /// Committed row mutations since the last drain. Mutations made inside a
+  /// rolled-back transaction never appear.
+  std::vector<RowMutation> drain_mutations();
+  const std::vector<RowMutation>& pending_mutations() const { return mutation_log_; }
+
+  /// Applies a replicated mutation (CRDT delivery path) without re-logging.
+  void apply_replicated(const RowMutation& mutation);
+
+  bool operator==(const Database& other) const;
+
+ private:
+  std::map<std::string, Table> tables_;
+  std::vector<RowMutation> mutation_log_;
+  std::optional<std::map<std::string, Table>> transaction_backup_;
+  std::size_t transaction_log_mark_ = 0;
+
+  static SqlValue resolve(const SqlExpr& expr, const std::vector<SqlValue>& params);
+  std::function<bool(const Row&)> compile_where(const Table& table,
+                                                const std::vector<Condition>& conds,
+                                                const std::vector<SqlValue>& params) const;
+};
+
+}  // namespace edgstr::sqldb

@@ -1,0 +1,378 @@
+#include "sqldb/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace edgstr::sqldb {
+
+namespace {
+
+struct Token {
+  enum class Kind { kWord, kNumber, kString, kSymbol, kPlaceholder, kEnd };
+  Kind kind;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& sql) : sql_(sql) {}
+
+  Token next() {
+    skip_ws();
+    if (pos_ >= sql_.size()) return {Token::Kind::kEnd, ""};
+    const char c = sql_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return word();
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < sql_.size() &&
+         std::isdigit(static_cast<unsigned char>(sql_[pos_ + 1])))) {
+      return number();
+    }
+    if (c == '\'') return string_lit();
+    if (c == '?') {
+      ++pos_;
+      return {Token::Kind::kPlaceholder, "?"};
+    }
+    return symbol();
+  }
+
+ private:
+  const std::string& sql_;
+  std::size_t pos_ = 0;
+
+  void skip_ws() {
+    while (pos_ < sql_.size() && std::isspace(static_cast<unsigned char>(sql_[pos_]))) ++pos_;
+  }
+
+  Token word() {
+    const std::size_t start = pos_;
+    while (pos_ < sql_.size() &&
+           (std::isalnum(static_cast<unsigned char>(sql_[pos_])) || sql_[pos_] == '_')) {
+      ++pos_;
+    }
+    return {Token::Kind::kWord, sql_.substr(start, pos_ - start)};
+  }
+
+  Token number() {
+    const std::size_t start = pos_;
+    if (sql_[pos_] == '-') ++pos_;
+    while (pos_ < sql_.size() &&
+           (std::isdigit(static_cast<unsigned char>(sql_[pos_])) || sql_[pos_] == '.')) {
+      ++pos_;
+    }
+    return {Token::Kind::kNumber, sql_.substr(start, pos_ - start)};
+  }
+
+  Token string_lit() {
+    ++pos_;  // opening quote
+    std::string text;
+    while (pos_ < sql_.size()) {
+      const char c = sql_[pos_++];
+      if (c == '\'') {
+        if (pos_ < sql_.size() && sql_[pos_] == '\'') {
+          text.push_back('\'');
+          ++pos_;
+          continue;
+        }
+        return {Token::Kind::kString, text};
+      }
+      text.push_back(c);
+    }
+    throw SqlError("unterminated string literal");
+  }
+
+  Token symbol() {
+    // Multi-char operators first.
+    static const char* kTwoChar[] = {"!=", "<>", "<=", ">="};
+    for (const char* op : kTwoChar) {
+      if (sql_.compare(pos_, 2, op) == 0) {
+        pos_ += 2;
+        return {Token::Kind::kSymbol, op};
+      }
+    }
+    const char c = sql_[pos_++];
+    return {Token::Kind::kSymbol, std::string(1, c)};
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& sql) : lexer_(sql) { advance(); }
+
+  Statement parse() {
+    const std::string head = expect_word();
+    const std::string kw = util::to_lower(head);
+    if (kw == "create") return parse_create();
+    if (kw == "drop") return parse_drop();
+    if (kw == "insert") return parse_insert();
+    if (kw == "select") return parse_select();
+    if (kw == "update") return parse_update();
+    if (kw == "delete") return parse_delete();
+    if (kw == "start") {
+      expect_keyword("transaction");
+      expect_end();
+      return BeginStmt{};
+    }
+    if (kw == "begin") {
+      expect_end();
+      return BeginStmt{};
+    }
+    if (kw == "commit") {
+      expect_end();
+      return CommitStmt{};
+    }
+    if (kw == "rollback") {
+      expect_end();
+      return RollbackStmt{};
+    }
+    throw SqlError("unsupported SQL statement: " + head);
+  }
+
+ private:
+  Lexer lexer_;
+  Token current_;
+  std::size_t placeholder_count_ = 0;
+
+  void advance() { current_ = lexer_.next(); }
+
+  bool at_end() const { return current_.kind == Token::Kind::kEnd; }
+
+  void expect_end() {
+    if (current_.kind == Token::Kind::kSymbol && current_.text == ";") advance();
+    if (!at_end()) throw SqlError("unexpected trailing tokens near '" + current_.text + "'");
+  }
+
+  std::string expect_word() {
+    if (current_.kind != Token::Kind::kWord) {
+      throw SqlError("expected identifier, got '" + current_.text + "'");
+    }
+    std::string text = current_.text;
+    advance();
+    return text;
+  }
+
+  void expect_keyword(const std::string& kw) {
+    const std::string word = expect_word();
+    if (util::to_lower(word) != kw) throw SqlError("expected '" + kw + "', got '" + word + "'");
+  }
+
+  bool peek_keyword(const std::string& kw) const {
+    return current_.kind == Token::Kind::kWord && util::to_lower(current_.text) == kw;
+  }
+
+  bool accept_keyword(const std::string& kw) {
+    if (peek_keyword(kw)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_symbol(const std::string& sym) {
+    if (current_.kind != Token::Kind::kSymbol || current_.text != sym) {
+      throw SqlError("expected '" + sym + "', got '" + current_.text + "'");
+    }
+    advance();
+  }
+
+  bool accept_symbol(const std::string& sym) {
+    if (current_.kind == Token::Kind::kSymbol && current_.text == sym) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  SqlExpr parse_expr() {
+    SqlExpr expr;
+    switch (current_.kind) {
+      case Token::Kind::kPlaceholder:
+        expr.is_placeholder = true;
+        expr.placeholder_index = placeholder_count_++;
+        advance();
+        return expr;
+      case Token::Kind::kNumber: {
+        const std::string text = current_.text;
+        advance();
+        if (text.find('.') != std::string::npos) {
+          expr.literal = SqlValue(std::strtod(text.c_str(), nullptr));
+        } else {
+          expr.literal = SqlValue(static_cast<std::int64_t>(std::strtoll(text.c_str(), nullptr, 10)));
+        }
+        return expr;
+      }
+      case Token::Kind::kString:
+        expr.literal = SqlValue(current_.text);
+        advance();
+        return expr;
+      case Token::Kind::kWord:
+        if (accept_keyword("null")) {
+          expr.literal = SqlValue();
+          return expr;
+        }
+        [[fallthrough]];
+      default:
+        throw SqlError("expected value, got '" + current_.text + "'");
+    }
+  }
+
+  std::vector<Condition> parse_where() {
+    std::vector<Condition> conds;
+    if (!accept_keyword("where")) return conds;
+    while (true) {
+      Condition cond;
+      cond.column = expect_word();
+      if (accept_keyword("like")) {
+        cond.op = CompareOp::kLike;
+      } else if (current_.kind == Token::Kind::kSymbol) {
+        const std::string op = current_.text;
+        advance();
+        if (op == "=") cond.op = CompareOp::kEq;
+        else if (op == "!=" || op == "<>") cond.op = CompareOp::kNe;
+        else if (op == "<") cond.op = CompareOp::kLt;
+        else if (op == "<=") cond.op = CompareOp::kLe;
+        else if (op == ">") cond.op = CompareOp::kGt;
+        else if (op == ">=") cond.op = CompareOp::kGe;
+        else throw SqlError("unknown comparison operator '" + op + "'");
+      } else {
+        throw SqlError("expected comparison operator");
+      }
+      cond.value = parse_expr();
+      conds.push_back(std::move(cond));
+      if (!accept_keyword("and")) break;
+    }
+    return conds;
+  }
+
+  Statement parse_create() {
+    expect_keyword("table");
+    CreateTableStmt stmt;
+    stmt.table = expect_word();
+    expect_symbol("(");
+    while (true) {
+      stmt.columns.push_back(expect_word());
+      if (accept_symbol(")")) break;
+      expect_symbol(",");
+    }
+    expect_end();
+    return stmt;
+  }
+
+  Statement parse_drop() {
+    expect_keyword("table");
+    DropTableStmt stmt;
+    stmt.table = expect_word();
+    expect_end();
+    return stmt;
+  }
+
+  Statement parse_insert() {
+    expect_keyword("into");
+    InsertStmt stmt;
+    stmt.table = expect_word();
+    if (accept_symbol("(")) {
+      while (true) {
+        stmt.columns.push_back(expect_word());
+        if (accept_symbol(")")) break;
+        expect_symbol(",");
+      }
+    }
+    expect_keyword("values");
+    expect_symbol("(");
+    while (true) {
+      stmt.values.push_back(parse_expr());
+      if (accept_symbol(")")) break;
+      expect_symbol(",");
+    }
+    expect_end();
+    return stmt;
+  }
+
+  Statement parse_select() {
+    SelectStmt stmt;
+    if (accept_symbol("*")) {
+      // all columns
+    } else {
+      while (true) {
+        stmt.columns.push_back(expect_word());
+        if (!accept_symbol(",")) break;
+      }
+    }
+    expect_keyword("from");
+    stmt.table = expect_word();
+    stmt.where = parse_where();
+    if (accept_keyword("order")) {
+      expect_keyword("by");
+      stmt.order_by = expect_word();
+      if (accept_keyword("desc")) stmt.order_desc = true;
+      else accept_keyword("asc");
+    }
+    if (accept_keyword("limit")) {
+      if (current_.kind != Token::Kind::kNumber) throw SqlError("LIMIT expects a number");
+      stmt.limit = static_cast<std::size_t>(std::strtoull(current_.text.c_str(), nullptr, 10));
+      advance();
+    }
+    expect_end();
+    return stmt;
+  }
+
+  Statement parse_update() {
+    UpdateStmt stmt;
+    stmt.table = expect_word();
+    expect_keyword("set");
+    while (true) {
+      std::string column = expect_word();
+      expect_symbol("=");
+      stmt.assignments.emplace_back(std::move(column), parse_expr());
+      if (!accept_symbol(",")) break;
+    }
+    stmt.where = parse_where();
+    expect_end();
+    return stmt;
+  }
+
+  Statement parse_delete() {
+    expect_keyword("from");
+    DeleteStmt stmt;
+    stmt.table = expect_word();
+    stmt.where = parse_where();
+    expect_end();
+    return stmt;
+  }
+};
+
+}  // namespace
+
+Statement parse_sql(const std::string& sql) { return Parser(sql).parse(); }
+
+bool looks_like_sql(const std::string& text) {
+  try {
+    parse_sql(text);
+    return true;
+  } catch (const SqlError&) {
+    return false;
+  }
+}
+
+bool is_mutation(const Statement& stmt) {
+  return std::holds_alternative<InsertStmt>(stmt) || std::holds_alternative<UpdateStmt>(stmt) ||
+         std::holds_alternative<DeleteStmt>(stmt) || std::holds_alternative<CreateTableStmt>(stmt) ||
+         std::holds_alternative<DropTableStmt>(stmt);
+}
+
+std::string target_table(const Statement& stmt) {
+  return std::visit(
+      [](const auto& s) -> std::string {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, BeginStmt> || std::is_same_v<T, CommitStmt> ||
+                      std::is_same_v<T, RollbackStmt>) {
+          return "";
+        } else {
+          return s.table;
+        }
+      },
+      stmt);
+}
+
+}  // namespace edgstr::sqldb

@@ -1,0 +1,99 @@
+// Minimal SQL front end.
+//
+// Supported grammar (case-insensitive keywords):
+//   CREATE TABLE t (c1, c2, ...)
+//   DROP TABLE t
+//   INSERT INTO t (c1, ...) VALUES (v1, ...)    -- or bare VALUES (...)
+//   SELECT * | c1, c2 FROM t [WHERE cond [AND cond]...]
+//          [ORDER BY c [DESC]] [LIMIT n]
+//   UPDATE t SET c = v [, ...] [WHERE ...]
+//   DELETE FROM t [WHERE ...]
+//   START TRANSACTION | BEGIN
+//   COMMIT
+//   ROLLBACK
+// Values: integer, float, 'string' (with '' escape), NULL, ? placeholder.
+// Conditions: column OP value, OP in {=, !=, <>, <, <=, >, >=, LIKE}.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sqldb/value.h"
+
+namespace edgstr::sqldb {
+
+class SqlError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A literal or a positional `?` placeholder.
+struct SqlExpr {
+  bool is_placeholder = false;
+  std::size_t placeholder_index = 0;  ///< 0-based position among ?s
+  SqlValue literal;
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kLike };
+
+struct Condition {
+  std::string column;
+  CompareOp op;
+  SqlExpr value;
+};
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<std::string> columns;
+};
+struct DropTableStmt {
+  std::string table;
+};
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  ///< empty => all columns in order
+  std::vector<SqlExpr> values;
+};
+struct SelectStmt {
+  std::string table;
+  std::vector<std::string> columns;  ///< empty => *
+  std::vector<Condition> where;
+  std::optional<std::string> order_by;
+  bool order_desc = false;
+  std::optional<std::size_t> limit;
+};
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, SqlExpr>> assignments;
+  std::vector<Condition> where;
+};
+struct DeleteStmt {
+  std::string table;
+  std::vector<Condition> where;
+};
+struct BeginStmt {};
+struct CommitStmt {};
+struct RollbackStmt {};
+
+using Statement = std::variant<CreateTableStmt, DropTableStmt, InsertStmt, SelectStmt,
+                               UpdateStmt, DeleteStmt, BeginStmt, CommitStmt, RollbackStmt>;
+
+/// Parses one statement; throws SqlError on malformed input.
+Statement parse_sql(const std::string& sql);
+
+/// True if the text parses as any supported SQL statement. Used by the
+/// jalangi-style instrumentation to classify function arguments as SQL
+/// commands (§III-C "Database Tables").
+bool looks_like_sql(const std::string& text);
+
+/// True if the statement mutates database state.
+bool is_mutation(const Statement& stmt);
+
+/// Name of the table a statement touches; empty for transaction control.
+std::string target_table(const Statement& stmt);
+
+}  // namespace edgstr::sqldb

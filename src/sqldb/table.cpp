@@ -1,0 +1,120 @@
+#include "sqldb/table.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sqldb/parser.h"
+
+namespace edgstr::sqldb {
+
+Table::Table(std::string name, std::vector<std::string> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  if (columns_.empty()) throw std::invalid_argument("Table: needs at least one column");
+}
+
+std::size_t Table::column_index(const std::string& column) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == column) return i;
+  }
+  throw SqlError("Table '" + name_ + "': unknown column '" + column + "'");
+}
+
+bool Table::has_column(const std::string& column) const {
+  return std::find(columns_.begin(), columns_.end(), column) != columns_.end();
+}
+
+std::uint64_t Table::insert(std::vector<SqlValue> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("Table '" + name_ + "': cell count mismatch");
+  }
+  const std::uint64_t rid = next_rid_++;
+  rows_.push_back(Row{rid, std::move(cells)});
+  return rid;
+}
+
+void Table::insert_with_rid(std::uint64_t rid, std::vector<SqlValue> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("Table '" + name_ + "': cell count mismatch");
+  }
+  if (find(rid)) throw std::invalid_argument("Table '" + name_ + "': duplicate rid");
+  rows_.push_back(Row{rid, std::move(cells)});
+  next_rid_ = std::max(next_rid_, rid + 1);
+}
+
+std::size_t Table::update_where(const std::function<bool(const Row&)>& pred,
+                                const std::function<void(Row&)>& update) {
+  std::size_t affected = 0;
+  for (Row& row : rows_) {
+    if (pred(row)) {
+      update(row);
+      ++affected;
+    }
+  }
+  return affected;
+}
+
+std::size_t Table::delete_where(const std::function<bool(const Row&)>& pred) {
+  const std::size_t before = rows_.size();
+  rows_.erase(std::remove_if(rows_.begin(), rows_.end(), pred), rows_.end());
+  return before - rows_.size();
+}
+
+const Row* Table::find(std::uint64_t rid) const {
+  for (const Row& row : rows_) {
+    if (row.rid == rid) return &row;
+  }
+  return nullptr;
+}
+
+Row* Table::find(std::uint64_t rid) {
+  for (Row& row : rows_) {
+    if (row.rid == rid) return &row;
+  }
+  return nullptr;
+}
+
+json::Value Table::snapshot() const {
+  json::Array cols;
+  for (const std::string& c : columns_) cols.emplace_back(c);
+  json::Array rows;
+  for (const Row& row : rows_) {
+    json::Array cells;
+    for (const SqlValue& cell : row.cells) cells.push_back(cell.to_json());
+    rows.push_back(json::Value::object(
+        {{"rid", static_cast<double>(row.rid)}, {"cells", json::Value(std::move(cells))}}));
+  }
+  return json::Value::object({{"name", name_},
+                              {"columns", json::Value(std::move(cols))},
+                              {"rows", json::Value(std::move(rows))},
+                              {"next_rid", static_cast<double>(next_rid_)}});
+}
+
+Table Table::from_snapshot(const json::Value& snap) {
+  std::vector<std::string> columns;
+  for (const json::Value& c : snap["columns"].as_array()) columns.push_back(c.as_string());
+  Table table(snap["name"].as_string(), std::move(columns));
+  for (const json::Value& r : snap["rows"].as_array()) {
+    std::vector<SqlValue> cells;
+    for (const json::Value& cell : r["cells"].as_array()) cells.push_back(SqlValue::from_json(cell));
+    table.insert_with_rid(static_cast<std::uint64_t>(r["rid"].as_number()), std::move(cells));
+  }
+  table.next_rid_ = static_cast<std::uint64_t>(snap["next_rid"].as_number());
+  return table;
+}
+
+bool Table::operator==(const Table& other) const {
+  if (name_ != other.name_ || columns_ != other.columns_) return false;
+  if (rows_.size() != other.rows_.size()) return false;
+  // Row order is storage order; compare as sets keyed by rid.
+  for (const Row& row : rows_) {
+    const Row* match = other.find(row.rid);
+    if (!match) return false;
+    if (row.cells.size() != match->cells.size()) return false;
+    for (std::size_t i = 0; i < row.cells.size(); ++i) {
+      if (!(row.cells[i] == match->cells[i])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace edgstr::sqldb

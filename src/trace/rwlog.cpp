@@ -1,0 +1,75 @@
+#include "trace/rwlog.h"
+
+#include "sqldb/parser.h"
+#include "util/strings.h"
+#include "vfs/vfs.h"
+
+namespace edgstr::trace {
+
+std::uint64_t value_digest(const minijs::JsValue& value) {
+  // JSON rendering covers structure; blobs contribute their fingerprint via
+  // the {"__blob__",fp} encoding.
+  return util::fnv1a(value.to_json().dump());
+}
+
+void RwCollector::on_declare(int stmt_id, const std::string& name,
+                             const minijs::JsValue& value) {
+  events_.push_back(RwEvent{RwEvent::Kind::kDeclare, stmt_id, name, value_digest(value), order_++});
+}
+
+void RwCollector::on_read(int stmt_id, const std::string& name, const minijs::JsValue& value) {
+  events_.push_back(RwEvent{RwEvent::Kind::kRead, stmt_id, name, value_digest(value), order_++});
+  auto it = last_writer_.find(name);
+  if (it != last_writer_.end() && it->second != stmt_id) {
+    flow_edges_.push_back(FlowEdge{stmt_id, it->second, name});
+  }
+}
+
+void RwCollector::on_write(int stmt_id, const std::string& name, const minijs::JsValue& value) {
+  events_.push_back(RwEvent{RwEvent::Kind::kWrite, stmt_id, name, value_digest(value), order_++});
+  last_writer_[name] = stmt_id;
+}
+
+void RwCollector::on_invoke(int stmt_id, const std::string& fn,
+                            const std::vector<minijs::JsValue>& args,
+                            const minijs::JsValue& result) {
+  (void)result;
+  invoke_events_.push_back(InvokeEvent{stmt_id, fn, order_++});
+
+  // SQL classification: any invocation whose first argument parses as SQL.
+  if (!args.empty() && args[0].is_string()) {
+    const std::string& text = args[0].as_string();
+    if (util::starts_with(fn, "db.") && sqldb::looks_like_sql(text)) {
+      const sqldb::Statement stmt = sqldb::parse_sql(text);
+      sql_events_.push_back(
+          SqlEvent{stmt_id, text, sqldb::is_mutation(stmt), sqldb::target_table(stmt)});
+    }
+    // File classification: argument looks like a file URL/path.
+    if (util::starts_with(fn, "fs.") && vfs::Vfs::looks_like_path(text)) {
+      const bool write = fn == "fs.writeFile" || fn == "fs.appendFile" || fn == "fs.unlink";
+      file_events_.push_back(FileEvent{stmt_id, text, write});
+    }
+  }
+}
+
+std::vector<int> RwCollector::executed_statements() const {
+  std::map<int, bool> seen;
+  for (const RwEvent& e : events_) seen[e.stmt_id] = true;
+  for (const InvokeEvent& e : invoke_events_) seen[e.stmt_id] = true;
+  std::vector<int> out;
+  out.reserve(seen.size());
+  for (const auto& [id, present] : seen) out.push_back(id);
+  return out;
+}
+
+void RwCollector::clear() {
+  events_.clear();
+  sql_events_.clear();
+  file_events_.clear();
+  invoke_events_.clear();
+  flow_edges_.clear();
+  last_writer_.clear();
+  order_ = 0;
+}
+
+}  // namespace edgstr::trace

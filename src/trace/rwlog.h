@@ -1,0 +1,90 @@
+// Dynamic-trace collection (the jalangi-instrumentation consumer, §III-C/E).
+//
+// RwCollector plugs into the MiniJS interpreter's hook surface and records:
+//   * read/write/declare events per statement, with value digests — the
+//     raw material for RW-LOG facts and fuzz-tracking;
+//   * SQL invocations (function calls whose argument parses as SQL), the
+//     paper's INVOKEFUNCTION(LOC,F,ARGS,VAL) classification;
+//   * file accesses (calls whose argument looks like a file URL);
+//   * dynamic data-flow edges: each read of a variable is linked to the
+//     statement that most recently wrote it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "minijs/interpreter.h"
+
+namespace edgstr::trace {
+
+/// Stable digest of a runtime value: equal values (including blobs) digest
+/// equally; digests change whenever any component changes.
+std::uint64_t value_digest(const minijs::JsValue& value);
+
+struct RwEvent {
+  enum class Kind { kDeclare, kRead, kWrite };
+  Kind kind;
+  int stmt_id;
+  std::string name;       ///< root variable name
+  std::uint64_t digest;   ///< digest of the value read/written
+  std::size_t order;      ///< position in the execution trace
+};
+
+struct SqlEvent {
+  int stmt_id;
+  std::string sql;
+  bool mutation;
+  std::string table;
+};
+
+struct FileEvent {
+  int stmt_id;
+  std::string path;
+  bool write;
+};
+
+struct InvokeEvent {
+  int stmt_id;
+  std::string function;
+  std::size_t order;
+};
+
+/// A dynamic flow edge: `reader` read a value last written by `writer`.
+struct FlowEdge {
+  int reader_stmt;
+  int writer_stmt;
+  std::string variable;
+};
+
+class RwCollector final : public minijs::InstrumentationHooks {
+ public:
+  void on_declare(int stmt_id, const std::string& name, const minijs::JsValue& value) override;
+  void on_read(int stmt_id, const std::string& name, const minijs::JsValue& value) override;
+  void on_write(int stmt_id, const std::string& name, const minijs::JsValue& value) override;
+  void on_invoke(int stmt_id, const std::string& fn, const std::vector<minijs::JsValue>& args,
+                 const minijs::JsValue& result) override;
+
+  const std::vector<RwEvent>& events() const { return events_; }
+  const std::vector<SqlEvent>& sql_events() const { return sql_events_; }
+  const std::vector<FileEvent>& file_events() const { return file_events_; }
+  const std::vector<InvokeEvent>& invoke_events() const { return invoke_events_; }
+  const std::vector<FlowEdge>& flow_edges() const { return flow_edges_; }
+
+  /// Ids of every statement that executed (any event attributed to it).
+  std::vector<int> executed_statements() const;
+
+  void clear();
+
+ private:
+  std::vector<RwEvent> events_;
+  std::vector<SqlEvent> sql_events_;
+  std::vector<FileEvent> file_events_;
+  std::vector<InvokeEvent> invoke_events_;
+  std::vector<FlowEdge> flow_edges_;
+  std::map<std::string, int> last_writer_;  ///< variable -> stmt of latest write
+  std::size_t order_ = 0;
+};
+
+}  // namespace edgstr::trace

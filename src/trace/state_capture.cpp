@@ -1,0 +1,138 @@
+#include "trace/state_capture.h"
+
+#include "minijs/parser.h"
+
+namespace edgstr::trace {
+
+std::uint64_t Snapshot::size_bytes() const { return to_json().wire_size(); }
+
+json::Value Snapshot::to_json() const {
+  return json::Value::object({{"database", database}, {"files", files}, {"globals", globals}});
+}
+
+Snapshot Snapshot::from_json(const json::Value& v) {
+  return Snapshot{v["database"], v["files"], v["globals"]};
+}
+
+StateDiff diff_snapshots(const Snapshot& before, const Snapshot& after) {
+  StateDiff diff;
+
+  // Tables: compare per-table snapshots.
+  auto table_map = [](const json::Value& db) {
+    std::map<std::string, const json::Value*> out;
+    for (const json::Value& t : db["tables"].as_array()) {
+      out[t["name"].as_string()] = &t;
+    }
+    return out;
+  };
+  const auto before_tables = table_map(before.database);
+  const auto after_tables = table_map(after.database);
+  for (const auto& [name, snap] : after_tables) {
+    auto it = before_tables.find(name);
+    if (it == before_tables.end() || !(*it->second == *snap)) diff.changed_tables.insert(name);
+  }
+  for (const auto& [name, snap] : before_tables) {
+    if (!after_tables.count(name)) diff.changed_tables.insert(name);
+  }
+
+  // Files.
+  const json::Object& before_files = before.files.as_object();
+  const json::Object& after_files = after.files.as_object();
+  for (const auto& [path, entry] : after_files) {
+    if (!before_files.contains(path) ||
+        !(before_files.at(path)["contents"] == entry["contents"])) {
+      diff.changed_files.insert(path);
+    }
+  }
+  for (const auto& [path, entry] : before_files) {
+    if (!after_files.contains(path)) diff.changed_files.insert(path);
+  }
+
+  // Globals.
+  const json::Object& before_globals = before.globals.as_object();
+  const json::Object& after_globals = after.globals.as_object();
+  for (const auto& [name, value] : after_globals) {
+    if (!before_globals.contains(name) || !(before_globals.at(name) == value)) {
+      diff.changed_globals.insert(name);
+    }
+  }
+  for (const auto& [name, value] : before_globals) {
+    if (!after_globals.contains(name)) diff.changed_globals.insert(name);
+  }
+  return diff;
+}
+
+json::Value capture_globals(minijs::Interpreter& interp) {
+  json::Object out;
+  for (const auto& [name, value] : interp.globals()->locals()) {
+    if (value.is_callable()) continue;  // code, not state
+    out.set(name, value.to_json());
+  }
+  return json::Value(std::move(out));
+}
+
+void restore_globals(minijs::Interpreter& interp, const json::Value& globals) {
+  auto& locals = interp.globals()->locals_mutable();
+  // Remove non-function globals that the snapshot does not contain.
+  for (auto it = locals.begin(); it != locals.end();) {
+    if (!it->second.is_callable() && !globals.find(it->first)) {
+      it = locals.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [name, value] : globals.as_object()) {
+    locals[name] = minijs::JsValue::from_json(value);
+  }
+}
+
+ProfilingHarness::ProfilingHarness(const std::string& server_source,
+                                   minijs::InterpreterConfig config) {
+  minijs::Program program = minijs::parse_program(server_source);
+  interp_ = std::make_unique<minijs::Interpreter>(std::move(program), config);
+  interp_->bind_database(&db_);
+  interp_->bind_vfs(&fs_);
+  interp_->run_toplevel();
+  interp_->drain_compute_units();  // init-time compute is not per-request
+  init_snapshot_ = capture();
+}
+
+Snapshot ProfilingHarness::capture() {
+  return Snapshot{db_.snapshot(), fs_.snapshot(), capture_globals(*interp_)};
+}
+
+void ProfilingHarness::restore(const Snapshot& snapshot) {
+  db_.restore(snapshot.database);
+  fs_.restore(snapshot.files);
+  restore_globals(*interp_, snapshot.globals);
+}
+
+http::HttpResponse ProfilingHarness::invoke(const http::Route& route,
+                                            const http::HttpRequest& request,
+                                            RwCollector* collector) {
+  interp_->set_hooks(collector);
+  http::HttpResponse response;
+  try {
+    response = interp_->invoke(route, request);
+  } catch (...) {
+    interp_->set_hooks(nullptr);
+    throw;
+  }
+  interp_->set_hooks(nullptr);
+  return response;
+}
+
+ProfilingHarness::IsolatedResult ProfilingHarness::invoke_isolated(
+    const http::Route& route, const http::HttpRequest& request, RwCollector* collector) {
+  restore_init();
+  interp_->drain_compute_units();
+  IsolatedResult result;
+  result.response = invoke(route, request, collector);
+  result.compute_units = interp_->drain_compute_units();
+  const Snapshot after = capture();
+  result.state_diff = diff_snapshots(init_snapshot_, after);
+  restore_init();
+  return result;
+}
+
+}  // namespace edgstr::trace

@@ -1,0 +1,100 @@
+// Server-state capture and isolation (§III-B, §III-C).
+//
+// A ProfilingHarness hosts one cloud service (MiniJS program + database +
+// VFS) for *analysis*. It implements the paper's state-isolation protocol:
+//
+//   init, save "init", exec_i, restore "init", exec_{i+1}, restore "init" ...
+//
+// so every profiled execution starts from the identical checkpointed init
+// state, even for stateful services. Snapshots cover the three replication
+// units: database tables, files, and global variables.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "minijs/interpreter.h"
+#include "trace/rwlog.h"
+
+namespace edgstr::trace {
+
+/// Full server state: the three replication units.
+struct Snapshot {
+  json::Value database;
+  json::Value files;
+  json::Value globals;
+
+  /// Serialized size — the paper's S_app baseline for cross-ISA comparison.
+  std::uint64_t size_bytes() const;
+  json::Value to_json() const;
+  static Snapshot from_json(const json::Value& v);
+};
+
+/// Which state units a single execution modified.
+struct StateDiff {
+  std::set<std::string> changed_tables;
+  std::set<std::string> changed_files;
+  std::set<std::string> changed_globals;
+
+  bool empty() const {
+    return changed_tables.empty() && changed_files.empty() && changed_globals.empty();
+  }
+  std::size_t total() const {
+    return changed_tables.size() + changed_files.size() + changed_globals.size();
+  }
+};
+
+/// Computes which units differ between two snapshots.
+StateDiff diff_snapshots(const Snapshot& before, const Snapshot& after);
+
+/// Extracts the user-global variables of an interpreter as a JSON object
+/// (functions excluded: code is replicated separately from state).
+json::Value capture_globals(minijs::Interpreter& interp);
+
+/// Writes captured globals back into the interpreter's global scope via
+/// each variable's implicit set operation.
+void restore_globals(minijs::Interpreter& interp, const json::Value& globals);
+
+class ProfilingHarness {
+ public:
+  /// Parses the server source and runs its init (top level). The post-init
+  /// state is checkpointed as the canonical init snapshot.
+  explicit ProfilingHarness(const std::string& server_source,
+                            minijs::InterpreterConfig config = minijs::InterpreterConfig());
+
+  minijs::Interpreter& interpreter() { return *interp_; }
+  sqldb::Database& database() { return db_; }
+  vfs::Vfs& filesystem() { return fs_; }
+  const Snapshot& init_snapshot() const { return init_snapshot_; }
+
+  /// Current full state.
+  Snapshot capture();
+  /// Restores a previously captured state.
+  void restore(const Snapshot& snapshot);
+  /// Restores the checkpointed init state (the `restore "init"` step).
+  void restore_init() { restore(init_snapshot_); }
+
+  /// Runs one service execution against the *current* state with optional
+  /// instrumentation.
+  http::HttpResponse invoke(const http::Route& route, const http::HttpRequest& request,
+                            RwCollector* collector = nullptr);
+
+  /// State-isolated execution: restore init, execute (instrumented), diff
+  /// the resulting state, restore init again. Returns response + diff.
+  struct IsolatedResult {
+    http::HttpResponse response;
+    StateDiff state_diff;
+    double compute_units = 0;
+  };
+  IsolatedResult invoke_isolated(const http::Route& route, const http::HttpRequest& request,
+                                 RwCollector* collector = nullptr);
+
+ private:
+  sqldb::Database db_;
+  vfs::Vfs fs_;
+  std::unique_ptr<minijs::Interpreter> interp_;
+  Snapshot init_snapshot_;
+};
+
+}  // namespace edgstr::trace

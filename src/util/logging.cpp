@@ -1,0 +1,56 @@
+#include "util/logging.h"
+
+#include <iostream>
+#include <mutex>
+
+namespace edgstr::util {
+
+namespace {
+
+std::mutex g_mutex;
+LogLevel g_level = LogLevel::kWarn;
+
+void stderr_sink(LogLevel level, std::string_view message) {
+  std::cerr << "[" << to_string(level) << "] " << message << "\n";
+}
+
+LogSink& sink_storage() {
+  static LogSink sink = stderr_sink;
+  return sink;
+}
+
+}  // namespace
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard lock(g_mutex);
+  sink_storage() = sink ? std::move(sink) : stderr_sink;
+}
+
+void set_log_level(LogLevel level) {
+  std::lock_guard lock(g_mutex);
+  g_level = level;
+}
+
+LogLevel log_level() {
+  std::lock_guard lock(g_mutex);
+  return g_level;
+}
+
+void log(LogLevel level, std::string_view message) {
+  std::lock_guard lock(g_mutex);
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  sink_storage()(level, message);
+}
+
+}  // namespace edgstr::util

@@ -1,0 +1,62 @@
+// Lightweight leveled logging for the EdgStr simulation stack.
+//
+// Logging is routed through a single global sink so tests can silence or
+// capture output. Levels follow the usual severity ordering; the default
+// threshold is kWarn so library code stays quiet unless asked.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace edgstr::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError };
+
+/// Returns a short uppercase tag ("TRACE", "DEBUG", ...) for a level.
+std::string_view to_string(LogLevel level);
+
+/// Sink invoked for every emitted record at or above the threshold.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+/// Replaces the global sink. Passing nullptr restores the stderr sink.
+void set_log_sink(LogSink sink);
+
+/// Adjusts the global severity threshold.
+void set_log_level(LogLevel level);
+
+/// Current global severity threshold.
+LogLevel log_level();
+
+/// Emits one record if `level` passes the threshold.
+void log(LogLevel level, std::string_view message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace edgstr::util
+
+#define EDGSTR_LOG(level) ::edgstr::util::detail::LogLine(level)
+#define EDGSTR_TRACE() EDGSTR_LOG(::edgstr::util::LogLevel::kTrace)
+#define EDGSTR_DEBUG() EDGSTR_LOG(::edgstr::util::LogLevel::kDebug)
+#define EDGSTR_INFO() EDGSTR_LOG(::edgstr::util::LogLevel::kInfo)
+#define EDGSTR_WARN() EDGSTR_LOG(::edgstr::util::LogLevel::kWarn)
+#define EDGSTR_ERROR() EDGSTR_LOG(::edgstr::util::LogLevel::kError)

@@ -1,0 +1,108 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace edgstr::util {
+
+void Summary::add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void Summary::merge(const Summary& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+}
+
+void Summary::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::sum() const {
+  double total = 0;
+  for (double s : samples_) total += s;
+  return total;
+}
+
+double Summary::mean() const {
+  if (samples_.empty()) throw std::logic_error("Summary::mean on empty summary");
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const {
+  if (samples_.empty()) throw std::logic_error("Summary::min on empty summary");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Summary::max() const {
+  if (samples_.empty()) throw std::logic_error("Summary::max on empty summary");
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double accum = 0;
+  for (double s : samples_) accum += (s - m) * (s - m);
+  return std::sqrt(accum / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::quantile(double q) const {
+  if (samples_.empty()) throw std::logic_error("Summary::quantile on empty summary");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q out of [0,1]");
+  ensure_sorted();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+BoxStats box_stats(const Summary& summary) {
+  return BoxStats{summary.min(), summary.quantile(0.25), summary.median(),
+                  summary.quantile(0.75), summary.max()};
+}
+
+LinearFit linear_regression(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("linear_regression: need >= 2 paired samples");
+  }
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom == 0.0) {
+    fit.slope = 0;
+    fit.intercept = sy / n;
+    fit.r2 = 0;
+    return fit;
+  }
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot > 0) {
+    double ss_res = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double pred = fit.slope * xs[i] + fit.intercept;
+      ss_res += (ys[i] - pred) * (ys[i] - pred);
+    }
+    fit.r2 = 1.0 - ss_res / ss_tot;
+  }
+  return fit;
+}
+
+}  // namespace edgstr::util

@@ -1,0 +1,54 @@
+// Descriptive statistics used across the evaluation harness: running
+// summaries, quantiles (Figure 10(b) box plots), and ordinary least-squares
+// regression (Figure 6(b) throughput-slope analysis).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace edgstr::util {
+
+/// Accumulates samples and reports summary statistics. Samples are stored so
+/// exact quantiles can be computed; intended for benchmark-sized data sets.
+class Summary {
+ public:
+  void add(double sample);
+  void merge(const Summary& other);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double sum() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+
+  /// Exact quantile by linear interpolation, q in [0, 1].
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  void ensure_sorted() const;
+};
+
+/// Five-number summary used by the Figure 10(b) proxy-strategy comparison.
+struct BoxStats {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+};
+BoxStats box_stats(const Summary& summary);
+
+/// Ordinary least squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  double r2 = 0;  ///< coefficient of determination
+};
+
+/// Fits a line through the point set. Requires xs.size() == ys.size() >= 2.
+LinearFit linear_regression(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace edgstr::util

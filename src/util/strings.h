@@ -1,0 +1,41 @@
+// Small string utilities shared by the parsers and code generators.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edgstr::util {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// True if `text` ends with `suffix`.
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Joins the pieces with the separator.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Lowercases ASCII characters.
+std::string to_lower(std::string_view text);
+
+/// Replaces every occurrence of `from` with `to`.
+std::string replace_all(std::string_view text, std::string_view from, std::string_view to);
+
+/// 64-bit FNV-1a hash; used for content fingerprints in the VFS and CRDTs.
+std::uint64_t fnv1a(std::string_view data);
+
+/// Human-readable byte count ("1.5 MB").
+std::string format_bytes(double bytes);
+
+/// Renders a double with the given precision, trimming trailing zeros.
+std::string format_double(double value, int precision = 3);
+
+}  // namespace edgstr::util

@@ -1,0 +1,121 @@
+#include "vfs/vfs.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace edgstr::vfs {
+
+bool Vfs::looks_like_path(const std::string& text) {
+  if (text.empty()) return false;
+  if (util::starts_with(text, "file://") || util::starts_with(text, "http://") ||
+      util::starts_with(text, "https://")) {
+    return true;
+  }
+  if (util::starts_with(text, "/") || util::starts_with(text, "./") ||
+      util::starts_with(text, "data/") || util::starts_with(text, "models/")) {
+    // Require a file-ish tail: an extension or at least one more segment.
+    return text.find('.') != std::string::npos || text.find('/', 1) != std::string::npos;
+  }
+  return false;
+}
+
+bool Vfs::exists(const std::string& path) const { return files_.count(path) > 0; }
+
+const std::string& Vfs::read(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) throw std::out_of_range("vfs: no such file: " + path);
+  track(FileAccess::Kind::kRead, path);
+  return it->second.contents;
+}
+
+void Vfs::write(const std::string& path, std::string contents) {
+  FileEntry& entry = files_[path];
+  entry.contents = std::move(contents);
+  ++entry.version;
+  track(FileAccess::Kind::kWrite, path);
+}
+
+void Vfs::append(const std::string& path, const std::string& data) {
+  FileEntry& entry = files_[path];
+  entry.contents += data;
+  ++entry.version;
+  track(FileAccess::Kind::kAppend, path);
+}
+
+bool Vfs::remove(const std::string& path) {
+  track(FileAccess::Kind::kRemove, path);
+  return files_.erase(path) > 0;
+}
+
+std::vector<std::string> Vfs::list() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, entry] : files_) out.push_back(path);
+  return out;
+}
+
+std::uint64_t Vfs::version(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second.version;
+}
+
+std::uint64_t Vfs::fingerprint(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? 0 : util::fnv1a(it->second.contents);
+}
+
+std::uint64_t Vfs::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [path, entry] : files_) total += entry.contents.size();
+  return total;
+}
+
+void Vfs::start_tracking() {
+  tracking_ = true;
+  accesses_.clear();
+}
+
+std::vector<FileAccess> Vfs::stop_tracking() {
+  tracking_ = false;
+  return std::move(accesses_);
+}
+
+void Vfs::track(FileAccess::Kind kind, const std::string& path) {
+  if (tracking_) accesses_.push_back(FileAccess{kind, path});
+}
+
+json::Value Vfs::snapshot() const {
+  json::Object files;
+  for (const auto& [path, entry] : files_) {
+    files.set(path, json::Value::object({{"contents", entry.contents},
+                                         {"version", static_cast<double>(entry.version)}}));
+  }
+  return json::Value(std::move(files));
+}
+
+void Vfs::restore(const json::Value& snap) {
+  files_.clear();
+  for (const auto& [path, entry] : snap.as_object()) {
+    files_[path] = FileEntry{entry["contents"].as_string(),
+                             static_cast<std::uint64_t>(entry["version"].as_number())};
+  }
+}
+
+void Vfs::copy_from(const Vfs& source, const std::set<std::string>& paths) {
+  for (const std::string& path : paths) {
+    auto it = source.files_.find(path);
+    if (it != source.files_.end()) files_[path] = it->second;
+  }
+}
+
+bool Vfs::operator==(const Vfs& other) const {
+  if (files_.size() != other.files_.size()) return false;
+  for (const auto& [path, entry] : files_) {
+    auto it = other.files_.find(path);
+    if (it == other.files_.end() || it->second.contents != entry.contents) return false;
+  }
+  return true;
+}
+
+}  // namespace edgstr::vfs

@@ -1,0 +1,83 @@
+// Virtual file system — the "Files" replication unit (§III-C).
+//
+// Subject services read model files, write computed summaries, and append
+// logs. EdgStr identifies file accesses by instrumenting invocations whose
+// arguments are file URLs, then duplicates the identified files at replicas
+// ("by copying or downloading"). The VFS supports exactly the operations
+// that pipeline needs: read/write/append/exists/remove, access tracking,
+// content fingerprints, and whole-tree snapshots.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "json/value.h"
+
+namespace edgstr::vfs {
+
+/// One file: contents plus a version counter bumped on every write.
+struct FileEntry {
+  std::string contents;
+  std::uint64_t version = 0;
+};
+
+/// Record of one file access observed during profiling.
+struct FileAccess {
+  enum class Kind { kRead, kWrite, kAppend, kRemove };
+  Kind kind;
+  std::string path;
+};
+
+class Vfs {
+ public:
+  /// True if `text` looks like a file URL/path this VFS would manage —
+  /// the classifier the instrumentation uses on function arguments.
+  static bool looks_like_path(const std::string& text);
+
+  bool exists(const std::string& path) const;
+  /// Reads the full contents; throws std::out_of_range if absent.
+  const std::string& read(const std::string& path);
+  /// Creates or overwrites.
+  void write(const std::string& path, std::string contents);
+  /// Appends to an existing file (creates it if absent).
+  void append(const std::string& path, const std::string& data);
+  /// Removes the file; returns whether it existed.
+  bool remove(const std::string& path);
+
+  std::vector<std::string> list() const;
+  std::size_t file_count() const { return files_.size(); }
+  std::uint64_t version(const std::string& path) const;
+  /// FNV-1a content fingerprint; 0 for a missing file.
+  std::uint64_t fingerprint(const std::string& path) const;
+
+  /// Total bytes stored (sum of file sizes).
+  std::uint64_t total_bytes() const;
+
+  /// Access tracking used during dynamic profiling.
+  void start_tracking();
+  std::vector<FileAccess> stop_tracking();
+  bool tracking() const { return tracking_; }
+
+  /// Full-tree snapshot/restore.
+  json::Value snapshot() const;
+  void restore(const json::Value& snap);
+
+  /// Copies a subset of paths from another VFS (replica initialization —
+  /// the paper's "duplicates the identified files by copying").
+  void copy_from(const Vfs& source, const std::set<std::string>& paths);
+
+  bool operator==(const Vfs& other) const;
+
+ private:
+  std::map<std::string, FileEntry> files_;
+  bool tracking_ = false;
+  std::vector<FileAccess> accesses_;
+
+  void track(FileAccess::Kind kind, const std::string& path);
+};
+
+}  // namespace edgstr::vfs

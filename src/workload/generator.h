@@ -1,0 +1,116 @@
+// Workload generation for the evaluation harness.
+//
+// The paper's experiments emulate "several distinct volumes of client
+// requests ... with various workloads that involved different read and
+// modify functions" (§IV-D). This module factors those pieces out of the
+// individual benchmarks:
+//
+//   ArrivalSchedule — when requests arrive (constant, Poisson, phased,
+//                     diurnal)
+//   RequestMix      — which request each arrival issues (weighted mix)
+//   WorkloadDriver  — schedules the arrivals onto a simulation clock,
+//                     issues them through any request path, and collects
+//                     per-request latencies + outcome counts
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "http/message.h"
+#include "netsim/clock.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace edgstr::workload {
+
+/// A phase of traffic: mean arrival rate held for a duration.
+struct Phase {
+  double rps;
+  double duration_s;
+};
+
+/// Produces arrival timestamps over [0, total_duration).
+class ArrivalSchedule {
+ public:
+  /// Deterministic equal spacing at `rps` for `duration_s`.
+  static ArrivalSchedule constant(double rps, double duration_s);
+  /// Poisson process at `rps` for `duration_s`.
+  static ArrivalSchedule poisson(double rps, double duration_s, std::uint64_t seed = 1);
+  /// Piecewise phases, each Poisson at its own rate.
+  static ArrivalSchedule phases(std::vector<Phase> phases, std::uint64_t seed = 1);
+  /// Sinusoidal day: rate oscillates between `low_rps` and `high_rps` over
+  /// `period_s`, sampled as a piecewise-Poisson approximation.
+  static ArrivalSchedule diurnal(double low_rps, double high_rps, double period_s,
+                                 double duration_s, std::uint64_t seed = 1);
+
+  const std::vector<double>& times() const { return times_; }
+  double duration_s() const { return duration_s_; }
+  std::size_t size() const { return times_.size(); }
+
+ private:
+  std::vector<double> times_;
+  double duration_s_ = 0;
+};
+
+/// Weighted request mix: each arrival draws one exemplar.
+class RequestMix {
+ public:
+  /// Single fixed request.
+  explicit RequestMix(http::HttpRequest request);
+  /// Weighted choice among exemplars. Weights need not be normalized.
+  RequestMix(std::vector<http::HttpRequest> requests, std::vector<double> weights);
+  /// Uniform choice over a workload list.
+  static RequestMix uniform(std::vector<http::HttpRequest> requests);
+
+  http::HttpRequest draw(util::Rng& rng) const;
+  std::size_t variants() const { return requests_.size(); }
+
+ private:
+  std::vector<http::HttpRequest> requests_;
+  std::vector<double> cumulative_;  ///< normalized cumulative weights
+};
+
+/// Outcome of one driven workload.
+struct WorkloadResult {
+  util::Summary latencies_ms;
+  std::size_t issued = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;  ///< non-2xx responses
+
+  double completion_rate() const {
+    return issued ? double(completed) / double(issued) : 0.0;
+  }
+};
+
+/// Issues a request; must invoke the callback exactly once on the clock.
+using IssueFn =
+    std::function<void(const http::HttpRequest&, std::function<void(http::HttpResponse, double)>)>;
+
+class WorkloadDriver {
+ public:
+  explicit WorkloadDriver(netsim::SimClock& clock, std::uint64_t seed = 7)
+      : clock_(clock), rng_(seed) {}
+
+  /// Schedules every arrival, runs the clock `drain_s` past the last
+  /// arrival, and returns the collected result. Completions that would land
+  /// beyond the drain window are left in the queue (counted as issued, not
+  /// completed).
+  WorkloadResult drive(const ArrivalSchedule& schedule, const RequestMix& mix, IssueFn issue,
+                       double drain_s = 2.0);
+
+  /// Optional per-second hook (e.g. autoscaler evaluation) during drive().
+  void set_periodic_hook(std::function<void()> hook, double period_s = 1.0) {
+    hook_ = std::move(hook);
+    hook_period_s_ = period_s;
+  }
+
+ private:
+  netsim::SimClock& clock_;
+  util::Rng rng_;
+  std::function<void()> hook_;
+  double hook_period_s_ = 1.0;
+};
+
+}  // namespace edgstr::workload

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "edgstr/baselines.h"
+#include "runtime/node.h"
+
+namespace edgstr::core {
+namespace {
+
+const char* kServer = R"JS(
+var calls = 0;
+app.get("/double", function (req, res) {
+  var n = req.params.n;
+  compute(20);
+  calls = calls + 1;
+  res.send({ doubled: n * 2, call: calls });
+});
+app.get("/pure", function (req, res) {
+  var n = req.params.n;
+  res.send({ square: n * n });
+});
+)JS";
+
+struct World {
+  netsim::Network net{5};
+  runtime::Node cloud;
+
+  World() : cloud(net.clock(), make_spec()) {
+    cloud.host(std::make_unique<runtime::ServiceRuntime>(kServer));
+    net.connect("client", "edgeP", netsim::LinkConfig::lan());
+    net.connect("edgeP", "cloud", netsim::LinkConfig::limited_wan());
+  }
+  static runtime::NodeSpec make_spec() {
+    runtime::NodeSpec s;
+    s.name = "cloud";
+    s.seconds_per_unit = 1e-5;
+    s.request_overhead_s = 1e-3;
+    return s;
+  }
+  http::HttpRequest request(const char* path, double n) {
+    http::HttpRequest req;
+    req.path = path;
+    req.params = json::Value::object({{"n", n}});
+    return req;
+  }
+  double timed(auto& proxy, const http::HttpRequest& req, http::HttpResponse* out = nullptr) {
+    double latency = -1;
+    bool done = false;
+    proxy.request(req, [&](http::HttpResponse resp, double l) {
+      if (out) *out = std::move(resp);
+      latency = l;
+      done = true;
+    });
+    while (!done && net.clock().step()) {
+    }
+    return latency;
+  }
+};
+
+// ------------------------------------------------------------ CachingProxy --
+
+TEST(CachingProxyTest, HitIsOrdersOfMagnitudeFasterThanMiss) {
+  World w;
+  CachingProxy proxy(w.net, "client", "edgeP", w.cloud);
+  const http::HttpRequest req = w.request("/pure", 6);
+  const double miss = w.timed(proxy, req);
+  const double hit = w.timed(proxy, req);
+  EXPECT_EQ(proxy.misses(), 1u);
+  EXPECT_EQ(proxy.hits(), 1u);
+  EXPECT_LT(hit * 20, miss);
+}
+
+TEST(CachingProxyTest, HitReturnsCachedBody) {
+  World w;
+  CachingProxy proxy(w.net, "client", "edgeP", w.cloud);
+  const http::HttpRequest req = w.request("/pure", 6);
+  http::HttpResponse first, second;
+  w.timed(proxy, req, &first);
+  w.timed(proxy, req, &second);
+  EXPECT_EQ(first.body, second.body);
+  EXPECT_DOUBLE_EQ(second.body["square"].as_number(), 36.0);
+}
+
+TEST(CachingProxyTest, DistinctParamsMissSeparately) {
+  World w;
+  CachingProxy proxy(w.net, "client", "edgeP", w.cloud);
+  w.timed(proxy, w.request("/pure", 1));
+  w.timed(proxy, w.request("/pure", 2));
+  EXPECT_EQ(proxy.misses(), 2u);
+  EXPECT_EQ(proxy.hits(), 0u);
+}
+
+TEST(CachingProxyTest, StaleEntriesRevalidate) {
+  World w;
+  CachingConfig config;
+  config.revalidate_every = 2;
+  CachingProxy proxy(w.net, "client", "edgeP", w.cloud, config);
+  const http::HttpRequest req = w.request("/pure", 3);
+  w.timed(proxy, req);  // miss, fills
+  w.timed(proxy, req);  // hit 1
+  w.timed(proxy, req);  // hit 2
+  w.timed(proxy, req);  // forced revalidation -> miss
+  EXPECT_EQ(proxy.hits(), 2u);
+  EXPECT_EQ(proxy.misses(), 2u);
+}
+
+TEST(CachingProxyTest, CachedStatefulServiceServesStaleResults) {
+  // The staleness hazard of §IV-E2: /double bumps a counter, but the cache
+  // keeps returning the first counter value — exactly why caching is
+  // inapplicable to stateful services.
+  World w;
+  CachingProxy proxy(w.net, "client", "edgeP", w.cloud);
+  const http::HttpRequest req = w.request("/double", 5);
+  http::HttpResponse first, second;
+  w.timed(proxy, req, &first);
+  w.timed(proxy, req, &second);
+  EXPECT_DOUBLE_EQ(first.body["call"].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(second.body["call"].as_number(), 1.0);  // stale!
+}
+
+TEST(CachingProxyTest, ErrorsAreNotCached) {
+  World w;
+  CachingProxy proxy(w.net, "client", "edgeP", w.cloud);
+  http::HttpRequest req;
+  req.path = "/missing";
+  http::HttpResponse resp;
+  w.timed(proxy, req, &resp);
+  EXPECT_EQ(resp.status, 404);
+  w.timed(proxy, req, &resp);
+  EXPECT_EQ(proxy.misses(), 2u);  // the 404 was never cached
+}
+
+// ----------------------------------------------------------- BatchingProxy --
+
+TEST(BatchingProxyTest, FullBatchShipsTogether) {
+  World w;
+  BatchingConfig config;
+  config.batch_size = 3;
+  config.flush_timeout_s = 0;  // no timer: only size triggers
+  BatchingProxy proxy(w.net, "client", "edgeP", w.cloud, config);
+  std::vector<double> latencies;
+  std::vector<double> results;
+  for (int i = 1; i <= 3; ++i) {
+    proxy.request(w.request("/pure", i), [&](http::HttpResponse resp, double latency) {
+      latencies.push_back(latency);
+      results.push_back(resp.body["square"].as_number());
+    });
+  }
+  w.net.clock().run();
+  ASSERT_EQ(latencies.size(), 3u);
+  EXPECT_EQ(proxy.batches_sent(), 1u);
+  EXPECT_EQ(results, (std::vector<double>{1, 4, 9}));  // responses matched up
+}
+
+TEST(BatchingProxyTest, PartialBatchFlushesOnTimeout) {
+  World w;
+  BatchingConfig config;
+  config.batch_size = 10;
+  config.flush_timeout_s = 1.0;
+  BatchingProxy proxy(w.net, "client", "edgeP", w.cloud, config);
+  bool done = false;
+  proxy.request(w.request("/pure", 4), [&](http::HttpResponse resp, double) {
+    EXPECT_DOUBLE_EQ(resp.body["square"].as_number(), 16.0);
+    done = true;
+  });
+  w.net.clock().run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(proxy.batches_sent(), 1u);
+}
+
+TEST(BatchingProxyTest, ManualFlushShipsTail) {
+  World w;
+  BatchingConfig config;
+  config.batch_size = 10;
+  config.flush_timeout_s = 0;
+  BatchingProxy proxy(w.net, "client", "edgeP", w.cloud, config);
+  bool done = false;
+  proxy.request(w.request("/pure", 2), [&](http::HttpResponse, double) { done = true; });
+  // Deliver the LAN leg so the request is enqueued, then flush manually.
+  w.net.clock().run();
+  EXPECT_FALSE(done);
+  proxy.flush();
+  w.net.clock().run();
+  EXPECT_TRUE(done);
+}
+
+TEST(BatchingProxyTest, BatchingAmortizesConnectionSetup) {
+  // With per-message connection setup on the WAN, k batched requests pay
+  // one handshake instead of k: the bulk turnaround beats k sequential
+  // round trips in total.
+  World w;
+  netsim::LinkConfig wan = netsim::LinkConfig::limited_wan();
+  wan.per_message_setup_s = 2 * wan.latency_s;
+  w.net.connect("edgeP", "cloud", wan);
+  w.net.connect("client", "cloud", wan);
+
+  // Sequential unproxied total.
+  runtime::TwoTierPath direct(w.net, "client", w.cloud);
+  double sequential_total = 0;
+  for (int i = 1; i <= 4; ++i) {
+    sequential_total += w.timed(direct, w.request("/pure", i));
+  }
+
+  // Batched total: all four handed over at once.
+  BatchingConfig config;
+  config.batch_size = 4;
+  BatchingProxy proxy(w.net, "client", "edgeP", w.cloud, config);
+  double batch_total = 0;
+  int completions = 0;
+  for (int i = 1; i <= 4; ++i) {
+    proxy.request(w.request("/pure", i), [&](http::HttpResponse, double latency) {
+      batch_total = std::max(batch_total, latency);
+      ++completions;
+    });
+  }
+  w.net.clock().run();
+  ASSERT_EQ(completions, 4);
+  EXPECT_LT(batch_total, sequential_total);
+}
+
+// ------------------------------------------------------------ CrossIsaSync --
+
+TEST(CrossIsaSyncTest, Arithmetic) {
+  CrossIsaSync sync(1000);
+  EXPECT_EQ(sync.state_bytes(), 1000u);
+  EXPECT_EQ(sync.bytes_per_invocation(), 2000u);
+  EXPECT_EQ(sync.bytes_for_rounds(5), 10000u);
+}
+
+TEST(CrossIsaSyncTest, RuntimeImageAddsToSnapshot) {
+  trace::Snapshot snap;
+  snap.database = json::Value::object({{"tables", json::Value::array({})}});
+  snap.files = json::Value::object({});
+  snap.globals = json::Value::object({});
+  const CrossIsaSync bare = CrossIsaSync::from_snapshot(snap);
+  const CrossIsaSync with_image = CrossIsaSync::from_snapshot(snap, 1 << 20);
+  EXPECT_EQ(with_image.state_bytes(), bare.state_bytes() + (1 << 20));
+}
+
+}  // namespace
+}  // namespace edgstr::core

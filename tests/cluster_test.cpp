@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "cluster/autoscaler.h"
+#include "cluster/balancer.h"
+#include "cluster/device.h"
+#include "cluster/energy.h"
+
+namespace edgstr::cluster {
+namespace {
+
+const char* kServer = R"JS(
+app.post("/work", function (req, res) {
+  var u = req.params.u;
+  compute(u);
+  res.send({ done: u });
+});
+)JS";
+
+http::HttpRequest work(double units) {
+  http::HttpRequest req;
+  req.verb = http::Verb::kPost;
+  req.path = "/work";
+  req.params = json::Value::object({{"u", units}});
+  return req;
+}
+
+runtime::NodeSpec spec(const std::string& name) {
+  runtime::NodeSpec s;
+  s.name = name;
+  s.seconds_per_unit = 0.001;
+  s.request_overhead_s = 0;
+  return s;
+}
+
+// ---------------------------------------------------------- DeviceProfile --
+
+TEST(DeviceProfileTest, Rpi4IsPaperFactorFasterThanRpi3) {
+  const double ratio = DeviceProfile::rpi3().seconds_per_unit /
+                       DeviceProfile::rpi4().seconds_per_unit;
+  EXPECT_NEAR(ratio, 1.8, 0.01);  // the cited CPU benchmark factor
+}
+
+TEST(DeviceProfileTest, CloudFasterThanEdges) {
+  EXPECT_LT(DeviceProfile::optiplex5050().seconds_per_unit,
+            DeviceProfile::rpi4().seconds_per_unit);
+}
+
+TEST(DeviceProfileTest, SpecConversionCarriesFields) {
+  const runtime::NodeSpec s = DeviceProfile::rpi3().spec("edge7");
+  EXPECT_EQ(s.name, "edge7");
+  EXPECT_DOUBLE_EQ(s.seconds_per_unit, DeviceProfile::rpi3().seconds_per_unit);
+  EXPECT_DOUBLE_EQ(s.lowpower_power_w, DeviceProfile::rpi3().lowpower_power_w);
+}
+
+TEST(MobileDeviceTest, EnergySplitsPhases) {
+  MobileDevice phone;
+  // 2 s tx + 5 s wait + 1 s rx.
+  const double e = phone.request_energy_j(2, 5, 1);
+  EXPECT_NEAR(e, 2 * phone.tx_power_w + 5 * phone.wait_power_w + 1 * phone.rx_power_w +
+                     8 * phone.base_power_w,
+              1e-9);
+}
+
+TEST(MobileDeviceTest, LongerWaitCostsMoreEnergy) {
+  MobileDevice phone;
+  const double fast = phone.request_energy_from_latency(1.0, 1000, 1000, 10000);
+  const double slow = phone.request_energy_from_latency(30.0, 1000, 1000, 10000);
+  EXPECT_GT(slow, fast);
+}
+
+TEST(MobileDeviceTest, PhasesBoundedByLatency) {
+  MobileDevice phone;
+  // tx time alone (10 s) exceeds the observed latency (1 s): phases clamp.
+  const double e = phone.request_energy_from_latency(1.0, 100000, 0, 10000);
+  EXPECT_NEAR(e, phone.tx_power_w * 1.0 + phone.base_power_w * 1.0, 1e-9);
+}
+
+// ------------------------------------------------------------ LoadBalancer --
+
+struct ClusterWorld {
+  netsim::Network net{3};
+  std::vector<std::unique_ptr<runtime::Node>> nodes;
+  runtime::Node cloud;
+
+  ClusterWorld(int n) : cloud(net.clock(), spec("cloud")) {
+    cloud.host(std::make_unique<runtime::ServiceRuntime>(kServer));
+    net.connect("client", "cloud", netsim::LinkConfig::limited_wan());
+    for (int i = 0; i < n; ++i) {
+      const std::string name = "edge" + std::to_string(i);
+      auto node = std::make_unique<runtime::Node>(net.clock(), spec(name));
+      node->host(std::make_unique<runtime::ServiceRuntime>(kServer));
+      net.connect("client", name, netsim::LinkConfig::lan());
+      nodes.push_back(std::move(node));
+    }
+  }
+  std::vector<runtime::Node*> ptrs() {
+    std::vector<runtime::Node*> out;
+    for (auto& n : nodes) out.push_back(n.get());
+    return out;
+  }
+};
+
+TEST(LoadBalancerTest, PicksLeastConnections) {
+  ClusterWorld w(3);
+  LoadBalancer lb(w.ptrs());
+  // Load node0 with work.
+  w.nodes[0]->execute(work(1000), [](runtime::ExecutionResult) {});
+  runtime::Node* picked = lb.pick();
+  EXPECT_NE(picked, w.nodes[0].get());
+  w.net.clock().run();
+}
+
+TEST(LoadBalancerTest, SkipsParkedNodes) {
+  ClusterWorld w(2);
+  LoadBalancer lb(w.ptrs());
+  w.nodes[0]->set_power_state(runtime::PowerState::kLowPower);
+  EXPECT_EQ(lb.pick(), w.nodes[1].get());
+  EXPECT_EQ(lb.active_node_count(), 1u);
+  w.nodes[1]->set_power_state(runtime::PowerState::kLowPower);
+  EXPECT_EQ(lb.pick(), nullptr);
+}
+
+TEST(LoadBalancerTest, CountsConnections) {
+  ClusterWorld w(2);
+  LoadBalancer lb(w.ptrs());
+  w.nodes[0]->execute(work(10), [](runtime::ExecutionResult) {});
+  w.nodes[1]->execute(work(10), [](runtime::ExecutionResult) {});
+  EXPECT_EQ(lb.total_active_connections(), 2u);
+  w.net.clock().run();
+  EXPECT_EQ(lb.total_active_connections(), 0u);
+}
+
+// ---------------------------------------------------------- ClusterGateway --
+
+TEST(ClusterGatewayTest, ServesAtEdgeAndBalances) {
+  ClusterWorld w(2);
+  LoadBalancer lb(w.ptrs());
+  ClusterGateway gw(w.net, "client", lb, w.cloud, {{http::Verb::kPost, "/work"}});
+  int completed = 0;
+  for (int i = 0; i < 6; ++i) {
+    gw.request(work(500), [&](http::HttpResponse resp, double) {
+      EXPECT_TRUE(resp.ok());
+      ++completed;
+    });
+  }
+  w.net.clock().run();
+  EXPECT_EQ(completed, 6);
+  EXPECT_EQ(gw.stats().served_at_edge, 6u);
+  // Both nodes did work (balanced).
+  EXPECT_GT(w.nodes[0]->requests_completed(), 0u);
+  EXPECT_GT(w.nodes[1]->requests_completed(), 0u);
+}
+
+TEST(ClusterGatewayTest, FallsBackToCloudWhenAllParked) {
+  ClusterWorld w(1);
+  LoadBalancer lb(w.ptrs());
+  ClusterGateway gw(w.net, "client", lb, w.cloud, {{http::Verb::kPost, "/work"}});
+  w.nodes[0]->set_power_state(runtime::PowerState::kLowPower);
+  bool done = false;
+  gw.request(work(10), [&](http::HttpResponse resp, double) {
+    EXPECT_TRUE(resp.ok());
+    done = true;
+  });
+  w.net.clock().run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(gw.stats().forwarded_to_cloud, 1u);
+}
+
+TEST(ClusterGatewayTest, UnknownRouteGoesToCloud) {
+  ClusterWorld w(1);
+  LoadBalancer lb(w.ptrs());
+  ClusterGateway gw(w.net, "client", lb, w.cloud, {});
+  gw.request(work(10), [&](http::HttpResponse resp, double) { EXPECT_TRUE(resp.ok()); });
+  w.net.clock().run();
+  EXPECT_EQ(gw.stats().forwarded_to_cloud, 1u);
+  EXPECT_EQ(gw.stats().served_at_edge, 0u);
+}
+
+// -------------------------------------------------------------- AutoScaler --
+
+TEST(AutoScalerTest, ScalesUpUnderLoad) {
+  ClusterWorld w(4);
+  LoadBalancer lb(w.ptrs());
+  AutoScalerPolicy policy;
+  policy.connections_per_node = 2;
+  policy.smoothing = 1.0;  // react instantly for the test
+  AutoScaler scaler(lb, policy);
+  // Park everyone but node0.
+  for (int i = 1; i < 4; ++i) w.nodes[i]->set_power_state(runtime::PowerState::kLowPower);
+
+  for (int i = 0; i < 8; ++i) w.nodes[0]->execute(work(500), [](runtime::ExecutionResult) {});
+  scaler.evaluate();
+  EXPECT_EQ(scaler.target_active(), 4);
+  EXPECT_EQ(lb.active_node_count(), 4u);
+  EXPECT_GT(scaler.scale_up_events(), 0);
+  w.net.clock().run();
+}
+
+TEST(AutoScalerTest, ParksIdleNodesDownToMinimum) {
+  ClusterWorld w(4);
+  LoadBalancer lb(w.ptrs());
+  AutoScalerPolicy policy;
+  policy.connections_per_node = 2;
+  policy.min_active = 1;
+  policy.smoothing = 1.0;
+  AutoScaler scaler(lb, policy);
+  scaler.evaluate();  // zero connections -> park to min
+  EXPECT_EQ(scaler.target_active(), 1);
+  EXPECT_EQ(lb.active_node_count(), 1u);
+  EXPECT_EQ(scaler.scale_down_events(), 3);
+}
+
+TEST(AutoScalerTest, NeverParksBusyNodes) {
+  ClusterWorld w(2);
+  LoadBalancer lb(w.ptrs());
+  AutoScalerPolicy policy;
+  policy.connections_per_node = 100;  // wants to scale down
+  policy.smoothing = 1.0;
+  AutoScaler scaler(lb, policy);
+  w.nodes[1]->execute(work(1000), [](runtime::ExecutionResult) {});
+  scaler.evaluate();
+  // node1 is busy: must stay active despite the scale-down target.
+  EXPECT_EQ(w.nodes[1]->power_state(), runtime::PowerState::kActive);
+  w.net.clock().run();
+}
+
+// ------------------------------------------------------------- EnergyMeter --
+
+TEST(EnergyMeterTest, ParkingSavesEnergyVersusAlwaysActive) {
+  ClusterWorld w(2);
+  // node1 parked the whole window.
+  w.nodes[1]->set_power_state(runtime::PowerState::kLowPower);
+  w.net.clock().schedule(100.0, [] {});
+  w.net.clock().run();
+  EnergyMeter meter(w.ptrs());
+  EXPECT_GT(meter.always_active_energy_j(), meter.total_energy_j());
+  EXPECT_GT(meter.savings_fraction(), 0.0);
+  EXPECT_NEAR(meter.total_low_power_seconds(), 100.0, 1e-6);
+}
+
+TEST(EnergyMeterTest, NoSavingsWhenAllActive) {
+  ClusterWorld w(2);
+  w.net.clock().schedule(50.0, [] {});
+  w.net.clock().run();
+  EnergyMeter meter(w.ptrs());
+  EXPECT_NEAR(meter.savings_fraction(), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace edgstr::cluster

@@ -1,0 +1,294 @@
+// Property-based CRDT suite: strong eventual consistency under random
+// concurrent updates and delivery orders. Parameterized over seeds so each
+// instantiation explores a different interleaving.
+#include <gtest/gtest.h>
+
+#include "crdt/gcounter.h"
+#include "crdt/json_doc.h"
+#include "crdt/lww.h"
+#include "crdt/orset.h"
+#include "crdt/table.h"
+#include "util/rng.h"
+
+namespace edgstr::crdt {
+namespace {
+
+class CrdtPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// ---- LwwMap: merge is commutative, associative, idempotent --------------
+
+LwwMap random_lww(util::Rng& rng, const std::string& replica) {
+  LwwMap m;
+  const int ops = static_cast<int>(rng.uniform_int(1, 12));
+  for (int i = 0; i < ops; ++i) {
+    const std::string key = "k" + std::to_string(rng.uniform_int(0, 4));
+    const Stamp stamp{static_cast<std::uint64_t>(rng.uniform_int(1, 20)), replica};
+    if (rng.chance(0.25)) {
+      m.remove(key, stamp);
+    } else {
+      m.put(key, json::Value(static_cast<double>(rng.uniform_int(0, 99))), stamp);
+    }
+  }
+  return m;
+}
+
+TEST_P(CrdtPropertyTest, LwwMapMergeCommutative) {
+  util::Rng rng(GetParam());
+  const LwwMap a = random_lww(rng, "a");
+  const LwwMap b = random_lww(rng, "b");
+  LwwMap ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  EXPECT_TRUE(ab == ba);
+}
+
+TEST_P(CrdtPropertyTest, LwwMapMergeAssociative) {
+  util::Rng rng(GetParam() ^ 0x5555);
+  const LwwMap a = random_lww(rng, "a");
+  const LwwMap b = random_lww(rng, "b");
+  const LwwMap c = random_lww(rng, "c");
+  LwwMap left = a;   // (a ∪ b) ∪ c
+  left.merge(b);
+  left.merge(c);
+  LwwMap bc = b;     // a ∪ (b ∪ c)
+  bc.merge(c);
+  LwwMap right = a;
+  right.merge(bc);
+  EXPECT_TRUE(left == right);
+}
+
+TEST_P(CrdtPropertyTest, LwwMapMergeIdempotent) {
+  util::Rng rng(GetParam() ^ 0xaaaa);
+  const LwwMap a = random_lww(rng, "a");
+  const LwwMap b = random_lww(rng, "b");
+  LwwMap once = a, twice = a;
+  once.merge(b);
+  twice.merge(b);
+  twice.merge(b);
+  EXPECT_TRUE(once == twice);
+}
+
+// ---- OrSet: same algebraic laws ------------------------------------------
+
+OrSet random_orset(util::Rng& rng, const std::string& replica) {
+  OrSet s;
+  const int ops = static_cast<int>(rng.uniform_int(1, 10));
+  for (int i = 0; i < ops; ++i) {
+    const std::string el = "e" + std::to_string(rng.uniform_int(0, 3));
+    if (rng.chance(0.3)) s.remove(el);
+    else s.add(el, replica);
+  }
+  return s;
+}
+
+TEST_P(CrdtPropertyTest, OrSetMergeCommutative) {
+  util::Rng rng(GetParam());
+  const OrSet a = random_orset(rng, "a");
+  const OrSet b = random_orset(rng, "b");
+  OrSet ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  EXPECT_TRUE(ab == ba);
+}
+
+TEST_P(CrdtPropertyTest, OrSetMergeIdempotent) {
+  util::Rng rng(GetParam() ^ 0x77);
+  const OrSet a = random_orset(rng, "a");
+  const OrSet b = random_orset(rng, "b");
+  OrSet once = a, twice = a;
+  once.merge(b);
+  twice.merge(b);
+  twice.merge(b);
+  EXPECT_TRUE(once == twice);
+}
+
+// ---- GCounter -------------------------------------------------------------
+
+TEST_P(CrdtPropertyTest, GCounterValueEqualsTotalIncrements) {
+  util::Rng rng(GetParam());
+  GCounter a, b, c;
+  std::uint64_t total = 0;
+  GCounter* replicas[3] = {&a, &b, &c};
+  const char* names[3] = {"a", "b", "c"};
+  for (int i = 0; i < 30; ++i) {
+    const std::size_t r = rng.index(3);
+    const std::uint64_t by = static_cast<std::uint64_t>(rng.uniform_int(1, 5));
+    replicas[r]->increment(names[r], by);
+    total += by;
+  }
+  a.merge(b);
+  a.merge(c);
+  EXPECT_EQ(a.value(), total);
+  // Merging in another order gives the same value.
+  c.merge(b);
+  c.merge(a);
+  EXPECT_EQ(c.value(), total);
+}
+
+// ---- CrdtJson: convergence under random op exchange ------------------------
+
+TEST_P(CrdtPropertyTest, CrdtJsonThreeReplicasConvergeViaStar) {
+  util::Rng rng(GetParam());
+  CrdtJson cloud("cloud"), e0("e0"), e1("e1");
+  const json::Value base = json::Value::object({{"v", 0}});
+  cloud.initialize(base);
+  e0.initialize(base);
+  e1.initialize(base);
+
+  CrdtJson* replicas[3] = {&cloud, &e0, &e1};
+  for (int round = 0; round < 6; ++round) {
+    // Random local writes.
+    for (CrdtJson* r : replicas) {
+      const int writes = static_cast<int>(rng.uniform_int(0, 3));
+      for (int i = 0; i < writes; ++i) {
+        r->set("k" + std::to_string(rng.uniform_int(0, 4)),
+               json::Value(static_cast<double>(rng.uniform_int(0, 999))));
+      }
+    }
+    // Star exchange in random edge order.
+    std::vector<CrdtJson*> edges = {&e0, &e1};
+    rng.shuffle(edges);
+    for (CrdtJson* edge : edges) {
+      cloud.applyChanges(edge->getChanges(cloud.version()));
+      edge->applyChanges(cloud.getChanges(edge->version()));
+    }
+  }
+  // One final full exchange to flush stragglers.
+  for (CrdtJson* edge : {&e0, &e1}) {
+    cloud.applyChanges(edge->getChanges(cloud.version()));
+  }
+  for (CrdtJson* edge : {&e0, &e1}) {
+    edge->applyChanges(cloud.getChanges(edge->version()));
+  }
+  EXPECT_TRUE(e0.converged_with(cloud));
+  EXPECT_TRUE(e1.converged_with(cloud));
+  EXPECT_TRUE(e0.converged_with(e1));
+}
+
+// ---- CrdtTable: convergence with random SQL workloads ----------------------
+
+TEST_P(CrdtPropertyTest, CrdtTableReplicasConvergeUnderRandomWorkload) {
+  util::Rng rng(GetParam());
+  sqldb::Database seed;
+  seed.execute("CREATE TABLE t (k, v)");
+  seed.execute("INSERT INTO t (k, v) VALUES ('seed', 0)");
+  const json::Value snap = seed.snapshot();
+
+  sqldb::Database d_cloud, d_e0, d_e1;
+  CrdtTable cloud("cloud", &d_cloud), e0("e0", &d_e0), e1("e1", &d_e1);
+  cloud.initialize(snap);
+  e0.initialize(snap);
+  e1.initialize(snap);
+
+  struct Rep {
+    sqldb::Database* db;
+    CrdtTable* table;
+  };
+  std::vector<Rep> reps = {{&d_e0, &e0}, {&d_e1, &e1}, {&d_cloud, &cloud}};
+
+  for (int round = 0; round < 5; ++round) {
+    for (auto& rep : reps) {
+      const int ops = static_cast<int>(rng.uniform_int(0, 3));
+      for (int i = 0; i < ops; ++i) {
+        const double roll = rng.next_double();
+        if (roll < 0.6) {
+          rep.db->execute("INSERT INTO t (k, v) VALUES (?, ?)",
+                          {sqldb::SqlValue("k" + std::to_string(rng.uniform_int(0, 50))),
+                           sqldb::SqlValue(rng.uniform_int(0, 9))});
+        } else if (roll < 0.85) {
+          rep.db->execute("UPDATE t SET v = ? WHERE k = 'seed'",
+                          {sqldb::SqlValue(rng.uniform_int(10, 99))});
+        } else {
+          rep.db->execute("DELETE FROM t WHERE v = ?", {sqldb::SqlValue(rng.uniform_int(0, 9))});
+        }
+      }
+      rep.table->record_local_mutations();
+    }
+    for (CrdtTable* edge : {&e0, &e1}) {
+      cloud.applyChanges(edge->getChanges(cloud.version()));
+      edge->applyChanges(cloud.getChanges(edge->version()));
+    }
+  }
+  // Final flush.
+  for (CrdtTable* edge : {&e0, &e1}) cloud.applyChanges(edge->getChanges(cloud.version()));
+  for (CrdtTable* edge : {&e0, &e1}) edge->applyChanges(cloud.getChanges(edge->version()));
+
+  EXPECT_TRUE(e0.converged_with(cloud));
+  EXPECT_TRUE(e1.converged_with(cloud));
+  // Materialized databases agree on live content.
+  EXPECT_EQ(d_e0.execute("SELECT * FROM t").rows.size(),
+            d_cloud.execute("SELECT * FROM t").rows.size());
+  EXPECT_EQ(d_e1.execute("SELECT * FROM t").rows.size(),
+            d_cloud.execute("SELECT * FROM t").rows.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrdtPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233));
+
+}  // namespace
+}  // namespace edgstr::crdt
+// NOTE: appended suite — RGA convergence properties.
+#include "crdt/rga.h"
+
+namespace edgstr::crdt {
+namespace {
+
+class RgaPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RgaPropertyTest, ThreeReplicasConvergeUnderRandomEdits) {
+  util::Rng rng(GetParam());
+  Rga a("a"), b("b"), hub("hub");
+  Rga* replicas[3] = {&a, &b, &hub};
+
+  for (int round = 0; round < 6; ++round) {
+    for (Rga* r : replicas) {
+      const int edits = static_cast<int>(rng.uniform_int(0, 3));
+      for (int i = 0; i < edits; ++i) {
+        const auto entries = r->entries();
+        if (!entries.empty() && rng.chance(0.25)) {
+          r->erase(entries[rng.index(entries.size())].first);
+        } else if (!entries.empty() && rng.chance(0.4)) {
+          r->insert_after(entries[rng.index(entries.size())].first,
+                          json::Value(static_cast<double>(rng.uniform_int(0, 99))));
+        } else {
+          r->push_back(json::Value(static_cast<double>(rng.uniform_int(0, 99))));
+        }
+      }
+    }
+    // Star exchange through the hub, random order.
+    std::vector<Rga*> edges = {&a, &b};
+    rng.shuffle(edges);
+    for (Rga* edge : edges) {
+      hub.applyChanges(edge->getChanges(hub.version()));
+      edge->applyChanges(hub.getChanges(edge->version()));
+    }
+  }
+  for (Rga* edge : {&a, &b}) hub.applyChanges(edge->getChanges(hub.version()));
+  for (Rga* edge : {&a, &b}) edge->applyChanges(hub.getChanges(edge->version()));
+
+  EXPECT_TRUE(a.converged_with(hub));
+  EXPECT_TRUE(b.converged_with(hub));
+  EXPECT_TRUE(a.converged_with(b));
+}
+
+TEST_P(RgaPropertyTest, ConcurrentAppendsNeverLoseElements) {
+  util::Rng rng(GetParam() ^ 0x1111);
+  Rga a("a"), b("b");
+  std::size_t total = 0;
+  for (int round = 0; round < 4; ++round) {
+    const int na = static_cast<int>(rng.uniform_int(0, 4));
+    const int nb = static_cast<int>(rng.uniform_int(0, 4));
+    for (int i = 0; i < na; ++i) a.push_back(json::Value("a" + std::to_string(total++)));
+    for (int i = 0; i < nb; ++i) b.push_back(json::Value("b" + std::to_string(total++)));
+    b.applyChanges(a.getChanges(b.version()));
+    a.applyChanges(b.getChanges(a.version()));
+  }
+  EXPECT_TRUE(a.converged_with(b));
+  EXPECT_EQ(a.size(), total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RgaPropertyTest,
+                         ::testing::Values(3, 7, 11, 19, 23, 31, 43, 59));
+
+}  // namespace
+}  // namespace edgstr::crdt

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "datalog/engine.h"
+
+namespace edgstr::datalog {
+namespace {
+
+TEST(DatalogTerm, ValueComparison) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_FALSE(Value(1) == Value(2));
+  EXPECT_FALSE(Value(1) == Value("1"));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_LT(Value(1), Value(2));
+}
+
+TEST(DatalogTerm, Rendering) {
+  EXPECT_EQ(atom("p", {V("X"), C(3), C("s")}).to_string(), "p(X, 3, 's')");
+  Rule rule{atom("h", {V("X")}), {atom("b", {V("X"), V("Y")})}, {{"X", "Y"}}};
+  EXPECT_EQ(rule.to_string(), "h(X) :- b(X, Y), X != Y.");
+}
+
+TEST(DatalogEngine, FactsDeduplicate) {
+  Engine engine;
+  EXPECT_TRUE(engine.add_fact("p", {1, 2}));
+  EXPECT_FALSE(engine.add_fact("p", {1, 2}));
+  EXPECT_EQ(engine.fact_count(), 1u);
+  EXPECT_TRUE(engine.holds("p", {1, 2}));
+  EXPECT_FALSE(engine.holds("p", {2, 1}));
+  EXPECT_FALSE(engine.holds("q", {1}));
+}
+
+TEST(DatalogEngine, QueryBindsVariables) {
+  Engine engine;
+  engine.add_fact("edge", {1, 2});
+  engine.add_fact("edge", {2, 3});
+  const auto results = engine.query(atom("edge", {C(1), V("Y")}));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].at("Y"), Value(2));
+}
+
+TEST(DatalogEngine, QueryRepeatedVariableFilters) {
+  Engine engine;
+  engine.add_fact("p", {1, 1});
+  engine.add_fact("p", {1, 2});
+  const auto results = engine.query(atom("p", {V("X"), V("X")}));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].at("X"), Value(1));
+}
+
+TEST(DatalogEngine, ConjunctiveQueryJoins) {
+  Engine engine;
+  engine.add_fact("parent", {"ann", "bea"});
+  engine.add_fact("parent", {"bea", "cal"});
+  const auto results = engine.query_all(
+      {atom("parent", {V("G"), V("P")}), atom("parent", {V("P"), V("C")})});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].at("G"), Value("ann"));
+  EXPECT_EQ(results[0].at("C"), Value("cal"));
+}
+
+TEST(DatalogEngine, TransitiveClosure) {
+  Engine engine;
+  for (int i = 1; i < 6; ++i) engine.add_fact("edge", {i, i + 1});
+  engine.add_rule(Rule{atom("path", {V("A"), V("B")}), {atom("edge", {V("A"), V("B")})}, {}});
+  engine.add_rule(Rule{atom("path", {V("A"), V("C")}),
+                       {atom("path", {V("A"), V("B")}), atom("path", {V("B"), V("C")})},
+                       {}});
+  engine.run();
+  // 5+4+3+2+1 = 15 pairs.
+  EXPECT_EQ(engine.facts("path").size(), 15u);
+  EXPECT_TRUE(engine.holds("path", {1, 6}));
+  EXPECT_FALSE(engine.holds("path", {6, 1}));
+}
+
+TEST(DatalogEngine, CyclicGraphTerminates) {
+  Engine engine;
+  engine.add_fact("edge", {1, 2});
+  engine.add_fact("edge", {2, 3});
+  engine.add_fact("edge", {3, 1});
+  engine.add_rule(Rule{atom("path", {V("A"), V("B")}), {atom("edge", {V("A"), V("B")})}, {}});
+  engine.add_rule(Rule{atom("path", {V("A"), V("C")}),
+                       {atom("path", {V("A"), V("B")}), atom("path", {V("B"), V("C")})},
+                       {}});
+  engine.run();
+  EXPECT_EQ(engine.facts("path").size(), 9u);  // complete 3x3
+  EXPECT_TRUE(engine.holds("path", {1, 1}));
+}
+
+TEST(DatalogEngine, DisequalityConstraint) {
+  Engine engine;
+  engine.add_fact("n", {1});
+  engine.add_fact("n", {2});
+  engine.add_rule(Rule{atom("pair", {V("A"), V("B")}),
+                       {atom("n", {V("A")}), atom("n", {V("B")})},
+                       {{"A", "B"}}});
+  engine.run();
+  EXPECT_EQ(engine.facts("pair").size(), 2u);  // (1,2) and (2,1), not (i,i)
+}
+
+TEST(DatalogEngine, ConstantsInRuleHead) {
+  Engine engine;
+  engine.add_fact("item", {"a"});
+  engine.add_rule(Rule{atom("tagged", {V("X"), C("seen")}), {atom("item", {V("X")})}, {}});
+  engine.run();
+  EXPECT_TRUE(engine.holds("tagged", {"a", "seen"}));
+}
+
+TEST(DatalogEngine, UnsafeRuleRejected) {
+  Engine engine;
+  EXPECT_THROW(
+      engine.add_rule(Rule{atom("h", {V("Unbound")}), {atom("b", {V("X")})}, {}}),
+      std::invalid_argument);
+}
+
+TEST(DatalogEngine, StratifiedDerivationAcrossRules) {
+  // a -> b -> c chains through two distinct rules.
+  Engine engine;
+  engine.add_fact("base", {5});
+  engine.add_rule(Rule{atom("step1", {V("X")}), {atom("base", {V("X")})}, {}});
+  engine.add_rule(Rule{atom("step2", {V("X")}), {atom("step1", {V("X")})}, {}});
+  engine.run();
+  EXPECT_TRUE(engine.holds("step2", {5}));
+}
+
+TEST(DatalogEngine, MixedArityAndTypes) {
+  Engine engine;
+  engine.add_fact("rw", {"s1", "v1", 42});
+  engine.add_fact("rw", {"s2", "v1", 42});
+  engine.add_rule(Rule{atom("alias", {V("A"), V("B")}),
+                       {atom("rw", {V("A"), V("V"), V("D")}),
+                        atom("rw", {V("B"), V("V"), V("D")})},
+                       {{"A", "B"}}});
+  engine.run();
+  EXPECT_EQ(engine.facts("alias").size(), 2u);
+}
+
+TEST(DatalogEngine, LargeChainPerformance) {
+  // Semi-naive evaluation should handle a 200-node chain comfortably.
+  Engine engine;
+  for (int i = 0; i < 200; ++i) engine.add_fact("e", {i, i + 1});
+  engine.add_rule(Rule{atom("p", {V("A"), V("B")}), {atom("e", {V("A"), V("B")})}, {}});
+  engine.add_rule(
+      Rule{atom("p", {V("A"), V("C")}), {atom("p", {V("A"), V("B")}), atom("e", {V("B"), V("C")})}, {}});
+  engine.run();
+  EXPECT_EQ(engine.facts("p").size(), 200u * 201u / 2);
+}
+
+}  // namespace
+}  // namespace edgstr::datalog

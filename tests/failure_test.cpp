@@ -1,0 +1,291 @@
+// Failure injection: message loss, partitions, node failures, and parked
+// replicas. The CRDT synchronization must converge once connectivity
+// returns, and the Remote Proxy must keep answering through the cloud.
+#include <gtest/gtest.h>
+
+#include "apps/app.h"
+#include "edgstr/deployment.h"
+#include "edgstr/pipeline.h"
+
+namespace edgstr::core {
+namespace {
+
+class FailureFixture : public ::testing::Test {
+ protected:
+  FailureFixture() {
+    const apps::SubjectApp& app = apps::sensor_hub();
+    const http::TrafficRecorder traffic = record_traffic(app.server_source, app.workload);
+    result_ = Pipeline().transform(app.name, app.server_source, traffic);
+    EXPECT_TRUE(result_.ok) << result_.error;
+  }
+
+  http::HttpRequest ingest(const std::string& sensor, double value) {
+    http::HttpRequest req;
+    req.verb = http::Verb::kPost;
+    req.path = "/ingest";
+    req.params = json::Value::object(
+        {{"sensor", sensor}, {"values", json::Value::array({value})}});
+    return req;
+  }
+
+  http::HttpRequest summary(const std::string& sensor) {
+    http::HttpRequest req;
+    req.verb = http::Verb::kGet;
+    req.path = "/summary";
+    req.params = json::Value::object({{"sensor", sensor}});
+    return req;
+  }
+
+  TransformResult result_;
+};
+
+TEST_F(FailureFixture, SyncSurvivesTotalMessageLossWindow) {
+  DeploymentConfig config;
+  config.start_sync = false;
+  ThreeTierDeployment three(result_, config);
+
+  // Partition: everything on the WAN drops.
+  netsim::LinkConfig dead = config.wan;
+  dead.loss_probability = 1.0;
+  three.network().connect(edge_host(0), kCloudHost, dead);
+
+  three.request_sync(ingest("a", 42), 0);
+  // Sync rounds during the partition deliver nothing.
+  for (int i = 0; i < 3; ++i) {
+    three.sync().tick();
+    three.network().clock().run();
+  }
+  EXPECT_FALSE(three.converged());
+
+  // Heal the partition: the next rounds retransmit everything unacked.
+  three.network().connect(edge_host(0), kCloudHost, config.wan);
+  EXPECT_GE(three.sync().sync_until_converged(8), 1);
+  EXPECT_TRUE(three.converged());
+  // The cloud now sees the edge's reading.
+  double latency = 0;
+  TwoTierDeployment cloud_probe(result_.cloud_source, config);
+  (void)cloud_probe;  // (cloud state lives in `three`; probe via forwarding)
+  const http::HttpResponse resp = three.request_sync(summary("a"), 0, &latency);
+  EXPECT_DOUBLE_EQ(resp.body["count"].as_number(), 1.0);
+}
+
+TEST_F(FailureFixture, LossyLinkEventuallyConverges) {
+  DeploymentConfig config;
+  config.start_sync = false;
+  config.seed = 99;
+  ThreeTierDeployment three(result_, config);
+
+  netsim::LinkConfig flaky = config.wan;
+  flaky.loss_probability = 0.5;
+  three.network().connect(edge_host(0), kCloudHost, flaky);
+
+  three.request_sync(ingest("x", 7), 0);
+  three.request_sync(ingest("y", 9), 0);
+  // Enough lossy rounds: each round re-sends whatever was never acked.
+  const int rounds = three.sync().sync_until_converged(64);
+  EXPECT_GT(rounds, 0);
+  EXPECT_TRUE(three.converged());
+}
+
+TEST_F(FailureFixture, PartitionedEdgesMergeThroughCloudAfterHeal) {
+  DeploymentConfig config;
+  config.start_sync = false;
+  config.edge_devices = {cluster::DeviceProfile::rpi4(), cluster::DeviceProfile::rpi4()};
+  ThreeTierDeployment three(result_, config);
+
+  // Edge 1 is partitioned from the cloud.
+  netsim::LinkConfig dead = config.wan;
+  dead.loss_probability = 1.0;
+  three.network().connect(edge_host(1), kCloudHost, dead);
+
+  three.request_sync(ingest("a", 1), 0);
+  three.request_sync(ingest("b", 2), 1);  // accepted locally at edge1
+  for (int i = 0; i < 2; ++i) {
+    three.sync().tick();
+    three.network().clock().run();
+  }
+  // Edge0's data reached the cloud; edge1's did not.
+  EXPECT_FALSE(three.converged());
+
+  three.network().connect(edge_host(1), kCloudHost, config.wan);
+  EXPECT_GE(three.sync().sync_until_converged(8), 1);
+  EXPECT_TRUE(three.converged());
+
+  // Edge0 sees edge1's reading relayed through the cloud.
+  const http::HttpResponse resp = three.request_sync(summary("b"), 0);
+  EXPECT_DOUBLE_EQ(resp.body["count"].as_number(), 1.0);
+}
+
+TEST_F(FailureFixture, ParkedReplicaRoutesThroughCloudAndCatchesUpOnWake) {
+  DeploymentConfig config;
+  config.start_sync = false;
+  ThreeTierDeployment three(result_, config);
+
+  // Write while awake, then park.
+  three.request_sync(ingest("s", 5), 0);
+  three.sync().sync_until_converged(8);
+  three.edge(0).set_power_state(runtime::PowerState::kLowPower);
+
+  // Requests still work (forwarded), mutating cloud state.
+  const http::HttpResponse resp = three.request_sync(ingest("s", 6), 0);
+  EXPECT_TRUE(resp.ok());
+  EXPECT_GT(three.proxy(0).stats().forwarded_to_cloud, 0u);
+
+  // Wake up: the replica catches up on the cloud's new row.
+  three.edge(0).set_power_state(runtime::PowerState::kActive);
+  EXPECT_GE(three.sync().sync_until_converged(8), 1);
+  const http::HttpResponse local = three.request_sync(summary("s"), 0);
+  EXPECT_DOUBLE_EQ(local.body["count"].as_number(), 2.0);
+}
+
+TEST_F(FailureFixture, DuplicatedSyncDeliveryIsIdempotent) {
+  DeploymentConfig config;
+  config.start_sync = false;
+  ThreeTierDeployment three(result_, config);
+  three.request_sync(ingest("dup", 3), 0);
+  three.edge_state(0).record_local();
+
+  // Deliver the same change set to the cloud twice, by hand.
+  const json::Value msg = three.edge_state(0).collect_changes({});
+  EXPECT_GT(three.cloud_state().apply_message(msg), 0u);
+  EXPECT_EQ(three.cloud_state().apply_message(msg), 0u);
+
+  const auto rows =
+      three.cloud().service()->database().execute("SELECT * FROM readings").rows;
+  EXPECT_EQ(rows.size(), 1u);  // not duplicated
+}
+
+TEST_F(FailureFixture, ConcurrentWritesAtAllTiersConverge) {
+  DeploymentConfig config;
+  config.start_sync = false;
+  config.edge_devices = {cluster::DeviceProfile::rpi4(), cluster::DeviceProfile::rpi3()};
+  ThreeTierDeployment three(result_, config);
+
+  // Writes everywhere before any sync.
+  three.request_sync(ingest("e0", 1), 0);
+  three.request_sync(ingest("e1", 2), 1);
+  three.cloud().service()->handle(ingest("cl", 3));
+  three.cloud_state().record_local();
+
+  EXPECT_GE(three.sync().sync_until_converged(8), 1);
+  EXPECT_TRUE(three.converged());
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto rows = three.edge(i).service()->database().execute("SELECT * FROM readings").rows;
+    EXPECT_EQ(rows.size(), 3u) << "edge " << i;
+  }
+}
+
+TEST(NodeFailureTest, MultiCoreNodeOverlapsRequests) {
+  netsim::SimClock clock;
+  runtime::NodeSpec spec;
+  spec.name = "quad";
+  spec.cores = 4;
+  spec.seconds_per_unit = 0.001;
+  spec.request_overhead_s = 0;
+  runtime::Node node(clock, spec);
+  node.host(std::make_unique<runtime::ServiceRuntime>(R"JS(
+    app.get("/w", function (req, res) { compute(100); res.send({ok: 1}); });
+  )JS"));
+  http::HttpRequest req;
+  req.path = "/w";
+  std::vector<double> finished;
+  for (int i = 0; i < 4; ++i) {
+    node.execute(req, [&](runtime::ExecutionResult) { finished.push_back(clock.now()); });
+  }
+  clock.run();
+  ASSERT_EQ(finished.size(), 4u);
+  // All four ran in parallel on separate cores: identical finish times.
+  for (double t : finished) EXPECT_NEAR(t, 0.1, 1e-9);
+
+  // A fifth request queues behind the earliest-free core.
+  node.execute(req, [&](runtime::ExecutionResult) { finished.push_back(clock.now()); });
+  clock.run();
+  EXPECT_NEAR(finished.back(), 0.2, 1e-9);
+}
+
+TEST(NetsimFailureTest, PerMessageSetupDelaysDelivery) {
+  netsim::Network net(1);
+  netsim::LinkConfig cfg;
+  cfg.latency_s = 0.1;
+  cfg.bandwidth_bps = 1e9;
+  cfg.jitter_s = 0;
+  cfg.per_message_setup_s = 0.25;
+  net.connect("a", "b", cfg);
+  double delivered = -1;
+  net.send("a", "b", 10, [&] { delivered = net.clock().now(); });
+  net.clock().run();
+  EXPECT_NEAR(delivered, 0.35, 1e-6);
+}
+
+}  // namespace
+}  // namespace edgstr::core
+// NOTE: appended suite — peer-to-peer edge synchronization (Legion-style).
+namespace edgstr::core {
+namespace {
+
+TEST_F(FailureFixture, PeerLinkedEdgesConvergeWhileCloudPartitioned) {
+  DeploymentConfig config;
+  config.start_sync = false;
+  config.edge_devices = {cluster::DeviceProfile::rpi4(), cluster::DeviceProfile::rpi4()};
+  ThreeTierDeployment three(result_, config);
+
+  // Direct edge<->edge LAN link + sync peer link.
+  three.network().connect(edge_host(0), edge_host(1), netsim::LinkConfig::lan());
+  three.sync().add_peer_link(0, 1);
+
+  // Cloud unreachable from both edges.
+  netsim::LinkConfig dead = config.wan;
+  dead.loss_probability = 1.0;
+  three.network().connect(edge_host(0), kCloudHost, dead);
+  three.network().connect(edge_host(1), kCloudHost, dead);
+
+  three.request_sync(ingest("p2p-a", 1), 0);
+  three.request_sync(ingest("p2p-b", 2), 1);
+  for (int i = 0; i < 2; ++i) {
+    three.sync().tick();
+    three.network().clock().run();
+  }
+  // Cloud is behind, but the edges see each other's data via gossip.
+  EXPECT_FALSE(three.converged());
+  EXPECT_TRUE(three.edge_state(0).converged_with(three.edge_state(1)));
+  const http::HttpResponse resp = three.request_sync(summary("p2p-b"), 0);
+  EXPECT_DOUBLE_EQ(resp.body["count"].as_number(), 1.0);
+
+  // Heal the cloud links: the whole star converges.
+  three.network().connect(edge_host(0), kCloudHost, config.wan);
+  three.network().connect(edge_host(1), kCloudHost, config.wan);
+  EXPECT_GE(three.sync().sync_until_converged(8), 1);
+  EXPECT_TRUE(three.converged());
+}
+
+TEST_F(FailureFixture, PeerLinkRejectsBadIndices) {
+  DeploymentConfig config;
+  config.start_sync = false;
+  ThreeTierDeployment three(result_, config);
+  EXPECT_THROW(three.sync().add_peer_link(0, 0), std::invalid_argument);
+  EXPECT_THROW(three.sync().add_peer_link(0, 5), std::invalid_argument);
+}
+
+TEST_F(FailureFixture, GossipAndStarTogetherStayIdempotent) {
+  // Ops can reach an edge both via the cloud and via the peer link; the
+  // op-log dedup must keep state single-copy.
+  DeploymentConfig config;
+  config.start_sync = false;
+  config.edge_devices = {cluster::DeviceProfile::rpi4(), cluster::DeviceProfile::rpi4()};
+  ThreeTierDeployment three(result_, config);
+  three.network().connect(edge_host(0), edge_host(1), netsim::LinkConfig::lan());
+  three.sync().add_peer_link(0, 1);
+
+  three.request_sync(ingest("dup-check", 5), 0);
+  EXPECT_GE(three.sync().sync_until_converged(8), 1);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto rows = three.edge(i)
+                          .service()->database()
+                          .execute("SELECT * FROM readings WHERE sensor = 'dup-check'")
+                          .rows;
+    EXPECT_EQ(rows.size(), 1u) << "edge " << i;
+  }
+}
+
+}  // namespace
+}  // namespace edgstr::core

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "http/message.h"
+#include "http/router.h"
+#include "http/traffic.h"
+
+namespace edgstr::http {
+namespace {
+
+TEST(HttpMessageTest, VerbRoundTrip) {
+  for (Verb v : {Verb::kGet, Verb::kPost, Verb::kPut, Verb::kDelete, Verb::kPatch}) {
+    EXPECT_EQ(verb_from_string(to_string(v)), v);
+  }
+  EXPECT_EQ(verb_from_string("get"), Verb::kGet);  // case-insensitive
+  EXPECT_THROW(verb_from_string("FETCH"), std::invalid_argument);
+}
+
+TEST(HttpMessageTest, WireSizeIncludesPayload) {
+  HttpRequest req;
+  req.path = "/predict";
+  req.params = json::Value::object({{"a", 1}});
+  const std::uint64_t base = req.wire_size();
+  req.payload_bytes = 1 << 20;
+  EXPECT_EQ(req.wire_size(), base + (1 << 20));
+}
+
+TEST(HttpMessageTest, ResponseOkRange) {
+  HttpResponse resp;
+  resp.status = 200;
+  EXPECT_TRUE(resp.ok());
+  resp.status = 204;
+  EXPECT_TRUE(resp.ok());
+  resp.status = 404;
+  EXPECT_FALSE(resp.ok());
+  resp.status = 500;
+  EXPECT_FALSE(resp.ok());
+}
+
+TEST(HttpMessageTest, ErrorFactory) {
+  const HttpResponse resp = HttpResponse::error(503, "overloaded");
+  EXPECT_EQ(resp.status, 503);
+  EXPECT_EQ(resp.body["error"].as_string(), "overloaded");
+}
+
+TEST(RouterTest, DispatchesToHandler) {
+  Router router;
+  router.add(Verb::kGet, "/x", [](const HttpRequest& req) {
+    HttpResponse resp;
+    resp.body = json::Value::object({{"echo", req.params["v"]}});
+    return resp;
+  });
+  HttpRequest req;
+  req.verb = Verb::kGet;
+  req.path = "/x";
+  req.params = json::Value::object({{"v", 7}});
+  EXPECT_DOUBLE_EQ(router.dispatch(req).body["echo"].as_number(), 7.0);
+}
+
+TEST(RouterTest, UnknownRouteIs404) {
+  Router router;
+  HttpRequest req;
+  req.path = "/nope";
+  EXPECT_EQ(router.dispatch(req).status, 404);
+}
+
+TEST(RouterTest, VerbDisambiguates) {
+  Router router;
+  router.add(Verb::kGet, "/r", [](const HttpRequest&) {
+    HttpResponse r;
+    r.body = json::Value("get");
+    return r;
+  });
+  router.add(Verb::kPost, "/r", [](const HttpRequest&) {
+    HttpResponse r;
+    r.body = json::Value("post");
+    return r;
+  });
+  HttpRequest req;
+  req.path = "/r";
+  req.verb = Verb::kPost;
+  EXPECT_EQ(router.dispatch(req).body.as_string(), "post");
+  EXPECT_EQ(router.routes().size(), 2u);
+}
+
+TEST(TrafficRecorderTest, InfersServicesFromExchanges) {
+  TrafficRecorder recorder;
+  HttpRequest req;
+  req.verb = Verb::kPost;
+  req.path = "/predict";
+  req.params = json::Value::object({{"q", 1}});
+  HttpResponse resp;
+  resp.body = json::Value::object({{"label", "cat"}});
+  recorder.record(req, resp, 0.0);
+  recorder.record(req, resp, 0.1);
+
+  const auto services = recorder.infer_services();
+  ASSERT_EQ(services.size(), 1u);
+  EXPECT_EQ(services[0].route.path, "/predict");
+  EXPECT_EQ(services[0].invocation_count, 2u);
+  EXPECT_EQ(services[0].exemplar_params.size(), 2u);
+  EXPECT_GT(services[0].mean_request_bytes(), 0.0);
+}
+
+TEST(TrafficRecorderTest, SkipsErrorsAndEmptyResponses) {
+  TrafficRecorder recorder;
+  HttpRequest req;
+  req.path = "/a";
+  recorder.record(req, HttpResponse::error(500, "boom"), 0.0);
+  HttpResponse empty;  // null body, no payload
+  recorder.record(req, empty, 0.1);
+  EXPECT_TRUE(recorder.infer_services().empty());
+}
+
+TEST(TrafficRecorderTest, PayloadOnlyResponsesCount) {
+  TrafficRecorder recorder;
+  HttpRequest req;
+  req.path = "/img";
+  HttpResponse resp;
+  resp.payload_bytes = 4096;  // opaque body
+  recorder.record(req, resp, 0.0);
+  EXPECT_EQ(recorder.infer_services().size(), 1u);
+}
+
+TEST(TrafficRecorderTest, MultipleRoutesSeparated) {
+  TrafficRecorder recorder;
+  HttpResponse ok;
+  ok.body = json::Value::object({{"r", 1}});
+  for (const char* path : {"/a", "/b", "/a"}) {
+    HttpRequest req;
+    req.path = path;
+    recorder.record(req, ok, 0.0);
+  }
+  const auto services = recorder.infer_services();
+  ASSERT_EQ(services.size(), 2u);
+}
+
+}  // namespace
+}  // namespace edgstr::http
+// NOTE: appended suite — traffic persistence.
+namespace edgstr::http {
+namespace {
+
+TEST(TrafficRecorderTest, JsonRoundTripPreservesRecords) {
+  TrafficRecorder recorder;
+  HttpRequest req;
+  req.verb = Verb::kPost;
+  req.path = "/predict";
+  req.params = json::Value::object({{"q", json::Value::array({1, "two"})}});
+  req.payload_bytes = 1 << 20;
+  HttpResponse resp;
+  resp.status = 200;
+  resp.body = json::Value::object({{"label", "cat"}});
+  resp.payload_bytes = 2048;
+  recorder.record(req, resp, 1.25);
+
+  const TrafficRecorder restored = TrafficRecorder::from_json(recorder.to_json());
+  ASSERT_EQ(restored.size(), 1u);
+  const TrafficRecord& rec = restored.records()[0];
+  EXPECT_EQ(rec.request.verb, Verb::kPost);
+  EXPECT_EQ(rec.request.params, req.params);
+  EXPECT_EQ(rec.request.payload_bytes, req.payload_bytes);
+  EXPECT_EQ(rec.response.body, resp.body);
+  EXPECT_EQ(rec.response.payload_bytes, resp.payload_bytes);
+  EXPECT_DOUBLE_EQ(rec.timestamp_s, 1.25);
+  // Inference works identically on the restored capture.
+  EXPECT_EQ(restored.infer_services().size(), recorder.infer_services().size());
+}
+
+TEST(TrafficRecorderTest, JsonRoundTripOfEmptyRecorder) {
+  TrafficRecorder empty;
+  EXPECT_EQ(TrafficRecorder::from_json(empty.to_json()).size(), 0u);
+}
+
+}  // namespace
+}  // namespace edgstr::http

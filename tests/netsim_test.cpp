@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "netsim/clock.h"
+#include "netsim/network.h"
+
+namespace edgstr::netsim {
+namespace {
+
+TEST(SimClockTest, EventsFireInTimeOrder) {
+  SimClock clock;
+  std::vector<int> order;
+  clock.schedule(3.0, [&] { order.push_back(3); });
+  clock.schedule(1.0, [&] { order.push_back(1); });
+  clock.schedule(2.0, [&] { order.push_back(2); });
+  clock.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(clock.now(), 3.0);
+}
+
+TEST(SimClockTest, TiesFireFifo) {
+  SimClock clock;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    clock.schedule(1.0, [&, i] { order.push_back(i); });
+  }
+  clock.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimClockTest, NegativeDelayClampsToNow) {
+  SimClock clock;
+  clock.schedule(5.0, [] {});
+  clock.run();
+  bool fired = false;
+  clock.schedule(-1.0, [&] { fired = true; });
+  clock.run();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(clock.now(), 5.0);
+}
+
+TEST(SimClockTest, EventsCanScheduleEvents) {
+  SimClock clock;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 4) clock.schedule(1.0, chain);
+  };
+  clock.schedule(1.0, chain);
+  clock.run();
+  EXPECT_EQ(count, 4);
+  EXPECT_DOUBLE_EQ(clock.now(), 4.0);
+}
+
+TEST(SimClockTest, RunUntilStopsAtDeadline) {
+  SimClock clock;
+  int fired = 0;
+  clock.schedule(1.0, [&] { ++fired; });
+  clock.schedule(10.0, [&] { ++fired; });
+  clock.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(clock.now(), 5.0);
+  EXPECT_EQ(clock.pending(), 1u);
+}
+
+TEST(SimClockTest, RunUntilRejectsPastDeadline) {
+  SimClock clock;
+  clock.schedule(2.0, [] {});
+  clock.run();
+  EXPECT_THROW(clock.run_until(1.0), std::invalid_argument);
+}
+
+TEST(SimClockTest, StepReturnsFalseWhenEmpty) {
+  SimClock clock;
+  EXPECT_FALSE(clock.step());
+}
+
+TEST(LinkTest, NominalTransferTimeArithmetic) {
+  SimClock clock;
+  LinkConfig cfg;
+  cfg.latency_s = 0.1;
+  cfg.bandwidth_bps = 1000;  // bytes/s
+  Link link(clock, cfg, util::Rng(1));
+  EXPECT_DOUBLE_EQ(link.nominal_transfer_time(500), 0.5 + 0.1);
+}
+
+TEST(LinkTest, DeliveryIncludesSerializationAndLatency) {
+  SimClock clock;
+  LinkConfig cfg;
+  cfg.latency_s = 0.05;
+  cfg.bandwidth_bps = 1000;
+  cfg.jitter_s = 0;
+  Link link(clock, cfg, util::Rng(1));
+  double delivered_at = -1;
+  link.send(100, [&] { delivered_at = clock.now(); });
+  clock.run();
+  EXPECT_NEAR(delivered_at, 0.1 + 0.05, 1e-12);
+}
+
+TEST(LinkTest, FifoQueueingDelaysSecondMessage) {
+  SimClock clock;
+  LinkConfig cfg;
+  cfg.latency_s = 0.0;
+  cfg.bandwidth_bps = 100;  // 1s per 100 bytes
+  cfg.jitter_s = 0;
+  Link link(clock, cfg, util::Rng(1));
+  double first = -1, second = -1;
+  link.send(100, [&] { first = clock.now(); });
+  link.send(100, [&] { second = clock.now(); });
+  clock.run();
+  EXPECT_NEAR(first, 1.0, 1e-9);
+  EXPECT_NEAR(second, 2.0, 1e-9);  // had to wait for the first
+}
+
+TEST(LinkTest, StatsAccumulate) {
+  SimClock clock;
+  Link link(clock, LinkConfig::lan(), util::Rng(1));
+  link.send(100, [] {});
+  link.send(200, [] {});
+  clock.run();
+  EXPECT_EQ(link.stats().messages_sent, 2u);
+  EXPECT_EQ(link.stats().bytes_sent, 300u);
+  EXPECT_GT(link.stats().busy_time_s, 0.0);
+}
+
+TEST(LinkTest, LossDropsMessages) {
+  SimClock clock;
+  LinkConfig cfg = LinkConfig::lan();
+  cfg.loss_probability = 1.0;
+  Link link(clock, cfg, util::Rng(1));
+  bool delivered = false;
+  const SimTime t = link.send(10, [&] { delivered = true; });
+  clock.run();
+  EXPECT_LT(t, 0);
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(link.stats().messages_dropped, 1u);
+}
+
+TEST(LinkTest, PresetsAreOrderedBySpeed) {
+  EXPECT_GE(LinkConfig::lan().bandwidth_bps, LinkConfig::fast_wan().bandwidth_bps);
+  EXPECT_GT(LinkConfig::fast_wan().bandwidth_bps, LinkConfig::limited_wan().bandwidth_bps);
+  EXPECT_LT(LinkConfig::lan().latency_s, LinkConfig::fast_wan().latency_s);
+  // §II-A: cross-continent RTT an order of magnitude above same-continent.
+  EXPECT_GE(LinkConfig::intercontinental_wan().latency_s / LinkConfig::fast_wan().latency_s, 8.0);
+}
+
+TEST(NetworkTest, ConnectAndSendBetweenHosts) {
+  Network net(1);
+  net.connect("a", "b", LinkConfig::lan());
+  EXPECT_TRUE(net.connected("a", "b"));
+  EXPECT_TRUE(net.connected("b", "a"));
+  EXPECT_FALSE(net.connected("a", "c"));
+  bool delivered = false;
+  net.send("a", "b", 100, [&] { delivered = true; });
+  net.clock().run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(NetworkTest, DirectionsHaveIndependentQueues) {
+  Network net(1);
+  LinkConfig cfg;
+  cfg.latency_s = 0;
+  cfg.bandwidth_bps = 100;
+  cfg.jitter_s = 0;
+  net.connect("a", "b", cfg);
+  double ab = -1, ba = -1;
+  net.send("a", "b", 100, [&] { ab = net.clock().now(); });
+  net.send("b", "a", 100, [&] { ba = net.clock().now(); });
+  net.clock().run();
+  // No cross-direction queueing: both take ~1s.
+  EXPECT_NEAR(ab, 1.0, 1e-9);
+  EXPECT_NEAR(ba, 1.0, 1e-9);
+}
+
+TEST(NetworkTest, UnknownChannelThrows) {
+  Network net(1);
+  EXPECT_THROW(net.channel("x", "y"), std::out_of_range);
+  EXPECT_THROW(net.send("x", "y", 1, [] {}), std::out_of_range);
+}
+
+TEST(NetworkTest, ReconnectUpdatesConfig) {
+  Network net(1);
+  net.connect("a", "b", LinkConfig::lan());
+  net.connect("a", "b", LinkConfig::limited_wan());
+  EXPECT_EQ(net.channel("a", "b").forward().config().name, "limited-wan");
+}
+
+TEST(NetworkTest, TrafficAccounting) {
+  Network net(1);
+  net.connect("a", "b", LinkConfig::lan());
+  net.send("a", "b", 500, [] {});
+  net.send("b", "a", 250, [] {});
+  net.clock().run();
+  EXPECT_EQ(net.channel("a", "b").total_bytes(), 750u);
+  net.reset_stats();
+  EXPECT_EQ(net.channel("a", "b").total_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace edgstr::netsim

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "apps/app.h"
+#include "edgstr/baselines.h"
+#include "edgstr/pipeline.h"
+#include "edgstr/transform.h"
+
+namespace edgstr::core {
+namespace {
+
+TEST(RecordTrafficTest, CapturesOneRecordPerRequest) {
+  const apps::SubjectApp& app = apps::bookworm();
+  const http::TrafficRecorder traffic = record_traffic(app.server_source, app.workload);
+  EXPECT_EQ(traffic.size(), app.workload.size());
+  EXPECT_FALSE(traffic.infer_services().empty());
+}
+
+TEST(PipelineTest, TransformFobojetReplicatesAllServices) {
+  const apps::SubjectApp& app = apps::fobojet();
+  const http::TrafficRecorder traffic = record_traffic(app.server_source, app.workload);
+  const TransformResult result = Pipeline().transform(app.name, app.server_source, traffic);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.services.size(), app.services.size());
+  EXPECT_EQ(result.replicable_count(), app.services.size());
+  EXPECT_FALSE(result.replica.source.empty());
+  EXPECT_FALSE(result.cloud_source.empty());
+}
+
+TEST(PipelineTest, FiltersInitSnapshotToNeeds) {
+  const apps::SubjectApp& app = apps::fobojet();
+  const http::TrafficRecorder traffic = record_traffic(app.server_source, app.workload);
+  const TransformResult result = Pipeline().transform(app.name, app.server_source, traffic);
+  ASSERT_TRUE(result.ok);
+  // The filtered snapshot is never larger than the full working state.
+  EXPECT_LE(result.init_snapshot.size_bytes(), result.full_snapshot.size_bytes());
+}
+
+TEST(PipelineTest, HeavyServiceProfilesComputeCost) {
+  const apps::SubjectApp& app = apps::fobojet();
+  const http::TrafficRecorder traffic = record_traffic(app.server_source, app.workload);
+  const TransformResult result = Pipeline().transform(app.name, app.server_source, traffic);
+  const ServiceAnalysis* predict = result.find_service({http::Verb::kPost, "/predict"});
+  ASSERT_NE(predict, nullptr);
+  EXPECT_GT(predict->mean_compute_units, 100.0);  // model inference is heavy
+  const ServiceAnalysis* labels = result.find_service({http::Verb::kGet, "/labels"});
+  ASSERT_NE(labels, nullptr);
+  EXPECT_LT(labels->mean_compute_units, 1.0);
+}
+
+TEST(PipelineTest, EmptyTrafficFails) {
+  http::TrafficRecorder empty;
+  const TransformResult result = Pipeline().transform("x", "var a = 1;", empty);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(PipelineTest, AdvisorCanRejectStatefulServices) {
+  PipelineConfig config;
+  config.advisor = [](const ServiceStateInfo& info) { return !info.stateful; };
+  const apps::SubjectApp& app = apps::fobojet();
+  const http::TrafficRecorder traffic = record_traffic(app.server_source, app.workload);
+  const TransformResult result = Pipeline(config).transform(app.name, app.server_source, traffic);
+  // /predict and /feedback mutate state -> rejected; read-only ones remain.
+  ASSERT_TRUE(result.ok);
+  const ServiceAnalysis* predict = result.find_service({http::Verb::kPost, "/predict"});
+  ASSERT_NE(predict, nullptr);
+  EXPECT_FALSE(predict->replicable);
+  EXPECT_TRUE(predict->advisor_rejected);
+  const ServiceAnalysis* labels = result.find_service({http::Verb::kGet, "/labels"});
+  ASSERT_NE(labels, nullptr);
+  EXPECT_TRUE(labels->replicable);
+}
+
+TEST(PipelineTest, StateInfoNamesMutationStatements) {
+  const apps::SubjectApp& app = apps::fobojet();
+  const http::TrafficRecorder traffic = record_traffic(app.server_source, app.workload);
+  const TransformResult result = Pipeline().transform(app.name, app.server_source, traffic);
+  const ServiceAnalysis* predict = result.find_service({http::Verb::kPost, "/predict"});
+  ASSERT_NE(predict, nullptr);
+  EXPECT_TRUE(predict->state_info.stateful);
+  EXPECT_FALSE(predict->state_info.mutation_statements.empty());
+  // The consultation text is renderable.
+  const std::string text = render_consultation(predict->state_info);
+  EXPECT_NE(text.find("eventually"), std::string::npos);
+}
+
+TEST(PipelineTest, ReportRenders) {
+  const apps::SubjectApp& app = apps::mnist_rest();
+  const http::TrafficRecorder traffic = record_traffic(app.server_source, app.workload);
+  const TransformResult result = Pipeline().transform(app.name, app.server_source, traffic);
+  const std::string report = render_transform_report(result);
+  EXPECT_NE(report.find("mnist-rest"), std::string::npos);
+  EXPECT_NE(report.find("/predict-digit"), std::string::npos);
+}
+
+TEST(SubjectAppsTest, PaperScaleInventory) {
+  EXPECT_EQ(apps::all_subject_apps().size(), 7u);
+  EXPECT_EQ(apps::total_service_count(), 42u);  // the paper's 42 services
+}
+
+TEST(SubjectAppsTest, WorkloadsCoverEveryService) {
+  for (const apps::SubjectApp* app : apps::all_subject_apps()) {
+    std::set<http::Route> covered;
+    for (const http::HttpRequest& req : app->workload) {
+      covered.insert(http::Route{req.verb, req.path});
+    }
+    for (const http::Route& svc : app->services) {
+      EXPECT_TRUE(covered.count(svc))
+          << app->name << " workload misses " << svc.to_string();
+    }
+  }
+}
+
+TEST(CrossIsaTest, WholeStateBytesDominateDeltas) {
+  const apps::SubjectApp& app = apps::fobojet();
+  const http::TrafficRecorder traffic = record_traffic(app.server_source, app.workload);
+  const TransformResult result = Pipeline().transform(app.name, app.server_source, traffic);
+  const CrossIsaSync cross = CrossIsaSync::from_snapshot(result.full_snapshot);
+  EXPECT_EQ(cross.bytes_per_invocation(), 2 * result.full_snapshot.size_bytes());
+  EXPECT_EQ(cross.bytes_for_rounds(10), 10 * cross.bytes_per_invocation());
+}
+
+}  // namespace
+}  // namespace edgstr::core
+// NOTE: appended suite — live-session replay coverage (§III-A).
+#include "edgstr/deployment.h"
+
+namespace edgstr::core {
+namespace {
+
+TEST(PipelineTest, LiveReplayCatchesStateDependentAccesses) {
+  // /export only touches its file when earlier requests populated the
+  // table; isolated fuzzing from the init state never sees that access.
+  const char* source = R"JS(
+    db.query("CREATE TABLE items (v)");
+    app.post("/add", function (req, res) {
+      var v = req.params.v;
+      db.query("INSERT INTO items (v) VALUES (?)", [v]);
+      res.send({ added: v });
+    });
+    app.get("/export", function (req, res) {
+      var tag = req.params.tag;
+      var rows = db.query("SELECT v FROM items");
+      var n = 0;
+      for (var i = 0; i < rows.length; i = i + 1) {
+        fs.appendFile("data/export.log", str(rows[i].v));
+        n = n + 1;
+      }
+      res.send({ exported: n, tag: tag });
+    });
+  )JS";
+  std::vector<http::HttpRequest> workload;
+  for (int v : {1, 2}) {
+    http::HttpRequest req;
+    req.verb = http::Verb::kPost;
+    req.path = "/add";
+    req.params = json::Value::object({{"v", v}});
+    workload.push_back(req);
+  }
+  {
+    http::HttpRequest req;
+    req.path = "/export";
+    req.params = json::Value::object({{"tag", 7}});
+    workload.push_back(req);
+  }
+  const http::TrafficRecorder traffic = record_traffic(source, workload);
+  const TransformResult result = Pipeline().transform("exporty", source, traffic);
+  ASSERT_TRUE(result.ok) << result.error;
+  const ServiceAnalysis* exp = result.find_service({http::Verb::kGet, "/export"});
+  ASSERT_NE(exp, nullptr);
+  ASSERT_TRUE(exp->replicable) << exp->failure_reason;
+  // The live replay (requests in captured order) exposes the file write.
+  EXPECT_TRUE(exp->plan.mutated_files.count("data/export.log"));
+  EXPECT_TRUE(result.replicated_files.count("data/export.log"));
+  // And the table read is known too.
+  EXPECT_TRUE(exp->plan.needed_tables.count("items"));
+}
+
+TEST(PipelineTest, ReplicatedFileStaysConsistentAcrossTiers) {
+  // End-to-end: with /export's file replicated, edge-side exports reach
+  // the cloud's copy after sync.
+  const apps::SubjectApp& app = apps::sensor_hub();
+  const http::TrafficRecorder traffic = record_traffic(app.server_source, app.workload);
+  const TransformResult result = Pipeline().transform(app.name, app.server_source, traffic);
+  ASSERT_TRUE(result.ok);
+  EXPECT_TRUE(result.replicated_files.count("data/export.csv"));
+
+  DeploymentConfig config;
+  config.start_sync = false;
+  ThreeTierDeployment three(result, config);
+  // Populate rows, then export at the edge.
+  for (const http::HttpRequest& req : app.workload) three.request_sync(req);
+  ASSERT_GE(three.sync().sync_until_converged(8), 1);
+  EXPECT_EQ(three.cloud().service()->filesystem().read("data/export.csv"),
+            three.edge(0).service()->filesystem().read("data/export.csv"));
+  EXPECT_FALSE(three.cloud().service()->filesystem().read("data/export.csv").empty());
+}
+
+}  // namespace
+}  // namespace edgstr::core

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "minijs/parser.h"
+#include "minijs/printer.h"
+#include "refactor/codegen.h"
+#include "refactor/dependence.h"
+#include "refactor/extract.h"
+#include "refactor/normalize.h"
+#include "trace/fuzzer.h"
+
+namespace edgstr::refactor {
+namespace {
+
+// The Figure-4-style service: unmarshal from req, compute, marshal result.
+const char* kServer = R"JS(
+var total = 0;
+db.query("CREATE TABLE audit (n)");
+function double(x) { return x * 2; }
+app.post("/calc", function (req, res) {
+  var n = req.params.n;
+  var twice = double(n);
+  total = total + twice;
+  db.query("INSERT INTO audit (n) VALUES (?)", [twice]);
+  res.send({ twice: twice, total: total });
+});
+)JS";
+
+trace::FuzzReport fuzz_calc(trace::ProfilingHarness& harness) {
+  http::ServiceProfile profile;
+  profile.route = {http::Verb::kPost, "/calc"};
+  profile.exemplar_params.push_back(json::Value::object({{"n", 10}}));
+  profile.exemplar_results.push_back(json::Value());
+  profile.invocation_count = 1;
+  trace::Fuzzer fuzzer(harness, util::Rng(3));
+  return fuzzer.fuzz(profile, 4);
+}
+
+// -------------------------------------------------------------- normalize --
+
+TEST(NormalizeTest, HoistsNonTrivialCallArguments) {
+  minijs::Program prog = minijs::parse_program(
+      "app.get(\"/t\", function (req, res) { res.send({ v: req.params.x + 1 }); });");
+  minijs::Program norm = normalize(prog);
+  EXPECT_EQ(count_temporaries(prog), 0u);
+  EXPECT_GE(count_temporaries(norm), 1u);
+  const std::string printed = minijs::print_program(norm);
+  EXPECT_NE(printed.find("var tv1"), std::string::npos);
+  EXPECT_NE(printed.find("res.send(tv1)"), std::string::npos);
+}
+
+TEST(NormalizeTest, PreservesSemantics) {
+  const char* source = R"JS(
+    var g = 3;
+    function f(a) { return a + g; }
+    app.get("/t", function (req, res) {
+      var acc = [];
+      for (var i = 0; i < 3; i = i + 1) {
+        acc.push(f(i * 10));
+      }
+      res.send({ acc: acc, top: f(acc[0] + acc[1]) });
+    });
+  )JS";
+  auto run = [](const std::string& src) {
+    trace::ProfilingHarness harness(src);
+    http::HttpRequest req;
+    req.path = "/t";
+    req.params = json::Value::object({});
+    return harness.invoke(http::Route{http::Verb::kGet, "/t"}, req).body;
+  };
+  const json::Value original = run(source);
+  const json::Value normalized =
+      run(minijs::print_program(normalize(minijs::parse_program(source))));
+  EXPECT_EQ(original, normalized);
+}
+
+TEST(NormalizeTest, IsIdempotent) {
+  minijs::Program prog = minijs::parse_program(
+      "app.get(\"/t\", function (req, res) { res.send({ a: len([1,2]) }); });");
+  const minijs::Program once = normalize(prog);
+  const minijs::Program twice = normalize(once);
+  EXPECT_EQ(minijs::print_program(once), minijs::print_program(twice));
+}
+
+TEST(NormalizeTest, FunctionLiteralArgumentsStayInline) {
+  minijs::Program norm = normalize(minijs::parse_program(
+      "app.get(\"/t\", function (req, res) { res.send(1); });"));
+  // Handler must still be findable as a literal second argument.
+  EXPECT_NE(find_handler(norm, {http::Verb::kGet, "/t"}), nullptr);
+}
+
+TEST(NormalizeTest, LoopHeadersNotHoisted) {
+  const char* source = R"JS(
+    app.get("/t", function (req, res) {
+      var n = 0;
+      while (n < len([1, 2, 3])) { n = n + 1; }
+      res.send({ n: n });
+    });
+  )JS";
+  // Would loop forever (or break) if the condition were hoisted once.
+  trace::ProfilingHarness harness(
+      minijs::print_program(normalize(minijs::parse_program(source))));
+  http::HttpRequest req;
+  req.path = "/t";
+  const auto resp = harness.invoke(http::Route{http::Verb::kGet, "/t"}, req);
+  EXPECT_DOUBLE_EQ(resp.body["n"].as_number(), 3.0);
+}
+
+// ----------------------------------------------------------- find_handler --
+
+TEST(FindHandlerTest, LocatesByVerbAndPath) {
+  minijs::Program prog = minijs::parse_program(R"JS(
+    app.get("/a", function (req, res) { res.send(1); });
+    app.post("/a", function (req, res) { res.send(2); });
+  )JS");
+  EXPECT_NE(find_handler(prog, {http::Verb::kGet, "/a"}), nullptr);
+  EXPECT_NE(find_handler(prog, {http::Verb::kPost, "/a"}), nullptr);
+  EXPECT_EQ(find_handler(prog, {http::Verb::kPut, "/a"}), nullptr);
+  EXPECT_EQ(find_handler(prog, {http::Verb::kGet, "/b"}), nullptr);
+}
+
+// ------------------------------------------------------------- dependence --
+
+class DependenceFixture : public ::testing::Test {
+ protected:
+  DependenceFixture()
+      : harness(minijs::print_program(normalize(minijs::parse_program(kServer)))) {}
+  trace::ProfilingHarness harness;
+};
+
+TEST_F(DependenceFixture, IdentifiesEntryAndExit) {
+  DependenceAnalyzer analyzer(harness.interpreter().program());
+  const ExtractionPlan plan = analyzer.analyze(fuzz_calc(harness));
+  ASSERT_TRUE(plan.ok) << plan.error;
+  EXPECT_FALSE(plan.entry_is_fallback);
+  EXPECT_EQ(plan.unmar_var, "n");  // var n = req.params.n
+  EXPECT_FALSE(plan.exit_is_fallback);
+  // Exit marshals the response value (tv holding the send argument).
+  EXPECT_FALSE(plan.mar_var.empty());
+  EXPECT_GT(plan.included.size(), 2u);
+}
+
+TEST_F(DependenceFixture, TracksStateNeeds) {
+  DependenceAnalyzer analyzer(harness.interpreter().program());
+  const ExtractionPlan plan = analyzer.analyze(fuzz_calc(harness));
+  ASSERT_TRUE(plan.ok);
+  EXPECT_EQ(plan.needed_tables, (std::set<std::string>{"audit"}));
+  EXPECT_EQ(plan.mutated_tables, (std::set<std::string>{"audit"}));
+  EXPECT_TRUE(plan.needed_globals.count("total"));
+  EXPECT_TRUE(plan.mutated_globals.count("total"));
+  EXPECT_TRUE(plan.is_stateful());
+  EXPECT_TRUE(plan.called_functions.count("double"));
+  EXPECT_GT(plan.fact_count, 0u);
+  EXPECT_GT(plan.derived_dep_count, 0u);
+}
+
+TEST_F(DependenceFixture, FailsGracefullyWithOneRun) {
+  http::ServiceProfile profile;
+  profile.route = {http::Verb::kPost, "/calc"};
+  profile.exemplar_params.push_back(json::Value::object({{"n", 1}}));
+  trace::Fuzzer fuzzer(harness, util::Rng(3));
+  const trace::FuzzReport report = fuzzer.fuzz(profile, 1);
+  DependenceAnalyzer analyzer(harness.interpreter().program());
+  const ExtractionPlan plan = analyzer.analyze(report);
+  EXPECT_FALSE(plan.ok);
+  EXPECT_NE(plan.error.find("two successful"), std::string::npos);
+}
+
+TEST(DependenceTest, UnexecutedBranchGlobalsIncludedStatically) {
+  const char* source = R"JS(
+    var rare = 42;
+    app.post("/svc", function (req, res) {
+      var x = req.params.x;
+      var out = 0;
+      if (x > 1000000) { out = rare; } else { out = x; }
+      res.send({ out: out });
+    });
+  )JS";
+  trace::ProfilingHarness harness(
+      minijs::print_program(normalize(minijs::parse_program(source))));
+  http::ServiceProfile profile;
+  profile.route = {http::Verb::kPost, "/svc"};
+  profile.exemplar_params.push_back(json::Value::object({{"x", 5}}));
+  trace::Fuzzer fuzzer(harness, util::Rng(3));
+  DependenceAnalyzer analyzer(harness.interpreter().program());
+  const ExtractionPlan plan = analyzer.analyze(fuzzer.fuzz(profile, 3));
+  ASSERT_TRUE(plan.ok) << plan.error;
+  // 'rare' is only read on the unexercised branch; the static closure pass
+  // must still replicate it.
+  EXPECT_TRUE(plan.needed_globals.count("rare"));
+}
+
+// ---------------------------------------------------------------- extract --
+
+TEST_F(DependenceFixture, ExtractBuildsStandaloneFunction) {
+  DependenceAnalyzer analyzer(harness.interpreter().program());
+  const ExtractionPlan plan = analyzer.analyze(fuzz_calc(harness));
+  const ExtractedFunction fn = extract_function(harness.interpreter().program(), plan);
+  ASSERT_TRUE(fn.ok) << fn.error;
+  EXPECT_EQ(fn.name, "ftn_calc_post");
+  EXPECT_EQ(fn.request_param, "req");
+  const std::string printed = minijs::print_stmt(fn.decl, 0);
+  EXPECT_NE(printed.find("return"), std::string::npos);
+  EXPECT_EQ(printed.find("res.send"), std::string::npos);  // marshal rewritten
+  EXPECT_EQ(printed.find("res.status"), std::string::npos);
+}
+
+TEST_F(DependenceFixture, ExtractedFunctionComputesSameResult) {
+  DependenceAnalyzer analyzer(harness.interpreter().program());
+  const ExtractionPlan plan = analyzer.analyze(fuzz_calc(harness));
+  const ExtractedFunction fn = extract_function(harness.interpreter().program(), plan);
+  ASSERT_TRUE(fn.ok);
+
+  // Run the extracted function in a fresh interpreter with the same state.
+  const std::string replica_src =
+      "var total = 0;\n"
+      "db.query(\"CREATE TABLE audit (n)\");\n"
+      "function double(x) { return x * 2; }\n" +
+      minijs::print_stmt(fn.decl, 0);
+  trace::ProfilingHarness replica(replica_src);
+  minijs::JsValue req = minijs::JsValue::new_object();
+  auto params = std::make_shared<minijs::JsObject>();
+  params->set("n", minijs::JsValue(10.0));
+  req.as_object()->set("params", minijs::JsValue(params));
+  const minijs::JsValue out = replica.interpreter().call_global(fn.name, {req});
+  EXPECT_DOUBLE_EQ(out.as_object()->get("twice").as_number(), 20.0);
+  EXPECT_DOUBLE_EQ(out.as_object()->get("total").as_number(), 20.0);
+}
+
+TEST(ExtractTest, FunctionNaming) {
+  EXPECT_EQ(function_name_for({http::Verb::kPost, "/predict"}), "ftn_predict_post");
+  EXPECT_EQ(function_name_for({http::Verb::kGet, "/a/b-c"}), "ftn_a_b_c_get");
+}
+
+TEST(ExtractTest, FailsForMissingHandler) {
+  minijs::Program prog = minijs::parse_program("var x = 1;");
+  ExtractionPlan plan;
+  plan.ok = true;
+  plan.route = {http::Verb::kGet, "/ghost"};
+  const ExtractedFunction fn = extract_function(prog, plan);
+  EXPECT_FALSE(fn.ok);
+}
+
+// ---------------------------------------------------------------- codegen --
+
+TEST(CodegenTest, TemplateSubstitution) {
+  const std::string out = render_template("a {{x}} b {{y}} c {{unknown}} d",
+                                          {{"x", "1"}, {"y", "2"}});
+  EXPECT_EQ(out, "a 1 b 2 c  d");
+}
+
+TEST_F(DependenceFixture, GeneratedReplicaParsesAndServes) {
+  DependenceAnalyzer analyzer(harness.interpreter().program());
+  const ExtractionPlan plan = analyzer.analyze(fuzz_calc(harness));
+  const ExtractedFunction fn = extract_function(harness.interpreter().program(), plan);
+  const GeneratedReplica replica = ReplicaCodegen().generate(
+      "calc-app", harness.interpreter().program(), {ServiceCodegen{plan, fn}});
+
+  EXPECT_EQ(replica.served_routes().size(), 1u);
+  // The generated source is valid MiniJS that registers the route and
+  // produces the original result once state is restored.
+  trace::ProfilingHarness edge(replica.source);
+  trace::restore_globals(edge.interpreter(), harness.init_snapshot().globals);
+  edge.database().restore(harness.init_snapshot().database);
+  http::HttpRequest req;
+  req.verb = http::Verb::kPost;
+  req.path = "/calc";
+  req.params = json::Value::object({{"n", 10}});
+  const auto resp = edge.invoke(http::Route{http::Verb::kPost, "/calc"}, req);
+  EXPECT_DOUBLE_EQ(resp.body["twice"].as_number(), 20.0);
+}
+
+}  // namespace
+}  // namespace edgstr::refactor

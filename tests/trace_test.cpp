@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+#include "json/parse.h"
+
+#include "trace/fuzzer.h"
+#include "trace/rwlog.h"
+#include "trace/state_capture.h"
+
+namespace edgstr::trace {
+namespace {
+
+const char* kStatefulServer = R"JS(
+var counter = 0;
+var label = "none";
+db.query("CREATE TABLE log (n, tag)");
+fs.writeFile("models/m.bin", "weights");
+app.post("/work", function (req, res) {
+  var amount = req.params.amount;
+  compute(50);
+  counter = counter + amount;
+  label = "did-" + amount;
+  db.query("INSERT INTO log (n, tag) VALUES (?, ?)", [counter, label]);
+  fs.appendFile("data/audit.log", str(amount));
+  res.send({ counter: counter, got: amount });
+});
+app.get("/peek", function (req, res) {
+  var q = req.params.q;
+  res.send({ counter: counter, q: q });
+});
+)JS";
+
+http::HttpRequest work_request(double amount) {
+  http::HttpRequest req;
+  req.verb = http::Verb::kPost;
+  req.path = "/work";
+  req.params = json::Value::object({{"amount", amount}});
+  return req;
+}
+
+TEST(ValueDigestTest, EqualValuesEqualDigests) {
+  const minijs::JsValue a = minijs::JsValue::from_json(json::parse(R"({"x":[1,2]})"));
+  const minijs::JsValue b = minijs::JsValue::from_json(json::parse(R"({"x":[1,2]})"));
+  const minijs::JsValue c = minijs::JsValue::from_json(json::parse(R"({"x":[1,3]})"));
+  EXPECT_EQ(value_digest(a), value_digest(b));
+  EXPECT_NE(value_digest(a), value_digest(c));
+}
+
+TEST(ValueDigestTest, BlobDigestTracksFingerprint) {
+  EXPECT_NE(value_digest(minijs::JsValue(minijs::Blob{100, 1})),
+            value_digest(minijs::JsValue(minijs::Blob{100, 2})));
+  EXPECT_EQ(value_digest(minijs::JsValue(minijs::Blob{100, 1})),
+            value_digest(minijs::JsValue(minijs::Blob{100, 1})));
+}
+
+TEST(RwCollectorTest, CapturesEventsAndFlows) {
+  ProfilingHarness harness(kStatefulServer);
+  RwCollector collector;
+  harness.invoke(http::Route{http::Verb::kPost, "/work"}, work_request(5), &collector);
+
+  // amount written (declare), then read when computing counter.
+  bool amount_written = false, amount_read = false;
+  for (const RwEvent& e : collector.events()) {
+    if (e.name == "amount" && e.kind == RwEvent::Kind::kWrite) amount_written = true;
+    if (e.name == "amount" && e.kind == RwEvent::Kind::kRead) amount_read = true;
+  }
+  EXPECT_TRUE(amount_written);
+  EXPECT_TRUE(amount_read);
+
+  // Dynamic flow edge: reader of 'amount' linked to its writer statement.
+  bool flow_found = false;
+  for (const FlowEdge& edge : collector.flow_edges()) {
+    if (edge.variable == "amount") flow_found = true;
+  }
+  EXPECT_TRUE(flow_found);
+  EXPECT_FALSE(collector.executed_statements().empty());
+}
+
+TEST(RwCollectorTest, ClassifiesSqlInvocations) {
+  ProfilingHarness harness(kStatefulServer);
+  RwCollector collector;
+  harness.invoke(http::Route{http::Verb::kPost, "/work"}, work_request(5), &collector);
+  ASSERT_EQ(collector.sql_events().size(), 1u);
+  EXPECT_EQ(collector.sql_events()[0].table, "log");
+  EXPECT_TRUE(collector.sql_events()[0].mutation);
+}
+
+TEST(RwCollectorTest, ClassifiesFileInvocations) {
+  ProfilingHarness harness(kStatefulServer);
+  RwCollector collector;
+  harness.invoke(http::Route{http::Verb::kPost, "/work"}, work_request(5), &collector);
+  ASSERT_EQ(collector.file_events().size(), 1u);
+  EXPECT_EQ(collector.file_events()[0].path, "data/audit.log");
+  EXPECT_TRUE(collector.file_events()[0].write);
+}
+
+TEST(RwCollectorTest, ClearResets) {
+  RwCollector collector;
+  collector.on_write(1, "x", minijs::JsValue(1.0));
+  collector.clear();
+  EXPECT_TRUE(collector.events().empty());
+  EXPECT_TRUE(collector.flow_edges().empty());
+}
+
+TEST(StateCaptureTest, SnapshotCoversAllThreeUnits) {
+  ProfilingHarness harness(kStatefulServer);
+  const Snapshot& snap = harness.init_snapshot();
+  EXPECT_TRUE(snap.globals.find("counter"));
+  EXPECT_TRUE(snap.globals.find("label"));
+  EXPECT_FALSE(snap.globals.find("app"));  // builtins excluded
+  EXPECT_EQ(snap.database["tables"].as_array().size(), 1u);
+  EXPECT_TRUE(snap.files.find("models/m.bin"));
+  EXPECT_GT(snap.size_bytes(), 0u);
+  // Round trip through JSON.
+  const Snapshot back = Snapshot::from_json(snap.to_json());
+  EXPECT_EQ(back.globals, snap.globals);
+}
+
+TEST(StateCaptureTest, GlobalsExcludeFunctions) {
+  ProfilingHarness harness("function f() { return 1; } var x = 2;");
+  const json::Value globals = capture_globals(harness.interpreter());
+  EXPECT_TRUE(globals.find("x"));
+  EXPECT_FALSE(globals.find("f"));
+}
+
+TEST(StateCaptureTest, IsolationRestoresInitAroundExecution) {
+  ProfilingHarness harness(kStatefulServer);
+  const http::Route route{http::Verb::kPost, "/work"};
+
+  auto first = harness.invoke_isolated(route, work_request(5));
+  auto second = harness.invoke_isolated(route, work_request(5));
+  // Stateful service, but isolation makes executions identical.
+  EXPECT_EQ(first.response.body, second.response.body);
+  EXPECT_DOUBLE_EQ(first.response.body["counter"].as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(first.compute_units, 50.0);
+
+  // After isolation, live state equals init state.
+  const Snapshot now = harness.capture();
+  EXPECT_EQ(now.globals, harness.init_snapshot().globals);
+  EXPECT_EQ(now.database, harness.init_snapshot().database);
+}
+
+TEST(StateCaptureTest, DiffDetectsEachUnit) {
+  ProfilingHarness harness(kStatefulServer);
+  const auto result =
+      harness.invoke_isolated(http::Route{http::Verb::kPost, "/work"}, work_request(3));
+  EXPECT_EQ(result.state_diff.changed_tables, (std::set<std::string>{"log"}));
+  EXPECT_EQ(result.state_diff.changed_files, (std::set<std::string>{"data/audit.log"}));
+  EXPECT_EQ(result.state_diff.changed_globals, (std::set<std::string>{"counter", "label"}));
+  EXPECT_FALSE(result.state_diff.empty());
+  EXPECT_EQ(result.state_diff.total(), 4u);
+}
+
+TEST(StateCaptureTest, ReadOnlyServiceHasEmptyDiff) {
+  ProfilingHarness harness(kStatefulServer);
+  http::HttpRequest req;
+  req.verb = http::Verb::kGet;
+  req.path = "/peek";
+  req.params = json::Value::object({{"q", 1}});
+  const auto result = harness.invoke_isolated(http::Route{http::Verb::kGet, "/peek"}, req);
+  EXPECT_TRUE(result.state_diff.empty());
+}
+
+TEST(FuzzerTest, PerturbChangesEveryComponent) {
+  http::HttpRequest req;
+  req.params = json::Value::object({{"n", 5}, {"s", "text"}, {"flag", true},
+                                    {"arr", json::Value::array({1, 2})}});
+  req.payload_bytes = 1000;
+  const http::HttpRequest fz = Fuzzer::perturb(req, 3);
+  EXPECT_DOUBLE_EQ(fz.params["n"].as_number(), 8.0);
+  EXPECT_EQ(fz.params["s"].as_string(), "text_fz3");
+  EXPECT_NE(fz.payload_bytes, req.payload_bytes);
+  // Salt 0 replays unmodified.
+  const http::HttpRequest same = Fuzzer::perturb(req, 0);
+  EXPECT_EQ(same.params, req.params);
+  EXPECT_EQ(same.payload_bytes, req.payload_bytes);
+}
+
+TEST(FuzzerTest, ComponentDigestsCoverParamsAndPayload) {
+  http::HttpRequest req;
+  req.params = json::Value::object({{"a", 1}, {"b", "x"}});
+  req.payload_bytes = 512;
+  const auto digests = request_component_digests(req);
+  EXPECT_TRUE(digests.count("params"));
+  EXPECT_TRUE(digests.count("params.a"));
+  EXPECT_TRUE(digests.count("params.b"));
+  EXPECT_TRUE(digests.count("payload"));
+}
+
+TEST(FuzzerTest, FuzzProducesIsolatedInstrumentedRuns) {
+  ProfilingHarness harness(kStatefulServer);
+  http::ServiceProfile profile;
+  profile.route = {http::Verb::kPost, "/work"};
+  profile.exemplar_params.push_back(json::Value::object({{"amount", 5}}));
+  profile.exemplar_results.push_back(json::Value());
+  profile.invocation_count = 1;
+  profile.request_bytes_total = work_request(5).wire_size();
+
+  Fuzzer fuzzer(harness, util::Rng(7));
+  const FuzzReport report = fuzzer.fuzz(profile, 4);
+  ASSERT_EQ(report.runs.size(), 4u);
+  // Responses vary with the fuzzed parameter.
+  EXPECT_NE(report.runs[0].response_digest, report.runs[1].response_digest);
+  // All runs executed the same statements (no divergent control flow here).
+  EXPECT_EQ(report.common_statements().size(), report.runs[0].executed_statements.size());
+  // Isolation: every run starts from counter == 0.
+  for (const FuzzRun& run : report.runs) {
+    EXPECT_DOUBLE_EQ(run.response.body["counter"].as_number(),
+                     run.request.params["amount"].as_number());
+  }
+}
+
+TEST(FuzzerTest, FuzzRequiresExemplar) {
+  ProfilingHarness harness(kStatefulServer);
+  Fuzzer fuzzer(harness, util::Rng(7));
+  http::ServiceProfile empty;
+  empty.route = {http::Verb::kPost, "/work"};
+  EXPECT_THROW(fuzzer.fuzz(empty, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgstr::trace

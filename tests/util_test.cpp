@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+namespace edgstr::util {
+namespace {
+
+// ------------------------------------------------------------------ Rng --
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, UniformIntThrowsOnInvertedBounds) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(5, 2), std::invalid_argument);
+}
+
+TEST(RngTest, NormalHasRoughlyRightMoments) {
+  Rng rng(42);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.02);
+}
+
+TEST(RngTest, ExponentialRejectsNonPositiveRate) {
+  Rng rng(5);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(11);
+  Rng child = parent.split();
+  EXPECT_NE(parent.next_u64(), child.next_u64());
+}
+
+TEST(RngTest, TokenHasRequestedLength) {
+  Rng rng(3);
+  EXPECT_EQ(rng.token(12).size(), 12u);
+  EXPECT_EQ(rng.token(0).size(), 0u);
+}
+
+TEST(RngTest, IndexThrowsOnEmptyRange) {
+  Rng rng(3);
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng rng(21);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------- stats --
+
+TEST(SummaryTest, BasicMoments) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.5), 1e-12);
+}
+
+TEST(SummaryTest, QuantileInterpolates) {
+  Summary s;
+  for (double v : {0.0, 10.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(s.quantile(0.75), 7.5);
+}
+
+TEST(SummaryTest, EmptyThrows) {
+  Summary s;
+  EXPECT_THROW(s.mean(), std::logic_error);
+  EXPECT_THROW(s.min(), std::logic_error);
+  EXPECT_THROW(s.quantile(0.5), std::logic_error);
+}
+
+TEST(SummaryTest, QuantileRejectsOutOfRange) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_THROW(s.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(s.quantile(1.1), std::invalid_argument);
+}
+
+TEST(SummaryTest, MergeCombinesSamples) {
+  Summary a, b;
+  a.add(1.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(StatsTest, BoxStatsOrdering) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  const BoxStats box = box_stats(s);
+  EXPECT_LT(box.min, box.q1);
+  EXPECT_LT(box.q1, box.median);
+  EXPECT_LT(box.median, box.q3);
+  EXPECT_LT(box.q3, box.max);
+}
+
+TEST(StatsTest, LinearRegressionExactLine) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  std::vector<double> ys = {3, 5, 7, 9};  // y = 2x + 1
+  const LinearFit fit = linear_regression(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(StatsTest, LinearRegressionNeedsTwoPoints) {
+  EXPECT_THROW(linear_regression({1.0}, {2.0}), std::invalid_argument);
+  EXPECT_THROW(linear_regression({1.0, 2.0}, {2.0}), std::invalid_argument);
+}
+
+TEST(StatsTest, LinearRegressionDegenerateXs) {
+  const LinearFit fit = linear_regression({2, 2, 2}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+// -------------------------------------------------------------- strings --
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, TrimBothEnds) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("ar", "bar"));
+}
+
+TEST(StringsTest, JoinWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringsTest, ReplaceAllOccurrences) {
+  EXPECT_EQ(replace_all("aXbXc", "X", "--"), "a--b--c");
+  EXPECT_EQ(replace_all("abc", "", "x"), "abc");
+}
+
+TEST(StringsTest, Fnv1aStableAndDiscriminating) {
+  EXPECT_EQ(fnv1a("hello"), fnv1a("hello"));
+  EXPECT_NE(fnv1a("hello"), fnv1a("hellp"));
+  EXPECT_NE(fnv1a(""), fnv1a("a"));
+}
+
+TEST(StringsTest, FormatBytesUnits) {
+  EXPECT_EQ(format_bytes(512), "512.00 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KB");
+  EXPECT_EQ(format_bytes(3 * 1024.0 * 1024.0), "3.00 MB");
+}
+
+TEST(StringsTest, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(format_double(1.5), "1.5");
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(0.125, 3), "0.125");
+}
+
+// -------------------------------------------------------------- logging --
+
+TEST(LoggingTest, SinkReceivesMessagesAboveThreshold) {
+  std::vector<std::string> captured;
+  set_log_sink([&](LogLevel level, std::string_view msg) {
+    captured.push_back(std::string(to_string(level)) + ":" + std::string(msg));
+  });
+  set_log_level(LogLevel::kInfo);
+  EDGSTR_DEBUG() << "hidden";
+  EDGSTR_INFO() << "shown " << 42;
+  set_log_sink(nullptr);
+  set_log_level(LogLevel::kWarn);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], "INFO:shown 42");
+}
+
+}  // namespace
+}  // namespace edgstr::util

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "vfs/vfs.h"
+
+namespace edgstr::vfs {
+namespace {
+
+TEST(VfsTest, WriteReadRoundTrip) {
+  Vfs fs;
+  fs.write("data/a.txt", "hello");
+  EXPECT_TRUE(fs.exists("data/a.txt"));
+  EXPECT_EQ(fs.read("data/a.txt"), "hello");
+}
+
+TEST(VfsTest, ReadMissingThrows) {
+  Vfs fs;
+  EXPECT_THROW(fs.read("ghost"), std::out_of_range);
+}
+
+TEST(VfsTest, AppendCreatesAndExtends) {
+  Vfs fs;
+  fs.append("log", "a");
+  fs.append("log", "b");
+  EXPECT_EQ(fs.read("log"), "ab");
+}
+
+TEST(VfsTest, VersionBumpsOnEveryWrite) {
+  Vfs fs;
+  EXPECT_EQ(fs.version("f"), 0u);
+  fs.write("f", "1");
+  EXPECT_EQ(fs.version("f"), 1u);
+  fs.append("f", "2");
+  EXPECT_EQ(fs.version("f"), 2u);
+  fs.write("f", "3");
+  EXPECT_EQ(fs.version("f"), 3u);
+}
+
+TEST(VfsTest, RemoveReportsExistence) {
+  Vfs fs;
+  fs.write("f", "x");
+  EXPECT_TRUE(fs.remove("f"));
+  EXPECT_FALSE(fs.remove("f"));
+  EXPECT_FALSE(fs.exists("f"));
+}
+
+TEST(VfsTest, FingerprintTracksContent) {
+  Vfs fs;
+  fs.write("f", "abc");
+  const std::uint64_t fp1 = fs.fingerprint("f");
+  fs.write("f", "abd");
+  EXPECT_NE(fs.fingerprint("f"), fp1);
+  EXPECT_EQ(fs.fingerprint("missing"), 0u);
+}
+
+TEST(VfsTest, TotalBytesAndList) {
+  Vfs fs;
+  fs.write("a", "12345");
+  fs.write("b", "123");
+  EXPECT_EQ(fs.total_bytes(), 8u);
+  EXPECT_EQ(fs.list(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(VfsTest, AccessTrackingRecordsKinds) {
+  Vfs fs;
+  fs.write("a", "1");
+  fs.start_tracking();
+  fs.read("a");
+  fs.write("b", "2");
+  fs.append("b", "3");
+  fs.remove("a");
+  const auto accesses = fs.stop_tracking();
+  ASSERT_EQ(accesses.size(), 4u);
+  EXPECT_EQ(accesses[0].kind, FileAccess::Kind::kRead);
+  EXPECT_EQ(accesses[1].kind, FileAccess::Kind::kWrite);
+  EXPECT_EQ(accesses[2].kind, FileAccess::Kind::kAppend);
+  EXPECT_EQ(accesses[3].kind, FileAccess::Kind::kRemove);
+  // Tracking stopped: no further records.
+  fs.write("c", "4");
+  EXPECT_FALSE(fs.tracking());
+}
+
+TEST(VfsTest, SnapshotRestoreRoundTrip) {
+  Vfs fs;
+  fs.write("m/model.bin", "weights");
+  fs.write("d/log.txt", "entry1");
+  const json::Value snap = fs.snapshot();
+  fs.write("d/log.txt", "changed");
+  fs.write("extra", "x");
+  fs.restore(snap);
+  EXPECT_EQ(fs.read("d/log.txt"), "entry1");
+  EXPECT_FALSE(fs.exists("extra"));
+  Vfs other;
+  other.restore(snap);
+  EXPECT_TRUE(fs == other);
+}
+
+TEST(VfsTest, CopyFromSubset) {
+  Vfs src;
+  src.write("keep", "k");
+  src.write("skip", "s");
+  Vfs dst;
+  dst.copy_from(src, {"keep", "nonexistent"});
+  EXPECT_TRUE(dst.exists("keep"));
+  EXPECT_FALSE(dst.exists("skip"));
+}
+
+TEST(VfsTest, PathClassifier) {
+  EXPECT_TRUE(Vfs::looks_like_path("models/det.bin"));
+  EXPECT_TRUE(Vfs::looks_like_path("data/notes.log"));
+  EXPECT_TRUE(Vfs::looks_like_path("/etc/conf.d/app"));
+  EXPECT_TRUE(Vfs::looks_like_path("./rel.txt"));
+  EXPECT_TRUE(Vfs::looks_like_path("https://host/file.bin"));
+  EXPECT_FALSE(Vfs::looks_like_path("SELECT * FROM t"));
+  EXPECT_FALSE(Vfs::looks_like_path("hello world"));
+  EXPECT_FALSE(Vfs::looks_like_path(""));
+}
+
+TEST(VfsTest, EqualityComparesContents) {
+  Vfs a, b;
+  a.write("f", "same");
+  b.write("f", "same");
+  EXPECT_TRUE(a == b);
+  b.write("f", "diff");
+  EXPECT_FALSE(a == b);
+  b.write("f", "same");
+  b.write("g", "extra");
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace edgstr::vfs

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "runtime/node.h"
+#include "runtime/proxy.h"
+#include "workload/generator.h"
+
+namespace edgstr::workload {
+namespace {
+
+TEST(ArrivalScheduleTest, ConstantSpacing) {
+  const ArrivalSchedule s = ArrivalSchedule::constant(10, 2.0);
+  ASSERT_FALSE(s.times().empty());
+  EXPECT_NEAR(double(s.size()), 19, 1);  // ~10 rps for 2 s, first at 0.1
+  for (std::size_t i = 1; i < s.times().size(); ++i) {
+    EXPECT_NEAR(s.times()[i] - s.times()[i - 1], 0.1, 1e-9);
+  }
+  EXPECT_LT(s.times().back(), 2.0);
+}
+
+TEST(ArrivalScheduleTest, PoissonRateRoughlyHolds) {
+  const ArrivalSchedule s = ArrivalSchedule::poisson(100, 50.0, 3);
+  EXPECT_NEAR(double(s.size()), 5000, 300);  // ~4 sigma
+  // Strictly increasing within duration.
+  for (std::size_t i = 1; i < s.times().size(); ++i) {
+    EXPECT_GT(s.times()[i], s.times()[i - 1]);
+  }
+  EXPECT_LT(s.times().back(), 50.0);
+}
+
+TEST(ArrivalScheduleTest, PoissonDeterministicPerSeed) {
+  const ArrivalSchedule a = ArrivalSchedule::poisson(50, 5.0, 11);
+  const ArrivalSchedule b = ArrivalSchedule::poisson(50, 5.0, 11);
+  EXPECT_EQ(a.times(), b.times());
+}
+
+TEST(ArrivalScheduleTest, PhasesChangeDensity) {
+  const ArrivalSchedule s =
+      ArrivalSchedule::phases({Phase{200, 5.0}, Phase{10, 5.0}}, 5);
+  std::size_t first_half = 0;
+  for (const double t : s.times()) {
+    if (t < 5.0) ++first_half;
+  }
+  const std::size_t second_half = s.size() - first_half;
+  EXPECT_GT(first_half, second_half * 5);
+  EXPECT_DOUBLE_EQ(s.duration_s(), 10.0);
+}
+
+TEST(ArrivalScheduleTest, DiurnalOscillates) {
+  // One full period: the high half-period must carry more arrivals.
+  const ArrivalSchedule s = ArrivalSchedule::diurnal(10, 100, 40.0, 40.0, 2);
+  std::size_t rising = 0, falling = 0;
+  for (const double t : s.times()) {
+    if (t < 20.0) ++rising;   // sin positive half: above-mid rates
+    else ++falling;
+  }
+  EXPECT_GT(rising, falling);
+}
+
+TEST(ArrivalScheduleTest, RejectsBadArguments) {
+  EXPECT_THROW(ArrivalSchedule::constant(0, 1), std::invalid_argument);
+  EXPECT_THROW(ArrivalSchedule::poisson(10, 0), std::invalid_argument);
+  EXPECT_THROW(ArrivalSchedule::diurnal(5, 2, 10, 10), std::invalid_argument);
+}
+
+TEST(RequestMixTest, SingleRequestAlwaysDrawn) {
+  http::HttpRequest req;
+  req.path = "/only";
+  const RequestMix mix(req);
+  util::Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(mix.draw(rng).path, "/only");
+}
+
+TEST(RequestMixTest, WeightsBiasDraws) {
+  http::HttpRequest a, b;
+  a.path = "/a";
+  b.path = "/b";
+  const RequestMix mix({a, b}, {9.0, 1.0});
+  util::Rng rng(2);
+  int a_count = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (mix.draw(rng).path == "/a") ++a_count;
+  }
+  EXPECT_NEAR(a_count, 1800, 80);
+}
+
+TEST(RequestMixTest, RejectsInvalidWeights) {
+  http::HttpRequest req;
+  EXPECT_THROW(RequestMix({req}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(RequestMix({req}, {-1.0}), std::invalid_argument);
+  EXPECT_THROW(RequestMix({req, req}, {1.0}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- driver --
+
+struct DriverWorld {
+  netsim::Network net{9};
+  runtime::Node cloud;
+
+  DriverWorld() : cloud(net.clock(), spec()) {
+    cloud.host(std::make_unique<runtime::ServiceRuntime>(R"JS(
+      app.get("/ok", function (req, res) { compute(10); res.send({ok: 1}); });
+    )JS"));
+    net.connect("client", "cloud", netsim::LinkConfig::fast_wan());
+  }
+  static runtime::NodeSpec spec() {
+    runtime::NodeSpec s;
+    s.name = "cloud";
+    s.cores = 8;
+    s.seconds_per_unit = 1e-5;
+    s.request_overhead_s = 1e-4;
+    return s;
+  }
+};
+
+TEST(WorkloadDriverTest, DrivesAndCollects) {
+  DriverWorld w;
+  runtime::TwoTierPath path(w.net, "client", w.cloud);
+  http::HttpRequest req;
+  req.path = "/ok";
+
+  WorkloadDriver driver(w.net.clock());
+  const WorkloadResult result =
+      driver.drive(ArrivalSchedule::poisson(50, 4.0, 5), RequestMix(req),
+                   [&](const http::HttpRequest& r, auto done) { path.request(r, done); });
+  EXPECT_GT(result.issued, 150u);
+  EXPECT_EQ(result.completed, result.issued);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_GT(result.latencies_ms.mean(), 30.0);  // ~ WAN RTT
+  EXPECT_DOUBLE_EQ(result.completion_rate(), 1.0);
+}
+
+TEST(WorkloadDriverTest, FailuresCounted) {
+  DriverWorld w;
+  runtime::TwoTierPath path(w.net, "client", w.cloud);
+  http::HttpRequest req;
+  req.path = "/missing";  // 404s
+  WorkloadDriver driver(w.net.clock());
+  const WorkloadResult result =
+      driver.drive(ArrivalSchedule::constant(10, 1.0), RequestMix(req),
+                   [&](const http::HttpRequest& r, auto done) { path.request(r, done); });
+  EXPECT_EQ(result.failed, result.completed);
+  EXPECT_GT(result.failed, 0u);
+}
+
+TEST(WorkloadDriverTest, PeriodicHookFires) {
+  DriverWorld w;
+  runtime::TwoTierPath path(w.net, "client", w.cloud);
+  http::HttpRequest req;
+  req.path = "/ok";
+  WorkloadDriver driver(w.net.clock());
+  int hooks = 0;
+  driver.set_periodic_hook([&] { ++hooks; }, 1.0);
+  driver.drive(ArrivalSchedule::constant(5, 5.0), RequestMix(req),
+               [&](const http::HttpRequest& r, auto done) { path.request(r, done); });
+  EXPECT_GE(hooks, 4);
+  EXPECT_LE(hooks, 6);
+}
+
+}  // namespace
+}  // namespace edgstr::workload

@@ -74,6 +74,55 @@ void run_fig10a() {
               "cross-ISA baseline is orders of magnitude above EdgStr everywhere.\n");
 }
 
+// Batched wire format vs the per-op JSON encoding, same workload, same
+// sync schedule. `sync.bytes.per_op_equiv` is accounted at send time on
+// identical messages, so the comparison costs no second run; convergence
+// round counts are independent of the encoding (same ops, same schedule).
+void run_wire_format() {
+  std::printf("\n=== Sync wire format: batched runs vs per-op JSON ===\n\n");
+  std::printf("%-15s %12s %14s %14s %10s %7s\n", "app", "rounds", "batched B",
+              "per-op B", "saved", "msgs");
+  print_rule('-', 78);
+
+  for (const apps::SubjectApp* app : apps::all_subject_apps()) {
+    const core::TransformResult& result = transformed(*app);
+    if (!result.ok) continue;
+
+    core::DeploymentConfig config;
+    config.start_sync = false;
+    core::ThreeTierDeployment three(result, config);
+    int rounds = 0;
+    for (const http::HttpRequest& req : app->workload) {
+      three.request_sync(req, 0);
+      const int used = three.sync().sync_until_converged();
+      if (used > 0) rounds += used;
+    }
+    util::MetricsRegistry& m = three.sync().metrics();
+    const double batched = m.value("sync.bytes.wire");
+    const double per_op = m.value("sync.bytes.per_op_equiv");
+    const double saved = per_op > 0 ? 100.0 * (1.0 - batched / per_op) : 0.0;
+    std::printf("%-15s %12d %14.0f %14.0f %9.1f%% %7.0f\n", app->name.c_str(), rounds,
+                batched, per_op, saved, m.value("sync.messages"));
+  }
+  std::printf("\nShape check: run-length headers and delta-encoded stamps cut every\n"
+              "payload-bearing message; the target is >=20%% fewer bytes overall.\n");
+
+  // Per-doc / per-endpoint breakdown for one representative subject.
+  const apps::SubjectApp& app = apps::sensor_hub();
+  const core::TransformResult& result = transformed(app);
+  if (result.ok) {
+    core::DeploymentConfig config;
+    config.start_sync = false;
+    core::ThreeTierDeployment three(result, config);
+    for (const http::HttpRequest& req : app.workload) {
+      three.request_sync(req, 0);
+      three.sync().sync_until_converged();
+    }
+    std::printf("\n--- sensor_hub sync metrics (per doc / per endpoint) ---\n%s",
+                three.sync().metrics().format("sync.").c_str());
+  }
+}
+
 void BM_CollectChanges(benchmark::State& state) {
   const apps::SubjectApp& app = apps::sensor_hub();
   const core::TransformResult& result = transformed(app);
@@ -92,6 +141,7 @@ BENCHMARK(BM_CollectChanges);
 
 int main(int argc, char** argv) {
   run_fig10a();
+  run_wire_format();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -133,6 +133,8 @@ int cmd_compare(const apps::SubjectApp& app, const std::vector<std::string>& arg
   const int rounds = three.sync().sync_until_converged();
   std::printf("\nstate sync: converged in %d round(s), %llu bytes over the WAN\n", rounds,
               static_cast<unsigned long long>(three.sync().total_sync_bytes()));
+  std::printf("\nsync metrics (per endpoint / per doc):\n%s",
+              three.sync().metrics().format("sync.").c_str());
   return 0;
 }
 

@@ -66,5 +66,6 @@ int main() {
   const int rounds = three.sync().sync_until_converged();
   std::cout << "\nCRDT sync converged in " << rounds << " round(s), "
             << three.sync().total_sync_bytes() << " bytes over the WAN\n";
+  std::cout << "\nsync metrics:\n" << three.sync().metrics().format("sync.");
   return 0;
 }

@@ -2,6 +2,19 @@
 
 namespace edgstr::cluster {
 
+void wire_edge_mesh(runtime::ReplicationGraph& graph, netsim::Network& network,
+                    const std::vector<std::string>& edge_hosts,
+                    const netsim::LinkConfig& lan) {
+  for (std::size_t i = 0; i < edge_hosts.size(); ++i) {
+    for (std::size_t j = i + 1; j < edge_hosts.size(); ++j) {
+      if (!network.connected(edge_hosts[i], edge_hosts[j])) {
+        network.connect(edge_hosts[i], edge_hosts[j], lan);
+      }
+      graph.add_link(edge_hosts[i], edge_hosts[j]);
+    }
+  }
+}
+
 runtime::Node* LoadBalancer::pick(
     const std::map<runtime::Node*, std::size_t>* extra_load) const {
   runtime::Node* best = nullptr;

@@ -14,8 +14,17 @@
 
 #include "netsim/network.h"
 #include "runtime/proxy.h"
+#include "runtime/replication_graph.h"
 
 namespace edgstr::cluster {
+
+/// Cluster topology construction: gives the edge cluster a LAN gossip
+/// mesh — every pair of edge hosts gets a network channel (if absent) and
+/// a sync link in the replication graph. With the mesh, an edge cluster
+/// keeps converging among itself even when the cloud uplink is down.
+void wire_edge_mesh(runtime::ReplicationGraph& graph, netsim::Network& network,
+                    const std::vector<std::string>& edge_hosts,
+                    const netsim::LinkConfig& lan);
 
 class LoadBalancer {
  public:

@@ -1,6 +1,7 @@
 #include "crdt/change.h"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 namespace edgstr::crdt {
@@ -10,6 +11,13 @@ json::Value Op::to_json() const {
                               {"seq", static_cast<double>(seq)},
                               {"stamp", stamp.to_json()},
                               {"payload", payload}});
+}
+
+std::uint64_t Op::wire_size() const {
+  if (cached_wire_size_ == 0) cached_wire_size_ = to_json().wire_size();
+  // Micro-assertion: an op must not change after its size was cached.
+  assert(cached_wire_size_ == to_json().wire_size() && "Op mutated after wire_size()");
+  return cached_wire_size_;
 }
 
 Op Op::from_json(const json::Value& v) {

@@ -39,7 +39,9 @@ struct Stamp {
   }
 };
 
-/// One replicated operation.
+/// One replicated operation. Treated as immutable once fully constructed
+/// (the fields are filled in and never touched again), which is what lets
+/// wire_size() cache its result.
 struct Op {
   std::string origin;      ///< replica that generated the op
   std::uint64_t seq = 0;   ///< contiguous per-origin sequence number
@@ -48,7 +50,15 @@ struct Op {
 
   json::Value to_json() const;
   static Op from_json(const json::Value& v);
-  std::uint64_t wire_size() const { return to_json().wire_size(); }
+
+  /// Self-describing per-op JSON size, used by sync byte accounting on
+  /// every shipped op. Serializing the op is much more expensive than the
+  /// accounting it feeds, so the size is computed once and cached; debug
+  /// builds re-verify the cache against a fresh serialization.
+  std::uint64_t wire_size() const;
+
+ private:
+  mutable std::uint64_t cached_wire_size_ = 0;  ///< 0 = not yet computed
 };
 
 /// Version vector: highest contiguous seq applied per origin replica.

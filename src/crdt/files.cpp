@@ -165,6 +165,15 @@ std::set<std::string> CrdtFiles::live_paths() const {
   return out;
 }
 
+std::string CrdtFiles::state_digest() const {
+  json::Object view;
+  for (const std::string& path : live_paths()) {
+    std::string content;
+    if (materialize_path(path, &content)) view.set(path, json::Value(std::move(content)));
+  }
+  return json::Value(std::move(view)).dump();
+}
+
 bool CrdtFiles::converged_with(const CrdtFiles& other) const {
   const std::set<std::string> mine = live_paths();
   if (mine != other.live_paths()) return false;

@@ -22,11 +22,12 @@
 
 #include "crdt/change.h"
 #include "crdt/lww.h"
+#include "crdt/replicated_doc.h"
 #include "vfs/vfs.h"
 
 namespace edgstr::crdt {
 
-class CrdtFiles {
+class CrdtFiles : public ReplicatedDoc {
  public:
   CrdtFiles(std::string replica_id, vfs::Vfs* fs);
 
@@ -55,11 +56,22 @@ class CrdtFiles {
   }
   std::size_t applyChanges(const std::vector<Op>& ops);
 
-  const VersionVector& version() const { return log_.version(); }
+  const VersionVector& version() const override { return log_.version(); }
 
   /// Drops ops all peers have acknowledged (see OpLog::compact).
-  std::size_t compact(const VersionVector& acked) { return log_.compact(acked); }
-  std::size_t op_count() const { return log_.size(); }
+  std::size_t compact(const VersionVector& acked) override { return log_.compact(acked); }
+  bool can_serve(const VersionVector& known) const override { return log_.can_serve(known); }
+  std::size_t op_count() const override { return log_.size(); }
+
+  // ReplicatedDoc life cycle (the generic sync path).
+  std::size_t record_local() override { return record_local_changes(); }
+  std::vector<Op> changes_since(const VersionVector& known) const override {
+    return getChanges(known);
+  }
+  std::size_t apply(const std::vector<Op>& ops) override { return applyChanges(ops); }
+  /// Digest over the *materialized* view (base + merged append tails), the
+  /// same observable the convergence check always used for files.
+  std::string state_digest() const override;
 
   bool converged_with(const CrdtFiles& other) const;
 

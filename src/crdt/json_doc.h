@@ -6,18 +6,31 @@
 // code calls.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "crdt/change.h"
 #include "crdt/lww.h"
+#include "crdt/replicated_doc.h"
 
 namespace edgstr::crdt {
 
-class CrdtJson {
+class CrdtJson : public ReplicatedDoc {
  public:
   explicit CrdtJson(std::string replica_id) : log_(std::move(replica_id)) {}
+
+  /// Hook returning the live local document (e.g. the interpreter's
+  /// replicated globals); record_local() diffs against it via sync_from().
+  void set_local_source(std::function<json::Value()> source) { source_ = std::move(source); }
+
+  /// Hook invoked after apply() with the applied ops, so the owner can
+  /// materialize remote writes back into the live state (e.g. interpreter
+  /// globals). Not called for the manual applyChanges() path.
+  void set_apply_hook(std::function<void(const std::vector<Op>&)> hook) {
+    apply_hook_ = std::move(hook);
+  }
 
   const std::string& replica() const { return log_.replica(); }
 
@@ -47,11 +60,24 @@ class CrdtJson {
   /// Applies remote ops (idempotent); returns how many were new.
   std::size_t applyChanges(const std::vector<Op>& ops);
 
-  const VersionVector& version() const { return log_.version(); }
+  const VersionVector& version() const override { return log_.version(); }
 
   /// Drops ops all peers have acknowledged (see OpLog::compact).
-  std::size_t compact(const VersionVector& acked) { return log_.compact(acked); }
-  std::size_t op_count() const { return log_.size(); }
+  std::size_t compact(const VersionVector& acked) override { return log_.compact(acked); }
+  bool can_serve(const VersionVector& known) const override { return log_.can_serve(known); }
+  std::size_t op_count() const override { return log_.size(); }
+
+  // ReplicatedDoc life cycle (the generic sync path).
+  std::size_t record_local() override { return source_ ? sync_from(source_()) : 0; }
+  std::vector<Op> changes_since(const VersionVector& known) const override {
+    return getChanges(known);
+  }
+  std::size_t apply(const std::vector<Op>& ops) override {
+    const std::size_t applied = applyChanges(ops);
+    if (apply_hook_) apply_hook_(ops);
+    return applied;
+  }
+  std::string state_digest() const override { return state_.digest(); }
 
   /// Live document as a JSON object.
   json::Value materialize() const;
@@ -62,6 +88,8 @@ class CrdtJson {
  private:
   OpLog log_;
   LwwMap state_;
+  std::function<json::Value()> source_;
+  std::function<void(const std::vector<Op>&)> apply_hook_;
 
   void apply_payload(const json::Value& payload, const Stamp& stamp);
 };

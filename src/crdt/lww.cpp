@@ -74,6 +74,14 @@ bool LwwMap::operator==(const LwwMap& other) const {
   return true;
 }
 
+std::string LwwMap::digest() const {
+  json::Object live;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.deleted) live.set(key, entry.value);
+  }
+  return json::Value(std::move(live)).dump();
+}
+
 json::Value LwwMap::to_json() const {
   json::Object obj;
   for (const auto& [key, entry] : entries_) {

@@ -62,6 +62,10 @@ class LwwMap {
 
   bool operator==(const LwwMap& other) const;
 
+  /// Deterministic serialization of the *observable* state (live keys and
+  /// values, no stamps or tombstones) — equal digests iff operator== holds.
+  std::string digest() const;
+
   json::Value to_json() const;
   static LwwMap from_json(const json::Value& v);
 

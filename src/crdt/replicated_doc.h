@@ -1,0 +1,51 @@
+// ReplicatedDoc: the common interface of EdgStr's CRDT document types.
+//
+// CRDT-Table, CRDT-Files, and CRDT-JSON all follow the same automerge-style
+// life cycle — harvest local state changes into ops, ship the ops a peer
+// lacks, apply remote ops idempotently, compact acknowledged ops — and the
+// replication plane only ever needs that life cycle. ReplicaState holds a
+// vector of named ReplicatedDoc units instead of a hardcoded triplet, so
+// adding a fourth document type (a replicated metrics doc, per-service doc
+// sets, ...) is one registration line, not another copy of the sync logic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "crdt/change.h"
+
+namespace edgstr::crdt {
+
+class ReplicatedDoc {
+ public:
+  virtual ~ReplicatedDoc() = default;
+
+  /// Harvests local state changes into CRDT ops (call after executions).
+  /// Returns the number of ops generated.
+  virtual std::size_t record_local() = 0;
+
+  /// Ops the peer with `known` lacks, in log order.
+  virtual std::vector<Op> changes_since(const VersionVector& known) const = 0;
+
+  /// Applies remote ops (idempotent); returns how many were new.
+  virtual std::size_t apply(const std::vector<Op>& ops) = 0;
+
+  /// This document's version vector.
+  virtual const VersionVector& version() const = 0;
+
+  /// Drops ops every peer has acknowledged (see OpLog::compact).
+  virtual std::size_t compact(const VersionVector& acked) = 0;
+
+  /// True if changes_since(known) can fully serve a peer at `known` — false
+  /// once compaction has dropped ops the peer still needs.
+  virtual bool can_serve(const VersionVector& known) const = 0;
+
+  /// Ops currently retained in the log.
+  virtual std::size_t op_count() const = 0;
+
+  /// Deterministic fingerprint of the observable state: two replicas of the
+  /// same doc are converged iff their digests are equal.
+  virtual std::string state_digest() const = 0;
+};
+
+}  // namespace edgstr::crdt

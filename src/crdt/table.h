@@ -13,11 +13,12 @@
 
 #include "crdt/change.h"
 #include "crdt/lww.h"
+#include "crdt/replicated_doc.h"
 #include "sqldb/database.h"
 
 namespace edgstr::crdt {
 
-class CrdtTable {
+class CrdtTable : public ReplicatedDoc {
  public:
   /// `db` is the replica's local database (the materialized view).
   CrdtTable(std::string replica_id, sqldb::Database* db);
@@ -47,11 +48,20 @@ class CrdtTable {
   /// the local database. Returns how many ops were new.
   std::size_t applyChanges(const std::vector<Op>& ops);
 
-  const VersionVector& version() const { return log_.version(); }
+  const VersionVector& version() const override { return log_.version(); }
 
   /// Drops ops all peers have acknowledged (see OpLog::compact).
-  std::size_t compact(const VersionVector& acked) { return log_.compact(acked); }
-  std::size_t op_count() const { return log_.size(); }
+  std::size_t compact(const VersionVector& acked) override { return log_.compact(acked); }
+  bool can_serve(const VersionVector& known) const override { return log_.can_serve(known); }
+  std::size_t op_count() const override { return log_.size(); }
+
+  // ReplicatedDoc life cycle (the generic sync path).
+  std::size_t record_local() override { return record_local_mutations(); }
+  std::vector<Op> changes_since(const VersionVector& known) const override {
+    return getChanges(known);
+  }
+  std::size_t apply(const std::vector<Op>& ops) override { return applyChanges(ops); }
+  std::string state_digest() const override { return rows_.digest(); }
 
   /// Observable-state convergence: live rows by global key.
   bool converged_with(const CrdtTable& other) const { return rows_ == other.rows_; }

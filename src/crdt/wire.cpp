@@ -1,0 +1,144 @@
+#include "crdt/wire.h"
+
+namespace edgstr::crdt {
+
+json::Value doc_versions_to_json(const DocVersions& versions) {
+  json::Object out;
+  for (const auto& [doc, version] : versions) out.set(doc, version_to_json(version));
+  return json::Value(std::move(out));
+}
+
+DocVersions doc_versions_from_json(const json::Value& v) {
+  DocVersions out;
+  for (const auto& [doc, version] : v.as_object()) out[doc] = version_from_json(version);
+  return out;
+}
+
+std::size_t SyncMessage::op_count() const {
+  std::size_t total = 0;
+  for (const auto& [doc, doc_ops] : ops) total += doc_ops.size();
+  return total;
+}
+
+namespace {
+
+/// Encodes one doc's ops as maximal same-origin runs with contiguous seqs.
+json::Value encode_runs(const std::vector<Op>& ops) {
+  json::Array runs;
+  std::size_t i = 0;
+  while (i < ops.size()) {
+    const std::string& origin = ops[i].origin;
+    // Extend the run while origin matches and seqs stay contiguous.
+    std::size_t j = i + 1;
+    while (j < ops.size() && ops[j].origin == origin && ops[j].seq == ops[j - 1].seq + 1) ++j;
+
+    json::Array counters;  // [c0, delta, delta, ...]
+    json::Array payloads;
+    bool stamps_match_origin = true;
+    double prev_counter = 0;
+    for (std::size_t k = i; k < j; ++k) {
+      const double counter = double(ops[k].stamp.counter);
+      const double encoded = (k == i) ? counter : counter - prev_counter;
+      prev_counter = counter;
+      counters.push_back(json::Value(encoded));
+      payloads.push_back(ops[k].payload);
+      stamps_match_origin = stamps_match_origin && ops[k].stamp.replica == origin;
+    }
+    json::Object run;
+    run.set("o", json::Value(origin));
+    run.set("s", json::Value(double(ops[i].seq)));
+    run.set("c", json::Value(std::move(counters)));
+    run.set("p", json::Value(std::move(payloads)));
+    if (!stamps_match_origin) {
+      // Never produced by OpLog::make_local; kept so the codec stays total.
+      json::Array replicas;
+      for (std::size_t k = i; k < j; ++k) replicas.push_back(ops[k].stamp.replica);
+      run.set("r", json::Value(std::move(replicas)));
+    }
+    runs.push_back(json::Value(std::move(run)));
+    i = j;
+  }
+  return json::Value(std::move(runs));
+}
+
+std::vector<Op> decode_runs(const json::Value& runs) {
+  std::vector<Op> ops;
+  for (const json::Value& run : runs.as_array()) {
+    const std::string& origin = run["o"].as_string();
+    const std::uint64_t first_seq = std::uint64_t(run["s"].as_number());
+    const json::Array& counters = run["c"].as_array();
+    const json::Array& payloads = run["p"].as_array();
+    const json::Value* replicas = run.find("r");
+    double counter = 0;
+    for (std::size_t k = 0; k < payloads.size(); ++k) {
+      counter += counters[k].as_number();  // c0 then deltas
+      Op op;
+      op.origin = origin;
+      op.seq = first_seq + k;
+      op.stamp.counter = std::uint64_t(counter);
+      op.stamp.replica = replicas ? (*replicas)[k].as_string() : origin;
+      op.payload = payloads[k];
+      ops.push_back(std::move(op));
+    }
+  }
+  return ops;
+}
+
+}  // namespace
+
+json::Value encode_message(const SyncMessage& message) {
+  json::Object out;
+  out.set("from", json::Value(message.from));
+  // An absent doc decodes as an empty vector, so empty ones are skipped.
+  json::Object versions;
+  for (const auto& [doc, version] : message.versions) {
+    if (!version.empty()) versions.set(doc, version_to_json(version));
+  }
+  out.set("v", json::Value(std::move(versions)));
+  json::Object docs;
+  for (const auto& [doc, doc_ops] : message.ops) {
+    if (!doc_ops.empty()) docs.set(doc, encode_runs(doc_ops));
+  }
+  if (!docs.empty()) out.set("d", json::Value(std::move(docs)));
+  return json::Value(std::move(out));
+}
+
+SyncMessage decode_message(const json::Value& wire) {
+  SyncMessage out;
+  out.from = wire["from"].as_string();
+  out.versions = doc_versions_from_json(wire["v"]);
+  if (const json::Value* docs = wire.find("d")) {
+    for (const auto& [doc, runs] : docs->as_object()) out.ops[doc] = decode_runs(runs);
+  }
+  return out;
+}
+
+json::Value encode_message_per_op(const SyncMessage& message) {
+  json::Object out;
+  out.set("from", json::Value(message.from));
+  json::Object docs;
+  // The seed carried every doc unit in every message, empty or not.
+  for (const auto& [doc, version] : message.versions) {
+    (void)version;
+    json::Array arr;
+    auto it = message.ops.find(doc);
+    if (it != message.ops.end()) {
+      arr.reserve(it->second.size());
+      for (const Op& op : it->second) arr.push_back(op.to_json());
+    }
+    docs.set(doc, json::Value(std::move(arr)));
+  }
+  for (const auto& [doc, doc_ops] : message.ops) {
+    if (!message.versions.count(doc)) {
+      json::Array arr;
+      arr.reserve(doc_ops.size());
+      for (const Op& op : doc_ops) arr.push_back(op.to_json());
+      docs.set(doc, json::Value(std::move(arr)));
+    }
+  }
+  out.set("docs", json::Value(std::move(docs)));
+  out.set("version", doc_versions_to_json(message.versions));
+  return json::Value(std::move(out));
+}
+
+}  // namespace edgstr::crdt

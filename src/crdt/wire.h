@@ -1,0 +1,61 @@
+// Batched wire encoding for sync messages.
+//
+// The seed shipped one self-describing JSON object per Op —
+//   {"origin":"edge0","seq":12,"stamp":{"c":34,"r":"edge0"},"payload":...}
+// — repeating the origin and stamp structure for every op. A sync message
+// instead groups ops into per-(doc, origin) runs that share one header:
+//
+//   {"from": "<sender>",
+//    "v":    {"<doc>": {"<origin>": seq, ...}, ...},      // sender versions
+//    "d":    {"<doc>": [run, run, ...], ...}}             // omitted if empty
+//
+//   run = {"o": "<origin>",          // shared by every op in the run
+//          "s": <first seq>,         // seqs are contiguous: s, s+1, ...
+//          "c": [c0, d1, d2, ...],   // delta-encoded Lamport counters
+//          "p": [payload, ...]}      // one payload per op
+//
+// Within a run the per-origin sequence numbers are contiguous (OpLog
+// enforces gap-free recording and compaction only trims prefixes), so only
+// the first seq is carried; Lamport counters are strictly increasing per
+// origin, so deltas stay small. A local op's stamp replica always equals
+// its origin (OpLog::make_local), so it is not carried at all; the encoder
+// verifies this and falls back to an explicit "r" array if it ever breaks.
+//
+// The seed's per-op encoding is kept as encode_message_per_op() purely for
+// byte accounting: bench_fig10a_sync and Table II's W_AN_e column report
+// the batched format's savings against it on identical messages.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crdt/change.h"
+#include "json/value.h"
+
+namespace edgstr::crdt {
+
+/// Version vector per named doc unit, as carried in sync messages.
+using DocVersions = std::map<std::string, VersionVector>;
+
+json::Value doc_versions_to_json(const DocVersions& versions);
+DocVersions doc_versions_from_json(const json::Value& v);
+
+/// One sync exchange: the sender's versions plus, per doc unit, the ops the
+/// receiver lacks. Doc units with no pending ops are simply absent.
+struct SyncMessage {
+  std::string from;                          ///< sender endpoint id
+  DocVersions versions;                      ///< sender's version per doc unit
+  std::map<std::string, std::vector<Op>> ops;  ///< doc unit -> pending ops
+
+  std::size_t op_count() const;
+};
+
+/// Batched run-length encoding (the wire format actually shipped).
+json::Value encode_message(const SyncMessage& message);
+SyncMessage decode_message(const json::Value& wire);
+
+/// Reference per-op encoding (the seed's format), for byte accounting only.
+json::Value encode_message_per_op(const SyncMessage& message);
+
+}  // namespace edgstr::crdt

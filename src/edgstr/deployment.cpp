@@ -1,8 +1,11 @@
 #include "edgstr/deployment.h"
 
+#include <algorithm>
+
 namespace edgstr::core {
 
 std::string edge_host(std::size_t i) { return "edge" + std::to_string(i); }
+std::string regional_host(std::size_t i) { return "regional" + std::to_string(i); }
 
 TwoTierDeployment::TwoTierDeployment(const std::string& cloud_source,
                                      const DeploymentConfig& config)
@@ -61,13 +64,45 @@ ThreeTierDeployment::ThreeTierDeployment(const TransformResult& transform,
 
     network_.connect(kClientHost, host, config.lan);
     network_.connect(host, kCloudHost, config.wan);
-    sync_->add_edge(host, state);
+    if (config.topology == SyncTopology::kHierarchy) {
+      // Edges join the graph but sync through a regional aggregator,
+      // wired below once the group assignment is known.
+      sync_->graph().add_endpoint(state);
+    } else {
+      sync_->add_edge(host, state);
+    }
 
     proxies_.push_back(std::make_unique<runtime::EdgeProxy>(
         network_, kClientHost, *node, *cloud_, served_routes_, state.get(),
         cloud_state_.get()));
     edge_states_.push_back(std::move(state));
     edges_.push_back(std::move(node));
+  }
+
+  // ---- replication topology beyond the star -------------------------------
+  if (config.topology == SyncTopology::kStarEdgeMesh) {
+    std::vector<std::string> hosts;
+    for (std::size_t i = 0; i < edge_states_.size(); ++i) hosts.push_back(edge_host(i));
+    cluster::wire_edge_mesh(sync_->graph(), network_, hosts, config.lan);
+  } else if (config.topology == SyncTopology::kHierarchy) {
+    const std::size_t fanout = std::max<std::size_t>(1, config.hierarchy_fanout);
+    const std::size_t n_regionals = (edge_states_.size() + fanout - 1) / fanout;
+    for (std::size_t r = 0; r < n_regionals; ++r) {
+      const std::string host = regional_host(r);
+      auto service = std::make_unique<runtime::ServiceRuntime>(transform.replica.source);
+      auto state = std::make_shared<runtime::ReplicaState>(
+          host, service.get(), transform.replicated_files, transform.replicated_globals);
+      state->initialize_from_snapshot(transform.init_snapshot);
+      network_.connect(host, kCloudHost, config.wan);
+      sync_->graph().add_endpoint(state);
+      sync_->graph().add_link(kCloudHost, host);
+      for (std::size_t i = r * fanout; i < std::min((r + 1) * fanout, edge_states_.size()); ++i) {
+        network_.connect(host, edge_host(i), config.lan);
+        sync_->graph().add_link(host, edge_host(i));
+      }
+      regional_states_.push_back(std::move(state));
+      regional_services_.push_back(std::move(service));
+    }
   }
 
   // ---- cluster management -------------------------------------------------

@@ -20,8 +20,16 @@
 #include "cluster/energy.h"
 #include "edgstr/pipeline.h"
 #include "runtime/proxy.h"
+#include "runtime/sync_engine.h"
 
 namespace edgstr::core {
+
+/// Shape of the replication graph the deployment builds.
+enum class SyncTopology {
+  kStar,          ///< cloud <-> every edge (the paper's Figure 5-(b))
+  kStarEdgeMesh,  ///< star plus a full edge<->edge LAN gossip mesh
+  kHierarchy,     ///< cloud <-> regional aggregators <-> edges
+};
 
 struct DeploymentConfig {
   netsim::LinkConfig wan = netsim::LinkConfig::limited_wan();
@@ -31,6 +39,8 @@ struct DeploymentConfig {
   double sync_interval_s = 0.5;   ///< background sync period
   bool start_sync = true;
   std::uint64_t seed = 42;
+  SyncTopology topology = SyncTopology::kStar;
+  std::size_t hierarchy_fanout = 2;  ///< edges per regional (kHierarchy)
 };
 
 /// The original client-cloud deployment (baseline in every benchmark).
@@ -63,8 +73,12 @@ class ThreeTierDeployment {
   runtime::Node& edge(std::size_t i = 0) { return *edges_.at(i); }
 
   runtime::SyncEngine& sync() { return *sync_; }
+  runtime::ReplicationGraph& replication() { return sync_->graph(); }
   runtime::ReplicaState& cloud_state() { return *cloud_state_; }
   runtime::ReplicaState& edge_state(std::size_t i = 0) { return *edge_states_.at(i); }
+  /// Regional aggregator states (kHierarchy topology only).
+  runtime::ReplicaState& regional_state(std::size_t i = 0) { return *regional_states_.at(i); }
+  std::size_t regional_count() const { return regional_states_.size(); }
 
   /// Single-edge proxy path (latency/throughput benches).
   runtime::EdgeProxy& proxy(std::size_t i = 0) { return *proxies_.at(i); }
@@ -90,6 +104,10 @@ class ThreeTierDeployment {
   std::vector<std::unique_ptr<runtime::Node>> edges_;
   std::shared_ptr<runtime::ReplicaState> cloud_state_;
   std::vector<std::shared_ptr<runtime::ReplicaState>> edge_states_;
+  /// Regional aggregators (kHierarchy): sync relays between cloud and
+  /// edges, each backed by its own replica service.
+  std::vector<std::unique_ptr<runtime::ServiceRuntime>> regional_services_;
+  std::vector<std::shared_ptr<runtime::ReplicaState>> regional_states_;
   std::unique_ptr<runtime::SyncEngine> sync_;
   std::vector<std::unique_ptr<runtime::EdgeProxy>> proxies_;
   std::unique_ptr<cluster::LoadBalancer> balancer_;
@@ -103,5 +121,6 @@ class ThreeTierDeployment {
 inline constexpr const char* kClientHost = "client";
 inline constexpr const char* kCloudHost = "cloud";
 std::string edge_host(std::size_t i);
+std::string regional_host(std::size_t i);
 
 }  // namespace edgstr::core

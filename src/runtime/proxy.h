@@ -12,7 +12,7 @@
 
 #include "netsim/network.h"
 #include "runtime/node.h"
-#include "runtime/sync_engine.h"
+#include "runtime/replica_state.h"
 
 namespace edgstr::runtime {
 

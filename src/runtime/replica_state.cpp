@@ -1,0 +1,136 @@
+#include "runtime/replica_state.h"
+
+#include <stdexcept>
+
+namespace edgstr::runtime {
+
+ReplicaState::ReplicaState(std::string replica_id, ServiceRuntime* service,
+                           std::set<std::string> replicated_files,
+                           std::set<std::string> replicated_globals)
+    : id_(std::move(replica_id)),
+      service_(service),
+      tables_(id_, &service->database()),
+      files_(id_, &service->filesystem()),
+      globals_(id_),
+      replicated_files_(std::move(replicated_files)),
+      replicated_globals_(std::move(replicated_globals)) {
+  files_.attach_existing(replicated_files_);
+  // The globals unit reads from / writes back to the interpreter through
+  // hooks, so the generic doc-unit loops need no special case for it.
+  globals_.set_local_source([this] { return filtered_globals(); });
+  globals_.set_apply_hook([this](const std::vector<crdt::Op>& ops) { materialize_globals(ops); });
+  units_ = {{"tables", &tables_}, {"files", &files_}, {"globals", &globals_}};
+}
+
+void ReplicaState::initialize_from_snapshot(const trace::Snapshot& snapshot) {
+  tables_.initialize(snapshot.database);
+  files_.initialize(snapshot.files, replicated_files_);
+  trace::restore_globals(service_->interpreter(), snapshot.globals);
+  // The CRDT baseline carries only the *replicated* globals — otherwise a
+  // later record_local() would read the filtered live state, miss the
+  // unreplicated keys, and emit spurious remove ops for them.
+  globals_.initialize(filtered_globals());
+  service_->database().drain_mutations();
+}
+
+void ReplicaState::attach_existing() {
+  tables_.attach_existing();
+  globals_.initialize(filtered_globals());
+}
+
+json::Value ReplicaState::filtered_globals() {
+  const json::Value all = trace::capture_globals(service_->interpreter());
+  const bool everything = replicated_globals_.count("*") > 0;
+  json::Object out;
+  for (const auto& [name, value] : all.as_object()) {
+    if (everything || replicated_globals_.count(name)) out.set(name, value);
+  }
+  return json::Value(std::move(out));
+}
+
+void ReplicaState::materialize_globals(const std::vector<crdt::Op>& applied) {
+  auto& locals = service_->interpreter().globals()->locals_mutable();
+  for (const crdt::Op& op : applied) {
+    const std::string& key = op.payload["key"].as_string();
+    const std::optional<json::Value> live = globals_.get(key);
+    if (live) {
+      locals[key] = minijs::JsValue::from_json(*live);
+    } else {
+      locals.erase(key);
+    }
+  }
+}
+
+std::size_t ReplicaState::record_local() {
+  std::size_t ops = 0;
+  for (const DocUnit& unit : units_) ops += unit.doc->record_local();
+  return ops;
+}
+
+crdt::ReplicatedDoc* ReplicaState::doc(const std::string& name) const {
+  for (const DocUnit& unit : units_) {
+    if (unit.name == name) return unit.doc;
+  }
+  return nullptr;
+}
+
+crdt::SyncMessage ReplicaState::collect_changes(const crdt::DocVersions& peer_has) const {
+  static const crdt::VersionVector kNothing;
+  crdt::SyncMessage message;
+  message.from = id_;
+  for (const DocUnit& unit : units_) {
+    auto it = peer_has.find(unit.name);
+    const crdt::VersionVector& known = it == peer_has.end() ? kNothing : it->second;
+    if (!unit.doc->can_serve(known)) {
+      throw std::runtime_error("sync: " + id_ + " compacted doc '" + unit.name +
+                               "' past the peer's version; peer must bootstrap from a snapshot");
+    }
+    std::vector<crdt::Op> ops = unit.doc->changes_since(known);
+    if (!ops.empty()) message.ops[unit.name] = std::move(ops);
+    message.versions[unit.name] = unit.doc->version();
+  }
+  return message;
+}
+
+std::size_t ReplicaState::apply_message(const crdt::SyncMessage& message) {
+  std::size_t applied = 0;
+  for (const auto& [name, ops] : message.ops) {
+    crdt::ReplicatedDoc* unit = doc(name);
+    if (!unit) throw std::runtime_error("sync: " + id_ + " has no doc unit '" + name + "'");
+    applied += unit->apply(ops);
+  }
+  return applied;
+}
+
+crdt::DocVersions ReplicaState::versions() const {
+  crdt::DocVersions out;
+  for (const DocUnit& unit : units_) out[unit.name] = unit.doc->version();
+  return out;
+}
+
+std::size_t ReplicaState::compact(const crdt::DocVersions& all_peers_acked) {
+  static const crdt::VersionVector kNothing;
+  std::size_t dropped = 0;
+  for (const DocUnit& unit : units_) {
+    auto it = all_peers_acked.find(unit.name);
+    dropped += unit.doc->compact(it == all_peers_acked.end() ? kNothing : it->second);
+  }
+  return dropped;
+}
+
+std::size_t ReplicaState::total_op_count() const {
+  std::size_t total = 0;
+  for (const DocUnit& unit : units_) total += unit.doc->op_count();
+  return total;
+}
+
+bool ReplicaState::converged_with(const ReplicaState& other) const {
+  if (units_.size() != other.units_.size()) return false;
+  for (const DocUnit& unit : units_) {
+    const crdt::ReplicatedDoc* theirs = other.doc(unit.name);
+    if (!theirs || unit.doc->state_digest() != theirs->state_digest()) return false;
+  }
+  return true;
+}
+
+}  // namespace edgstr::runtime

@@ -1,0 +1,91 @@
+// One endpoint's replicated state: a set of named ReplicatedDoc units
+// bound to a service (§III-F, §III-G).
+//
+// The standard service carries three units — "tables" (CRDT-Table),
+// "files" (CRDT-Files), "globals" (CRDT-JSON) — but every sync operation
+// below is a single loop over the unit vector, so endpoints with more (or
+// different) doc units need no new sync code.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crdt/files.h"
+#include "crdt/json_doc.h"
+#include "crdt/table.h"
+#include "crdt/wire.h"
+#include "runtime/service_runtime.h"
+
+namespace edgstr::runtime {
+
+/// A named document unit registered with a replica.
+struct DocUnit {
+  std::string name;
+  crdt::ReplicatedDoc* doc;
+};
+
+class ReplicaState {
+ public:
+  /// `replicated_globals` filters which globals sync (the analysis'
+  /// synchronization set); empty set = none, {"*"} = all.
+  ReplicaState(std::string replica_id, ServiceRuntime* service,
+               std::set<std::string> replicated_files, std::set<std::string> replicated_globals);
+
+  const std::string& id() const { return id_; }
+
+  /// Edge path: restore the shared snapshot then key baselines.
+  void initialize_from_snapshot(const trace::Snapshot& snapshot);
+  /// Cloud path: key the live state as the baseline.
+  void attach_existing();
+
+  /// Harvests local state changes into CRDT ops (call after executions).
+  std::size_t record_local();
+
+  /// Ops the peer lacks, per doc unit, plus our version vectors. Throws
+  /// std::runtime_error if any unit has compacted past what the peer needs
+  /// (the peer must bootstrap from a state snapshot, not a partial delta).
+  crdt::SyncMessage collect_changes(const crdt::DocVersions& peer_has) const;
+
+  /// Applies a sync message; returns number of new ops. Doc units the
+  /// message does not mention are untouched; unknown units are rejected.
+  std::size_t apply_message(const crdt::SyncMessage& message);
+
+  /// This replica's version vector per doc unit.
+  crdt::DocVersions versions() const;
+
+  /// Compacts every unit's op log against the version every direct peer
+  /// has acknowledged. Returns the number of ops dropped.
+  std::size_t compact(const crdt::DocVersions& all_peers_acked);
+  std::size_t total_op_count() const;
+
+  /// Convergence check against a peer (observable state equality, compared
+  /// per doc unit via state digests).
+  bool converged_with(const ReplicaState& other) const;
+
+  /// Registered units, in registration order.
+  const std::vector<DocUnit>& docs() const { return units_; }
+  /// Unit lookup by name; nullptr when absent.
+  crdt::ReplicatedDoc* doc(const std::string& name) const;
+
+  crdt::CrdtTable& tables() { return tables_; }
+  crdt::CrdtFiles& files() { return files_; }
+  crdt::CrdtJson& globals() { return globals_; }
+  ServiceRuntime& service() { return *service_; }
+
+ private:
+  std::string id_;
+  ServiceRuntime* service_;
+  crdt::CrdtTable tables_;
+  crdt::CrdtFiles files_;
+  crdt::CrdtJson globals_;
+  std::vector<DocUnit> units_;
+  std::set<std::string> replicated_files_;
+  std::set<std::string> replicated_globals_;
+
+  json::Value filtered_globals();
+  void materialize_globals(const std::vector<crdt::Op>& applied);
+};
+
+}  // namespace edgstr::runtime

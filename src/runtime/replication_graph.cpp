@@ -1,0 +1,148 @@
+#include "runtime/replication_graph.h"
+
+#include <stdexcept>
+
+namespace edgstr::runtime {
+
+ReplicaState& ReplicationGraph::add_endpoint(std::shared_ptr<ReplicaState> endpoint) {
+  if (!endpoint) throw std::invalid_argument("ReplicationGraph: null endpoint");
+  if (index_.count(endpoint->id())) {
+    throw std::invalid_argument("ReplicationGraph: duplicate endpoint '" + endpoint->id() + "'");
+  }
+  index_[endpoint->id()] = endpoints_.size();
+  endpoints_.push_back(std::move(endpoint));
+  return *endpoints_.back();
+}
+
+SyncLink& ReplicationGraph::add_link(const std::string& a, const std::string& b) {
+  if (a == b) throw std::invalid_argument("ReplicationGraph: self-link on '" + a + "'");
+  if (!has_endpoint(a) || !has_endpoint(b)) {
+    throw std::invalid_argument("ReplicationGraph: link endpoints must be registered (" + a +
+                                " <-> " + b + ")");
+  }
+  for (const GraphLink& existing : links_) {
+    if ((existing.a == a && existing.b == b) || (existing.a == b && existing.b == a)) {
+      throw std::invalid_argument("ReplicationGraph: duplicate link " + a + " <-> " + b);
+    }
+  }
+  links_.push_back(GraphLink{a, b, std::make_unique<SyncLink>(network_, a, b, &metrics_)});
+  return *links_.back().link;
+}
+
+ReplicaState& ReplicationGraph::endpoint(const std::string& id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) throw std::out_of_range("ReplicationGraph: no endpoint '" + id + "'");
+  return *endpoints_[it->second];
+}
+
+void ReplicationGraph::exchange(ReplicaState& sender, ReplicaState& receiver, SyncLink& link) {
+  const std::string key = receiver.id() + "<-" + sender.id();
+  const crdt::SyncMessage message = sender.collect_changes(peer_known_[key]);
+  link.send(sender.id(), message, [this, key, &receiver](const crdt::SyncMessage& delivered) {
+    receiver.apply_message(delivered);
+    peer_known_[key] = delivered.versions;
+  });
+}
+
+void ReplicationGraph::tick_round() {
+  for (const auto& endpoint : endpoints_) endpoint->record_local();
+  for (const GraphLink& link : links_) {
+    ReplicaState& a = endpoint(link.a);
+    ReplicaState& b = endpoint(link.b);
+    exchange(a, b, *link.link);
+    exchange(b, a, *link.link);
+  }
+  metrics_.add("sync.rounds");
+}
+
+bool ReplicationGraph::converged() const {
+  if (endpoints_.size() < 2) return true;
+  const ReplicaState& reference = *endpoints_.front();
+  for (std::size_t i = 1; i < endpoints_.size(); ++i) {
+    if (!endpoints_[i]->converged_with(reference)) return false;
+  }
+  return true;
+}
+
+std::size_t ReplicationGraph::compact_logs() {
+  // Per endpoint: the pointwise minimum of what every direct neighbor has
+  // acknowledged. peer_known_["E<-N"] is what N advertised in its last
+  // message E applied — i.e. what N is known to hold.
+  static const crdt::DocVersions kEmpty;
+  auto acked_by = [&](const std::string& holder, const std::string& neighbor)
+      -> const crdt::DocVersions& {
+    auto it = peer_known_.find(holder + "<-" + neighbor);
+    return it == peer_known_.end() ? kEmpty : it->second;
+  };
+
+  std::size_t dropped = 0;
+  for (const auto& endpoint : endpoints_) {
+    std::vector<const crdt::DocVersions*> acks;
+    for (const GraphLink& link : links_) {
+      if (link.a == endpoint->id()) acks.push_back(&acked_by(endpoint->id(), link.b));
+      if (link.b == endpoint->id()) acks.push_back(&acked_by(endpoint->id(), link.a));
+    }
+    if (acks.empty()) continue;  // isolated endpoint: nothing is acked
+
+    // Pointwise minimum across neighbors, per doc unit. A doc missing from
+    // any neighbor's ack floors to "nothing acked" for safety.
+    crdt::DocVersions min_acked = *acks.front();
+    for (std::size_t i = 1; i < acks.size(); ++i) {
+      for (auto it = min_acked.begin(); it != min_acked.end();) {
+        auto other = acks[i]->find(it->first);
+        if (other == acks[i]->end()) {
+          it = min_acked.erase(it);
+        } else {
+          it->second = crdt::version_min(it->second, other->second);
+          ++it;
+        }
+      }
+    }
+    dropped += endpoint->compact(min_acked);
+  }
+  metrics_.add("sync.ops_compacted", double(dropped));
+  return dropped;
+}
+
+std::uint64_t ReplicationGraph::total_sync_bytes() const {
+  std::uint64_t total = 0;
+  for (const GraphLink& link : links_) total += link.link->total_bytes();
+  return total;
+}
+
+std::uint64_t ReplicationGraph::sync_messages() const {
+  std::uint64_t total = 0;
+  for (const GraphLink& link : links_) total += link.link->messages();
+  return total;
+}
+
+void ReplicationGraph::reset_traffic_stats() {
+  for (const GraphLink& link : links_) link.link->reset_stats();
+  metrics_.reset("sync.bytes.");
+  metrics_.reset("sync.messages");
+  metrics_.reset("sync.ops_shipped.");
+}
+
+void ReplicationGraph::update_convergence_lag() {
+  if (endpoints_.empty()) return;
+  const ReplicaState& reference = *endpoints_.front();
+  for (const auto& endpoint : endpoints_) {
+    if (endpoint.get() == &reference) continue;
+    double& streak = lag_streak_[endpoint->id()];
+    streak = endpoint->converged_with(reference) ? 0 : streak + 1;
+    metrics_.set("sync.lag_rounds." + endpoint->id(), streak);
+  }
+}
+
+void wire_star(ReplicationGraph& graph, const std::string& root,
+               const std::vector<std::string>& leaves) {
+  for (const std::string& leaf : leaves) graph.add_link(root, leaf);
+}
+
+void wire_mesh(ReplicationGraph& graph, const std::vector<std::string>& ids) {
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) graph.add_link(ids[i], ids[j]);
+  }
+}
+
+}  // namespace edgstr::runtime

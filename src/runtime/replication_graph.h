@@ -1,0 +1,107 @@
+// ReplicationGraph: endpoints + symmetric sync links, any topology.
+//
+// The seed's SyncEngine hardcoded a star (cloud master + N edges) with
+// peer links bolted on as a special case. The graph subsumes all of it:
+// a star is a root with leaf links, Legion-style gossip is an extra
+// edge<->edge link, a full mesh is all-pairs links, and a hierarchical
+// deployment (cloud -> regional aggregators -> edges) is a two-level tree.
+// One sync round is the same everywhere: every endpoint harvests local
+// changes, then every link exchanges deltas in both directions; op-based
+// CRDTs make redundant gossip paths harmless (idempotent, commutative
+// deliveries), and multi-hop topologies relay through each endpoint's own
+// op log exactly like the seed's cloud did.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/replica_state.h"
+#include "runtime/sync_link.h"
+#include "util/metrics.h"
+
+namespace edgstr::runtime {
+
+class ReplicationGraph {
+ public:
+  explicit ReplicationGraph(netsim::Network& network) : network_(network) {}
+
+  /// Registers an endpoint; its id() must be unique and is the host name
+  /// used on the simulated network.
+  ReplicaState& add_endpoint(std::shared_ptr<ReplicaState> endpoint);
+
+  /// Connects two registered endpoints. The hosts must be connected in
+  /// the Network. Duplicate links and self-links are rejected.
+  SyncLink& add_link(const std::string& a, const std::string& b);
+
+  std::size_t endpoint_count() const { return endpoints_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+  bool has_endpoint(const std::string& id) const { return index_.count(id) > 0; }
+  /// Endpoint by id; throws std::out_of_range when absent.
+  ReplicaState& endpoint(const std::string& id) const;
+  /// Endpoints in registration order.
+  const std::vector<std::shared_ptr<ReplicaState>>& endpoints() const { return endpoints_; }
+
+  /// One synchronous round: record local changes at every endpoint, then
+  /// exchange deltas over every link in both directions. Deliveries land
+  /// when the caller drains the network clock.
+  void tick_round();
+
+  /// True when every endpoint's observable state matches every other's
+  /// (compared through the first endpoint's digests).
+  bool converged() const;
+
+  /// Log compaction: every endpoint drops the ops all of its *direct*
+  /// neighbors have acknowledged (from the acked version vectors sync
+  /// messages carry). Safe anywhere in any topology — a behind neighbor
+  /// keeps its own copies, and multi-hop peers are served by the relay
+  /// in between, which compacts only against its own neighbors. Returns
+  /// total ops dropped.
+  std::size_t compact_logs();
+
+  /// Total bytes / messages across all links since the last reset.
+  std::uint64_t total_sync_bytes() const;
+  std::uint64_t sync_messages() const;
+  void reset_traffic_stats();
+
+  /// Sync instrumentation: rounds, per-endpoint/per-doc ops and bytes,
+  /// wire vs per-op-equivalent bytes, convergence lag.
+  util::MetricsRegistry& metrics() { return metrics_; }
+  const util::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Updates per-endpoint convergence-lag gauges: for every endpoint that
+  /// still diverges from the first endpoint, bumps its current lag streak;
+  /// a converged endpoint's streak resets to zero. Called by the scheduler
+  /// once per settled round.
+  void update_convergence_lag();
+
+ private:
+  struct GraphLink {
+    std::string a;
+    std::string b;
+    std::unique_ptr<SyncLink> link;
+  };
+
+  netsim::Network& network_;
+  std::vector<std::shared_ptr<ReplicaState>> endpoints_;
+  std::map<std::string, std::size_t> index_;  ///< id -> endpoints_ index
+  std::vector<GraphLink> links_;
+  /// What each directed peer is known to have: key "receiver<-sender"
+  /// holds the versions `sender` advertised in its last message applied
+  /// by `receiver`.
+  std::map<std::string, crdt::DocVersions> peer_known_;
+  util::MetricsRegistry metrics_;
+  std::map<std::string, double> lag_streak_;  ///< endpoint -> rounds diverged
+
+  void exchange(ReplicaState& sender, ReplicaState& receiver, SyncLink& link);
+};
+
+/// Topology helpers: links every endpoint in `leaves` to `root` (star),
+/// or every pair in `ids` to each other (full mesh). Endpoints must
+/// already be registered and network-connected.
+void wire_star(ReplicationGraph& graph, const std::string& root,
+               const std::vector<std::string>& leaves);
+void wire_mesh(ReplicationGraph& graph, const std::vector<std::string>& ids);
+
+}  // namespace edgstr::runtime

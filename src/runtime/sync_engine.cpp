@@ -1,182 +1,27 @@
 #include "runtime/sync_engine.h"
 
+#include <stdexcept>
+
 namespace edgstr::runtime {
 
-json::Value DocVersions::to_json() const {
-  return json::Value::object({{"tables", crdt::version_to_json(tables)},
-                              {"files", crdt::version_to_json(files)},
-                              {"globals", crdt::version_to_json(globals)}});
-}
-
-DocVersions DocVersions::from_json(const json::Value& v) {
-  DocVersions out;
-  out.tables = crdt::version_from_json(v["tables"]);
-  out.files = crdt::version_from_json(v["files"]);
-  out.globals = crdt::version_from_json(v["globals"]);
-  return out;
-}
-
-ReplicaState::ReplicaState(std::string replica_id, ServiceRuntime* service,
-                           std::set<std::string> replicated_files,
-                           std::set<std::string> replicated_globals)
-    : id_(std::move(replica_id)),
-      service_(service),
-      tables_(id_, &service->database()),
-      files_(id_, &service->filesystem()),
-      globals_(id_),
-      replicated_files_(std::move(replicated_files)),
-      replicated_globals_(std::move(replicated_globals)) {
-  files_.attach_existing(replicated_files_);
-}
-
-void ReplicaState::initialize_from_snapshot(const trace::Snapshot& snapshot) {
-  tables_.initialize(snapshot.database);
-  files_.initialize(snapshot.files, replicated_files_);
-  trace::restore_globals(service_->interpreter(), snapshot.globals);
-  // The CRDT baseline carries only the *replicated* globals — otherwise a
-  // later record_local() would read the filtered live state, miss the
-  // unreplicated keys, and emit spurious remove ops for them.
-  globals_.initialize(filtered_globals());
-  service_->database().drain_mutations();
-}
-
-void ReplicaState::attach_existing() {
-  tables_.attach_existing();
-  globals_.initialize(filtered_globals());
-}
-
-json::Value ReplicaState::filtered_globals() {
-  const json::Value all = trace::capture_globals(service_->interpreter());
-  const bool everything = replicated_globals_.count("*") > 0;
-  json::Object out;
-  for (const auto& [name, value] : all.as_object()) {
-    if (everything || replicated_globals_.count(name)) out.set(name, value);
-  }
-  return json::Value(std::move(out));
-}
-
-std::size_t ReplicaState::record_local() {
-  std::size_t ops = 0;
-  ops += tables_.record_local_mutations();
-  ops += files_.record_local_changes();
-  ops += globals_.sync_from(filtered_globals());
-  return ops;
-}
-
-json::Value ReplicaState::collect_changes(const DocVersions& peer_has) {
-  auto ops_to_json = [](const std::vector<crdt::Op>& ops) {
-    json::Array arr;
-    arr.reserve(ops.size());
-    for (const crdt::Op& op : ops) arr.push_back(op.to_json());
-    return json::Value(std::move(arr));
-  };
-  return json::Value::object({{"from", id_},
-                              {"tables", ops_to_json(tables_.getChanges(peer_has.tables))},
-                              {"files", ops_to_json(files_.getChanges(peer_has.files))},
-                              {"globals", ops_to_json(globals_.getChanges(peer_has.globals))},
-                              {"version", versions().to_json()}});
-}
-
-void ReplicaState::materialize_globals(const std::vector<crdt::Op>& applied) {
-  auto& locals = service_->interpreter().globals()->locals_mutable();
-  for (const crdt::Op& op : applied) {
-    const std::string& key = op.payload["key"].as_string();
-    const std::optional<json::Value> live = globals_.get(key);
-    if (live) {
-      locals[key] = minijs::JsValue::from_json(*live);
-    } else {
-      locals.erase(key);
-    }
-  }
-}
-
-std::size_t ReplicaState::apply_message(const json::Value& message) {
-  auto parse_ops = [](const json::Value& arr) {
-    std::vector<crdt::Op> ops;
-    ops.reserve(arr.as_array().size());
-    for (const json::Value& op : arr.as_array()) ops.push_back(crdt::Op::from_json(op));
-    return ops;
-  };
-  std::size_t applied = 0;
-  applied += tables_.applyChanges(parse_ops(message["tables"]));
-  applied += files_.applyChanges(parse_ops(message["files"]));
-  const std::vector<crdt::Op> global_ops = parse_ops(message["globals"]);
-  applied += globals_.applyChanges(global_ops);
-  materialize_globals(global_ops);
-  return applied;
-}
-
-DocVersions ReplicaState::versions() const {
-  return DocVersions{tables_.version(), files_.version(), globals_.version()};
-}
-
-std::size_t ReplicaState::compact(const DocVersions& all_peers_acked) {
-  std::size_t dropped = 0;
-  dropped += tables_.compact(all_peers_acked.tables);
-  dropped += files_.compact(all_peers_acked.files);
-  dropped += globals_.compact(all_peers_acked.globals);
-  return dropped;
-}
-
-std::size_t ReplicaState::total_op_count() const {
-  return tables_.op_count() + files_.op_count() + globals_.op_count();
-}
-
-bool ReplicaState::converged_with(ReplicaState& other) {
-  return tables_.converged_with(other.tables_) && files_.converged_with(other.files_) &&
-         globals_.converged_with(other.globals_);
-}
-
-// ----------------------------------------------------------- SyncEngine --
-
 SyncEngine::SyncEngine(netsim::Network& network, std::string cloud_host)
-    : network_(network), cloud_host_(std::move(cloud_host)) {}
+    : network_(network), cloud_host_(std::move(cloud_host)), graph_(network) {}
+
+void SyncEngine::set_cloud(std::shared_ptr<ReplicaState> cloud) {
+  graph_.add_endpoint(std::move(cloud));
+}
 
 void SyncEngine::add_edge(const std::string& edge_host, std::shared_ptr<ReplicaState> edge) {
-  channels_.push_back(std::make_unique<SyncChannel>(network_, cloud_host_, edge_host));
-  edges_.push_back(std::move(edge));
+  graph_.add_endpoint(std::move(edge));
+  graph_.add_link(cloud_host_, edge_host);
+  edge_ids_.push_back(edge_host);
 }
 
 void SyncEngine::add_peer_link(std::size_t edge_a, std::size_t edge_b) {
-  if (edge_a >= edges_.size() || edge_b >= edges_.size() || edge_a == edge_b) {
+  if (edge_a >= edge_ids_.size() || edge_b >= edge_ids_.size() || edge_a == edge_b) {
     throw std::invalid_argument("add_peer_link: invalid edge indices");
   }
-  auto channel =
-      std::make_unique<SyncChannel>(network_, edges_[edge_a]->id(), edges_[edge_b]->id());
-  peer_links_.push_back(PeerLink{edge_a, edge_b, std::move(channel)});
-}
-
-void SyncEngine::exchange(ReplicaState& sender, ReplicaState& receiver, SyncChannel& channel,
-                          bool sender_is_edge_side) {
-  const std::string key = receiver.id() + "<-" + sender.id();
-  json::Value msg = sender.collect_changes(peer_known_[key]);
-  auto on_delivered = [this, key, &receiver](const json::Value& delivered) {
-    receiver.apply_message(delivered);
-    peer_known_[key] = DocVersions::from_json(delivered["version"]);
-  };
-  if (sender_is_edge_side) {
-    channel.send_to_cloud(msg, std::move(on_delivered));
-  } else {
-    channel.send_to_edge(msg, std::move(on_delivered));
-  }
-}
-
-void SyncEngine::tick() {
-  if (!cloud_) return;
-  cloud_->record_local();
-  for (const auto& edge : edges_) edge->record_local();
-
-  for (std::size_t i = 0; i < edges_.size(); ++i) {
-    ReplicaState& edge = *edges_[i];
-    SyncChannel& channel = *channels_[i];
-    exchange(edge, *cloud_, channel, /*sender_is_edge_side=*/true);   // edge_state
-    exchange(*cloud_, edge, channel, /*sender_is_edge_side=*/false);  // cloud_state
-  }
-  // Peer-to-peer gossip between linked edges.
-  for (const PeerLink& link : peer_links_) {
-    exchange(*edges_[link.b], *edges_[link.a], *link.channel, /*sender_is_edge_side=*/true);
-    exchange(*edges_[link.a], *edges_[link.b], *link.channel, /*sender_is_edge_side=*/false);
-  }
+  graph_.add_link(edge_ids_[edge_a], edge_ids_[edge_b]);
 }
 
 void SyncEngine::schedule_next(double interval_s) {
@@ -201,79 +46,10 @@ int SyncEngine::sync_until_converged(int max_rounds) {
   for (int round = 1; round <= max_rounds; ++round) {
     tick();
     network_.clock().run();
-    bool all = true;
-    for (const auto& edge : edges_) {
-      if (!edge->converged_with(*cloud_)) all = false;
-    }
-    if (all) return round;
+    graph_.update_convergence_lag();
+    if (graph_.converged()) return round;
   }
   return -1;
-}
-
-std::size_t SyncEngine::compact_logs() {
-  if (!cloud_) return 0;
-  // Direct-peer sets: the cloud peers with every edge; an edge peers with
-  // the cloud plus any gossip links.
-  std::map<std::string, std::vector<const DocVersions*>> peer_acks;
-  auto acked_by = [&](const ReplicaState& receiver,
-                      const ReplicaState& sender) -> const DocVersions& {
-    // peer_known_[receiver<-sender] is refreshed when `receiver` applies a
-    // message from `sender`; conversely it is the version `sender` held
-    // then — i.e. a lower bound on what BOTH now have. For compaction at
-    // `sender`, what matters is what `receiver` is known to have: that is
-    // peer_known_[sender.id() + "<-" + receiver.id()] — the versions
-    // receiver advertised in its last applied message to sender.
-    static const DocVersions kEmpty;
-    auto it = peer_known_.find(sender.id() + "<-" + receiver.id());
-    return it == peer_known_.end() ? kEmpty : it->second;
-  };
-  for (std::size_t i = 0; i < edges_.size(); ++i) {
-    peer_acks[cloud_->id()].push_back(&acked_by(*edges_[i], *cloud_));
-    peer_acks[edges_[i]->id()].push_back(&acked_by(*cloud_, *edges_[i]));
-  }
-  for (const PeerLink& link : peer_links_) {
-    peer_acks[edges_[link.a]->id()].push_back(&acked_by(*edges_[link.b], *edges_[link.a]));
-    peer_acks[edges_[link.b]->id()].push_back(&acked_by(*edges_[link.a], *edges_[link.b]));
-  }
-
-  auto min_acked = [](const std::vector<const DocVersions*>& acks) {
-    DocVersions out;
-    bool first = true;
-    for (const DocVersions* v : acks) {
-      if (first) {
-        out = *v;
-        first = false;
-      } else {
-        out.tables = crdt::version_min(out.tables, v->tables);
-        out.files = crdt::version_min(out.files, v->files);
-        out.globals = crdt::version_min(out.globals, v->globals);
-      }
-    }
-    return out;
-  };
-
-  std::size_t dropped = 0;
-  dropped += cloud_->compact(min_acked(peer_acks[cloud_->id()]));
-  for (std::size_t i = 0; i < edges_.size(); ++i) {
-    dropped += edges_[i]->compact(min_acked(peer_acks[edges_[i]->id()]));
-  }
-  return dropped;
-}
-
-std::uint64_t SyncEngine::total_sync_bytes() const {
-  std::uint64_t total = 0;
-  for (const auto& channel : channels_) total += channel->total_bytes();
-  return total;
-}
-
-std::uint64_t SyncEngine::sync_messages() const {
-  std::uint64_t total = 0;
-  for (const auto& channel : channels_) total += channel->messages();
-  return total;
-}
-
-void SyncEngine::reset_traffic_stats() {
-  for (const auto& channel : channels_) channel->reset_stats();
 }
 
 }  // namespace edgstr::runtime

@@ -1,108 +1,40 @@
-// Background state synchronization between the cloud master and its edge
-// replicas (§III-F, §III-G).
+// Background state synchronization scheduler (§III-F, §III-G).
 //
-// Each endpoint (cloud or edge) wraps its service's three state units in
-// CRDT-Table / CRDT-Files / CRDT-JSON. The engine runs a periodic
-// background round on the simulation clock: every edge ships the ops its
-// peer lacks (edge_state message), the cloud applies and reciprocates
-// (cloud_state message), relaying edge ops to the other edges through its
-// own op log. All replicas converge to the same state — temporal
-// divergence between rounds is exactly the paper's weak-consistency window.
+// All topology lives in the ReplicationGraph; the engine is a thin driver
+// that ticks the graph on the simulation clock. The classic EdgStr layout
+// — cloud master + N edges — is built through set_cloud()/add_edge(), but
+// any graph (mesh, hierarchy, gossip links) runs through the same tick:
+// the rounds between ticks are exactly the paper's weak-consistency
+// window, and every replica converges to the same state once deltas stop
+// flowing.
 #pragma once
 
-#include <map>
 #include <memory>
-#include <set>
 #include <string>
-#include <vector>
 
-#include "crdt/files.h"
-#include "crdt/json_doc.h"
-#include "crdt/table.h"
-#include "runtime/service_runtime.h"
-#include "runtime/sync_channel.h"
+#include "runtime/replication_graph.h"
 
 namespace edgstr::runtime {
 
-/// The versions of all three documents, as carried in sync messages.
-struct DocVersions {
-  crdt::VersionVector tables;
-  crdt::VersionVector files;
-  crdt::VersionVector globals;
-
-  json::Value to_json() const;
-  static DocVersions from_json(const json::Value& v);
-};
-
-/// One endpoint's replicated state: the CRDT triplet bound to a service.
-class ReplicaState {
- public:
-  /// `replicated_globals` filters which globals sync (the analysis'
-  /// synchronization set); empty set = none, {"*"} = all.
-  ReplicaState(std::string replica_id, ServiceRuntime* service,
-               std::set<std::string> replicated_files, std::set<std::string> replicated_globals);
-
-  const std::string& id() const { return id_; }
-
-  /// Edge path: restore the shared snapshot then key baselines.
-  void initialize_from_snapshot(const trace::Snapshot& snapshot);
-  /// Cloud path: key the live state as the baseline.
-  void attach_existing();
-
-  /// Harvests local state changes into CRDT ops (call after executions).
-  std::size_t record_local();
-
-  /// Ops the peer lacks, as one JSON message (with our version vector).
-  json::Value collect_changes(const DocVersions& peer_has);
-
-  /// Applies a sync message; returns number of new ops. Also materializes
-  /// replicated global variables into the interpreter.
-  std::size_t apply_message(const json::Value& message);
-
-  DocVersions versions() const;
-
-  /// Compacts all three op logs against the version every direct peer has
-  /// acknowledged. Returns the number of ops dropped.
-  std::size_t compact(const DocVersions& all_peers_acked);
-  std::size_t total_op_count() const;
-
-  crdt::CrdtTable& tables() { return tables_; }
-  crdt::CrdtFiles& files() { return files_; }
-  crdt::CrdtJson& globals() { return globals_; }
-  ServiceRuntime& service() { return *service_; }
-
-  /// Convergence check against a peer (observable state equality).
-  bool converged_with(ReplicaState& other);
-
- private:
-  std::string id_;
-  ServiceRuntime* service_;
-  crdt::CrdtTable tables_;
-  crdt::CrdtFiles files_;
-  crdt::CrdtJson globals_;
-  std::set<std::string> replicated_files_;
-  std::set<std::string> replicated_globals_;
-
-  json::Value filtered_globals();
-  void materialize_globals(const std::vector<crdt::Op>& applied);
-};
-
-/// Star-topology periodic synchronizer: cloud master + N edges.
 class SyncEngine {
  public:
   SyncEngine(netsim::Network& network, std::string cloud_host);
 
-  /// Registers the cloud endpoint. Must be called before start().
-  void set_cloud(std::shared_ptr<ReplicaState> cloud) { cloud_ = std::move(cloud); }
+  /// The topology being synchronized; wire arbitrary links through this.
+  ReplicationGraph& graph() { return graph_; }
+  const ReplicationGraph& graph() const { return graph_; }
 
-  /// Registers one edge endpoint reachable at `edge_host`.
+  /// Registers the cloud endpoint. Must be called before start().
+  void set_cloud(std::shared_ptr<ReplicaState> cloud);
+
+  /// Registers one edge endpoint reachable at `edge_host` and links it to
+  /// the cloud (the star topology of Figure 5-(b)).
   void add_edge(const std::string& edge_host, std::shared_ptr<ReplicaState> edge);
 
-  /// Enables a direct edge<->edge sync channel between two registered
-  /// edges (Legion-style peer-to-peer). The hosts must be connected in the
-  /// Network. With peer links, edges keep converging among themselves even
-  /// while the cloud is unreachable; op-based CRDTs make the extra gossip
-  /// paths harmless (idempotent, commutative deliveries).
+  /// Adds a direct edge<->edge gossip link between two edges registered
+  /// via add_edge() (Legion-style peer-to-peer). The hosts must be
+  /// connected in the Network. Just another graph link: edges keep
+  /// converging among themselves even while the cloud is unreachable.
   void add_peer_link(std::size_t edge_a, std::size_t edge_b);
 
   /// Begins periodic background sync every `interval_s` simulated seconds,
@@ -110,48 +42,32 @@ class SyncEngine {
   void start(double interval_s);
   void stop() { running_ = false; }
 
-  /// One synchronous round (also usable directly by tests/benches):
-  /// record local changes everywhere, edges -> cloud, cloud -> edges.
-  void tick();
+  /// One synchronous round (also usable directly by tests/benches).
+  void tick() { graph_.tick_round(); }
 
-  /// Runs rounds until every replica converges with the cloud (bounded by
-  /// `max_rounds`); returns rounds used, or -1 if not converged.
+  /// Runs rounds until the whole graph converges (bounded by `max_rounds`);
+  /// returns rounds used, or -1 if not converged.
   int sync_until_converged(int max_rounds = 16);
 
-  /// Log compaction: every endpoint drops the ops all of its direct peers
-  /// have acknowledged (computed from the acked version vectors the sync
-  /// messages carry). Safe to call at any time — a peer that is behind the
-  /// compaction floor simply keeps its own copies until it catches up.
-  /// Returns the total ops dropped across all endpoints.
-  std::size_t compact_logs();
+  /// Log compaction across the graph (see ReplicationGraph::compact_logs).
+  std::size_t compact_logs() { return graph_.compact_logs(); }
 
-  /// Total WAN bytes spent on synchronization so far.
-  std::uint64_t total_sync_bytes() const;
-  std::uint64_t sync_messages() const;
-  void reset_traffic_stats();
+  /// Total WAN bytes / messages spent on synchronization so far.
+  std::uint64_t total_sync_bytes() const { return graph_.total_sync_bytes(); }
+  std::uint64_t sync_messages() const { return graph_.sync_messages(); }
+  void reset_traffic_stats() { graph_.reset_traffic_stats(); }
 
-  const std::vector<std::shared_ptr<ReplicaState>>& edges() const { return edges_; }
-  ReplicaState& cloud() { return *cloud_; }
+  /// Sync metrics (rounds, per-doc bytes/ops, convergence lag).
+  util::MetricsRegistry& metrics() { return graph_.metrics(); }
 
  private:
   netsim::Network& network_;
   std::string cloud_host_;
-  std::shared_ptr<ReplicaState> cloud_;
-  std::vector<std::shared_ptr<ReplicaState>> edges_;
-  std::vector<std::unique_ptr<SyncChannel>> channels_;  ///< aligned with edges_
-  struct PeerLink {
-    std::size_t a;
-    std::size_t b;
-    std::unique_ptr<SyncChannel> channel;  ///< "cloud" side = edge a
-  };
-  std::vector<PeerLink> peer_links_;
-  // What each directed peer is known to have (acked versions).
-  std::map<std::string, DocVersions> peer_known_;
+  ReplicationGraph graph_;
+  std::vector<std::string> edge_ids_;  ///< add_edge order, for peer links
   bool running_ = false;
 
   void schedule_next(double interval_s);
-  void exchange(ReplicaState& sender, ReplicaState& receiver, SyncChannel& channel,
-                bool sender_is_edge_side);
 };
 
 }  // namespace edgstr::runtime

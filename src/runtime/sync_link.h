@@ -1,0 +1,55 @@
+// Symmetric state-synchronization link (the socket.io stand-in).
+//
+// Connects two replication endpoints over the simulated network and
+// carries batch-encoded sync messages in either direction — there is no
+// "cloud side" or "edge side"; a link between a cloud and an edge, between
+// two gossiping edges, or between a regional aggregator and its children
+// is the same object. Sync traffic is accounted separately from request
+// traffic (the W_AN_e column of Table II comes from these counters), and
+// per-doc / per-endpoint details land in the owning graph's metrics
+// registry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "crdt/wire.h"
+#include "netsim/network.h"
+#include "util/metrics.h"
+
+namespace edgstr::runtime {
+
+class SyncLink {
+ public:
+  /// `metrics` (optional) receives per-doc byte/op accounting.
+  SyncLink(netsim::Network& network, std::string endpoint_a, std::string endpoint_b,
+           util::MetricsRegistry* metrics = nullptr);
+
+  /// Sends a sync message from one end of the link to the other; `from`
+  /// must be one of the two endpoints, `on_delivered` fires at arrival
+  /// with the decoded message. Messages dropped by the network simply
+  /// never deliver — the next round retransmits whatever stays unacked.
+  void send(const std::string& from, const crdt::SyncMessage& message,
+            std::function<void(const crdt::SyncMessage&)> on_delivered);
+
+  const std::string& endpoint_a() const { return a_; }
+  const std::string& endpoint_b() const { return b_; }
+  /// The opposite end; throws if `endpoint` is on neither end.
+  const std::string& other_end(const std::string& endpoint) const;
+  bool connects(const std::string& endpoint) const { return endpoint == a_ || endpoint == b_; }
+
+  std::uint64_t total_bytes() const { return bytes_; }
+  std::uint64_t messages() const { return messages_; }
+  void reset_stats() { bytes_ = messages_ = 0; }
+
+ private:
+  netsim::Network& network_;
+  std::string a_;
+  std::string b_;
+  util::MetricsRegistry* metrics_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace edgstr::runtime

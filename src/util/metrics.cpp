@@ -1,0 +1,52 @@
+#include "util/metrics.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace edgstr::util {
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::snapshot(
+    const std::string& prefix) const {
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [name, value] : counters_) {
+    if (prefix.empty() || starts_with(name, prefix)) out.emplace_back(name, value);
+  }
+  return out;
+}
+
+double MetricsRegistry::sum(const std::string& prefix) const {
+  double total = 0;
+  for (const auto& [name, value] : counters_) {
+    if (starts_with(name, prefix)) total += value;
+  }
+  return total;
+}
+
+void MetricsRegistry::reset(const std::string& prefix) {
+  if (prefix.empty()) {
+    counters_.clear();
+    return;
+  }
+  for (auto it = counters_.begin(); it != counters_.end();) {
+    it = starts_with(it->first, prefix) ? counters_.erase(it) : std::next(it);
+  }
+}
+
+std::string MetricsRegistry::format(const std::string& prefix) const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : snapshot(prefix)) {
+    // Counters are integral in practice; print without trailing zeros.
+    if (value == static_cast<double>(static_cast<long long>(value))) {
+      std::snprintf(line, sizeof(line), "%-48s %12lld\n", name.c_str(),
+                    static_cast<long long>(value));
+    } else {
+      std::snprintf(line, sizeof(line), "%-48s %12.2f\n", name.c_str(), value);
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace edgstr::util

@@ -1,0 +1,49 @@
+// Lightweight named-counter registry for runtime instrumentation.
+//
+// The replication plane records per-endpoint / per-doc sync statistics
+// (rounds, ops shipped, bytes by doc unit, convergence lag) into one of
+// these; benches and the CLI print them. Counters are created on first
+// touch — no registration step — and live in a sorted map so printed
+// output is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace edgstr::util {
+
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to the named counter (creating it at zero).
+  void add(const std::string& name, double delta = 1.0) { counters_[name] += delta; }
+
+  /// Overwrites the named counter (gauge semantics).
+  void set(const std::string& name, double value) { counters_[name] = value; }
+
+  /// Current value; zero when the counter was never touched.
+  double value(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0.0 : it->second;
+  }
+
+  /// Counters whose names start with `prefix` (empty = all), sorted.
+  std::vector<std::pair<std::string, double>> snapshot(const std::string& prefix = {}) const;
+
+  /// Sum over every counter whose name starts with `prefix`.
+  double sum(const std::string& prefix) const;
+
+  /// Drops counters whose names start with `prefix` (empty = all).
+  void reset(const std::string& prefix = {});
+
+  /// "name value" lines for every counter under `prefix`, sorted by name.
+  std::string format(const std::string& prefix = {}) const;
+
+  std::size_t size() const { return counters_.size(); }
+
+ private:
+  std::map<std::string, double> counters_;
+};
+
+}  // namespace edgstr::util

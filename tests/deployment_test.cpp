@@ -46,7 +46,9 @@ TEST(ThreeTierDeploymentTest, BuildsRequestedEdgeCount) {
   ThreeTierDeployment three(transform_notes(), config);
   EXPECT_EQ(three.edges().size(), 3u);
   EXPECT_EQ(three.edge(1).name(), edge_host(1));
-  EXPECT_EQ(three.sync().edges().size(), 3u);
+  // Cloud + 3 edges registered in the replication graph, star-linked.
+  EXPECT_EQ(three.replication().endpoint_count(), 4u);
+  EXPECT_EQ(three.replication().link_count(), 3u);
   // Each edge is network-connected to both client and cloud.
   for (std::size_t i = 0; i < 3; ++i) {
     EXPECT_TRUE(three.network().connected(kClientHost, edge_host(i)));

@@ -146,7 +146,7 @@ TEST_F(FailureFixture, DuplicatedSyncDeliveryIsIdempotent) {
   three.edge_state(0).record_local();
 
   // Deliver the same change set to the cloud twice, by hand.
-  const json::Value msg = three.edge_state(0).collect_changes({});
+  const crdt::SyncMessage msg = three.edge_state(0).collect_changes({});
   EXPECT_GT(three.cloud_state().apply_message(msg), 0u);
   EXPECT_EQ(three.cloud_state().apply_message(msg), 0u);
 

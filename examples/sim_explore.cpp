@@ -1,0 +1,101 @@
+// sim_explore — seed-driven simulation explorer for the replication plane.
+//
+//   sim_explore --seed N [--rounds R] [--trace] [--optimistic-acks]
+//       Replays one schedule and prints its one-line report; --trace dumps
+//       the full event trace (what you diff when chasing a failing seed).
+//   sim_explore --sweep N [--start S] [--rounds R] [--optimistic-acks]
+//       Runs N consecutive seeds starting at S (default 1) and prints a
+//       report per failure. Exits nonzero when any seed fails, with the
+//       failing seeds listed last so CI logs surface them.
+//
+// A failing seed is a complete reproduction: `sim_explore --seed N --trace`
+// re-runs the identical topology, faults, crashes, and traffic.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/schedule.h"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: sim_explore --seed N [--rounds R] [--trace] [--optimistic-acks]\n"
+            << "       sim_explore --sweep N [--start S] [--rounds R] [--optimistic-acks]\n";
+  return 2;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  try {
+    size_t pos = 0;
+    const unsigned long long v = std::stoull(text, &pos);
+    if (pos != text.size()) return false;
+    *out = v;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+
+  bool sweep = false;
+  bool trace = false;
+  std::uint64_t seed = 0, count = 0, start = 1;
+  edgstr::sim::ScheduleConfig config;
+  bool have_target = false;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const bool has_value = i + 1 < args.size();
+    if (arg == "--seed" && has_value && parse_u64(args[++i], &seed)) {
+      sweep = false;
+      have_target = true;
+    } else if (arg == "--sweep" && has_value && parse_u64(args[++i], &count)) {
+      sweep = true;
+      have_target = true;
+    } else if (arg == "--start" && has_value && parse_u64(args[++i], &start)) {
+    } else if (arg == "--rounds" && has_value) {
+      std::uint64_t rounds = 0;
+      if (!parse_u64(args[++i], &rounds) || rounds == 0) return usage();
+      config.rounds = static_cast<std::size_t>(rounds);
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--optimistic-acks") {
+      config.optimistic_acks = true;
+    } else {
+      return usage();
+    }
+  }
+  if (!have_target) return usage();
+
+  if (!sweep) {
+    config.seed = seed;
+    const edgstr::sim::ScheduleResult result = edgstr::sim::run_schedule(config);
+    std::cout << result.summary() << "\n";
+    if (trace) std::cout << result.trace.dump() << "\n";
+    return result.passed ? 0 : 1;
+  }
+
+  std::vector<std::uint64_t> failing;
+  for (std::uint64_t s = start; s < start + count; ++s) {
+    config.seed = s;
+    const edgstr::sim::ScheduleResult result = edgstr::sim::run_schedule(config);
+    if (!result.passed) {
+      failing.push_back(s);
+      std::cout << result.summary() << "\n";
+    }
+  }
+  std::cout << "swept " << count << " seeds starting at " << start << ": " << failing.size()
+            << " failed\n";
+  if (!failing.empty()) {
+    std::cout << "failing seeds:";
+    for (const std::uint64_t s : failing) std::cout << " " << s;
+    std::cout << "\nreplay with: sim_explore --trace --seed <seed>\n";
+    return 1;
+  }
+  return 0;
+}

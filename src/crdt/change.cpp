@@ -124,21 +124,32 @@ std::vector<Op> OpLog::changes_since(const VersionVector& known) const {
 json::Value OpLog::to_json() const {
   json::Array ops;
   for (const Op& op : ops_) ops.push_back(op.to_json());
+  // version and floor are carried explicitly: after compaction the retained
+  // ops alone no longer determine either (a restored log must keep refusing
+  // to serve peers behind the compaction horizon).
   return json::Value::object({{"replica", replica_},
                               {"ops", json::Value(std::move(ops))},
+                              {"version", version_to_json(version_)},
+                              {"floor", version_to_json(floor_)},
                               {"lamport", static_cast<double>(lamport_)}});
 }
 
 void OpLog::restore(const json::Value& v) {
-  replica_ = v["replica"].as_string();
+  // replica_ is deliberately NOT restored: a bootstrap payload comes from a
+  // peer, and adopting its identity would make this log mint ops under the
+  // peer's origin. The serialized "replica" field is provenance only.
   lamport_ = static_cast<std::uint64_t>(v["lamport"].as_number());
   ops_.clear();
   version_.clear();
+  floor_.clear();
   for (const json::Value& op : v["ops"].as_array()) {
     const Op parsed = Op::from_json(op);
     version_[parsed.origin] = parsed.seq;
     ops_.push_back(parsed);
   }
+  // Older serializations carried only the ops; derive what we can.
+  if (const json::Value* version = v.find("version")) version_ = version_from_json(*version);
+  if (const json::Value* floor = v.find("floor")) floor_ = version_from_json(*floor);
 }
 
 }  // namespace edgstr::crdt

@@ -111,6 +111,9 @@ class OpLog {
   /// Advances the Lamport clock past an observed stamp.
   void observe(const Stamp& stamp);
 
+  /// Serializes ops + version + floor + lamport (the "replica" field is
+  /// provenance only; restore() keeps this log's own identity so a peer's
+  /// bootstrap payload cannot hijack the local origin).
   json::Value to_json() const;
   void restore(const json::Value& v);
 

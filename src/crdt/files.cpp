@@ -34,6 +34,11 @@ void CrdtFiles::seed_baseline() {
 
 void CrdtFiles::initialize(const json::Value& vfs_snapshot,
                            std::set<std::string> replicated_paths) {
+  // Self-clearing so re-initialization models a crashed replica reborn from
+  // the checkpoint: all volatile CRDT state is lost, only identity survives.
+  log_ = OpLog(log_.replica());
+  files_ = LwwMap();
+  appends_.clear();
   fs_->restore(vfs_snapshot);
   attach_existing(std::move(replicated_paths));
 }
@@ -129,7 +134,8 @@ std::size_t CrdtFiles::record_local_changes() {
 std::size_t CrdtFiles::applyChanges(const std::vector<Op>& ops) {
   std::size_t applied = 0;
   for (const Op& op : ops) {
-    if (op.origin == log_.replica()) continue;
+    // Dedup is purely seen-based: after a crash wipes the log, this replica
+    // recovers its *own* earlier ops from peers through the same path.
     if (log_.seen(op.origin, op.seq)) continue;
     log_.record(op);
     const std::string& type = op.payload["type"].as_string();
@@ -157,6 +163,39 @@ std::size_t CrdtFiles::applyChanges(const std::vector<Op>& ops) {
     ++applied;
   }
   return applied;
+}
+
+json::Value CrdtFiles::bootstrap_state() const {
+  json::Object appends;
+  for (const auto& [path, tail] : appends_) {
+    json::Array entries;
+    for (const AppendEntry& entry : tail) {
+      entries.push_back(
+          json::Value::object({{"stamp", entry.stamp.to_json()}, {"data", entry.data}}));
+    }
+    appends.set(path, json::Value(std::move(entries)));
+  }
+  return json::Value::object({{"files", files_.to_json()},
+                              {"appends", json::Value(std::move(appends))},
+                              {"log", log_.to_json()}});
+}
+
+void CrdtFiles::restore_bootstrap(const json::Value& v) {
+  files_ = LwwMap::from_json(v["files"]);
+  appends_.clear();
+  for (const auto& [path, entries] : v["appends"].as_object()) {
+    std::vector<AppendEntry>& tail = appends_[path];
+    for (const json::Value& entry : entries.as_array()) {
+      tail.push_back(AppendEntry{Stamp::from_json(entry["stamp"]), entry["data"].as_string()});
+    }
+  }
+  // Re-materialize everything, tombstones included (they delete baseline
+  // files the snapshot restore resurrected).
+  log_.restore(v["log"]);
+  std::set<std::string> paths;
+  for (const std::string& path : files_.all_keys()) paths.insert(path);
+  for (const auto& [path, tail] : appends_) paths.insert(path);
+  for (const std::string& path : paths) sync_local_file(path);
 }
 
 std::set<std::string> CrdtFiles::live_paths() const {

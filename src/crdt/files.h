@@ -35,7 +35,8 @@ class CrdtFiles : public ReplicatedDoc {
 
   /// Restores the shared VFS snapshot and records baseline versions. Only
   /// the paths the analysis identified as service state are replicated; an
-  /// empty set means "replicate everything" (used by tests).
+  /// empty set means "replicate everything" (used by tests). Re-entrant:
+  /// calling it again first discards all CRDT state (crash/rebirth).
   void initialize(const json::Value& vfs_snapshot, std::set<std::string> replicated_paths = {});
 
   /// Cloud-master variant: keys the current VFS contents as the baseline
@@ -72,6 +73,8 @@ class CrdtFiles : public ReplicatedDoc {
   /// Digest over the *materialized* view (base + merged append tails), the
   /// same observable the convergence check always used for files.
   std::string state_digest() const override;
+  json::Value bootstrap_state() const override;
+  void restore_bootstrap(const json::Value& v) override;
 
   bool converged_with(const CrdtFiles& other) const;
 

@@ -3,6 +3,10 @@
 namespace edgstr::crdt {
 
 void CrdtJson::initialize(const json::Value& snapshot) {
+  // Self-clearing so re-initialization models a crashed replica reborn from
+  // the checkpoint: all volatile CRDT state is lost, only identity survives.
+  log_ = OpLog(log_.replica());
+  state_ = LwwMap();
   // Baseline entries carry the zero stamp so any replicated op wins.
   for (const auto& [key, value] : snapshot.as_object()) {
     state_.put(key, value, Stamp{0, ""});
@@ -55,13 +59,25 @@ void CrdtJson::apply_payload(const json::Value& payload, const Stamp& stamp) {
 std::size_t CrdtJson::applyChanges(const std::vector<Op>& ops) {
   std::size_t applied = 0;
   for (const Op& op : ops) {
-    if (op.origin == log_.replica()) continue;  // our own ops echoed back
+    // Dedup is purely seen-based: after a crash wipes the log, this replica
+    // recovers its *own* earlier ops from peers through the same path.
     if (log_.seen(op.origin, op.seq)) continue;
     log_.record(op);
     apply_payload(op.payload, op.stamp);
     ++applied;
   }
   return applied;
+}
+
+json::Value CrdtJson::bootstrap_state() const {
+  return json::Value::object({{"state", state_.to_json()}, {"log", log_.to_json()}});
+}
+
+void CrdtJson::restore_bootstrap(const json::Value& v) {
+  state_ = LwwMap::from_json(v["state"]);
+  log_.restore(v["log"]);
+  // Live-state materialization (interpreter globals) is the owner's job:
+  // ReplicaState re-seeds the interpreter from materialize() afterwards.
 }
 
 json::Value CrdtJson::materialize() const {

@@ -36,7 +36,8 @@ class CrdtJson : public ReplicatedDoc {
 
   /// Seeds the document with a shared snapshot (an object of key->value).
   /// All replicas must initialize from the same snapshot; the baseline is
-  /// not itself replicated as ops.
+  /// not itself replicated as ops. Re-entrant: calling it again first
+  /// discards all CRDT state (crash/rebirth).
   void initialize(const json::Value& snapshot);
 
   /// Local write/remove; generates one op.
@@ -78,6 +79,8 @@ class CrdtJson : public ReplicatedDoc {
     return applied;
   }
   std::string state_digest() const override { return state_.digest(); }
+  json::Value bootstrap_state() const override;
+  void restore_bootstrap(const json::Value& v) override;
 
   /// Live document as a JSON object.
   json::Value materialize() const;

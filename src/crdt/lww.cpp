@@ -64,6 +64,12 @@ std::vector<std::string> LwwMap::keys() const {
   return out;
 }
 
+std::vector<std::string> LwwMap::all_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [key, entry] : entries_) out.push_back(key);
+  return out;
+}
+
 bool LwwMap::operator==(const LwwMap& other) const {
   // Convergence equality: same live keys with same values. Tombstone
   // metadata may differ in stamps without affecting observable state.

@@ -58,6 +58,9 @@ class LwwMap {
 
   /// Live (non-tombstoned) keys.
   std::vector<std::string> keys() const;
+  /// Every key ever written, including tombstoned ones — what a restored
+  /// replica must re-materialize (tombstones drive local deletions).
+  std::vector<std::string> all_keys() const;
   std::size_t live_size() const { return keys().size(); }
 
   bool operator==(const LwwMap& other) const;

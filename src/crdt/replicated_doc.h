@@ -46,6 +46,19 @@ class ReplicatedDoc {
   /// Deterministic fingerprint of the observable state: two replicas of the
   /// same doc are converged iff their digests are equal.
   virtual std::string state_digest() const = 0;
+
+  /// Full replicated-state serialization for peer bootstrap: the CRDT state
+  /// plus the retained op log, version vector, and compaction floor —
+  /// everything a replica that compaction can no longer serve with a delta
+  /// needs to adopt this doc's state. NOT the materialized view: restoring
+  /// it preserves global row/path/key identities, so digests match.
+  virtual json::Value bootstrap_state() const = 0;
+
+  /// Adopts a bootstrap payload produced by a peer's bootstrap_state() and
+  /// re-materializes the local view. Only safe on a freshly re-initialized
+  /// replica (it overwrites, it does not merge); the log keeps this
+  /// replica's own identity, never the serializing peer's.
+  virtual void restore_bootstrap(const json::Value& v) = 0;
 };
 
 }  // namespace edgstr::crdt

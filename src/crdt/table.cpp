@@ -28,6 +28,12 @@ CrdtTable::CrdtTable(std::string replica_id, sqldb::Database* db)
 }
 
 void CrdtTable::initialize(const json::Value& db_snapshot) {
+  // Self-clearing so re-initialization models a crashed replica reborn from
+  // the checkpoint: all volatile CRDT state is lost, only identity survives.
+  log_ = OpLog(log_.replica());
+  rows_ = LwwMap();
+  key_to_rid_.clear();
+  rid_to_key_.clear();
   db_->restore(db_snapshot);
   attach_existing();
 }
@@ -133,7 +139,8 @@ void CrdtTable::materialize(const std::string& key) {
 std::size_t CrdtTable::applyChanges(const std::vector<Op>& ops) {
   std::size_t applied = 0;
   for (const Op& op : ops) {
-    if (op.origin == log_.replica()) continue;
+    // Dedup is purely seen-based: after a crash wipes the log, this replica
+    // recovers its *own* earlier ops from peers through the same path.
     if (log_.seen(op.origin, op.seq)) continue;
     log_.record(op);
     const std::string& type = op.payload["type"].as_string();
@@ -150,6 +157,18 @@ std::size_t CrdtTable::applyChanges(const std::vector<Op>& ops) {
   // Database mutation log, so replicated rows are never re-broadcast as
   // local edits.
   return applied;
+}
+
+json::Value CrdtTable::bootstrap_state() const {
+  return json::Value::object({{"rows", rows_.to_json()}, {"log", log_.to_json()}});
+}
+
+void CrdtTable::restore_bootstrap(const json::Value& v) {
+  rows_ = LwwMap::from_json(v["rows"]);
+  log_.restore(v["log"]);
+  // Re-materialize everything, tombstones included (they delete baseline
+  // rows the snapshot restore resurrected).
+  for (const std::string& key : rows_.all_keys()) materialize(key);
 }
 
 }  // namespace edgstr::crdt

@@ -27,7 +27,9 @@ class CrdtTable : public ReplicatedDoc {
 
   /// Restores the shared snapshot into the local database and keys every
   /// baseline row as "init:<rid>". Every replica must initialize from the
-  /// same snapshot (the checkpointed init state of §III-B).
+  /// same snapshot (the checkpointed init state of §III-B). Re-entrant:
+  /// calling it again first discards all CRDT state (the crash/rebirth
+  /// path of the simulation harness).
   void initialize(const json::Value& db_snapshot);
 
   /// Cloud-master variant: keys the *current* database contents as the
@@ -62,6 +64,8 @@ class CrdtTable : public ReplicatedDoc {
   }
   std::size_t apply(const std::vector<Op>& ops) override { return applyChanges(ops); }
   std::string state_digest() const override { return rows_.digest(); }
+  json::Value bootstrap_state() const override;
+  void restore_bootstrap(const json::Value& v) override;
 
   /// Observable-state convergence: live rows by global key.
   bool converged_with(const CrdtTable& other) const { return rows_ == other.rows_; }

@@ -61,17 +61,47 @@ json::Value encode_runs(const std::vector<Op>& ops) {
   return json::Value(std::move(runs));
 }
 
+/// Doubles that survive an exact round-trip through uint64 sequence
+/// arithmetic. 2^53 is the integer-precision limit; anything past it (or
+/// negative, or fractional) is an attack or a corrupted frame, not a seq.
+bool valid_seq(double v) {
+  return v >= 1 && v <= 9007199254740992.0 && v == double(std::uint64_t(v));
+}
+
 std::vector<Op> decode_runs(const json::Value& runs) {
   std::vector<Op> ops;
+  // Where each origin's next run must resume: the encoder emits per-origin
+  // seqs gap-free across a message, so anything else is malformed.
+  std::map<std::string, std::uint64_t> next_seq;
   for (const json::Value& run : runs.as_array()) {
-    const std::string& origin = run["o"].as_string();
-    const std::uint64_t first_seq = std::uint64_t(run["s"].as_number());
-    const json::Array& counters = run["c"].as_array();
-    const json::Array& payloads = run["p"].as_array();
+    const json::Value* o = run.find("o");
+    const json::Value* s = run.find("s");
+    const json::Value* c = run.find("c");
+    const json::Value* p = run.find("p");
+    if (!o || !s || !c || !p) throw WireError("wire: truncated run header");
+    const std::string& origin = o->as_string();
+    if (!valid_seq(s->as_number())) throw WireError("wire: bad first seq in run");
+    const std::uint64_t first_seq = std::uint64_t(s->as_number());
+    const json::Array& counters = c->as_array();
+    const json::Array& payloads = p->as_array();
+    if (counters.size() != payloads.size()) {
+      throw WireError("wire: run length mismatch (" + std::to_string(counters.size()) +
+                      " counters, " + std::to_string(payloads.size()) + " payloads)");
+    }
     const json::Value* replicas = run.find("r");
+    if (replicas && replicas->as_array().size() != payloads.size()) {
+      throw WireError("wire: run length mismatch (stamp replicas)");
+    }
+    const auto expected = next_seq.find(origin);
+    if (expected != next_seq.end() && first_seq != expected->second) {
+      throw WireError("wire: non-gap-free seq runs for origin '" + origin + "'");
+    }
     double counter = 0;
     for (std::size_t k = 0; k < payloads.size(); ++k) {
       counter += counters[k].as_number();  // c0 then deltas
+      if (!(counter >= 0 && counter <= 9007199254740992.0)) {
+        throw WireError("wire: lamport counter out of range");
+      }
       Op op;
       op.origin = origin;
       op.seq = first_seq + k;
@@ -80,6 +110,7 @@ std::vector<Op> decode_runs(const json::Value& runs) {
       op.payload = payloads[k];
       ops.push_back(std::move(op));
     }
+    next_seq[origin] = first_seq + payloads.size();
   }
   return ops;
 }
@@ -104,13 +135,21 @@ json::Value encode_message(const SyncMessage& message) {
 }
 
 SyncMessage decode_message(const json::Value& wire) {
-  SyncMessage out;
-  out.from = wire["from"].as_string();
-  out.versions = doc_versions_from_json(wire["v"]);
-  if (const json::Value* docs = wire.find("d")) {
-    for (const auto& [doc, runs] : docs->as_object()) out.ops[doc] = decode_runs(runs);
+  try {
+    SyncMessage out;
+    out.from = wire["from"].as_string();
+    out.versions = doc_versions_from_json(wire["v"]);
+    if (const json::Value* docs = wire.find("d")) {
+      for (const auto& [doc, runs] : docs->as_object()) out.ops[doc] = decode_runs(runs);
+    }
+    return out;
+  } catch (const WireError&) {
+    throw;
+  } catch (const std::logic_error& e) {
+    // json::Value type/missing-key errors (out_of_range included) become
+    // one uniform, catchable rejection.
+    throw WireError(std::string("wire: malformed sync message: ") + e.what());
   }
-  return out;
 }
 
 json::Value encode_message_per_op(const SyncMessage& message) {

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,15 @@
 #include "json/value.h"
 
 namespace edgstr::crdt {
+
+/// Thrown by decode_message on malformed wire payloads: truncated run
+/// headers, mismatched run lengths, non-integral or out-of-range sequence
+/// numbers, and same-origin runs that are not gap-free. Decoding validates
+/// structure up front so hostile input is rejected with this error instead
+/// of corrupting an op log (or worse) deep inside apply.
+struct WireError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 /// Version vector per named doc unit, as carried in sync messages.
 using DocVersions = std::map<std::string, VersionVector>;

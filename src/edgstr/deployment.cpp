@@ -1,6 +1,8 @@
 #include "edgstr/deployment.h"
 
 #include <algorithm>
+#include <memory>
+#include <stdexcept>
 
 namespace edgstr::core {
 
@@ -18,16 +20,25 @@ TwoTierDeployment::TwoTierDeployment(const std::string& cloud_source,
 
 http::HttpResponse TwoTierDeployment::request_sync(const http::HttpRequest& req,
                                                    double* latency_s) {
-  http::HttpResponse out;
-  bool done = false;
-  path_->request(req, [&](http::HttpResponse resp, double latency) {
-    out = std::move(resp);
-    if (latency_s) *latency_s = latency;
-    done = true;
+  // Same heap-allocated completion as ThreeTierDeployment::request_sync:
+  // a duplicated or delayed response may fire the callback after this
+  // frame is gone.
+  struct Completion {
+    http::HttpResponse response;
+    double latency = 0;
+    bool done = false;
+  };
+  auto completion = std::make_shared<Completion>();
+  path_->request(req, [completion](http::HttpResponse resp, double latency) {
+    if (completion->done) return;
+    completion->response = std::move(resp);
+    completion->latency = latency;
+    completion->done = true;
   });
-  while (!done && network_.clock().step()) {
+  while (!completion->done && network_.clock().step()) {
   }
-  return out;
+  if (completion->done && latency_s) *latency_s = completion->latency;
+  return completion->response;
 }
 
 ThreeTierDeployment::ThreeTierDeployment(const TransformResult& transform,
@@ -44,8 +55,16 @@ ThreeTierDeployment::ThreeTierDeployment(const TransformResult& transform,
       "cloud", cloud_->service(), transform.replicated_files, transform.replicated_globals);
   cloud_state_->attach_existing();
 
+  init_snapshot_ = transform.init_snapshot;
   sync_ = std::make_unique<runtime::SyncEngine>(network_, kCloudHost);
   sync_->set_cloud(cloud_state_);
+  // A rejoined replica goes back into service; regional aggregators have
+  // no serving node, so only matching edge hosts flip.
+  sync_->graph().set_rejoin_listener([this](const std::string& id) {
+    for (const auto& node : edges_) {
+      if (node->name() == id) node->set_power_state(runtime::PowerState::kActive);
+    }
+  });
 
   for (const http::Route& route : transform.replica.served_routes()) {
     served_routes_.insert(route);
@@ -122,21 +141,51 @@ ThreeTierDeployment::ThreeTierDeployment(const TransformResult& transform,
 
 http::HttpResponse ThreeTierDeployment::request_sync(const http::HttpRequest& req,
                                                      std::size_t edge_index, double* latency_s) {
-  http::HttpResponse out;
-  bool done = false;
-  proxies_.at(edge_index)->request(req, [&](http::HttpResponse resp, double latency) {
-    out = std::move(resp);
-    if (latency_s) *latency_s = latency;
-    done = true;
+  // The response callback can outlive this frame: under fault injection a
+  // duplicated (or lost-then-duplicated) response pops out of the network
+  // during a *later* clock pump. Completion state therefore lives on the
+  // heap, shared with the callback, and only the first response is taken.
+  struct Completion {
+    http::HttpResponse response;
+    double latency = 0;
+    bool done = false;
+  };
+  auto completion = std::make_shared<Completion>();
+  proxies_.at(edge_index)->request(req, [completion](http::HttpResponse resp, double latency) {
+    if (completion->done) return;  // duplicate delivery: first response wins
+    completion->response = std::move(resp);
+    completion->latency = latency;
+    completion->done = true;
   });
-  while (!done && network_.clock().step()) {
+  while (!completion->done && network_.clock().step()) {
   }
-  return out;
+  if (completion->done && latency_s) *latency_s = completion->latency;
+  return completion->response;
+}
+
+void ThreeTierDeployment::crash_edge(std::size_t i) {
+  edges_.at(i)->set_power_state(runtime::PowerState::kCrashed);
+  sync_->graph().crash(edge_host(i));
+  edge_states_.at(i)->crash_reset(init_snapshot_);
+}
+
+void ThreeTierDeployment::restart_edge(std::size_t i) {
+  if (i >= edges_.size()) throw std::out_of_range("restart_edge: no edge " + std::to_string(i));
+  sync_->graph().restart(edge_host(i));
+}
+
+bool ThreeTierDeployment::edge_serving(std::size_t i) {
+  const std::string host = edge_host(i);
+  return sync_->graph().endpoint_up(host) && !sync_->graph().recovering(host) &&
+         edges_.at(i)->power_state() == runtime::PowerState::kActive;
 }
 
 bool ThreeTierDeployment::converged() {
-  for (const auto& edge : edge_states_) {
-    if (!edge->converged_with(*cloud_state_)) return false;
+  const runtime::ReplicationGraph& graph = sync_->graph();
+  for (std::size_t i = 0; i < edge_states_.size(); ++i) {
+    const std::string host = edge_host(i);
+    if (!graph.endpoint_up(host) || graph.recovering(host)) continue;
+    if (!edge_states_[i]->converged_with(*cloud_state_)) return false;
   }
   return true;
 }

@@ -93,7 +93,19 @@ class ThreeTierDeployment {
   http::HttpResponse request_sync(const http::HttpRequest& req, std::size_t edge_index = 0,
                                   double* latency_s = nullptr);
 
-  /// True when every edge replica's CRDT state matches the cloud's.
+  /// Fail-stop crash of edge i: the node stops serving (its proxy falls
+  /// back to the cloud), its volatile CRDT state is wiped back to the
+  /// shared checkpoint, and all sync connection state is forgotten.
+  void crash_edge(std::size_t i);
+  /// Restarts a crashed edge as *recovering*. The node resumes serving
+  /// only once the replication graph completes a rejoin (delta from a
+  /// peer, or a full bootstrap when peers compacted past the checkpoint).
+  void restart_edge(std::size_t i);
+  /// True when edge i is serving (up and fully rejoined).
+  bool edge_serving(std::size_t i);
+
+  /// True when every *serving* edge replica's CRDT state matches the
+  /// cloud's (crashed / still-rejoining edges are expected to be behind).
   bool converged();
 
   const std::set<http::Route>& served_routes() const { return served_routes_; }
@@ -115,6 +127,7 @@ class ThreeTierDeployment {
   std::unique_ptr<cluster::AutoScaler> autoscaler_;
   std::unique_ptr<cluster::EnergyMeter> energy_meter_;
   std::set<http::Route> served_routes_;
+  trace::Snapshot init_snapshot_;  ///< what a crashed edge is reborn from
 };
 
 /// Canonical host names used in the simulated topology.

@@ -61,6 +61,12 @@ double Link::nominal_transfer_time(std::uint64_t bytes) const {
   return config_.per_message_setup_s + serialization + config_.latency_s;
 }
 
+void Link::record_blocked(std::uint64_t bytes) {
+  ++stats_.messages_sent;
+  ++stats_.messages_blocked;
+  stats_.bytes_sent += bytes;
+}
+
 SimTime Link::send(std::uint64_t bytes, std::function<void()> on_delivered) {
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes;
@@ -80,8 +86,24 @@ SimTime Link::send(std::uint64_t bytes, std::function<void()> on_delivered) {
   busy_until_ = start + serialization;
   stats_.busy_time_s += serialization;
 
+  // Fault plane: transient extra delay (spikes and reorder holds) moves the
+  // delivery but not the serialization horizon, so later messages overtake.
+  double extra_delay = 0;
+  if (faults_.delay_spike_probability > 0 && rng_.chance(faults_.delay_spike_probability)) {
+    extra_delay += rng_.uniform(0.0, faults_.delay_spike_s);
+    ++stats_.messages_delayed;
+  }
+  if (faults_.reorder_probability > 0 && rng_.chance(faults_.reorder_probability)) {
+    extra_delay += rng_.uniform(0.0, faults_.reorder_hold_s);
+    ++stats_.messages_delayed;
+  }
+
   const SimTime delivery =
-      busy_until_ + config_.latency_s + jitter + config_.per_message_setup_s;
+      busy_until_ + config_.latency_s + jitter + config_.per_message_setup_s + extra_delay;
+  if (faults_.duplicate_probability > 0 && rng_.chance(faults_.duplicate_probability)) {
+    ++stats_.messages_duplicated;
+    clock_.schedule_at(delivery + rng_.uniform(0.0, faults_.duplicate_lag_s), on_delivered);
+  }
   clock_.schedule_at(delivery, std::move(on_delivered));
   return delivery;
 }

@@ -8,6 +8,11 @@
 // Presets mirror the paper's testbed: an "edge network" LAN (strong-signal
 // Wi-Fi) and a configurable WAN emulated with comcast-style bandwidth and
 // delay offsets (100–1000 Kbps, 100–1000 ms for the "limited cloud network").
+//
+// On top of the static LinkConfig, a Link carries a FaultConfig — the
+// simulation harness' per-message fault plane: duplication, bounded
+// reordering, and transient delay spikes. Named partitions live one level
+// up, in Network, because they cut sets of hosts, not single links.
 #pragma once
 
 #include <cstdint>
@@ -45,10 +50,35 @@ struct LinkConfig {
   static LinkConfig wan(double latency_s, double bandwidth_bytes_per_s);
 };
 
+/// Stochastic per-message fault model, layered on top of the LinkConfig's
+/// loss and jitter. All probabilities are independent per message.
+struct FaultConfig {
+  /// Chance the message is delivered a second time (a retransmission whose
+  /// original was not actually lost). The duplicate lags the original by a
+  /// uniform draw from [0, duplicate_lag_s].
+  double duplicate_probability = 0.0;
+  double duplicate_lag_s = 0.05;
+  /// Chance the message is held back long enough that later messages can
+  /// overtake it. The hold is a uniform draw from [0, reorder_hold_s].
+  double reorder_probability = 0.0;
+  double reorder_hold_s = 0.05;
+  /// Chance of a transient latency spike (bufferbloat, retries at a lower
+  /// layer): a uniform draw from [0, delay_spike_s] of extra delay.
+  double delay_spike_probability = 0.0;
+  double delay_spike_s = 1.0;
+
+  bool any() const {
+    return duplicate_probability > 0 || reorder_probability > 0 || delay_spike_probability > 0;
+  }
+};
+
 /// Cumulative traffic counters for one link direction.
 struct LinkStats {
   std::uint64_t messages_sent = 0;
-  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_dropped = 0;    ///< stochastic loss
+  std::uint64_t messages_blocked = 0;    ///< cut by a named partition
+  std::uint64_t messages_duplicated = 0; ///< extra deliveries injected
+  std::uint64_t messages_delayed = 0;    ///< reorder holds + delay spikes
   std::uint64_t bytes_sent = 0;
   double busy_time_s = 0;  ///< total serialization time
 };
@@ -67,6 +97,10 @@ class Link {
   /// on an idle link (no queueing, no jitter).
   double nominal_transfer_time(std::uint64_t bytes) const;
 
+  /// Counts a message the fault plane refused to carry (named partition).
+  /// The caller decided the block; the link only accounts for it.
+  void record_blocked(std::uint64_t bytes);
+
   const LinkConfig& config() const { return config_; }
   const LinkStats& stats() const { return stats_; }
   void reset_stats() { stats_ = LinkStats{}; }
@@ -75,9 +109,15 @@ class Link {
   /// sweep benchmarks between runs).
   void set_config(LinkConfig config) { config_ = std::move(config); }
 
+  /// Installs (or clears, with a default-constructed config) the
+  /// per-message fault model.
+  void set_faults(const FaultConfig& faults) { faults_ = faults; }
+  const FaultConfig& faults() const { return faults_; }
+
  private:
   SimClock& clock_;
   LinkConfig config_;
+  FaultConfig faults_;
   util::Rng rng_;
   LinkStats stats_;
   SimTime busy_until_ = 0;  ///< FIFO serialization horizon

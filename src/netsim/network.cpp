@@ -37,7 +37,49 @@ Link& Network::directed_link(const std::string& from, const std::string& to) {
 
 SimTime Network::send(const std::string& from, const std::string& to, std::uint64_t bytes,
                       std::function<void()> on_delivered) {
-  return directed_link(from, to).send(bytes, std::move(on_delivered));
+  Link& link = directed_link(from, to);
+  if (partitioned(from, to)) {
+    link.record_blocked(bytes);
+    return -1;
+  }
+  return link.send(bytes, std::move(on_delivered));
+}
+
+void Network::partition(const std::string& name, std::set<std::string> side_a,
+                        std::set<std::string> side_b) {
+  partitions_[name] = Partition{std::move(side_a), std::move(side_b)};
+}
+
+void Network::heal(const std::string& name) { partitions_.erase(name); }
+
+bool Network::partitioned(const std::string& a, const std::string& b) const {
+  for (const auto& [name, cut] : partitions_) {
+    const bool a_in_a = cut.side_a.count(a) > 0;
+    const bool b_in_a = cut.side_a.count(b) > 0;
+    if (cut.side_b.empty()) {
+      // One-sided: separated when exactly one endpoint is inside the set.
+      if (a_in_a != b_in_a) return true;
+    } else {
+      const bool a_in_b = cut.side_b.count(a) > 0;
+      const bool b_in_b = cut.side_b.count(b) > 0;
+      if ((a_in_a && b_in_b) || (a_in_b && b_in_a)) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> Network::active_partitions() const {
+  std::vector<std::string> names;
+  for (const auto& [name, cut] : partitions_) names.push_back(name);
+  return names;
+}
+
+void Network::set_faults(const std::string& a, const std::string& b, const FaultConfig& faults) {
+  channel(a, b).set_faults(faults);
+}
+
+void Network::set_faults_all(const FaultConfig& faults) {
+  for (auto& [k, ch] : channels_) ch->set_faults(faults);
 }
 
 double Network::nominal_transfer_time(const std::string& from, const std::string& to,

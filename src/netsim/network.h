@@ -10,9 +10,11 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "netsim/link.h"
 
@@ -38,6 +40,10 @@ class Channel {
   void set_config(const LinkConfig& config) {
     forward_.set_config(config);
     backward_.set_config(config);
+  }
+  void set_faults(const FaultConfig& faults) {
+    forward_.set_faults(faults);
+    backward_.set_faults(faults);
   }
 
  private:
@@ -72,15 +78,52 @@ class Network {
   /// Clears traffic counters on every channel.
   void reset_stats();
 
+  // ---- fault plane ---------------------------------------------------------
+
+  /// Installs (or replaces) a named partition. With an empty `side_b`,
+  /// hosts in `side_a` cannot exchange messages with ANY host outside the
+  /// set. With both sides given, only side_a <-> side_b pairs are blocked
+  /// — hosts on neither side (e.g. the client) keep full connectivity,
+  /// which is how a sync-plane split leaves request traffic flowing.
+  /// Blocked messages count as `messages_blocked` on the link they would
+  /// have used. Multiple partitions compose: a message is blocked when ANY
+  /// active partition separates its endpoints; the cut lasts until
+  /// heal(name).
+  void partition(const std::string& name, std::set<std::string> side_a,
+                 std::set<std::string> side_b = {});
+
+  /// Removes a named partition; healing an unknown name is a no-op.
+  void heal(const std::string& name);
+  void heal_all() { partitions_.clear(); }
+
+  /// True when any active partition separates the two hosts.
+  bool partitioned(const std::string& a, const std::string& b) const;
+
+  /// Names of the active partitions, sorted.
+  std::vector<std::string> active_partitions() const;
+
+  /// Applies a per-message fault model to the channel between two hosts
+  /// (both directions); the channel must exist.
+  void set_faults(const std::string& a, const std::string& b, const FaultConfig& faults);
+
+  /// Applies the fault model to every channel that currently exists.
+  void set_faults_all(const FaultConfig& faults);
+
  private:
   using Key = std::pair<std::string, std::string>;
   static Key key(const std::string& a, const std::string& b) {
     return a < b ? Key{a, b} : Key{b, a};
   }
 
+  struct Partition {
+    std::set<std::string> side_a;
+    std::set<std::string> side_b;  ///< empty = "everyone not in side_a"
+  };
+
   SimClock clock_;
   util::Rng rng_;
   std::map<Key, std::unique_ptr<Channel>> channels_;
+  std::map<std::string, Partition> partitions_;  ///< name -> cut
 
   /// Link for the from->to direction; throws if not connected.
   Link& directed_link(const std::string& from, const std::string& to);

@@ -16,6 +16,9 @@ netsim::SimTime Node::busy_until() const {
 
 void Node::execute(const http::HttpRequest& request, std::function<void(ExecutionResult)> done) {
   if (!runtime_) throw std::logic_error("Node '" + spec_.name + "' hosts no service");
+  if (power_state_ == PowerState::kCrashed) {
+    throw std::logic_error("Node '" + spec_.name + "' is crashed");
+  }
   if (power_state_ != PowerState::kActive) {
     throw std::logic_error("Node '" + spec_.name + "' is parked in low-power mode");
   }
@@ -43,12 +46,16 @@ void Node::execute(const http::HttpRequest& request, std::function<void(Executio
 void Node::settle_state_time() {
   const double elapsed = clock_.now() - state_since_;
   if (power_state_ == PowerState::kActive) accum_active_s_ += elapsed;
-  else accum_lowpower_s_ += elapsed;
+  else if (power_state_ == PowerState::kLowPower) accum_lowpower_s_ += elapsed;
+  else accum_crashed_s_ += elapsed;
   state_since_ = clock_.now();
 }
 
 void Node::set_power_state(PowerState state) {
   if (state == power_state_) return;
+  // A crash is allowed any time — that is its nature; in-flight executions
+  // simply complete into the void (their responses are lost). Parking, by
+  // contrast, is an orderly transition and refuses with work outstanding.
   if (state == PowerState::kLowPower && active_connections_ > 0) {
     throw std::logic_error("Node '" + spec_.name + "': cannot park with active connections");
   }
@@ -65,6 +72,12 @@ double Node::time_active() const {
 double Node::time_low_power() const {
   double total = accum_lowpower_s_;
   if (power_state_ == PowerState::kLowPower) total += clock_.now() - state_since_;
+  return total;
+}
+
+double Node::time_crashed() const {
+  double total = accum_crashed_s_;
+  if (power_state_ == PowerState::kCrashed) total += clock_.now() - state_since_;
   return total;
 }
 

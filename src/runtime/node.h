@@ -29,7 +29,10 @@ struct NodeSpec {
   double lowpower_power_w = 0.3;  ///< parked (paper's low-power mode)
 };
 
-enum class PowerState { kActive, kLowPower };
+/// kCrashed models fail-stop: the node serves nothing and consumes no
+/// power until the deployment restarts it (volatile replica state is the
+/// ReplicaState/ReplicationGraph layer's concern, not the Node's).
+enum class PowerState { kActive, kLowPower, kCrashed };
 
 class Node {
  public:
@@ -57,6 +60,7 @@ class Node {
   /// Seconds spent in each state since construction (integrated lazily).
   double time_active() const;
   double time_low_power() const;
+  double time_crashed() const;
   /// Total execution (busy) seconds.
   double busy_seconds() const { return busy_seconds_; }
   /// Consumed energy in joules under the spec's power model.
@@ -77,6 +81,7 @@ class Node {
   netsim::SimTime state_since_ = 0;
   double accum_active_s_ = 0;
   double accum_lowpower_s_ = 0;
+  double accum_crashed_s_ = 0;
 
   void settle_state_time();
 };

@@ -102,6 +102,42 @@ std::size_t ReplicaState::apply_message(const crdt::SyncMessage& message) {
   return applied;
 }
 
+bool ReplicaState::can_serve(const crdt::DocVersions& peer_has) const {
+  static const crdt::VersionVector kNothing;
+  for (const DocUnit& unit : units_) {
+    auto it = peer_has.find(unit.name);
+    if (!unit.doc->can_serve(it == peer_has.end() ? kNothing : it->second)) return false;
+  }
+  return true;
+}
+
+json::Value ReplicaState::bootstrap_state() const {
+  json::Object out;
+  for (const DocUnit& unit : units_) out.set(unit.name, unit.doc->bootstrap_state());
+  return json::Value(std::move(out));
+}
+
+void ReplicaState::restore_bootstrap(const json::Value& v) {
+  for (const DocUnit& unit : units_) {
+    if (const json::Value* state = v.find(unit.name)) unit.doc->restore_bootstrap(*state);
+  }
+  // Re-seed the interpreter's replicated globals from the restored doc:
+  // tombstoned keys disappear, live keys take the replicated value.
+  auto& locals = service_->interpreter().globals()->locals_mutable();
+  // Bind the filtered snapshot to a named value: as_object() returns a
+  // reference into it, which a bare temporary would not keep alive for
+  // the loop below.
+  const json::Value filtered = filtered_globals();
+  std::vector<std::string> replicated;
+  for (const auto& entry : filtered.as_object()) replicated.push_back(entry.first);
+  for (const std::string& name : replicated) {
+    if (!globals_.get(name)) locals.erase(name);
+  }
+  for (const std::string& key : globals_.keys()) {
+    locals[key] = minijs::JsValue::from_json(*globals_.get(key));
+  }
+}
+
 crdt::DocVersions ReplicaState::versions() const {
   crdt::DocVersions out;
   for (const DocUnit& unit : units_) out[unit.name] = unit.doc->version();

@@ -40,6 +40,11 @@ class ReplicaState {
   /// Cloud path: key the live state as the baseline.
   void attach_existing();
 
+  /// Crash: every volatile CRDT structure (op logs, LWW state, version
+  /// vectors) is lost; the replica is reborn from the shared checkpoint as
+  /// if freshly deployed. Identity (replica id) survives.
+  void crash_reset(const trace::Snapshot& snapshot) { initialize_from_snapshot(snapshot); }
+
   /// Harvests local state changes into CRDT ops (call after executions).
   std::size_t record_local();
 
@@ -54,6 +59,18 @@ class ReplicaState {
 
   /// This replica's version vector per doc unit.
   crdt::DocVersions versions() const;
+
+  /// True when every unit can serve a delta to a peer at `peer_has`
+  /// (i.e. collect_changes(peer_has) would not throw).
+  bool can_serve(const crdt::DocVersions& peer_has) const;
+
+  /// Full CRDT state of every unit — what a rejoining replica that is
+  /// behind our compaction horizon receives instead of a delta.
+  json::Value bootstrap_state() const;
+  /// Installs a peer's bootstrap_state(). Only safe on a freshly
+  /// re-initialized replica (crash_reset first); state is overwritten, not
+  /// merged, and the interpreter's replicated globals are re-seeded.
+  void restore_bootstrap(const json::Value& v);
 
   /// Compacts every unit's op log against the version every direct peer
   /// has acknowledged. Returns the number of ops dropped.

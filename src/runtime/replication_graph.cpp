@@ -35,18 +35,83 @@ ReplicaState& ReplicationGraph::endpoint(const std::string& id) const {
   return *endpoints_[it->second];
 }
 
+namespace {
+
+/// Pointwise minimum across doc units; a doc missing on either side is
+/// omitted (reads as "nothing known", which is always safe).
+crdt::DocVersions doc_versions_min(const crdt::DocVersions& a, const crdt::DocVersions& b) {
+  crdt::DocVersions out;
+  for (const auto& [doc, versions] : a) {
+    auto it = b.find(doc);
+    if (it != b.end()) out[doc] = crdt::version_min(versions, it->second);
+  }
+  return out;
+}
+
+/// Total acknowledged ops across docs and origins — the "how advanced is
+/// this replica" score used to pick the best rejoin source.
+double version_weight(const crdt::DocVersions& versions) {
+  double total = 0;
+  for (const auto& [doc, vector] : versions) {
+    for (const auto& [origin, seq] : vector) total += double(seq);
+  }
+  return total;
+}
+
+}  // namespace
+
 void ReplicationGraph::exchange(ReplicaState& sender, ReplicaState& receiver, SyncLink& link) {
   const std::string key = receiver.id() + "<-" + sender.id();
-  const crdt::SyncMessage message = sender.collect_changes(peer_known_[key]);
-  link.send(sender.id(), message, [this, key, &receiver](const crdt::SyncMessage& delivered) {
-    receiver.apply_message(delivered);
-    peer_known_[key] = delivered.versions;
-  });
+  const crdt::DocVersions& known = peer_known_[key];
+  const crdt::DocVersions* floor = &known;
+  crdt::DocVersions probed;
+  if (!sender.can_serve(known)) {
+    // peer_known_ is only a lower bound on what the receiver holds: acks
+    // ride on delivered messages, which faults can drop, while compaction
+    // advances on what peers *advertise* holding. Before forcing a
+    // rebuild, probe the receiver's actual vector (version vectors cost a
+    // few bytes; real protocols exchange them every round): if the
+    // receiver is genuinely above the compaction horizon, serve the delta
+    // from there. The ack floor itself is NOT advanced — that still takes
+    // a delivered message, so a lost delta keeps being re-sent.
+    probed = receiver.versions();
+    if (!sender.can_serve(probed)) {
+      // Genuinely behind the horizon (e.g. reborn after a crash): route it
+      // through the rejoin path, which can fall back to a full bootstrap.
+      metrics_.add("sync.forced_rebuilds");
+      recovering_.insert(receiver.id());
+      return;
+    }
+    floor = &probed;
+  }
+  const crdt::SyncMessage message = sender.collect_changes(*floor);
+  if (optimistic_acks_) peer_known_[key] = message.versions;
+  const std::uint64_t sent_inc = incarnation_[receiver.id()];
+  link.send(sender.id(), message,
+            [this, key, sent_inc, rid = receiver.id(), &receiver](const crdt::SyncMessage& delivered) {
+              // Deliveries addressed to a previous life of the receiver are
+              // dead letters: the reborn replica's version vector no longer
+              // matches what this delta assumed.
+              if (down_.count(rid) || recovering_.count(rid)) return;
+              if (incarnation_[rid] != sent_inc) return;
+              receiver.apply_message(delivered);
+              if (!optimistic_acks_) peer_known_[key] = delivered.versions;
+            });
 }
 
 void ReplicationGraph::tick_round() {
-  for (const auto& endpoint : endpoints_) endpoint->record_local();
+  for (const auto& endpoint : endpoints_) {
+    const std::string& id = endpoint->id();
+    if (endpoint_up(id) && !recovering_.count(id)) endpoint->record_local();
+  }
+  for (const auto& endpoint : endpoints_) {
+    if (endpoint_up(endpoint->id()) && recovering_.count(endpoint->id())) {
+      attempt_rejoin(*endpoint);
+    }
+  }
   for (const GraphLink& link : links_) {
+    if (!endpoint_up(link.a) || !endpoint_up(link.b)) continue;
+    if (recovering_.count(link.a) || recovering_.count(link.b)) continue;
     ReplicaState& a = endpoint(link.a);
     ReplicaState& b = endpoint(link.b);
     exchange(a, b, *link.link);
@@ -55,11 +120,117 @@ void ReplicationGraph::tick_round() {
   metrics_.add("sync.rounds");
 }
 
+void ReplicationGraph::crash(const std::string& id) {
+  if (!has_endpoint(id)) throw std::out_of_range("ReplicationGraph: no endpoint '" + id + "'");
+  down_.insert(id);
+  recovering_.erase(id);
+  ++incarnation_[id];
+  // Connection state dies with the process: both sides must forget what
+  // they believed the other had, or a reborn replica's re-minted sequence
+  // numbers would be silently deduped as "already acknowledged".
+  for (const GraphLink& link : links_) {
+    if (link.a != id && link.b != id) continue;
+    const std::string& other = link.a == id ? link.b : link.a;
+    peer_known_.erase(id + "<-" + other);
+    peer_known_.erase(other + "<-" + id);
+  }
+  metrics_.add("sync.crashes");
+}
+
+void ReplicationGraph::restart(const std::string& id) {
+  if (!down_.count(id)) {
+    throw std::logic_error("ReplicationGraph: restart of '" + id + "' which is not down");
+  }
+  down_.erase(id);
+  recovering_.insert(id);
+  metrics_.add("sync.restarts");
+}
+
+std::uint64_t ReplicationGraph::incarnation(const std::string& id) const {
+  auto it = incarnation_.find(id);
+  return it == incarnation_.end() ? 0 : it->second;
+}
+
+void ReplicationGraph::attempt_rejoin(ReplicaState& joiner) {
+  // Best reachable source: the most advanced up, non-recovering neighbor
+  // the network can currently deliver to (registration order tie-break).
+  ReplicaState* source = nullptr;
+  SyncLink* source_link = nullptr;
+  double best = -1;
+  for (const GraphLink& link : links_) {
+    std::string other;
+    if (link.a == joiner.id()) other = link.b;
+    else if (link.b == joiner.id()) other = link.a;
+    else continue;
+    if (!endpoint_up(other) || recovering_.count(other)) continue;
+    if (network_.partitioned(joiner.id(), other)) continue;
+    ReplicaState& candidate = endpoint(other);
+    const double weight = version_weight(candidate.versions());
+    if (weight > best) {
+      best = weight;
+      source = &candidate;
+      source_link = link.link.get();
+    }
+  }
+  if (!source) return;  // isolated for now; tick_round() retries
+
+  const std::uint64_t sent_inc = incarnation_[joiner.id()];
+  if (source->can_serve(joiner.versions())) {
+    // Delta rejoin: the source still holds every op past the joiner's
+    // (reset) version, so a normal sync message fully repairs it.
+    const crdt::SyncMessage message = source->collect_changes(joiner.versions());
+    source_link->send(source->id(), message,
+                      [this, sent_inc, jid = joiner.id(), &joiner](const crdt::SyncMessage& delivered) {
+                        if (down_.count(jid) || !recovering_.count(jid)) return;
+                        if (incarnation_[jid] != sent_inc) return;
+                        joiner.apply_message(delivered);
+                        complete_rejoin(joiner, /*delta=*/true);
+                      });
+  } else {
+    // The source compacted past the joiner: ship the full CRDT state.
+    const json::Value state = source->bootstrap_state();
+    const std::uint64_t bytes = state.wire_size();
+    metrics_.add("sync.bootstrap_bytes", double(bytes));
+    network_.send(source->id(), joiner.id(), bytes,
+                  [this, sent_inc, state, jid = joiner.id(), &joiner]() {
+                    if (down_.count(jid) || !recovering_.count(jid)) return;
+                    if (incarnation_[jid] != sent_inc) return;
+                    joiner.restore_bootstrap(state);
+                    complete_rejoin(joiner, /*delta=*/false);
+                  });
+  }
+}
+
+void ReplicationGraph::complete_rejoin(ReplicaState& joiner, bool delta) {
+  recovering_.erase(joiner.id());
+  // Seed fresh connection state with what both sides *provably* hold: the
+  // pointwise minimum of their version vectors. That is simultaneously a
+  // valid ack (each side really has it — compaction stays safe) and a
+  // valid resend floor (nothing either side lacks gets suppressed).
+  for (const GraphLink& link : links_) {
+    std::string other;
+    if (link.a == joiner.id()) other = link.b;
+    else if (link.b == joiner.id()) other = link.a;
+    else continue;
+    const crdt::DocVersions common =
+        doc_versions_min(joiner.versions(), endpoint(other).versions());
+    peer_known_[joiner.id() + "<-" + other] = common;
+    peer_known_[other + "<-" + joiner.id()] = common;
+  }
+  metrics_.add(delta ? "sync.rejoins.delta" : "sync.rejoins.bootstrap");
+  if (on_rejoined_) on_rejoined_(joiner.id());
+}
+
 bool ReplicationGraph::converged() const {
-  if (endpoints_.size() < 2) return true;
-  const ReplicaState& reference = *endpoints_.front();
-  for (std::size_t i = 1; i < endpoints_.size(); ++i) {
-    if (!endpoints_[i]->converged_with(reference)) return false;
+  const ReplicaState* reference = nullptr;
+  for (const auto& endpoint : endpoints_) {
+    const std::string& id = endpoint->id();
+    if (!endpoint_up(id) || recovering_.count(id)) continue;
+    if (!reference) {
+      reference = endpoint.get();
+    } else if (!endpoint->converged_with(*reference)) {
+      return false;
+    }
   }
   return true;
 }

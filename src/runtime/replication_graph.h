@@ -12,8 +12,10 @@
 // op log exactly like the seed's cloud did.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -37,6 +39,15 @@ class ReplicationGraph {
 
   std::size_t endpoint_count() const { return endpoints_.size(); }
   std::size_t link_count() const { return links_.size(); }
+  /// Link endpoint pairs in creation order (for fault injectors that cut
+  /// or degrade individual sync links).
+  std::vector<std::pair<std::string, std::string>> link_ids() const {
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const GraphLink& link : links_) out.emplace_back(link.a, link.b);
+    return out;
+  }
+  /// Endpoints that restarted but have not completed their rejoin yet.
+  std::size_t recovering_count() const { return recovering_.size(); }
   bool has_endpoint(const std::string& id) const { return index_.count(id) > 0; }
   /// Endpoint by id; throws std::out_of_range when absent.
   ReplicaState& endpoint(const std::string& id) const;
@@ -45,11 +56,49 @@ class ReplicationGraph {
 
   /// One synchronous round: record local changes at every endpoint, then
   /// exchange deltas over every link in both directions. Deliveries land
-  /// when the caller drains the network clock.
+  /// when the caller drains the network clock. Down endpoints are skipped;
+  /// recovering endpoints attempt a rejoin instead of regular exchanges.
   void tick_round();
 
-  /// True when every endpoint's observable state matches every other's
-  /// (compared through the first endpoint's digests).
+  // --- Crash / restart lifecycle (fail-stop with volatile state) ---------
+  //
+  // crash() marks an endpoint down and forgets all connection state with
+  // its neighbors (both directions of peer_known_), because that knowledge
+  // lived in the crashed process. The caller is responsible for wiping the
+  // replica's own volatile state (ReplicaState::crash_reset). restart()
+  // flips it to *recovering*: it takes no part in regular sync until a
+  // rejoin completes — either a delta from a neighbor that can still serve
+  // its (reset) version, or a full bootstrap_state() transfer when every
+  // candidate has compacted past it. Rejoin payloads travel over the
+  // simulated network, so partitions, loss, and faults delay them like any
+  // other traffic; tick_round() retries until one lands.
+
+  /// Marks an endpoint crashed. Safe to call at any simulated moment;
+  /// in-flight deliveries to it are dropped via an incarnation check.
+  void crash(const std::string& id);
+  /// Brings a crashed endpoint back as *recovering* (not yet serving).
+  void restart(const std::string& id);
+  bool endpoint_up(const std::string& id) const { return down_.count(id) == 0; }
+  bool recovering(const std::string& id) const { return recovering_.count(id) > 0; }
+  /// Bumped on every crash; deliveries from a previous life are dropped.
+  std::uint64_t incarnation(const std::string& id) const;
+
+  /// Fires when a recovering endpoint completes its rejoin (the deployment
+  /// uses this to flip the host node back to active service).
+  void set_rejoin_listener(std::function<void(const std::string&)> cb) {
+    on_rejoined_ = std::move(cb);
+  }
+
+  /// Deliberate-regression knob for the simulation harness: when enabled,
+  /// peer acks are recorded at *send* time instead of delivery time, so a
+  /// lost message is never retransmitted. Convergence invariants must
+  /// catch this under lossy networks.
+  void set_optimistic_acks(bool enabled) { optimistic_acks_ = enabled; }
+
+  /// True when every *up, non-recovering* endpoint's observable state
+  /// matches every other's (compared through the first such endpoint's
+  /// digests). Crashed or still-rejoining endpoints are excluded — they
+  /// are expected to be behind.
   bool converged() const;
 
   /// Log compaction: every endpoint drops the ops all of its *direct*
@@ -94,7 +143,15 @@ class ReplicationGraph {
   util::MetricsRegistry metrics_;
   std::map<std::string, double> lag_streak_;  ///< endpoint -> rounds diverged
 
+  std::set<std::string> down_;        ///< crashed endpoints
+  std::set<std::string> recovering_;  ///< restarted, rejoin not yet complete
+  std::map<std::string, std::uint64_t> incarnation_;
+  bool optimistic_acks_ = false;
+  std::function<void(const std::string&)> on_rejoined_;
+
   void exchange(ReplicaState& sender, ReplicaState& receiver, SyncLink& link);
+  void attempt_rejoin(ReplicaState& joiner);
+  void complete_rejoin(ReplicaState& joiner, bool delta);
 };
 
 /// Topology helpers: links every endpoint in `leaves` to `root` (star),

@@ -1,0 +1,56 @@
+#include "sim/invariants.h"
+
+namespace edgstr::sim {
+
+void InvariantChecker::observe_versions(const std::string& id,
+                                        const crdt::DocVersions& versions) {
+  auto baseline = last_versions_.find(id);
+  if (baseline != last_versions_.end()) {
+    for (const auto& [doc, previous] : baseline->second) {
+      auto current_doc = versions.find(doc);
+      if (current_doc == versions.end()) {
+        record("version-monotonic", id + " lost doc unit '" + doc + "'");
+        continue;
+      }
+      for (const auto& [origin, seq] : previous) {
+        auto it = current_doc->second.find(origin);
+        const std::uint64_t now = it == current_doc->second.end() ? 0 : it->second;
+        if (now < seq) {
+          record("version-monotonic", id + " doc '" + doc + "' origin '" + origin +
+                                          "' regressed " + std::to_string(seq) + " -> " +
+                                          std::to_string(now));
+        }
+      }
+    }
+  }
+  last_versions_[id] = versions;
+}
+
+void InvariantChecker::reset_baseline(const std::string& id) { last_versions_.erase(id); }
+
+void InvariantChecker::check_convergence(
+    const std::vector<std::pair<std::string, const runtime::ReplicaState*>>& endpoints) {
+  if (endpoints.empty()) return;
+  const auto& [ref_name, ref_state] = endpoints.front();
+  for (std::size_t i = 1; i < endpoints.size(); ++i) {
+    const auto& [name, state] = endpoints[i];
+    // Compare per doc unit so the report names the diverged unit.
+    for (const runtime::DocUnit& unit : ref_state->docs()) {
+      const crdt::ReplicatedDoc* theirs = state->doc(unit.name);
+      if (!theirs) {
+        record("convergence", name + " lacks doc unit '" + unit.name + "'");
+        continue;
+      }
+      if (unit.doc->state_digest() != theirs->state_digest()) {
+        record("convergence",
+               name + " doc '" + unit.name + "' diverges from " + ref_name);
+      }
+    }
+  }
+}
+
+void InvariantChecker::record(const std::string& invariant, const std::string& detail) {
+  violations_.push_back(Violation{invariant, detail});
+}
+
+}  // namespace edgstr::sim

@@ -1,0 +1,61 @@
+// Convergence invariants checked by the simulation harness.
+//
+// The checker accumulates violations instead of throwing so one run can
+// report every broken property at once, each tagged with enough detail to
+// reproduce from the failing seed:
+//
+//   convergence        — after heal + restart + quiescence, every endpoint's
+//                        per-doc state digests are pairwise equal.
+//   version-monotonic  — an endpoint's version vector never loses a
+//                        component between observations, except across its
+//                        own crash (the checker is told about crashes and
+//                        resets that endpoint's baseline).
+//   no-acked-op-loss   — a write acknowledged to the client and visible at
+//                        one other live endpoint before any crash must
+//                        still exist everywhere after quiescence.
+//   read-your-writes   — a read served by the same edge that served the
+//                        write must observe it (recorded by the schedule
+//                        driver at request time via record()).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crdt/wire.h"
+#include "runtime/replica_state.h"
+
+namespace edgstr::sim {
+
+struct Violation {
+  std::string invariant;
+  std::string detail;
+};
+
+class InvariantChecker {
+ public:
+  /// Version-vector monotonicity: compares against the last observation
+  /// for `id` (componentwise, per doc unit) and advances the baseline.
+  void observe_versions(const std::string& id, const crdt::DocVersions& versions);
+
+  /// Forgets `id`'s version baseline — call when it crashes; the reborn
+  /// replica legitimately restarts from the checkpoint's empty vectors.
+  void reset_baseline(const std::string& id);
+
+  /// Pairwise digest equality across endpoints (name -> state). Call only
+  /// after quiescence: everything healed, restarted, and synced.
+  void check_convergence(
+      const std::vector<std::pair<std::string, const runtime::ReplicaState*>>& endpoints);
+
+  /// Records an externally detected violation (RYW, acked-op loss, ...).
+  void record(const std::string& invariant, const std::string& detail);
+
+  bool passed() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+
+ private:
+  std::map<std::string, crdt::DocVersions> last_versions_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace edgstr::sim

@@ -1,0 +1,393 @@
+#include "sim/schedule.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "apps/app.h"
+#include "edgstr/deployment.h"
+#include "edgstr/pipeline.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace edgstr::sim {
+namespace {
+
+/// The subject app every schedule drives: sensor_hub has a clean write
+/// route (POST /ingest) and a read route (GET /summary), which is what the
+/// read-your-writes and acked-op-loss invariants need to reason about
+/// individual keys. The transform is deterministic and expensive, so one
+/// cached result serves every run and seed.
+const core::TransformResult& subject_transform() {
+  static const core::TransformResult result = [] {
+    const apps::SubjectApp& app = apps::sensor_hub();
+    const http::TrafficRecorder traffic =
+        core::record_traffic(app.server_source, app.workload);
+    return core::Pipeline().transform(app.name, app.server_source, traffic);
+  }();
+  return result;
+}
+
+http::HttpRequest ingest_request(const std::string& sensor, double value) {
+  http::HttpRequest req;
+  req.verb = http::Verb::kPost;
+  req.path = "/ingest";
+  req.params =
+      json::Value::object({{"sensor", sensor}, {"values", json::Value::array({value})}});
+  return req;
+}
+
+http::HttpRequest summary_request(const std::string& sensor) {
+  http::HttpRequest req;
+  req.verb = http::Verb::kGet;
+  req.path = "/summary";
+  req.params = json::Value::object({{"sensor", sensor}});
+  return req;
+}
+
+/// One client write we may later hold the system accountable for.
+struct TrackedWrite {
+  std::string key;
+  std::string endpoint;        ///< who served it ("edgeN" or "cloud")
+  std::size_t edge_index = 0;  ///< valid when served at an edge
+  bool at_edge = false;
+  std::uint64_t crash_epoch = 0;  ///< serving edge's crash count at write time
+  bool must_survive = false;
+};
+
+bool key_visible(const runtime::ReplicaState& state, const std::string& key) {
+  // Keys are generated alphanumeric, so inlining them into SQL is safe.
+  auto& db = const_cast<runtime::ReplicaState&>(state).service().database();
+  return !db.execute("SELECT * FROM readings WHERE sensor = '" + key + "'").rows.empty();
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string ScheduleResult::summary() const {
+  std::string out = "seed=" + std::to_string(seed) + " topology=" + topology +
+                    " edges=" + std::to_string(edges) + " requests=" + std::to_string(requests) +
+                    " acked=" + std::to_string(writes_acked) +
+                    " crashes=" + std::to_string(crashes) +
+                    " partitions=" + std::to_string(partitions) +
+                    " quiesce=" + std::to_string(quiesce_rounds) + " trace=" + hex64(trace_digest) +
+                    " state=" + state_digest + (passed ? " PASS" : " FAIL");
+  for (const Violation& v : violations) out += "\n  [" + v.invariant + "] " + v.detail;
+  return out;
+}
+
+ScheduleResult run_schedule(const ScheduleConfig& config) {
+  ScheduleResult result;
+  result.seed = config.seed;
+  util::Rng rng(config.seed);
+
+  // ---- randomized deployment ----------------------------------------------
+  core::DeploymentConfig dep;
+  dep.start_sync = false;  // the schedule drives sync rounds explicitly
+  dep.seed = rng.next_u64();
+  const std::size_t n_edges =
+      static_cast<std::size_t>(rng.uniform_int(2, std::int64_t(std::max<std::size_t>(2, config.max_edges))));
+  dep.edge_devices.clear();
+  for (std::size_t e = 0; e < n_edges; ++e) {
+    dep.edge_devices.push_back(rng.chance(0.5) ? cluster::DeviceProfile::rpi4()
+                                               : cluster::DeviceProfile::rpi3());
+  }
+  switch (rng.uniform_int(0, 2)) {
+    case 0:
+      dep.topology = core::SyncTopology::kStar;
+      result.topology = "star";
+      break;
+    case 1:
+      dep.topology = core::SyncTopology::kStarEdgeMesh;
+      result.topology = "star+mesh";
+      break;
+    default:
+      dep.topology = core::SyncTopology::kHierarchy;
+      dep.hierarchy_fanout = 2;
+      result.topology = "hierarchy";
+      break;
+  }
+  result.edges = n_edges;
+
+  core::ThreeTierDeployment three(subject_transform(), dep);
+  netsim::Network& net = three.network();
+  runtime::ReplicationGraph& graph = three.replication();
+  if (config.optimistic_acks) graph.set_optimistic_acks(true);
+
+  EventTrace& trace = result.trace;
+  InvariantChecker checker;
+  const auto now = [&] { return net.clock().now(); };
+
+  std::vector<std::pair<std::string, const runtime::ReplicaState*>> endpoints;
+  endpoints.emplace_back("cloud", &three.cloud_state());
+  for (std::size_t e = 0; e < n_edges; ++e) {
+    endpoints.emplace_back(core::edge_host(e), &three.edge_state(e));
+  }
+  for (std::size_t r = 0; r < three.regional_count(); ++r) {
+    endpoints.emplace_back(core::regional_host(r), &three.regional_state(r));
+  }
+  trace.record(now(), "setup",
+               "topology=" + result.topology + " edges=" + std::to_string(n_edges));
+
+  // ---- per-link loss + fault models ---------------------------------------
+  const std::vector<std::pair<std::string, std::string>> sync_links = graph.link_ids();
+  std::vector<std::pair<std::string, std::string>> lossy;
+  if (config.enable_link_faults || config.optimistic_acks) {
+    for (const auto& [a, b] : sync_links) {
+      if (rng.chance(0.6)) {
+        netsim::LinkConfig cfg = (a == core::kCloudHost || b == core::kCloudHost)
+                                     ? dep.wan
+                                     : dep.lan;
+        cfg.loss_probability = rng.uniform(0.05, 0.35);
+        net.connect(a, b, cfg);
+        lossy.emplace_back(a, b);
+        trace.record(now(), "loss", a + "<->" + b + " p=" + fmt(cfg.loss_probability));
+      }
+      if (config.enable_link_faults && rng.chance(0.5)) {
+        netsim::FaultConfig faults;
+        if (rng.chance(0.5)) faults.duplicate_probability = rng.uniform(0.05, 0.3);
+        if (rng.chance(0.5)) faults.reorder_probability = rng.uniform(0.05, 0.3);
+        if (rng.chance(0.3)) {
+          faults.delay_spike_probability = rng.uniform(0.05, 0.2);
+          faults.delay_spike_s = rng.uniform(0.2, 1.0);
+        }
+        if (faults.any()) {
+          net.set_faults(a, b, faults);
+          trace.record(now(), "faults",
+                       a + "<->" + b + " dup=" + fmt(faults.duplicate_probability) +
+                           " reorder=" + fmt(faults.reorder_probability) +
+                           " spike=" + fmt(faults.delay_spike_probability));
+        }
+      }
+    }
+    if (config.optimistic_acks && lossy.empty() && !sync_links.empty()) {
+      // The regression only bites when something is actually lost.
+      netsim::LinkConfig cfg = dep.wan;
+      cfg.loss_probability = 0.3;
+      net.connect(sync_links[0].first, sync_links[0].second, cfg);
+      lossy.push_back(sync_links[0]);
+      trace.record(now(), "loss", sync_links[0].first + "<->" + sync_links[0].second + " p=0.300");
+    }
+  }
+
+  // ---- fault/traffic rounds ------------------------------------------------
+  std::vector<TrackedWrite> tracked;
+  std::vector<std::uint64_t> crash_count(n_edges, 0);
+  std::set<std::size_t> down_edges;
+  std::vector<std::string> active_cuts;
+  std::size_t cut_serial = 0;
+
+  // Everything from here on runs under the no-crash invariant: a
+  // replication-plane bug that manifests as a thrown exception (e.g. a
+  // sequence gap from an op that was dropped and never retransmitted) is
+  // converted into a failing, replayable seed instead of aborting the
+  // explorer.
+  try {
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    // Restarts of previously crashed edges.
+    for (auto it = down_edges.begin(); it != down_edges.end();) {
+      if (rng.chance(0.5)) {
+        three.restart_edge(*it);
+        trace.record(now(), "restart", core::edge_host(*it));
+        it = down_edges.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // Crash a serving edge.
+    if (config.enable_crashes && rng.chance(0.15)) {
+      std::vector<std::size_t> candidates;
+      for (std::size_t e = 0; e < n_edges; ++e) {
+        const std::string host = core::edge_host(e);
+        if (graph.endpoint_up(host) && !graph.recovering(host)) candidates.push_back(e);
+      }
+      if (!candidates.empty()) {
+        const std::size_t victim = candidates[rng.index(candidates.size())];
+        const std::string host = core::edge_host(victim);
+        // Acked-op-loss accounting: anything the victim acked that at
+        // least one other live endpoint already holds must survive.
+        for (TrackedWrite& w : tracked) {
+          if (w.must_survive || !w.at_edge || w.edge_index != victim) continue;
+          if (w.crash_epoch != crash_count[victim]) continue;  // earlier life
+          for (const auto& [id, state] : endpoints) {
+            if (id == host) continue;
+            if (!graph.endpoint_up(id)) continue;
+            if (key_visible(*state, w.key)) {
+              w.must_survive = true;
+              break;
+            }
+          }
+        }
+        three.crash_edge(victim);
+        checker.reset_baseline(host);
+        ++crash_count[victim];
+        down_edges.insert(victim);
+        ++result.crashes;
+        trace.record(now(), "crash", host);
+      }
+    }
+
+    // Partition churn.
+    if (config.enable_partitions) {
+      if (rng.chance(0.2) && !sync_links.empty()) {
+        const auto& [a, b] = sync_links[rng.index(sync_links.size())];
+        const std::string name = "cut" + std::to_string(cut_serial++);
+        net.partition(name, {a}, {b});
+        active_cuts.push_back(name);
+        ++result.partitions;
+        trace.record(now(), "partition", name + " " + a + "|" + b);
+      }
+      for (auto it = active_cuts.begin(); it != active_cuts.end();) {
+        if (rng.chance(0.3)) {
+          net.heal(*it);
+          trace.record(now(), "heal", *it);
+          it = active_cuts.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    // Client traffic through the proxies.
+    const int burst = static_cast<int>(rng.uniform_int(1, 4));
+    for (int i = 0; i < burst; ++i) {
+      const std::size_t e = rng.index(n_edges);
+      if (rng.chance(0.7) || tracked.empty()) {
+        const std::string key =
+            "s" + std::to_string(round) + "x" + std::to_string(i) + "e" + std::to_string(e);
+        const runtime::PathStats before = three.proxy(e).stats();
+        const http::HttpResponse resp =
+            three.request_sync(ingest_request(key, rng.uniform(0, 100)), e);
+        ++result.requests;
+        // A request lost in transit (partition / loss on the forward path)
+        // leaves the default-constructed response behind: status 200 but a
+        // null body. Only a real handler reply counts as an ack.
+        if (!resp.ok() || resp.body.is_null()) {
+          trace.record(now(), "write", key + " via=" + core::edge_host(e) + " FAILED");
+          continue;
+        }
+        ++result.writes_acked;
+        const bool local = three.proxy(e).stats().served_at_edge > before.served_at_edge;
+        TrackedWrite w;
+        w.key = key;
+        w.at_edge = local;
+        w.edge_index = e;
+        w.endpoint = local ? core::edge_host(e) : "cloud";
+        w.crash_epoch = local ? crash_count[e] : 0;
+        tracked.push_back(w);
+        trace.record(now(), "write", key + " served=" + w.endpoint);
+        if (local) {
+          // Read-your-writes at the serving proxy: an immediately
+          // following local read must observe the write.
+          const runtime::PathStats pre = three.proxy(e).stats();
+          const http::HttpResponse read = three.request_sync(summary_request(key), e);
+          ++result.requests;
+          if (read.ok() && three.proxy(e).stats().served_at_edge > pre.served_at_edge) {
+            const json::Value* count = read.body.find("count");
+            if (!count || count->as_number() < 1.0) {
+              checker.record("read-your-writes",
+                             "edge" + std::to_string(e) + " lost its own write " + key);
+            }
+            trace.record(now(), "read", key + " ryw");
+          }
+        }
+      } else {
+        const TrackedWrite& w = tracked[rng.index(tracked.size())];
+        (void)three.request_sync(summary_request(w.key), e);
+        ++result.requests;
+        trace.record(now(), "read", w.key + " via=" + core::edge_host(e));
+      }
+    }
+
+    // Sync rounds (deltas + rejoins), then settle the clock.
+    const int rounds = static_cast<int>(rng.uniform_int(1, 3));
+    for (int s = 0; s < rounds; ++s) {
+      three.sync().tick();
+      net.clock().run();
+    }
+    trace.record(now(), "sync", "rounds=" + std::to_string(rounds));
+
+    for (const auto& [id, state] : endpoints) checker.observe_versions(id, state->versions());
+
+    if (config.enable_compaction && rng.chance(0.25)) {
+      const std::size_t dropped = three.sync().compact_logs();
+      trace.record(now(), "compact", "dropped=" + std::to_string(dropped));
+    }
+  }
+
+  // ---- forced quiescence ---------------------------------------------------
+  net.heal_all();
+  net.set_faults_all(netsim::FaultConfig{});
+  for (const auto& [a, b] : lossy) {
+    net.connect(a, b, (a == core::kCloudHost || b == core::kCloudHost) ? dep.wan : dep.lan);
+  }
+  trace.record(now(), "heal_all", std::to_string(result.partitions) + " cuts total");
+  for (const std::size_t e : down_edges) {
+    three.restart_edge(e);
+    trace.record(now(), "restart", core::edge_host(e));
+  }
+  down_edges.clear();
+
+  const std::size_t max_quiesce = 150;
+  std::size_t quiesce = 0;
+  for (; quiesce < max_quiesce; ++quiesce) {
+    three.sync().tick();
+    net.clock().run();
+    if (graph.recovering_count() == 0 && graph.converged()) break;
+  }
+  result.quiesce_rounds = quiesce;
+  trace.record(now(), "quiesce", "rounds=" + std::to_string(quiesce));
+  if (quiesce == max_quiesce) {
+    checker.record("convergence",
+                   "no fixed point after " + std::to_string(max_quiesce) + " healed rounds");
+  }
+
+  // ---- invariants ----------------------------------------------------------
+  for (const auto& [id, state] : endpoints) checker.observe_versions(id, state->versions());
+  checker.check_convergence(endpoints);
+
+  for (TrackedWrite& w : tracked) {
+    if (!w.must_survive) {
+      // Writes whose serving endpoint never crashed afterwards were always
+      // durably held somewhere that survived to the end.
+      if (!w.at_edge) {
+        w.must_survive = true;  // the cloud never crashes
+      } else if (crash_count[w.edge_index] == w.crash_epoch) {
+        w.must_survive = true;
+      }
+    }
+    if (w.must_survive && !key_visible(three.cloud_state(), w.key)) {
+      checker.record("no-acked-op-loss",
+                     "write " + w.key + " (acked at " + w.endpoint + ") missing after quiescence");
+    }
+  }
+  } catch (const std::exception& e) {
+    trace.record(now(), "exception", e.what());
+    checker.record("no-crash",
+                   std::string("exception escaped the replication plane: ") + e.what());
+  }
+
+  std::string joint;
+  for (const runtime::DocUnit& unit : three.cloud_state().docs()) {
+    joint += unit.doc->state_digest();
+  }
+  result.state_digest = hex64(util::fnv1a(joint));
+  result.trace_digest = trace.digest();
+  result.violations = checker.violations();
+  result.passed = checker.passed();
+  return result;
+}
+
+}  // namespace edgstr::sim

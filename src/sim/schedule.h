@@ -1,0 +1,68 @@
+// Seed-driven schedule explorer (FoundationDB-style simulation testing).
+//
+// One uint64 seed fully determines a run: the replication topology, the
+// number of edge replicas, the request interleaving at the proxies, the
+// per-link loss and fault models, partition cuts and heals, node crashes
+// and restarts, and the number of sync rounds between them. The run drives
+// a real ThreeTierDeployment (transformed subject app, live proxy traffic,
+// CRDT replication plane) on the simulated clock, then forces quiescence —
+// heal everything, restart everything, sync to a fixed point — and checks
+// the convergence invariants. A failing run reports its seed; re-running
+// the same seed reproduces the failure byte-for-byte, trace included.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/invariants.h"
+#include "sim/trace.h"
+
+namespace edgstr::sim {
+
+struct ScheduleConfig {
+  std::uint64_t seed = 1;
+
+  /// Fault/traffic rounds before forced quiescence.
+  std::size_t rounds = 24;
+  /// Edge replica count is drawn from [2, max_edges].
+  std::size_t max_edges = 4;
+
+  bool enable_crashes = true;
+  bool enable_partitions = true;
+  bool enable_link_faults = true;  ///< loss, duplication, reorder, delay
+  bool enable_compaction = true;   ///< periodic log compaction (exercises
+                                   ///< the bootstrap-rejoin path)
+
+  /// Deliberate regression knob: record peer acks at send time, so a lost
+  /// sync message is never retransmitted. A correct harness MUST flag
+  /// non-convergence for (most) seeds with this enabled.
+  bool optimistic_acks = false;
+};
+
+struct ScheduleResult {
+  std::uint64_t seed = 0;
+  bool passed = false;
+  std::vector<Violation> violations;
+
+  std::string topology;          ///< "star" | "star+mesh" | "hierarchy"
+  std::size_t edges = 0;
+  std::size_t requests = 0;      ///< client requests issued
+  std::size_t writes_acked = 0;  ///< writes acknowledged to the client
+  std::size_t crashes = 0;
+  std::size_t partitions = 0;
+  std::size_t quiesce_rounds = 0;
+
+  EventTrace trace;
+  std::uint64_t trace_digest = 0;  ///< byte-identity fingerprint of the run
+  std::string state_digest;        ///< converged-state fingerprint (hex)
+
+  /// One-line report ("seed=7 topology=star edges=3 ... PASS").
+  std::string summary() const;
+};
+
+/// Runs one fully deterministic schedule. Two calls with the same config
+/// return identical traces, digests, and verdicts.
+ScheduleResult run_schedule(const ScheduleConfig& config);
+
+}  // namespace edgstr::sim

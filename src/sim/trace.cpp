@@ -1,0 +1,48 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace edgstr::sim {
+
+void EventTrace::record(double time, std::string kind, std::string detail) {
+  events_.push_back(Event{time, std::move(kind), std::move(detail)});
+}
+
+std::string EventTrace::format(const Event& event) {
+  // Fixed-precision time so the formatted line (and thus the digest) is a
+  // pure function of the double's value, not of locale or default float
+  // formatting quirks.
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "t=%.6f", event.time);
+  return std::string(stamp) + " " + event.kind + " " + event.detail;
+}
+
+std::uint64_t EventTrace::digest() const {
+  // Chain the per-line hashes: mixing the running digest into each line
+  // makes the result order-sensitive, not just multiset-sensitive.
+  std::uint64_t chained = 0xcbf29ce484222325ULL;
+  for (const Event& event : events_) {
+    chained = util::fnv1a(std::to_string(chained) + "|" + format(event));
+  }
+  return chained;
+}
+
+std::string EventTrace::dump(std::size_t max_events) const {
+  std::string out;
+  if (max_events == 0 || events_.size() <= max_events) {
+    for (const Event& event : events_) out += format(event) + "\n";
+    return out;
+  }
+  const std::size_t head = max_events / 2;
+  const std::size_t tail = max_events - head;
+  for (std::size_t i = 0; i < head; ++i) out += format(events_[i]) + "\n";
+  out += "... (" + std::to_string(events_.size() - max_events) + " events elided)\n";
+  for (std::size_t i = events_.size() - tail; i < events_.size(); ++i) {
+    out += format(events_[i]) + "\n";
+  }
+  return out;
+}
+
+}  // namespace edgstr::sim

@@ -1,0 +1,45 @@
+// Deterministic event trace for simulation runs.
+//
+// Every externally visible decision the schedule explorer makes — requests
+// issued, faults injected, partitions cut and healed, crashes, sync rounds,
+// invariant checks — lands here as one timestamped event. Two runs of the
+// same seed must produce byte-identical traces; the chained digest makes
+// that cheap to assert and the dump makes a failing seed replayable by
+// reading the log top to bottom.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edgstr::sim {
+
+struct Event {
+  double time = 0;    ///< simulated seconds
+  std::string kind;   ///< short tag: "request", "crash", "partition", ...
+  std::string detail; ///< free-form, deterministic description
+};
+
+class EventTrace {
+ public:
+  void record(double time, std::string kind, std::string detail);
+
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+
+  /// One canonical line per event ("t=1.250000 crash edge1").
+  static std::string format(const Event& event);
+
+  /// Order-sensitive FNV-1a chain over the formatted events. Equal digests
+  /// on equal-length traces mean byte-identical runs.
+  std::uint64_t digest() const;
+
+  /// Full trace as replayable text, one event per line. `max_events` = 0
+  /// dumps everything; otherwise the head and tail around an elision mark.
+  std::string dump(std::size_t max_events = 0) const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace edgstr::sim

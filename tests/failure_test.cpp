@@ -39,15 +39,14 @@ class FailureFixture : public ::testing::Test {
   TransformResult result_;
 };
 
-TEST_F(FailureFixture, SyncSurvivesTotalMessageLossWindow) {
+TEST_F(FailureFixture, SyncSurvivesNamedPartitionWindow) {
   DeploymentConfig config;
   config.start_sync = false;
   ThreeTierDeployment three(result_, config);
 
-  // Partition: everything on the WAN drops.
-  netsim::LinkConfig dead = config.wan;
-  dead.loss_probability = 1.0;
-  three.network().connect(edge_host(0), kCloudHost, dead);
+  // Named partition on the WAN: edge0 and the cloud cannot exchange
+  // messages, but the client still reaches both.
+  three.network().partition("wan-cut", {edge_host(0)}, {kCloudHost});
 
   three.request_sync(ingest("a", 42), 0);
   // Sync rounds during the partition deliver nothing.
@@ -58,7 +57,7 @@ TEST_F(FailureFixture, SyncSurvivesTotalMessageLossWindow) {
   EXPECT_FALSE(three.converged());
 
   // Heal the partition: the next rounds retransmit everything unacked.
-  three.network().connect(edge_host(0), kCloudHost, config.wan);
+  three.network().heal("wan-cut");
   EXPECT_GE(three.sync().sync_until_converged(8), 1);
   EXPECT_TRUE(three.converged());
   // The cloud now sees the edge's reading.
@@ -94,9 +93,7 @@ TEST_F(FailureFixture, PartitionedEdgesMergeThroughCloudAfterHeal) {
   ThreeTierDeployment three(result_, config);
 
   // Edge 1 is partitioned from the cloud.
-  netsim::LinkConfig dead = config.wan;
-  dead.loss_probability = 1.0;
-  three.network().connect(edge_host(1), kCloudHost, dead);
+  three.network().partition("edge1-cut", {edge_host(1)}, {kCloudHost});
 
   three.request_sync(ingest("a", 1), 0);
   three.request_sync(ingest("b", 2), 1);  // accepted locally at edge1
@@ -107,7 +104,7 @@ TEST_F(FailureFixture, PartitionedEdgesMergeThroughCloudAfterHeal) {
   // Edge0's data reached the cloud; edge1's did not.
   EXPECT_FALSE(three.converged());
 
-  three.network().connect(edge_host(1), kCloudHost, config.wan);
+  three.network().heal("edge1-cut");
   EXPECT_GE(three.sync().sync_until_converged(8), 1);
   EXPECT_TRUE(three.converged());
 
@@ -233,11 +230,8 @@ TEST_F(FailureFixture, PeerLinkedEdgesConvergeWhileCloudPartitioned) {
   three.network().connect(edge_host(0), edge_host(1), netsim::LinkConfig::lan());
   three.sync().add_peer_link(0, 1);
 
-  // Cloud unreachable from both edges.
-  netsim::LinkConfig dead = config.wan;
-  dead.loss_probability = 1.0;
-  three.network().connect(edge_host(0), kCloudHost, dead);
-  three.network().connect(edge_host(1), kCloudHost, dead);
+  // Cloud unreachable from both edges (the client still reaches all three).
+  three.network().partition("cloud-cut", {edge_host(0), edge_host(1)}, {kCloudHost});
 
   three.request_sync(ingest("p2p-a", 1), 0);
   three.request_sync(ingest("p2p-b", 2), 1);
@@ -251,11 +245,147 @@ TEST_F(FailureFixture, PeerLinkedEdgesConvergeWhileCloudPartitioned) {
   const http::HttpResponse resp = three.request_sync(summary("p2p-b"), 0);
   EXPECT_DOUBLE_EQ(resp.body["count"].as_number(), 1.0);
 
-  // Heal the cloud links: the whole star converges.
-  three.network().connect(edge_host(0), kCloudHost, config.wan);
-  three.network().connect(edge_host(1), kCloudHost, config.wan);
+  // Heal the cut: the whole star converges.
+  three.network().heal("cloud-cut");
   EXPECT_GE(three.sync().sync_until_converged(8), 1);
   EXPECT_TRUE(three.converged());
+}
+
+TEST_F(FailureFixture, StarPartitionWritesBothSidesThenHealConverges) {
+  DeploymentConfig config;
+  config.start_sync = false;
+  config.edge_devices = {cluster::DeviceProfile::rpi4(), cluster::DeviceProfile::rpi4()};
+  ThreeTierDeployment three(result_, config);
+
+  // Two-sided cut: only edge1 <-> cloud traffic is blocked, so the client
+  // keeps writing on BOTH sides of the partition, served at the edges.
+  three.network().partition("split", {edge_host(1)}, {kCloudHost});
+  const auto before0 = three.proxy(0).stats().served_at_edge;
+  const auto before1 = three.proxy(1).stats().served_at_edge;
+  EXPECT_TRUE(three.request_sync(ingest("side-a", 1), 0).ok());
+  EXPECT_TRUE(three.request_sync(ingest("side-b", 2), 1).ok());
+  EXPECT_GT(three.proxy(0).stats().served_at_edge, before0);
+  EXPECT_GT(three.proxy(1).stats().served_at_edge, before1);
+
+  for (int i = 0; i < 3; ++i) {
+    three.sync().tick();
+    three.network().clock().run();
+  }
+  EXPECT_FALSE(three.converged());
+
+  three.network().heal("split");
+  EXPECT_GE(three.sync().sync_until_converged(8), 1);
+  EXPECT_TRUE(three.converged());
+  // Both sides' writes are visible from the other side.
+  EXPECT_DOUBLE_EQ(three.request_sync(summary("side-b"), 0).body["count"].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(three.request_sync(summary("side-a"), 1).body["count"].as_number(), 1.0);
+}
+
+TEST_F(FailureFixture, MeshPartitionWritesBothSidesThenHealConverges) {
+  DeploymentConfig config;
+  config.start_sync = false;
+  config.topology = SyncTopology::kStarEdgeMesh;
+  config.edge_devices = {cluster::DeviceProfile::rpi4(), cluster::DeviceProfile::rpi4()};
+  ThreeTierDeployment three(result_, config);
+
+  // Cut the cloud off from the whole mesh; edge0 <-> edge1 gossip and the
+  // client's request plane keep working.
+  three.network().partition("cloud-off", {kCloudHost}, {edge_host(0), edge_host(1)});
+  EXPECT_TRUE(three.request_sync(ingest("m0", 1), 0).ok());
+  EXPECT_TRUE(three.request_sync(ingest("m1", 2), 1).ok());
+  for (int i = 0; i < 3; ++i) {
+    three.sync().tick();
+    three.network().clock().run();
+  }
+  // The mesh side converged among itself; the cloud is behind.
+  EXPECT_TRUE(three.edge_state(0).converged_with(three.edge_state(1)));
+  EXPECT_FALSE(three.converged());
+  EXPECT_DOUBLE_EQ(three.request_sync(summary("m1"), 0).body["count"].as_number(), 1.0);
+
+  three.network().heal("cloud-off");
+  EXPECT_GE(three.sync().sync_until_converged(8), 1);
+  EXPECT_TRUE(three.converged());
+}
+
+TEST_F(FailureFixture, HierarchyPartitionWritesBothSidesThenHealConverges) {
+  DeploymentConfig config;
+  config.start_sync = false;
+  config.topology = SyncTopology::kHierarchy;
+  config.hierarchy_fanout = 2;
+  config.edge_devices = {cluster::DeviceProfile::rpi4(), cluster::DeviceProfile::rpi4(),
+                         cluster::DeviceProfile::rpi4(), cluster::DeviceProfile::rpi4()};
+  ThreeTierDeployment three(result_, config);
+  ASSERT_EQ(three.regional_count(), 2u);
+
+  // Cut one whole region (regional0 + its edges) from the cloud side.
+  three.network().partition("region-cut", {regional_host(0), edge_host(0), edge_host(1)},
+                            {kCloudHost, regional_host(1), edge_host(2), edge_host(3)});
+  EXPECT_TRUE(three.request_sync(ingest("r0", 1), 0).ok());  // cut side
+  EXPECT_TRUE(three.request_sync(ingest("r1", 2), 2).ok());  // cloud side
+  for (int i = 0; i < 4; ++i) {
+    three.sync().tick();
+    three.network().clock().run();
+  }
+  // Each side converged internally through its regional relay.
+  EXPECT_TRUE(three.edge_state(0).converged_with(three.edge_state(1)));
+  EXPECT_TRUE(three.edge_state(2).converged_with(three.edge_state(3)));
+  EXPECT_FALSE(three.converged());
+
+  three.network().heal("region-cut");
+  EXPECT_GE(three.sync().sync_until_converged(16), 1);
+  EXPECT_TRUE(three.converged());
+  // Cross-region visibility after the heal.
+  EXPECT_DOUBLE_EQ(three.request_sync(summary("r1"), 0).body["count"].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(three.request_sync(summary("r0"), 3).body["count"].as_number(), 1.0);
+}
+
+TEST_F(FailureFixture, CrashedEdgeLosesVolatileStateAndRejoins) {
+  DeploymentConfig config;
+  config.start_sync = false;
+  config.edge_devices = {cluster::DeviceProfile::rpi4(), cluster::DeviceProfile::rpi4()};
+  ThreeTierDeployment three(result_, config);
+
+  // A write reaches the cloud, then the serving edge fail-stops.
+  EXPECT_TRUE(three.request_sync(ingest("pre-crash", 1), 0).ok());
+  EXPECT_GE(three.sync().sync_until_converged(8), 1);
+  three.crash_edge(0);
+  EXPECT_FALSE(three.edge_serving(0));
+
+  // While down, its proxy forwards; the write is acked by the cloud.
+  const auto forwarded = three.proxy(0).stats().forwarded_to_cloud;
+  EXPECT_TRUE(three.request_sync(ingest("while-down", 2), 0).ok());
+  EXPECT_GT(three.proxy(0).stats().forwarded_to_cloud, forwarded);
+
+  // Restart: serving resumes only after the rejoin completes, and the
+  // rejoined replica holds everything, including the op it had acked
+  // before the crash wiped its volatile state.
+  three.restart_edge(0);
+  EXPECT_FALSE(three.edge_serving(0));
+  EXPECT_GE(three.sync().sync_until_converged(16), 1);
+  EXPECT_TRUE(three.edge_serving(0));
+  EXPECT_DOUBLE_EQ(three.request_sync(summary("pre-crash"), 0).body["count"].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(three.request_sync(summary("while-down"), 0).body["count"].as_number(), 1.0);
+}
+
+TEST_F(FailureFixture, CompactedPeersBootstrapARestartedEdge) {
+  DeploymentConfig config;
+  config.start_sync = false;
+  ThreeTierDeployment three(result_, config);
+
+  EXPECT_TRUE(three.request_sync(ingest("kept", 1), 0).ok());
+  EXPECT_GE(three.sync().sync_until_converged(8), 1);
+  // With everything acknowledged, compaction raises every log's floor past
+  // the checkpoint a crashed edge is reborn from: a delta rejoin becomes
+  // impossible and the graph must fall back to a full bootstrap transfer.
+  three.sync().compact_logs();
+  three.crash_edge(0);
+  EXPECT_TRUE(three.request_sync(ingest("kept", 2), 0).ok());  // forwarded
+
+  three.restart_edge(0);
+  EXPECT_GE(three.sync().sync_until_converged(16), 1);
+  EXPECT_TRUE(three.edge_serving(0));
+  EXPECT_GE(three.replication().metrics().value("sync.rejoins.bootstrap"), 1.0);
+  EXPECT_DOUBLE_EQ(three.request_sync(summary("kept"), 0).body["count"].as_number(), 2.0);
 }
 
 TEST_F(FailureFixture, PeerLinkRejectsBadIndices) {

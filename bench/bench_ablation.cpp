@@ -22,6 +22,8 @@ using namespace edgstr::bench;
 
 namespace {
 
+util::MetricsRegistry g_reg;  ///< headline numbers, dumped from main()
+
 // ------------------------------------------------------------------- A1 --
 
 void ablation_sync_interval() {
@@ -76,6 +78,9 @@ void ablation_sync_interval() {
       ++writes;
     }
     const double bytes_per_min = double(three.sync().total_sync_bytes()) * 60.0 / 70.0;
+    const std::string tag = "a1.interval" + std::to_string(interval).substr(0, 4);
+    g_reg.set("ablation." + tag + ".bytes_per_min", bytes_per_min);
+    g_reg.set("ablation." + tag + ".staleness_s", writes ? total_staleness / writes : -1);
     std::printf("%14.2f %18.0f %22.2f\n", interval, bytes_per_min,
                 writes ? total_staleness / writes : -1);
   }
@@ -106,6 +111,8 @@ void ablation_delta_vs_snapshot() {
     // Naive alternative: replicas exchange the whole replicated snapshot
     // both ways every round.
     const double snapshot = 2.0 * double(result.init_snapshot.size_bytes());
+    g_reg.set("ablation.a2.delta_bytes." + app->name, delta);
+    g_reg.set("ablation.a2.snapshot_bytes." + app->name, snapshot);
     std::printf("%-15s %20.0f %24.0f %8.1fx\n", app->name.c_str(), delta, snapshot,
                 snapshot / std::max(delta, 1.0));
   }
@@ -153,6 +160,10 @@ void ablation_normalization() {
     std::printf("%-15s %18d / %-5d %18d / %-5d\n", app->name.c_str(), norm_ok, norm_fb,
                 raw_ok, raw_fb);
   }
+  g_reg.set("ablation.a3.normalized_ok", total_norm_ok);
+  g_reg.set("ablation.a3.raw_ok", total_raw_ok);
+  g_reg.set("ablation.a3.normalized_fallbacks", total_norm_fb);
+  g_reg.set("ablation.a3.raw_fallbacks", total_raw_fb);
   std::printf("\ntotals: normalized %d analyzable (%d exit-fallbacks) vs raw %d (%d).\n"
               "Normalization pins res.send arguments into named temporaries, so the\n"
               "marshal point is identified exactly instead of via the fallback.\n",
@@ -196,6 +207,8 @@ void ablation_append_merge() {
   for (const int n : {2, 8, 32}) {
     const auto [merged, total] = run_trial(true, n);
     const auto [lww, total2] = run_trial(false, n);
+    g_reg.set("ablation.a4.appends" + std::to_string(n) + ".merge_kept", merged);
+    g_reg.set("ablation.a4.appends" + std::to_string(n) + ".lww_kept", lww);
     std::printf("  %2d appends/edge: append-merge keeps %d/%d entries, LWW keeps %d/%d\n", n,
                 merged, total, lww, total2);
   }
@@ -224,6 +237,7 @@ int main(int argc, char** argv) {
   ablation_delta_vs_snapshot();
   ablation_normalization();
   ablation_append_merge();
+  dump_metrics_json(g_reg, "ablation");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

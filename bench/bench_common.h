@@ -8,6 +8,8 @@
 #include "apps/app.h"
 #include "edgstr/deployment.h"
 #include "edgstr/pipeline.h"
+#include "obs/export.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 
 namespace edgstr::bench {
@@ -76,6 +78,18 @@ double timed_request(netsim::SimClock& clock, Path& path, const http::HttpReques
 inline void print_rule(char c = '-', int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar(c);
   std::putchar('\n');
+}
+
+/// Writes a bench's headline numbers as `BENCH_<name>.json` (or to `path`
+/// when given) in the exporters' metrics-snapshot schema, so CI can diff
+/// bench results across runs without scraping stdout. Returns true on a
+/// successful write.
+inline bool dump_metrics_json(const util::MetricsRegistry& registry, const std::string& bench,
+                              const std::string& path = {}) {
+  const std::string out = path.empty() ? "BENCH_" + bench + ".json" : path;
+  if (!obs::write_text_file(out, obs::metrics_json(registry).dump_pretty() + "\n")) return false;
+  std::printf("[%s] wrote %s\n", bench.c_str(), out.c_str());
+  return true;
 }
 
 }  // namespace edgstr::bench

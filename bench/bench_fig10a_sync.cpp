@@ -19,6 +19,8 @@ using namespace edgstr::bench;
 
 namespace {
 
+util::MetricsRegistry g_reg;  ///< headline numbers, dumped from main()
+
 void run_fig10a() {
   std::printf("\n=== Figure 10(a): WAN traffic per invocation (KB) ===\n\n");
   std::printf("%-15s %14s %14s %14s %18s\n", "app", "original", "EdgStr sync",
@@ -65,6 +67,9 @@ void run_fig10a() {
         core::CrossIsaSync::from_snapshot(result.full_snapshot, kNodeRuntimeImageBytes);
     const double cross_bytes = double(cross.bytes_per_invocation());
 
+    g_reg.set("fig10a.wan_bytes.original." + app->name, original_bytes);
+    g_reg.set("fig10a.wan_bytes.edgstr." + app->name, edgstr_max);
+    g_reg.set("fig10a.wan_bytes.cross_isa." + app->name, cross_bytes);
     std::printf("%-15s %14.2f %14.2f %14.2f %17.1fx\n", app->name.c_str(),
                 original_bytes / 1024.0, edgstr_max / 1024.0, cross_bytes / 1024.0,
                 cross_bytes / std::max(edgstr_max, 1.0));
@@ -101,6 +106,7 @@ void run_wire_format() {
     const double batched = m.value("sync.bytes.wire");
     const double per_op = m.value("sync.bytes.per_op_equiv");
     const double saved = per_op > 0 ? 100.0 * (1.0 - batched / per_op) : 0.0;
+    g_reg.set("fig10a.wire_saved_pct." + app->name, saved);
     std::printf("%-15s %12d %14.0f %14.0f %9.1f%% %7.0f\n", app->name.c_str(), rounds,
                 batched, per_op, saved, m.value("sync.messages"));
   }
@@ -142,6 +148,7 @@ BENCHMARK(BM_CollectChanges);
 int main(int argc, char** argv) {
   run_fig10a();
   run_wire_format();
+  dump_metrics_json(g_reg, "fig10a_sync");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -190,6 +190,19 @@ void run_fig10b() {
   print_box("caching", pooled_caching);
   print_box("batching", pooled_batching);
   print_box("EdgStr", pooled_edgstr);
+
+  util::MetricsRegistry reg;
+  const auto record_box = [&reg](const std::string& strategy, const util::Summary& s) {
+    const util::BoxStats box = util::box_stats(s);
+    reg.set("fig10b.latency_ms." + strategy + ".median", box.median);
+    reg.set("fig10b.latency_ms." + strategy + ".q1", box.q1);
+    reg.set("fig10b.latency_ms." + strategy + ".q3", box.q3);
+  };
+  record_box("baseline", pooled_baseline);
+  record_box("caching", pooled_caching);
+  record_box("batching", pooled_batching);
+  record_box("edgstr", pooled_edgstr);
+  dump_metrics_json(reg, "fig10b_proxy");
   std::printf(
       "\nShape check (paper): every proxy strategy beats the unproxied baseline;\n"
       "caching takes min/Q1/median where inputs repeat but pays on max/Q3 (stale\n"

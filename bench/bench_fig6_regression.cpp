@@ -37,6 +37,7 @@ void run_fig6() {
               "rpi3 (req/s)");
   print_rule();
 
+  util::MetricsRegistry reg;
   std::vector<double> cloud_tput, rpi4_tput, rpi3_tput;
   for (const apps::SubjectApp* app : apps::all_subject_apps()) {
     const core::TransformResult& result = transformed(*app);
@@ -48,6 +49,9 @@ void run_fig6() {
     cloud_tput.push_back(c);
     rpi4_tput.push_back(p4);
     rpi3_tput.push_back(p3);
+    reg.set("fig6.tput.cloud." + app->name, c);
+    reg.set("fig6.tput.rpi4." + app->name, p4);
+    reg.set("fig6.tput.rpi3." + app->name, p3);
     std::printf("%-15s %14.1f %12.1f %12.1f\n", app->name.c_str(), c, p4, p3);
   }
 
@@ -59,6 +63,10 @@ void run_fig6() {
   std::printf("  both slopes << 1.0: subjects are optimized for a powerful server\n");
   std::printf("  RPI-4 / RPI-3 slope ratio: %.2f  (paper: 1.71, CPU benchmark: 1.8)\n",
               fit4.slope / fit3.slope);
+  reg.set("fig6.slope.rpi4", fit4.slope);
+  reg.set("fig6.slope.rpi3", fit3.slope);
+  reg.set("fig6.slope.ratio", fit4.slope / fit3.slope);
+  dump_metrics_json(reg, "fig6_regression");
 }
 
 void BM_DeviceExecution_Rpi4(benchmark::State& state) {

@@ -75,6 +75,7 @@ std::vector<SweepPoint> sweep_app(const apps::SubjectApp& app) {
 
 void run_fig7() {
   std::printf("\n=== Figure 7: WAN speed vs throughput (primary service per app) ===\n");
+  util::MetricsRegistry reg;
   for (const apps::SubjectApp* app : apps::all_subject_apps()) {
     const std::vector<SweepPoint> points = sweep_app(*app);
     if (points.empty()) continue;
@@ -95,6 +96,9 @@ void run_fig7() {
     } else {
       std::printf("  -> cloud wins across the sweep (compute-dominated service)\n");
     }
+    reg.set("fig7." + app->name + ".crossover_mbps", crossover);
+    reg.set("fig7." + app->name + ".tput.cloud.max", points.back().cloud_tput);
+    reg.set("fig7." + app->name + ".tput.edge.max", points.back().edge_tput);
 
     // Fig 7(g): Data Deluge index between sweep endpoints.
     const SweepPoint& lo = points.front();
@@ -111,11 +115,14 @@ void run_fig7() {
           std::abs(dtput_edge) > 1e-6 ? dnet_edge / dtput_edge : 0.0;
       std::printf("  I_deluge (MB per unit normalized tput): cloud %.1f, edgstr %.1f\n",
                   deluge_cloud, deluge_edge);
+      reg.set("fig7." + app->name + ".deluge.cloud", deluge_cloud);
+      reg.set("fig7." + app->name + ".deluge.edge", deluge_edge);
     }
   }
   std::printf("\nShape check (paper): deluge index of the original grows with the\n"
               "volume of transmitted data; EdgStr's WAN usage does not gate its\n"
               "throughput, so its index stays near zero.\n");
+  dump_metrics_json(reg, "fig7_throughput");
 }
 
 void BM_ThroughputSweepPoint(benchmark::State& state) {

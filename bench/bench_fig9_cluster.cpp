@@ -17,6 +17,8 @@ using namespace edgstr::bench;
 
 namespace {
 
+util::MetricsRegistry g_reg;  ///< headline numbers, dumped from main()
+
 core::DeploymentConfig cluster_config() {
   core::DeploymentConfig config;
   config.start_sync = false;
@@ -80,6 +82,9 @@ void run_fig9_left() {
       }
       util::Rng rng(1000 + rps + active);
       const double mean_ms = drive_traffic(deploy, req, rps, 6.0, /*elastic=*/false, rng);
+      g_reg.set("fig9.latency_ms.rps" + std::to_string(rps) + ".replicas" +
+                    std::to_string(active),
+                mean_ms);
       std::printf("   %13.1f", mean_ms);
     }
     std::printf("\n");
@@ -127,6 +132,9 @@ void run_fig9_right() {
   std::printf("\n  energy saved by elastic parking: %.2f%%  (paper: 12.96%%)\n", savings);
   std::printf("  latency cost: %+.1f ms mean (paper: \"increasing only slightly\")\n",
               lat_elastic - lat_fixed);
+  g_reg.set("fig9.elastic.energy_saved_pct", savings);
+  g_reg.set("fig9.elastic.latency_cost_ms", lat_elastic - lat_fixed);
+  g_reg.set("fig9.elastic.final_active", double(active_elastic));
 }
 
 void BM_GatewayRequest(benchmark::State& state) {
@@ -148,6 +156,7 @@ BENCHMARK(BM_GatewayRequest);
 int main(int argc, char** argv) {
   run_fig9_left();
   run_fig9_right();
+  dump_metrics_json(g_reg, "fig9_cluster");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -16,6 +16,7 @@ void run_motivation_table() {
   const apps::SubjectApp& app = apps::fobojet();
   const core::TransformResult& result = transformed(app);
   if (!result.ok) return;
+  util::MetricsRegistry reg;
 
   std::printf("\n=== Motivation (Sec. II-A): RTT to differently-located clouds ===\n");
   std::printf("firebase-objdet-node POST /predict, image sizes 1-20 MB\n\n");
@@ -42,9 +43,13 @@ void run_motivation_table() {
       core::TwoTierDeployment two(result.cloud_source, config);
       two.request_sync(req, &far);
     }
+    const std::string size = std::to_string(static_cast<int>(mb)) + "mb";
+    reg.set("motivation.rtt_s.same." + size, same);
+    reg.set("motivation.rtt_s.far." + size, far);
     std::printf("%-12s %22.3f %26.3f %7.1fx\n",
                 util::format_bytes(mb * 1024 * 1024).c_str(), same, far, far / same);
   }
+  dump_metrics_json(reg, "motivation");
   std::printf("\nPure-propagation RTT (no payload): %.0f ms same-continent vs %.0f ms\n"
               "neighboring-continent — the order-of-magnitude gap that motivates\n"
               "edge replication for mission-critical latency targets.\n",

@@ -28,6 +28,7 @@ void run_table2() {
               "WAN_e(KB) min/max", "L_o(ms)", "L_e(ms)");
   print_rule('-', 94);
 
+  util::MetricsRegistry reg;
   for (const apps::SubjectApp* app : apps::all_subject_apps()) {
     const core::TransformResult& result = transformed(*app);
     if (!result.ok) continue;
@@ -78,6 +79,11 @@ void run_table2() {
       }
       if (!std::isfinite(sync_min)) sync_min = 0;
 
+      const std::string svc = app->name + "." + route.to_string();
+      reg.set("table2.wan_o_kb." + svc, wan_o);
+      reg.set("table2.wan_e_kb_max." + svc, sync_max);
+      reg.set("table2.latency_ms.cloud." + svc, latency_cloud * 1000);
+      reg.set("table2.latency_ms.edge." + svc, latency_edge * 1000);
       std::printf("  %-14s %-22s %12.1f %8.2f /%7.2f %9.1f %9.1f\n", "",
                   route.to_string().c_str(), wan_o, sync_min, sync_max,
                   latency_cloud * 1000, latency_edge * 1000);
@@ -99,6 +105,7 @@ void run_table2() {
       "WAN degrades. (For near-zero-compute services our simulated 2 ms LAN\n"
       "RTT still lets the edge answer first — a spot where the simulation's\n"
       "idealized LAN departs from the paper's measured Wi-Fi.)\n");
+  dump_metrics_json(reg, "table2");
 }
 
 void BM_SyncRound(benchmark::State& state) {

@@ -9,7 +9,14 @@
 //       Runs the full pipeline. --replica prints the generated edge source;
 //       --consult prints the §III-D developer-consultation prompts.
 //   edgstr_cli compare <app> [--wan limited|fast|intercontinental]
-//       Deploys two-tier vs three-tier and reports per-request latencies.
+//               [--trace-out FILE] [--metrics FILE]
+//       Deploys two-tier vs three-tier and reports per-request latencies,
+//       then prints the merged metrics snapshot (request-latency histograms
+//       + sync counters). --trace-out writes the three-tier run's span log
+//       as Chrome-trace JSON; --metrics writes the snapshot as JSON.
+//
+// The global flag --log-level <error|warn|info|debug> sets the runtime
+// log threshold (default warn).
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -19,6 +26,8 @@
 #include "edgstr/pipeline.h"
 #include "edgstr/transform.h"
 #include "json/parse.h"
+#include "obs/export.h"
+#include "util/logging.h"
 #include "util/strings.h"
 
 using namespace edgstr;
@@ -133,16 +142,40 @@ int cmd_compare(const apps::SubjectApp& app, const std::vector<std::string>& arg
   const int rounds = three.sync().sync_until_converged();
   std::printf("\nstate sync: converged in %d round(s), %llu bytes over the WAN\n", rounds,
               static_cast<unsigned long long>(three.sync().total_sync_bytes()));
-  std::printf("\nsync metrics (per endpoint / per doc):\n%s",
+
+  // Full registry snapshot on exit: request-path latency histograms from
+  // the telemetry plane plus the replication graph's sync series.
+  std::printf("\nmetrics snapshot:\n%s%s", three.telemetry().metrics().format().c_str(),
               three.sync().metrics().format("sync.").c_str());
-  return 0;
+
+  int status = 0;
+  const std::string trace_out = flag_value(args, "--trace-out", "");
+  if (!trace_out.empty()) {
+    if (obs::write_text_file(trace_out, three.chrome_trace().dump_pretty() + "\n")) {
+      std::printf("\nwrote Chrome trace to %s (open in ui.perfetto.dev)\n", trace_out.c_str());
+    } else {
+      status = 1;
+    }
+  }
+  const std::string metrics_out = flag_value(args, "--metrics", "");
+  if (!metrics_out.empty()) {
+    if (obs::write_text_file(metrics_out, three.metrics_snapshot().dump_pretty() + "\n")) {
+      std::printf("wrote metrics snapshot to %s\n", metrics_out.c_str());
+    } else {
+      status = 1;
+    }
+  }
+  return status;
 }
 
 int usage() {
-  std::cerr << "usage: edgstr_cli <list | capture <app> | transform <app> | compare <app>>\n"
+  std::cerr << "usage: edgstr_cli [--log-level LEVEL] "
+               "<list | capture <app> | transform <app> | compare <app>>\n"
                "  capture   [--out FILE]\n"
                "  transform [--traffic FILE] [--replica] [--consult]\n"
-               "  compare   [--wan limited|fast|intercontinental]\n";
+               "  compare   [--wan limited|fast|intercontinental] [--trace-out FILE] "
+               "[--metrics FILE]\n"
+               "  --log-level error|warn|info|debug\n";
   return 2;
 }
 
@@ -150,6 +183,19 @@ int usage() {
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  // Peel the global --log-level flag off wherever it appears, so it works
+  // before or after the subcommand.
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] != "--log-level") continue;
+    util::LogLevel level;
+    if (!util::parse_log_level(args[i + 1], &level)) {
+      std::cerr << "invalid --log-level '" << args[i + 1] << "'\n";
+      return usage();
+    }
+    util::set_log_level(level);
+    args.erase(args.begin() + std::ptrdiff_t(i), args.begin() + std::ptrdiff_t(i) + 2);
+    break;
+  }
   if (args.empty()) return usage();
   const std::string cmd = args[0];
   if (cmd == "list") return cmd_list();

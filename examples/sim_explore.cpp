@@ -1,26 +1,33 @@
 // sim_explore — seed-driven simulation explorer for the replication plane.
 //
 //   sim_explore --seed N [--rounds R] [--trace] [--optimistic-acks]
+//               [--trace-out FILE] [--metrics-out FILE]
 //       Replays one schedule and prints its one-line report; --trace dumps
 //       the full event trace (what you diff when chasing a failing seed).
+//       --trace-out writes the run's span log as Chrome-trace JSON (open in
+//       chrome://tracing or ui.perfetto.dev); --metrics-out writes the
+//       metrics snapshot (counters + latency/staleness histograms) as JSON.
 //   sim_explore --sweep N [--start S] [--rounds R] [--optimistic-acks]
 //       Runs N consecutive seeds starting at S (default 1) and prints a
 //       report per failure. Exits nonzero when any seed fails, with the
 //       failing seeds listed last so CI logs surface them.
 //
 // A failing seed is a complete reproduction: `sim_explore --seed N --trace`
-// re-runs the identical topology, faults, crashes, and traffic.
+// re-runs the identical topology, faults, crashes, and traffic — and the
+// telemetry exports of two same-seed runs are byte-identical.
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "obs/export.h"
 #include "sim/schedule.h"
 
 namespace {
 
 int usage() {
   std::cerr << "usage: sim_explore --seed N [--rounds R] [--trace] [--optimistic-acks]\n"
+            << "                   [--trace-out FILE] [--metrics-out FILE]\n"
             << "       sim_explore --sweep N [--start S] [--rounds R] [--optimistic-acks]\n";
   return 2;
 }
@@ -45,6 +52,7 @@ int main(int argc, char** argv) {
   bool sweep = false;
   bool trace = false;
   std::uint64_t seed = 0, count = 0, start = 1;
+  std::string trace_out, metrics_out;
   edgstr::sim::ScheduleConfig config;
   bool have_target = false;
 
@@ -64,6 +72,10 @@ int main(int argc, char** argv) {
       config.rounds = static_cast<std::size_t>(rounds);
     } else if (arg == "--trace") {
       trace = true;
+    } else if (arg == "--trace-out" && has_value) {
+      trace_out = args[++i];
+    } else if (arg == "--metrics-out" && has_value) {
+      metrics_out = args[++i];
     } else if (arg == "--optimistic-acks") {
       config.optimistic_acks = true;
     } else {
@@ -74,10 +86,24 @@ int main(int argc, char** argv) {
 
   if (!sweep) {
     config.seed = seed;
+    config.capture_telemetry = !trace_out.empty() || !metrics_out.empty();
     const edgstr::sim::ScheduleResult result = edgstr::sim::run_schedule(config);
     std::cout << result.summary() << "\n";
     if (trace) std::cout << result.trace.dump() << "\n";
+    bool io_ok = true;
+    if (!trace_out.empty()) {
+      io_ok = edgstr::obs::write_text_file(trace_out, result.chrome_trace + "\n") && io_ok;
+    }
+    if (!metrics_out.empty()) {
+      io_ok = edgstr::obs::write_text_file(metrics_out, result.metrics_snapshot + "\n") && io_ok;
+    }
+    if (!io_ok) return 2;
     return result.passed ? 0 : 1;
+  }
+
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    std::cerr << "sim_explore: --trace-out/--metrics-out need a single --seed run\n";
+    return usage();
   }
 
   std::vector<std::uint64_t> failing;

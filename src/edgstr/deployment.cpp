@@ -11,11 +11,11 @@ std::string regional_host(std::size_t i) { return "regional" + std::to_string(i)
 
 TwoTierDeployment::TwoTierDeployment(const std::string& cloud_source,
                                      const DeploymentConfig& config)
-    : network_(config.seed) {
+    : network_(config.seed), telemetry_(&network_.clock()) {
   cloud_ = std::make_unique<runtime::Node>(network_.clock(), config.cloud_device.spec(kCloudHost));
   cloud_->host(std::make_unique<runtime::ServiceRuntime>(cloud_source));
   network_.connect(kClientHost, kCloudHost, config.wan);
-  path_ = std::make_unique<runtime::TwoTierPath>(network_, kClientHost, *cloud_);
+  path_ = std::make_unique<runtime::TwoTierPath>(network_, kClientHost, *cloud_, &telemetry_);
 }
 
 http::HttpResponse TwoTierDeployment::request_sync(const http::HttpRequest& req,
@@ -43,7 +43,7 @@ http::HttpResponse TwoTierDeployment::request_sync(const http::HttpRequest& req,
 
 ThreeTierDeployment::ThreeTierDeployment(const TransformResult& transform,
                                          const DeploymentConfig& config)
-    : network_(config.seed) {
+    : network_(config.seed), telemetry_(&network_.clock()) {
   if (!transform.ok) throw std::invalid_argument("ThreeTierDeployment: transform failed");
 
   // ---- cloud master -------------------------------------------------------
@@ -54,10 +54,12 @@ ThreeTierDeployment::ThreeTierDeployment(const TransformResult& transform,
   cloud_state_ = std::make_shared<runtime::ReplicaState>(
       "cloud", cloud_->service(), transform.replicated_files, transform.replicated_globals);
   cloud_state_->attach_existing();
+  cloud_state_->set_telemetry(&telemetry_);
 
   init_snapshot_ = transform.init_snapshot;
   sync_ = std::make_unique<runtime::SyncEngine>(network_, kCloudHost);
   sync_->set_cloud(cloud_state_);
+  sync_->graph().set_telemetry(&telemetry_);
   // A rejoined replica goes back into service; regional aggregators have
   // no serving node, so only matching edge hosts flip.
   sync_->graph().set_rejoin_listener([this](const std::string& id) {
@@ -79,6 +81,7 @@ ThreeTierDeployment::ThreeTierDeployment(const TransformResult& transform,
     auto state = std::make_shared<runtime::ReplicaState>(
         host, service.get(), transform.replicated_files, transform.replicated_globals);
     state->initialize_from_snapshot(transform.init_snapshot);
+    state->set_telemetry(&telemetry_);
     node->host(std::move(service));
 
     network_.connect(kClientHost, host, config.lan);
@@ -93,7 +96,7 @@ ThreeTierDeployment::ThreeTierDeployment(const TransformResult& transform,
 
     proxies_.push_back(std::make_unique<runtime::EdgeProxy>(
         network_, kClientHost, *node, *cloud_, served_routes_, state.get(),
-        cloud_state_.get()));
+        cloud_state_.get(), &telemetry_));
     edge_states_.push_back(std::move(state));
     edges_.push_back(std::move(node));
   }
@@ -112,6 +115,7 @@ ThreeTierDeployment::ThreeTierDeployment(const TransformResult& transform,
       auto state = std::make_shared<runtime::ReplicaState>(
           host, service.get(), transform.replicated_files, transform.replicated_globals);
       state->initialize_from_snapshot(transform.init_snapshot);
+      state->set_telemetry(&telemetry_);
       network_.connect(host, kCloudHost, config.wan);
       sync_->graph().add_endpoint(state);
       sync_->graph().add_link(kCloudHost, host);

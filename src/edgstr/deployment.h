@@ -19,6 +19,8 @@
 #include "cluster/device.h"
 #include "cluster/energy.h"
 #include "edgstr/pipeline.h"
+#include "obs/export.h"
+#include "obs/telemetry.h"
 #include "runtime/proxy.h"
 #include "runtime/sync_engine.h"
 
@@ -52,12 +54,19 @@ class TwoTierDeployment {
   runtime::Node& cloud() { return *cloud_; }
   runtime::TwoTierPath& path() { return *path_; }
 
+  /// The deployment's telemetry plane (spans + request metrics).
+  obs::Telemetry& telemetry() { return telemetry_; }
+  const obs::Telemetry& telemetry() const { return telemetry_; }
+  /// Metrics snapshot as JSON (counters + histogram summaries).
+  json::Value metrics_snapshot() const { return obs::metrics_json(telemetry_.metrics()); }
+
   /// Issues a request and runs the clock until it completes; returns the
   /// response and fills `latency_s`.
   http::HttpResponse request_sync(const http::HttpRequest& req, double* latency_s = nullptr);
 
  private:
   netsim::Network network_;
+  obs::Telemetry telemetry_;
   std::unique_ptr<runtime::Node> cloud_;
   std::unique_ptr<runtime::TwoTierPath> path_;
 };
@@ -82,6 +91,18 @@ class ThreeTierDeployment {
 
   /// Single-edge proxy path (latency/throughput benches).
   runtime::EdgeProxy& proxy(std::size_t i = 0) { return *proxies_.at(i); }
+
+  /// The deployment-wide telemetry plane: every proxy, replica state, and
+  /// the replication graph emit into it.
+  obs::Telemetry& telemetry() { return telemetry_; }
+  const obs::Telemetry& telemetry() const { return telemetry_; }
+  /// Chrome-trace JSON of every span recorded so far (Perfetto-loadable).
+  json::Value chrome_trace() const { return obs::chrome_trace_json(telemetry_.tracer()); }
+  /// Merged metrics snapshot: request-path (`runtime.*`) histograms from
+  /// the telemetry registry plus the replication graph's `sync.*` series.
+  json::Value metrics_snapshot() const {
+    return obs::metrics_json({&telemetry_.metrics(), &sync_->graph().metrics()});
+  }
 
   /// Cluster pieces (Figure 9 benches).
   cluster::LoadBalancer& balancer() { return *balancer_; }
@@ -112,6 +133,7 @@ class ThreeTierDeployment {
 
  private:
   netsim::Network network_;
+  obs::Telemetry telemetry_;
   std::unique_ptr<runtime::Node> cloud_;
   std::vector<std::unique_ptr<runtime::Node>> edges_;
   std::shared_ptr<runtime::ReplicaState> cloud_state_;

@@ -1,0 +1,147 @@
+#include "obs/export.h"
+
+#include <fstream>
+#include <map>
+
+#include "util/logging.h"
+
+namespace edgstr::obs {
+
+namespace {
+
+constexpr double kMicros = 1e6;  ///< simulated seconds -> trace microseconds
+
+json::Value span_args(const Span& span) {
+  json::Object args;
+  for (const auto& [key, value] : span.args) args.set(key, json::Value(value));
+  args.set("trace", json::Value(double(span.trace_id)));
+  args.set("span", json::Value(double(span.id)));
+  if (span.parent_id != 0) args.set("parent", json::Value(double(span.parent_id)));
+  if (!span.links.empty()) {
+    json::Array links;
+    for (const std::uint64_t t : span.links) links.emplace_back(double(t));
+    args.set("links", json::Value(std::move(links)));
+  }
+  return json::Value(std::move(args));
+}
+
+}  // namespace
+
+json::Value chrome_trace_json(const Tracer& tracer) {
+  json::Array events;
+
+  // Stable pid per simulated host, in first-use order.
+  std::map<std::string, int> pid_of;
+  std::vector<std::string> hosts;
+  for (const Span& span : tracer.spans()) {
+    if (pid_of.emplace(span.host, int(pid_of.size()) + 1).second) hosts.push_back(span.host);
+  }
+  for (const std::string& host : hosts) {
+    events.push_back(json::Value::object(
+        {{"name", "process_name"},
+         {"ph", "M"},
+         {"pid", pid_of[host]},
+         {"args", json::Value::object({{"name", host}})}}));
+  }
+
+  // Root span of each trace, for anchoring flow arrows.
+  std::map<std::uint64_t, const Span*> root_of;
+  for (const Span& span : tracer.spans()) {
+    auto it = root_of.find(span.trace_id);
+    if (it == root_of.end() || (it->second->parent_id != 0 && span.parent_id == 0)) {
+      root_of[span.trace_id] = &span;
+    }
+  }
+
+  std::uint64_t flow_serial = 1;
+  for (const Span& span : tracer.spans()) {
+    events.push_back(json::Value::object({{"name", span.name},
+                                          {"cat", span.category},
+                                          {"ph", "X"},
+                                          {"ts", span.start * kMicros},
+                                          {"dur", span.duration() * kMicros},
+                                          {"pid", pid_of[span.host]},
+                                          {"tid", 0},
+                                          {"args", span_args(span)}}));
+    // One flow arrow per causal link: from the linked trace's root span to
+    // this span. Perfetto draws these across processes.
+    for (const std::uint64_t linked : span.links) {
+      auto it = root_of.find(linked);
+      if (it == root_of.end()) continue;
+      const Span& origin = *it->second;
+      const double id = double(flow_serial++);
+      events.push_back(json::Value::object({{"name", "causal"},
+                                            {"cat", "flow"},
+                                            {"ph", "s"},
+                                            {"id", id},
+                                            {"ts", origin.start * kMicros},
+                                            {"pid", pid_of[origin.host]},
+                                            {"tid", 0}}));
+      events.push_back(json::Value::object({{"name", "causal"},
+                                            {"cat", "flow"},
+                                            {"ph", "f"},
+                                            {"bp", "e"},
+                                            {"id", id},
+                                            {"ts", span.start * kMicros},
+                                            {"pid", pid_of[span.host]},
+                                            {"tid", 0}}));
+    }
+  }
+
+  return json::Value::object({{"traceEvents", json::Value(std::move(events))},
+                              {"displayTimeUnit", "ms"}});
+}
+
+namespace {
+
+json::Value histogram_json(const util::Histogram& h) {
+  json::Array buckets;
+  const std::vector<double>& bounds = h.bounds();
+  const std::vector<std::uint64_t>& counts = h.bucket_counts();
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;  // sparse: empty buckets carry no signal
+    const double bound = i < bounds.size() ? bounds[i] : h.max();
+    buckets.push_back(json::Value::array({bound, double(counts[i])}));
+  }
+  return json::Value::object({{"count", double(h.count())},
+                              {"sum", h.sum()},
+                              {"min", h.min()},
+                              {"max", h.max()},
+                              {"mean", h.mean()},
+                              {"p50", h.quantile(0.50)},
+                              {"p95", h.quantile(0.95)},
+                              {"p99", h.quantile(0.99)},
+                              {"buckets", json::Value(std::move(buckets))}});
+}
+
+}  // namespace
+
+json::Value metrics_json(const std::vector<const util::MetricsRegistry*>& registries) {
+  json::Object counters;
+  json::Object histograms;
+  for (const util::MetricsRegistry* registry : registries) {
+    if (!registry) continue;
+    for (const auto& [name, value] : registry->snapshot()) counters.set(name, json::Value(value));
+    for (const auto& [name, histogram] : registry->histograms()) {
+      histograms.set(name, histogram_json(*histogram));
+    }
+  }
+  return json::Value::object({{"counters", json::Value(std::move(counters))},
+                              {"histograms", json::Value(std::move(histograms))}});
+}
+
+json::Value metrics_json(const util::MetricsRegistry& registry) {
+  return metrics_json(std::vector<const util::MetricsRegistry*>{&registry});
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream file(path);
+  if (!file) {
+    EDGSTR_WARN() << "cannot write " << path;
+    return false;
+  }
+  file << text;
+  return file.good();
+}
+
+}  // namespace edgstr::obs

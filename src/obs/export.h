@@ -1,0 +1,32 @@
+// Telemetry exporters: Chrome-trace / Perfetto JSON for spans, and a
+// machine-readable JSON snapshot for metrics registries.
+//
+// The trace export uses the Trace Event Format's object form
+// ({"traceEvents": [...]}): one complete ("X") event per span, process
+// metadata naming each simulated host, and flow ("s"/"f") arrows for every
+// cross-trace causal link — open it in chrome://tracing or
+// https://ui.perfetto.dev. Timestamps are simulated microseconds, so the
+// export of a seeded run is byte-identical across runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "json/value.h"
+#include "obs/telemetry.h"
+
+namespace edgstr::obs {
+
+/// Full span log as Chrome-trace JSON.
+json::Value chrome_trace_json(const Tracer& tracer);
+
+/// Metrics as {"counters": {...}, "histograms": {name: {count, sum, min,
+/// max, mean, p50, p95, p99, buckets: [[bound, count], ...]}}}. Registries
+/// are merged in order; on a name collision the later registry wins.
+json::Value metrics_json(const std::vector<const util::MetricsRegistry*>& registries);
+json::Value metrics_json(const util::MetricsRegistry& registry);
+
+/// Writes text to `path`; returns false (and logs a warning) on failure.
+bool write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace edgstr::obs

@@ -1,0 +1,56 @@
+#include "obs/span.h"
+
+#include <algorithm>
+
+namespace edgstr::obs {
+
+SpanId Tracer::begin_span(std::string name, std::string category, std::string host,
+                          const TraceContext& parent) {
+  Span span;
+  if (parent.valid()) {
+    span.trace_id = parent.trace_id;
+    span.parent_id = parent.span_id;
+  } else {
+    span.trace_id = next_trace_++;
+  }
+  span.id = spans_.size() + 1;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.host = std::move(host);
+  span.start = now();
+  span.end = span.start;
+  spans_.push_back(std::move(span));
+  return spans_.size();
+}
+
+TraceContext Tracer::context(SpanId id) const {
+  if (id == kNoSpan) return {};
+  const Span& s = span(id);
+  return TraceContext{s.trace_id, s.id};
+}
+
+void Tracer::end_span(SpanId id) {
+  if (id == kNoSpan) return;
+  Span& s = spans_.at(id - 1);
+  s.end = std::max(s.end, now());
+}
+
+void Tracer::add_arg(SpanId id, std::string key, std::string value) {
+  if (id == kNoSpan) return;
+  spans_.at(id - 1).args.emplace_back(std::move(key), std::move(value));
+}
+
+void Tracer::link(SpanId id, std::uint64_t trace_id) {
+  if (id == kNoSpan || trace_id == 0) return;
+  auto& links = spans_.at(id - 1).links;
+  if (std::find(links.begin(), links.end(), trace_id) == links.end()) {
+    links.push_back(trace_id);
+  }
+}
+
+void Tracer::clear() {
+  spans_.clear();
+  next_trace_ = 1;
+}
+
+}  // namespace edgstr::obs

@@ -1,0 +1,74 @@
+// Shared telemetry context for one deployment: the span tracer, a metrics
+// registry for request-path histograms, and the op-provenance table that
+// ties CRDT ops back to the client trace that produced them.
+//
+// Ownership: a deployment owns one Telemetry and hands non-owning pointers
+// to its proxies, replica states, and replication graph. Everything here is
+// single-threaded (the simulation runs on one event loop) and
+// deterministic: ids from counters, timestamps from the netsim clock.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "obs/span.h"
+#include "util/metrics.h"
+
+namespace edgstr::obs {
+
+class Telemetry {
+ public:
+  explicit Telemetry(const netsim::SimClock* clock = nullptr) : tracer_(clock) {}
+  void bind_clock(const netsim::SimClock* clock) { tracer_.bind_clock(clock); }
+
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  /// Request-path metrics (`runtime.*`); the replication plane keeps its
+  /// own `sync.*` registry on the graph — exporters merge the two.
+  util::MetricsRegistry& metrics() { return metrics_; }
+  const util::MetricsRegistry& metrics() const { return metrics_; }
+
+  // --- op provenance -------------------------------------------------------
+  //
+  // The proxy sets the active context around the post-execution
+  // record_local() harvest; ReplicaState tags every op it mints under that
+  // context. Ops keep their (doc, origin, seq) identity across relays, so
+  // a lookup works no matter how many hops the op traveled.
+
+  void set_active_context(const TraceContext& ctx) { active_ = ctx; }
+  void clear_active_context() { active_ = {}; }
+  const TraceContext& active_context() const { return active_; }
+
+  /// Tags op (doc, origin, seq) with the active trace; no-op without one.
+  void tag_op(const std::string& doc, const std::string& origin, std::uint64_t seq);
+
+  /// Trace that produced the op, or 0 when untagged (background harvest,
+  /// bootstrap restore, or telemetry attached after the op was minted).
+  std::uint64_t op_trace(const std::string& doc, const std::string& origin,
+                         std::uint64_t seq) const;
+
+  // --- delivery accounting -------------------------------------------------
+
+  /// Records that `host` applied ops belonging to `trace_id`.
+  void note_delivery(const std::string& host, std::uint64_t trace_id);
+  /// True when `host` has applied ops of the trace.
+  bool delivered(std::uint64_t trace_id, const std::string& host) const;
+  /// Hosts that applied ops of the trace (empty set when none).
+  std::set<std::string> delivered_hosts(std::uint64_t trace_id) const;
+
+  void clear();
+
+ private:
+  using OpKey = std::tuple<std::string, std::string, std::uint64_t>;
+
+  Tracer tracer_;
+  util::MetricsRegistry metrics_;
+  TraceContext active_;
+  std::map<OpKey, std::uint64_t> op_trace_;
+  std::map<std::uint64_t, std::set<std::string>> delivered_;
+};
+
+}  // namespace edgstr::obs

@@ -5,12 +5,19 @@
 // non-replicated routes — and any local execution that *fails* — are
 // transparently forwarded to the cloud master (the paper's failure policy:
 // replicas detect failures but delegate handling to the cloud).
+//
+// With a Telemetry attached, each request mints a TraceContext and opens a
+// root span; serve/forward legs become child spans, ops harvested after a
+// local write are tagged with the trace (so sync spans can link back to
+// it), and end-to-end latency lands in `runtime.request.latency.*`
+// histograms split by how the request was served.
 #pragma once
 
 #include <functional>
 #include <set>
 
 #include "netsim/network.h"
+#include "obs/telemetry.h"
 #include "runtime/node.h"
 #include "runtime/replica_state.h"
 
@@ -31,7 +38,8 @@ struct PathStats {
 /// the cloud node over the WAN.
 class TwoTierPath {
  public:
-  TwoTierPath(netsim::Network& network, std::string client_host, Node& cloud);
+  TwoTierPath(netsim::Network& network, std::string client_host, Node& cloud,
+              obs::Telemetry* telemetry = nullptr);
 
   /// Issues one request at the current simulation time.
   void request(const http::HttpRequest& req, RequestCallback done);
@@ -42,6 +50,7 @@ class TwoTierPath {
   netsim::Network& network_;
   std::string client_host_;
   Node& cloud_;
+  obs::Telemetry* telemetry_;
   PathStats stats_;
 };
 
@@ -53,7 +62,7 @@ class EdgeProxy {
   /// only on the next background sync round).
   EdgeProxy(netsim::Network& network, std::string client_host, Node& edge, Node& cloud,
             std::set<http::Route> served_routes, ReplicaState* sync_state = nullptr,
-            ReplicaState* cloud_sync_state = nullptr);
+            ReplicaState* cloud_sync_state = nullptr, obs::Telemetry* telemetry = nullptr);
 
   void request(const http::HttpRequest& req, RequestCallback done);
 
@@ -68,11 +77,13 @@ class EdgeProxy {
   std::set<http::Route> served_routes_;
   ReplicaState* sync_state_;
   ReplicaState* cloud_sync_state_;
+  obs::Telemetry* telemetry_;
   PathStats stats_;
 
   void forward_to_cloud(const http::HttpRequest& req, double start_time, RequestCallback done,
-                        bool was_failure);
-  void respond_to_client(const http::HttpResponse& resp, double start_time, RequestCallback done);
+                        bool was_failure, obs::SpanId root);
+  void respond_to_client(const http::HttpResponse& resp, double start_time, RequestCallback done,
+                         obs::SpanId root, bool served_locally);
 };
 
 }  // namespace edgstr::runtime

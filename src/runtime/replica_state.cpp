@@ -62,8 +62,28 @@ void ReplicaState::materialize_globals(const std::vector<crdt::Op>& applied) {
 }
 
 std::size_t ReplicaState::record_local() {
+  const bool tagging = telemetry_ && telemetry_->active_context().valid();
   std::size_t ops = 0;
-  for (const DocUnit& unit : units_) ops += unit.doc->record_local();
+  for (const DocUnit& unit : units_) {
+    if (!tagging) {
+      ops += unit.doc->record_local();
+      continue;
+    }
+    // Every op harvested here was produced by the request whose trace is
+    // active: local ops carry this replica's origin with contiguous seqs,
+    // so the new ones are exactly (before, after].
+    auto own_seq = [&]() -> std::uint64_t {
+      const crdt::VersionVector& v = unit.doc->version();
+      auto it = v.find(id_);
+      return it == v.end() ? 0 : it->second;
+    };
+    const std::uint64_t before = own_seq();
+    ops += unit.doc->record_local();
+    const std::uint64_t after = own_seq();
+    for (std::uint64_t seq = before + 1; seq <= after; ++seq) {
+      telemetry_->tag_op(unit.name, id_, seq);
+    }
+  }
   return ops;
 }
 

@@ -16,6 +16,7 @@
 #include "crdt/json_doc.h"
 #include "crdt/table.h"
 #include "crdt/wire.h"
+#include "obs/telemetry.h"
 #include "runtime/service_runtime.h"
 
 namespace edgstr::runtime {
@@ -44,6 +45,11 @@ class ReplicaState {
   /// vectors) is lost; the replica is reborn from the shared checkpoint as
   /// if freshly deployed. Identity (replica id) survives.
   void crash_reset(const trace::Snapshot& snapshot) { initialize_from_snapshot(snapshot); }
+
+  /// Attaches the deployment's telemetry plane: ops harvested while a
+  /// trace context is active are tagged with the client trace that
+  /// produced them (see Telemetry::set_active_context).
+  void set_telemetry(obs::Telemetry* telemetry) { telemetry_ = telemetry; }
 
   /// Harvests local state changes into CRDT ops (call after executions).
   std::size_t record_local();
@@ -100,6 +106,7 @@ class ReplicaState {
   std::vector<DocUnit> units_;
   std::set<std::string> replicated_files_;
   std::set<std::string> replicated_globals_;
+  obs::Telemetry* telemetry_ = nullptr;
 
   json::Value filtered_globals();
   void materialize_globals(const std::vector<crdt::Op>& applied);

@@ -26,7 +26,13 @@ SyncLink& ReplicationGraph::add_link(const std::string& a, const std::string& b)
     }
   }
   links_.push_back(GraphLink{a, b, std::make_unique<SyncLink>(network_, a, b, &metrics_)});
+  links_.back().link->set_telemetry(telemetry_);
   return *links_.back().link;
+}
+
+void ReplicationGraph::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  for (const GraphLink& link : links_) link.link->set_telemetry(telemetry);
 }
 
 ReplicaState& ReplicationGraph::endpoint(const std::string& id) const {
@@ -60,7 +66,9 @@ double version_weight(const crdt::DocVersions& versions) {
 
 }  // namespace
 
-void ReplicationGraph::exchange(ReplicaState& sender, ReplicaState& receiver, SyncLink& link) {
+void ReplicationGraph::exchange(ReplicaState& sender, ReplicaState& receiver, SyncLink& link,
+                                const obs::TraceContext& round_ctx, obs::SpanId round_span,
+                                std::uint64_t* round_bytes, std::size_t* round_ops) {
   const std::string key = receiver.id() + "<-" + sender.id();
   const crdt::DocVersions& known = peer_known_[key];
   const crdt::DocVersions* floor = &known;
@@ -86,27 +94,74 @@ void ReplicationGraph::exchange(ReplicaState& sender, ReplicaState& receiver, Sy
   }
   const crdt::SyncMessage message = sender.collect_changes(*floor);
   if (optimistic_acks_) peer_known_[key] = message.versions;
+  if (round_bytes || round_ops) {
+    std::size_t ops = 0;
+    for (const auto& [doc, doc_ops] : message.ops) ops += doc_ops.size();
+    if (round_ops) *round_ops += ops;
+  }
   const std::uint64_t sent_inc = incarnation_[receiver.id()];
-  link.send(sender.id(), message,
-            [this, key, sent_inc, rid = receiver.id(), &receiver](const crdt::SyncMessage& delivered) {
-              // Deliveries addressed to a previous life of the receiver are
-              // dead letters: the reborn replica's version vector no longer
-              // matches what this delta assumed.
-              if (down_.count(rid) || recovering_.count(rid)) return;
-              if (incarnation_[rid] != sent_inc) return;
-              receiver.apply_message(delivered);
-              if (!optimistic_acks_) peer_known_[key] = delivered.versions;
-            });
+  const std::uint64_t bytes = link.send(
+      sender.id(), message,
+      [this, key, sent_inc, round_ctx, round_span, rid = receiver.id(),
+       &receiver](const crdt::SyncMessage& delivered) {
+        // Deliveries addressed to a previous life of the receiver are
+        // dead letters: the reborn replica's version vector no longer
+        // matches what this delta assumed.
+        if (down_.count(rid) || recovering_.count(rid)) return;
+        if (incarnation_[rid] != sent_inc) return;
+        receiver.apply_message(delivered);
+        if (!optimistic_acks_) peer_known_[key] = delivered.versions;
+        if (telemetry_) {
+          // Zero-duration apply span at the receiver, linked to every
+          // client trace whose ops this delivery carried — the far end of
+          // the write -> sync -> apply causal thread.
+          obs::Tracer& tracer = telemetry_->tracer();
+          const obs::SpanId apply = tracer.begin_span("sync.apply", "sync", rid, round_ctx);
+          std::size_t op_count = 0;
+          for (const auto& [doc, doc_ops] : delivered.ops) {
+            op_count += doc_ops.size();
+            for (const crdt::Op& op : doc_ops) {
+              const std::uint64_t trace = telemetry_->op_trace(doc, op.origin, op.seq);
+              if (trace == 0) continue;
+              tracer.link(apply, trace);
+              telemetry_->note_delivery(rid, trace);
+            }
+          }
+          tracer.add_arg(apply, "from", delivered.from);
+          tracer.add_arg(apply, "ops", std::to_string(op_count));
+          tracer.end_span(apply);
+          // end_span keeps the max end time, so every delivery stretches
+          // the round span to cover the round's full in-flight window.
+          tracer.end_span(round_span);
+        }
+      },
+      round_ctx);
+  if (round_bytes) *round_bytes += bytes;
 }
 
 void ReplicationGraph::tick_round() {
+  obs::SpanId round_span = obs::kNoSpan;
+  obs::TraceContext round_ctx;
+  std::uint64_t round_bytes = 0;
+  std::size_t round_ops = 0;
+  if (telemetry_) {
+    // The previous round's span stopped stretching once its last delivery
+    // landed; by now its duration is final, so it feeds the histogram.
+    if (last_round_span_ != obs::kNoSpan) {
+      metrics_.observe("sync.round.duration",
+                       telemetry_->tracer().span(last_round_span_).duration());
+    }
+    round_span = telemetry_->tracer().begin_span("sync.round", "sync", "sync");
+    round_ctx = telemetry_->tracer().context(round_span);
+    last_round_span_ = round_span;
+  }
   for (const auto& endpoint : endpoints_) {
     const std::string& id = endpoint->id();
     if (endpoint_up(id) && !recovering_.count(id)) endpoint->record_local();
   }
   for (const auto& endpoint : endpoints_) {
     if (endpoint_up(endpoint->id()) && recovering_.count(endpoint->id())) {
-      attempt_rejoin(*endpoint);
+      attempt_rejoin(*endpoint, round_ctx, round_span);
     }
   }
   for (const GraphLink& link : links_) {
@@ -114,10 +169,59 @@ void ReplicationGraph::tick_round() {
     if (recovering_.count(link.a) || recovering_.count(link.b)) continue;
     ReplicaState& a = endpoint(link.a);
     ReplicaState& b = endpoint(link.b);
-    exchange(a, b, *link.link);
-    exchange(b, a, *link.link);
+    exchange(a, b, *link.link, round_ctx, round_span, &round_bytes, &round_ops);
+    exchange(b, a, *link.link, round_ctx, round_span, &round_bytes, &round_ops);
   }
   metrics_.add("sync.rounds");
+  if (telemetry_) {
+    obs::Tracer& tracer = telemetry_->tracer();
+    tracer.add_arg(round_span, "bytes", std::to_string(round_bytes));
+    tracer.add_arg(round_span, "ops", std::to_string(round_ops));
+    tracer.end_span(round_span);
+    metrics_.observe("sync.round.bytes", double(round_bytes),
+                     util::Histogram::default_count_bounds());
+    metrics_.observe("sync.round.ops", double(round_ops),
+                     util::Histogram::default_count_bounds());
+    sample_staleness();
+  }
+}
+
+void ReplicationGraph::sample_staleness() {
+  if (!telemetry_ || endpoints_.empty()) return;
+  const ReplicaState& reference = *endpoints_.front();
+  const crdt::DocVersions ref_versions = reference.versions();
+  const double now = network_.clock().now();
+  for (const auto& endpoint : endpoints_) {
+    if (endpoint.get() == &reference) continue;
+    const std::string& id = endpoint->id();
+    const crdt::DocVersions mine = endpoint->versions();
+    double total_lag = 0;
+    for (const auto& [doc, ref_vector] : ref_versions) {
+      double lag = 0;
+      auto doc_it = mine.find(doc);
+      for (const auto& [origin, seq] : ref_vector) {
+        std::uint64_t have = 0;
+        if (doc_it != mine.end()) {
+          auto origin_it = doc_it->second.find(origin);
+          if (origin_it != doc_it->second.end()) have = origin_it->second;
+        }
+        if (seq > have) lag += double(seq - have);
+      }
+      metrics_.set("sync.staleness.ops." + id + "." + doc, lag);
+      total_lag += lag;
+    }
+    metrics_.set("sync.staleness.ops." + id, total_lag);
+    // "Fresh" = observably converged with the reference; the gauge reads
+    // simulated seconds since that was last true.
+    double& converged_at = last_converged_[id];
+    if (endpoint_up(id) && !recovering_.count(id) && endpoint->converged_with(reference)) {
+      converged_at = now;
+    }
+    const double stale_s = now - converged_at;
+    metrics_.set("sync.staleness.seconds." + id, stale_s);
+    metrics_.observe("sync.staleness.ops", total_lag, util::Histogram::default_count_bounds());
+    metrics_.observe("sync.staleness.seconds", stale_s);
+  }
 }
 
 void ReplicationGraph::crash(const std::string& id) {
@@ -151,7 +255,8 @@ std::uint64_t ReplicationGraph::incarnation(const std::string& id) const {
   return it == incarnation_.end() ? 0 : it->second;
 }
 
-void ReplicationGraph::attempt_rejoin(ReplicaState& joiner) {
+void ReplicationGraph::attempt_rejoin(ReplicaState& joiner, const obs::TraceContext& round_ctx,
+                                      obs::SpanId round_span) {
   // Best reachable source: the most advanced up, non-recovering neighbor
   // the network can currently deliver to (registration order tie-break).
   ReplicaState* source = nullptr;
@@ -179,20 +284,50 @@ void ReplicationGraph::attempt_rejoin(ReplicaState& joiner) {
     // Delta rejoin: the source still holds every op past the joiner's
     // (reset) version, so a normal sync message fully repairs it.
     const crdt::SyncMessage message = source->collect_changes(joiner.versions());
-    source_link->send(source->id(), message,
-                      [this, sent_inc, jid = joiner.id(), &joiner](const crdt::SyncMessage& delivered) {
-                        if (down_.count(jid) || !recovering_.count(jid)) return;
-                        if (incarnation_[jid] != sent_inc) return;
-                        joiner.apply_message(delivered);
-                        complete_rejoin(joiner, /*delta=*/true);
-                      });
+    source_link->send(
+        source->id(), message,
+        [this, sent_inc, round_ctx, round_span, jid = joiner.id(),
+         &joiner](const crdt::SyncMessage& delivered) {
+          if (down_.count(jid) || !recovering_.count(jid)) return;
+          if (incarnation_[jid] != sent_inc) return;
+          joiner.apply_message(delivered);
+          if (telemetry_) {
+            obs::Tracer& tracer = telemetry_->tracer();
+            const obs::SpanId apply =
+                tracer.begin_span("sync.rejoin.delta", "sync", jid, round_ctx);
+            for (const auto& [doc, doc_ops] : delivered.ops) {
+              for (const crdt::Op& op : doc_ops) {
+                const std::uint64_t trace = telemetry_->op_trace(doc, op.origin, op.seq);
+                if (trace == 0) continue;
+                tracer.link(apply, trace);
+                telemetry_->note_delivery(jid, trace);
+              }
+            }
+            tracer.add_arg(apply, "from", delivered.from);
+            tracer.end_span(apply);
+            tracer.end_span(round_span);
+          }
+          complete_rejoin(joiner, /*delta=*/true);
+        },
+        round_ctx);
   } else {
     // The source compacted past the joiner: ship the full CRDT state.
     const json::Value state = source->bootstrap_state();
     const std::uint64_t bytes = state.wire_size();
     metrics_.add("sync.bootstrap_bytes", double(bytes));
+    obs::SpanId transfer = obs::kNoSpan;
+    if (telemetry_) {
+      transfer = telemetry_->tracer().begin_span("sync.rejoin.bootstrap", "sync", source->id(),
+                                                 round_ctx);
+      telemetry_->tracer().add_arg(transfer, "to", joiner.id());
+      telemetry_->tracer().add_arg(transfer, "bytes", std::to_string(bytes));
+    }
     network_.send(source->id(), joiner.id(), bytes,
-                  [this, sent_inc, state, jid = joiner.id(), &joiner]() {
+                  [this, sent_inc, state, transfer, round_span, jid = joiner.id(), &joiner]() {
+                    if (telemetry_) {
+                      telemetry_->tracer().end_span(transfer);
+                      telemetry_->tracer().end_span(round_span);
+                    }
                     if (down_.count(jid) || !recovering_.count(jid)) return;
                     if (incarnation_[jid] != sent_inc) return;
                     joiner.restore_bootstrap(state);

@@ -119,6 +119,13 @@ class ReplicationGraph {
   util::MetricsRegistry& metrics() { return metrics_; }
   const util::MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Attaches the deployment's telemetry plane to the graph and every
+  /// current and future link: each round becomes a "sync.round" span whose
+  /// children are the per-link transit/apply spans, round size/duration
+  /// land in `sync.round.*` histograms, and per-endpoint staleness gauges
+  /// (`sync.staleness.*`) are sampled every round.
+  void set_telemetry(obs::Telemetry* telemetry);
+
   /// Updates per-endpoint convergence-lag gauges: for every endpoint that
   /// still diverges from the first endpoint, bumps its current lag streak;
   /// a converged endpoint's streak resets to zero. Called by the scheduler
@@ -149,9 +156,19 @@ class ReplicationGraph {
   bool optimistic_acks_ = false;
   std::function<void(const std::string&)> on_rejoined_;
 
-  void exchange(ReplicaState& sender, ReplicaState& receiver, SyncLink& link);
-  void attempt_rejoin(ReplicaState& joiner);
+  obs::Telemetry* telemetry_ = nullptr;
+  obs::SpanId last_round_span_ = obs::kNoSpan;  ///< previous round, for duration
+  std::map<std::string, double> last_converged_;  ///< endpoint -> sim time
+
+  void exchange(ReplicaState& sender, ReplicaState& receiver, SyncLink& link,
+                const obs::TraceContext& round_ctx, obs::SpanId round_span,
+                std::uint64_t* round_bytes, std::size_t* round_ops);
+  void attempt_rejoin(ReplicaState& joiner, const obs::TraceContext& round_ctx,
+                      obs::SpanId round_span);
   void complete_rejoin(ReplicaState& joiner, bool delta);
+  /// Per-endpoint version-vector lag and time-since-converged vs the first
+  /// endpoint; gauges + aggregate histograms. No-op without telemetry.
+  void sample_staleness();
 };
 
 /// Topology helpers: links every endpoint in `leaves` to `root` (star),

@@ -20,13 +20,17 @@ const std::string& SyncLink::other_end(const std::string& endpoint) const {
   throw std::invalid_argument("SyncLink: '" + endpoint + "' is not an end of " + a_ + "<->" + b_);
 }
 
-void SyncLink::send(const std::string& from, const crdt::SyncMessage& message,
-                    std::function<void(const crdt::SyncMessage&)> on_delivered) {
+std::uint64_t SyncLink::send(const std::string& from, const crdt::SyncMessage& message,
+                             std::function<void(const crdt::SyncMessage&)> on_delivered,
+                             const obs::TraceContext& parent) {
   const std::string& to = other_end(from);
   const json::Value wire = crdt::encode_message(message);
   const std::uint64_t bytes = wire.wire_size() + kFramingOverheadBytes;
   bytes_ += bytes;
   ++messages_;
+
+  std::size_t op_count = 0;
+  for (const auto& [doc, ops] : message.ops) op_count += ops.size();
 
   if (metrics_) {
     metrics_->add("sync.messages");
@@ -43,11 +47,32 @@ void SyncLink::send(const std::string& from, const crdt::SyncMessage& message,
     }
   }
 
+  obs::SpanId transit = obs::kNoSpan;
+  if (telemetry_) {
+    // The transit span covers send -> delivery; if the network drops the
+    // message it stays zero-length at the send time. Its links name every
+    // client trace whose ops ride in this message — the causal thread from
+    // a write to the sync hop that moved it.
+    transit = telemetry_->tracer().begin_span("sync.send", "sync", from, parent);
+    obs::Tracer& tracer = telemetry_->tracer();
+    tracer.add_arg(transit, "to", to);
+    tracer.add_arg(transit, "bytes", std::to_string(bytes));
+    tracer.add_arg(transit, "ops", std::to_string(op_count));
+    for (const auto& [doc, ops] : message.ops) {
+      for (const crdt::Op& op : ops) {
+        tracer.link(transit, telemetry_->op_trace(doc, op.origin, op.seq));
+      }
+    }
+  }
+
   // The *encoded* form is what travels: delivery decodes it at arrival
   // time, so every sync round exercises the full wire round-trip.
-  network_.send(from, to, bytes, [wire, on_delivered = std::move(on_delivered)]() {
-    on_delivered(crdt::decode_message(wire));
-  });
+  network_.send(from, to, bytes,
+                [this, wire, transit, on_delivered = std::move(on_delivered)]() {
+                  if (telemetry_) telemetry_->tracer().end_span(transit);
+                  on_delivered(crdt::decode_message(wire));
+                });
+  return bytes;
 }
 
 }  // namespace edgstr::runtime

@@ -7,7 +7,9 @@
 // is the same object. Sync traffic is accounted separately from request
 // traffic (the W_AN_e column of Table II comes from these counters), and
 // per-doc / per-endpoint details land in the owning graph's metrics
-// registry.
+// registry. When a Telemetry is attached, every send opens a "sync.send"
+// span that closes at delivery and links the traces of the client writes
+// whose ops the message carries.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +18,7 @@
 
 #include "crdt/wire.h"
 #include "netsim/network.h"
+#include "obs/telemetry.h"
 #include "util/metrics.h"
 
 namespace edgstr::runtime {
@@ -26,12 +29,18 @@ class SyncLink {
   SyncLink(netsim::Network& network, std::string endpoint_a, std::string endpoint_b,
            util::MetricsRegistry* metrics = nullptr);
 
+  /// Attaches (or detaches, with nullptr) the span/provenance plane.
+  void set_telemetry(obs::Telemetry* telemetry) { telemetry_ = telemetry; }
+
   /// Sends a sync message from one end of the link to the other; `from`
   /// must be one of the two endpoints, `on_delivered` fires at arrival
   /// with the decoded message. Messages dropped by the network simply
   /// never deliver — the next round retransmits whatever stays unacked.
-  void send(const std::string& from, const crdt::SyncMessage& message,
-            std::function<void(const crdt::SyncMessage&)> on_delivered);
+  /// `parent` (optional) parents the transit span, typically the sync
+  /// round that triggered the send. Returns the wire bytes charged.
+  std::uint64_t send(const std::string& from, const crdt::SyncMessage& message,
+                     std::function<void(const crdt::SyncMessage&)> on_delivered,
+                     const obs::TraceContext& parent = {});
 
   const std::string& endpoint_a() const { return a_; }
   const std::string& endpoint_b() const { return b_; }
@@ -48,6 +57,7 @@ class SyncLink {
   std::string a_;
   std::string b_;
   util::MetricsRegistry* metrics_;
+  obs::Telemetry* telemetry_ = nullptr;
   std::uint64_t bytes_ = 0;
   std::uint64_t messages_ = 0;
 };

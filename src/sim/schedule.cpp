@@ -387,6 +387,10 @@ ScheduleResult run_schedule(const ScheduleConfig& config) {
   result.trace_digest = trace.digest();
   result.violations = checker.violations();
   result.passed = checker.passed();
+  if (config.capture_telemetry) {
+    result.chrome_trace = three.chrome_trace().dump_pretty();
+    result.metrics_snapshot = three.metrics_snapshot().dump_pretty();
+  }
   return result;
 }
 

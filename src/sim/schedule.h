@@ -38,6 +38,12 @@ struct ScheduleConfig {
   /// sync message is never retransmitted. A correct harness MUST flag
   /// non-convergence for (most) seeds with this enabled.
   bool optimistic_acks = false;
+
+  /// Export the run's telemetry: fills ScheduleResult::chrome_trace and
+  /// metrics_snapshot with serialized JSON. Spans are recorded either way
+  /// (the deployment always carries a telemetry plane); this only controls
+  /// the serialization work.
+  bool capture_telemetry = false;
 };
 
 struct ScheduleResult {
@@ -56,6 +62,12 @@ struct ScheduleResult {
   EventTrace trace;
   std::uint64_t trace_digest = 0;  ///< byte-identity fingerprint of the run
   std::string state_digest;        ///< converged-state fingerprint (hex)
+
+  /// Serialized telemetry (capture_telemetry only): a Perfetto-loadable
+  /// Chrome-trace JSON document and a metrics snapshot (counters +
+  /// histogram summaries). Same-seed runs produce identical strings.
+  std::string chrome_trace;
+  std::string metrics_snapshot;
 
   /// One-line report ("seed=7 topology=star edges=3 ... PASS").
   std::string summary() const;

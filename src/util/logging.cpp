@@ -1,5 +1,6 @@
 #include "util/logging.h"
 
+#include <cctype>
 #include <iostream>
 #include <mutex>
 
@@ -10,8 +11,8 @@ namespace {
 std::mutex g_mutex;
 LogLevel g_level = LogLevel::kWarn;
 
-void stderr_sink(LogLevel level, std::string_view message) {
-  std::cerr << "[" << to_string(level) << "] " << message << "\n";
+void stderr_sink(const LogRecord& record) {
+  std::cerr << "[" << to_string(record.level) << "] " << record.message << "\n";
 }
 
 LogSink& sink_storage() {
@@ -32,6 +33,18 @@ std::string_view to_string(LogLevel level) {
   return "?";
 }
 
+bool parse_log_level(std::string_view name, LogLevel* out) {
+  std::string lower(name);
+  for (char& c : lower) c = char(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "trace") *out = LogLevel::kTrace;
+  else if (lower == "debug") *out = LogLevel::kDebug;
+  else if (lower == "info") *out = LogLevel::kInfo;
+  else if (lower == "warn" || lower == "warning") *out = LogLevel::kWarn;
+  else if (lower == "error") *out = LogLevel::kError;
+  else return false;
+  return true;
+}
+
 void set_log_sink(LogSink sink) {
   std::lock_guard lock(g_mutex);
   sink_storage() = sink ? std::move(sink) : stderr_sink;
@@ -48,9 +61,22 @@ LogLevel log_level() {
 }
 
 void log(LogLevel level, std::string_view message) {
-  std::lock_guard lock(g_mutex);
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
-  sink_storage()(level, message);
+  // Nested emissions — a sink that itself logs — are dropped rather than
+  // recursing without bound.
+  thread_local bool t_in_sink = false;
+  if (t_in_sink) return;
+
+  // Snapshot the sink under the lock, invoke outside it: a sink that logs
+  // (reentrancy) or blocks must not hold up — or deadlock — other loggers.
+  LogSink sink;
+  {
+    std::lock_guard lock(g_mutex);
+    if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+    sink = sink_storage();
+  }
+  t_in_sink = true;
+  sink(LogRecord{level, message});
+  t_in_sink = false;
 }
 
 }  // namespace edgstr::util

@@ -1,8 +1,18 @@
 // Lightweight leveled logging for the EdgStr simulation stack.
 //
 // Logging is routed through a single global sink so tests can silence or
-// capture output. Levels follow the usual severity ordering; the default
-// threshold is kWarn so library code stays quiet unless asked.
+// capture output. The sink receives a structured LogRecord (level +
+// message) rather than pre-formatted text, so layered consumers — the span
+// layer, capture sinks in tests — can route on severity without parsing.
+// Levels follow the usual severity ordering; the default threshold is
+// kWarn so library code stays quiet unless asked.
+//
+// Thread/reentrancy safety: the sink and threshold are guarded by a mutex,
+// and the sink is *invoked outside the lock* (on a copy), so a sink that
+// itself logs — or two threads logging at once — cannot deadlock. A record
+// emitted from inside a sink call (reentrancy) is dropped rather than
+// recursing. Sinks may run concurrently from multiple threads; a sink that
+// mutates shared state must synchronize itself.
 #pragma once
 
 #include <functional>
@@ -17,8 +27,18 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError };
 /// Returns a short uppercase tag ("TRACE", "DEBUG", ...) for a level.
 std::string_view to_string(LogLevel level);
 
+/// Parses a level name ("trace", "DEBUG", ...); returns false on unknown.
+bool parse_log_level(std::string_view name, LogLevel* out);
+
+/// One emitted record. `message` is only valid for the duration of the
+/// sink call — copy it if the sink retains records.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string_view message;
+};
+
 /// Sink invoked for every emitted record at or above the threshold.
-using LogSink = std::function<void(LogLevel, std::string_view)>;
+using LogSink = std::function<void(const LogRecord&)>;
 
 /// Replaces the global sink. Passing nullptr restores the stderr sink.
 void set_log_sink(LogSink sink);

@@ -67,6 +67,27 @@ TEST(SimDeterminismTest, DifferentSeedsProduceDifferentRuns) {
   EXPECT_NE(run_schedule(a).trace_digest, run_schedule(b).trace_digest);
 }
 
+TEST(SimDeterminismTest, SameSeedProducesIdenticalTelemetryExports) {
+  // Span ids, timestamps, and histogram contents all come from the seeded
+  // simulation, so the serialized Chrome trace and metrics snapshot must be
+  // byte-identical across same-seed runs.
+  ScheduleConfig config;
+  config.seed = 42;
+  config.capture_telemetry = true;
+  const ScheduleResult first = run_schedule(config);
+  const ScheduleResult second = run_schedule(config);
+
+  EXPECT_FALSE(first.chrome_trace.empty());
+  EXPECT_FALSE(first.metrics_snapshot.empty());
+  EXPECT_EQ(first.chrome_trace, second.chrome_trace);
+  EXPECT_EQ(first.metrics_snapshot, second.metrics_snapshot);
+
+  // Off by default: no serialization cost on plain runs.
+  ScheduleConfig plain;
+  plain.seed = 42;
+  EXPECT_TRUE(run_schedule(plain).chrome_trace.empty());
+}
+
 // The harness exists to catch replication bugs. Prove it does: disabling
 // retransmission (acks recorded at send time, so lost sync messages are
 // never re-sent) must be flagged — as divergence after quiescence, as an

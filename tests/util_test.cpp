@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <mutex>
 #include <set>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/strings.h"
@@ -237,8 +242,8 @@ TEST(StringsTest, FormatDoubleTrimsZeros) {
 
 TEST(LoggingTest, SinkReceivesMessagesAboveThreshold) {
   std::vector<std::string> captured;
-  set_log_sink([&](LogLevel level, std::string_view msg) {
-    captured.push_back(std::string(to_string(level)) + ":" + std::string(msg));
+  set_log_sink([&](const LogRecord& rec) {
+    captured.push_back(std::string(to_string(rec.level)) + ":" + std::string(rec.message));
   });
   set_log_level(LogLevel::kInfo);
   EDGSTR_DEBUG() << "hidden";
@@ -247,6 +252,231 @@ TEST(LoggingTest, SinkReceivesMessagesAboveThreshold) {
   set_log_level(LogLevel::kWarn);
   ASSERT_EQ(captured.size(), 1u);
   EXPECT_EQ(captured[0], "INFO:shown 42");
+}
+
+TEST(LoggingTest, StructuredRecordCarriesLevelAndMessage) {
+  // rec.message is only valid during the sink call — copy into owned strings.
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  set_log_sink([&](const LogRecord& rec) {
+    captured.emplace_back(rec.level, std::string(rec.message));
+  });
+  set_log_level(LogLevel::kTrace);
+  EDGSTR_WARN() << "disk " << 93 << "% full";
+  EDGSTR_ERROR() << "sync failed";
+  set_log_sink(nullptr);
+  set_log_level(LogLevel::kWarn);
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kWarn);
+  EXPECT_EQ(captured[0].second, "disk 93% full");
+  EXPECT_EQ(captured[1].first, LogLevel::kError);
+  EXPECT_EQ(captured[1].second, "sync failed");
+}
+
+TEST(LoggingTest, ReentrantSinkDoesNotDeadlockOrRecurse) {
+  // A sink that itself logs must neither self-deadlock on the logging
+  // mutex nor recurse: the nested emission is dropped.
+  int calls = 0;
+  set_log_sink([&](const LogRecord&) {
+    ++calls;
+    EDGSTR_ERROR() << "from inside the sink";
+  });
+  set_log_level(LogLevel::kInfo);
+  EDGSTR_INFO() << "trigger";
+  set_log_sink(nullptr);
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(LoggingTest, ConcurrentLoggingIsSafe) {
+  std::mutex mu;  // sinks may run concurrently; this one synchronizes itself
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  set_log_sink([&](const LogRecord& rec) {
+    std::lock_guard lock(mu);
+    captured.emplace_back(rec.level, std::string(rec.message));
+  });
+  set_log_level(LogLevel::kInfo);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 50; ++i) EDGSTR_INFO() << "t" << t << " msg " << i;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  set_log_sink(nullptr);
+  set_log_level(LogLevel::kWarn);
+  // Every record arrives exactly once, unsheared.
+  ASSERT_EQ(captured.size(), 200u);
+  for (const auto& [level, message] : captured) {
+    EXPECT_EQ(level, LogLevel::kInfo);
+    EXPECT_NE(message.find(" msg "), std::string::npos);
+  }
+}
+
+TEST(LoggingTest, ParseLogLevelNames) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(parse_log_level("trace", &level));
+  EXPECT_EQ(level, LogLevel::kTrace);
+  EXPECT_TRUE(parse_log_level("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(parse_log_level("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(parse_log_level("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(parse_log_level("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_FALSE(parse_log_level("loud", &level));
+  EXPECT_EQ(level, LogLevel::kError);  // unchanged on failure
+}
+
+// -------------------------------------------------------------- metrics --
+
+TEST(MetricsTest, CountersAddAndSet) {
+  MetricsRegistry reg;
+  reg.add("a.count");
+  reg.add("a.count", 2.0);
+  reg.set("a.gauge", 7.5);
+  EXPECT_DOUBLE_EQ(reg.value("a.count"), 3.0);
+  EXPECT_DOUBLE_EQ(reg.value("a.gauge"), 7.5);
+  EXPECT_DOUBLE_EQ(reg.value("missing"), 0.0);
+}
+
+TEST(MetricsTest, SnapshotAndSumRespectOverlappingPrefixes) {
+  MetricsRegistry reg;
+  reg.set("sync.bytes.wire", 100);
+  reg.set("sync.bytes.per_op_equiv", 400);
+  reg.set("sync.rounds", 3);
+  reg.set("runtime.request.count.local", 5);
+
+  // The longer prefix selects a strict subset of the shorter one.
+  const auto bytes = reg.snapshot("sync.bytes.");
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_DOUBLE_EQ(reg.sum("sync.bytes."), 500.0);
+
+  const auto all_sync = reg.snapshot("sync.");
+  EXPECT_EQ(all_sync.size(), 3u);
+  EXPECT_DOUBLE_EQ(reg.sum("sync."), 503.0);
+
+  // Empty prefix means everything.
+  EXPECT_EQ(reg.snapshot("").size(), 4u);
+  EXPECT_DOUBLE_EQ(reg.sum(""), 508.0);
+
+  // Prefix matching is literal, not segment-aware: "sync.round" also
+  // matches "sync.rounds".
+  EXPECT_DOUBLE_EQ(reg.sum("sync.round"), 3.0);
+}
+
+TEST(MetricsTest, ResetDropsOnlyMatchingPrefix) {
+  MetricsRegistry reg;
+  reg.set("sync.bytes.wire", 100);
+  reg.set("sync.rounds", 3);
+  reg.set("runtime.request.count.local", 5);
+  reg.observe("sync.round.duration", 0.5);
+  reg.observe("runtime.request.latency.local", 0.01);
+
+  reg.reset("sync.");
+  EXPECT_DOUBLE_EQ(reg.value("sync.bytes.wire"), 0.0);
+  EXPECT_DOUBLE_EQ(reg.value("sync.rounds"), 0.0);
+  EXPECT_DOUBLE_EQ(reg.value("runtime.request.count.local"), 5.0);
+  EXPECT_EQ(reg.histogram("sync.round.duration"), nullptr);
+  ASSERT_NE(reg.histogram("runtime.request.latency.local"), nullptr);
+  EXPECT_EQ(reg.histogram("runtime.request.latency.local")->count(), 1u);
+
+  reg.reset();  // full wipe
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_EQ(reg.histogram_count(), 0u);
+}
+
+TEST(HistogramTest, EmptyHistogramIsZero) {
+  Histogram h(Histogram::default_latency_bounds());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ExactMinMaxAndMean) {
+  Histogram h(Histogram::default_count_bounds());
+  for (double v : {1.0, 5.0, 9.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 9.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(HistogramTest, QuantilesOfUniformDistribution) {
+  // 1..1000 uniformly: p50 ≈ 500, p95 ≈ 950, p99 ≈ 990. The fixed 1-2-5
+  // bucket ladder limits resolution to the enclosing bucket, so allow the
+  // bucket width as tolerance.
+  Histogram h(Histogram::default_count_bounds());
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.quantile(0.50), 500.0, 300.0);
+  EXPECT_NEAR(h.quantile(0.95), 950.0, 500.0);
+  EXPECT_NEAR(h.quantile(0.99), 990.0, 500.0);
+  // Quantiles are monotone and clamped to the observed range.
+  EXPECT_LE(h.quantile(0.50), h.quantile(0.95));
+  EXPECT_LE(h.quantile(0.95), h.quantile(0.99));
+  EXPECT_GE(h.quantile(0.0), 1.0);
+  EXPECT_LE(h.quantile(1.0), 1000.0);
+}
+
+TEST(HistogramTest, QuantileOfSingleBucketIsExactValue) {
+  Histogram h(Histogram::default_latency_bounds());
+  for (int i = 0; i < 10; ++i) h.observe(0.003);
+  // All samples identical: min/max clamp every quantile to the value.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.003);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.003);
+}
+
+TEST(HistogramTest, OverflowBucketCatchesOutOfRange) {
+  Histogram h({1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(100.0);  // beyond the last bound → overflow bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_LE(h.quantile(1.0), 100.0);
+}
+
+TEST(HistogramTest, MergeCombinesCountsAndRange) {
+  Histogram a(Histogram::default_count_bounds());
+  Histogram b(Histogram::default_count_bounds());
+  a.observe(10.0);
+  b.observe(1000.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 10.0);
+  EXPECT_DOUBLE_EQ(a.max(), 1000.0);
+}
+
+TEST(MetricsTest, RegistryObserveAndQuantile) {
+  MetricsRegistry reg;
+  for (int i = 0; i < 100; ++i) reg.observe("req.latency", 0.001 * (i + 1));
+  ASSERT_NE(reg.histogram("req.latency"), nullptr);
+  EXPECT_EQ(reg.histogram("req.latency")->count(), 100u);
+  const double p50 = reg.quantile("req.latency", 0.5);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 0.1);
+  EXPECT_DOUBLE_EQ(reg.quantile("missing", 0.5), 0.0);
+}
+
+TEST(MetricsTest, HistogramsByPrefix) {
+  MetricsRegistry reg;
+  reg.observe("runtime.request.latency.local", 0.01);
+  reg.observe("runtime.request.latency.forward", 0.05);
+  reg.observe("sync.round.duration", 0.2);
+  EXPECT_EQ(reg.histograms("runtime.request.latency.").size(), 2u);
+  EXPECT_EQ(reg.histograms("sync.").size(), 1u);
+  EXPECT_EQ(reg.histograms("").size(), 3u);
+}
+
+TEST(MetricsTest, FormatListsCountersAndHistograms) {
+  MetricsRegistry reg;
+  reg.set("sync.rounds", 2);
+  reg.observe("sync.round.duration", 0.25);
+  const std::string text = reg.format();
+  EXPECT_NE(text.find("sync.rounds"), std::string::npos);
+  EXPECT_NE(text.find("sync.round.duration"), std::string::npos);
 }
 
 }  // namespace

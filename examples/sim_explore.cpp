@@ -1,13 +1,14 @@
 // sim_explore — seed-driven simulation explorer for the replication plane.
 //
 //   sim_explore --seed N [--rounds R] [--trace] [--optimistic-acks]
-//               [--trace-out FILE] [--metrics-out FILE]
+//               [--no-digest] [--trace-out FILE] [--metrics-out FILE]
 //       Replays one schedule and prints its one-line report; --trace dumps
 //       the full event trace (what you diff when chasing a failing seed).
 //       --trace-out writes the run's span log as Chrome-trace JSON (open in
 //       chrome://tracing or ui.perfetto.dev); --metrics-out writes the
 //       metrics snapshot (counters + latency/staleness histograms) as JSON.
 //   sim_explore --sweep N [--start S] [--rounds R] [--optimistic-acks]
+//               [--no-digest]
 //       Runs N consecutive seeds starting at S (default 1) and prints a
 //       report per failure. Exits nonzero when any seed fails, with the
 //       failing seeds listed last so CI logs surface them.
@@ -27,8 +28,9 @@ namespace {
 
 int usage() {
   std::cerr << "usage: sim_explore --seed N [--rounds R] [--trace] [--optimistic-acks]\n"
-            << "                   [--trace-out FILE] [--metrics-out FILE]\n"
-            << "       sim_explore --sweep N [--start S] [--rounds R] [--optimistic-acks]\n";
+            << "                   [--no-digest] [--trace-out FILE] [--metrics-out FILE]\n"
+            << "       sim_explore --sweep N [--start S] [--rounds R] [--optimistic-acks]\n"
+            << "                   [--no-digest]\n";
   return 2;
 }
 
@@ -78,6 +80,8 @@ int main(int argc, char** argv) {
       metrics_out = args[++i];
     } else if (arg == "--optimistic-acks") {
       config.optimistic_acks = true;
+    } else if (arg == "--no-digest") {
+      config.digest_sync = false;
     } else {
       return usage();
     }

@@ -74,6 +74,14 @@ class OpLog {
 
   const std::string& replica() const { return replica_; }
 
+  /// Re-identifies the origin future local ops are minted under (the
+  /// version vector, log, and Lamport clock are untouched). Used when a
+  /// replica is reborn after a crash: its seq counter restarts from the
+  /// recovered state, so minting under the *old* origin would collide with
+  /// any pre-crash op that survived only at a third party — two different
+  /// ops sharing an (origin, seq) identity, invisible to version vectors.
+  void set_origin(std::string origin) { replica_ = std::move(origin); }
+
   /// Creates a new local op with the next seq and a fresh Lamport stamp.
   Op make_local(json::Value payload);
 

@@ -81,6 +81,7 @@ class CrdtJson : public ReplicatedDoc {
   std::string state_digest() const override { return state_.digest(); }
   json::Value bootstrap_state() const override;
   void restore_bootstrap(const json::Value& v) override;
+  void set_origin(const std::string& origin) override { log_.set_origin(origin); }
 
   /// Live document as a JSON object.
   json::Value materialize() const;

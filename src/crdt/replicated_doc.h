@@ -59,6 +59,12 @@ class ReplicatedDoc {
   /// replica (it overwrites, it does not merge); the log keeps this
   /// replica's own identity, never the serializing peer's.
   virtual void restore_bootstrap(const json::Value& v) = 0;
+
+  /// Re-identifies the origin future local ops are minted under (see
+  /// OpLog::set_origin). A replica reborn after a crash must mint under a
+  /// fresh origin or risk silent (origin, seq) collisions with its past
+  /// life's surviving ops.
+  virtual void set_origin(const std::string& origin) = 0;
 };
 
 }  // namespace edgstr::crdt

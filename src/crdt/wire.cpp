@@ -115,11 +115,78 @@ std::vector<Op> decode_runs(const json::Value& runs) {
   return ops;
 }
 
+/// Digest payload: one shared origin table, one seq row per doc unit.
+/// Rows after the first are delta-encoded against the previous row, the
+/// same trick op runs use for Lamport counters.
+void encode_digest(const DocVersions& versions, json::Object& out) {
+  std::map<std::string, std::size_t> origin_index;
+  json::Array origins;
+  for (const auto& [doc, vector] : versions) {
+    for (const auto& [origin, seq] : vector) {
+      (void)seq;
+      if (origin_index.emplace(origin, origin_index.size()).second) {
+        origins.push_back(json::Value(origin));
+      }
+    }
+  }
+  json::Object rows;
+  std::vector<double> prev(origin_index.size(), 0.0);
+  for (const auto& [doc, vector] : versions) {
+    std::vector<double> row(origin_index.size(), 0.0);
+    for (const auto& [origin, seq] : vector) row[origin_index[origin]] = double(seq);
+    json::Array encoded;
+    for (std::size_t i = 0; i < row.size(); ++i) encoded.push_back(json::Value(row[i] - prev[i]));
+    prev = row;
+    rows.set(doc, json::Value(std::move(encoded)));
+  }
+  out.set("o", json::Value(std::move(origins)));
+  out.set("g", json::Value(std::move(rows)));
+}
+
+DocVersions decode_digest(const json::Value& wire) {
+  const json::Array& origins = wire["o"].as_array();
+  std::vector<std::string> table;
+  table.reserve(origins.size());
+  for (const json::Value& origin : origins) table.push_back(origin.as_string());
+  DocVersions out;
+  std::vector<double> prev(table.size(), 0.0);
+  for (const auto& [doc, row] : wire["g"].as_object()) {
+    const json::Array& deltas = row.as_array();
+    if (deltas.size() != table.size()) {
+      throw WireError("wire: digest row length mismatch for doc '" + doc + "'");
+    }
+    VersionVector vector;
+    for (std::size_t i = 0; i < deltas.size(); ++i) {
+      const double seq = prev[i] + deltas[i].as_number();
+      if (!(seq >= 0 && seq <= 9007199254740992.0 && seq == double(std::uint64_t(seq)))) {
+        throw WireError("wire: digest seq out of range for origin '" + table[i] + "'");
+      }
+      prev[i] = seq;
+      if (seq > 0) vector[table[i]] = std::uint64_t(seq);
+    }
+    out[doc] = std::move(vector);
+  }
+  return out;
+}
+
 }  // namespace
 
 json::Value encode_message(const SyncMessage& message) {
   json::Object out;
   out.set("from", json::Value(message.from));
+  if (message.kind == SyncKind::kDigest) {
+    out.set("k", json::Value("dig"));
+    encode_digest(message.versions, out);
+    if (message.rejoin) out.set("rj", json::Value(true));
+    return json::Value(std::move(out));
+  }
+  if (message.kind == SyncKind::kBootstrap) {
+    out.set("k", json::Value("boot"));
+    out.set("v", doc_versions_to_json(message.versions));
+    out.set("b", message.bootstrap);
+    if (message.rejoin) out.set("rj", json::Value(true));
+    return json::Value(std::move(out));
+  }
   // An absent doc decodes as an empty vector, so empty ones are skipped.
   json::Object versions;
   for (const auto& [doc, version] : message.versions) {
@@ -131,6 +198,8 @@ json::Value encode_message(const SyncMessage& message) {
     if (!doc_ops.empty()) docs.set(doc, encode_runs(doc_ops));
   }
   if (!docs.empty()) out.set("d", json::Value(std::move(docs)));
+  if (message.truncated) out.set("t", json::Value(true));
+  if (message.rejoin) out.set("rj", json::Value(true));
   return json::Value(std::move(out));
 }
 
@@ -138,10 +207,38 @@ SyncMessage decode_message(const json::Value& wire) {
   try {
     SyncMessage out;
     out.from = wire["from"].as_string();
+    const json::Value* kind = wire.find("k");
+    if (kind) {
+      const std::string& k = kind->as_string();
+      // A kind-tagged message carrying another kind's payload is corrupt
+      // or hostile (digest-kind confusion): reject before touching it.
+      if (k == "dig") {
+        if (wire.find("d") || wire.find("b")) throw WireError("wire: digest carrying a payload");
+        out.kind = SyncKind::kDigest;
+        out.versions = decode_digest(wire);
+        if (const json::Value* rejoin = wire.find("rj")) out.rejoin = rejoin->as_bool();
+        return out;
+      }
+      if (k == "boot") {
+        if (wire.find("d")) throw WireError("wire: bootstrap carrying an op payload");
+        out.kind = SyncKind::kBootstrap;
+        out.versions = doc_versions_from_json(wire["v"]);
+        out.bootstrap = wire["b"];
+        if (!out.bootstrap.is_object()) throw WireError("wire: bootstrap state must be an object");
+        if (const json::Value* rejoin = wire.find("rj")) out.rejoin = rejoin->as_bool();
+        return out;
+      }
+      throw WireError("wire: unknown message kind '" + k + "'");
+    }
+    if (wire.find("b") || wire.find("g")) {
+      throw WireError("wire: ops message carrying digest/bootstrap fields");
+    }
     out.versions = doc_versions_from_json(wire["v"]);
     if (const json::Value* docs = wire.find("d")) {
       for (const auto& [doc, runs] : docs->as_object()) out.ops[doc] = decode_runs(runs);
     }
+    if (const json::Value* truncated = wire.find("t")) out.truncated = truncated->as_bool();
+    if (const json::Value* rejoin = wire.find("rj")) out.rejoin = rejoin->as_bool();
     return out;
   } catch (const WireError&) {
     throw;

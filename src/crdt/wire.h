@@ -24,6 +24,24 @@
 // The seed's per-op encoding is kept as encode_message_per_op() purely for
 // byte accounting: bench_fig10a_sync and Table II's W_AN_e column report
 // the batched format's savings against it on identical messages.
+//
+// Besides op-bearing messages the wire carries two more kinds, selected by
+// a "k" field (absent = ops):
+//
+//   digest    {"k":"dig", "from":..., "o":[origin,...], "g":{doc:[row]}}
+//             A compact advertisement of the sender's per-doc version
+//             vectors: one shared origin table for the whole message (the
+//             same replica ids repeat across doc units), then per doc a row
+//             of seqs aligned to that table. Like op runs, rows after the
+//             first are delta-encoded against the previous row; a zero
+//             (after delta reconstruction) means "origin absent here".
+//   bootstrap {"k":"boot", "from":..., "v":..., "b":<full CRDT state>}
+//             Full-state transfer for a peer behind the sender's
+//             compaction horizon (rejoin only).
+//
+// Ops messages additionally carry "t" (truncated: the delta was split at a
+// byte budget; the rest follows in later rounds) and "rj" (this message is
+// a rejoin response addressed to a recovering endpoint).
 #pragma once
 
 #include <map>
@@ -51,12 +69,30 @@ using DocVersions = std::map<std::string, VersionVector>;
 json::Value doc_versions_to_json(const DocVersions& versions);
 DocVersions doc_versions_from_json(const json::Value& v);
 
-/// One sync exchange: the sender's versions plus, per doc unit, the ops the
-/// receiver lacks. Doc units with no pending ops are simply absent.
+/// What a sync message is: an op delta, a version-vector digest, or a
+/// full-state bootstrap transfer.
+enum class SyncKind { kOps, kDigest, kBootstrap };
+
+/// One sync exchange. For kOps: the sender's versions plus, per doc unit,
+/// the ops the receiver lacks (doc units with no pending ops are simply
+/// absent). For kDigest: `versions` alone — the sender's advertisement that
+/// the responder answers with exactly the missing ranges. For kBootstrap:
+/// `bootstrap` carries the sender's full CRDT state.
 struct SyncMessage {
+  SyncKind kind = SyncKind::kOps;
   std::string from;                          ///< sender endpoint id
   DocVersions versions;                      ///< sender's version per doc unit
   std::map<std::string, std::vector<Op>> ops;  ///< doc unit -> pending ops
+  /// kOps only: the delta was cut at a byte budget; `versions` is capped to
+  /// what the included ops actually deliver, and the remainder rides later
+  /// rounds (the receiver's next digest resumes the range automatically).
+  bool truncated = false;
+  /// Response addressed to a *recovering* endpoint (rejoin delta or
+  /// bootstrap); regular endpoints drop it, recovering ones complete their
+  /// rejoin when the final (non-truncated) piece lands.
+  bool rejoin = false;
+  /// kBootstrap only: full CRDT state of every doc unit.
+  json::Value bootstrap;
 
   std::size_t op_count() const;
 };

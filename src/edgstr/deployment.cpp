@@ -59,6 +59,7 @@ ThreeTierDeployment::ThreeTierDeployment(const TransformResult& transform,
   init_snapshot_ = transform.init_snapshot;
   sync_ = std::make_unique<runtime::SyncEngine>(network_, kCloudHost);
   sync_->set_cloud(cloud_state_);
+  sync_->graph().set_digest_sync(config.digest_sync);
   sync_->graph().set_telemetry(&telemetry_);
   // A rejoined replica goes back into service; regional aggregators have
   // no serving node, so only matching edge hosts flip.

@@ -43,6 +43,9 @@ struct DeploymentConfig {
   std::uint64_t seed = 42;
   SyncTopology topology = SyncTopology::kStar;
   std::size_t hierarchy_fanout = 2;  ///< edges per regional (kHierarchy)
+  /// Two-phase digest anti-entropy (default); false = the PR 1 push
+  /// protocol, kept as an A/B baseline for the sync-byte benches.
+  bool digest_sync = true;
 };
 
 /// The original client-cloud deployment (baseline in every benchmark).

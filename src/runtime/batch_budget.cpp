@@ -1,0 +1,63 @@
+#include "runtime/batch_budget.h"
+
+#include <algorithm>
+
+namespace edgstr::runtime {
+
+const std::vector<std::uint64_t>& BatchBudget::ladder() {
+  static const std::vector<std::uint64_t> kLadder = {
+      1024,   2048,   5120,    10240,   20480,   51200,
+      102400, 204800, 512000, 1048576,
+  };
+  return kLadder;
+}
+
+BatchBudget::BatchBudget(std::size_t start_index)
+    : index_(std::min(start_index, ladder().size() - 1)) {}
+
+void BatchBudget::on_send(double now) { pending_.push_back(now); }
+
+void BatchBudget::on_delivery(double now) {
+  if (pending_.empty()) return;  // delivery of a send from before a reset
+  const double latency = std::max(0.0, now - pending_.front());
+  pending_.pop_front();
+  ++window_deliveries_;
+  if (ewma_latency_ > 0 && latency > 4.0 * ewma_latency_) ++window_spikes_;
+  ewma_latency_ = ewma_latency_ == 0 ? latency : 0.875 * ewma_latency_ + 0.125 * latency;
+}
+
+double BatchBudget::loss_timeout(double fallback) const {
+  // Generous: better to miss one loss than to punish a queueing delay.
+  return ewma_latency_ > 0 ? std::max(fallback, 4.0 * ewma_latency_) : fallback;
+}
+
+std::size_t BatchBudget::begin_round(double now) {
+  const double horizon = now - loss_timeout();
+  std::size_t losses = 0;
+  while (!pending_.empty() && pending_.front() < horizon) {
+    pending_.pop_front();
+    ++losses;
+  }
+  window_losses_ += losses;
+  total_losses_ += losses;
+
+  if (window_losses_ > 0) {
+    index_ = index_ >= 2 ? index_ - 2 : 0;  // multiplicative decrease (~1/5)
+  } else if (window_spikes_ > 0) {
+    index_ = index_ >= 1 ? index_ - 1 : 0;
+  } else if (window_deliveries_ > 0) {
+    index_ = std::min(index_ + 1, cap_index_);  // additive increase
+  }
+  window_deliveries_ = window_losses_ = window_spikes_ = 0;
+  return losses;
+}
+
+void BatchBudget::force_budget(std::uint64_t bytes) {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < ladder().size(); ++i) {
+    if (ladder()[i] <= bytes) best = i;
+  }
+  index_ = cap_index_ = best;
+}
+
+}  // namespace edgstr::runtime

@@ -1,5 +1,7 @@
 #include "runtime/replica_state.h"
 
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace edgstr::runtime {
@@ -20,6 +22,16 @@ ReplicaState::ReplicaState(std::string replica_id, ServiceRuntime* service,
   globals_.set_local_source([this] { return filtered_globals(); });
   globals_.set_apply_hook([this](const std::vector<crdt::Op>& ops) { materialize_globals(ops); });
   units_ = {{"tables", &tables_}, {"files", &files_}, {"globals", &globals_}};
+}
+
+void ReplicaState::crash_reset(const trace::Snapshot& snapshot) {
+  initialize_from_snapshot(snapshot);
+  // initialize() preserves the log's current origin, so the new epoch must
+  // land after it. Old-life ops already replicated elsewhere keep flowing
+  // under the old origin; nothing this life mints can collide with them.
+  ++rebirths_;
+  const std::string origin = id_ + "~" + std::to_string(rebirths_);
+  for (const DocUnit& unit : units_) unit.doc->set_origin(origin);
 }
 
 void ReplicaState::initialize_from_snapshot(const trace::Snapshot& snapshot) {
@@ -95,9 +107,18 @@ crdt::ReplicatedDoc* ReplicaState::doc(const std::string& name) const {
 }
 
 crdt::SyncMessage ReplicaState::collect_changes(const crdt::DocVersions& peer_has) const {
+  // An unbounded budget never truncates, so this stays the "whole delta"
+  // call sites expect.
+  return collect_changes(peer_has, std::numeric_limits<std::uint64_t>::max());
+}
+
+crdt::SyncMessage ReplicaState::collect_changes(const crdt::DocVersions& peer_has,
+                                                std::uint64_t budget_bytes) const {
   static const crdt::VersionVector kNothing;
   crdt::SyncMessage message;
   message.from = id_;
+  std::uint64_t spent = 0;
+  bool any_included = false;
   for (const DocUnit& unit : units_) {
     auto it = peer_has.find(unit.name);
     const crdt::VersionVector& known = it == peer_has.end() ? kNothing : it->second;
@@ -105,9 +126,41 @@ crdt::SyncMessage ReplicaState::collect_changes(const crdt::DocVersions& peer_ha
       throw std::runtime_error("sync: " + id_ + " compacted doc '" + unit.name +
                                "' past the peer's version; peer must bootstrap from a snapshot");
     }
-    std::vector<crdt::Op> ops = unit.doc->changes_since(known);
-    if (!ops.empty()) message.ops[unit.name] = std::move(ops);
-    message.versions[unit.name] = unit.doc->version();
+    if (message.truncated) continue;  // budget exhausted at an earlier unit
+    std::vector<crdt::Op> pending = unit.doc->changes_since(known);
+    if (pending.empty()) {
+      message.versions[unit.name] = unit.doc->version();
+      continue;
+    }
+    // changes_since returns log order — per-origin contiguous ascending —
+    // so any whole-op prefix is gap-free and safe to apply on its own.
+    std::size_t take = 0;
+    while (take < pending.size()) {
+      const std::uint64_t cost = pending[take].wire_size();
+      if (any_included && cost > budget_bytes - spent) break;
+      spent += std::min(cost, budget_bytes - spent);  // saturating: spent <= budget
+      any_included = true;
+      ++take;
+    }
+    if (take == pending.size()) {
+      message.versions[unit.name] = unit.doc->version();
+      message.ops[unit.name] = std::move(pending);
+    } else {
+      // Cut mid-unit: advertise only what the included prefix delivers.
+      // Floor at min(peer's claim, our own version) — both provably held
+      // by *us* (the peer's claim can exceed us on its own origins, and an
+      // ack cache fed from this must stay a lower bound on our holdings) —
+      // then raise by the included ops.
+      crdt::VersionVector capped = crdt::version_min(known, unit.doc->version());
+      for (std::size_t i = 0; i < take; ++i) {
+        std::uint64_t& seq = capped[pending[i].origin];
+        seq = std::max(seq, pending[i].seq);
+      }
+      message.versions[unit.name] = std::move(capped);
+      pending.resize(take);
+      message.ops[unit.name] = std::move(pending);
+      message.truncated = true;
+    }
   }
   return message;
 }

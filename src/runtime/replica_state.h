@@ -43,8 +43,13 @@ class ReplicaState {
 
   /// Crash: every volatile CRDT structure (op logs, LWW state, version
   /// vectors) is lost; the replica is reborn from the shared checkpoint as
-  /// if freshly deployed. Identity (replica id) survives.
-  void crash_reset(const trace::Snapshot& snapshot) { initialize_from_snapshot(snapshot); }
+  /// if freshly deployed. The replica *id* survives (it is the network
+  /// address), but the *op origin* does not: each rebirth mints future ops
+  /// under an epoch-suffixed origin ("edge1~2"), because the reborn seq
+  /// counter restarts from the recovered state and any pre-crash op that
+  /// survived only at a third party would otherwise collide with a fresh
+  /// (origin, seq) — a split-brain that version vectors cannot see.
+  void crash_reset(const trace::Snapshot& snapshot);
 
   /// Attaches the deployment's telemetry plane: ops harvested while a
   /// trace context is active are tagged with the client trace that
@@ -58,6 +63,16 @@ class ReplicaState {
   /// std::runtime_error if any unit has compacted past what the peer needs
   /// (the peer must bootstrap from a state snapshot, not a partial delta).
   crdt::SyncMessage collect_changes(const crdt::DocVersions& peer_has) const;
+
+  /// Budgeted variant: cuts the delta at ~`budget_bytes` of op payload, on
+  /// whole-op prefix boundaries (always at least one op, so a tiny budget
+  /// still makes progress). A cut message has `truncated` set and its
+  /// `versions` capped to what the included ops actually deliver — the
+  /// receiver's ack floor never claims undelivered ops, and its next
+  /// digest resumes the remainder automatically. Units past the cut are
+  /// omitted from `versions` entirely.
+  crdt::SyncMessage collect_changes(const crdt::DocVersions& peer_has,
+                                    std::uint64_t budget_bytes) const;
 
   /// Applies a sync message; returns number of new ops. Doc units the
   /// message does not mention are untouched; unknown units are rejected.
@@ -107,6 +122,7 @@ class ReplicaState {
   std::set<std::string> replicated_files_;
   std::set<std::string> replicated_globals_;
   obs::Telemetry* telemetry_ = nullptr;
+  std::uint64_t rebirths_ = 0;  ///< crash count; suffixes the op origin
 
   json::Value filtered_globals();
   void materialize_globals(const std::vector<crdt::Op>& applied);

@@ -1,5 +1,6 @@
 #include "runtime/replication_graph.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace edgstr::runtime {
@@ -64,43 +65,88 @@ double version_weight(const crdt::DocVersions& versions) {
   return total;
 }
 
+/// Pointwise maximum merge. Every component of `other` must be something
+/// the peer provably holds, so the merged floor stays a valid ack even
+/// when deliveries arrive reordered or duplicated.
+void merge_max(crdt::DocVersions& into, const crdt::DocVersions& other) {
+  for (const auto& [doc, vector] : other) {
+    crdt::VersionVector& mine = into[doc];
+    for (const auto& [origin, seq] : vector) {
+      std::uint64_t& current = mine[origin];
+      current = std::max(current, seq);
+    }
+  }
+}
+
+/// How many of `have`'s ops a delta floored at `floor` would carry.
+std::uint64_t ops_missing(const crdt::DocVersions& have, const crdt::DocVersions& floor) {
+  std::uint64_t total = 0;
+  for (const auto& [doc, vector] : have) {
+    const auto floor_doc = floor.find(doc);
+    for (const auto& [origin, seq] : vector) {
+      std::uint64_t floored = 0;
+      if (floor_doc != floor.end()) {
+        const auto it = floor_doc->second.find(origin);
+        if (it != floor_doc->second.end()) floored = it->second;
+      }
+      if (seq > floored) total += seq - floored;
+    }
+  }
+  return total;
+}
+
 }  // namespace
 
+void ReplicationGraph::note_apply(ReplicaState& receiver, const crdt::SyncMessage& delivered,
+                                  const obs::TraceContext& round_ctx, obs::SpanId round_span,
+                                  const char* span_name) {
+  if (!telemetry_) return;
+  // Zero-duration apply span at the receiver, linked to every client
+  // trace whose ops this delivery carried — the far end of the
+  // write -> sync -> apply causal thread.
+  obs::Tracer& tracer = telemetry_->tracer();
+  const obs::SpanId apply = tracer.begin_span(span_name, "sync", receiver.id(), round_ctx);
+  std::size_t op_count = 0;
+  for (const auto& [doc, doc_ops] : delivered.ops) {
+    op_count += doc_ops.size();
+    for (const crdt::Op& op : doc_ops) {
+      const std::uint64_t trace = telemetry_->op_trace(doc, op.origin, op.seq);
+      if (trace == 0) continue;
+      tracer.link(apply, trace);
+      telemetry_->note_delivery(receiver.id(), trace);
+    }
+  }
+  tracer.add_arg(apply, "from", delivered.from);
+  tracer.add_arg(apply, "ops", std::to_string(op_count));
+  tracer.end_span(apply);
+  // end_span keeps the max end time, so every delivery stretches the
+  // round span to cover the round's full in-flight window.
+  tracer.end_span(round_span);
+}
+
 void ReplicationGraph::exchange(ReplicaState& sender, ReplicaState& receiver, SyncLink& link,
-                                const obs::TraceContext& round_ctx, obs::SpanId round_span,
-                                std::uint64_t* round_bytes, std::size_t* round_ops) {
+                                const obs::TraceContext& round_ctx, obs::SpanId round_span) {
   const std::string key = receiver.id() + "<-" + sender.id();
   const crdt::DocVersions& known = peer_known_[key];
-  const crdt::DocVersions* floor = &known;
-  crdt::DocVersions probed;
   if (!sender.can_serve(known)) {
-    // peer_known_ is only a lower bound on what the receiver holds: acks
-    // ride on delivered messages, which faults can drop, while compaction
-    // advances on what peers *advertise* holding. Before forcing a
-    // rebuild, probe the receiver's actual vector (version vectors cost a
-    // few bytes; real protocols exchange them every round): if the
-    // receiver is genuinely above the compaction horizon, serve the delta
-    // from there. The ack floor itself is NOT advanced — that still takes
-    // a delivered message, so a lost delta keeps being re-sent.
-    probed = receiver.versions();
-    if (!sender.can_serve(probed)) {
-      // Genuinely behind the horizon (e.g. reborn after a crash): route it
-      // through the rejoin path, which can fall back to a full bootstrap.
-      metrics_.add("sync.forced_rebuilds");
-      recovering_.insert(receiver.id());
-      return;
-    }
-    floor = &probed;
+    // The ack floor fell behind the sender's compaction horizon: acks ride
+    // delivered messages, and enough loss starves them. That does NOT mean
+    // the receiver is behind — only that the floor is stale (forcing a
+    // rebuild here can cascade until every endpoint is "recovering" and no
+    // rejoin source remains). Fall back to one digest exchange for this
+    // direction: the receiver's true advertisement either heals the floor
+    // with an exact delta, or proves the receiver really is below the
+    // horizon — and serve_digest routes that through the rejoin path. The
+    // digest protocol itself cannot get here at all.
+    metrics_.add("sync.push.digest_fallbacks");
+    start_digest_exchange(receiver, sender, link, round_ctx, round_span);
+    return;
   }
-  const crdt::SyncMessage message = sender.collect_changes(*floor);
+  const crdt::SyncMessage message = sender.collect_changes(known);
   if (optimistic_acks_) peer_known_[key] = message.versions;
-  if (round_bytes || round_ops) {
-    std::size_t ops = 0;
-    for (const auto& [doc, doc_ops] : message.ops) ops += doc_ops.size();
-    if (round_ops) *round_ops += ops;
-  }
+  pending_round_ops_ += message.op_count();
   const std::uint64_t sent_inc = incarnation_[receiver.id()];
-  const std::uint64_t bytes = link.send(
+  pending_round_bytes_ += link.send(
       sender.id(), message,
       [this, key, sent_inc, round_ctx, round_span, rid = receiver.id(),
        &receiver](const crdt::SyncMessage& delivered) {
@@ -111,50 +157,189 @@ void ReplicationGraph::exchange(ReplicaState& sender, ReplicaState& receiver, Sy
         if (incarnation_[rid] != sent_inc) return;
         receiver.apply_message(delivered);
         if (!optimistic_acks_) peer_known_[key] = delivered.versions;
-        if (telemetry_) {
-          // Zero-duration apply span at the receiver, linked to every
-          // client trace whose ops this delivery carried — the far end of
-          // the write -> sync -> apply causal thread.
-          obs::Tracer& tracer = telemetry_->tracer();
-          const obs::SpanId apply = tracer.begin_span("sync.apply", "sync", rid, round_ctx);
-          std::size_t op_count = 0;
-          for (const auto& [doc, doc_ops] : delivered.ops) {
-            op_count += doc_ops.size();
-            for (const crdt::Op& op : doc_ops) {
-              const std::uint64_t trace = telemetry_->op_trace(doc, op.origin, op.seq);
-              if (trace == 0) continue;
-              tracer.link(apply, trace);
-              telemetry_->note_delivery(rid, trace);
-            }
-          }
-          tracer.add_arg(apply, "from", delivered.from);
-          tracer.add_arg(apply, "ops", std::to_string(op_count));
-          tracer.end_span(apply);
-          // end_span keeps the max end time, so every delivery stretches
-          // the round span to cover the round's full in-flight window.
-          tracer.end_span(round_span);
-        }
+        note_apply(receiver, delivered, round_ctx, round_span, "sync.apply");
       },
       round_ctx);
-  if (round_bytes) *round_bytes += bytes;
+}
+
+void ReplicationGraph::start_digest_exchange(ReplicaState& advertiser, ReplicaState& responder,
+                                             SyncLink& link, const obs::TraceContext& round_ctx,
+                                             obs::SpanId round_span, bool rejoin) {
+  crdt::SyncMessage digest;
+  digest.kind = crdt::SyncKind::kDigest;
+  digest.from = advertiser.id();
+  digest.versions = advertiser.versions();
+  digest.rejoin = rejoin;
+  const std::uint64_t advertiser_inc = incarnation_[advertiser.id()];
+  const std::uint64_t responder_inc = incarnation_[responder.id()];
+  pending_round_bytes_ += link.send(
+      advertiser.id(), digest,
+      [this, &advertiser, &responder, &link, advertiser_inc, responder_inc, round_ctx,
+       round_span](const crdt::SyncMessage& delivered) {
+        if (incarnation_[responder.id()] != responder_inc) return;
+        serve_digest(advertiser, responder, link, delivered, advertiser_inc, round_ctx,
+                     round_span);
+      },
+      round_ctx);
+}
+
+void ReplicationGraph::serve_digest(ReplicaState& advertiser, ReplicaState& responder,
+                                    SyncLink& link, const crdt::SyncMessage& digest,
+                                    std::uint64_t advertiser_inc,
+                                    const obs::TraceContext& round_ctx, obs::SpanId round_span) {
+  const std::string aid = advertiser.id();
+  const std::string rid = responder.id();
+  // Both ends must still be in the lives that opened this exchange; a
+  // digest whose rejoin flag no longer matches the advertiser's state
+  // (rejoin completed elsewhere, or a live node forced into recovery) is
+  // stale and answered by a later round instead.
+  if (down_.count(rid) || recovering_.count(rid)) return;
+  if (down_.count(aid) || incarnation_[aid] != advertiser_inc) return;
+  if (digest.rejoin != (recovering_.count(aid) > 0)) return;
+
+  // What the push baseline would resend from the stale ack floor, minus
+  // what the digest proves is actually missing — the duplicate traffic
+  // this protocol exists to eliminate.
+  const crdt::DocVersions responder_versions = responder.versions();
+  const std::uint64_t would_push = ops_missing(responder_versions, peer_known_[aid + "<-" + rid]);
+  const std::uint64_t missing = ops_missing(responder_versions, digest.versions);
+  if (!digest.rejoin && would_push > missing) {
+    metrics_.add("sync.redundant_ops_avoided", double(would_push - missing));
+  }
+
+  // The digest is the advertiser's authoritative self-report: fold it into
+  // the ack cache. Acks now self-heal — a lost delta or a cross-path
+  // delivery is corrected by the very next digest — so the cache only
+  // gates compaction, never what gets sent. Under kPush that same entry
+  // IS a send floor (for pushes advertiser -> responder), and it must
+  // lower-bound the RESPONDER's holdings — the advertiser's self-report
+  // would poison it — so the fold is digest-protocol only; push-mode
+  // compaction keeps advancing through delivered acks alone.
+  if (protocol_ == SyncProtocol::kDigest) {
+    merge_max(peer_known_[rid + "<-" + aid], digest.versions);
+  }
+
+  if (!responder.can_serve(digest.versions)) {
+    if (digest.rejoin) {
+      // Compacted past the joiner's reset state: ship the full CRDT state
+      // over the same link (it pays netsim latency/loss like any delta).
+      crdt::SyncMessage boot;
+      boot.kind = crdt::SyncKind::kBootstrap;
+      boot.from = rid;
+      boot.rejoin = true;
+      boot.versions = responder_versions;
+      boot.bootstrap = responder.bootstrap_state();
+      const std::uint64_t bytes =
+          link.send(rid, boot,
+                    [this, &advertiser, advertiser_inc, rid, round_ctx,
+                     round_span](const crdt::SyncMessage& delivered) {
+                      deliver_reply(advertiser, delivered, advertiser_inc, rid, round_ctx,
+                                    round_span);
+                    },
+                    round_ctx);
+      metrics_.add("sync.bootstrap_bytes", double(bytes));
+      pending_round_bytes_ += bytes;
+    } else {
+      // A live advertiser below our compaction horizon should be
+      // impossible (compaction only trims digest-proven acks), but the
+      // rejoin path un-wedges it rather than wedging the link forever.
+      metrics_.add("sync.forced_rebuilds");
+      recovering_.insert(aid);
+    }
+    return;
+  }
+
+  crdt::SyncMessage reply =
+      responder.collect_changes(digest.versions, link.budget_from(rid).budget());
+  if (reply.op_count() == 0 && !digest.rejoin) {
+    // Peer is current: the whole exchange cost one digest, no payload.
+    metrics_.add("sync.digest.hit");
+    return;
+  }
+  metrics_.add(reply.op_count() ? "sync.digest.miss" : "sync.digest.hit");
+  reply.rejoin = digest.rejoin;
+  pending_round_ops_ += reply.op_count();
+  pending_round_bytes_ += link.send(
+      rid, reply,
+      [this, &advertiser, advertiser_inc, rid, round_ctx,
+       round_span](const crdt::SyncMessage& delivered) {
+        deliver_reply(advertiser, delivered, advertiser_inc, rid, round_ctx, round_span);
+      },
+      round_ctx);
+}
+
+void ReplicationGraph::deliver_reply(ReplicaState& advertiser,
+                                     const crdt::SyncMessage& delivered,
+                                     std::uint64_t advertiser_inc, const std::string& responder_id,
+                                     const obs::TraceContext& round_ctx, obs::SpanId round_span) {
+  const std::string& aid = advertiser.id();
+  if (down_.count(aid) || incarnation_[aid] != advertiser_inc) return;
+  const bool rejoining = recovering_.count(aid) > 0;
+  // A rejoin reply is only meaningful while still recovering, and a
+  // regular reply only while not — anything else is a stale in-flight
+  // message from before the state flip.
+  if (delivered.rejoin != rejoining) return;
+
+  if (delivered.kind == crdt::SyncKind::kBootstrap) {
+    if (!rejoining) return;
+    advertiser.restore_bootstrap(delivered.bootstrap);
+    if (telemetry_) {
+      obs::Tracer& tracer = telemetry_->tracer();
+      const obs::SpanId span =
+          tracer.begin_span("sync.rejoin.bootstrap", "sync", aid, round_ctx);
+      tracer.add_arg(span, "from", delivered.from);
+      tracer.end_span(span);
+      tracer.end_span(round_span);
+    }
+    complete_rejoin(advertiser, /*delta=*/false);
+    return;
+  }
+
+  advertiser.apply_message(delivered);
+  // The reply's versions are capped to what its ops actually deliver, so
+  // merging them keeps the ack cache a strict lower bound on the
+  // responder's holdings.
+  merge_max(peer_known_[aid + "<-" + responder_id], delivered.versions);
+  note_apply(advertiser, delivered, round_ctx, round_span,
+             rejoining ? "sync.rejoin.delta" : "sync.apply");
+  // A truncated rejoin delta leaves the joiner recovering: its next
+  // rejoin digest resumes the remainder, and only the final full piece
+  // completes the rejoin.
+  if (rejoining && !delivered.truncated) complete_rejoin(advertiser, /*delta=*/true);
+}
+
+void ReplicationGraph::finalize_round_stats() {
+  if (!round_stats_pending_) return;
+  round_stats_pending_ = false;
+  if (!telemetry_ || last_round_span_ == obs::kNoSpan) return;
+  obs::Tracer& tracer = telemetry_->tracer();
+  tracer.add_arg(last_round_span_, "bytes", std::to_string(pending_round_bytes_));
+  tracer.add_arg(last_round_span_, "ops", std::to_string(pending_round_ops_));
+  metrics_.observe("sync.round.duration", tracer.span(last_round_span_).duration());
+  metrics_.observe("sync.round.bytes", double(pending_round_bytes_),
+                   util::Histogram::default_count_bounds());
+  metrics_.observe("sync.round.ops", double(pending_round_ops_),
+                   util::Histogram::default_count_bounds());
 }
 
 void ReplicationGraph::tick_round() {
+  // The previous round's replies (and its span's stretching) all landed
+  // during the clock drain that followed it; its totals are final only
+  // now, so this is where they feed the histograms.
+  finalize_round_stats();
   obs::SpanId round_span = obs::kNoSpan;
   obs::TraceContext round_ctx;
-  std::uint64_t round_bytes = 0;
-  std::size_t round_ops = 0;
+  pending_round_bytes_ = 0;
+  pending_round_ops_ = 0;
+  round_stats_pending_ = true;
   if (telemetry_) {
-    // The previous round's span stopped stretching once its last delivery
-    // landed; by now its duration is final, so it feeds the histogram.
-    if (last_round_span_ != obs::kNoSpan) {
-      metrics_.observe("sync.round.duration",
-                       telemetry_->tracer().span(last_round_span_).duration());
-    }
     round_span = telemetry_->tracer().begin_span("sync.round", "sync", "sync");
     round_ctx = telemetry_->tracer().context(round_span);
     last_round_span_ = round_span;
   }
+  // Round boundary for every link's AIMD budgets: sends still pending
+  // past the loss horizon count as losses and shrink the next deltas.
+  for (const GraphLink& link : links_) link.link->begin_round();
   for (const auto& endpoint : endpoints_) {
     const std::string& id = endpoint->id();
     if (endpoint_up(id) && !recovering_.count(id)) endpoint->record_local();
@@ -164,24 +349,32 @@ void ReplicationGraph::tick_round() {
       attempt_rejoin(*endpoint, round_ctx, round_span);
     }
   }
-  for (const GraphLink& link : links_) {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const GraphLink& link = links_[i];
     if (!endpoint_up(link.a) || !endpoint_up(link.b)) continue;
     if (recovering_.count(link.a) || recovering_.count(link.b)) continue;
     ReplicaState& a = endpoint(link.a);
     ReplicaState& b = endpoint(link.b);
-    exchange(a, b, *link.link, round_ctx, round_span, &round_bytes, &round_ops);
-    exchange(b, a, *link.link, round_ctx, round_span, &round_bytes, &round_ops);
+    if (protocol_ == SyncProtocol::kDigest) {
+      // Pull anti-entropy at half the control cost: one advertiser per
+      // link per round, alternating direction every round. Links are
+      // created parent-first (cloud<->regional, regional<->edge), so even
+      // rounds pull data up the topology and odd rounds pull it down — a
+      // write pipelines leaf -> root -> far leaf in consecutive rounds.
+      // Every direction is served every second round, so convergence is
+      // preserved — the steady-state digest traffic is simply halved.
+      const bool a_advertises = (round_number_ % 2) == 0;
+      start_digest_exchange(a_advertises ? a : b, a_advertises ? b : a, *link.link, round_ctx,
+                            round_span);
+    } else {
+      exchange(a, b, *link.link, round_ctx, round_span);
+      exchange(b, a, *link.link, round_ctx, round_span);
+    }
   }
+  ++round_number_;
   metrics_.add("sync.rounds");
   if (telemetry_) {
-    obs::Tracer& tracer = telemetry_->tracer();
-    tracer.add_arg(round_span, "bytes", std::to_string(round_bytes));
-    tracer.add_arg(round_span, "ops", std::to_string(round_ops));
-    tracer.end_span(round_span);
-    metrics_.observe("sync.round.bytes", double(round_bytes),
-                     util::Histogram::default_count_bounds());
-    metrics_.observe("sync.round.ops", double(round_ops),
-                     util::Histogram::default_count_bounds());
+    telemetry_->tracer().end_span(round_span);
     sample_staleness();
   }
 }
@@ -279,61 +472,12 @@ void ReplicationGraph::attempt_rejoin(ReplicaState& joiner, const obs::TraceCont
   }
   if (!source) return;  // isolated for now; tick_round() retries
 
-  const std::uint64_t sent_inc = incarnation_[joiner.id()];
-  if (source->can_serve(joiner.versions())) {
-    // Delta rejoin: the source still holds every op past the joiner's
-    // (reset) version, so a normal sync message fully repairs it.
-    const crdt::SyncMessage message = source->collect_changes(joiner.versions());
-    source_link->send(
-        source->id(), message,
-        [this, sent_inc, round_ctx, round_span, jid = joiner.id(),
-         &joiner](const crdt::SyncMessage& delivered) {
-          if (down_.count(jid) || !recovering_.count(jid)) return;
-          if (incarnation_[jid] != sent_inc) return;
-          joiner.apply_message(delivered);
-          if (telemetry_) {
-            obs::Tracer& tracer = telemetry_->tracer();
-            const obs::SpanId apply =
-                tracer.begin_span("sync.rejoin.delta", "sync", jid, round_ctx);
-            for (const auto& [doc, doc_ops] : delivered.ops) {
-              for (const crdt::Op& op : doc_ops) {
-                const std::uint64_t trace = telemetry_->op_trace(doc, op.origin, op.seq);
-                if (trace == 0) continue;
-                tracer.link(apply, trace);
-                telemetry_->note_delivery(jid, trace);
-              }
-            }
-            tracer.add_arg(apply, "from", delivered.from);
-            tracer.end_span(apply);
-            tracer.end_span(round_span);
-          }
-          complete_rejoin(joiner, /*delta=*/true);
-        },
-        round_ctx);
-  } else {
-    // The source compacted past the joiner: ship the full CRDT state.
-    const json::Value state = source->bootstrap_state();
-    const std::uint64_t bytes = state.wire_size();
-    metrics_.add("sync.bootstrap_bytes", double(bytes));
-    obs::SpanId transfer = obs::kNoSpan;
-    if (telemetry_) {
-      transfer = telemetry_->tracer().begin_span("sync.rejoin.bootstrap", "sync", source->id(),
-                                                 round_ctx);
-      telemetry_->tracer().add_arg(transfer, "to", joiner.id());
-      telemetry_->tracer().add_arg(transfer, "bytes", std::to_string(bytes));
-    }
-    network_.send(source->id(), joiner.id(), bytes,
-                  [this, sent_inc, state, transfer, round_span, jid = joiner.id(), &joiner]() {
-                    if (telemetry_) {
-                      telemetry_->tracer().end_span(transfer);
-                      telemetry_->tracer().end_span(round_span);
-                    }
-                    if (down_.count(jid) || !recovering_.count(jid)) return;
-                    if (incarnation_[jid] != sent_inc) return;
-                    joiner.restore_bootstrap(state);
-                    complete_rejoin(joiner, /*delta=*/false);
-                  });
-  }
+  // Rejoin is digest-driven under both protocols: the joiner advertises
+  // its (reset) state with a rejoin-flagged digest, and the source answers
+  // with exactly the missing ranges — or a full bootstrap when it has
+  // compacted past the joiner (serve_digest decides, with the same budget
+  // and fault exposure as any other exchange).
+  start_digest_exchange(joiner, *source, *source_link, round_ctx, round_span, /*rejoin=*/true);
 }
 
 void ReplicationGraph::complete_rejoin(ReplicaState& joiner, bool delta) {
@@ -427,6 +571,10 @@ void ReplicationGraph::reset_traffic_stats() {
   metrics_.reset("sync.bytes.");
   metrics_.reset("sync.messages");
   metrics_.reset("sync.ops_shipped.");
+  metrics_.reset("sync.digest.");
+  metrics_.reset("sync.redundant_ops_avoided");
+  metrics_.reset("sync.batch.");
+  metrics_.reset("sync.push.");
 }
 
 void ReplicationGraph::update_convergence_lag() {

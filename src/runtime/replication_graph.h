@@ -6,10 +6,29 @@
 // edge<->edge link, a full mesh is all-pairs links, and a hierarchical
 // deployment (cloud -> regional aggregators -> edges) is a two-level tree.
 // One sync round is the same everywhere: every endpoint harvests local
-// changes, then every link exchanges deltas in both directions; op-based
-// CRDTs make redundant gossip paths harmless (idempotent, commutative
-// deliveries), and multi-hop topologies relay through each endpoint's own
-// op log exactly like the seed's cloud did.
+// changes, then every link syncs in both directions; op-based CRDTs make
+// redundant gossip paths harmless (idempotent, commutative deliveries),
+// and multi-hop topologies relay through each endpoint's own op log
+// exactly like the seed's cloud did.
+//
+// Two sync protocols share the graph:
+//
+//   kDigest (default) — two-phase anti-entropy. Each direction of a link
+//   opens with a compact version-vector digest of everything the
+//   advertiser holds; the responder answers with exactly the op ranges the
+//   digest proves missing (or nothing — a digest "hit"). Because the floor
+//   for every delta is the peer's own fresh self-report, redundant
+//   retransmission on meshes and hierarchies disappears: an op that
+//   already reached a peer via another path is never shipped again, and a
+//   lost delta costs one digest round, not a full-backlog resend.
+//   peer_known_ degrades into a self-healing ack cache that only gates log
+//   compaction. Replies are cut at the link's adaptive byte budget
+//   (BatchBudget) and resume over later rounds.
+//
+//   kPush — the PR 1 protocol, kept as an A/B baseline: each side guesses
+//   the peer's holdings from the last delivered ack and pushes that delta.
+//   Staleness in the guess (a one-round cross-push window, or any lost
+//   message) is paid for in duplicate ops.
 #pragma once
 
 #include <functional>
@@ -25,9 +44,22 @@
 
 namespace edgstr::runtime {
 
+/// How a link direction decides what to ship per round: kDigest asks
+/// first (two-phase, exact deltas), kPush guesses from the last ack.
+enum class SyncProtocol { kPush, kDigest };
+
 class ReplicationGraph {
  public:
   explicit ReplicationGraph(netsim::Network& network) : network_(network) {}
+
+  /// Selects the sync protocol (default kDigest). Flip to kPush for the
+  /// guess-and-push baseline the benches compare against.
+  void set_sync_protocol(SyncProtocol protocol) { protocol_ = protocol; }
+  SyncProtocol sync_protocol() const { return protocol_; }
+  /// Convenience for config plumbing: digest_sync(false) == kPush.
+  void set_digest_sync(bool enabled) {
+    protocol_ = enabled ? SyncProtocol::kDigest : SyncProtocol::kPush;
+  }
 
   /// Registers an endpoint; its id() must be unique and is the host name
   /// used on the simulated network.
@@ -92,7 +124,9 @@ class ReplicationGraph {
   /// Deliberate-regression knob for the simulation harness: when enabled,
   /// peer acks are recorded at *send* time instead of delivery time, so a
   /// lost message is never retransmitted. Convergence invariants must
-  /// catch this under lossy networks.
+  /// catch this under lossy networks. Push-protocol only: under digest
+  /// sync the resend floor is the peer's own advertisement, so there is no
+  /// send-time ack to corrupt.
   void set_optimistic_acks(bool enabled) { optimistic_acks_ = enabled; }
 
   /// True when every *up, non-recovering* endpoint's observable state
@@ -140,12 +174,15 @@ class ReplicationGraph {
   };
 
   netsim::Network& network_;
+  SyncProtocol protocol_ = SyncProtocol::kDigest;
   std::vector<std::shared_ptr<ReplicaState>> endpoints_;
   std::map<std::string, std::size_t> index_;  ///< id -> endpoints_ index
   std::vector<GraphLink> links_;
-  /// What each directed peer is known to have: key "receiver<-sender"
-  /// holds the versions `sender` advertised in its last message applied
-  /// by `receiver`.
+  /// What each directed peer provably holds: key "holder<-peer" is the
+  /// last version set `peer` advertised (ack or digest) that reached
+  /// `holder`. Under kDigest this is purely a compaction gate, refreshed
+  /// by every digest — never a correctness input; under kPush it doubles
+  /// as the (guessable-stale) resend floor.
   std::map<std::string, crdt::DocVersions> peer_known_;
   util::MetricsRegistry metrics_;
   std::map<std::string, double> lag_streak_;  ///< endpoint -> rounds diverged
@@ -159,10 +196,42 @@ class ReplicationGraph {
   obs::Telemetry* telemetry_ = nullptr;
   obs::SpanId last_round_span_ = obs::kNoSpan;  ///< previous round, for duration
   std::map<std::string, double> last_converged_;  ///< endpoint -> sim time
+  /// Bytes/ops attributed to the round in flight. Digest replies go out
+  /// *during* the clock drain — after tick_round() returns — so a round's
+  /// totals are only final when the next round starts (the same deferral
+  /// last_round_span_ uses for durations).
+  std::uint64_t pending_round_bytes_ = 0;
+  std::size_t pending_round_ops_ = 0;
+  bool round_stats_pending_ = false;
+  std::uint64_t round_number_ = 0;  ///< tick counter; picks digest parity
 
+  /// kPush: guess the receiver's holdings from the last delivered ack and
+  /// push that delta.
   void exchange(ReplicaState& sender, ReplicaState& receiver, SyncLink& link,
-                const obs::TraceContext& round_ctx, obs::SpanId round_span,
-                std::uint64_t* round_bytes, std::size_t* round_ops);
+                const obs::TraceContext& round_ctx, obs::SpanId round_span);
+  /// kDigest phase 1: advertise `advertiser`'s versions to `responder`.
+  void start_digest_exchange(ReplicaState& advertiser, ReplicaState& responder, SyncLink& link,
+                             const obs::TraceContext& round_ctx, obs::SpanId round_span,
+                             bool rejoin = false);
+  /// kDigest phase 2 (runs at digest delivery): answer with exactly the
+  /// missing ranges, cut at the link budget; or bootstrap a rejoiner the
+  /// responder has compacted past.
+  void serve_digest(ReplicaState& advertiser, ReplicaState& responder, SyncLink& link,
+                    const crdt::SyncMessage& digest, std::uint64_t advertiser_inc,
+                    const obs::TraceContext& round_ctx, obs::SpanId round_span);
+  /// Delivery of a digest reply (op delta or bootstrap) back at the
+  /// advertiser: apply/restore, refresh the ack cache, finish a rejoin.
+  void deliver_reply(ReplicaState& advertiser, const crdt::SyncMessage& delivered,
+                     std::uint64_t advertiser_inc, const std::string& responder_id,
+                     const obs::TraceContext& round_ctx, obs::SpanId round_span);
+  /// Telemetry for an op message just applied at `receiver`: the apply
+  /// span plus per-op provenance links; shared by both protocols.
+  void note_apply(ReplicaState& receiver, const crdt::SyncMessage& delivered,
+                  const obs::TraceContext& round_ctx, obs::SpanId round_span,
+                  const char* span_name);
+  /// Flushes the previous round's byte/op totals into span args and
+  /// histograms once its deliveries have drained.
+  void finalize_round_stats();
   void attempt_rejoin(ReplicaState& joiner, const obs::TraceContext& round_ctx,
                       obs::SpanId round_span);
   void complete_rejoin(ReplicaState& joiner, bool delta);

@@ -20,6 +20,18 @@ const std::string& SyncLink::other_end(const std::string& endpoint) const {
   throw std::invalid_argument("SyncLink: '" + endpoint + "' is not an end of " + a_ + "<->" + b_);
 }
 
+BatchBudget& SyncLink::budget_from(const std::string& sender) {
+  if (sender == a_) return budget_ab_;
+  if (sender == b_) return budget_ba_;
+  throw std::invalid_argument("SyncLink: '" + sender + "' is not an end of " + a_ + "<->" + b_);
+}
+
+void SyncLink::begin_round() {
+  const double now = network_.clock().now();
+  const std::size_t losses = budget_ab_.begin_round(now) + budget_ba_.begin_round(now);
+  if (losses && metrics_) metrics_->add("sync.batch.losses", double(losses));
+}
+
 std::uint64_t SyncLink::send(const std::string& from, const crdt::SyncMessage& message,
                              std::function<void(const crdt::SyncMessage&)> on_delivered,
                              const obs::TraceContext& parent) {
@@ -32,20 +44,40 @@ std::uint64_t SyncLink::send(const std::string& from, const crdt::SyncMessage& m
   std::size_t op_count = 0;
   for (const auto& [doc, ops] : message.ops) op_count += ops.size();
 
+  const bool carries_ops = message.kind == crdt::SyncKind::kOps;
   if (metrics_) {
     metrics_->add("sync.messages");
     metrics_->add("sync.bytes.wire", double(bytes));
-    // What the same message would have cost in the seed's per-op JSON
-    // encoding — the denominator of the wire-format savings report.
-    metrics_->add("sync.bytes.per_op_equiv",
-                  double(crdt::encode_message_per_op(message).wire_size() + kFramingOverheadBytes));
-    for (const auto& [doc, ops] : message.ops) {
-      metrics_->add("sync.ops_shipped." + message.from + "." + doc, double(ops.size()));
-      double op_bytes = 0;
-      for (const crdt::Op& op : ops) op_bytes += double(op.wire_size());
-      metrics_->add("sync.bytes.doc." + doc, op_bytes);
+    // Per-kind byte split: the wire-format savings report compares op
+    // traffic only, and digest/bootstrap overhead is reported on its own.
+    const char* kind = carries_ops                                   ? "ops"
+                       : message.kind == crdt::SyncKind::kDigest ? "digest"
+                                                                     : "bootstrap";
+    metrics_->add(std::string("sync.bytes.wire.") + kind, double(bytes));
+    if (carries_ops) {
+      // What the same message would have cost in the seed's per-op JSON
+      // encoding — the denominator of the wire-format savings report.
+      metrics_->add("sync.bytes.per_op_equiv",
+                    double(crdt::encode_message_per_op(message).wire_size() +
+                           kFramingOverheadBytes));
+      for (const auto& [doc, ops] : message.ops) {
+        metrics_->add("sync.ops_shipped." + message.from + "." + doc, double(ops.size()));
+        double op_bytes = 0;
+        for (const crdt::Op& op : ops) op_bytes += double(op.wire_size());
+        metrics_->add("sync.bytes.doc." + doc, op_bytes);
+      }
+      std::vector<double> batch_bounds(BatchBudget::ladder().begin(),
+                                       BatchBudget::ladder().end());
+      metrics_->observe("sync.batch.bytes", double(bytes), batch_bounds);
+      if (message.truncated) metrics_->add("sync.batch.splits");
     }
   }
+
+  // Only op-bearing sends feed the AIMD controller: digests are tiny and
+  // constant-rate, so their fate says nothing about how much delta the
+  // link can absorb.
+  BatchBudget* budget = carries_ops ? &budget_from(from) : nullptr;
+  if (budget) budget->on_send(network_.clock().now());
 
   obs::SpanId transit = obs::kNoSpan;
   if (telemetry_) {
@@ -68,7 +100,8 @@ std::uint64_t SyncLink::send(const std::string& from, const crdt::SyncMessage& m
   // The *encoded* form is what travels: delivery decodes it at arrival
   // time, so every sync round exercises the full wire round-trip.
   network_.send(from, to, bytes,
-                [this, wire, transit, on_delivered = std::move(on_delivered)]() {
+                [this, wire, transit, budget, on_delivered = std::move(on_delivered)]() {
+                  if (budget) budget->on_delivery(network_.clock().now());
                   if (telemetry_) telemetry_->tracer().end_span(transit);
                   on_delivered(crdt::decode_message(wire));
                 });

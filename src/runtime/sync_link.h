@@ -19,6 +19,7 @@
 #include "crdt/wire.h"
 #include "netsim/network.h"
 #include "obs/telemetry.h"
+#include "runtime/batch_budget.h"
 #include "util/metrics.h"
 
 namespace edgstr::runtime {
@@ -48,6 +49,15 @@ class SyncLink {
   const std::string& other_end(const std::string& endpoint) const;
   bool connects(const std::string& endpoint) const { return endpoint == a_ || endpoint == b_; }
 
+  /// Round boundary for both direction budgets: expires lost sends and
+  /// applies the AIMD step (see BatchBudget::begin_round). Inferred losses
+  /// land on the `sync.batch.losses` counter.
+  void begin_round();
+
+  /// The adaptive delta budget governing messages *sent by* `sender`;
+  /// throws if `sender` is on neither end.
+  BatchBudget& budget_from(const std::string& sender);
+
   std::uint64_t total_bytes() const { return bytes_; }
   std::uint64_t messages() const { return messages_; }
   void reset_stats() { bytes_ = messages_ = 0; }
@@ -58,6 +68,8 @@ class SyncLink {
   std::string b_;
   util::MetricsRegistry* metrics_;
   obs::Telemetry* telemetry_ = nullptr;
+  BatchBudget budget_ab_;  ///< governs deltas sent by endpoint a
+  BatchBudget budget_ba_;  ///< governs deltas sent by endpoint b
   std::uint64_t bytes_ = 0;
   std::uint64_t messages_ = 0;
 };

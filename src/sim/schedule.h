@@ -36,8 +36,14 @@ struct ScheduleConfig {
 
   /// Deliberate regression knob: record peer acks at send time, so a lost
   /// sync message is never retransmitted. A correct harness MUST flag
-  /// non-convergence for (most) seeds with this enabled.
+  /// non-convergence for (most) seeds with this enabled. Push-protocol
+  /// only — set digest_sync=false with it, or the self-healing digests
+  /// mask the planted bug.
   bool optimistic_acks = false;
+
+  /// Two-phase digest anti-entropy (default); false runs the push
+  /// baseline. The nightly sweep runs both and diffs convergence rounds.
+  bool digest_sync = true;
 
   /// Export the run's telemetry: fills ScheduleResult::chrome_trace and
   /// metrics_snapshot with serialized JSON. Spans are recorded either way

@@ -1,0 +1,137 @@
+// Bench-regression gate: scaled-down fig10a (sync bytes) and fig7 (request
+// latency) scenarios run in-process and are checked against the committed
+// baseline in tests/golden/bench_baseline.json with ±15% tolerance, so a
+// perf regression fails ctest instead of silently drifting until someone
+// re-reads the bench output.
+//
+// The simulation is deterministic, so the measured numbers are exactly
+// reproducible on any machine; the tolerance absorbs *intentional* small
+// shifts from unrelated changes. A deliberate perf change regenerates the
+// baseline: EDGSTR_UPDATE_BENCH_BASELINE=1 ctest -R BenchRegression
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+#include "edgstr/deployment.h"
+#include "edgstr/pipeline.h"
+#include "json/parse.h"
+#include "json/value.h"
+
+namespace edgstr {
+namespace {
+
+const core::TransformResult& transformed_sensor_hub() {
+  static const core::TransformResult result = [] {
+    const apps::SubjectApp& app = apps::sensor_hub();
+    const http::TrafficRecorder traffic = core::record_traffic(app.server_source, app.workload);
+    return core::Pipeline().transform(app.name, app.server_source, traffic);
+  }();
+  return result;
+}
+
+double percentile_95(std::vector<double> values) {
+  EXPECT_FALSE(values.empty());
+  std::sort(values.begin(), values.end());
+  const std::size_t idx = (values.size() * 95 + 99) / 100;  // ceil(0.95 n)
+  return values[std::min(idx, values.size()) - 1];
+}
+
+/// Scaled-down fig10a: the sensor-hub workload spread round-robin over a
+/// two-edge star+mesh, one sync round per sweep, converged at the end.
+/// Returns total sync wire bytes (digests included).
+double measure_sync_bytes() {
+  const core::TransformResult& result = transformed_sensor_hub();
+  core::DeploymentConfig config;
+  config.start_sync = false;
+  config.topology = core::SyncTopology::kStarEdgeMesh;
+  config.edge_devices.assign(2, cluster::DeviceProfile::rpi4());
+  core::ThreeTierDeployment three(result, config);
+  std::size_t i = 0;
+  for (const http::HttpRequest& req : apps::sensor_hub().workload) {
+    three.request_sync(req, i++ % 2);
+    if (i % 2 == 0) {
+      three.sync().tick();
+      three.network().clock().run();
+    }
+  }
+  three.sync().sync_until_converged();
+  return double(three.sync().total_sync_bytes());
+}
+
+/// Scaled-down fig7: p95 request latency through the edge proxy and the
+/// two-tier cloud path over the whole workload.
+void measure_latencies(double* edge_p95_s, double* cloud_p95_s) {
+  const core::TransformResult& result = transformed_sensor_hub();
+  const apps::SubjectApp& app = apps::sensor_hub();
+  std::vector<double> edge, cloud;
+  {
+    core::DeploymentConfig config;
+    config.start_sync = false;
+    core::ThreeTierDeployment three(result, config);
+    for (const http::HttpRequest& req : app.workload) {
+      double latency = 0;
+      three.request_sync(req, 0, &latency);
+      edge.push_back(latency);
+    }
+  }
+  {
+    core::DeploymentConfig config;
+    config.start_sync = false;
+    core::TwoTierDeployment two(result.cloud_source, config);
+    for (const http::HttpRequest& req : app.workload) {
+      double latency = 0;
+      two.request_sync(req, &latency);
+      cloud.push_back(latency);
+    }
+  }
+  *edge_p95_s = percentile_95(edge);
+  *cloud_p95_s = percentile_95(cloud);
+}
+
+TEST(BenchRegressionTest, SyncBytesAndLatencyStayNearBaseline) {
+  const core::TransformResult& result = transformed_sensor_hub();
+  ASSERT_TRUE(result.ok) << result.error;
+
+  json::Object measured;
+  measured.set("fig10a_scaled.sync_bytes_total", json::Value(measure_sync_bytes()));
+  double edge_p95 = 0, cloud_p95 = 0;
+  measure_latencies(&edge_p95, &cloud_p95);
+  measured.set("fig7_scaled.edge_p95_latency_s", json::Value(edge_p95));
+  measured.set("fig7_scaled.cloud_p95_latency_s", json::Value(cloud_p95));
+
+  const std::string path = std::string(EDGSTR_TESTS_DIR) + "/golden/bench_baseline.json";
+  if (std::getenv("EDGSTR_UPDATE_BENCH_BASELINE")) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.is_open()) << "cannot write " << path;
+    out << json::Value(measured).dump_pretty() << "\n";
+    GTEST_SKIP() << "baseline regenerated at " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path
+                            << " missing; regenerate with EDGSTR_UPDATE_BENCH_BASELINE=1";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const json::Value baseline = json::parse(buffer.str());
+
+  for (const auto& [key, value] : measured) {
+    const json::Value* expected = baseline.find(key);
+    ASSERT_NE(expected, nullptr) << "baseline lacks '" << key
+                                 << "'; regenerate with EDGSTR_UPDATE_BENCH_BASELINE=1";
+    const double want = expected->as_number();
+    const double got = value.as_number();
+    EXPECT_GE(got, want * 0.85) << key << " improved past tolerance — lock in the win by "
+                                << "regenerating the baseline";
+    EXPECT_LE(got, want * 1.15) << key << " regressed vs the committed baseline (" << got
+                                << " vs " << want << ")";
+  }
+}
+
+}  // namespace
+}  // namespace edgstr

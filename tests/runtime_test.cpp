@@ -347,10 +347,13 @@ TEST(SyncCompactionTest, AckedOpsAreDroppedAndSyncStillWorks) {
   SyncWorld w;
   for (int i = 0; i < 10; ++i) w.edge_svc.handle(bump(1));
   w.engine.sync_until_converged(8);
-  // Acks ride the *next* message after application, so run one extra idle
-  // round for the acknowledgement vectors to circulate.
-  w.engine.tick();
-  w.net.clock().run();
+  // Acks ride the *next* message after application, so run two extra idle
+  // rounds for the acknowledgement vectors to circulate (the digest
+  // direction alternates per round; one round only refreshes one side).
+  for (int i = 0; i < 2; ++i) {
+    w.engine.tick();
+    w.net.clock().run();
+  }
 
   const std::size_t edge_ops_before = w.edge_state->total_op_count();
   EXPECT_GT(edge_ops_before, 0u);

@@ -3,7 +3,9 @@
 // harness-catches-a-real-regression guarantee.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <set>
+#include <vector>
 
 #include "sim/schedule.h"
 
@@ -92,7 +94,10 @@ TEST(SimDeterminismTest, SameSeedProducesIdenticalTelemetryExports) {
 // retransmission (acks recorded at send time, so lost sync messages are
 // never re-sent) must be flagged — as divergence after quiescence, as an
 // acked-op loss, or as an exception escaping the replication plane — and
-// the failing seed must be reported for replay.
+// the failing seed must be reported for replay. The planted bug lives in
+// the push protocol's ack bookkeeping; digest sync's floors are the
+// peer's own advertisements, which would (correctly) heal right over it,
+// so these runs pin the push baseline.
 TEST(SimRegressionCatchTest, OptimisticAcksRegressionIsCaught) {
   std::size_t caught = 0;
   std::vector<std::uint64_t> failing;
@@ -100,6 +105,7 @@ TEST(SimRegressionCatchTest, OptimisticAcksRegressionIsCaught) {
     ScheduleConfig config;
     config.seed = seed;
     config.optimistic_acks = true;
+    config.digest_sync = false;
     const ScheduleResult result = run_schedule(config);
     if (!result.passed) {
       ++caught;
@@ -115,12 +121,14 @@ TEST(SimRegressionCatchTest, OptimisticAcksRegressionIsCaught) {
 }
 
 TEST(SimRegressionCatchTest, ConvergenceInvariantCatchesSilentDivergence) {
-  // Seed 16 (found by sweep) diverges *silently* under optimistic acks:
-  // no exception, just replicas that disagree after forced quiescence —
-  // exactly what the convergence invariant exists to catch.
+  // Seed 24 (found by sweep) diverges *silently* under push-mode
+  // optimistic acks: no exception escapes and no acked write is lost,
+  // just replicas that still disagree after forced quiescence — exactly
+  // what the convergence invariant exists to catch.
   ScheduleConfig config;
-  config.seed = 16;
+  config.seed = 24;
   config.optimistic_acks = true;
+  config.digest_sync = false;
   const ScheduleResult result = run_schedule(config);
   ASSERT_FALSE(result.passed) << result.summary();
   bool convergence_violation = false;
@@ -128,6 +136,35 @@ TEST(SimRegressionCatchTest, ConvergenceInvariantCatchesSilentDivergence) {
     if (v.invariant == "convergence") convergence_violation = true;
   }
   EXPECT_TRUE(convergence_violation) << result.summary();
+}
+
+// Every seed in tests/seeds/regressions.txt once exposed a real
+// replication bug (the file says which); replaying the corpus keeps the
+// exact schedules that caught them in the gate forever. Each seed runs
+// under both sync protocols — some of the recorded bugs were push-only,
+// some digest-only, and the schedule is identical either way.
+TEST(SimRegressionCatchTest, RegressionSeedCorpusStaysGreen) {
+  std::ifstream corpus(std::string(EDGSTR_TESTS_DIR) + "/seeds/regressions.txt");
+  ASSERT_TRUE(corpus.is_open()) << "tests/seeds/regressions.txt missing";
+  std::vector<std::uint64_t> seeds;
+  std::string line;
+  while (std::getline(corpus, line)) {
+    const std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    seeds.push_back(std::stoull(line.substr(start)));
+  }
+  ASSERT_FALSE(seeds.empty()) << "empty regression corpus";
+  for (const std::uint64_t seed : seeds) {
+    for (const bool digest : {true, false}) {
+      ScheduleConfig config;
+      config.seed = seed;
+      config.digest_sync = digest;
+      const ScheduleResult result = run_schedule(config);
+      EXPECT_TRUE(result.passed) << "regression seed resurfaced ("
+                                 << (digest ? "digest" : "push")
+                                 << " sync): " << result.summary();
+    }
+  }
 }
 
 TEST(SimTraceTest, DigestIsOrderSensitive) {

@@ -1,0 +1,207 @@
+// A/B microbenchmarks for the MiniJS execution-engine fast path: lexical
+// slot resolution (vs the named-environment slow path) and copy-on-write
+// checkpointing (vs full-state serialize/restore). Also dumps the
+// deterministic execution counters (steps, slot/named reads) that the
+// bench-regression gate keys on, as BENCH_interp.json.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "runtime/service_runtime.h"
+#include "trace/state_capture.h"
+
+using namespace edgstr;
+using namespace edgstr::bench;
+
+namespace {
+
+// Synthetic service exercising the engine's hot shapes: arithmetic over
+// locals, function calls (closure frames), property access chains, and a
+// write route that touches one table + one global out of many, so the
+// checkpoint benches measure O(state touched) vs O(total state).
+const char* kServer = R"JS(
+var counter = 0;
+var registry = { hits: 0, sum: 0 };
+
+db.query("CREATE TABLE hot (id, v)");
+for (var t = 0; t < 8; t = t + 1) {
+  db.query("CREATE TABLE cold" + t + " (id, text)");
+  for (var r = 0; r < 16; r = r + 1) {
+    db.query("INSERT INTO cold" + t + " (id, text) VALUES (?, ?)",
+             [r, "row-" + t + "-" + r + " lorem ipsum dolor sit amet"]);
+  }
+  fs.writeFile("data/shard" + t + ".txt", "shard " + t + " contents that never change");
+}
+
+function mix(a, b) { return a * 31 + b; }
+function fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+
+app.post("/arith", function (req, res) {
+  var n = req.params.n;
+  var acc = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    acc = acc + i * 3 - acc / 7;
+  }
+  res.send({ acc: acc });
+});
+
+app.post("/calls", function (req, res) {
+  var n = req.params.n;
+  var total = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    total = mix(total, fib(8));
+  }
+  res.send({ total: total });
+});
+
+app.post("/props", function (req, res) {
+  var n = req.params.n;
+  var obj = { a: 1, b: 2, c: { d: 3, e: 4 } };
+  var acc = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    acc = acc + obj.a + obj.b + obj.c.d + obj.c.e;
+    registry.hits = registry.hits + 1;
+  }
+  registry.sum = registry.sum + acc;
+  res.send({ acc: acc, hits: registry.hits });
+});
+
+app.post("/touch-one", function (req, res) {
+  counter = counter + 1;
+  db.query("INSERT INTO hot (id, v) VALUES (?, ?)", [counter, counter * 2]);
+  res.send({ id: counter });
+});
+)JS";
+
+http::HttpRequest loop_request(const std::string& path, double n) {
+  http::HttpRequest req;
+  req.verb = http::Verb::kPost;
+  req.path = path;
+  req.params = json::Value::object({{"n", json::Value(n)}});
+  return req;
+}
+
+trace::ProfilingHarness make_harness(bool resolve, bool cow) {
+  minijs::InterpreterConfig config;
+  // The step guard is cumulative over the interpreter's lifetime; benchmark
+  // iteration counts would trip the default runaway-loop budget.
+  config.max_steps = std::uint64_t(-1);
+  config.resolve = resolve;
+  trace::HarnessOptions options;
+  options.cow = cow;
+  return trace::ProfilingHarness(kServer, config, options);
+}
+
+// --- interpreter fast path: resolved (arg=1) vs named slow path (arg=0) ---
+
+void run_route(benchmark::State& state, const std::string& path) {
+  trace::ProfilingHarness harness = make_harness(/*resolve=*/state.range(0) != 0, /*cow=*/true);
+  const http::HttpRequest req = loop_request(path, 200);
+  const http::Route route{http::Verb::kPost, path};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness.invoke(route, req));
+  }
+  state.SetLabel(state.range(0) ? "resolved" : "named");
+}
+
+void BM_Arith(benchmark::State& state) { run_route(state, "/arith"); }
+BENCHMARK(BM_Arith)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+void BM_Calls(benchmark::State& state) { run_route(state, "/calls"); }
+BENCHMARK(BM_Calls)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+void BM_PropertyAccess(benchmark::State& state) { run_route(state, "/props"); }
+BENCHMARK(BM_PropertyAccess)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+// --- checkpointing: CoW (arg=1) vs full serialize/restore (arg=0) ---------
+
+void BM_SnapshotSave(benchmark::State& state) {
+  trace::ProfilingHarness harness = make_harness(/*resolve=*/true, /*cow=*/state.range(0) != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness.capture());
+  }
+  state.SetLabel(state.range(0) ? "cow" : "full");
+}
+BENCHMARK(BM_SnapshotSave)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+void BM_SnapshotRestore(benchmark::State& state) {
+  trace::ProfilingHarness harness = make_harness(/*resolve=*/true, /*cow=*/state.range(0) != 0);
+  for (auto _ : state) {
+    harness.restore_init();
+  }
+  state.SetLabel(state.range(0) ? "cow" : "full");
+}
+BENCHMARK(BM_SnapshotRestore)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+// The paper's isolation protocol around one small write: restore init,
+// execute, capture + diff, restore init. CoW pays only for the touched
+// table/global; the full path reserializes every cold table and shard.
+void BM_IsolatedInvoke(benchmark::State& state) {
+  trace::ProfilingHarness harness = make_harness(/*resolve=*/true, /*cow=*/state.range(0) != 0);
+  http::HttpRequest req;
+  req.verb = http::Verb::kPost;
+  req.path = "/touch-one";
+  req.params = json::Value::object({});
+  const http::Route route{http::Verb::kPost, "/touch-one"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness.invoke_isolated(route, req));
+  }
+  state.SetLabel(state.range(0) ? "cow" : "full");
+}
+BENCHMARK(BM_IsolatedInvoke)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+// --- the live serve path (what an edge proxy pays per local request) ------
+
+// Wall-clock cost of ServiceRuntime::handle — the fig10b local-serve path,
+// minus the simulated network. Uses the synthetic /props route because its
+// state size is iteration-invariant (a table-growing app route would
+// measure table size, not the engine). The resolved/named split shows what
+// the fast path buys deployed replicas, not just the analysis harness.
+void BM_ServeLocal(benchmark::State& state) {
+  minijs::InterpreterConfig config;
+  config.max_steps = std::uint64_t(-1);
+  config.resolve = state.range(0) != 0;
+  runtime::ServiceRuntime service(kServer, config);
+  const http::HttpRequest req = loop_request("/props", 200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.handle(req));
+  }
+  state.SetLabel(state.range(0) ? "resolved" : "named");
+}
+BENCHMARK(BM_ServeLocal)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+// --- deterministic counters (machine-independent) --------------------------
+
+void dump_counters() {
+  util::MetricsRegistry reg;
+
+  trace::ProfilingHarness fast = make_harness(/*resolve=*/true, /*cow=*/true);
+  for (const char* path : {"/arith", "/calls", "/props"}) {
+    const std::uint64_t before = fast.interpreter().steps();
+    fast.invoke(http::Route{http::Verb::kPost, path}, loop_request(path, 200));
+    reg.set(std::string("interp.steps.") + (path + 1),
+            double(fast.interpreter().steps() - before));
+  }
+  reg.set("interp.slot_reads", double(fast.interpreter().slot_reads()));
+  reg.set("interp.named_reads", double(fast.interpreter().named_reads()));
+
+  trace::ProfilingHarness slow = make_harness(/*resolve=*/false, /*cow=*/true);
+  for (const char* path : {"/arith", "/calls", "/props"}) {
+    slow.invoke(http::Route{http::Verb::kPost, path}, loop_request(path, 200));
+  }
+  reg.set("interp.named_reads.slow_path", double(slow.interpreter().named_reads()));
+
+  std::printf("\n=== Execution counters (deterministic) ===\n");
+  std::printf("  slot_reads=%.0f named_reads=%.0f (resolved)  named_reads=%.0f (slow path)\n",
+              reg.value("interp.slot_reads"), reg.value("interp.named_reads"),
+              reg.value("interp.named_reads.slow_path"));
+  dump_metrics_json(reg, "interp");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dump_counters();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

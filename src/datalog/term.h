@@ -11,31 +11,50 @@
 #include <variant>
 #include <vector>
 
+#include "util/intern.h"
+
 namespace edgstr::datalog {
 
 /// A ground value: integer or symbol (interned string).
+///
+/// Symbols are stored as 4-byte interned ids — copying facts during joins
+/// copies machine words, not heap strings — but the ordering observable
+/// through operator< stays exactly what the std::string representation
+/// had: ints before symbols, symbols lexicographic by text. The fact sets
+/// the engine derives are therefore byte-identical to the pre-interning
+/// ones when printed.
 class Value {
  public:
   Value() : data_(std::int64_t{0}) {}
   Value(std::int64_t i) : data_(i) {}
   Value(int i) : data_(static_cast<std::int64_t>(i)) {}
-  Value(std::string s) : data_(std::move(s)) {}
-  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(util::intern(s)) {}
+  Value(const char* s) : data_(util::intern(s)) {}
 
   bool is_int() const { return std::holds_alternative<std::int64_t>(data_); }
-  bool is_symbol() const { return std::holds_alternative<std::string>(data_); }
+  bool is_symbol() const { return std::holds_alternative<util::Symbol>(data_); }
   std::int64_t as_int() const { return std::get<std::int64_t>(data_); }
-  const std::string& as_symbol() const { return std::get<std::string>(data_); }
+  const std::string& as_symbol() const {
+    return util::symbol_name(std::get<util::Symbol>(data_));
+  }
 
   bool operator==(const Value& other) const { return data_ == other.data_; }
-  bool operator<(const Value& other) const { return data_ < other.data_; }
+  bool operator<(const Value& other) const {
+    // Matches std::variant<int64,string> ordering: alternative index first.
+    if (data_.index() != other.data_.index()) return data_.index() < other.data_.index();
+    if (is_int()) return as_int() < other.as_int();
+    const util::Symbol a = std::get<util::Symbol>(data_);
+    const util::Symbol b = std::get<util::Symbol>(other.data_);
+    if (a == b) return false;  // identity shortcut: no text compare
+    return *util::symbol_cstr(a) < *util::symbol_cstr(b);
+  }
 
   std::string to_string() const {
     return is_int() ? std::to_string(as_int()) : "'" + as_symbol() + "'";
   }
 
  private:
-  std::variant<std::int64_t, std::string> data_;
+  std::variant<std::int64_t, util::Symbol> data_;
 };
 
 /// A term: either a variable (by name) or a ground value.

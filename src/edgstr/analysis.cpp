@@ -31,7 +31,7 @@ ServiceStateInfo summarize_state(const minijs::Program& program,
       if (e.write) stmt_ids.insert(e.stmt_id);
     }
     for (const trace::RwEvent& e : run.events) {
-      if (e.kind == trace::RwEvent::Kind::kWrite && plan.mutated_globals.count(e.name)) {
+      if (e.kind == trace::RwEvent::Kind::kWrite && plan.mutated_globals.count(e.name())) {
         stmt_ids.insert(e.stmt_id);
       }
     }

@@ -13,7 +13,9 @@ TwoTierDeployment::TwoTierDeployment(const std::string& cloud_source,
                                      const DeploymentConfig& config)
     : network_(config.seed), telemetry_(&network_.clock()) {
   cloud_ = std::make_unique<runtime::Node>(network_.clock(), config.cloud_device.spec(kCloudHost));
-  cloud_->host(std::make_unique<runtime::ServiceRuntime>(cloud_source));
+  auto service = std::make_unique<runtime::ServiceRuntime>(cloud_source);
+  service->set_telemetry(&telemetry_);
+  cloud_->host(std::move(service));
   network_.connect(kClientHost, kCloudHost, config.wan);
   path_ = std::make_unique<runtime::TwoTierPath>(network_, kClientHost, *cloud_, &telemetry_);
 }
@@ -48,7 +50,9 @@ ThreeTierDeployment::ThreeTierDeployment(const TransformResult& transform,
 
   // ---- cloud master -------------------------------------------------------
   cloud_ = std::make_unique<runtime::Node>(network_.clock(), config.cloud_device.spec(kCloudHost));
-  cloud_->host(std::make_unique<runtime::ServiceRuntime>(transform.cloud_source));
+  auto cloud_service = std::make_unique<runtime::ServiceRuntime>(transform.cloud_source);
+  cloud_service->set_telemetry(&telemetry_);
+  cloud_->host(std::move(cloud_service));
   network_.connect(kClientHost, kCloudHost, config.wan);
 
   cloud_state_ = std::make_shared<runtime::ReplicaState>(
@@ -79,6 +83,7 @@ ThreeTierDeployment::ThreeTierDeployment(const TransformResult& transform,
     auto node = std::make_unique<runtime::Node>(network_.clock(),
                                                 config.edge_devices[i].spec(host));
     auto service = std::make_unique<runtime::ServiceRuntime>(transform.replica.source);
+    service->set_telemetry(&telemetry_);
     auto state = std::make_shared<runtime::ReplicaState>(
         host, service.get(), transform.replicated_files, transform.replicated_globals);
     state->initialize_from_snapshot(transform.init_snapshot);
@@ -113,6 +118,7 @@ ThreeTierDeployment::ThreeTierDeployment(const TransformResult& transform,
     for (std::size_t r = 0; r < n_regionals; ++r) {
       const std::string host = regional_host(r);
       auto service = std::make_unique<runtime::ServiceRuntime>(transform.replica.source);
+      service->set_telemetry(&telemetry_);
       auto state = std::make_shared<runtime::ReplicaState>(
           host, service.get(), transform.replicated_files, transform.replicated_globals);
       state->initialize_from_snapshot(transform.init_snapshot);

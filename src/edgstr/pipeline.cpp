@@ -50,23 +50,16 @@ trace::Snapshot filter_snapshot(const trace::Snapshot& full,
                                 const std::set<std::string>& files,
                                 const std::set<std::string>& globals) {
   trace::Snapshot out;
-  json::Array kept_tables;
-  for (const json::Value& t : full.database["tables"].as_array()) {
-    if (tables.count(t["name"].as_string())) kept_tables.push_back(t);
+  out.origin = full.origin;  // components keep their stamps; origin travels along
+  for (const auto& [name, comp] : full.tables) {
+    if (tables.count(name)) out.tables.emplace(name, comp);
   }
-  out.database = json::Value::object({{"tables", json::Value(std::move(kept_tables))}});
-
-  json::Object kept_files;
-  for (const auto& [path, entry] : full.files.as_object()) {
-    if (files.count(path)) kept_files.set(path, entry);
+  for (const auto& [path, comp] : full.files) {
+    if (files.count(path)) out.files.emplace(path, comp);
   }
-  out.files = json::Value(std::move(kept_files));
-
-  json::Object kept_globals;
-  for (const auto& [name, value] : full.globals.as_object()) {
-    if (globals.count(name)) kept_globals.set(name, value);
+  for (const auto& [name, comp] : full.globals) {
+    if (globals.count(name)) out.globals.emplace(name, comp);
   }
-  out.globals = json::Value(std::move(kept_globals));
   return out;
 }
 
@@ -135,8 +128,8 @@ TransformResult Pipeline::transform(const std::string& app_name,
       if (e.write) obs.mutated_files.insert(e.path);
     }
     for (const trace::RwEvent& e : collector.events()) {
-      if (e.kind == trace::RwEvent::Kind::kWrite && top_level_vars.count(e.name)) {
-        obs.mutated_globals.insert(e.name);
+      if (e.kind == trace::RwEvent::Kind::kWrite && top_level_vars.count(e.name())) {
+        obs.mutated_globals.insert(e.name());
       }
     }
   }

@@ -21,6 +21,11 @@ ExprPtr Expr::clone() const {
   copy->binary_op = binary_op;
   copy->unary_op = unary_op;
   copy->assign_op = assign_op;
+  copy->sym = sym;
+  copy->entry_syms = entry_syms;
+  copy->res_depth = res_depth;
+  copy->res_slot = res_slot;
+  copy->fn_scope = fn_scope;
   return copy;
 }
 
@@ -39,6 +44,12 @@ StmtPtr Stmt::clone() const {
   if (for_init) copy->for_init = for_init->clone();
   if (for_update) copy->for_update = for_update->clone();
   copy->catch_name = catch_name;
+  copy->name_sym = name_sym;
+  copy->catch_sym = catch_sym;
+  copy->res_slot = res_slot;
+  copy->block_scope = block_scope;
+  copy->aux_scope = aux_scope;
+  copy->fn_scope = fn_scope;
   return copy;
 }
 
@@ -85,6 +96,7 @@ ExprPtr make_ident(std::string name, int line) {
   auto e = std::make_shared<Expr>();
   e->kind = ExprKind::kIdent;
   e->text = std::move(name);
+  e->sym = util::intern(e->text);
   e->line = line;
   return e;
 }
@@ -94,6 +106,7 @@ ExprPtr make_member(ExprPtr object, std::string name, int line) {
   e->kind = ExprKind::kMember;
   e->a = std::move(object);
   e->text = std::move(name);
+  e->sym = util::intern(e->text);
   e->line = line;
   return e;
 }
@@ -141,6 +154,7 @@ StmtPtr make_var_decl(int id, std::string name, ExprPtr init, int line) {
   s->kind = StmtKind::kVarDecl;
   s->id = id;
   s->name = std::move(name);
+  s->name_sym = util::intern(s->name);
   s->expr = std::move(init);
   s->line = line;
   return s;
@@ -179,6 +193,7 @@ StmtPtr make_function_decl(int id, std::string name, std::vector<std::string> pa
   s->kind = StmtKind::kFunctionDecl;
   s->id = id;
   s->name = std::move(name);
+  s->name_sym = util::intern(s->name);
   s->params = std::move(params);
   s->a_block = std::move(body);
   s->line = line;

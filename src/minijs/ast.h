@@ -6,11 +6,14 @@
 // Function refactoring all reference statements by id (the paper's s_i).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/intern.h"
 
 namespace edgstr::minijs {
 
@@ -18,6 +21,31 @@ struct Expr;
 struct Stmt;
 using ExprPtr = std::shared_ptr<Expr>;
 using StmtPtr = std::shared_ptr<Stmt>;
+
+// ------------------------------------------------------------ resolution --
+
+/// Static layout of one lexical scope, computed by the resolver
+/// (minijs/resolve.h): runtime frames mirror it slot for slot. Shared
+/// between the AST annotation and every frame instantiated from it.
+struct ScopeInfo {
+  std::vector<util::Symbol> slots;  ///< slot i holds the variable slots[i]
+  std::vector<int> param_slots;     ///< call frames: arg i binds slots[param_slots[i]]
+
+  int index_of(util::Symbol sym) const {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i] == sym) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+using ScopeInfoPtr = std::shared_ptr<const ScopeInfo>;
+
+/// Expr::res_depth sentinel: identifier not (yet) resolved — use the
+/// dynamic named lookup.
+inline constexpr std::int32_t kDepthUnresolved = -1;
+/// Expr::res_depth sentinel: resolved to the REPL-ish toplevel, which stays
+/// a named scope (globals, then builtins).
+inline constexpr std::int32_t kDepthGlobal = -2;
 
 // ---------------------------------------------------------------- exprs --
 
@@ -74,7 +102,16 @@ struct Expr {
   UnaryOp unary_op = UnaryOp::kNot;
   AssignOp assign_op = AssignOp::kAssign;
 
-  /// Deep copy (shares nothing with the original).
+  // Interning + resolution annotations (filled by minijs::resolve; cleared
+  // and recomputed whenever a program enters an interpreter).
+  util::Symbol sym = util::kNoSymbol;        ///< kIdent name / kMember property
+  std::vector<util::Symbol> entry_syms;      ///< kObject: aligned with entries
+  std::int32_t res_depth = kDepthUnresolved; ///< kIdent: frames up to the binding
+  std::int32_t res_slot = -1;                ///< kIdent: slot within that frame
+  ScopeInfoPtr fn_scope;                     ///< kFunction: call-frame layout
+
+  /// Deep copy (shares nothing with the original except scope layouts,
+  /// which are immutable).
   ExprPtr clone() const;
 };
 
@@ -112,6 +149,15 @@ struct Stmt {
   ExprPtr for_update;  ///< may be null
   // kTryCatch
   std::string catch_name;
+
+  // Interning + resolution annotations (see Expr).
+  util::Symbol name_sym = util::kNoSymbol;   ///< kVarDecl / kFunctionDecl name
+  util::Symbol catch_sym = util::kNoSymbol;  ///< kTryCatch catch_name
+  std::int32_t res_slot = -1;  ///< decl slot in the enclosing scope; for
+                               ///< kTryCatch, the catch-name slot in aux_scope
+  ScopeInfoPtr block_scope;    ///< kBlock (incl. if/while/try sub-blocks)
+  ScopeInfoPtr aux_scope;      ///< kFor loop header scope; kTryCatch catch scope
+  ScopeInfoPtr fn_scope;       ///< kFunctionDecl call-frame layout
 
   StmtPtr clone() const;
 };

@@ -6,11 +6,64 @@
 
 namespace edgstr::minijs {
 
+namespace {
+/// Pooled Environments kept for reuse; beyond this they are freed.
+constexpr std::size_t kFramePoolCap = 256;
+}  // namespace
+
 Interpreter::Interpreter(Program program, Config config)
-    : program_(std::move(program)), config_(config), rng_(config.rng_seed) {
+    : program_(std::move(program)),
+      config_(config),
+      pool_(std::make_shared<FramePool>()),
+      rng_(config.rng_seed) {
+  // Annotate (or scrub) the AST in place: either way every name is
+  // interned, so the evaluator can rely on symbol ids being present.
+  if (config_.resolve) {
+    resolve_stats_ = resolve_program(program_);
+  } else {
+    strip_resolution(program_);
+  }
   builtins_ = std::make_shared<Environment>();
   globals_ = std::make_shared<Environment>(builtins_);
   install_builtins(*this, *builtins_);
+}
+
+void Interpreter::FrameReclaimer::operator()(Environment* env) const {
+  if (pool && pool->free.size() < kFramePoolCap) {
+    env->reset();
+    pool->free.push_back(env);
+  } else {
+    delete env;
+  }
+}
+
+std::shared_ptr<Environment> Interpreter::acquire_env() {
+  Environment* env;
+  if (!pool_->free.empty()) {
+    env = pool_->free.back();
+    pool_->free.pop_back();
+  } else {
+    env = new Environment();
+  }
+  return std::shared_ptr<Environment>(env, FrameReclaimer{pool_});
+}
+
+std::shared_ptr<Environment> Interpreter::make_named(std::shared_ptr<Environment> parent) {
+  auto env = acquire_env();
+  env->init_named(std::move(parent));
+  return env;
+}
+
+std::shared_ptr<Environment> Interpreter::make_frame(ScopeInfoPtr scope,
+                                                     std::shared_ptr<Environment> parent) {
+  auto env = acquire_env();
+  env->init_frame(std::move(scope), std::move(parent));
+  return env;
+}
+
+std::shared_ptr<Environment> Interpreter::child_env(const ScopeInfoPtr& scope,
+                                                    const std::shared_ptr<Environment>& parent) {
+  return scope ? make_frame(scope, parent) : make_named(parent);
 }
 
 void Interpreter::register_route(http::Verb verb, const std::string& path, JsValue handler) {
@@ -25,8 +78,10 @@ void Interpreter::tick() {
 }
 
 void Interpreter::run_toplevel() {
-  for (const StmtPtr& stmt : program_.body) {
-    exec_stmt(stmt, globals_);
+  if (hooks_) {
+    for (const StmtPtr& stmt : program_.body) exec_stmt<true>(stmt, globals_);
+  } else {
+    for (const StmtPtr& stmt : program_.body) exec_stmt<false>(stmt, globals_);
   }
 }
 
@@ -108,32 +163,39 @@ http::HttpResponse Interpreter::invoke(const http::Route& route,
 }
 
 JsValue Interpreter::call_function(const JsValue& fn, std::vector<JsValue> args) {
-  const std::string name = fn.type() == JsValue::Type::kClosure ? fn.as_closure()->name
-                           : fn.type() == JsValue::Type::kNative ? fn.as_native()->name
-                                                                 : "";
-  return call_value(fn, name, args);
+  const util::Symbol name = fn.type() == JsValue::Type::kClosure ? fn.as_closure()->name_sym
+                            : fn.type() == JsValue::Type::kNative ? fn.as_native()->name_sym
+                                                                  : util::kNoSymbol;
+  return hooks_ ? call_value<true>(fn, name, args) : call_value<false>(fn, name, args);
 }
 
 JsValue Interpreter::call_global(const std::string& name, std::vector<JsValue> args) {
   if (!globals_->has(name)) throw JsError("no such global function: " + name);
-  return call_value(globals_->get(name), name, args);
+  const util::Symbol sym = util::intern(name);
+  return hooks_ ? call_value<true>(globals_->get(name), sym, args)
+                : call_value<false>(globals_->get(name), sym, args);
 }
 
-JsValue Interpreter::call_value(const JsValue& fn, const std::string& name,
+template <bool WithHooks>
+JsValue Interpreter::call_value(const JsValue& fn, util::Symbol name,
                                 std::vector<JsValue>& args) {
   tick();
   if (fn.type() == JsValue::Type::kNative) {
     JsValue result = fn.as_native()->fn(*this, args);
-    // Natives report their qualified registration name ("db.query") so the
-    // instrumentation can classify SQL / file-system invocations.
-    const std::string& native_name = fn.as_native()->name;
-    if (hooks_) hooks_->on_invoke(current_stmt_, native_name.empty() ? name : native_name, args, result);
+    if constexpr (WithHooks) {
+      // Natives report their qualified registration name ("db.query") so
+      // the instrumentation can classify SQL / file-system invocations.
+      const util::Symbol native_name = fn.as_native()->name_sym;
+      hooks_->on_invoke(current_stmt_, native_name != util::kNoSymbol ? native_name : name,
+                        args, result);
+    }
     return result;
   }
   if (fn.type() == JsValue::Type::kClosure) {
     if (call_depth_ >= config_.max_call_depth) {
       throw JsError("maximum call depth exceeded (" +
-                    std::to_string(config_.max_call_depth) + ") calling '" + name + "'");
+                    std::to_string(config_.max_call_depth) + ") calling '" +
+                    util::symbol_name(name) + "'");
     }
     ++call_depth_;
     struct DepthGuard {
@@ -142,26 +204,43 @@ JsValue Interpreter::call_value(const JsValue& fn, const std::string& name,
     } guard{&call_depth_};
 
     const auto& closure = fn.as_closure();
-    auto frame = std::make_shared<Environment>(closure->env);
-    for (std::size_t i = 0; i < closure->params.size(); ++i) {
-      frame->define(closure->params[i], i < args.size() ? args[i] : JsValue());
+    std::shared_ptr<Environment> frame;
+    if (closure->scope) {
+      frame = make_frame(closure->scope, closure->env);
+      const std::vector<int>& param_slots = closure->scope->param_slots;
+      for (std::size_t i = 0; i < param_slots.size(); ++i) {
+        // Duplicate params share a slot; binding in order keeps
+        // last-one-wins, same as repeated named defines.
+        if (param_slots[i] >= 0) {
+          frame->bind_slot(param_slots[i], i < args.size() ? args[i] : JsValue());
+        }
+      }
+    } else {
+      frame = make_named(closure->env);
+      for (std::size_t i = 0; i < closure->params.size(); ++i) {
+        frame->define(closure->params[i], i < args.size() ? args[i] : JsValue());
+      }
     }
     JsValue result;
     try {
-      exec_block(closure->body, frame);
+      exec_block<WithHooks>(closure->body, frame);
     } catch (ReturnSignal& ret) {
       result = std::move(ret.value);
     }
-    if (hooks_) hooks_->on_invoke(current_stmt_, name, args, result);
+    if constexpr (WithHooks) hooks_->on_invoke(current_stmt_, name, args, result);
     return result;
   }
-  throw JsError("attempt to call a non-function value" + (name.empty() ? "" : " '" + name + "'"));
+  const std::string& name_text = util::symbol_name(name);
+  throw JsError("attempt to call a non-function value" +
+                (name_text.empty() ? "" : " '" + name_text + "'"));
 }
 
+template <bool WithHooks>
 void Interpreter::exec_block(const StmtPtr& block, const std::shared_ptr<Environment>& env) {
-  for (const StmtPtr& stmt : block->stmts) exec_stmt(stmt, env);
+  for (const StmtPtr& stmt : block->stmts) exec_stmt<WithHooks>(stmt, env);
 }
 
+template <bool WithHooks>
 void Interpreter::exec_stmt(const StmtPtr& stmt, const std::shared_ptr<Environment>& env) {
   tick();
   const int saved_stmt = current_stmt_;
@@ -174,27 +253,39 @@ void Interpreter::exec_stmt(const StmtPtr& stmt, const std::shared_ptr<Environme
 
   switch (stmt->kind) {
     case StmtKind::kVarDecl: {
-      JsValue init = stmt->expr ? eval(stmt->expr, env) : JsValue();
-      env->define(stmt->name, init);
-      if (hooks_) hooks_->on_declare(stmt->id, stmt->name, env->get(stmt->name));
-      if (hooks_) hooks_->on_write(stmt->id, stmt->name, env->get(stmt->name));
+      JsValue init = stmt->expr ? eval<WithHooks>(stmt->expr, env) : JsValue();
+      if (stmt->res_slot >= 0 && env->is_frame()) {
+        env->bind_slot(stmt->res_slot, std::move(init));
+        if constexpr (WithHooks) {
+          const JsValue& bound = env->slot(stmt->res_slot);
+          hooks_->on_declare(stmt->id, stmt->name_sym, bound);
+          hooks_->on_write(stmt->id, stmt->name_sym, bound);
+        }
+      } else {
+        env->define(stmt->name_sym, std::move(init));
+        if constexpr (WithHooks) {
+          const JsValue* bound = env->find_local(stmt->name_sym);
+          hooks_->on_declare(stmt->id, stmt->name_sym, *bound);
+          hooks_->on_write(stmt->id, stmt->name_sym, *bound);
+        }
+      }
       return;
     }
     case StmtKind::kExpr:
-      eval(stmt->expr, env);
+      eval<WithHooks>(stmt->expr, env);
       return;
     case StmtKind::kIf:
-      if (eval(stmt->expr, env).truthy()) {
-        exec_block(stmt->a_block, std::make_shared<Environment>(env));
+      if (eval<WithHooks>(stmt->expr, env).truthy()) {
+        exec_block<WithHooks>(stmt->a_block, child_env(stmt->a_block->block_scope, env));
       } else if (stmt->b_block) {
-        exec_block(stmt->b_block, std::make_shared<Environment>(env));
+        exec_block<WithHooks>(stmt->b_block, child_env(stmt->b_block->block_scope, env));
       }
       return;
     case StmtKind::kWhile:
-      while (eval(stmt->expr, env).truthy()) {
+      while (eval<WithHooks>(stmt->expr, env).truthy()) {
         tick();
         try {
-          exec_block(stmt->a_block, std::make_shared<Environment>(env));
+          exec_block<WithHooks>(stmt->a_block, child_env(stmt->a_block->block_scope, env));
         } catch (BreakSignal&) {
           break;
         } catch (ContinueSignal&) {
@@ -203,50 +294,62 @@ void Interpreter::exec_stmt(const StmtPtr& stmt, const std::shared_ptr<Environme
       }
       return;
     case StmtKind::kFor: {
-      auto loop_env = std::make_shared<Environment>(env);
-      if (stmt->for_init) exec_stmt(stmt->for_init, loop_env);
-      while (!stmt->expr || eval(stmt->expr, loop_env).truthy()) {
+      auto loop_env = child_env(stmt->aux_scope, env);
+      if (stmt->for_init) exec_stmt<WithHooks>(stmt->for_init, loop_env);
+      while (!stmt->expr || eval<WithHooks>(stmt->expr, loop_env).truthy()) {
         tick();
         bool brk = false;
         try {
-          exec_block(stmt->a_block, std::make_shared<Environment>(loop_env));
+          exec_block<WithHooks>(stmt->a_block, child_env(stmt->a_block->block_scope, loop_env));
         } catch (BreakSignal&) {
           brk = true;
         } catch (ContinueSignal&) {
         }
         if (brk) break;
-        if (stmt->for_update) eval(stmt->for_update, loop_env);
+        if (stmt->for_update) eval<WithHooks>(stmt->for_update, loop_env);
       }
       return;
     }
     case StmtKind::kReturn:
-      throw ReturnSignal{stmt->expr ? eval(stmt->expr, env) : JsValue()};
+      throw ReturnSignal{stmt->expr ? eval<WithHooks>(stmt->expr, env) : JsValue()};
     case StmtKind::kBlock:
-      exec_block(stmt, std::make_shared<Environment>(env));
+      exec_block<WithHooks>(stmt, child_env(stmt->block_scope, env));
       return;
     case StmtKind::kFunctionDecl: {
       auto closure = std::make_shared<Closure>();
       closure->name = stmt->name;
+      closure->name_sym = stmt->name_sym;
       closure->params = stmt->params;
       closure->body = stmt->a_block;
       closure->env = env;
-      env->define(stmt->name, JsValue(std::move(closure)));
-      if (hooks_) hooks_->on_declare(stmt->id, stmt->name, env->get(stmt->name));
+      closure->scope = stmt->fn_scope;
+      JsValue fn(std::move(closure));
+      if (stmt->res_slot >= 0 && env->is_frame()) {
+        env->bind_slot(stmt->res_slot, fn);
+      } else {
+        env->define(stmt->name_sym, fn);
+      }
+      if constexpr (WithHooks) hooks_->on_declare(stmt->id, stmt->name_sym, fn);
       return;
     }
     case StmtKind::kThrow: {
-      JsValue value = eval(stmt->expr, env);
+      JsValue value = eval<WithHooks>(stmt->expr, env);
       throw JsError("minijs throw: " + value.to_display(), std::move(value));
     }
     case StmtKind::kTryCatch:
       try {
-        exec_block(stmt->a_block, std::make_shared<Environment>(env));
+        exec_block<WithHooks>(stmt->a_block, child_env(stmt->a_block->block_scope, env));
       } catch (JsError& err) {
-        auto catch_env = std::make_shared<Environment>(env);
+        // The catch body runs directly in the scope binding the catch name.
+        auto catch_env = child_env(stmt->aux_scope, env);
         JsValue caught = err.value();
         if (caught.is_null()) caught = JsValue(std::string(err.what()));
-        catch_env->define(stmt->catch_name, std::move(caught));
-        exec_block(stmt->b_block, catch_env);
+        if (stmt->res_slot >= 0 && catch_env->is_frame()) {
+          catch_env->bind_slot(stmt->res_slot, std::move(caught));
+        } else {
+          catch_env->define(stmt->catch_sym, std::move(caught));
+        }
+        exec_block<WithHooks>(stmt->b_block, catch_env);
       }
       return;
     case StmtKind::kBreak:
@@ -256,19 +359,39 @@ void Interpreter::exec_stmt(const StmtPtr& stmt, const std::shared_ptr<Environme
   }
 }
 
-std::string Interpreter::root_name(const ExprPtr& expr) {
+util::Symbol Interpreter::root_sym(const ExprPtr& expr) {
   const Expr* e = expr.get();
   while (e) {
-    if (e->kind == ExprKind::kIdent) return e->text;
+    if (e->kind == ExprKind::kIdent) return e->sym;
     if (e->kind == ExprKind::kMember || e->kind == ExprKind::kIndex) {
       e = e->a.get();
       continue;
     }
-    return "";
+    return util::kNoSymbol;
   }
-  return "";
+  return util::kNoSymbol;
 }
 
+JsValue* Interpreter::resolved_slot(const Expr& ident, Environment* env) {
+  Environment* frame = env;
+  for (std::int32_t d = 0; d < ident.res_depth; ++d) frame = frame->parent();
+  if (!frame->slot_bound(ident.res_slot)) {
+    // Slot declared later in this scope and still unbound: the binding (if
+    // any) is an outer one — fall back to the dynamic walk.
+    return nullptr;
+  }
+  ++slot_reads_;
+  return &frame->slot(ident.res_slot);
+}
+
+JsValue* Interpreter::global_binding(util::Symbol sym) {
+  JsValue* v = globals_->find_local(sym);
+  if (!v) v = builtins_->find_local(sym);
+  if (v) ++slot_reads_;
+  return v;
+}
+
+template <bool WithHooks>
 JsValue Interpreter::eval(const ExprPtr& expr, const std::shared_ptr<Environment>& env) {
   tick();
   switch (expr->kind) {
@@ -277,14 +400,27 @@ JsValue Interpreter::eval(const ExprPtr& expr, const std::shared_ptr<Environment
     case ExprKind::kBool: return JsValue(expr->boolean);
     case ExprKind::kNull: return JsValue();
     case ExprKind::kIdent: {
-      if (!env->has(expr->text)) throw JsError("undefined variable: " + expr->text);
-      const JsValue& value = env->get(expr->text);
-      if (hooks_) hooks_->on_read(current_stmt_, expr->text, value);
-      return value;
+      const JsValue* value = nullptr;
+      if (expr->res_depth >= 0) {
+        value = resolved_slot(*expr, env.get());
+      } else if (expr->res_depth == kDepthGlobal) {
+        value = global_binding(expr->sym);
+        if (!value) throw JsError("undefined variable: " + expr->text);
+      }
+      if (!value) {
+        ++named_reads_;
+        value = env->find(expr->sym);
+        if (!value) throw JsError("undefined variable: " + expr->text);
+      }
+      if constexpr (WithHooks) hooks_->on_read(current_stmt_, expr->sym, *value);
+      return *value;
     }
     case ExprKind::kMember: {
-      JsValue object = eval(expr->a, env);
-      if (object.is_object()) return object.as_object()->get(expr->text);
+      JsValue object = eval<WithHooks>(expr->a, env);
+      if (object.is_object()) {
+        return expr->sym != util::kNoSymbol ? object.as_object()->get(expr->sym)
+                                            : object.as_object()->get(expr->text);
+      }
       if (object.is_array()) {
         if (expr->text == "length") return JsValue(static_cast<double>(object.as_array()->size()));
         // Array methods are resolved at call sites; bare access yields null.
@@ -305,8 +441,8 @@ JsValue Interpreter::eval(const ExprPtr& expr, const std::shared_ptr<Environment
       return JsValue();
     }
     case ExprKind::kIndex: {
-      JsValue object = eval(expr->a, env);
-      JsValue index = eval(expr->b, env);
+      JsValue object = eval<WithHooks>(expr->a, env);
+      JsValue index = eval<WithHooks>(expr->b, env);
       if (object.is_array()) {
         const auto& arr = *object.as_array();
         const auto i = static_cast<std::size_t>(index.as_number());
@@ -326,21 +462,21 @@ JsValue Interpreter::eval(const ExprPtr& expr, const std::shared_ptr<Environment
       throw JsError("cannot index a " + object.to_display());
     }
     case ExprKind::kCall:
-      return eval_call(expr, env);
+      return eval_call<WithHooks>(expr, env);
     case ExprKind::kBinary: {
       // Short-circuit operators first.
       if (expr->binary_op == BinaryOp::kAnd) {
-        JsValue lhs = eval(expr->a, env);
+        JsValue lhs = eval<WithHooks>(expr->a, env);
         if (!lhs.truthy()) return lhs;
-        return eval(expr->b, env);
+        return eval<WithHooks>(expr->b, env);
       }
       if (expr->binary_op == BinaryOp::kOr) {
-        JsValue lhs = eval(expr->a, env);
+        JsValue lhs = eval<WithHooks>(expr->a, env);
         if (lhs.truthy()) return lhs;
-        return eval(expr->b, env);
+        return eval<WithHooks>(expr->b, env);
       }
-      JsValue lhs = eval(expr->a, env);
-      JsValue rhs = eval(expr->b, env);
+      JsValue lhs = eval<WithHooks>(expr->a, env);
+      JsValue rhs = eval<WithHooks>(expr->b, env);
       switch (expr->binary_op) {
         case BinaryOp::kAdd:
           if (lhs.is_string() || rhs.is_string()) {
@@ -370,23 +506,30 @@ JsValue Interpreter::eval(const ExprPtr& expr, const std::shared_ptr<Environment
       }
     }
     case ExprKind::kUnary: {
-      JsValue operand = eval(expr->a, env);
+      JsValue operand = eval<WithHooks>(expr->a, env);
       if (expr->unary_op == UnaryOp::kNot) return JsValue(!operand.truthy());
       return JsValue(-operand.as_number());
     }
     case ExprKind::kTernary:
-      return eval(expr->a, env).truthy() ? eval(expr->b, env) : eval(expr->c, env);
+      return eval<WithHooks>(expr->a, env).truthy() ? eval<WithHooks>(expr->b, env)
+                                                    : eval<WithHooks>(expr->c, env);
     case ExprKind::kObject: {
       auto obj = std::make_shared<JsObject>();
-      for (const auto& [key, value_expr] : expr->entries) {
-        obj->set(key, eval(value_expr, env));
+      const bool have_syms = expr->entry_syms.size() == expr->entries.size();
+      for (std::size_t i = 0; i < expr->entries.size(); ++i) {
+        JsValue value = eval<WithHooks>(expr->entries[i].second, env);
+        if (have_syms) {
+          obj->set(expr->entry_syms[i], std::move(value));
+        } else {
+          obj->set(expr->entries[i].first, std::move(value));
+        }
       }
       return JsValue(std::move(obj));
     }
     case ExprKind::kArray: {
       auto arr = std::make_shared<JsArray>();
       arr->reserve(expr->args.size());
-      for (const ExprPtr& item : expr->args) arr->push_back(eval(item, env));
+      for (const ExprPtr& item : expr->args) arr->push_back(eval<WithHooks>(item, env));
       return JsValue(std::move(arr));
     }
     case ExprKind::kFunction: {
@@ -394,16 +537,18 @@ JsValue Interpreter::eval(const ExprPtr& expr, const std::shared_ptr<Environment
       closure->params = expr->params;
       closure->body = expr->body;
       closure->env = env;
+      closure->scope = expr->fn_scope;
       return JsValue(std::move(closure));
     }
     case ExprKind::kAssign:
-      return eval_assign(expr, env);
+      return eval_assign<WithHooks>(expr, env);
   }
   throw JsError("unhandled expression kind");
 }
 
+template <bool WithHooks>
 JsValue Interpreter::eval_assign(const ExprPtr& expr, const std::shared_ptr<Environment>& env) {
-  JsValue rhs = eval(expr->b, env);
+  JsValue rhs = eval<WithHooks>(expr->b, env);
   const ExprPtr& target = expr->a;
 
   auto combined = [&](const JsValue& current) -> JsValue {
@@ -420,45 +565,69 @@ JsValue Interpreter::eval_assign(const ExprPtr& expr, const std::shared_ptr<Envi
   };
 
   if (target->kind == ExprKind::kIdent) {
-    if (!env->has(target->text)) {
-      // Implicit global creation (sloppy-mode JS); subject code relies on
-      // plain assignment to globals declared elsewhere, so this throws to
-      // catch typos instead.
-      throw JsError("assignment to undeclared variable: " + target->text);
+    JsValue* binding = nullptr;
+    if (target->res_depth >= 0) {
+      binding = resolved_slot(*target, env.get());
+    } else if (target->res_depth == kDepthGlobal) {
+      binding = global_binding(target->sym);
+      if (!binding) {
+        // Implicit global creation (sloppy-mode JS); subject code relies on
+        // plain assignment to globals declared elsewhere, so this throws to
+        // catch typos instead.
+        throw JsError("assignment to undeclared variable: " + target->text);
+      }
     }
-    JsValue value = combined(env->get(target->text));
-    env->set(target->text, value);
-    if (hooks_) hooks_->on_write(current_stmt_, target->text, value);
+    if (!binding) {
+      ++named_reads_;
+      binding = env->find_mutable(target->sym);
+      if (!binding) throw JsError("assignment to undeclared variable: " + target->text);
+    }
+    JsValue value = combined(*binding);
+    *binding = value;
+    if constexpr (WithHooks) hooks_->on_write(current_stmt_, target->sym, value);
     return value;
   }
   if (target->kind == ExprKind::kMember) {
-    JsValue object = eval(target->a, env);
+    JsValue object = eval<WithHooks>(target->a, env);
     if (!object.is_object()) throw JsError("cannot set property on non-object");
-    JsValue value = combined(object.as_object()->get(target->text));
-    object.as_object()->set(target->text, value);
-    const std::string root = root_name(target);
-    if (hooks_ && !root.empty()) hooks_->on_write(current_stmt_, root, object);
+    JsObject& obj = *object.as_object();
+    JsValue value;
+    if (target->sym != util::kNoSymbol) {
+      value = combined(obj.get(target->sym));
+      obj.set(target->sym, value);
+    } else {
+      value = combined(obj.get(target->text));
+      obj.set(target->text, value);
+    }
+    if constexpr (WithHooks) {
+      const util::Symbol root = root_sym(target);
+      if (root != util::kNoSymbol) hooks_->on_write(current_stmt_, root, object);
+    }
     return value;
   }
   if (target->kind == ExprKind::kIndex) {
-    JsValue object = eval(target->a, env);
-    JsValue index = eval(target->b, env);
+    JsValue object = eval<WithHooks>(target->a, env);
+    JsValue index = eval<WithHooks>(target->b, env);
     if (object.is_array()) {
       auto& arr = *object.as_array();
       const auto i = static_cast<std::size_t>(index.as_number());
       if (i >= arr.size()) arr.resize(i + 1);
       JsValue value = combined(arr[i]);
       arr[i] = value;
-      const std::string root = root_name(target);
-      if (hooks_ && !root.empty()) hooks_->on_write(current_stmt_, root, object);
+      if constexpr (WithHooks) {
+        const util::Symbol root = root_sym(target);
+        if (root != util::kNoSymbol) hooks_->on_write(current_stmt_, root, object);
+      }
       return value;
     }
     if (object.is_object()) {
       const std::string key = index.is_string() ? index.as_string() : index.to_display();
       JsValue value = combined(object.as_object()->get(key));
       object.as_object()->set(key, value);
-      const std::string root = root_name(target);
-      if (hooks_ && !root.empty()) hooks_->on_write(current_stmt_, root, object);
+      if constexpr (WithHooks) {
+        const util::Symbol root = root_sym(target);
+        if (root != util::kNoSymbol) hooks_->on_write(current_stmt_, root, object);
+      }
       return value;
     }
     throw JsError("cannot index-assign a " + object.to_display());
@@ -466,48 +635,54 @@ JsValue Interpreter::eval_assign(const ExprPtr& expr, const std::shared_ptr<Envi
   throw JsError("invalid assignment target");
 }
 
+template <bool WithHooks>
 JsValue Interpreter::eval_call(const ExprPtr& expr, const std::shared_ptr<Environment>& env) {
   // Method call: receiver.method(args)
   if (expr->a->kind == ExprKind::kMember) {
-    JsValue receiver = eval(expr->a->a, env);
+    JsValue receiver = eval<WithHooks>(expr->a->a, env);
     const std::string& method = expr->a->text;
+    const util::Symbol method_sym =
+        expr->a->sym != util::kNoSymbol ? expr->a->sym : util::intern(method);
 
     std::vector<JsValue> args;
     args.reserve(expr->args.size());
-    for (const ExprPtr& arg : expr->args) args.push_back(eval(arg, env));
+    for (const ExprPtr& arg : expr->args) args.push_back(eval<WithHooks>(arg, env));
 
     // Built-in string/array methods take precedence.
     bool handled = false;
-    JsValue builtin_result = builtin_method(receiver, method, args, handled);
+    JsValue builtin_result = builtin_method<WithHooks>(receiver, method, args, handled);
     if (handled) {
-      if (hooks_) hooks_->on_invoke(current_stmt_, method, args, builtin_result);
-      // A mutating method (push/pop/...) counts as a write of the receiver
-      // root variable, so RW logs see container mutations.
-      if ((method == "push" || method == "pop" || method == "splice" || method == "sort" ||
-           method == "shift" || method == "unshift") &&
-          hooks_) {
-        const std::string root = root_name(expr->a->a);
-        if (!root.empty()) hooks_->on_write(current_stmt_, root, receiver);
+      if constexpr (WithHooks) {
+        hooks_->on_invoke(current_stmt_, method_sym, args, builtin_result);
+        // A mutating method (push/pop/...) counts as a write of the receiver
+        // root variable, so RW logs see container mutations.
+        if (method == "push" || method == "pop" || method == "splice" || method == "sort" ||
+            method == "shift" || method == "unshift") {
+          const util::Symbol root = root_sym(expr->a->a);
+          if (root != util::kNoSymbol) hooks_->on_write(current_stmt_, root, receiver);
+        }
       }
       return builtin_result;
     }
 
     if (receiver.is_object()) {
-      JsValue fn = receiver.as_object()->get(method);
-      if (fn.is_callable()) return call_value(fn, method, args);
+      JsValue fn = receiver.as_object()->get(method_sym);
+      if (fn.is_callable()) return call_value<WithHooks>(fn, method_sym, args);
     }
     throw JsError("no such method '" + method + "' on " + receiver.to_display());
   }
 
   // Plain call: f(args)
-  JsValue callee = eval(expr->a, env);
+  JsValue callee = eval<WithHooks>(expr->a, env);
   std::vector<JsValue> args;
   args.reserve(expr->args.size());
-  for (const ExprPtr& arg : expr->args) args.push_back(eval(arg, env));
-  const std::string name = expr->a->kind == ExprKind::kIdent ? expr->a->text : "";
-  return call_value(callee, name, args);
+  for (const ExprPtr& arg : expr->args) args.push_back(eval<WithHooks>(arg, env));
+  const util::Symbol name =
+      expr->a->kind == ExprKind::kIdent ? expr->a->sym : util::kNoSymbol;
+  return call_value<WithHooks>(callee, name, args);
 }
 
+template <bool WithHooks>
 JsValue Interpreter::builtin_method(const JsValue& receiver, const std::string& method,
                                     std::vector<JsValue>& args, bool& handled) {
   handled = true;
@@ -549,10 +724,15 @@ JsValue Interpreter::builtin_method(const JsValue& receiver, const std::string& 
     }
     if (method == "map" || method == "filter" || method == "forEach") {
       if (args.empty() || !args[0].is_callable()) throw JsError(method + " expects a function");
+      static const util::Symbol kMapFn = util::intern("map#fn");
+      static const util::Symbol kFilterFn = util::intern("filter#fn");
+      static const util::Symbol kForEachFn = util::intern("forEach#fn");
+      const util::Symbol fn_name =
+          method == "map" ? kMapFn : method == "filter" ? kFilterFn : kForEachFn;
       auto out = std::make_shared<JsArray>();
       for (std::size_t i = 0; i < arr.size(); ++i) {
         std::vector<JsValue> call_args = {arr[i], JsValue(static_cast<double>(i))};
-        JsValue mapped = call_value(args[0], method + "#fn", call_args);
+        JsValue mapped = call_value<WithHooks>(args[0], fn_name, call_args);
         if (method == "map") out->push_back(mapped);
         if (method == "filter" && mapped.truthy()) out->push_back(arr[i]);
       }

@@ -10,7 +10,13 @@
 // Instrumentation hooks mirror jalangi's callback API (the paper modifies
 // INVOKEFUNCTION(LOC, F, ARGS, VAL)): every declare/read/write/invoke is
 // reported with the enclosing statement id, which is what the trace module
-// turns into RW-LOG facts.
+// turns into RW-LOG facts. Names cross the hook boundary as interned
+// symbols — no string copies per event.
+//
+// Execution comes in two compiled flavours, selected once per entry point
+// on whether hooks are installed: the whole evaluator is a template over
+// `WithHooks`, so the serve path (hooks off) contains no instrumentation
+// branches or virtual dispatch at all.
 #pragma once
 
 #include <map>
@@ -22,8 +28,10 @@
 #include "http/message.h"
 #include "http/router.h"
 #include "minijs/ast.h"
+#include "minijs/resolve.h"
 #include "minijs/value.h"
 #include "sqldb/database.h"
+#include "util/intern.h"
 #include "util/rng.h"
 #include "vfs/vfs.h"
 
@@ -41,21 +49,22 @@ class JsError : public std::runtime_error {
   JsValue value_;
 };
 
-/// jalangi-equivalent callback surface.
+/// jalangi-equivalent callback surface. Names are interned symbols; use
+/// util::symbol_name() when the text is needed.
 class InstrumentationHooks {
  public:
   virtual ~InstrumentationHooks() = default;
-  virtual void on_declare(int stmt_id, const std::string& name, const JsValue& value) {
+  virtual void on_declare(int stmt_id, util::Symbol name, const JsValue& value) {
     (void)stmt_id; (void)name; (void)value;
   }
-  virtual void on_read(int stmt_id, const std::string& name, const JsValue& value) {
+  virtual void on_read(int stmt_id, util::Symbol name, const JsValue& value) {
     (void)stmt_id; (void)name; (void)value;
   }
-  virtual void on_write(int stmt_id, const std::string& name, const JsValue& value) {
+  virtual void on_write(int stmt_id, util::Symbol name, const JsValue& value) {
     (void)stmt_id; (void)name; (void)value;
   }
   /// F = function name, ARGS, VAL = result — the INVOKEFUNCTION callback.
-  virtual void on_invoke(int stmt_id, const std::string& fn, const std::vector<JsValue>& args,
+  virtual void on_invoke(int stmt_id, util::Symbol fn, const std::vector<JsValue>& args,
                          const JsValue& result) {
     (void)stmt_id; (void)fn; (void)args; (void)result;
   }
@@ -66,6 +75,7 @@ struct InterpreterConfig {
   std::uint64_t max_steps = 10'000'000;  ///< runaway-loop guard
   std::uint64_t rng_seed = 7;            ///< for Math.random determinism
   int max_call_depth = 512;              ///< guards the host C++ stack
+  bool resolve = true;  ///< run the static resolver (false -> named slow path)
 };
 
 class Interpreter {
@@ -108,6 +118,9 @@ class Interpreter {
   /// Program access for the analysis/refactoring stages.
   const Program& program() const { return program_; }
 
+  /// What the resolver did at construction (zeros when config.resolve=false).
+  const ResolveStats& resolve_stats() const { return resolve_stats_; }
+
   /// Simulated CPU work units accrued by `compute(u)` since last drain.
   double drain_compute_units() {
     const double units = compute_units_;
@@ -122,6 +135,12 @@ class Interpreter {
 
   util::Rng& rng() { return rng_; }
 
+  // Execution counters (monotonic since construction; deterministic for a
+  // given program + inputs, which is what the bench gates key on).
+  std::uint64_t steps() const { return steps_; }
+  std::uint64_t slot_reads() const { return slot_reads_; }    ///< fast-path hits
+  std::uint64_t named_reads() const { return named_reads_; }  ///< dynamic walks
+
   /// Used by the `res.send` builtin.
   void set_pending_response(JsValue value, int status);
   bool has_pending_response() const { return response_sent_; }
@@ -130,8 +149,24 @@ class Interpreter {
   void register_route(http::Verb verb, const std::string& path, JsValue handler);
 
  private:
+  /// Recycles Environment allocations. Shared with every frame's deleter,
+  /// so pooled frames stay valid even if a closure outlives the
+  /// interpreter that created it.
+  struct FramePool {
+    std::vector<Environment*> free;
+    ~FramePool() {
+      for (Environment* env : free) delete env;
+    }
+  };
+  struct FrameReclaimer {
+    std::shared_ptr<FramePool> pool;
+    void operator()(Environment* env) const;
+  };
+
   Program program_;
   Config config_;
+  ResolveStats resolve_stats_;
+  std::shared_ptr<FramePool> pool_;
   std::shared_ptr<Environment> builtins_;  ///< root scope: natives
   std::shared_ptr<Environment> globals_;   ///< user globals
   std::map<http::Route, JsValue> routes_;
@@ -140,6 +175,8 @@ class Interpreter {
   vfs::Vfs* vfs_ = nullptr;
   util::Rng rng_;
   std::uint64_t steps_ = 0;
+  std::uint64_t slot_reads_ = 0;
+  std::uint64_t named_reads_ = 0;
   double compute_units_ = 0;
   std::vector<std::string> console_;
 
@@ -157,18 +194,42 @@ class Interpreter {
   struct ContinueSignal {};
 
   void tick();
+
+  std::shared_ptr<Environment> acquire_env();
+  std::shared_ptr<Environment> make_named(std::shared_ptr<Environment> parent);
+  std::shared_ptr<Environment> make_frame(ScopeInfoPtr scope,
+                                          std::shared_ptr<Environment> parent);
+  /// Child scope for a block: a frame when the resolver laid one out, a
+  /// named scope otherwise (slow path).
+  std::shared_ptr<Environment> child_env(const ScopeInfoPtr& scope,
+                                         const std::shared_ptr<Environment>& parent);
+
+  // The evaluator proper. WithHooks selects the instrumented instantiation;
+  // the hooks-off one compiles every callback away.
+  template <bool WithHooks>
   void exec_stmt(const StmtPtr& stmt, const std::shared_ptr<Environment>& env);
+  template <bool WithHooks>
   void exec_block(const StmtPtr& block, const std::shared_ptr<Environment>& env);
+  template <bool WithHooks>
   JsValue eval(const ExprPtr& expr, const std::shared_ptr<Environment>& env);
+  template <bool WithHooks>
   JsValue eval_call(const ExprPtr& expr, const std::shared_ptr<Environment>& env);
+  template <bool WithHooks>
   JsValue eval_assign(const ExprPtr& expr, const std::shared_ptr<Environment>& env);
-  JsValue call_value(const JsValue& fn, const std::string& name, std::vector<JsValue>& args);
+  template <bool WithHooks>
+  JsValue call_value(const JsValue& fn, util::Symbol name, std::vector<JsValue>& args);
+  template <bool WithHooks>
   JsValue builtin_method(const JsValue& receiver, const std::string& method,
                          std::vector<JsValue>& args, bool& handled);
 
-  /// Base identifier of an lvalue chain (obj.a[i].b -> "obj"); empty if the
-  /// chain is not rooted in an identifier.
-  static std::string root_name(const ExprPtr& expr);
+  /// Resolved-identifier helpers: locate the storage for (depth, slot) /
+  /// the global fast probe. Return nullptr to fall back to the named walk.
+  JsValue* resolved_slot(const Expr& ident, Environment* env);
+  JsValue* global_binding(util::Symbol sym);
+
+  /// Base identifier of an lvalue chain (obj.a[i].b -> obj); kNoSymbol if
+  /// the chain is not rooted in an identifier.
+  static util::Symbol root_sym(const ExprPtr& expr);
 };
 
 /// Builds a `req` JsValue from an HttpRequest (params + payload blob).

@@ -83,7 +83,11 @@ std::vector<Token> lex(const std::string& source) {
       if (kw != keywords().end()) {
         push(kw->second, std::move(word));
       } else {
+        // Identifiers are interned at lex time: the same symbol ids flow
+        // through the AST, interpreter, RW logs and Datalog facts.
+        const util::Symbol sym = util::intern(word);
         push(TokenKind::kIdent, std::move(word));
+        tokens.back().sym = sym;
       }
       continue;
     }

@@ -4,6 +4,8 @@
 
 #include <string>
 
+#include "util/intern.h"
+
 namespace edgstr::minijs {
 
 enum class TokenKind {
@@ -68,6 +70,7 @@ struct Token {
   double number = 0;   ///< value for kNumber
   int line = 0;
   int column = 0;
+  util::Symbol sym = util::kNoSymbol;  ///< interned text (kIdent only)
 };
 
 /// Human-readable token-kind name for diagnostics.

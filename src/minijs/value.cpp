@@ -1,44 +1,47 @@
 #include "minijs/value.h"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 namespace edgstr::minijs {
 
 // ------------------------------------------------------------- JsObject --
 
-bool JsObject::has(const std::string& key) const {
-  for (const auto& [k, v] : entries_) {
-    if (k == key) return true;
-  }
-  return false;
-}
+JsValue JsObject::get(const std::string& key) const { return get(util::intern(key)); }
 
-JsValue JsObject::get(const std::string& key) const {
-  for (const auto& [k, v] : entries_) {
-    if (k == key) return v;
-  }
-  return JsValue();
+JsValue JsObject::get(util::Symbol key) const {
+  const int idx = index_of(key);
+  return idx < 0 ? JsValue() : entries_[static_cast<std::size_t>(idx)].second;
 }
 
 void JsObject::set(const std::string& key, JsValue value) {
-  for (auto& [k, v] : entries_) {
-    if (k == key) {
-      v = std::move(value);
-      return;
-    }
+  const util::Symbol sym = util::intern(key);
+  const int idx = index_of(sym);
+  if (idx >= 0) {
+    entries_[static_cast<std::size_t>(idx)].second = std::move(value);
+    return;
   }
   entries_.emplace_back(key, std::move(value));
+  syms_.push_back(sym);
+}
+
+void JsObject::set(util::Symbol key, JsValue value) {
+  const int idx = index_of(key);
+  if (idx >= 0) {
+    entries_[static_cast<std::size_t>(idx)].second = std::move(value);
+    return;
+  }
+  entries_.emplace_back(util::symbol_name(key), std::move(value));
+  syms_.push_back(key);
 }
 
 bool JsObject::erase(const std::string& key) {
-  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (it->first == key) {
-      entries_.erase(it);
-      return true;
-    }
-  }
-  return false;
+  const int idx = index_of(util::intern(key));
+  if (idx < 0) return false;
+  entries_.erase(entries_.begin() + idx);
+  syms_.erase(syms_.begin() + idx);
+  return true;
 }
 
 std::vector<std::string> JsObject::keys() const {
@@ -256,6 +259,78 @@ JsValue JsValue::from_json(const json::Value& v) {
   return JsValue();
 }
 
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+inline std::uint64_t mix_byte(std::uint64_t h, unsigned char b) {
+  h ^= b;
+  return h * kFnvPrime;
+}
+
+inline std::uint64_t mix_word(std::uint64_t h, std::uint64_t w) {
+  for (int i = 0; i < 8; ++i) h = mix_byte(h, static_cast<unsigned char>(w >> (i * 8)));
+  return h;
+}
+
+inline std::uint64_t mix_string(std::uint64_t h, const std::string& s) {
+  for (const char c : s) h = mix_byte(h, static_cast<unsigned char>(c));
+  return mix_word(h, s.size());
+}
+
+}  // namespace
+
+std::uint64_t JsValue::digest() const {
+  // Structural FNV-1a-style hash. Type tags keep e.g. "1" and 1 apart;
+  // functions collapse to the null tag because to_json renders them as
+  // null and the digest must agree with the JSON view of a value.
+  std::uint64_t h = 1469598103934665603ULL;
+  struct Walker {
+    static std::uint64_t walk(const JsValue& v, std::uint64_t h) {
+      switch (v.type()) {
+        case Type::kNull:
+        case Type::kClosure:
+        case Type::kNative:
+          return mix_byte(h, 1);
+        case Type::kBool:
+          return mix_byte(mix_byte(h, 2), v.as_bool() ? 1 : 0);
+        case Type::kNumber: {
+          std::uint64_t bits = 0;
+          const double d = v.as_number();
+          std::memcpy(&bits, &d, sizeof(bits));
+          return mix_word(mix_byte(h, 3), bits);
+        }
+        case Type::kString:
+          return mix_string(mix_byte(h, 4), v.as_string());
+        case Type::kArray: {
+          h = mix_byte(h, 5);
+          const JsArray& arr = *v.as_array();
+          h = mix_word(h, arr.size());
+          for (const JsValue& item : arr) h = walk(item, h);
+          return h;
+        }
+        case Type::kObject: {
+          h = mix_byte(h, 6);
+          const JsObject& obj = *v.as_object();
+          h = mix_word(h, obj.size());
+          for (const auto& [k, val] : obj.entries()) {
+            h = mix_string(h, k);
+            h = walk(val, h);
+          }
+          return h;
+        }
+        case Type::kBlob: {
+          const Blob b = v.as_blob();
+          return mix_word(mix_word(mix_byte(h, 7), b.size), b.fingerprint);
+        }
+      }
+      return h;
+    }
+    using Type = JsValue::Type;
+  };
+  return Walker::walk(*this, h);
+}
+
 std::uint64_t JsValue::wire_size() const {
   if (is_blob()) return as_blob().size;
   if (is_array()) {
@@ -273,33 +348,89 @@ std::uint64_t JsValue::wire_size() const {
 
 // ---------------------------------------------------------- Environment --
 
-void Environment::define(const std::string& name, JsValue value) {
-  vars_[name] = std::move(value);
+void Environment::init_named(std::shared_ptr<Environment> parent) {
+  parent_ = std::move(parent);
 }
 
-bool Environment::has(const std::string& name) const {
-  if (vars_.count(name)) return true;
-  return parent_ && parent_->has(name);
+void Environment::init_frame(ScopeInfoPtr scope, std::shared_ptr<Environment> parent) {
+  parent_ = std::move(parent);
+  scope_ = std::move(scope);
+  slots_.resize(scope_->slots.size());
+  bound_.assign(scope_->slots.size(), 0);
+}
+
+void Environment::reset() {
+  named_.clear();
+  scope_.reset();
+  slots_.clear();   // releases held values; keeps capacity for reuse
+  bound_.clear();
+  parent_.reset();
+}
+
+void Environment::define(util::Symbol sym, JsValue value) {
+  if (scope_) {
+    const int idx = scope_->index_of(sym);
+    if (idx >= 0) {
+      bind_slot(static_cast<std::size_t>(idx), std::move(value));
+      return;
+    }
+  }
+  named_[sym] = std::move(value);
+}
+
+bool Environment::has_local(const std::string& name) const {
+  return const_cast<Environment*>(this)->find_local(util::intern(name)) != nullptr;
+}
+
+const JsValue* Environment::find(util::Symbol sym) const {
+  for (const Environment* e = this; e; e = e->parent_.get()) {
+    const JsValue* v = const_cast<Environment*>(e)->find_local(sym);
+    if (v) return v;
+  }
+  return nullptr;
+}
+
+JsValue* Environment::find_mutable(util::Symbol sym) {
+  for (Environment* e = this; e; e = e->parent_.get()) {
+    if (JsValue* v = e->find_local(sym)) return v;
+  }
+  return nullptr;
+}
+
+JsValue* Environment::find_local(util::Symbol sym) {
+  if (scope_) {
+    const int idx = scope_->index_of(sym);
+    if (idx >= 0 && bound_[static_cast<std::size_t>(idx)]) {
+      return &slots_[static_cast<std::size_t>(idx)];
+    }
+    if (named_.empty()) return nullptr;
+  }
+  auto it = named_.find(sym);
+  return it == named_.end() ? nullptr : &it->second;
+}
+
+bool Environment::erase_local(util::Symbol sym) {
+  if (scope_) {
+    const int idx = scope_->index_of(sym);
+    if (idx >= 0 && bound_[static_cast<std::size_t>(idx)]) {
+      slots_[static_cast<std::size_t>(idx)] = JsValue();
+      bound_[static_cast<std::size_t>(idx)] = 0;
+      return true;
+    }
+  }
+  return named_.erase(sym) > 0;
 }
 
 const JsValue& Environment::get(const std::string& name) const {
-  auto it = vars_.find(name);
-  if (it != vars_.end()) return it->second;
-  if (parent_) return parent_->get(name);
-  throw std::out_of_range("undefined variable: " + name);
+  const JsValue* v = find(util::intern(name));
+  if (!v) throw std::out_of_range("undefined variable: " + name);
+  return *v;
 }
 
 void Environment::set(const std::string& name, JsValue value) {
-  auto it = vars_.find(name);
-  if (it != vars_.end()) {
-    it->second = std::move(value);
-    return;
-  }
-  if (parent_) {
-    parent_->set(name, std::move(value));
-    return;
-  }
-  throw std::out_of_range("assignment to undefined variable: " + name);
+  JsValue* v = find_mutable(util::intern(name));
+  if (!v) throw std::out_of_range("assignment to undefined variable: " + name);
+  *v = std::move(value);
 }
 
 Environment& Environment::global() {

@@ -12,11 +12,13 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
 #include "json/value.h"
 #include "minijs/ast.h"
+#include "util/intern.h"
 
 namespace edgstr::minijs {
 
@@ -25,13 +27,18 @@ class Interpreter;
 
 using JsArray = std::vector<JsValue>;
 
-/// Order-preserving property map (JavaScript object semantics).
+/// Order-preserving property map (JavaScript object semantics). Keys are
+/// interned alongside the entries, so lookups by a pre-interned property
+/// symbol (the hot interpreter path) scan 32-bit ids, not strings.
 class JsObject {
  public:
-  bool has(const std::string& key) const;
+  bool has(const std::string& key) const { return index_of(util::intern(key)) >= 0; }
+  bool has(util::Symbol key) const { return index_of(key) >= 0; }
   /// Returns null for missing keys (JS `undefined` behaviour).
   JsValue get(const std::string& key) const;
+  JsValue get(util::Symbol key) const;
   void set(const std::string& key, JsValue value);
+  void set(util::Symbol key, JsValue value);
   bool erase(const std::string& key);
   std::vector<std::string> keys() const;
   std::size_t size() const { return entries_.size(); }
@@ -39,7 +46,15 @@ class JsObject {
   const std::vector<std::pair<std::string, JsValue>>& entries() const { return entries_; }
 
  private:
+  int index_of(util::Symbol key) const {
+    for (std::size_t i = 0; i < syms_.size(); ++i) {
+      if (syms_[i] == key) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
   std::vector<std::pair<std::string, JsValue>> entries_;
+  std::vector<util::Symbol> syms_;  ///< aligned with entries_
 };
 
 class Environment;
@@ -47,15 +62,24 @@ class Environment;
 /// User-defined function value.
 struct Closure {
   std::string name;  ///< for diagnostics and invoke hooks; may be empty
+  util::Symbol name_sym = util::kNoSymbol;
   std::vector<std::string> params;
   StmtPtr body;  ///< Block
   std::shared_ptr<Environment> env;
+  ScopeInfoPtr scope;  ///< call-frame layout; null -> named slow path
 };
 
 /// Host-provided function.
 struct NativeFunction {
+  using Fn = std::function<JsValue(Interpreter&, std::vector<JsValue>&)>;
+
+  NativeFunction() = default;
+  NativeFunction(std::string n, Fn f)
+      : name(std::move(n)), name_sym(util::intern(name)), fn(std::move(f)) {}
+
   std::string name;
-  std::function<JsValue(Interpreter&, std::vector<JsValue>&)> fn;
+  util::Symbol name_sym = util::kNoSymbol;  ///< interned once at registration
+  Fn fn;
 };
 
 /// Opaque payload: size + fingerprint, no contents.
@@ -126,6 +150,12 @@ class JsValue {
   /// Wire size contribution: JSON size, but blobs count their full payload.
   std::uint64_t wire_size() const;
 
+  /// Structural content hash, consistent with to_json(): values whose JSON
+  /// renderings are equal digest equally (functions hash as null, blobs by
+  /// size+fingerprint). Used by the RW log and the copy-on-write snapshot
+  /// dirty check — no JSON materialization involved.
+  std::uint64_t digest() const;
+
  private:
   std::variant<std::nullptr_t, bool, double, std::string, std::shared_ptr<JsArray>,
                std::shared_ptr<JsObject>, std::shared_ptr<Closure>,
@@ -133,30 +163,87 @@ class JsValue {
       data_;
 };
 
-/// Lexical scope chain.
-class Environment : public std::enable_shared_from_this<Environment> {
+/// Lexical scope chain. Two storage modes:
+///
+///  * named (the default): a symbol-keyed hash map — used for the builtins
+///    and globals scopes, and for every scope when a program runs without
+///    the resolver (the slow path).
+///  * frame: a flat JsValue vector laid out by a resolver ScopeInfo. Slots
+///    start *unbound*; a declaration binds its slot. Unbound slots are
+///    invisible to chain lookups, which makes the frame path observably
+///    identical to the named path (shadowing, not-yet-declared reads, ...).
+///
+/// Frames (and named child scopes) are recycled through the interpreter's
+/// FramePool; `reset()` returns an environment to its blank state.
+class Environment {
  public:
-  explicit Environment(std::shared_ptr<Environment> parent = nullptr)
-      : parent_(std::move(parent)) {}
+  Environment() = default;
+  explicit Environment(std::shared_ptr<Environment> parent) : parent_(std::move(parent)) {}
 
-  /// Declares a binding in *this* scope (shadows outer bindings).
-  void define(const std::string& name, JsValue value);
+  /// (Re)initializes as a named scope (pool reuse path).
+  void init_named(std::shared_ptr<Environment> parent);
+  /// (Re)initializes as a slot frame for `scope` (pool reuse path).
+  void init_frame(ScopeInfoPtr scope, std::shared_ptr<Environment> parent);
+  /// Clears all bindings and drops the parent chain reference.
+  void reset();
+
+  bool is_frame() const { return scope_ != nullptr; }
+  const ScopeInfoPtr& scope() const { return scope_; }
+
+  /// Declares a binding in *this* scope (shadows outer bindings). On a
+  /// frame, the resolver guarantees a slot exists; a stray dynamic define
+  /// lands in the overflow map and still behaves correctly.
+  void define(const std::string& name, JsValue value) { define(util::intern(name), std::move(value)); }
+  void define(util::Symbol sym, JsValue value);
   /// True if bound anywhere in the chain.
-  bool has(const std::string& name) const;
+  bool has(const std::string& name) const { return find(util::intern(name)) != nullptr; }
   /// True if bound in this scope directly.
-  bool has_local(const std::string& name) const { return vars_.count(name) > 0; }
+  bool has_local(const std::string& name) const;
   /// Reads a binding; throws std::out_of_range if unbound.
   const JsValue& get(const std::string& name) const;
   /// Writes the nearest binding; throws std::out_of_range if unbound.
   void set(const std::string& name, JsValue value);
 
+  /// Nearest binding in the chain; nullptr when unbound. Unbound frame
+  /// slots are skipped, exactly like a missing map key.
+  const JsValue* find(util::Symbol sym) const;
+  JsValue* find_mutable(util::Symbol sym);
+  /// Binding in *this* scope only; nullptr when absent.
+  JsValue* find_local(util::Symbol sym);
+
+  // Direct slot access for resolved identifiers.
+  JsValue& slot(std::size_t i) { return slots_[i]; }
+  const JsValue& slot(std::size_t i) const { return slots_[i]; }
+  bool slot_bound(std::size_t i) const { return bound_[i] != 0; }
+  void bind_slot(std::size_t i, JsValue value) {
+    slots_[i] = std::move(value);
+    bound_[i] = 1;
+  }
+
+  Environment* parent() const { return parent_.get(); }
+
   /// The root (global) scope of this chain.
   Environment& global();
-  const std::map<std::string, JsValue>& locals() const { return vars_; }
-  std::map<std::string, JsValue>& locals_mutable() { return vars_; }
+
+  /// Visits every binding of *this* scope as (symbol, value). Iteration
+  /// order is unspecified; callers sort by name where determinism matters.
+  template <typename Fn>
+  void each_local(Fn&& fn) const {
+    for (const auto& [sym, value] : named_) fn(sym, value);
+    if (scope_) {
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (bound_[i]) fn(scope_->slots[i], slots_[i]);
+      }
+    }
+  }
+  /// Removes a binding from *this* scope; false if absent.
+  bool erase_local(util::Symbol sym);
 
  private:
-  std::map<std::string, JsValue> vars_;
+  std::unordered_map<util::Symbol, JsValue> named_;
+  ScopeInfoPtr scope_;                 ///< null -> named mode
+  std::vector<JsValue> slots_;         ///< aligned with scope_->slots
+  std::vector<unsigned char> bound_;   ///< slot occupancy
   std::shared_ptr<Environment> parent_;
 };
 

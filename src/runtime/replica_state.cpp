@@ -35,9 +35,9 @@ void ReplicaState::crash_reset(const trace::Snapshot& snapshot) {
 }
 
 void ReplicaState::initialize_from_snapshot(const trace::Snapshot& snapshot) {
-  tables_.initialize(snapshot.database);
-  files_.initialize(snapshot.files, replicated_files_);
-  trace::restore_globals(service_->interpreter(), snapshot.globals);
+  tables_.initialize(snapshot.database_json());
+  files_.initialize(snapshot.files_json(), replicated_files_);
+  trace::restore_globals(service_->interpreter(), snapshot.globals_json());
   // The CRDT baseline carries only the *replicated* globals — otherwise a
   // later record_local() would read the filtered live state, miss the
   // unreplicated keys, and emit spurious remove ops for them.
@@ -61,14 +61,14 @@ json::Value ReplicaState::filtered_globals() {
 }
 
 void ReplicaState::materialize_globals(const std::vector<crdt::Op>& applied) {
-  auto& locals = service_->interpreter().globals()->locals_mutable();
+  minijs::Environment& env = *service_->interpreter().globals();
   for (const crdt::Op& op : applied) {
     const std::string& key = op.payload["key"].as_string();
     const std::optional<json::Value> live = globals_.get(key);
     if (live) {
-      locals[key] = minijs::JsValue::from_json(*live);
+      env.define(key, minijs::JsValue::from_json(*live));
     } else {
-      locals.erase(key);
+      env.erase_local(util::intern(key));
     }
   }
 }
@@ -196,7 +196,7 @@ void ReplicaState::restore_bootstrap(const json::Value& v) {
   }
   // Re-seed the interpreter's replicated globals from the restored doc:
   // tombstoned keys disappear, live keys take the replicated value.
-  auto& locals = service_->interpreter().globals()->locals_mutable();
+  minijs::Environment& env = *service_->interpreter().globals();
   // Bind the filtered snapshot to a named value: as_object() returns a
   // reference into it, which a bare temporary would not keep alive for
   // the loop below.
@@ -204,10 +204,10 @@ void ReplicaState::restore_bootstrap(const json::Value& v) {
   std::vector<std::string> replicated;
   for (const auto& entry : filtered.as_object()) replicated.push_back(entry.first);
   for (const std::string& name : replicated) {
-    if (!globals_.get(name)) locals.erase(name);
+    if (!globals_.get(name)) env.erase_local(util::intern(name));
   }
   for (const std::string& key : globals_.keys()) {
-    locals[key] = minijs::JsValue::from_json(*globals_.get(key));
+    env.define(key, minijs::JsValue::from_json(*globals_.get(key)));
   }
 }
 

@@ -1,5 +1,7 @@
 #include "runtime/service_runtime.h"
 
+#include <chrono>
+
 #include "minijs/parser.h"
 
 namespace edgstr::runtime {
@@ -15,19 +17,26 @@ ServiceRuntime::ServiceRuntime(const std::string& source, minijs::InterpreterCon
 }
 
 void ServiceRuntime::restore_state(const trace::Snapshot& snapshot) {
-  db_.restore(snapshot.database);
-  fs_.restore(snapshot.files);
-  trace::restore_globals(*interp_, snapshot.globals);
+  db_.restore(snapshot.database_json());
+  fs_.restore(snapshot.files_json());
+  trace::restore_globals(*interp_, snapshot.globals_json());
 }
 
 trace::Snapshot ServiceRuntime::capture_state() {
-  return trace::Snapshot{db_.snapshot(), fs_.snapshot(), trace::capture_globals(*interp_)};
+  return trace::Snapshot::from_units(db_.snapshot(), fs_.snapshot(),
+                                     trace::capture_globals(*interp_));
 }
 
 ExecutionResult ServiceRuntime::handle(const http::HttpRequest& request) {
   ExecutionResult result;
   interp_->drain_compute_units();
   ++requests_served_;
+  std::chrono::steady_clock::time_point started;
+  std::uint64_t steps_before = 0;
+  if (telemetry_) {
+    steps_before = interp_->steps();
+    if (wall_clock_metrics_) started = std::chrono::steady_clock::now();
+  }
   try {
     result.response = interp_->invoke(http::Route{request.verb, request.path}, request);
   } catch (const minijs::JsError& err) {
@@ -35,6 +44,17 @@ ExecutionResult ServiceRuntime::handle(const http::HttpRequest& request) {
     result.failed = true;
     result.failure = err.what();
     result.response = http::HttpResponse::error(500, err.what());
+  }
+  if (telemetry_) {
+    if (wall_clock_metrics_) {
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - started)
+                            .count();
+      telemetry_->metrics().observe("interp.exec.ms", ms);
+    }
+    telemetry_->metrics().observe("interp.steps",
+                                  static_cast<double>(interp_->steps() - steps_before),
+                                  util::Histogram::default_count_bounds());
   }
   result.compute_units = interp_->drain_compute_units();
   return result;

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "minijs/interpreter.h"
+#include "obs/telemetry.h"
 #include "trace/state_capture.h"
 
 namespace edgstr::runtime {
@@ -49,10 +50,24 @@ class ServiceRuntime {
   std::uint64_t requests_served() const { return requests_served_; }
   std::uint64_t failures() const { return failures_; }
 
+  /// Execution-engine observability: when attached, every handle() records
+  /// an `interp.steps` histogram (deterministic interpreter step counts).
+  /// With `wall_clock` set it additionally records `interp.exec.ms`
+  /// wall-clock durations — opt-in because deployment metrics snapshots
+  /// must be same-seed reproducible (sim/schedule determinism contract);
+  /// benches enable it, simulations never do. Costs one branch per request
+  /// when detached (the default) — the serve path stays hook-free.
+  void set_telemetry(obs::Telemetry* telemetry, bool wall_clock = false) {
+    telemetry_ = telemetry;
+    wall_clock_metrics_ = wall_clock;
+  }
+
  private:
   sqldb::Database db_;
   vfs::Vfs fs_;
   std::unique_ptr<minijs::Interpreter> interp_;
+  obs::Telemetry* telemetry_ = nullptr;
+  bool wall_clock_metrics_ = false;
   std::uint64_t requests_served_ = 0;
   std::uint64_t failures_ = 0;
 };

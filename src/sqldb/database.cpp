@@ -1,6 +1,7 @@
 #include "sqldb/database.h"
 
 #include <algorithm>
+#include <iterator>
 #include <stdexcept>
 
 namespace edgstr::sqldb {
@@ -86,7 +87,8 @@ ResultSet Database::execute(const Statement& stmt, const std::vector<SqlValue>& 
 
   if (const auto* create = std::get_if<CreateTableStmt>(&stmt)) {
     if (tables_.count(create->table)) throw SqlError("table already exists: " + create->table);
-    tables_.emplace(create->table, Table(create->table, create->columns));
+    auto [it, inserted] = tables_.emplace(create->table, Table(create->table, create->columns));
+    touch(it->second);
     return result;
   }
   if (const auto* drop = std::get_if<DropTableStmt>(&stmt)) {
@@ -108,6 +110,7 @@ ResultSet Database::execute(const Statement& stmt, const std::vector<SqlValue>& 
       }
     }
     const std::uint64_t rid = t.insert(cells);
+    touch(t);
     mutation_log_.push_back(
         RowMutation{RowMutation::Kind::kInsert, insert->table, rid, std::move(cells)});
     result.affected = 1;
@@ -162,6 +165,7 @@ ResultSet Database::execute(const Statement& stmt, const std::vector<SqlValue>& 
       staged.push_back(
           RowMutation{RowMutation::Kind::kUpdate, update->table, row.rid, row.cells});
     });
+    if (result.affected > 0) touch(t);
     for (auto& m : staged) mutation_log_.push_back(std::move(m));
     return result;
   }
@@ -175,6 +179,7 @@ ResultSet Database::execute(const Statement& stmt, const std::vector<SqlValue>& 
       }
     }
     result.affected = t.delete_where(pred);
+    if (result.affected > 0) touch(t);
     return result;
   }
   if (std::holds_alternative<BeginStmt>(stmt)) {
@@ -222,10 +227,57 @@ void Database::restore(const json::Value& snap) {
   for (const json::Value& t : snap["tables"].as_array()) {
     Table table = Table::from_snapshot(t);
     const std::string name = table.name();
-    tables_.emplace(name, std::move(table));
+    auto [it, inserted] = tables_.emplace(name, std::move(table));
+    touch(it->second);  // foreign content: stamp fresh
   }
   mutation_log_.clear();
 }
+
+std::vector<TableComponent> Database::component_snapshots() const {
+  std::vector<TableComponent> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, t] : tables_) {
+    auto it = snapshot_cache_.find(name);
+    if (it == snapshot_cache_.end() || it->second.epoch != t.epoch()) {
+      auto value = std::make_shared<const json::Value>(t.snapshot());
+      const std::uint64_t bytes = value->wire_size();
+      it = snapshot_cache_.insert_or_assign(name, CachedTable{t.epoch(), value, bytes}).first;
+    }
+    out.push_back(TableComponent{name, it->second.epoch, it->second.value, it->second.bytes});
+  }
+  // Drop cache entries for tables that no longer exist.
+  for (auto it = snapshot_cache_.begin(); it != snapshot_cache_.end();) {
+    it = tables_.count(it->first) ? std::next(it) : snapshot_cache_.erase(it);
+  }
+  return out;
+}
+
+std::uint64_t Database::table_epoch(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? 0 : it->second.epoch();
+}
+
+void Database::restore_table(const json::Value& table_snap, std::uint64_t epoch) {
+  if (in_transaction()) throw SqlError("cannot restore inside a transaction");
+  Table table = Table::from_snapshot(table_snap);
+  const std::string name = table.name();
+  auto [it, inserted] = tables_.insert_or_assign(name, std::move(table));
+  if (epoch != 0) {
+    // Same-lineage content: reinstate the stamp it carried at capture time.
+    // The monotonic counter never re-issues it, so stamp equality keeps
+    // implying content equality.
+    it->second.set_epoch(epoch);
+  } else {
+    touch(it->second);
+  }
+}
+
+bool Database::erase_table(const std::string& name) {
+  if (in_transaction()) throw SqlError("cannot restore inside a transaction");
+  return tables_.erase(name) > 0;
+}
+
+void Database::clear_mutation_log() { mutation_log_.clear(); }
 
 std::uint64_t Database::state_size_bytes() const { return snapshot().wire_size(); }
 
@@ -247,6 +299,7 @@ std::vector<RowMutation> Database::drain_mutations() {
 
 void Database::apply_replicated(const RowMutation& mutation) {
   Table& t = table(mutation.table);
+  touch(t);
   switch (mutation.kind) {
     case RowMutation::Kind::kInsert:
       if (!t.find(mutation.rid)) t.insert_with_rid(mutation.rid, mutation.cells);

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -40,6 +41,15 @@ struct RowMutation {
   std::vector<SqlValue> cells;  ///< post-image (empty for deletes)
 };
 
+/// One table's serialized state plus its change stamp — the unit the
+/// copy-on-write checkpointing layer shares between snapshots.
+struct TableComponent {
+  std::string name;
+  std::uint64_t epoch = 0;                    ///< Table::epoch() at serialization time
+  std::shared_ptr<const json::Value> value;   ///< Table::snapshot() JSON
+  std::uint64_t bytes = 0;                    ///< cached wire size of `value`
+};
+
 class Database {
  public:
   Database() = default;
@@ -67,6 +77,21 @@ class Database {
   json::Value snapshot() const;
   void restore(const json::Value& snap);
 
+  /// Copy-on-write snapshot surface. component_snapshots() serializes only
+  /// tables whose epoch moved since the last call; untouched tables return
+  /// the same shared JSON value (structural sharing across snapshots).
+  std::vector<TableComponent> component_snapshots() const;
+  /// Current change stamp of a table; 0 if the table does not exist.
+  std::uint64_t table_epoch(const std::string& name) const;
+  /// Replaces (or creates) one table from a per-table snapshot. A nonzero
+  /// `epoch` reinstates the stamp the content carried when it was captured
+  /// from *this* database; 0 means foreign content and stamps fresh.
+  void restore_table(const json::Value& table_snap, std::uint64_t epoch);
+  /// Drops a table without going through SQL; returns whether it existed.
+  bool erase_table(const std::string& name);
+  /// Forgets pending mutations (a restore resets the delta baseline).
+  void clear_mutation_log();
+
   /// Approximate state size in bytes (serialized snapshot size); used for
   /// the cross-ISA S_app comparison in Figure 10(a).
   std::uint64_t state_size_bytes() const;
@@ -82,10 +107,21 @@ class Database {
   bool operator==(const Database& other) const;
 
  private:
+  struct CachedTable {
+    std::uint64_t epoch = 0;
+    std::shared_ptr<const json::Value> value;
+    std::uint64_t bytes = 0;
+  };
+
   std::map<std::string, Table> tables_;
   std::vector<RowMutation> mutation_log_;
   std::optional<std::map<std::string, Table>> transaction_backup_;
   std::size_t transaction_log_mark_ = 0;
+  std::uint64_t epoch_counter_ = 0;  ///< monotonic; epoch equality => content equality
+  mutable std::map<std::string, CachedTable> snapshot_cache_;
+
+  /// Stamps a table with a fresh epoch after a committed content change.
+  void touch(Table& table) { table.set_epoch(++epoch_counter_); }
 
   static SqlValue resolve(const SqlExpr& expr, const std::vector<SqlValue>& params);
   std::function<bool(const Row&)> compile_where(const Table& table,

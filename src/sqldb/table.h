@@ -54,6 +54,15 @@ class Table {
   json::Value snapshot() const;
   static Table from_snapshot(const json::Value& snap);
 
+  /// Change stamp maintained by the owning Database: every committed
+  /// content change re-stamps the table from the database's monotonic
+  /// counter, so epoch equality implies content equality for tables that
+  /// share a Database lineage. 0 = never stamped. Direct Table mutation
+  /// outside Database does not update it — the copy-on-write snapshot
+  /// machinery only reads epochs on Database-owned tables.
+  std::uint64_t epoch() const { return epoch_; }
+  void set_epoch(std::uint64_t epoch) { epoch_ = epoch; }
+
   bool operator==(const Table& other) const;
 
  private:
@@ -61,6 +70,7 @@ class Table {
   std::vector<std::string> columns_;
   std::vector<Row> rows_;
   std::uint64_t next_rid_ = 1;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace edgstr::sqldb

@@ -7,17 +7,16 @@
 namespace edgstr::trace {
 
 std::uint64_t value_digest(const minijs::JsValue& value) {
-  // JSON rendering covers structure; blobs contribute their fingerprint via
-  // the {"__blob__",fp} encoding.
-  return util::fnv1a(value.to_json().dump());
+  // Structural hash consistent with the JSON rendering (blobs contribute
+  // size + fingerprint) — no JSON materialization per event.
+  return value.digest();
 }
 
-void RwCollector::on_declare(int stmt_id, const std::string& name,
-                             const minijs::JsValue& value) {
+void RwCollector::on_declare(int stmt_id, util::Symbol name, const minijs::JsValue& value) {
   events_.push_back(RwEvent{RwEvent::Kind::kDeclare, stmt_id, name, value_digest(value), order_++});
 }
 
-void RwCollector::on_read(int stmt_id, const std::string& name, const minijs::JsValue& value) {
+void RwCollector::on_read(int stmt_id, util::Symbol name, const minijs::JsValue& value) {
   events_.push_back(RwEvent{RwEvent::Kind::kRead, stmt_id, name, value_digest(value), order_++});
   auto it = last_writer_.find(name);
   if (it != last_writer_.end() && it->second != stmt_id) {
@@ -25,12 +24,12 @@ void RwCollector::on_read(int stmt_id, const std::string& name, const minijs::Js
   }
 }
 
-void RwCollector::on_write(int stmt_id, const std::string& name, const minijs::JsValue& value) {
+void RwCollector::on_write(int stmt_id, util::Symbol name, const minijs::JsValue& value) {
   events_.push_back(RwEvent{RwEvent::Kind::kWrite, stmt_id, name, value_digest(value), order_++});
   last_writer_[name] = stmt_id;
 }
 
-void RwCollector::on_invoke(int stmt_id, const std::string& fn,
+void RwCollector::on_invoke(int stmt_id, util::Symbol fn,
                             const std::vector<minijs::JsValue>& args,
                             const minijs::JsValue& result) {
   (void)result;
@@ -38,15 +37,16 @@ void RwCollector::on_invoke(int stmt_id, const std::string& fn,
 
   // SQL classification: any invocation whose first argument parses as SQL.
   if (!args.empty() && args[0].is_string()) {
+    const std::string& fname = util::symbol_name(fn);
     const std::string& text = args[0].as_string();
-    if (util::starts_with(fn, "db.") && sqldb::looks_like_sql(text)) {
+    if (util::starts_with(fname, "db.") && sqldb::looks_like_sql(text)) {
       const sqldb::Statement stmt = sqldb::parse_sql(text);
       sql_events_.push_back(
           SqlEvent{stmt_id, text, sqldb::is_mutation(stmt), sqldb::target_table(stmt)});
     }
     // File classification: argument looks like a file URL/path.
-    if (util::starts_with(fn, "fs.") && vfs::Vfs::looks_like_path(text)) {
-      const bool write = fn == "fs.writeFile" || fn == "fs.appendFile" || fn == "fs.unlink";
+    if (util::starts_with(fname, "fs.") && vfs::Vfs::looks_like_path(text)) {
+      const bool write = fname == "fs.writeFile" || fname == "fs.appendFile" || fname == "fs.unlink";
       file_events_.push_back(FileEvent{stmt_id, text, write});
     }
   }

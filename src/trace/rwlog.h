@@ -8,14 +8,20 @@
 //   * file accesses (calls whose argument looks like a file URL);
 //   * dynamic data-flow edges: each read of a variable is linked to the
 //     statement that most recently wrote it.
+//
+// Events store interned symbols, not strings: recording an event copies two
+// machine words, and the name text is materialized only when a consumer
+// asks for it (Datalog fact emission, debugging output).
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "minijs/interpreter.h"
+#include "util/intern.h"
 
 namespace edgstr::trace {
 
@@ -27,9 +33,11 @@ struct RwEvent {
   enum class Kind { kDeclare, kRead, kWrite };
   Kind kind;
   int stmt_id;
-  std::string name;       ///< root variable name
+  util::Symbol name_sym;  ///< root variable name (interned)
   std::uint64_t digest;   ///< digest of the value read/written
   std::size_t order;      ///< position in the execution trace
+
+  const std::string& name() const { return util::symbol_name(name_sym); }
 };
 
 struct SqlEvent {
@@ -47,23 +55,27 @@ struct FileEvent {
 
 struct InvokeEvent {
   int stmt_id;
-  std::string function;
+  util::Symbol function_sym;  ///< interned function name
   std::size_t order;
+
+  const std::string& function() const { return util::symbol_name(function_sym); }
 };
 
 /// A dynamic flow edge: `reader` read a value last written by `writer`.
 struct FlowEdge {
   int reader_stmt;
   int writer_stmt;
-  std::string variable;
+  util::Symbol variable_sym;
+
+  const std::string& variable() const { return util::symbol_name(variable_sym); }
 };
 
 class RwCollector final : public minijs::InstrumentationHooks {
  public:
-  void on_declare(int stmt_id, const std::string& name, const minijs::JsValue& value) override;
-  void on_read(int stmt_id, const std::string& name, const minijs::JsValue& value) override;
-  void on_write(int stmt_id, const std::string& name, const minijs::JsValue& value) override;
-  void on_invoke(int stmt_id, const std::string& fn, const std::vector<minijs::JsValue>& args,
+  void on_declare(int stmt_id, util::Symbol name, const minijs::JsValue& value) override;
+  void on_read(int stmt_id, util::Symbol name, const minijs::JsValue& value) override;
+  void on_write(int stmt_id, util::Symbol name, const minijs::JsValue& value) override;
+  void on_invoke(int stmt_id, util::Symbol fn, const std::vector<minijs::JsValue>& args,
                  const minijs::JsValue& result) override;
 
   const std::vector<RwEvent>& events() const { return events_; }
@@ -83,7 +95,7 @@ class RwCollector final : public minijs::InstrumentationHooks {
   std::vector<FileEvent> file_events_;
   std::vector<InvokeEvent> invoke_events_;
   std::vector<FlowEdge> flow_edges_;
-  std::map<std::string, int> last_writer_;  ///< variable -> stmt of latest write
+  std::unordered_map<util::Symbol, int> last_writer_;  ///< variable -> stmt of latest write
   std::size_t order_ = 0;
 };
 

@@ -8,27 +8,65 @@
 // so every profiled execution starts from the identical checkpointed init
 // state, even for stateful services. Snapshots cover the three replication
 // units: database tables, files, and global variables.
+//
+// Snapshots are copy-on-write: each unit is a map of per-component
+// immutable JSON values shared between consecutive snapshots (a component
+// is one table, one file, or one global). Tables and files carry epoch
+// stamps maintained by their substrate (sqldb::Database / vfs::Vfs);
+// globals carry content digests, because JsValue aliasing makes
+// write-tracking unsound for them. Capture serializes only components
+// whose stamp moved, restore writes only components whose stamp differs,
+// and diff_snapshots compares stamps before content — all O(state touched)
+// instead of O(total state).
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
 
 #include "minijs/interpreter.h"
+#include "obs/telemetry.h"
 #include "trace/rwlog.h"
 
 namespace edgstr::trace {
 
-/// Full server state: the three replication units.
+/// One immutable component of a snapshot (a table, file, or global).
+struct SnapshotComponent {
+  std::shared_ptr<const json::Value> value;  ///< serialized component state
+  std::uint64_t stamp = 0;  ///< epoch (tables/files) or content digest (globals)
+  std::uint64_t bytes = 0;  ///< cached wire size of `value`
+};
+
+using ComponentMap = std::map<std::string, SnapshotComponent>;
+
+/// Full server state: the three replication units, as shared components.
 struct Snapshot {
-  json::Value database;
-  json::Value files;
-  json::Value globals;
+  ComponentMap tables;   ///< table name -> per-table snapshot
+  ComponentMap files;    ///< path -> {"contents", "version"}
+  ComponentMap globals;  ///< global name -> JSON value
+  /// Identity of the harness that captured this snapshot. Stamps are only
+  /// comparable between snapshots of the same nonzero origin; 0 marks
+  /// foreign snapshots (from_json / hand-built), which always compare and
+  /// restore by content.
+  std::uint64_t origin = 0;
 
   /// Serialized size — the paper's S_app baseline for cross-ISA comparison.
+  /// Exact arithmetic over cached component sizes; no serialization.
   std::uint64_t size_bytes() const;
+
+  /// Unit materializers: the legacy aggregate JSON shapes, for replica
+  /// bootstrap and external persistence.
+  json::Value database_json() const;  ///< {"tables": [sorted table snapshots]}
+  json::Value files_json() const;     ///< {path: entry} (sorted)
+  json::Value globals_json() const;   ///< {name: value} (sorted)
+
   json::Value to_json() const;
   static Snapshot from_json(const json::Value& v);
+  /// Splits aggregate unit JSON into a (foreign-origin) snapshot.
+  static Snapshot from_units(const json::Value& database, const json::Value& files,
+                             const json::Value& globals);
 };
 
 /// Which state units a single execution modified.
@@ -45,7 +83,10 @@ struct StateDiff {
   }
 };
 
-/// Computes which units differ between two snapshots.
+/// Computes which units differ between two snapshots. Same-origin
+/// components short-circuit on stamp equality; everything else falls back
+/// to content comparison (files compare contents only — a same-content
+/// rewrite is not a change).
 StateDiff diff_snapshots(const Snapshot& before, const Snapshot& after);
 
 /// Extracts the user-global variables of an interpreter as a JSON object
@@ -56,21 +97,34 @@ json::Value capture_globals(minijs::Interpreter& interp);
 /// each variable's implicit set operation.
 void restore_globals(minijs::Interpreter& interp, const json::Value& globals);
 
+struct HarnessOptions {
+  /// Copy-on-write checkpointing. Off = serialize/restore everything on
+  /// every save/restore (the pre-optimization baseline, kept for
+  /// differential testing and A/B benchmarks).
+  bool cow = true;
+};
+
 class ProfilingHarness {
  public:
   /// Parses the server source and runs its init (top level). The post-init
   /// state is checkpointed as the canonical init snapshot.
   explicit ProfilingHarness(const std::string& server_source,
-                            minijs::InterpreterConfig config = minijs::InterpreterConfig());
+                            minijs::InterpreterConfig config = minijs::InterpreterConfig(),
+                            HarnessOptions options = HarnessOptions());
 
   minijs::Interpreter& interpreter() { return *interp_; }
   sqldb::Database& database() { return db_; }
   vfs::Vfs& filesystem() { return fs_; }
   const Snapshot& init_snapshot() const { return init_snapshot_; }
 
-  /// Current full state.
+  /// Current full state. Unchanged components share their JSON value with
+  /// the previous capture. Only interpreter-driven execution and this
+  /// harness's restore() may mutate state between captures; writing to the
+  /// interpreter's global scope behind the harness's back goes unseen
+  /// until the step counter next advances.
   Snapshot capture();
-  /// Restores a previously captured state.
+  /// Restores a previously captured state, skipping components whose
+  /// current stamp already matches.
   void restore(const Snapshot& snapshot);
   /// Restores the checkpointed init state (the `restore "init"` step).
   void restore_init() { restore(init_snapshot_); }
@@ -90,11 +144,33 @@ class ProfilingHarness {
   IsolatedResult invoke_isolated(const http::Route& route, const http::HttpRequest& request,
                                  RwCollector* collector = nullptr);
 
+  /// Checkpoint observability: when attached, capture() and restore()
+  /// record `snapshot.save.ms` / `snapshot.restore.ms` histograms. One
+  /// branch per call when detached (the default). The values are
+  /// wall-clock, so never attach the deterministic sim telemetry here —
+  /// this hook is for benches and profiling runs.
+  void set_telemetry(obs::Telemetry* telemetry) { telemetry_ = telemetry; }
+
  private:
+  /// Digest-stamped components of the current interpreter globals. Reuses
+  /// the cache wholesale while the interpreter step counter is unchanged,
+  /// and per-component when a global's digest is unchanged.
+  ComponentMap capture_global_components();
+
+  Snapshot capture_now();
+  void restore_now(const Snapshot& snapshot);
+
   sqldb::Database db_;
   vfs::Vfs fs_;
   std::unique_ptr<minijs::Interpreter> interp_;
   Snapshot init_snapshot_;
+  HarnessOptions options_;
+  std::uint64_t origin_id_ = 0;
+  obs::Telemetry* telemetry_ = nullptr;
+
+  ComponentMap global_cache_;      ///< last-known digests + serialized values
+  std::uint64_t cache_steps_ = 0;  ///< interp step count when cache was built
+  bool cache_valid_ = false;
 };
 
 }  // namespace edgstr::trace

@@ -1,0 +1,64 @@
+#include "util/intern.h"
+
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+namespace edgstr::util {
+
+namespace {
+
+struct InternTable {
+  // deque keeps element addresses stable as the table grows, so the
+  // string_view keys and the references handed out never dangle.
+  std::deque<std::string> strings;
+  std::unordered_map<std::string_view, Symbol> ids;
+  mutable std::shared_mutex mutex;
+
+  InternTable() { strings.emplace_back(); }  // slot 0 = kNoSymbol = ""
+};
+
+InternTable& table() {
+  static InternTable* t = new InternTable();  // leaked: symbols live forever
+  return *t;
+}
+
+}  // namespace
+
+Symbol intern(std::string_view name) {
+  if (name.empty()) return kNoSymbol;
+  InternTable& t = table();
+  {
+    std::shared_lock lock(t.mutex);
+    auto it = t.ids.find(name);
+    if (it != t.ids.end()) return it->second;
+  }
+  std::unique_lock lock(t.mutex);
+  auto it = t.ids.find(name);
+  if (it != t.ids.end()) return it->second;
+  const Symbol id = static_cast<Symbol>(t.strings.size());
+  t.strings.emplace_back(name);
+  t.ids.emplace(std::string_view(t.strings.back()), id);
+  return id;
+}
+
+const std::string& symbol_name(Symbol sym) {
+  InternTable& t = table();
+  std::shared_lock lock(t.mutex);
+  return t.strings[sym];
+}
+
+const std::string* symbol_cstr(Symbol sym) {
+  InternTable& t = table();
+  std::shared_lock lock(t.mutex);
+  return &t.strings[sym];
+}
+
+std::size_t symbol_count() {
+  InternTable& t = table();
+  std::shared_lock lock(t.mutex);
+  return t.strings.size() - 1;
+}
+
+}  // namespace edgstr::util

@@ -1,5 +1,7 @@
 #include "vfs/vfs.h"
 
+#include <iterator>
+#include <memory>
 #include <stdexcept>
 
 #include "util/strings.h"
@@ -33,6 +35,7 @@ void Vfs::write(const std::string& path, std::string contents) {
   FileEntry& entry = files_[path];
   entry.contents = std::move(contents);
   ++entry.version;
+  entry.epoch = ++epoch_counter_;
   track(FileAccess::Kind::kWrite, path);
 }
 
@@ -40,6 +43,7 @@ void Vfs::append(const std::string& path, const std::string& data) {
   FileEntry& entry = files_[path];
   entry.contents += data;
   ++entry.version;
+  entry.epoch = ++epoch_counter_;
   track(FileAccess::Kind::kAppend, path);
 }
 
@@ -98,14 +102,51 @@ void Vfs::restore(const json::Value& snap) {
   files_.clear();
   for (const auto& [path, entry] : snap.as_object()) {
     files_[path] = FileEntry{entry["contents"].as_string(),
-                             static_cast<std::uint64_t>(entry["version"].as_number())};
+                             static_cast<std::uint64_t>(entry["version"].as_number()),
+                             ++epoch_counter_};  // foreign content: stamp fresh
   }
 }
+
+std::vector<FileComponent> Vfs::component_snapshots() const {
+  std::vector<FileComponent> out;
+  out.reserve(files_.size());
+  for (const auto& [path, entry] : files_) {
+    auto it = snapshot_cache_.find(path);
+    if (it == snapshot_cache_.end() || it->second.epoch != entry.epoch) {
+      auto value = std::make_shared<const json::Value>(
+          json::Value::object({{"contents", entry.contents},
+                               {"version", static_cast<double>(entry.version)}}));
+      const std::uint64_t bytes = value->wire_size();
+      it = snapshot_cache_.insert_or_assign(path, CachedFile{entry.epoch, value, bytes}).first;
+    }
+    out.push_back(FileComponent{path, it->second.epoch, it->second.value, it->second.bytes});
+  }
+  for (auto it = snapshot_cache_.begin(); it != snapshot_cache_.end();) {
+    it = files_.count(it->first) ? std::next(it) : snapshot_cache_.erase(it);
+  }
+  return out;
+}
+
+std::uint64_t Vfs::entry_epoch(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second.epoch;
+}
+
+void Vfs::restore_file(const std::string& path, const json::Value& entry, std::uint64_t epoch) {
+  files_[path] = FileEntry{entry["contents"].as_string(),
+                           static_cast<std::uint64_t>(entry["version"].as_number()),
+                           epoch != 0 ? epoch : ++epoch_counter_};
+}
+
+bool Vfs::erase_file(const std::string& path) { return files_.erase(path) > 0; }
 
 void Vfs::copy_from(const Vfs& source, const std::set<std::string>& paths) {
   for (const std::string& path : paths) {
     auto it = source.files_.find(path);
-    if (it != source.files_.end()) files_[path] = it->second;
+    if (it == source.files_.end()) continue;
+    // Entries come from a different Vfs lineage: re-stamp from our counter
+    // so foreign epochs never alias local ones.
+    files_[path] = FileEntry{it->second.contents, it->second.version, ++epoch_counter_};
   }
 }
 

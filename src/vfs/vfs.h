@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -20,9 +21,22 @@
 namespace edgstr::vfs {
 
 /// One file: contents plus a version counter bumped on every write.
+/// `epoch` is the VFS-wide change stamp assigned at the last mutation:
+/// epoch equality implies content equality for entries sharing a Vfs
+/// lineage (the copy-on-write snapshot invariant).
 struct FileEntry {
   std::string contents;
   std::uint64_t version = 0;
+  std::uint64_t epoch = 0;
+};
+
+/// One file's serialized state plus its change stamp — what the
+/// copy-on-write checkpointing layer shares between snapshots.
+struct FileComponent {
+  std::string path;
+  std::uint64_t epoch = 0;
+  std::shared_ptr<const json::Value> value;  ///< {"contents":..., "version":...}
+  std::uint64_t bytes = 0;                   ///< cached wire size of `value`
 };
 
 /// Record of one file access observed during profiling.
@@ -66,6 +80,19 @@ class Vfs {
   json::Value snapshot() const;
   void restore(const json::Value& snap);
 
+  /// Copy-on-write snapshot surface. component_snapshots() serializes only
+  /// files whose epoch moved since the last call; untouched files return
+  /// the same shared JSON value (structural sharing across snapshots).
+  std::vector<FileComponent> component_snapshots() const;
+  /// Current change stamp of a file; 0 if absent.
+  std::uint64_t entry_epoch(const std::string& path) const;
+  /// Replaces (or creates) one file from a per-file snapshot entry. A
+  /// nonzero `epoch` reinstates the stamp the content carried when it was
+  /// captured from *this* VFS; 0 means foreign content and stamps fresh.
+  void restore_file(const std::string& path, const json::Value& entry, std::uint64_t epoch);
+  /// Removes a file without recording a tracked access (restore path).
+  bool erase_file(const std::string& path);
+
   /// Copies a subset of paths from another VFS (replica initialization —
   /// the paper's "duplicates the identified files by copying").
   void copy_from(const Vfs& source, const std::set<std::string>& paths);
@@ -73,9 +100,17 @@ class Vfs {
   bool operator==(const Vfs& other) const;
 
  private:
+  struct CachedFile {
+    std::uint64_t epoch = 0;
+    std::shared_ptr<const json::Value> value;
+    std::uint64_t bytes = 0;
+  };
+
   std::map<std::string, FileEntry> files_;
   bool tracking_ = false;
   std::vector<FileAccess> accesses_;
+  std::uint64_t epoch_counter_ = 0;  ///< monotonic; epoch equality => content equality
+  mutable std::map<std::string, CachedFile> snapshot_cache_;
 
   void track(FileAccess::Kind kind, const std::string& path);
 };

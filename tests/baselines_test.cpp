@@ -227,10 +227,9 @@ TEST(CrossIsaSyncTest, Arithmetic) {
 }
 
 TEST(CrossIsaSyncTest, RuntimeImageAddsToSnapshot) {
-  trace::Snapshot snap;
-  snap.database = json::Value::object({{"tables", json::Value::array({})}});
-  snap.files = json::Value::object({});
-  snap.globals = json::Value::object({});
+  const trace::Snapshot snap = trace::Snapshot::from_units(
+      json::Value::object({{"tables", json::Value::array({})}}), json::Value::object({}),
+      json::Value::object({}));
   const CrossIsaSync bare = CrossIsaSync::from_snapshot(snap);
   const CrossIsaSync with_image = CrossIsaSync::from_snapshot(snap, 1 << 20);
   EXPECT_EQ(with_image.state_bytes(), bare.state_bytes() + (1 << 20));

@@ -22,6 +22,7 @@
 #include "edgstr/pipeline.h"
 #include "json/parse.h"
 #include "json/value.h"
+#include "trace/state_capture.h"
 
 namespace edgstr {
 namespace {
@@ -94,6 +95,39 @@ void measure_latencies(double* edge_p95_s, double* cloud_p95_s) {
   *cloud_p95_s = percentile_95(cloud);
 }
 
+/// Deterministic execution-engine counters: the sensor-hub workload is
+/// served state-isolated through a ProfilingHarness, and the gate keys on
+/// interpreter step counts, resolver coverage (slot vs named reads), and
+/// checkpoint sharing (snapshot components still pointer-shared with the
+/// init snapshot after a full isolated sweep). All machine-independent —
+/// a resolver coverage loss or a spurious-dirty CoW bug moves them.
+void measure_interp_counters(json::Object* measured) {
+  const apps::SubjectApp& app = apps::sensor_hub();
+  trace::ProfilingHarness harness(app.server_source);
+  for (const http::HttpRequest& req : app.workload) {
+    const http::Route route{req.verb, req.path};
+    if (!harness.interpreter().has_route(route)) continue;
+    harness.invoke_isolated(route, req);
+  }
+  const minijs::Interpreter& interp = harness.interpreter();
+  measured->set("interp_scaled.steps_total", json::Value(double(interp.steps())));
+  measured->set("interp_scaled.slot_reads", json::Value(double(interp.slot_reads())));
+  measured->set("interp_scaled.named_reads", json::Value(double(interp.named_reads())));
+
+  const trace::Snapshot now = harness.capture();
+  std::size_t shared = 0;
+  const auto count_shared = [&shared](const trace::ComponentMap& a, const trace::ComponentMap& b) {
+    for (const auto& [key, comp] : a) {
+      const auto it = b.find(key);
+      if (it != b.end() && it->second.value == comp.value) ++shared;
+    }
+  };
+  count_shared(harness.init_snapshot().tables, now.tables);
+  count_shared(harness.init_snapshot().files, now.files);
+  count_shared(harness.init_snapshot().globals, now.globals);
+  measured->set("snapshot_scaled.shared_components", json::Value(double(shared)));
+}
+
 TEST(BenchRegressionTest, SyncBytesAndLatencyStayNearBaseline) {
   const core::TransformResult& result = transformed_sensor_hub();
   ASSERT_TRUE(result.ok) << result.error;
@@ -104,6 +138,7 @@ TEST(BenchRegressionTest, SyncBytesAndLatencyStayNearBaseline) {
   measure_latencies(&edge_p95, &cloud_p95);
   measured.set("fig7_scaled.edge_p95_latency_s", json::Value(edge_p95));
   measured.set("fig7_scaled.cloud_p95_latency_s", json::Value(cloud_p95));
+  measure_interp_counters(&measured);
 
   const std::string path = std::string(EDGSTR_TESTS_DIR) + "/golden/bench_baseline.json";
   if (std::getenv("EDGSTR_UPDATE_BENCH_BASELINE")) {

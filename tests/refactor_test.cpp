@@ -259,8 +259,8 @@ TEST_F(DependenceFixture, GeneratedReplicaParsesAndServes) {
   // The generated source is valid MiniJS that registers the route and
   // produces the original result once state is restored.
   trace::ProfilingHarness edge(replica.source);
-  trace::restore_globals(edge.interpreter(), harness.init_snapshot().globals);
-  edge.database().restore(harness.init_snapshot().database);
+  trace::restore_globals(edge.interpreter(), harness.init_snapshot().globals_json());
+  edge.database().restore(harness.init_snapshot().database_json());
   http::HttpRequest req;
   req.verb = http::Verb::kPost;
   req.path = "/calc";

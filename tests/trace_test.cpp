@@ -59,8 +59,8 @@ TEST(RwCollectorTest, CapturesEventsAndFlows) {
   // amount written (declare), then read when computing counter.
   bool amount_written = false, amount_read = false;
   for (const RwEvent& e : collector.events()) {
-    if (e.name == "amount" && e.kind == RwEvent::Kind::kWrite) amount_written = true;
-    if (e.name == "amount" && e.kind == RwEvent::Kind::kRead) amount_read = true;
+    if (e.name() == "amount" && e.kind == RwEvent::Kind::kWrite) amount_written = true;
+    if (e.name() == "amount" && e.kind == RwEvent::Kind::kRead) amount_read = true;
   }
   EXPECT_TRUE(amount_written);
   EXPECT_TRUE(amount_read);
@@ -68,7 +68,7 @@ TEST(RwCollectorTest, CapturesEventsAndFlows) {
   // Dynamic flow edge: reader of 'amount' linked to its writer statement.
   bool flow_found = false;
   for (const FlowEdge& edge : collector.flow_edges()) {
-    if (edge.variable == "amount") flow_found = true;
+    if (edge.variable() == "amount") flow_found = true;
   }
   EXPECT_TRUE(flow_found);
   EXPECT_FALSE(collector.executed_statements().empty());
@@ -94,7 +94,7 @@ TEST(RwCollectorTest, ClassifiesFileInvocations) {
 
 TEST(RwCollectorTest, ClearResets) {
   RwCollector collector;
-  collector.on_write(1, "x", minijs::JsValue(1.0));
+  collector.on_write(1, util::intern("x"), minijs::JsValue(1.0));
   collector.clear();
   EXPECT_TRUE(collector.events().empty());
   EXPECT_TRUE(collector.flow_edges().empty());
@@ -103,15 +103,19 @@ TEST(RwCollectorTest, ClearResets) {
 TEST(StateCaptureTest, SnapshotCoversAllThreeUnits) {
   ProfilingHarness harness(kStatefulServer);
   const Snapshot& snap = harness.init_snapshot();
-  EXPECT_TRUE(snap.globals.find("counter"));
-  EXPECT_TRUE(snap.globals.find("label"));
-  EXPECT_FALSE(snap.globals.find("app"));  // builtins excluded
-  EXPECT_EQ(snap.database["tables"].as_array().size(), 1u);
-  EXPECT_TRUE(snap.files.find("models/m.bin"));
+  EXPECT_TRUE(snap.globals.count("counter"));
+  EXPECT_TRUE(snap.globals.count("label"));
+  EXPECT_FALSE(snap.globals.count("app"));  // builtins excluded
+  EXPECT_EQ(snap.tables.size(), 1u);
+  EXPECT_TRUE(snap.files.count("models/m.bin"));
   EXPECT_GT(snap.size_bytes(), 0u);
+  // size_bytes arithmetic must match the serializer exactly.
+  EXPECT_EQ(snap.size_bytes(), snap.to_json().wire_size());
   // Round trip through JSON.
   const Snapshot back = Snapshot::from_json(snap.to_json());
-  EXPECT_EQ(back.globals, snap.globals);
+  EXPECT_EQ(back.globals_json(), snap.globals_json());
+  EXPECT_EQ(back.to_json(), snap.to_json());
+  EXPECT_EQ(back.size_bytes(), snap.size_bytes());
 }
 
 TEST(StateCaptureTest, GlobalsExcludeFunctions) {
@@ -134,8 +138,9 @@ TEST(StateCaptureTest, IsolationRestoresInitAroundExecution) {
 
   // After isolation, live state equals init state.
   const Snapshot now = harness.capture();
-  EXPECT_EQ(now.globals, harness.init_snapshot().globals);
-  EXPECT_EQ(now.database, harness.init_snapshot().database);
+  EXPECT_EQ(now.globals_json(), harness.init_snapshot().globals_json());
+  EXPECT_EQ(now.database_json(), harness.init_snapshot().database_json());
+  EXPECT_TRUE(diff_snapshots(harness.init_snapshot(), now).empty());
 }
 
 TEST(StateCaptureTest, DiffDetectsEachUnit) {

@@ -1,7 +1,9 @@
 // Shared helpers for the evaluation benchmarks (one binary per table/figure).
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 
@@ -73,6 +75,28 @@ double timed_request(netsim::SimClock& clock, Path& path, const http::HttpReques
   while (!done && clock.step()) {
   }
   return latency;
+}
+
+/// Parses and strips `--lanes N` / `--lanes=N` from argv (stripping keeps
+/// the flag list clean for a later benchmark::Initialize). Returns `def`
+/// when absent; values clamp to >= 1.
+inline std::size_t parse_lanes_arg(int* argc, char** argv, std::size_t def = 1) {
+  std::size_t lanes = def;
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--lanes" && i + 1 < *argc) {
+      lanes = std::max<std::size_t>(1, std::strtoul(argv[++i], nullptr, 10));
+      continue;
+    }
+    if (arg.rfind("--lanes=", 0) == 0) {
+      lanes = std::max<std::size_t>(1, std::strtoul(arg.c_str() + 8, nullptr, 10));
+      continue;
+    }
+    argv[w++] = argv[i];
+  }
+  *argc = w;
+  return lanes;
 }
 
 inline void print_rule(char c = '-', int width = 78) {

@@ -1,17 +1,23 @@
 // sim_explore — seed-driven simulation explorer for the replication plane.
 //
-//   sim_explore --seed N [--rounds R] [--trace] [--optimistic-acks]
-//               [--no-digest] [--trace-out FILE] [--metrics-out FILE]
+//   sim_explore --seed N [--rounds R] [--lanes L] [--trace]
+//               [--optimistic-acks] [--no-digest] [--trace-out FILE]
+//               [--metrics-out FILE]
 //       Replays one schedule and prints its one-line report; --trace dumps
 //       the full event trace (what you diff when chasing a failing seed).
 //       --trace-out writes the run's span log as Chrome-trace JSON (open in
 //       chrome://tracing or ui.perfetto.dev); --metrics-out writes the
 //       metrics snapshot (counters + latency/staleness histograms) as JSON.
-//   sim_explore --sweep N [--start S] [--rounds R] [--optimistic-acks]
-//               [--no-digest]
+//   sim_explore --sweep N [--start S] [--rounds R] [--lanes L]
+//               [--optimistic-acks] [--no-digest]
 //       Runs N consecutive seeds starting at S (default 1) and prints a
 //       report per failure. Exits nonzero when any seed fails, with the
 //       failing seeds listed last so CI logs surface them.
+//
+// --lanes L (default 1) runs the deployment's sharded runtime with L
+// worker lanes. Traces and state digests are lane-count-invariant, so a
+// sweep at --lanes 4 checks the exact same invariants as the serial sweep
+// — plus the thread-safety of the parallel sections under TSan.
 //
 // A failing seed is a complete reproduction: `sim_explore --seed N --trace`
 // re-runs the identical topology, faults, crashes, and traffic — and the
@@ -27,10 +33,11 @@
 namespace {
 
 int usage() {
-  std::cerr << "usage: sim_explore --seed N [--rounds R] [--trace] [--optimistic-acks]\n"
-            << "                   [--no-digest] [--trace-out FILE] [--metrics-out FILE]\n"
-            << "       sim_explore --sweep N [--start S] [--rounds R] [--optimistic-acks]\n"
-            << "                   [--no-digest]\n";
+  std::cerr << "usage: sim_explore --seed N [--rounds R] [--lanes L] [--trace]\n"
+            << "                   [--optimistic-acks] [--no-digest]\n"
+            << "                   [--trace-out FILE] [--metrics-out FILE]\n"
+            << "       sim_explore --sweep N [--start S] [--rounds R] [--lanes L]\n"
+            << "                   [--optimistic-acks] [--no-digest]\n";
   return 2;
 }
 
@@ -72,6 +79,10 @@ int main(int argc, char** argv) {
       std::uint64_t rounds = 0;
       if (!parse_u64(args[++i], &rounds) || rounds == 0) return usage();
       config.rounds = static_cast<std::size_t>(rounds);
+    } else if (arg == "--lanes" && has_value) {
+      std::uint64_t lanes = 0;
+      if (!parse_u64(args[++i], &lanes) || lanes == 0) return usage();
+      config.lanes = static_cast<std::size_t>(lanes);
     } else if (arg == "--trace") {
       trace = true;
     } else if (arg == "--trace-out" && has_value) {

@@ -65,6 +65,13 @@ ThreeTierDeployment::ThreeTierDeployment(const TransformResult& transform,
   sync_->set_cloud(cloud_state_);
   sync_->graph().set_digest_sync(config.digest_sync);
   sync_->graph().set_telemetry(&telemetry_);
+  if (config.lanes > 1) {
+    // Multi-lane deployments shard the replication graph's per-endpoint
+    // work. Single-lane deployments skip the scheduler entirely — the
+    // graph takes the unchanged serial path and no lane metrics appear.
+    lane_scheduler_ = std::make_unique<runtime::LaneScheduler>(config.lanes, config.seed);
+    sync_->graph().set_lane_scheduler(lane_scheduler_.get());
+  }
   // A rejoined replica goes back into service; regional aggregators have
   // no serving node, so only matching edge hosts flip.
   sync_->graph().set_rejoin_listener([this](const std::string& id) {
@@ -189,6 +196,15 @@ bool ThreeTierDeployment::edge_serving(std::size_t i) {
   const std::string host = edge_host(i);
   return sync_->graph().endpoint_up(host) && !sync_->graph().recovering(host) &&
          edges_.at(i)->power_state() == runtime::PowerState::kActive;
+}
+
+json::Value ThreeTierDeployment::metrics_snapshot() const {
+  if (!lane_scheduler_) {
+    return obs::metrics_json({&telemetry_.metrics(), &sync_->graph().metrics()});
+  }
+  util::MetricsRegistry lanes;
+  lane_scheduler_->export_metrics(lanes);
+  return obs::metrics_json({&telemetry_.metrics(), &sync_->graph().metrics(), &lanes});
 }
 
 bool ThreeTierDeployment::converged() {

@@ -21,6 +21,7 @@
 #include "edgstr/pipeline.h"
 #include "obs/export.h"
 #include "obs/telemetry.h"
+#include "runtime/lane_scheduler.h"
 #include "runtime/proxy.h"
 #include "runtime/sync_engine.h"
 
@@ -46,6 +47,13 @@ struct DeploymentConfig {
   /// Two-phase digest anti-entropy (default); false = the PR 1 push
   /// protocol, kept as an A/B baseline for the sync-byte benches.
   bool digest_sync = true;
+  /// Worker lanes for the sharded runtime. 1 (default) is the plain serial
+  /// path — no scheduler is even constructed, so single-lane deployments
+  /// are byte-identical to pre-sharding builds. With more lanes the
+  /// replication graph fans its per-endpoint work out across them (see
+  /// ReplicationGraph::set_lane_scheduler) and the metrics snapshot gains
+  /// the `runtime.lanes.*` occupancy series.
+  std::size_t lanes = 1;
 };
 
 /// The original client-cloud deployment (baseline in every benchmark).
@@ -102,10 +110,14 @@ class ThreeTierDeployment {
   /// Chrome-trace JSON of every span recorded so far (Perfetto-loadable).
   json::Value chrome_trace() const { return obs::chrome_trace_json(telemetry_.tracer()); }
   /// Merged metrics snapshot: request-path (`runtime.*`) histograms from
-  /// the telemetry registry plus the replication graph's `sync.*` series.
-  json::Value metrics_snapshot() const {
-    return obs::metrics_json({&telemetry_.metrics(), &sync_->graph().metrics()});
-  }
+  /// the telemetry registry plus the replication graph's `sync.*` series;
+  /// multi-lane deployments add the `runtime.lanes.*` occupancy series
+  /// (single-lane snapshots carry no lane keys at all, keeping them
+  /// byte-identical to pre-sharding builds).
+  json::Value metrics_snapshot() const;
+
+  /// The deployment's lane scheduler; nullptr when config.lanes <= 1.
+  runtime::LaneScheduler* lane_scheduler() { return lane_scheduler_.get(); }
 
   /// Cluster pieces (Figure 9 benches).
   cluster::LoadBalancer& balancer() { return *balancer_; }
@@ -137,6 +149,11 @@ class ThreeTierDeployment {
  private:
   netsim::Network network_;
   obs::Telemetry telemetry_;
+  /// Present only when config.lanes > 1; attached to the replication
+  /// graph. Declared before sync_ so workers outlive nothing they touch
+  /// and are joined after the graph stops using them (reverse destruction
+  /// order: sync_ first, scheduler last among the two).
+  std::unique_ptr<runtime::LaneScheduler> lane_scheduler_;
   std::unique_ptr<runtime::Node> cloud_;
   std::vector<std::unique_ptr<runtime::Node>> edges_;
   std::shared_ptr<runtime::ReplicaState> cloud_state_;

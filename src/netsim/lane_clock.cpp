@@ -1,0 +1,26 @@
+#include "netsim/lane_clock.h"
+
+#include <algorithm>
+
+namespace edgstr::netsim {
+
+SimTime LaneClockGroup::merge_barrier() {
+  SimTime lo = now_.front(), hi = now_.front();
+  for (const SimTime t : now_) {
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  for (SimTime& t : now_) t = hi;
+  last_skew_ = hi - lo;
+  total_skew_ += last_skew_;
+  ++barriers_;
+  return hi;
+}
+
+SimTime LaneClockGroup::merged_now() const {
+  SimTime hi = now_.front();
+  for (const SimTime t : now_) hi = std::max(hi, t);
+  return hi;
+}
+
+}  // namespace edgstr::netsim

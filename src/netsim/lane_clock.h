@@ -1,0 +1,64 @@
+// Per-lane virtual clocks with barrier merge.
+//
+// The single SimClock serializes all simulated work on one timeline. The
+// sharded runtime instead gives every worker lane its own virtual clock:
+// a lane advances its clock by the simulated compute cost of the work it
+// executes, independently of every other lane, and the timelines are
+// reconciled only at lane barriers — every lane jumps forward to the
+// maximum across lanes (a lane that finished early "waits", in simulated
+// time, for the stragglers). That is exactly the BSP cost model: the
+// simulated duration of a parallel phase is the busiest lane's cost, so
+// simulated throughput scales with lane count to the extent the work is
+// balanced — and the skew recorded at each barrier is the imbalance
+// signal (`runtime.lanes.barrier_skew`).
+//
+// Thread-safety contract: lane i's clock is advanced only from lane i's
+// tasks; merge_barrier() runs on the driver thread after a scheduler
+// barrier (which establishes the happens-before). No locks needed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netsim/clock.h"
+
+namespace edgstr::netsim {
+
+class LaneClockGroup {
+ public:
+  explicit LaneClockGroup(std::size_t lanes, SimTime start = 0)
+      : now_(lanes == 0 ? 1 : lanes, start) {}
+
+  std::size_t lanes() const { return now_.size(); }
+
+  SimTime now(std::size_t lane) const { return now_[lane]; }
+
+  /// Advances one lane's clock by `dt` simulated seconds (dt < 0 clamps
+  /// to 0). Call only from that lane's tasks (or the driver, inline mode).
+  void advance(std::size_t lane, SimTime dt) {
+    if (dt > 0) now_[lane] += dt;
+  }
+
+  /// Barrier merge: every lane jumps to the maximum lane time. Returns the
+  /// merged time and records the skew (max - min) the barrier absorbed.
+  SimTime merge_barrier();
+
+  /// Max across lanes without merging (cheap read between barriers is only
+  /// meaningful on the driver thread after a scheduler barrier).
+  SimTime merged_now() const;
+
+  /// Simulated time the last merge_barrier() absorbed (busiest minus
+  /// idlest lane) — the per-round imbalance cost.
+  SimTime last_barrier_skew() const { return last_skew_; }
+  /// Sum of skew over every barrier so far.
+  SimTime total_barrier_skew() const { return total_skew_; }
+  std::size_t barriers() const { return barriers_; }
+
+ private:
+  std::vector<SimTime> now_;
+  SimTime last_skew_ = 0;
+  SimTime total_skew_ = 0;
+  std::size_t barriers_ = 0;
+};
+
+}  // namespace edgstr::netsim

@@ -233,6 +233,17 @@ std::size_t ReplicaState::total_op_count() const {
   return total;
 }
 
+std::string ReplicaState::state_digest() const {
+  std::string joined;
+  for (const DocUnit& unit : units_) {
+    joined += unit.name;
+    joined += '=';
+    joined += unit.doc->state_digest();
+    joined += ';';
+  }
+  return joined;
+}
+
 bool ReplicaState::converged_with(const ReplicaState& other) const {
   if (units_.size() != other.units_.size()) return false;
   for (const DocUnit& unit : units_) {

@@ -102,6 +102,12 @@ class ReplicaState {
   /// per doc unit via state digests).
   bool converged_with(const ReplicaState& other) const;
 
+  /// Joined digest over every unit, in registration order, with unit names
+  /// baked in: two replicas with the same unit set are converged iff their
+  /// joined digests are equal. Lets a parallel convergence check compute
+  /// each replica's digest on its own lane and compare strings afterwards.
+  std::string state_digest() const;
+
   /// Registered units, in registration order.
   const std::vector<DocUnit>& docs() const { return units_; }
   /// Unit lookup by name; nullptr when absent.

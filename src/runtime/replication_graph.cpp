@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "runtime/lane_scheduler.h"
+
 namespace edgstr::runtime {
 
 ReplicaState& ReplicationGraph::add_endpoint(std::shared_ptr<ReplicaState> endpoint) {
@@ -340,9 +342,24 @@ void ReplicationGraph::tick_round() {
   // Round boundary for every link's AIMD budgets: sends still pending
   // past the loss horizon count as losses and shrink the next deltas.
   for (const GraphLink& link : links_) link.link->begin_round();
-  for (const auto& endpoint : endpoints_) {
-    const std::string& id = endpoint->id();
-    if (endpoint_up(id) && !recovering_.count(id)) endpoint->record_local();
+  if (scheduler_ && scheduler_->lanes() > 1) {
+    // Parallel harvest: each endpoint's record_local() touches only that
+    // endpoint's docs (telemetry tagging is off here — no request context
+    // is active during a round), so endpoints fan out to their lanes and
+    // rejoin before the first cross-endpoint exchange. Harvests commute,
+    // so the round's observable output is identical to the serial loop.
+    for (const auto& endpoint : endpoints_) {
+      const std::string& id = endpoint->id();
+      if (!endpoint_up(id) || recovering_.count(id)) continue;
+      ReplicaState* state = endpoint.get();
+      scheduler_->submit(scheduler_->lane_for(id), [state] { state->record_local(); });
+    }
+    scheduler_->barrier();
+  } else {
+    for (const auto& endpoint : endpoints_) {
+      const std::string& id = endpoint->id();
+      if (endpoint_up(id) && !recovering_.count(id)) endpoint->record_local();
+    }
   }
   for (const auto& endpoint : endpoints_) {
     if (endpoint_up(endpoint->id()) && recovering_.count(endpoint->id())) {
@@ -501,17 +518,38 @@ void ReplicationGraph::complete_rejoin(ReplicaState& joiner, bool delta) {
 }
 
 bool ReplicationGraph::converged() const {
-  const ReplicaState* reference = nullptr;
+  std::vector<const ReplicaState*> active;
+  active.reserve(endpoints_.size());
   for (const auto& endpoint : endpoints_) {
     const std::string& id = endpoint->id();
-    if (!endpoint_up(id) || recovering_.count(id)) continue;
-    if (!reference) {
-      reference = endpoint.get();
-    } else if (!endpoint->converged_with(*reference)) {
-      return false;
+    if (endpoint_up(id) && !recovering_.count(id)) active.push_back(endpoint.get());
+  }
+  if (active.size() < 2) return true;
+  if (scheduler_ && scheduler_->lanes() > 1) {
+    // Digest computation is the expensive part (it materializes each doc's
+    // observable state); fan it out — every endpoint digests on its own
+    // lane into its own slot — and compare strings after the barrier.
+    std::vector<std::string> digests(active.size());
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const ReplicaState* state = active[i];
+      std::string* slot = &digests[i];
+      scheduler_->submit(scheduler_->lane_for(state->id()),
+                         [state, slot] { *slot = state->state_digest(); });
     }
+    scheduler_->barrier();
+    for (std::size_t i = 1; i < digests.size(); ++i) {
+      if (digests[i] != digests.front()) return false;
+    }
+    return true;
+  }
+  for (std::size_t i = 1; i < active.size(); ++i) {
+    if (!active[i]->converged_with(*active.front())) return false;
   }
   return true;
+}
+
+void ReplicationGraph::quiesce_barrier() const {
+  if (scheduler_) scheduler_->barrier();
 }
 
 std::size_t ReplicationGraph::compact_logs() {

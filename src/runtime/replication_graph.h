@@ -44,6 +44,8 @@
 
 namespace edgstr::runtime {
 
+class LaneScheduler;
+
 /// How a link direction decides what to ship per round: kDigest asks
 /// first (two-phase, exact deltas), kPush guesses from the last ack.
 enum class SyncProtocol { kPush, kDigest };
@@ -166,6 +168,22 @@ class ReplicationGraph {
   /// once per settled round.
   void update_convergence_lag();
 
+  /// Attaches a lane scheduler (owned by the deployment). With more than
+  /// one lane, the embarrassingly-parallel parts of a round — the
+  /// per-endpoint record_local() harvest and the converged() digest
+  /// computation — fan out across lanes (each endpoint on its seed-derived
+  /// lane) and rejoin at a barrier before any cross-endpoint step. Link
+  /// exchanges stay on the serial netsim event loop, so deliveries,
+  /// traffic stats, and telemetry bytes are identical at any lane count.
+  /// Pass nullptr (or a 1-lane scheduler) for the plain serial path.
+  void set_lane_scheduler(LaneScheduler* scheduler) { scheduler_ = scheduler; }
+  LaneScheduler* lane_scheduler() const { return scheduler_; }
+
+  /// Barrier on the attached scheduler (no-op without one): callers that
+  /// interleave graph rounds with their own lane work quiesce here before
+  /// reading any endpoint state cross-lane (e.g. invariant checks).
+  void quiesce_barrier() const;
+
  private:
   struct GraphLink {
     std::string a;
@@ -192,6 +210,7 @@ class ReplicationGraph {
   std::map<std::string, std::uint64_t> incarnation_;
   bool optimistic_acks_ = false;
   std::function<void(const std::string&)> on_rejoined_;
+  LaneScheduler* scheduler_ = nullptr;  ///< not owned; nullptr = serial
 
   obs::Telemetry* telemetry_ = nullptr;
   obs::SpanId last_round_span_ = obs::kNoSpan;  ///< previous round, for duration

@@ -1,0 +1,220 @@
+#include "runtime/sharded_runtime.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edgstr::runtime {
+
+ShardedRuntime::ShardedRuntime(ShardedConfig config, ClientOpFn on_client_op)
+    : config_(config),
+      on_client_op_(std::move(on_client_op)),
+      scheduler_(config.lanes, config.seed),
+      clocks_(config.lanes == 0 ? 1 : config.lanes),
+      lane_actors_(scheduler_.lanes()) {
+  if (!on_client_op_) {
+    throw std::invalid_argument("ShardedRuntime: on_client_op is required");
+  }
+}
+
+ShardedRuntime::~ShardedRuntime() {
+  // The scheduler's destructor barriers and joins; every lane-side
+  // reference into actors_ is quiesced before the actors are torn down.
+  scheduler_.barrier();
+}
+
+ReplicaState& ShardedRuntime::add_replica(std::shared_ptr<ReplicaState> replica) {
+  if (!replica) throw std::invalid_argument("ShardedRuntime: null replica");
+  const std::string id = replica->id();
+  if (index_.count(id) != 0) {
+    throw std::invalid_argument("ShardedRuntime: duplicate replica " + id);
+  }
+  auto a = std::make_unique<Actor>(config_.inbox_capacity);
+  a->replica = std::move(replica);
+  a->lane = scheduler_.lane_for(id);
+  index_.emplace(id, actors_.size());
+  lane_actors_[a->lane].push_back(a.get());
+  actors_.push_back(std::move(a));
+  return *actors_.back()->replica;
+}
+
+void ShardedRuntime::add_uplink(const std::string& child, const std::string& parent) {
+  const auto child_it = index_.find(child);
+  const auto parent_it = index_.find(parent);
+  if (child_it == index_.end() || parent_it == index_.end()) {
+    throw std::invalid_argument("ShardedRuntime: uplink references unknown replica");
+  }
+  Actor& c = *actors_[child_it->second];
+  c.uplinks.push_back(parent_it->second);
+  c.sent.emplace_back();  // nothing shipped yet: first delta is the full log
+}
+
+ShardedRuntime::Actor& ShardedRuntime::actor(const std::string& id) const {
+  const auto it = index_.find(id);
+  if (it == index_.end()) throw std::invalid_argument("ShardedRuntime: unknown replica " + id);
+  return *actors_[it->second];
+}
+
+std::size_t ShardedRuntime::lane_of(const std::string& id) const { return actor(id).lane; }
+
+ReplicaState& ShardedRuntime::replica(const std::string& id) const { return *actor(id).replica; }
+
+void ShardedRuntime::post_client_ops(const std::string& id, std::vector<ClientOp> ops) {
+  if (ops.empty()) return;
+  Actor& a = actor(id);
+  Envelope env;
+  env.kind = Envelope::Kind::kClient;
+  env.ops = std::move(ops);
+  post_envelope(a, std::move(env));
+}
+
+void ShardedRuntime::post_envelope(Actor& a, Envelope env) {
+  if (a.inbox.size() >= a.inbox.capacity()) {
+    // Bounded-queue backpressure. The driver is the only producer, so the
+    // full/not-full decision is race-free here (no lane task is draining
+    // this inbox between barriers). Schedule a relief drain on the
+    // destination lane and wait it out — the lane workers are persistent,
+    // so the drain always runs and the subsequent push cannot deadlock.
+    // Relief count and queue peaks stay deterministic because the barrier
+    // completes before the driver looks at any queue again.
+    scheduler_.submit(a.lane, [this, &a] { drain_actor(a); });
+    scheduler_.barrier();
+  }
+  a.inbox.push(std::move(env));
+}
+
+void ShardedRuntime::drain_actor(Actor& a) {
+  Envelope env;
+  double cost = 0;
+  while (a.inbox.try_pop(&env)) {
+    if (env.kind == Envelope::Kind::kClient) {
+      for (const ClientOp& op : env.ops) on_client_op_(*a.replica, op);
+      a.replica->record_local();
+      a.client_ops += env.ops.size();
+      cost += config_.client_op_cost_s * double(env.ops.size());
+    } else {
+      // Work is proportional to ops carried, applied or not (duplicates
+      // still have to be decoded and version-checked).
+      const std::size_t carried = env.sync.op_count();
+      a.applied_ops += a.replica->apply_message(env.sync);
+      cost += config_.apply_op_cost_s * double(carried);
+    }
+    env = Envelope{};  // drop payloads before the next pop
+  }
+  if (cost > 0) {
+    scheduler_.note_busy(a.lane, cost);
+    clocks_.advance(a.lane, cost);
+  }
+}
+
+void ShardedRuntime::collect_deltas(Actor& a) {
+  if (a.uplinks.empty()) return;
+  double cost = 0;
+  for (std::size_t i = 0; i < a.uplinks.size(); ++i) {
+    crdt::SyncMessage msg = a.replica->collect_changes(a.sent[i]);
+    const std::size_t fresh = msg.op_count();
+    if (fresh == 0) continue;
+    // In-process delivery is reliable, so what we ship is what the parent
+    // has: the message's own versions become the next resend floor.
+    a.sent[i] = msg.versions;
+    a.shipped_ops += fresh;
+    cost += config_.ship_op_cost_s * double(fresh);
+    a.outbox.emplace_back(a.uplinks[i], std::move(msg));
+  }
+  if (cost > 0) {
+    scheduler_.note_busy(a.lane, cost);
+    clocks_.advance(a.lane, cost);
+  }
+}
+
+RoundStats ShardedRuntime::run_round() {
+  RoundStats stats;
+  const std::size_t lane_count = scheduler_.lanes();
+  // Lanes that may have pending inbox work or fresh local ops. Every lane
+  // is dirty on the first sub-round (client batches were posted since the
+  // last round); afterwards only routed-to lanes are.
+  std::vector<char> dirty(lane_count, 1);
+  bool pending = !actors_.empty();
+  while (pending) {
+    for (std::size_t lane = 0; lane < lane_count; ++lane) {
+      if (!dirty[lane] || lane_actors_[lane].empty()) continue;
+      scheduler_.submit(lane, [this, lane] {
+        for (Actor* a : lane_actors_[lane]) {
+          drain_actor(*a);
+          collect_deltas(*a);
+        }
+      });
+    }
+    scheduler_.barrier();
+    // BSP accounting: the phase costs what the busiest lane spent, plus a
+    // flat synchronization charge per lane.
+    for (std::size_t lane = 0; lane < lane_count; ++lane) {
+      clocks_.advance(lane, config_.barrier_cost_s);
+    }
+    clocks_.merge_barrier();
+    ++stats.sub_rounds;
+
+    // Route: the driver folds every lane's outbox into destination inboxes,
+    // walking lanes in the seed-derived merge order (and actors in
+    // registration order within a lane) so cross-lane delivery order is a
+    // pure function of the seed.
+    std::fill(dirty.begin(), dirty.end(), 0);
+    std::size_t routed = 0;
+    for (const std::size_t lane : scheduler_.merge_order()) {
+      for (Actor* a : lane_actors_[lane]) {
+        for (auto& out : a->outbox) {
+          Actor& dest = *actors_[out.first];
+          Envelope env;
+          env.kind = Envelope::Kind::kSync;
+          env.sync = std::move(out.second);
+          post_envelope(dest, std::move(env));
+          dirty[dest.lane] = 1;
+          ++routed;
+        }
+        a->outbox.clear();
+      }
+    }
+    stats.messages_routed += routed;
+    pending = routed > 0;
+  }
+  ++rounds_;
+  messages_total_ += stats.messages_routed;
+  stats.sim_now = clocks_.merged_now();
+  return stats;
+}
+
+std::uint64_t ShardedRuntime::client_ops_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& a : actors_) total += a->client_ops;
+  return total;
+}
+
+std::uint64_t ShardedRuntime::sync_ops_applied() const {
+  std::uint64_t total = 0;
+  for (const auto& a : actors_) total += a->applied_ops;
+  return total;
+}
+
+void ShardedRuntime::export_metrics(util::MetricsRegistry& out) const {
+  scheduler_.export_metrics(out);
+  const std::size_t lane_count = scheduler_.lanes();
+  for (std::size_t lane = 0; lane < lane_count; ++lane) {
+    std::size_t inbox_peak = 0;
+    for (const Actor* a : lane_actors_[lane]) {
+      inbox_peak = std::max(inbox_peak, a->inbox.high_water());
+    }
+    out.set("runtime.lanes." + std::to_string(lane) + ".inbox_peak", double(inbox_peak));
+  }
+  out.set("runtime.lanes.barriers", double(clocks_.barriers()));
+  out.set("runtime.lanes.barrier_skew_s", clocks_.total_barrier_skew());
+  std::uint64_t shipped = 0;
+  for (const auto& a : actors_) shipped += a->shipped_ops;
+  out.set("runtime.sharded.replicas", double(actors_.size()));
+  out.set("runtime.sharded.rounds", double(rounds_));
+  out.set("runtime.sharded.messages", double(messages_total_));
+  out.set("runtime.sharded.client_ops", double(client_ops_processed()));
+  out.set("runtime.sharded.applied_ops", double(sync_ops_applied()));
+  out.set("runtime.sharded.shipped_ops", double(shipped));
+  out.set("runtime.sharded.sim_s", clocks_.merged_now());
+}
+
+}  // namespace edgstr::runtime

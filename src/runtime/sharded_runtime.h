@@ -1,0 +1,181 @@
+// ShardedRuntime: replicas as per-lane actors behind bounded mailboxes.
+//
+// The ReplicationGraph executes a sync round as direct synchronous calls on
+// one thread, which caps simulations at toy edge counts. The sharded
+// runtime is the scale path: every replica becomes an *actor* pinned to a
+// worker lane (seed-derived, run-constant assignment via LaneScheduler),
+// receiving client ops and sync deltas through a bounded Mailbox instead
+// of direct calls. Execution is bulk-synchronous:
+//
+//   phase    every lane drains its actors' inboxes in FIFO order —
+//            client batches execute against the replica's live service
+//            state and are harvested into CRDT ops; sync messages are
+//            CRDT-applied. Fresh deltas for each actor's uplinks are
+//            collected into a lane-local outbox. Lanes run concurrently
+//            and touch only their own actors and scratch.
+//   barrier  LaneScheduler::barrier() + LaneClockGroup::merge_barrier():
+//            every lane's virtual clock jumps to the busiest lane's time.
+//   route    the driver thread moves outbox messages into destination
+//            inboxes, walking lanes in the scheduler's seed-derived merge
+//            order. A full inbox back-pressures the driver (it schedules a
+//            relief drain on the destination lane and yields until space
+//            opens — bounded queues never drop or deadlock).
+//
+// Sub-rounds repeat until no message is in flight, so one run_round() call
+// pipelines deltas all the way up a hierarchy (edge -> regional -> cloud).
+//
+// Determinism: lane assignment and merge order are pure functions of the
+// seed; per-actor processing is FIFO; lanes share no mid-phase state; and
+// all cross-lane effects land at barriers in merge order. Same seed + same
+// lane count => byte-identical state, counters, and metrics. Same seed +
+// *different* lane count => identical converged CRDT state (ops commute
+// across actors; per-doc order is preserved by FIFO inboxes + log-order
+// deltas), with only the lane-occupancy metrics differing. lanes == 1 runs
+// inline on the driver thread — the serial path, unchanged.
+//
+// Concurrent CRDT apply preserves per-doc ordering structurally: a doc
+// lives in exactly one replica, a replica lives on exactly one lane, and
+// that lane processes the replica's messages in arrival order; deltas are
+// collected in op-log order, so per-origin sequences stay gap-free.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netsim/lane_clock.h"
+#include "runtime/lane_scheduler.h"
+#include "runtime/mailbox.h"
+#include "runtime/replica_state.h"
+
+namespace edgstr::runtime {
+
+/// One client operation addressed to a replica. The runtime is agnostic to
+/// what an op *means* — the owner's ClientOpFn executes it against the
+/// replica's service state; `user` and `value` are its payload.
+struct ClientOp {
+  std::uint64_t user = 0;
+  double value = 0;
+};
+
+struct ShardedConfig {
+  std::size_t lanes = 1;
+  std::uint64_t seed = 1;
+  /// Bounded inbox depth per actor (backpressure threshold).
+  std::size_t inbox_capacity = 4096;
+
+  // Deterministic simulated compute costs, in seconds per op. The ratios
+  // mirror measured magnitudes on the real code paths: executing a client
+  // write (SQL insert + CRDT harvest) is roughly an order of magnitude
+  // heavier than blind-applying an already-materialized CRDT op.
+  double client_op_cost_s = 4e-6;  ///< execute + harvest at the serving replica
+  double apply_op_cost_s = 5e-7;   ///< remote CRDT apply, per op
+  double ship_op_cost_s = 2e-7;    ///< delta collection / serialization, per op
+  double barrier_cost_s = 5e-6;    ///< per-lane synchronization cost per barrier
+};
+
+/// Outcome of one run_round() (sub-rounds included).
+struct RoundStats {
+  std::size_t sub_rounds = 0;
+  std::size_t messages_routed = 0;
+  netsim::SimTime sim_now = 0;  ///< merged virtual time after the round
+};
+
+class ShardedRuntime {
+ public:
+  /// `on_client_op` executes one client op against a replica's live
+  /// service state (lane-side: it must touch only that replica). The
+  /// runtime harvests CRDT ops right after each batch.
+  using ClientOpFn = std::function<void(ReplicaState&, const ClientOp&)>;
+
+  ShardedRuntime(ShardedConfig config, ClientOpFn on_client_op);
+  ~ShardedRuntime();
+
+  ShardedRuntime(const ShardedRuntime&) = delete;
+  ShardedRuntime& operator=(const ShardedRuntime&) = delete;
+
+  /// Registers a replica as an actor; its lane is fixed at registration.
+  ReplicaState& add_replica(std::shared_ptr<ReplicaState> replica);
+
+  /// Directed replication edge: `child`'s fresh ops flow to `parent` every
+  /// round (the aggregation direction of a hierarchy). Both must be
+  /// registered.
+  void add_uplink(const std::string& child, const std::string& parent);
+
+  std::size_t lane_of(const std::string& id) const;
+  std::size_t replica_count() const { return actors_.size(); }
+  ReplicaState& replica(const std::string& id) const;
+
+  /// Enqueues a batch of client ops for a replica (driver thread). A full
+  /// inbox back-pressures: a relief drain is scheduled on the actor's lane
+  /// and the call blocks until space opens.
+  void post_client_ops(const std::string& id, std::vector<ClientOp> ops);
+
+  /// One bulk-synchronous round: process + collect, barrier, route —
+  /// repeated until no message is in flight. On return every inbox and
+  /// outbox is empty (global quiesce) and all lane clocks are merged.
+  RoundStats run_round();
+
+  netsim::SimTime sim_now() const { return clocks_.merged_now(); }
+  const netsim::LaneClockGroup& clocks() const { return clocks_; }
+  const LaneScheduler& scheduler() const { return scheduler_; }
+
+  std::uint64_t client_ops_processed() const;
+  std::uint64_t sync_ops_applied() const;
+
+  /// Lane occupancy + runtime totals under `runtime.lanes.*` and
+  /// `runtime.sharded.*` (utilization, queue peaks, barrier skew, op
+  /// counts) — the lane-imbalance view the benches export.
+  void export_metrics(util::MetricsRegistry& out) const;
+
+ private:
+  struct Envelope {
+    enum class Kind { kClient, kSync };
+    Kind kind = Kind::kClient;
+    std::vector<ClientOp> ops;  ///< kClient
+    crdt::SyncMessage sync;     ///< kSync
+  };
+
+  struct Actor {
+    explicit Actor(std::size_t inbox_capacity) : inbox(inbox_capacity) {}
+    std::shared_ptr<ReplicaState> replica;
+    std::size_t lane = 0;
+    Mailbox<Envelope> inbox;
+    std::vector<std::size_t> uplinks;  ///< parent actor indices
+    /// Versions already shipped per uplink — the exact-resend floor
+    /// (deliveries are reliable in-process, so no ack round-trip needed).
+    std::vector<crdt::DocVersions> sent;
+    /// Lane-local staging for outgoing deltas; the driver empties it at
+    /// the route step. (pair: parent actor index, delta)
+    std::vector<std::pair<std::size_t, crdt::SyncMessage>> outbox;
+    // Lane-side counters; driver reads only after a barrier.
+    std::uint64_t client_ops = 0;
+    std::uint64_t applied_ops = 0;
+    std::uint64_t shipped_ops = 0;
+  };
+
+  Actor& actor(const std::string& id) const;
+  /// Lane-side: FIFO-drain an actor's inbox (execute + harvest client
+  /// batches, apply sync messages), charging the lane clock.
+  void drain_actor(Actor& a);
+  /// Lane-side: stage fresh deltas for every uplink into the outbox.
+  void collect_deltas(Actor& a);
+  /// Driver-side: deliver with backpressure (relief drain on full).
+  void post_envelope(Actor& a, Envelope env);
+
+  ShardedConfig config_;
+  ClientOpFn on_client_op_;
+  LaneScheduler scheduler_;
+  netsim::LaneClockGroup clocks_;
+  std::vector<std::unique_ptr<Actor>> actors_;          ///< registration order
+  std::map<std::string, std::size_t> index_;            ///< id -> actor index
+  std::vector<std::vector<Actor*>> lane_actors_;        ///< per lane, registration order
+  std::uint64_t rounds_ = 0;
+  std::uint64_t messages_total_ = 0;
+};
+
+}  // namespace edgstr::runtime

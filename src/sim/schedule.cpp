@@ -97,6 +97,7 @@ ScheduleResult run_schedule(const ScheduleConfig& config) {
   dep.start_sync = false;  // the schedule drives sync rounds explicitly
   dep.seed = rng.next_u64();
   dep.digest_sync = config.digest_sync;
+  dep.lanes = config.lanes;
   const std::size_t n_edges =
       static_cast<std::size_t>(rng.uniform_int(2, std::int64_t(std::max<std::size_t>(2, config.max_edges))));
   dep.edge_devices.clear();
@@ -374,6 +375,9 @@ ScheduleResult run_schedule(const ScheduleConfig& config) {
   }
 
   // ---- invariants ----------------------------------------------------------
+  // Global quiesce barrier: any lane work the convergence loop fanned out
+  // has rejoined before the checker reads endpoint state cross-lane.
+  graph.quiesce_barrier();
   for (const auto& [id, state] : endpoints) checker.observe_versions(id, state->versions());
   checker.check_convergence(endpoints);
 

@@ -50,6 +50,14 @@ struct ScheduleConfig {
   /// (the deployment always carries a telemetry plane); this only controls
   /// the serialization work.
   bool capture_telemetry = false;
+
+  /// Worker lanes for the deployment's sharded runtime (default 1 = the
+  /// serial path, byte-identical to pre-sharding builds). The schedule,
+  /// trace, and state digest are lane-count-invariant — the parallelized
+  /// sections commute — so a sweep can assert identical digests across
+  /// lane counts. Note metrics_snapshot gains `runtime.lanes.*` keys when
+  /// lanes > 1 (occupancy is a property of the sharding, not the run).
+  std::size_t lanes = 1;
 };
 
 struct ScheduleResult {

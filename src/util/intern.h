@@ -8,6 +8,13 @@
 // Symbol 0 is reserved as "no symbol"; symbol_name(0) is the empty string.
 // Interned strings live for the lifetime of the process, so the returned
 // references are stable.
+//
+// Thread-safety: interning is sharded by string hash (16 mutexes), and the
+// symbol -> string direction is lock-free (atomically published pointer
+// blocks indexed by id), so concurrent worker lanes neither contend on a
+// global lock nor block each other on reads. Symbol ids follow global
+// first-intern order; intern output-visible names from the driver thread
+// if you need them byte-stable across runs.
 #pragma once
 
 #include <cstdint>

@@ -11,8 +11,13 @@
 // and the sink is *invoked outside the lock* (on a copy), so a sink that
 // itself logs — or two threads logging at once — cannot deadlock. A record
 // emitted from inside a sink call (reentrancy) is dropped rather than
-// recursing. Sinks may run concurrently from multiple threads; a sink that
-// mutates shared state must synchronize itself.
+// recursing (the guard is thread_local, so one thread's sink call never
+// suppresses another thread's records). Sinks may run concurrently from
+// multiple threads; a sink that mutates shared state must synchronize
+// itself. These properties make logging safe to call from the sharded
+// runtime's worker lanes (DESIGN.md §11) with no further changes —
+// lane-side code may log freely without perturbing determinism, because
+// log output is not part of any exported byte stream.
 #pragma once
 
 #include <functional>

@@ -22,6 +22,8 @@
 #include "edgstr/pipeline.h"
 #include "json/parse.h"
 #include "json/value.h"
+#include "runtime/sharded_runtime.h"
+#include "sqldb/parser.h"
 #include "trace/state_capture.h"
 
 namespace edgstr {
@@ -128,6 +130,64 @@ void measure_interp_counters(json::Object* measured) {
   measured->set("snapshot_scaled.shared_components", json::Value(double(shared)));
 }
 
+/// Scaled-down fig9 (cluster scaling): a 64-edge sharded-runtime hierarchy
+/// (fanout 8, 4 lanes) drives 4 rounds of client ops and reports the
+/// modeled throughput — client ops per *simulated* second from the BSP
+/// lane-clock cost model. Fully deterministic (no wall time), so the ±15%
+/// gate catches cost-model or lane-scheduling drift, and the edges/users
+/// keys pin the scale the scenario actually exercised.
+void measure_sharded_cluster(json::Object* measured) {
+  constexpr std::size_t kEdges = 64, kFanout = 8, kUsersPerEdge = 32;
+  constexpr std::size_t kRounds = 4, kOpsPerEdgeRound = 4;
+
+  runtime::ShardedConfig config;
+  config.lanes = 4;
+  config.seed = 1;
+  const sqldb::Statement insert = sqldb::parse_sql("INSERT INTO events (user, v) VALUES (?, ?)");
+  runtime::ShardedRuntime rt(
+      config, [&insert](runtime::ReplicaState& replica, const runtime::ClientOp& op) {
+        replica.service().database().execute(
+            insert, {sqldb::SqlValue(double(op.user)), sqldb::SqlValue(op.value)});
+      });
+
+  std::vector<std::unique_ptr<runtime::ServiceRuntime>> services;
+  const auto add = [&](const std::string& id) {
+    services.push_back(
+        std::make_unique<runtime::ServiceRuntime>(R"JS(db.query("CREATE TABLE events (user, v)");)JS"));
+    auto state = std::make_shared<runtime::ReplicaState>(
+        id, services.back().get(), std::set<std::string>{}, std::set<std::string>{});
+    state->attach_existing();
+    rt.add_replica(std::move(state));
+  };
+  add("cloud");
+  for (std::size_t r = 0; r < kEdges / kFanout; ++r) {
+    add("regional" + std::to_string(r));
+    rt.add_uplink("regional" + std::to_string(r), "cloud");
+  }
+  for (std::size_t e = 0; e < kEdges; ++e) {
+    add("edge" + std::to_string(e));
+    rt.add_uplink("edge" + std::to_string(e), "regional" + std::to_string(e / kFanout));
+  }
+
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    for (std::size_t e = 0; e < kEdges; ++e) {
+      std::vector<runtime::ClientOp> batch(kOpsPerEdgeRound);
+      for (std::size_t j = 0; j < kOpsPerEdgeRound; ++j) {
+        batch[j].user = e * kUsersPerEdge + (round * kOpsPerEdgeRound + j) % kUsersPerEdge;
+        batch[j].value = double(round * 100 + j);
+      }
+      rt.post_client_ops("edge" + std::to_string(e), std::move(batch));
+    }
+    rt.run_round();
+  }
+  ASSERT_EQ(rt.replica("cloud").tables().live_rows(), kEdges * kRounds * kOpsPerEdgeRound);
+
+  measured->set("fig9_scaled.edges", json::Value(double(kEdges)));
+  measured->set("fig9_scaled.users", json::Value(double(kEdges * kUsersPerEdge)));
+  measured->set("fig9_scaled.ops_per_sec",
+                json::Value(double(rt.client_ops_processed()) / rt.sim_now()));
+}
+
 TEST(BenchRegressionTest, SyncBytesAndLatencyStayNearBaseline) {
   const core::TransformResult& result = transformed_sensor_hub();
   ASSERT_TRUE(result.ok) << result.error;
@@ -139,6 +199,7 @@ TEST(BenchRegressionTest, SyncBytesAndLatencyStayNearBaseline) {
   measured.set("fig7_scaled.edge_p95_latency_s", json::Value(edge_p95));
   measured.set("fig7_scaled.cloud_p95_latency_s", json::Value(cloud_p95));
   measure_interp_counters(&measured);
+  measure_sharded_cluster(&measured);
 
   const std::string path = std::string(EDGSTR_TESTS_DIR) + "/golden/bench_baseline.json";
   if (std::getenv("EDGSTR_UPDATE_BENCH_BASELINE")) {

@@ -1,0 +1,467 @@
+// Sharded-runtime parallelism: mailbox backpressure, lane-scheduler
+// determinism, byte-identical same-seed runs, lane-count-invariant
+// converged state, and per-doc ordering under concurrent CRDT apply.
+//
+// These tests are the executable form of the determinism argument in
+// src/runtime/sharded_runtime.h: same seed + same lane count must be
+// byte-identical; same seed + different lane count must converge to the
+// identical CRDT state. They are also the TSan targets for the parallel
+// sections (label: parallel).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/lane_scheduler.h"
+#include "runtime/mailbox.h"
+#include "runtime/replication_graph.h"
+#include "runtime/sharded_runtime.h"
+#include "sim/schedule.h"
+#include "sqldb/parser.h"
+#include "util/metrics.h"
+
+namespace edgstr {
+namespace {
+
+// ------------------------------------------------------------------ mailbox --
+
+TEST(MailboxTest, FifoWithBoundedCapacity) {
+  runtime::Mailbox<int> box(3);
+  EXPECT_EQ(box.capacity(), 3u);
+  EXPECT_TRUE(box.try_push(1));
+  EXPECT_TRUE(box.try_push(2));
+  EXPECT_TRUE(box.try_push(3));
+  EXPECT_FALSE(box.try_push(4));  // full: non-blocking push refuses
+  EXPECT_EQ(box.size(), 3u);
+  EXPECT_EQ(box.high_water(), 3u);
+
+  int v = 0;
+  EXPECT_TRUE(box.try_pop(&v));
+  EXPECT_EQ(v, 1);  // FIFO
+  EXPECT_TRUE(box.try_push(4));
+  EXPECT_TRUE(box.try_pop(&v));
+  EXPECT_EQ(v, 2);
+  EXPECT_TRUE(box.try_pop(&v));
+  EXPECT_EQ(v, 3);
+  EXPECT_TRUE(box.try_pop(&v));
+  EXPECT_EQ(v, 4);
+  EXPECT_FALSE(box.try_pop(&v));
+  EXPECT_EQ(box.pushed(), 4u);
+}
+
+// Backpressure contract: a producer that outruns the consumer blocks on
+// push() instead of dropping or deadlocking, and every item still arrives
+// in order.
+TEST(MailboxTest, BlockingPushYieldsUntilConsumerDrains) {
+  constexpr int kItems = 500;
+  runtime::Mailbox<int> box(4);  // far smaller than the item count
+
+  std::vector<int> received;
+  received.reserve(kItems);
+  std::thread consumer([&] {
+    int v = 0;
+    while (box.pop(&v)) received.push_back(v);
+  });
+
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_TRUE(box.push(i));  // blocks when full; never fails while open
+  }
+  box.close();
+  consumer.join();
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(received[i], i);
+  EXPECT_LE(box.high_water(), 4u);  // the bound really bounded the queue
+  EXPECT_EQ(box.pushed(), static_cast<std::uint64_t>(kItems));
+}
+
+TEST(MailboxTest, CloseDrainsPendingThenStops) {
+  runtime::Mailbox<int> box(8);
+  EXPECT_TRUE(box.push(7));
+  EXPECT_TRUE(box.push(8));
+  box.close();
+  EXPECT_FALSE(box.push(9));      // closed: push refuses
+  EXPECT_FALSE(box.try_push(9));
+  int v = 0;
+  EXPECT_TRUE(box.pop(&v));  // pending items survive close
+  EXPECT_EQ(v, 7);
+  EXPECT_TRUE(box.pop(&v));
+  EXPECT_EQ(v, 8);
+  EXPECT_FALSE(box.pop(&v));  // closed + drained
+}
+
+// ------------------------------------------------------------- lane scheduler --
+
+TEST(LaneSchedulerTest, LaneAssignmentIsPureFunctionOfSeedAndKey) {
+  runtime::LaneScheduler a(4, /*seed=*/11);
+  runtime::LaneScheduler b(4, /*seed=*/11);
+  runtime::LaneScheduler c(4, /*seed=*/12);
+
+  bool seed_changes_some_assignment = false;
+  for (int i = 0; i < 64; ++i) {
+    const std::string key = "replica" + std::to_string(i);
+    const std::size_t lane = a.lane_for(key);
+    EXPECT_LT(lane, 4u);
+    EXPECT_EQ(lane, a.lane_for(key));  // stable within a scheduler
+    EXPECT_EQ(lane, b.lane_for(key));  // and across same-seed schedulers
+    if (c.lane_for(key) != lane) seed_changes_some_assignment = true;
+  }
+  EXPECT_TRUE(seed_changes_some_assignment);  // the seed actually salts
+}
+
+TEST(LaneSchedulerTest, MergeOrderIsSeedDerivedPermutation) {
+  runtime::LaneScheduler a(8, 5);
+  runtime::LaneScheduler b(8, 5);
+  EXPECT_EQ(a.merge_order(), b.merge_order());
+  EXPECT_EQ(a.merge_order().size(), 8u);
+  std::set<std::size_t> seen(a.merge_order().begin(), a.merge_order().end());
+  EXPECT_EQ(seen.size(), 8u);  // permutation of [0, 8)
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 7u);
+
+  bool any_differs = false;
+  for (std::uint64_t seed = 1; seed <= 16 && !any_differs; ++seed) {
+    any_differs = runtime::LaneScheduler(8, seed).merge_order() != a.merge_order();
+  }
+  EXPECT_TRUE(any_differs);  // order is seed-derived, not fixed
+}
+
+TEST(LaneSchedulerTest, SingleLaneRunsInlineOnCaller) {
+  runtime::LaneScheduler sched(1, 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  bool ran_before_submit_returned = false;
+  sched.submit(0, [&] {
+    ran_on = std::this_thread::get_id();
+    ran_before_submit_returned = true;
+  });
+  EXPECT_TRUE(ran_before_submit_returned);  // inline: done before return
+  EXPECT_EQ(ran_on, caller);
+  sched.barrier();  // no-op, must not hang
+  EXPECT_EQ(sched.executed(0), 1u);
+}
+
+TEST(LaneSchedulerTest, BarrierWaitsForEveryTask) {
+  runtime::LaneScheduler sched(4, 1);
+  std::atomic<int> done{0};
+  constexpr int kTasks = 256;
+  for (int i = 0; i < kTasks; ++i) {
+    sched.submit(static_cast<std::size_t>(i) % 4, [&done] {
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  sched.barrier();
+  EXPECT_EQ(done.load(), kTasks);
+  std::uint64_t executed = 0;
+  for (std::size_t l = 0; l < 4; ++l) executed += sched.executed(l);
+  EXPECT_EQ(executed, static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(LaneSchedulerTest, ScratchMergesInMergeOrderAndResets) {
+  runtime::LaneScheduler sched(4, 3);
+  for (std::size_t l = 0; l < 4; ++l) {
+    sched.submit(l, [&sched, l] {
+      sched.lane_scratch(l).add("work.items", double(l + 1));
+      sched.lane_scratch(l).observe("work.cost", double(l));
+    });
+  }
+  sched.barrier();
+  util::MetricsRegistry total;
+  sched.merge_scratch_into(total);
+  EXPECT_DOUBLE_EQ(total.value("work.items"), 1 + 2 + 3 + 4);
+  ASSERT_NE(total.histogram("work.cost"), nullptr);
+  EXPECT_EQ(total.histogram("work.cost")->count(), 4u);
+  // Scratch is cleared by the fold.
+  util::MetricsRegistry again;
+  sched.merge_scratch_into(again);
+  EXPECT_EQ(again.size(), 0u);
+}
+
+// -------------------------------------------------------------- metrics merge --
+
+TEST(MetricsMergeTest, CountersAddHistogramsMergeOrCopy) {
+  util::MetricsRegistry a, b;
+  a.add("x", 2);
+  b.add("x", 3);
+  b.add("y", 1);
+  a.observe("h.shared", 1.0);
+  b.observe("h.shared", 2.0);
+  b.observe("h.only_b", 5.0);
+
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.value("x"), 5.0);
+  EXPECT_DOUBLE_EQ(a.value("y"), 1.0);
+  ASSERT_NE(a.histogram("h.shared"), nullptr);
+  EXPECT_EQ(a.histogram("h.shared")->count(), 2u);
+  EXPECT_DOUBLE_EQ(a.histogram("h.shared")->sum(), 3.0);
+  ASSERT_NE(a.histogram("h.only_b"), nullptr);  // absent histogram copied
+  EXPECT_EQ(a.histogram("h.only_b")->count(), 1u);
+}
+
+// ------------------------------------------------------------ sharded runtime --
+
+constexpr const char* kEventsService = R"JS(db.query("CREATE TABLE events (user, v)");)JS";
+
+// A small edge -> regional -> cloud hierarchy on a ShardedRuntime whose
+// client ops are SQL inserts (the bench's workload shape, shrunk).
+struct ShardWorld {
+  std::vector<std::unique_ptr<runtime::ServiceRuntime>> services;
+  sqldb::Statement insert = sqldb::parse_sql("INSERT INTO events (user, v) VALUES (?, ?)");
+  runtime::ShardedRuntime rt;
+  std::vector<std::string> edges;
+
+  explicit ShardWorld(std::size_t lanes, std::size_t inbox_capacity = 4096,
+                      std::size_t edge_count = 8)
+      : rt(make_config(lanes, inbox_capacity),
+           [this](runtime::ReplicaState& replica, const runtime::ClientOp& op) {
+             replica.service().database().execute(
+                 insert, {sqldb::SqlValue(double(op.user)), sqldb::SqlValue(op.value)});
+           }) {
+    add("cloud");
+    add("regional0");
+    add("regional1");
+    rt.add_uplink("regional0", "cloud");
+    rt.add_uplink("regional1", "cloud");
+    for (std::size_t e = 0; e < edge_count; ++e) {
+      edges.push_back("edge" + std::to_string(e));
+      add(edges.back());
+      rt.add_uplink(edges.back(), e % 2 == 0 ? "regional0" : "regional1");
+    }
+  }
+
+  static runtime::ShardedConfig make_config(std::size_t lanes, std::size_t inbox_capacity) {
+    runtime::ShardedConfig config;
+    config.lanes = lanes;
+    config.seed = 1;
+    config.inbox_capacity = inbox_capacity;
+    return config;
+  }
+
+  void add(const std::string& id) {
+    services.push_back(std::make_unique<runtime::ServiceRuntime>(kEventsService));
+    auto state = std::make_shared<runtime::ReplicaState>(
+        id, services.back().get(), std::set<std::string>{}, std::set<std::string>{});
+    state->attach_existing();
+    rt.add_replica(std::move(state));
+  }
+
+  // `rounds` rounds of `per_edge` deterministic client ops per edge.
+  void drive(std::size_t rounds, std::size_t per_edge = 4) {
+    for (std::size_t round = 0; round < rounds; ++round) {
+      for (std::size_t e = 0; e < edges.size(); ++e) {
+        std::vector<runtime::ClientOp> batch(per_edge);
+        for (std::size_t j = 0; j < per_edge; ++j) {
+          batch[j].user = e * 100 + (round * per_edge + j) % 7;
+          batch[j].value = double(round * 1000 + j);
+        }
+        rt.post_client_ops(edges[e], std::move(batch));
+      }
+      rt.run_round();
+    }
+  }
+
+  std::string metrics_text() const {
+    util::MetricsRegistry reg;
+    rt.export_metrics(reg);
+    return reg.format();
+  }
+
+  std::string all_digests() const {
+    std::string out;
+    out += "cloud:" + rt.replica("cloud").state_digest() + "\n";
+    out += "regional0:" + rt.replica("regional0").state_digest() + "\n";
+    out += "regional1:" + rt.replica("regional1").state_digest() + "\n";
+    for (const std::string& e : edges) out += e + ":" + rt.replica(e).state_digest() + "\n";
+    return out;
+  }
+};
+
+TEST(ShardedRuntimeTest, SameSeedSameLanesIsByteIdentical) {
+  ShardWorld a(2), b(2);
+  a.drive(3);
+  b.drive(3);
+  EXPECT_EQ(a.all_digests(), b.all_digests());
+  EXPECT_EQ(a.metrics_text(), b.metrics_text());  // counters, peaks, skew — all of it
+  EXPECT_EQ(a.rt.sim_now(), b.rt.sim_now());
+  EXPECT_EQ(a.rt.client_ops_processed(), b.rt.client_ops_processed());
+  EXPECT_EQ(a.rt.sync_ops_applied(), b.rt.sync_ops_applied());
+}
+
+TEST(ShardedRuntimeTest, ConvergedStateIsLaneCountInvariant) {
+  ShardWorld serial(1);
+  serial.drive(3);
+  const std::string expect_digests = serial.all_digests();
+  const std::uint64_t expect_client = serial.rt.client_ops_processed();
+  const std::uint64_t expect_applied = serial.rt.sync_ops_applied();
+  const std::size_t expect_rows = serial.rt.replica("cloud").tables().live_rows();
+  EXPECT_EQ(expect_rows, 8u * 3u * 4u);  // every edge op reached the cloud
+
+  for (const std::size_t lanes : {std::size_t{2}, std::size_t{8}}) {
+    ShardWorld w(lanes);
+    w.drive(3);
+    EXPECT_EQ(w.all_digests(), expect_digests) << "lanes=" << lanes;
+    EXPECT_EQ(w.rt.client_ops_processed(), expect_client) << "lanes=" << lanes;
+    EXPECT_EQ(w.rt.sync_ops_applied(), expect_applied) << "lanes=" << lanes;
+    EXPECT_EQ(w.rt.replica("cloud").tables().live_rows(), expect_rows) << "lanes=" << lanes;
+  }
+}
+
+TEST(ShardedRuntimeTest, LaneAssignmentMatchesSchedulerHash) {
+  ShardWorld w(4);
+  for (const std::string& e : w.edges) {
+    EXPECT_EQ(w.rt.lane_of(e), w.rt.scheduler().lane_for(e));
+  }
+}
+
+// Per-doc ordering under concurrent apply: ops from one origin must land
+// in origin order even when other lanes are applying concurrently. A
+// last-writer-wins global makes order violations visible — if FIFO order
+// broke anywhere between the edge and the cloud, a stale value could mint
+// a later Lamport stamp and win.
+TEST(ShardedRuntimeTest, PerDocOrderingSurvivesConcurrentApply) {
+  constexpr const char* kLwwService = R"JS(
+var last = 0;
+db.query("CREATE TABLE events (user, v)");
+app.post("/set", function (req, res) {
+  last = req.params.v;
+  res.send({ last: last });
+});
+)JS";
+  auto set_request = [](double v) {
+    http::HttpRequest req;
+    req.verb = http::Verb::kPost;
+    req.path = "/set";
+    req.params = json::Value::object({{"v", v}});
+    return req;
+  };
+
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    runtime::ShardedConfig config;
+    config.lanes = lanes;
+    config.seed = 1;
+    std::vector<std::unique_ptr<runtime::ServiceRuntime>> services;
+    runtime::ShardedRuntime rt(config, [&set_request](runtime::ReplicaState& replica,
+                                                      const runtime::ClientOp& op) {
+      replica.service().handle(set_request(op.value));
+    });
+    auto add = [&](const std::string& id) {
+      services.push_back(std::make_unique<runtime::ServiceRuntime>(kLwwService));
+      auto state = std::make_shared<runtime::ReplicaState>(
+          id, services.back().get(), std::set<std::string>{},
+          std::set<std::string>{"*"});  // sync all globals (the LWW register)
+      state->attach_existing();
+      rt.add_replica(std::move(state));
+    };
+    add("cloud");
+    for (int e = 0; e < 4; ++e) {
+      add("edge" + std::to_string(e));
+      rt.add_uplink("edge" + std::to_string(e), "cloud");
+    }
+
+    // Edge 0 writes an ascending sequence split across several batches and
+    // rounds; the other edges churn concurrently with strictly smaller
+    // values. The cloud must end on edge 0's final write.
+    double next = 100;
+    for (int round = 0; round < 3; ++round) {
+      for (int e = 1; e < 4; ++e) {
+        rt.post_client_ops("edge" + std::to_string(e),
+                           {{std::uint64_t(e), 1.0}, {std::uint64_t(e), 2.0}});
+      }
+      std::vector<runtime::ClientOp> seq;
+      for (int j = 0; j < 5; ++j) seq.push_back({0, next++});
+      rt.post_client_ops("edge0", std::move(seq));
+      rt.run_round();
+    }
+
+    // The LWW global replicated to the cloud must be edge 0's last write.
+    const std::optional<json::Value> last = rt.replica("cloud").globals().get("last");
+    ASSERT_TRUE(last.has_value()) << "lanes=" << lanes;
+    EXPECT_DOUBLE_EQ(last->as_number(), next - 1) << "lanes=" << lanes;
+  }
+}
+
+// A tiny inbox forces the relief-drain backpressure path; the run must
+// neither deadlock nor change the converged state.
+TEST(ShardedRuntimeTest, TinyInboxBackpressuresWithoutDeadlock) {
+  ShardWorld roomy(2, /*inbox_capacity=*/4096);
+  ShardWorld tiny(2, /*inbox_capacity=*/2);
+  roomy.drive(3);
+  tiny.drive(3);
+  EXPECT_EQ(tiny.all_digests(), roomy.all_digests());
+  EXPECT_EQ(tiny.rt.client_ops_processed(), roomy.rt.client_ops_processed());
+  EXPECT_EQ(tiny.rt.sync_ops_applied(), roomy.rt.sync_ops_applied());
+  // And the bound was honored (relief drains, not bigger queues).
+  util::MetricsRegistry reg;
+  tiny.rt.export_metrics(reg);
+  for (const auto& [name, value] : reg.snapshot("runtime.lanes.")) {
+    if (name.find(".inbox_peak") != std::string::npos) {
+      EXPECT_LE(value, 2.0) << name;
+    }
+  }
+  // Same-seed reruns of the backpressured configuration stay byte-identical
+  // (relief events are part of the deterministic schedule, not a race).
+  ShardWorld tiny2(2, /*inbox_capacity=*/2);
+  tiny2.drive(3);
+  EXPECT_EQ(tiny2.metrics_text(), tiny.metrics_text());
+}
+
+// ------------------------------------------------------------------ sim plane --
+
+sim::ScheduleConfig small_sim(std::uint64_t seed, std::size_t lanes) {
+  sim::ScheduleConfig config;
+  config.seed = seed;
+  config.rounds = 8;
+  config.max_edges = 3;
+  config.lanes = lanes;
+  return config;
+}
+
+// The deployment's parallel sections (record_local harvest, convergence
+// digests) commute, so the whole simulated schedule — trace and converged
+// state — is lane-count-invariant.
+TEST(SimParallelTest, ScheduleDigestsAreLaneCountInvariant) {
+  for (const std::uint64_t seed : {7u, 21u, 42u}) {
+    const sim::ScheduleResult serial = sim::run_schedule(small_sim(seed, 1));
+    const sim::ScheduleResult parallel = sim::run_schedule(small_sim(seed, 4));
+    EXPECT_TRUE(serial.passed) << "seed=" << seed;
+    EXPECT_TRUE(parallel.passed) << "seed=" << seed;
+    EXPECT_EQ(serial.trace_digest, parallel.trace_digest) << "seed=" << seed;
+    EXPECT_EQ(serial.state_digest, parallel.state_digest) << "seed=" << seed;
+    EXPECT_EQ(serial.requests, parallel.requests) << "seed=" << seed;
+  }
+}
+
+// Same seed + same lane count: the exported telemetry bytes are identical,
+// lanes > 1 included (thread-safe observability must not perturb them).
+TEST(SimParallelTest, SameSeedTelemetryExportIsByteIdentical) {
+  sim::ScheduleConfig config = small_sim(11, 4);
+  config.capture_telemetry = true;
+  const sim::ScheduleResult a = sim::run_schedule(config);
+  const sim::ScheduleResult b = sim::run_schedule(config);
+  EXPECT_EQ(a.chrome_trace, b.chrome_trace);
+  EXPECT_EQ(a.metrics_snapshot, b.metrics_snapshot);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_FALSE(a.metrics_snapshot.empty());
+}
+
+// lanes=1 is the literal serial path: no scheduler is constructed, so the
+// metrics snapshot carries no runtime.lanes.* keys and is byte-identical
+// to what the pre-sharding code exported.
+TEST(SimParallelTest, SerialLanesAddNoMetricKeys) {
+  sim::ScheduleConfig config = small_sim(11, 1);
+  config.capture_telemetry = true;
+  const sim::ScheduleResult serial = sim::run_schedule(config);
+  EXPECT_EQ(serial.metrics_snapshot.find("runtime.lanes."), std::string::npos);
+
+  sim::ScheduleConfig parallel = small_sim(11, 4);
+  parallel.capture_telemetry = true;
+  EXPECT_NE(sim::run_schedule(parallel).metrics_snapshot.find("runtime.lanes."),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace edgstr

@@ -1,18 +1,26 @@
 // sim_explore — seed-driven simulation explorer for the replication plane.
 //
-//   sim_explore --seed N [--rounds R] [--lanes L] [--trace]
-//               [--optimistic-acks] [--no-digest] [--trace-out FILE]
-//               [--metrics-out FILE]
+//   sim_explore --seed N [--rounds R] [--lanes L] [--workload W] [--trace]
+//               [--optimistic-acks] [--no-digest] [--no-variant-check]
+//               [--variant-fault] [--trace-out FILE] [--metrics-out FILE]
 //       Replays one schedule and prints its one-line report; --trace dumps
 //       the full event trace (what you diff when chasing a failing seed).
 //       --trace-out writes the run's span log as Chrome-trace JSON (open in
 //       chrome://tracing or ui.perfetto.dev); --metrics-out writes the
 //       metrics snapshot (counters + latency/staleness histograms) as JSON.
-//   sim_explore --sweep N [--start S] [--rounds R] [--lanes L]
-//               [--optimistic-acks] [--no-digest]
+//   sim_explore --sweep N [--start S] [--rounds R] [--lanes L] [--workload W]
+//               [--optimistic-acks] [--no-digest] [--no-variant-check]
 //       Runs N consecutive seeds starting at S (default 1) and prints a
 //       report per failure. Exits nonzero when any seed fails, with the
-//       failing seeds listed last so CI logs surface them.
+//       failing seeds listed last so CI logs surface them. The sweep
+//       footer reports aggregate migrations, failed handoffs, and variant
+//       checks/divergences so CI can archive per-scenario divergence counts.
+//
+// --workload W (default uniform) picks the adversarial traffic shape:
+// uniform (legacy), zipf (hot keys), flash (crowd rounds), or churn
+// (sessions migrating between proxies, exercising the migration-ryw
+// invariant). The base fault schedule for a seed is identical under every
+// shape.
 //
 // --lanes L (default 1) runs the deployment's sharded runtime with L
 // worker lanes. Traces and state digests are lane-count-invariant, so a
@@ -33,11 +41,13 @@
 namespace {
 
 int usage() {
-  std::cerr << "usage: sim_explore --seed N [--rounds R] [--lanes L] [--trace]\n"
-            << "                   [--optimistic-acks] [--no-digest]\n"
-            << "                   [--trace-out FILE] [--metrics-out FILE]\n"
+  std::cerr << "usage: sim_explore --seed N [--rounds R] [--lanes L] [--workload W] [--trace]\n"
+            << "                   [--optimistic-acks] [--no-digest] [--no-variant-check]\n"
+            << "                   [--variant-fault] [--trace-out FILE] [--metrics-out FILE]\n"
             << "       sim_explore --sweep N [--start S] [--rounds R] [--lanes L]\n"
-            << "                   [--optimistic-acks] [--no-digest]\n";
+            << "                   [--workload W] [--optimistic-acks] [--no-digest]\n"
+            << "                   [--no-variant-check]\n"
+            << "       W: uniform | zipf | flash | churn\n";
   return 2;
 }
 
@@ -93,6 +103,12 @@ int main(int argc, char** argv) {
       config.optimistic_acks = true;
     } else if (arg == "--no-digest") {
       config.digest_sync = false;
+    } else if (arg == "--workload" && has_value) {
+      if (!edgstr::workload::parse_workload_shape(args[++i], &config.workload)) return usage();
+    } else if (arg == "--no-variant-check") {
+      config.variant_check = false;
+    } else if (arg == "--variant-fault") {
+      config.variant_fault = true;
     } else {
       return usage();
     }
@@ -122,9 +138,15 @@ int main(int argc, char** argv) {
   }
 
   std::vector<std::uint64_t> failing;
+  std::size_t migrations = 0, handoffs_failed = 0, variant_divergences = 0;
+  std::uint64_t variant_checks = 0;
   for (std::uint64_t s = start; s < start + count; ++s) {
     config.seed = s;
     const edgstr::sim::ScheduleResult result = edgstr::sim::run_schedule(config);
+    migrations += result.migrations;
+    handoffs_failed += result.handoffs_failed;
+    variant_checks += result.variant_checks;
+    variant_divergences += result.variant_divergences;
     if (!result.passed) {
       failing.push_back(s);
       std::cout << result.summary() << "\n";
@@ -132,6 +154,10 @@ int main(int argc, char** argv) {
   }
   std::cout << "swept " << count << " seeds starting at " << start << ": " << failing.size()
             << " failed\n";
+  std::cout << "workload=" << edgstr::workload::workload_shape_name(config.workload)
+            << " migrations=" << migrations << " handoff_fail=" << handoffs_failed
+            << " variant_checks=" << variant_checks
+            << " variant_divergences=" << variant_divergences << "\n";
   if (!failing.empty()) {
     std::cout << "failing seeds:";
     for (const std::uint64_t s : failing) std::cout << " " << s;

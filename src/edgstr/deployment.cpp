@@ -9,6 +9,26 @@ namespace edgstr::core {
 std::string edge_host(std::size_t i) { return "edge" + std::to_string(i); }
 std::string regional_host(std::size_t i) { return "regional" + std::to_string(i); }
 
+namespace {
+
+/// The two engine variants every harness compares: "fast" is the
+/// production config (static resolver + CoW) and doubles as the RW-log
+/// reference; "legacy" is the PR 5 tree-walker (named lookups). The
+/// test-only fault, when present, rides the legacy shadow.
+std::unique_ptr<runtime::VariantHarness> make_variant_harness(
+    const std::string& source, const std::function<void(runtime::ServiceRuntime&)>& fault) {
+  minijs::InterpreterConfig fast;
+  fast.resolve = true;
+  minijs::InterpreterConfig legacy;
+  legacy.resolve = false;
+  std::vector<runtime::VariantSpec> specs(2);
+  specs[0] = runtime::VariantSpec{"fast", fast, nullptr};
+  specs[1] = runtime::VariantSpec{"legacy", legacy, fault};
+  return std::make_unique<runtime::VariantHarness>(source, std::move(specs));
+}
+
+}  // namespace
+
 TwoTierDeployment::TwoTierDeployment(const std::string& cloud_source,
                                      const DeploymentConfig& config)
     : network_(config.seed), telemetry_(&network_.clock()) {
@@ -52,6 +72,11 @@ ThreeTierDeployment::ThreeTierDeployment(const TransformResult& transform,
   cloud_ = std::make_unique<runtime::Node>(network_.clock(), config.cloud_device.spec(kCloudHost));
   auto cloud_service = std::make_unique<runtime::ServiceRuntime>(transform.cloud_source);
   cloud_service->set_telemetry(&telemetry_);
+  if (config.variant_check) {
+    variant_harnesses_.push_back(
+        make_variant_harness(transform.cloud_source, config.variant_test_fault));
+    cloud_service->set_variant_harness(variant_harnesses_.back().get());
+  }
   cloud_->host(std::move(cloud_service));
   network_.connect(kClientHost, kCloudHost, config.wan);
 
@@ -91,6 +116,11 @@ ThreeTierDeployment::ThreeTierDeployment(const TransformResult& transform,
                                                 config.edge_devices[i].spec(host));
     auto service = std::make_unique<runtime::ServiceRuntime>(transform.replica.source);
     service->set_telemetry(&telemetry_);
+    if (config.variant_check) {
+      variant_harnesses_.push_back(
+          make_variant_harness(transform.replica.source, config.variant_test_fault));
+      service->set_variant_harness(variant_harnesses_.back().get());
+    }
     auto state = std::make_shared<runtime::ReplicaState>(
         host, service.get(), transform.replicated_files, transform.replicated_globals);
     state->initialize_from_snapshot(transform.init_snapshot);
@@ -198,13 +228,55 @@ bool ThreeTierDeployment::edge_serving(std::size_t i) {
          edges_.at(i)->power_state() == runtime::PowerState::kActive;
 }
 
-json::Value ThreeTierDeployment::metrics_snapshot() const {
-  if (!lane_scheduler_) {
-    return obs::metrics_json({&telemetry_.metrics(), &sync_->graph().metrics()});
+bool ThreeTierDeployment::handoff_session(const std::string& from_host,
+                                          const std::string& to_host) {
+  return sync_->graph().flush_session(from_host, to_host);
+}
+
+std::uint64_t ThreeTierDeployment::variant_checks() const {
+  std::uint64_t total = 0;
+  for (const auto& harness : variant_harnesses_) total += harness->checks();
+  return total;
+}
+
+std::size_t ThreeTierDeployment::variant_divergence_count() const {
+  std::size_t total = 0;
+  for (const auto& harness : variant_harnesses_) total += harness->divergences().size();
+  return total;
+}
+
+std::vector<runtime::Divergence> ThreeTierDeployment::variant_divergences() const {
+  std::vector<runtime::Divergence> out;
+  for (const auto& harness : variant_harnesses_) {
+    out.insert(out.end(), harness->divergences().begin(), harness->divergences().end());
   }
+  return out;
+}
+
+json::Value ThreeTierDeployment::metrics_snapshot() const {
+  std::vector<const util::MetricsRegistry*> registries{&telemetry_.metrics(),
+                                                       &sync_->graph().metrics()};
   util::MetricsRegistry lanes;
-  lane_scheduler_->export_metrics(lanes);
-  return obs::metrics_json({&telemetry_.metrics(), &sync_->graph().metrics(), &lanes});
+  if (lane_scheduler_) {
+    lane_scheduler_->export_metrics(lanes);
+    registries.push_back(&lanes);
+  }
+  // Variant-execution series appear only when harnesses exist, keeping
+  // variant-off snapshots byte-identical to pre-variant builds.
+  util::MetricsRegistry variants;
+  if (!variant_harnesses_.empty()) {
+    variants.add("variant.checks", double(variant_checks()));
+    variants.add("variant.divergence.count", double(variant_divergence_count()));
+    std::map<std::string, double> by_variant;
+    for (const auto& harness : variant_harnesses_) {
+      for (const runtime::Divergence& d : harness->divergences()) ++by_variant[d.variant];
+    }
+    for (const auto& [name, count] : by_variant) {
+      variants.add("variant.divergence." + name, count);
+    }
+    registries.push_back(&variants);
+  }
+  return obs::metrics_json(registries);
 }
 
 bool ThreeTierDeployment::converged() {

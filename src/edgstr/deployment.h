@@ -24,6 +24,7 @@
 #include "runtime/lane_scheduler.h"
 #include "runtime/proxy.h"
 #include "runtime/sync_engine.h"
+#include "runtime/variant_harness.h"
 
 namespace edgstr::core {
 
@@ -54,6 +55,18 @@ struct DeploymentConfig {
   /// ReplicationGraph::set_lane_scheduler) and the metrics snapshot gains
   /// the `runtime.lanes.*` occupancy series.
   std::size_t lanes = 1;
+  /// Online multi-variant execution: every serving runtime (cloud + each
+  /// edge) gets a VariantHarness running the service as both engine
+  /// variants — "fast" (resolver + CoW, the production config) and
+  /// "legacy" (named lookups, the PR 5 tree-walker) — and cross-checks
+  /// every request's response and RW-log. Off (default) the serve path is
+  /// byte-identical to pre-variant builds; on, the metrics snapshot gains
+  /// the `variant.*` series.
+  bool variant_check = false;
+  /// Test-only: planted on the *legacy* shadow of every harness after
+  /// each pre-state restore, so divergence-detection tests can inject a
+  /// deliberate semantic fault. Never set outside tests.
+  std::function<void(runtime::ServiceRuntime&)> variant_test_fault;
 };
 
 /// The original client-cloud deployment (baseline in every benchmark).
@@ -144,6 +157,20 @@ class ThreeTierDeployment {
   /// cloud's (crashed / still-rejoining edges are expected to be behind).
   bool converged();
 
+  /// Client-session handoff: synchronously flushes `from_host`'s state to
+  /// `to_host` along live sync links (ReplicationGraph::flush_session) so
+  /// a client migrating between proxies keeps read-your-writes. Returns
+  /// false when no live path exists or the flush starves — the session
+  /// guarantee lapses and the caller decides what that means.
+  bool handoff_session(const std::string& from_host, const std::string& to_host);
+
+  /// Multi-variant execution totals across every harness (0 when
+  /// config.variant_check was off).
+  std::uint64_t variant_checks() const;
+  std::size_t variant_divergence_count() const;
+  /// Every recorded divergence, cloud harness first then per-edge.
+  std::vector<runtime::Divergence> variant_divergences() const;
+
   const std::set<http::Route>& served_routes() const { return served_routes_; }
 
  private:
@@ -163,6 +190,10 @@ class ThreeTierDeployment {
   std::vector<std::unique_ptr<runtime::ServiceRuntime>> regional_services_;
   std::vector<std::shared_ptr<runtime::ReplicaState>> regional_states_;
   std::unique_ptr<runtime::SyncEngine> sync_;
+  /// One per serving runtime (index 0 = cloud, then edges in order);
+  /// empty unless config.variant_check. Declared after the nodes that own
+  /// the primary services, before the proxies that drive traffic.
+  std::vector<std::unique_ptr<runtime::VariantHarness>> variant_harnesses_;
   std::vector<std::unique_ptr<runtime::EdgeProxy>> proxies_;
   std::unique_ptr<cluster::LoadBalancer> balancer_;
   std::unique_ptr<cluster::ClusterGateway> gateway_;

@@ -552,6 +552,105 @@ void ReplicationGraph::quiesce_barrier() const {
   if (scheduler_) scheduler_->barrier();
 }
 
+bool ReplicationGraph::flush_session(const std::string& from, const std::string& to,
+                                     std::size_t max_attempts) {
+  if (!has_endpoint(from) || !has_endpoint(to)) {
+    throw std::out_of_range("ReplicationGraph: flush_session endpoints must be registered");
+  }
+  metrics_.add("session.handoffs");
+  if (from == to) return true;
+  const auto unavailable = [this](const std::string& id) {
+    return !endpoint_up(id) || recovering_.count(id) > 0;
+  };
+  if (unavailable(from) || unavailable(to)) {
+    metrics_.add("session.handoff_failures");
+    return false;
+  }
+
+  // BFS over live, unpartitioned links: the flush must relay through real
+  // neighbors so every delta it triggers is one an endpoint's compaction
+  // horizon already accounts for.
+  std::map<std::string, std::string> parent;
+  std::vector<std::string> frontier{from};
+  parent[from] = from;
+  while (!frontier.empty() && !parent.count(to)) {
+    std::vector<std::string> next;
+    for (const std::string& u : frontier) {
+      for (const GraphLink& link : links_) {
+        std::string other;
+        if (link.a == u) other = link.b;
+        else if (link.b == u) other = link.a;
+        else continue;
+        if (parent.count(other) || unavailable(other)) continue;
+        if (network_.partitioned(u, other)) continue;
+        parent[other] = u;
+        next.push_back(other);
+      }
+    }
+    frontier = std::move(next);
+  }
+  if (!parent.count(to)) {
+    metrics_.add("session.handoff_failures");
+    return false;
+  }
+  std::vector<std::string> path{to};
+  while (path.back() != from) path.push_back(parent[path.back()]);
+  std::reverse(path.begin(), path.end());
+
+  obs::SpanId span = obs::kNoSpan;
+  obs::TraceContext ctx;
+  if (telemetry_) {
+    span = telemetry_->tracer().begin_span("session.handoff", "sync", from);
+    ctx = telemetry_->tracer().context(span);
+    telemetry_->tracer().add_arg(span, "from", from);
+    telemetry_->tracer().add_arg(span, "to", to);
+    telemetry_->tracer().add_arg(span, "hops", std::to_string(path.size() - 1));
+  }
+
+  // Everything `from` holds right now is the session's write set (and
+  // then some — over-flushing is only extra traffic, never wrong).
+  endpoint(from).record_local();
+  const crdt::DocVersions target = endpoint(from).versions();
+
+  bool ok = true;
+  for (std::size_t i = 0; i + 1 < path.size() && ok; ++i) {
+    ReplicaState& hop_to = endpoint(path[i + 1]);
+    SyncLink* link = nullptr;
+    for (const GraphLink& candidate : links_) {
+      if ((candidate.a == path[i] && candidate.b == path[i + 1]) ||
+          (candidate.a == path[i + 1] && candidate.b == path[i])) {
+        link = candidate.link.get();
+        break;
+      }
+    }
+    // A hop is complete when its versions cover the captured write set;
+    // each attempt is one targeted digest exchange (the receiver
+    // advertises, the previous hop serves the missing ranges) followed by
+    // a full clock drain. Budget-truncated replies and lost messages
+    // resume on the next attempt.
+    std::size_t attempts = 0;
+    while (ops_missing(target, hop_to.versions()) > 0) {
+      if (attempts++ >= max_attempts || unavailable(path[i]) || unavailable(path[i + 1])) {
+        ok = false;
+        break;
+      }
+      start_digest_exchange(hop_to, endpoint(path[i]), *link, ctx, span);
+      network_.clock().run();
+    }
+  }
+  if (telemetry_) {
+    telemetry_->tracer().add_arg(span, "ok", ok ? "1" : "0");
+    telemetry_->tracer().end_span(span);
+  }
+  if (!ok) {
+    metrics_.add("session.handoff_failures");
+    return false;
+  }
+  metrics_.observe("session.handoff.hops", double(path.size() - 1),
+                   util::Histogram::default_count_bounds());
+  return true;
+}
+
 std::size_t ReplicationGraph::compact_logs() {
   // Per endpoint: the pointwise minimum of what every direct neighbor has
   // acknowledged. peer_known_["E<-N"] is what N advertised in its last

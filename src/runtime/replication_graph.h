@@ -137,6 +137,24 @@ class ReplicationGraph {
   /// are expected to be behind.
   bool converged() const;
 
+  /// Session handoff flush: synchronously drives `from`'s current state to
+  /// `to` so a client migrating between proxies keeps read-your-writes.
+  /// The flush travels hop-by-hop along a BFS path of live, unpartitioned
+  /// links (never endpoint-to-endpoint shortcuts — compaction horizons are
+  /// only safe against *direct-neighbor* acks), running one targeted digest
+  /// exchange per hop and draining the network clock until the hop's
+  /// versions cover everything `from` held at flush start, retrying each
+  /// hop up to `max_attempts` times against message loss. Returns false
+  /// when `from` is unavailable, no live path exists, or a hop starves its
+  /// retries — the caller decides whether the client's session guarantee
+  /// lapses (mirroring the crash-lapse rule for acked writes).
+  ///
+  /// Drives the shared network clock to completion between hops, so it
+  /// must only be called from drained-clock drivers (sim rounds, benches
+  /// with start_sync=false), never mid-flight.
+  bool flush_session(const std::string& from, const std::string& to,
+                     std::size_t max_attempts = 8);
+
   /// Log compaction: every endpoint drops the ops all of its *direct*
   /// neighbors have acknowledged (from the acked version vectors sync
   /// messages carry). Safe anywhere in any topology — a behind neighbor

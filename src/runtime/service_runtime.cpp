@@ -1,8 +1,10 @@
 #include "runtime/service_runtime.h"
 
 #include <chrono>
+#include <optional>
 
 #include "minijs/parser.h"
+#include "runtime/variant_harness.h"
 
 namespace edgstr::runtime {
 
@@ -37,6 +39,15 @@ ExecutionResult ServiceRuntime::handle(const http::HttpRequest& request) {
     steps_before = interp_->steps();
     if (wall_clock_metrics_) started = std::chrono::steady_clock::now();
   }
+  // Pre-request state + RNG for the shadow variants: CoW capture is
+  // O(touched) and the RNG copy is four words, both paid only when a
+  // harness is attached.
+  std::optional<trace::Snapshot> pre_state;
+  util::Rng pre_rng;
+  if (variant_harness_) {
+    pre_state = capture_state();
+    pre_rng = interp_->rng();
+  }
   try {
     result.response = interp_->invoke(http::Route{request.verb, request.path}, request);
   } catch (const minijs::JsError& err) {
@@ -57,6 +68,7 @@ ExecutionResult ServiceRuntime::handle(const http::HttpRequest& request) {
                                   util::Histogram::default_count_bounds());
   }
   result.compute_units = interp_->drain_compute_units();
+  if (variant_harness_) variant_harness_->check(request, *pre_state, pre_rng, result);
   return result;
 }
 

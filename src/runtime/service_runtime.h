@@ -14,6 +14,8 @@
 
 namespace edgstr::runtime {
 
+class VariantHarness;
+
 /// Result of one service execution, with the simulated CPU cost attached.
 struct ExecutionResult {
   http::HttpResponse response;
@@ -62,11 +64,20 @@ class ServiceRuntime {
     wall_clock_metrics_ = wall_clock;
   }
 
+  /// Online multi-variant cross-checking: when attached, every handle()
+  /// captures the pre-request state + RNG and hands the finished result to
+  /// the harness, which replays it on each shadow engine variant and
+  /// records divergences. Detached (the default) the serve path pays one
+  /// branch, like set_telemetry.
+  void set_variant_harness(VariantHarness* harness) { variant_harness_ = harness; }
+  VariantHarness* variant_harness() { return variant_harness_; }
+
  private:
   sqldb::Database db_;
   vfs::Vfs fs_;
   std::unique_ptr<minijs::Interpreter> interp_;
   obs::Telemetry* telemetry_ = nullptr;
+  VariantHarness* variant_harness_ = nullptr;
   bool wall_clock_metrics_ = false;
   std::uint64_t requests_served_ = 0;
   std::uint64_t failures_ = 0;

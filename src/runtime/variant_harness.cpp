@@ -1,0 +1,110 @@
+#include "runtime/variant_harness.h"
+
+#include <sstream>
+
+namespace edgstr::runtime {
+namespace {
+
+std::string describe_request(const http::HttpRequest& request) {
+  return http::to_string(request.verb) + " " + request.path + " " + request.params.dump();
+}
+
+std::string describe_event(const trace::RwEvent& event) {
+  std::ostringstream out;
+  switch (event.kind) {
+    case trace::RwEvent::Kind::kDeclare: out << "declare "; break;
+    case trace::RwEvent::Kind::kRead: out << "read "; break;
+    case trace::RwEvent::Kind::kWrite: out << "write "; break;
+  }
+  out << event.name() << "@stmt" << event.stmt_id << " digest=" << event.digest;
+  return out.str();
+}
+
+bool same_event(const trace::RwEvent& a, const trace::RwEvent& b) {
+  return a.kind == b.kind && a.stmt_id == b.stmt_id && a.name_sym == b.name_sym &&
+         a.digest == b.digest;
+}
+
+/// First point where two RW-logs disagree, rendered both-sides; empty when
+/// the logs match.
+std::string rwlog_delta(const std::string& ref_name, const std::vector<trace::RwEvent>& ref,
+                        const std::string& name, const std::vector<trace::RwEvent>& got) {
+  const std::size_t n = std::min(ref.size(), got.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!same_event(ref[i], got[i])) {
+      std::ostringstream out;
+      out << "event " << i << ": " << ref_name << "=[" << describe_event(ref[i]) << "] "
+          << name << "=[" << describe_event(got[i]) << "]";
+      return out.str();
+    }
+  }
+  if (ref.size() != got.size()) {
+    std::ostringstream out;
+    out << "length: " << ref_name << "=" << ref.size() << " events, " << name << "="
+        << got.size();
+    const std::vector<trace::RwEvent>& longer = ref.size() > got.size() ? ref : got;
+    out << "; first extra=[" << describe_event(longer[n]) << "]";
+    return out.str();
+  }
+  return {};
+}
+
+}  // namespace
+
+VariantHarness::VariantHarness(const std::string& source, std::vector<VariantSpec> variants) {
+  shadows_.reserve(variants.size());
+  for (VariantSpec& spec : variants) {
+    Shadow shadow;
+    shadow.runtime = std::make_unique<ServiceRuntime>(source, spec.config);
+    shadow.spec = std::move(spec);
+    shadows_.push_back(std::move(shadow));
+  }
+}
+
+std::size_t VariantHarness::check(const http::HttpRequest& request,
+                                  const trace::Snapshot& pre_state, const util::Rng& pre_rng,
+                                  const ExecutionResult& primary) {
+  ++checks_;
+  const std::size_t before = divergences_.size();
+
+  std::vector<trace::RwCollector> logs(shadows_.size());
+  for (std::size_t i = 0; i < shadows_.size(); ++i) {
+    Shadow& shadow = shadows_[i];
+    shadow.runtime->restore_state(pre_state);
+    shadow.runtime->interpreter().rng() = pre_rng;
+    if (shadow.spec.test_fault) shadow.spec.test_fault(*shadow.runtime);
+    shadow.runtime->interpreter().set_hooks(&logs[i]);
+    const ExecutionResult replay = shadow.runtime->handle(request);
+    shadow.runtime->interpreter().set_hooks(nullptr);
+    // Shadows are comparison sandboxes, not replicas: drop their mutation
+    // log so replayed writes never leak into sync accounting.
+    shadow.runtime->database().drain_mutations();
+
+    if (replay.failed != primary.failed || replay.response.status != primary.response.status ||
+        replay.response.body.dump() != primary.response.body.dump()) {
+      std::ostringstream detail;
+      detail << "request [" << describe_request(request) << "]: primary status="
+             << primary.response.status << " failed=" << primary.failed << " body="
+             << primary.response.body.dump() << " vs " << shadow.spec.name
+             << " status=" << replay.response.status << " failed=" << replay.failed
+             << " body=" << replay.response.body.dump();
+      divergences_.push_back(
+          Divergence{shadow.spec.name, "response", request, detail.str()});
+    }
+  }
+
+  // RW-log agreement is shadow-vs-shadow: the primary serves hook-free, so
+  // the first shadow's instrumented log is the reference sequence.
+  for (std::size_t i = 1; i < shadows_.size(); ++i) {
+    const std::string delta = rwlog_delta(shadows_[0].spec.name, logs[0].events(),
+                                          shadows_[i].spec.name, logs[i].events());
+    if (!delta.empty()) {
+      divergences_.push_back(Divergence{
+          shadows_[i].spec.name, "rwlog", request,
+          "request [" + describe_request(request) + "]: " + delta});
+    }
+  }
+  return divergences_.size() - before;
+}
+
+}  // namespace edgstr::runtime

@@ -1,0 +1,85 @@
+// Online multi-variant execution: run the same extracted service as
+// several engine variants behind one proxy and cross-check every request.
+//
+// PR 5 proved the fast engine (static resolver + CoW snapshots) byte-
+// equivalent to the legacy tree-walker offline (`EngineDifferentialTest`
+// replays the analysis pipeline under every engine config). This harness
+// promotes that guard into production: the primary runtime serves the
+// request, then each shadow variant replays it from the primary's
+// pre-request state and pre-request RNG, and the harness compares
+//
+//   * responses  — status, failure flag, body — shadow vs primary, and
+//   * RW-logs    — the instrumented read/write event sequence — shadow
+//                  vs shadow (the primary serves hook-free; the first
+//                  shadow's log is the reference),
+//
+// surfacing any disagreement as a `Divergence` carrying the offending
+// request and the first differing RW-log event. The sim turns these into
+// the `variant-agreement` invariant; deployments export them as
+// `variant.divergence.*` metrics.
+//
+// Replay is snapshot-based on purpose: shadows never track the primary's
+// external mutations (CRDT merges, compaction) — they are rebuilt from
+// the primary's CoW pre-state each check, which costs O(touched) and
+// keeps the comparison exact even mid-sync.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/service_runtime.h"
+#include "trace/rwlog.h"
+#include "util/rng.h"
+
+namespace edgstr::runtime {
+
+/// One engine variant under comparison.
+struct VariantSpec {
+  std::string name;  ///< metrics label, e.g. "legacy"
+  minijs::InterpreterConfig config;
+  /// Test-only hook, run against the shadow after every pre-state restore
+  /// (so it survives snapshot replay). Used to plant deliberate semantic
+  /// faults for divergence-detection tests; never set in production.
+  std::function<void(ServiceRuntime&)> test_fault;
+};
+
+/// One observed disagreement between variants.
+struct Divergence {
+  std::string variant;     ///< which shadow disagreed
+  std::string kind;        ///< "response" or "rwlog"
+  http::HttpRequest request;  ///< the offending request
+  std::string detail;      ///< first differing field / RW-log event delta
+};
+
+class VariantHarness {
+ public:
+  /// Builds one shadow runtime per spec from the same service source the
+  /// primary runs. Shadows execute hooked (RW collection) but emit no
+  /// telemetry of their own — deterministic metrics snapshots must not
+  /// see shadow interpreter steps.
+  VariantHarness(const std::string& source, std::vector<VariantSpec> variants);
+
+  /// Cross-checks one request: restores `pre_state`/`pre_rng` into every
+  /// shadow, replays, compares. Returns the number of new divergences.
+  std::size_t check(const http::HttpRequest& request, const trace::Snapshot& pre_state,
+                    const util::Rng& pre_rng, const ExecutionResult& primary);
+
+  const std::vector<Divergence>& divergences() const { return divergences_; }
+  std::uint64_t checks() const { return checks_; }
+  std::size_t variants() const { return shadows_.size(); }
+  const std::string& variant_name(std::size_t i) const { return shadows_[i].spec.name; }
+
+ private:
+  struct Shadow {
+    VariantSpec spec;
+    std::unique_ptr<ServiceRuntime> runtime;
+  };
+
+  std::vector<Shadow> shadows_;
+  std::vector<Divergence> divergences_;
+  std::uint64_t checks_ = 0;
+};
+
+}  // namespace edgstr::runtime

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <set>
 
 #include "apps/app.h"
@@ -77,12 +78,22 @@ std::string hex64(std::uint64_t v) {
 
 std::string ScheduleResult::summary() const {
   std::string out = "seed=" + std::to_string(seed) + " topology=" + topology +
-                    " edges=" + std::to_string(edges) + " requests=" + std::to_string(requests) +
+                    " workload=" + workload + " edges=" + std::to_string(edges) +
+                    " requests=" + std::to_string(requests) +
                     " acked=" + std::to_string(writes_acked) +
                     " crashes=" + std::to_string(crashes) +
                     " partitions=" + std::to_string(partitions) +
-                    " quiesce=" + std::to_string(quiesce_rounds) + " trace=" + hex64(trace_digest) +
-                    " state=" + state_digest + (passed ? " PASS" : " FAIL");
+                    " quiesce=" + std::to_string(quiesce_rounds);
+  if (migrations || handoffs_failed) {
+    out += " migrations=" + std::to_string(migrations) +
+           " handoff_fail=" + std::to_string(handoffs_failed);
+  }
+  if (variant_checks) {
+    out += " vchecks=" + std::to_string(variant_checks) +
+           " vdiv=" + std::to_string(variant_divergences);
+  }
+  out += " trace=" + hex64(trace_digest) + " state=" + state_digest +
+         (passed ? " PASS" : " FAIL");
   for (const Violation& v : violations) out += "\n  [" + v.invariant + "] " + v.detail;
   return out;
 }
@@ -90,7 +101,13 @@ std::string ScheduleResult::summary() const {
 ScheduleResult run_schedule(const ScheduleConfig& config) {
   ScheduleResult result;
   result.seed = config.seed;
+  result.workload = workload::workload_shape_name(config.workload);
   util::Rng rng(config.seed);
+  // All workload-shape draws (hot keys, crowd rounds, churn values) come
+  // from this separate stream, derived arithmetically from the seed: the
+  // main `rng` stream — and with it a seed's topology, fault schedule, and
+  // base traffic — is identical under every shape.
+  util::Rng wl_rng(config.seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
 
   // ---- randomized deployment ----------------------------------------------
   core::DeploymentConfig dep;
@@ -98,6 +115,17 @@ ScheduleResult run_schedule(const ScheduleConfig& config) {
   dep.seed = rng.next_u64();
   dep.digest_sync = config.digest_sync;
   dep.lanes = config.lanes;
+  dep.variant_check = config.variant_check;
+  if (config.variant_fault) {
+    // The planted semantic fault: the legacy shadow's replayed state gets
+    // every reading skewed, so any summary/alert read over non-empty data
+    // must diverge from the primary in both response and RW-log. A
+    // correct harness turns this into variant-agreement violations on
+    // (virtually) every seed — the variant twin of optimistic_acks.
+    dep.variant_test_fault = [](runtime::ServiceRuntime& rt) {
+      rt.database().execute("UPDATE readings SET value = 999999");
+    };
+  }
   const std::size_t n_edges =
       static_cast<std::size_t>(rng.uniform_int(2, std::int64_t(std::max<std::size_t>(2, config.max_edges))));
   dep.edge_devices.clear();
@@ -183,12 +211,83 @@ ScheduleResult run_schedule(const ScheduleConfig& config) {
     }
   }
 
+  // ---- workload shapes -----------------------------------------------------
+  // Zipf hot keys: a small universe with seed-drawn skew, so the same few
+  // sensors absorb most writes and CRDT merge sees genuine contention.
+  workload::KeyDistribution hot_keys = workload::KeyDistribution::uniform(1);
+  if (config.workload == workload::WorkloadShape::kZipf) {
+    hot_keys = workload::KeyDistribution::zipf(16, wl_rng.uniform(0.9, 1.5));
+  }
+  // Flash crowds: two seed-chosen rounds get a pile of extra arrivals.
+  std::set<std::size_t> crowd_rounds;
+  if (config.workload == workload::WorkloadShape::kFlash && config.rounds > 0) {
+    while (crowd_rounds.size() < std::min<std::size_t>(2, config.rounds)) {
+      crowd_rounds.insert(wl_rng.index(config.rounds));
+    }
+  }
+  // Churn: a seed-derived migration trace (one time unit per round) plus
+  // per-session bookkeeping for the read-your-writes obligation.
+  struct Session {
+    std::size_t proxy = 0;
+    std::string last_key;
+    std::string last_holder;     ///< endpoint that served the last write
+    std::size_t holder_edge = 0; ///< valid when last_holder is an edge
+    bool holder_is_edge = false;
+    std::uint64_t holder_epoch = 0;  ///< holder's crash count at write time
+    bool has_write = false;
+  };
+  std::vector<Session> sessions;
+  std::optional<workload::MigrationTrace> churn;
+  if (config.workload == workload::WorkloadShape::kChurn && config.sessions > 0) {
+    workload::ChurnSpec spec;
+    spec.clients = config.sessions;
+    spec.proxies = n_edges;
+    spec.duration_s = double(config.rounds);
+    spec.migration_rate = 0.15;
+    spec.locality = 0.8;
+    churn = workload::MigrationTrace::generate(spec, wl_rng.next_u64());
+    sessions.resize(config.sessions);
+    for (std::size_t c = 0; c < config.sessions; ++c) {
+      sessions[c].proxy = churn->proxy_at(c, 0.0);
+    }
+  }
+
   // ---- fault/traffic rounds ------------------------------------------------
   std::vector<TrackedWrite> tracked;
   std::vector<std::uint64_t> crash_count(n_edges, 0);
   std::set<std::size_t> down_edges;
   std::vector<std::string> active_cuts;
   std::size_t cut_serial = 0;
+
+  // Issues one tracked write through edge `e`'s proxy; returns the index
+  // into `tracked`, or npos when the write was not acked. Shared by the
+  // base burst traffic and every workload shape, so accounting (acked-op
+  // loss, crash epochs) is uniform.
+  constexpr std::size_t kNotTracked = std::size_t(-1);
+  const auto issue_tracked_write = [&](const std::string& key, std::size_t e,
+                                       double value) -> std::size_t {
+    const runtime::PathStats before = three.proxy(e).stats();
+    const http::HttpResponse resp = three.request_sync(ingest_request(key, value), e);
+    ++result.requests;
+    // A request lost in transit (partition / loss on the forward path)
+    // leaves the default-constructed response behind: status 200 but a
+    // null body. Only a real handler reply counts as an ack.
+    if (!resp.ok() || resp.body.is_null()) {
+      trace.record(now(), "write", key + " via=" + core::edge_host(e) + " FAILED");
+      return kNotTracked;
+    }
+    ++result.writes_acked;
+    const bool local = three.proxy(e).stats().served_at_edge > before.served_at_edge;
+    TrackedWrite w;
+    w.key = key;
+    w.at_edge = local;
+    w.edge_index = e;
+    w.endpoint = local ? core::edge_host(e) : "cloud";
+    w.crash_epoch = local ? crash_count[e] : 0;
+    tracked.push_back(w);
+    trace.record(now(), "write", key + " served=" + w.endpoint);
+    return tracked.size() - 1;
+  };
 
   // Everything from here on runs under the no-crash invariant: a
   // replication-plane bug that manifests as a thrown exception (e.g. a
@@ -285,30 +384,17 @@ ScheduleResult run_schedule(const ScheduleConfig& config) {
     for (int i = 0; i < burst; ++i) {
       const std::size_t e = rng.index(n_edges);
       if (rng.chance(0.7) || tracked.empty()) {
+        // Zipf runs write a hot key from the skewed universe (drawn off
+        // the shape stream); every other shape keeps the legacy
+        // round-unique key, so the base schedule bytes are unchanged.
         const std::string key =
-            "s" + std::to_string(round) + "x" + std::to_string(i) + "e" + std::to_string(e);
-        const runtime::PathStats before = three.proxy(e).stats();
-        const http::HttpResponse resp =
-            three.request_sync(ingest_request(key, rng.uniform(0, 100)), e);
-        ++result.requests;
-        // A request lost in transit (partition / loss on the forward path)
-        // leaves the default-constructed response behind: status 200 but a
-        // null body. Only a real handler reply counts as an ack.
-        if (!resp.ok() || resp.body.is_null()) {
-          trace.record(now(), "write", key + " via=" + core::edge_host(e) + " FAILED");
-          continue;
-        }
-        ++result.writes_acked;
-        const bool local = three.proxy(e).stats().served_at_edge > before.served_at_edge;
-        TrackedWrite w;
-        w.key = key;
-        w.at_edge = local;
-        w.edge_index = e;
-        w.endpoint = local ? core::edge_host(e) : "cloud";
-        w.crash_epoch = local ? crash_count[e] : 0;
-        tracked.push_back(w);
-        trace.record(now(), "write", key + " served=" + w.endpoint);
-        if (local) {
+            config.workload == workload::WorkloadShape::kZipf
+                ? "z" + std::to_string(hot_keys.draw(wl_rng))
+                : "s" + std::to_string(round) + "x" + std::to_string(i) + "e" +
+                      std::to_string(e);
+        const std::size_t idx = issue_tracked_write(key, e, rng.uniform(0, 100));
+        if (idx == kNotTracked) continue;
+        if (tracked[idx].at_edge) {
           // Read-your-writes at the serving proxy: an immediately
           // following local read must observe the write.
           const runtime::PathStats pre = three.proxy(e).stats();
@@ -328,6 +414,73 @@ ScheduleResult run_schedule(const ScheduleConfig& config) {
         (void)three.request_sync(summary_request(w.key), e);
         ++result.requests;
         trace.record(now(), "read", w.key + " via=" + core::edge_host(e));
+      }
+    }
+
+    // Flash crowd: a seed-chosen round gets a pile of extra arrivals on
+    // top of the base burst, all drawn from the shape stream.
+    if (crowd_rounds.count(round)) {
+      const int extra = 4 + static_cast<int>(wl_rng.uniform_int(0, 4));
+      trace.record(now(), "flash", "round=" + std::to_string(round) +
+                                       " extra=" + std::to_string(extra));
+      for (int i = 0; i < extra; ++i) {
+        const std::size_t e = wl_rng.index(n_edges);
+        issue_tracked_write("f" + std::to_string(round) + "x" + std::to_string(i), e,
+                            wl_rng.uniform(0, 100));
+      }
+    }
+
+    // Churn sessions: each client writes at its current proxy every round;
+    // when the trace migrates it, the deployment flushes the session to
+    // the new proxy and the client immediately re-reads its last write
+    // there — the migration-ryw invariant. The obligation lapses when the
+    // handoff itself fails (no live path / starved retries) or the holder
+    // crashed since the write — volatile-state physics, same as the
+    // acked-op-loss crash rule.
+    for (std::size_t c = 0; c < sessions.size(); ++c) {
+      Session& s = sessions[c];
+      const std::size_t proxy_now = churn->proxy_at(c, double(round));
+      if (proxy_now != s.proxy) {
+        ++result.migrations;
+        const std::string to_host = core::edge_host(proxy_now);
+        trace.record(now(), "migrate", "session" + std::to_string(c) + " " +
+                                           core::edge_host(s.proxy) + "->" + to_host);
+        bool flushed = false;
+        if (s.has_write) {
+          flushed = three.handoff_session(s.last_holder, to_host);
+          if (!flushed) ++result.handoffs_failed;
+          trace.record(now(), "handoff", s.last_holder + "->" + to_host +
+                                             (flushed ? " ok" : " FAILED"));
+        }
+        s.proxy = proxy_now;
+        const bool holder_alive =
+            !s.holder_is_edge || crash_count[s.holder_edge] == s.holder_epoch;
+        if (s.has_write && flushed && holder_alive) {
+          const runtime::PathStats pre = three.proxy(proxy_now).stats();
+          const http::HttpResponse read = three.request_sync(summary_request(s.last_key),
+                                                             proxy_now);
+          ++result.requests;
+          if (read.ok() && three.proxy(proxy_now).stats().served_at_edge > pre.served_at_edge) {
+            const json::Value* count = read.body.find("count");
+            if (!count || count->as_number() < 1.0) {
+              checker.record("migration-ryw",
+                             "session" + std::to_string(c) + " write " + s.last_key +
+                                 " invisible at " + to_host + " after handoff from " +
+                                 s.last_holder);
+            }
+            trace.record(now(), "read", s.last_key + " migration-ryw@" + to_host);
+          }
+        }
+      }
+      const std::string key = "m" + std::to_string(round) + "c" + std::to_string(c);
+      const std::size_t idx = issue_tracked_write(key, s.proxy, wl_rng.uniform(0, 100));
+      if (idx != kNotTracked) {
+        s.has_write = true;
+        s.last_key = key;
+        s.last_holder = tracked[idx].endpoint;
+        s.holder_is_edge = tracked[idx].at_edge;
+        s.holder_edge = tracked[idx].edge_index;
+        s.holder_epoch = tracked[idx].crash_epoch;
       }
     }
 
@@ -400,6 +553,26 @@ ScheduleResult run_schedule(const ScheduleConfig& config) {
     trace.record(now(), "exception", e.what());
     checker.record("no-crash",
                    std::string("exception escaped the replication plane: ") + e.what());
+  }
+
+  // ---- variant agreement ---------------------------------------------------
+  // Shadow-engine disagreement is an invariant like any other: any request
+  // whose legacy replay produced a different response or RW-log fails the
+  // seed. Capped at a handful of violations so a systematically-divergent
+  // run (e.g. variant_fault) stays readable.
+  if (config.variant_check) {
+    result.variant_checks = three.variant_checks();
+    const std::vector<runtime::Divergence> divergences = three.variant_divergences();
+    result.variant_divergences = divergences.size();
+    constexpr std::size_t kMaxReported = 8;
+    for (std::size_t i = 0; i < std::min(divergences.size(), kMaxReported); ++i) {
+      checker.record("variant-agreement", divergences[i].variant + " " + divergences[i].kind +
+                                              " divergence: " + divergences[i].detail);
+    }
+    if (divergences.size() > kMaxReported) {
+      checker.record("variant-agreement",
+                     std::to_string(divergences.size() - kMaxReported) + " further divergences");
+    }
   }
 
   std::string joint;

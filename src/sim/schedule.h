@@ -17,6 +17,7 @@
 
 #include "sim/invariants.h"
 #include "sim/trace.h"
+#include "workload/shapes.h"
 
 namespace edgstr::sim {
 
@@ -58,6 +59,35 @@ struct ScheduleConfig {
   /// lane counts. Note metrics_snapshot gains `runtime.lanes.*` keys when
   /// lanes > 1 (occupancy is a property of the sharding, not the run).
   std::size_t lanes = 1;
+
+  /// Traffic shape on top of the base fault schedule. kUniform is the
+  /// legacy per-burst key traffic, byte-identical to pre-workload builds.
+  /// kZipf draws write keys from a seed-skewed hot-key distribution,
+  /// kFlash compresses extra arrivals into seed-chosen crowd rounds, and
+  /// kChurn adds migrating client sessions (below). All shape draws come
+  /// from a *separate* RNG stream derived from `seed`, so the base
+  /// topology/fault/crash/traffic schedule for a seed is the same under
+  /// every shape — shapes add adversity, they never reshuffle it.
+  workload::WorkloadShape workload = workload::WorkloadShape::kUniform;
+  /// Client sessions that migrate between edge proxies mid-session
+  /// (kChurn only). Each migration runs a session handoff flush and then
+  /// checks read-your-writes at the new proxy (the `migration-ryw`
+  /// invariant); a failed handoff (partition, crash, starved retries)
+  /// lapses the obligation, mirroring the acked-op-loss crash rule.
+  std::size_t sessions = 3;
+
+  /// Online multi-variant execution: every serving runtime cross-checks
+  /// each request against the legacy tree-walker shadow (response +
+  /// RW-log), and any disagreement fails the run via the
+  /// `variant-agreement` invariant. On by default — the whole point is a
+  /// continuously-running guard; the shadows replay off-network, so the
+  /// schedule bytes are unchanged. Turn off to time pure replication runs.
+  bool variant_check = true;
+  /// Deliberate-regression knob, mirroring optimistic_acks: plants a
+  /// semantic fault on the legacy shadow (an UPDATE skew on replay), so a
+  /// correct harness MUST report variant-agreement violations once data
+  /// exists. Requires variant_check.
+  bool variant_fault = false;
 };
 
 struct ScheduleResult {
@@ -66,12 +96,17 @@ struct ScheduleResult {
   std::vector<Violation> violations;
 
   std::string topology;          ///< "star" | "star+mesh" | "hierarchy"
+  std::string workload;          ///< "uniform" | "zipf" | "flash" | "churn"
   std::size_t edges = 0;
   std::size_t requests = 0;      ///< client requests issued
   std::size_t writes_acked = 0;  ///< writes acknowledged to the client
   std::size_t crashes = 0;
   std::size_t partitions = 0;
   std::size_t quiesce_rounds = 0;
+  std::size_t migrations = 0;       ///< session proxy changes (kChurn)
+  std::size_t handoffs_failed = 0;  ///< flushes that starved / had no path
+  std::uint64_t variant_checks = 0; ///< requests cross-checked by harnesses
+  std::size_t variant_divergences = 0;
 
   EventTrace trace;
   std::uint64_t trace_digest = 0;  ///< byte-identity fingerprint of the run

@@ -1,5 +1,6 @@
 #include "workload/generator.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
@@ -55,6 +56,17 @@ ArrivalSchedule ArrivalSchedule::diurnal(double low_rps, double high_rps, double
     phases.push_back(Phase{rate, std::min(slice, duration_s - t)});
   }
   return ArrivalSchedule::phases(std::move(phases), seed);
+}
+
+ArrivalSchedule ArrivalSchedule::from_times(std::vector<double> times, double duration_s) {
+  if (duration_s <= 0) throw std::invalid_argument("from_times: duration must be > 0");
+  if (!std::is_sorted(times.begin(), times.end())) {
+    throw std::invalid_argument("from_times: timestamps must be sorted");
+  }
+  ArrivalSchedule out;
+  out.times_ = std::move(times);
+  out.duration_s_ = duration_s;
+  return out;
 }
 
 RequestMix::RequestMix(http::HttpRequest request) {

@@ -36,14 +36,20 @@ class ArrivalSchedule {
  public:
   /// Deterministic equal spacing at `rps` for `duration_s`.
   static ArrivalSchedule constant(double rps, double duration_s);
-  /// Poisson process at `rps` for `duration_s`.
-  static ArrivalSchedule poisson(double rps, double duration_s, std::uint64_t seed = 1);
+  /// Poisson process at `rps` for `duration_s`. The seed is mandatory:
+  /// a defaulted seed silently decouples the schedule from the caller's
+  /// scenario seed (two "seeded" runs share arrivals), so every stochastic
+  /// schedule must be threaded an explicit one.
+  static ArrivalSchedule poisson(double rps, double duration_s, std::uint64_t seed);
   /// Piecewise phases, each Poisson at its own rate.
-  static ArrivalSchedule phases(std::vector<Phase> phases, std::uint64_t seed = 1);
+  static ArrivalSchedule phases(std::vector<Phase> phases, std::uint64_t seed);
   /// Sinusoidal day: rate oscillates between `low_rps` and `high_rps` over
   /// `period_s`, sampled as a piecewise-Poisson approximation.
   static ArrivalSchedule diurnal(double low_rps, double high_rps, double period_s,
-                                 double duration_s, std::uint64_t seed = 1);
+                                 double duration_s, std::uint64_t seed);
+  /// Wraps precomputed timestamps (must be sorted, within [0, duration_s)).
+  /// Used by shape transforms like flash-crowd injection.
+  static ArrivalSchedule from_times(std::vector<double> times, double duration_s);
 
   const std::vector<double>& times() const { return times_; }
   double duration_s() const { return duration_s_; }

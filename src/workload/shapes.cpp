@@ -1,0 +1,159 @@
+#include "workload/shapes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace edgstr::workload {
+
+bool parse_workload_shape(const std::string& name, WorkloadShape* out) {
+  if (name == "uniform") *out = WorkloadShape::kUniform;
+  else if (name == "zipf") *out = WorkloadShape::kZipf;
+  else if (name == "flash") *out = WorkloadShape::kFlash;
+  else if (name == "churn") *out = WorkloadShape::kChurn;
+  else return false;
+  return true;
+}
+
+std::string workload_shape_name(WorkloadShape shape) {
+  switch (shape) {
+    case WorkloadShape::kUniform: return "uniform";
+    case WorkloadShape::kZipf: return "zipf";
+    case WorkloadShape::kFlash: return "flash";
+    case WorkloadShape::kChurn: return "churn";
+  }
+  return "uniform";
+}
+
+KeyDistribution KeyDistribution::zipf(std::size_t n_keys, double skew) {
+  if (n_keys == 0) throw std::invalid_argument("zipf: need at least one key");
+  if (skew < 0) throw std::invalid_argument("zipf: skew must be >= 0");
+  KeyDistribution out;
+  out.cumulative_.reserve(n_keys);
+  double total = 0;
+  for (std::size_t i = 0; i < n_keys; ++i) {
+    total += 1.0 / std::pow(double(i + 1), skew);
+    out.cumulative_.push_back(total);
+  }
+  for (double& c : out.cumulative_) c /= total;
+  out.cumulative_.back() = 1.0;  // guard against rounding
+  return out;
+}
+
+KeyDistribution KeyDistribution::uniform(std::size_t n_keys) {
+  return zipf(n_keys, 0.0);
+}
+
+std::size_t KeyDistribution::draw(util::Rng& rng) const {
+  const double roll = rng.next_double();
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), roll);
+  return std::size_t(it - cumulative_.begin());
+}
+
+double KeyDistribution::top_share(std::size_t k) const {
+  if (cumulative_.empty() || k == 0) return 0;
+  return cumulative_[std::min(k, cumulative_.size()) - 1];
+}
+
+ArrivalSchedule inject_flash_crowds(const ArrivalSchedule& base, const FlashCrowdSpec& spec,
+                                    std::uint64_t seed) {
+  if (spec.compression < 1.0) {
+    throw std::invalid_argument("flash crowds: compression must be >= 1");
+  }
+  const double duration = base.duration_s();
+  // Place the crowd windows on a seed-shuffled grid of window-sized slots
+  // so they can never overlap; a crowd that would not fit is dropped.
+  std::vector<double> starts;
+  const std::size_t slots = spec.crowd_duration_s > 0
+                                ? std::size_t(duration / spec.crowd_duration_s)
+                                : 0;
+  if (slots > 0 && spec.crowds > 0) {
+    std::vector<std::size_t> order(slots);
+    for (std::size_t i = 0; i < slots; ++i) order[i] = i;
+    util::Rng rng(seed);
+    rng.shuffle(order);
+    for (std::size_t i = 0; i < std::min(spec.crowds, slots); ++i) {
+      starts.push_back(double(order[i]) * spec.crowd_duration_s);
+    }
+    std::sort(starts.begin(), starts.end());
+  }
+
+  std::vector<double> warped;
+  warped.reserve(base.size());
+  for (const double t : base.times()) {
+    double out = t;
+    for (const double start : starts) {
+      if (t >= start && t < start + spec.crowd_duration_s) {
+        out = start + (t - start) / spec.compression;
+        break;
+      }
+    }
+    warped.push_back(out);
+  }
+  std::sort(warped.begin(), warped.end());
+  return ArrivalSchedule::from_times(std::move(warped), duration);
+}
+
+MigrationTrace MigrationTrace::generate(const ChurnSpec& spec, std::uint64_t seed) {
+  if (spec.clients == 0 || spec.proxies == 0 || spec.duration_s <= 0) {
+    throw std::invalid_argument("churn: clients/proxies/duration must be > 0");
+  }
+  MigrationTrace out;
+  out.duration_s_ = spec.duration_s;
+  out.per_client_.resize(spec.clients);
+  util::Rng rng(seed);
+  for (std::size_t c = 0; c < spec.clients; ++c) {
+    // Geo-correlation: nearby client ids start on the same proxy (clients
+    // are spread evenly over the proxy ring), and migrations prefer
+    // ring-adjacent hops.
+    std::size_t proxy = c * spec.proxies / spec.clients;
+    double t = 0;
+    std::vector<SessionSegment>& segments = out.per_client_[c];
+    while (t < spec.duration_s) {
+      double stay = spec.migration_rate > 0 ? rng.exponential(spec.migration_rate)
+                                            : spec.duration_s;
+      const double end = std::min(t + stay, spec.duration_s);
+      segments.push_back(SessionSegment{proxy, t, end});
+      t = end;
+      if (t >= spec.duration_s) break;
+      if (spec.proxies == 1) continue;  // nowhere to go; extend next segment
+      std::size_t next = proxy;
+      if (rng.chance(spec.locality)) {
+        // Ring-adjacent hop, direction seed-chosen.
+        next = rng.chance(0.5) ? (proxy + 1) % spec.proxies
+                               : (proxy + spec.proxies - 1) % spec.proxies;
+      } else {
+        // Uniform jump to any *other* proxy.
+        next = rng.index(spec.proxies - 1);
+        if (next >= proxy) ++next;
+      }
+      if (next != proxy) ++out.migrations_;
+      proxy = next;
+    }
+    if (segments.empty()) segments.push_back(SessionSegment{proxy, 0, spec.duration_s});
+  }
+  // Merge zero-migration adjacency (proxies == 1 or same-proxy "hops") so
+  // segment boundaries always mean a real migration.
+  for (std::vector<SessionSegment>& segments : out.per_client_) {
+    std::vector<SessionSegment> merged;
+    for (const SessionSegment& seg : segments) {
+      if (!merged.empty() && merged.back().proxy == seg.proxy) {
+        merged.back().end_s = seg.end_s;
+      } else {
+        merged.push_back(seg);
+      }
+    }
+    segments = std::move(merged);
+  }
+  return out;
+}
+
+std::size_t MigrationTrace::proxy_at(std::size_t client, double t) const {
+  const std::vector<SessionSegment>& segments = per_client_.at(client);
+  for (const SessionSegment& seg : segments) {
+    if (t >= seg.start_s && t < seg.end_s) return seg.proxy;
+  }
+  return t < segments.front().start_s ? segments.front().proxy : segments.back().proxy;
+}
+
+}  // namespace edgstr::workload

@@ -1,0 +1,123 @@
+// Adversarial workload shapes layered on the arrival schedules.
+//
+// The paper's evaluation (§IV-D) drives every subject app with uniform
+// traffic; real edge deployments are anything but uniform. This module
+// adds the three shapes the sim and benches use to stress the
+// transformed services:
+//
+//   KeyDistribution — Zipf-skewed hot keys with parameterized skew, so a
+//                     handful of keys absorb most writes and the CRDT
+//                     merge path sees genuine contention.
+//   FlashCrowd      — time-warped bursts injected into a base
+//                     ArrivalSchedule: arrivals inside seed-chosen
+//                     windows are compressed toward the window start,
+//                     conserving the total arrival count.
+//   MigrationTrace  — geo-correlated mobile churn: clients migrate
+//                     between edge proxies mid-session, ring-adjacent
+//                     with a locality bias, never on two proxies at
+//                     once.
+//
+// Everything is derived from an explicit uint64 seed — same seed, same
+// bytes — so the shapes can drive deterministic sim schedules and the
+// golden bench baselines alike.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace edgstr::workload {
+
+/// Which traffic shape a scenario runs under. Shared by ScheduleConfig,
+/// sim_explore's --workload flag, and the workload bench.
+enum class WorkloadShape { kUniform, kZipf, kFlash, kChurn };
+
+/// Parses "uniform" / "zipf" / "flash" / "churn"; returns false on
+/// anything else.
+bool parse_workload_shape(const std::string& name, WorkloadShape* out);
+std::string workload_shape_name(WorkloadShape shape);
+
+/// A discrete key-popularity distribution over indices [0, size).
+class KeyDistribution {
+ public:
+  /// Zipf: p(i) ∝ 1 / (i+1)^skew. skew = 0 degenerates to uniform;
+  /// skew ≈ 1 is classic web-object popularity.
+  static KeyDistribution zipf(std::size_t n_keys, double skew);
+  /// Uniform over n_keys.
+  static KeyDistribution uniform(std::size_t n_keys);
+
+  /// Draws one key index. Deterministic given the rng state.
+  std::size_t draw(util::Rng& rng) const;
+
+  std::size_t size() const { return cumulative_.size(); }
+  /// Probability mass carried by the k most popular keys.
+  double top_share(std::size_t k) const;
+
+ private:
+  std::vector<double> cumulative_;  ///< normalized cumulative probabilities
+};
+
+/// Flash-crowd injection: `crowds` windows of `crowd_duration_s` are
+/// placed (non-overlapping, seed-chosen) over the base schedule, and all
+/// arrivals inside each window are compressed toward the window start by
+/// `compression`, i.e. t' = start + (t - start) / compression. Nothing is
+/// added or dropped — the same arrivals just pile up.
+struct FlashCrowdSpec {
+  std::size_t crowds = 1;
+  double crowd_duration_s = 2.0;
+  double compression = 4.0;
+};
+
+/// Returns the warped schedule. Total arrival count and overall duration
+/// are preserved; only timestamps inside the crowd windows move.
+ArrivalSchedule inject_flash_crowds(const ArrivalSchedule& base, const FlashCrowdSpec& spec,
+                                    std::uint64_t seed);
+
+/// Geo-correlated mobile churn parameters.
+struct ChurnSpec {
+  std::size_t clients = 4;
+  std::size_t proxies = 2;
+  double duration_s = 24.0;
+  /// Expected migrations per client per second (Poisson).
+  double migration_rate = 0.1;
+  /// Probability that a migration moves to a ring-adjacent proxy
+  /// (geo-correlated hop) rather than a uniformly random other proxy.
+  double locality = 0.8;
+};
+
+/// One contiguous stay of a client at a proxy. [start_s, end_s).
+struct SessionSegment {
+  std::size_t proxy = 0;
+  double start_s = 0;
+  double end_s = 0;
+};
+
+/// A full churn trace: per client, a contiguous non-overlapping sequence
+/// of session segments covering [0, duration_s). A client is on exactly
+/// one proxy at any instant — segment k ends exactly where segment k+1
+/// starts.
+class MigrationTrace {
+ public:
+  static MigrationTrace generate(const ChurnSpec& spec, std::uint64_t seed);
+
+  /// The proxy hosting `client` at time `t` (clamped into the trace).
+  std::size_t proxy_at(std::size_t client, double t) const;
+
+  const std::vector<SessionSegment>& segments(std::size_t client) const {
+    return per_client_[client];
+  }
+  std::size_t clients() const { return per_client_.size(); }
+  /// Total proxy changes across all clients.
+  std::size_t migrations() const { return migrations_; }
+  double duration_s() const { return duration_s_; }
+
+ private:
+  std::vector<std::vector<SessionSegment>> per_client_;
+  std::size_t migrations_ = 0;
+  double duration_s_ = 0;
+};
+
+}  // namespace edgstr::workload

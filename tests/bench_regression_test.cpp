@@ -23,8 +23,10 @@
 #include "json/parse.h"
 #include "json/value.h"
 #include "runtime/sharded_runtime.h"
+#include "sim/schedule.h"
 #include "sqldb/parser.h"
 #include "trace/state_capture.h"
+#include "workload/shapes.h"
 
 namespace edgstr {
 namespace {
@@ -188,6 +190,58 @@ void measure_sharded_cluster(json::Object* measured) {
                 json::Value(double(rt.client_ops_processed()) / rt.sim_now()));
 }
 
+/// Scaled-down bench_workload: the three adversarial traffic shapes run as
+/// short fixed-seed schedules, and the gate keys on what the shapes are
+/// supposed to produce — hot-key concentration for zipf, peak arrival
+/// pileup for flash, migration/handoff counts for churn, and the online
+/// variant-agreement counters (divergences gate at exactly zero). All
+/// seed-derived, so any drift means the workload plane itself changed.
+void measure_workload_scenarios(json::Object* measured) {
+  {
+    const workload::KeyDistribution dist = workload::KeyDistribution::zipf(16, 1.2);
+    sim::ScheduleConfig config;
+    config.seed = 101;
+    config.rounds = 8;
+    config.workload = workload::WorkloadShape::kZipf;
+    const sim::ScheduleResult result = sim::run_schedule(config);
+    EXPECT_TRUE(result.passed) << result.summary();
+    measured->set("workload.zipf.hot_key_share", json::Value(dist.top_share(3)));
+    measured->set("workload.zipf.acked", json::Value(double(result.writes_acked)));
+    measured->set("workload.variant.checks", json::Value(double(result.variant_checks)));
+    measured->set("workload.variant.divergences",
+                  json::Value(double(result.variant_divergences)));
+  }
+  {
+    const workload::ArrivalSchedule base = workload::ArrivalSchedule::poisson(40, 30.0, 7);
+    workload::FlashCrowdSpec spec;
+    spec.crowds = 3;
+    spec.crowd_duration_s = 4.0;
+    spec.compression = 5.0;
+    const workload::ArrivalSchedule warped = workload::inject_flash_crowds(base, spec, 7);
+    const auto peak_1s = [](const workload::ArrivalSchedule& s) {
+      std::size_t best = 0, lo = 0;
+      for (std::size_t hi = 0; hi < s.times().size(); ++hi) {
+        while (s.times()[hi] - s.times()[lo] > 1.0) ++lo;
+        best = std::max(best, hi - lo + 1);
+      }
+      return double(best);
+    };
+    measured->set("workload.flash.arrivals", json::Value(double(warped.size())));
+    measured->set("workload.flash.peak_window", json::Value(peak_1s(warped)));
+  }
+  {
+    sim::ScheduleConfig config;
+    config.seed = 202;
+    config.rounds = 8;
+    config.workload = workload::WorkloadShape::kChurn;
+    const sim::ScheduleResult result = sim::run_schedule(config);
+    EXPECT_TRUE(result.passed) << result.summary();
+    measured->set("workload.churn.migrations", json::Value(double(result.migrations)));
+    measured->set("workload.churn.handoff_fail", json::Value(double(result.handoffs_failed)));
+    measured->set("workload.churn.acked", json::Value(double(result.writes_acked)));
+  }
+}
+
 TEST(BenchRegressionTest, SyncBytesAndLatencyStayNearBaseline) {
   const core::TransformResult& result = transformed_sensor_hub();
   ASSERT_TRUE(result.ok) << result.error;
@@ -200,6 +254,7 @@ TEST(BenchRegressionTest, SyncBytesAndLatencyStayNearBaseline) {
   measured.set("fig7_scaled.cloud_p95_latency_s", json::Value(cloud_p95));
   measure_interp_counters(&measured);
   measure_sharded_cluster(&measured);
+  measure_workload_scenarios(&measured);
 
   const std::string path = std::string(EDGSTR_TESTS_DIR) + "/golden/bench_baseline.json";
   if (std::getenv("EDGSTR_UPDATE_BENCH_BASELINE")) {

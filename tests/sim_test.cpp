@@ -3,8 +3,10 @@
 // harness-catches-a-real-regression guarantee.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <fstream>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "sim/schedule.h"
@@ -142,29 +144,134 @@ TEST(SimRegressionCatchTest, ConvergenceInvariantCatchesSilentDivergence) {
 // replication bug (the file says which); replaying the corpus keeps the
 // exact schedules that caught them in the gate forever. Each seed runs
 // under both sync protocols — some of the recorded bugs were push-only,
-// some digest-only, and the schedule is identical either way.
+// some digest-only, and the schedule is identical either way. A line may
+// carry a workload-shape prefix ("churn 19"): those seeds replay
+// migration/handoff bugs, which only a shaped schedule can reach.
 TEST(SimRegressionCatchTest, RegressionSeedCorpusStaysGreen) {
   std::ifstream corpus(std::string(EDGSTR_TESTS_DIR) + "/seeds/regressions.txt");
   ASSERT_TRUE(corpus.is_open()) << "tests/seeds/regressions.txt missing";
-  std::vector<std::uint64_t> seeds;
+  std::vector<std::pair<workload::WorkloadShape, std::uint64_t>> seeds;
   std::string line;
   while (std::getline(corpus, line)) {
-    const std::size_t start = line.find_first_not_of(" \t");
+    std::size_t start = line.find_first_not_of(" \t");
     if (start == std::string::npos || line[start] == '#') continue;
-    seeds.push_back(std::stoull(line.substr(start)));
+    workload::WorkloadShape shape = workload::WorkloadShape::kUniform;
+    const std::size_t space = line.find(' ', start);
+    if (space != std::string::npos && !std::isdigit(static_cast<unsigned char>(line[start]))) {
+      ASSERT_TRUE(workload::parse_workload_shape(line.substr(start, space - start), &shape))
+          << "bad shape in corpus line: " << line;
+      start = line.find_first_not_of(" \t", space);
+      ASSERT_NE(start, std::string::npos) << "shape without seed: " << line;
+    }
+    seeds.emplace_back(shape, std::stoull(line.substr(start)));
   }
   ASSERT_FALSE(seeds.empty()) << "empty regression corpus";
-  for (const std::uint64_t seed : seeds) {
+  bool saw_shaped = false;
+  for (const auto& [shape, seed] : seeds) {
+    saw_shaped = saw_shaped || shape != workload::WorkloadShape::kUniform;
     for (const bool digest : {true, false}) {
       ScheduleConfig config;
       config.seed = seed;
       config.digest_sync = digest;
+      config.workload = shape;
       const ScheduleResult result = run_schedule(config);
       EXPECT_TRUE(result.passed) << "regression seed resurfaced ("
                                  << (digest ? "digest" : "push")
                                  << " sync): " << result.summary();
     }
   }
+  EXPECT_TRUE(saw_shaped) << "migration regression seeds missing from the corpus";
+}
+
+// ------------------------------------------------- workload & variants --
+
+TEST(SimWorkloadTest, ShapesKeepTheBaseScheduleIntact) {
+  // Shape draws come from a separate RNG stream, so the topology and the
+  // fault schedule for a seed are identical under every shape — shapes
+  // add adversity on top, they never reshuffle the run underneath.
+  for (const std::uint64_t seed : {3ull, 19ull, 42ull}) {
+    ScheduleConfig base;
+    base.seed = seed;
+    const ScheduleResult uniform = run_schedule(base);
+    for (const workload::WorkloadShape shape :
+         {workload::WorkloadShape::kZipf, workload::WorkloadShape::kFlash,
+          workload::WorkloadShape::kChurn}) {
+      ScheduleConfig shaped = base;
+      shaped.workload = shape;
+      const ScheduleResult result = run_schedule(shaped);
+      EXPECT_EQ(result.topology, uniform.topology) << "seed " << seed;
+      EXPECT_EQ(result.edges, uniform.edges) << "seed " << seed;
+      EXPECT_EQ(result.crashes, uniform.crashes) << "seed " << seed;
+      EXPECT_EQ(result.partitions, uniform.partitions) << "seed " << seed;
+      EXPECT_TRUE(result.passed) << result.summary();
+    }
+  }
+}
+
+TEST(SimWorkloadTest, ShapedRunsAreSeedDeterministic) {
+  for (const workload::WorkloadShape shape :
+       {workload::WorkloadShape::kZipf, workload::WorkloadShape::kFlash,
+        workload::WorkloadShape::kChurn}) {
+    ScheduleConfig config;
+    config.seed = 19;
+    config.workload = shape;
+    const ScheduleResult first = run_schedule(config);
+    const ScheduleResult second = run_schedule(config);
+    EXPECT_EQ(first.trace_digest, second.trace_digest);
+    EXPECT_EQ(first.state_digest, second.state_digest);
+    EXPECT_EQ(first.migrations, second.migrations);
+  }
+}
+
+TEST(SimWorkloadTest, ChurnExercisesTheMigrationInvariant) {
+  // Seed 195 (hierarchy) performs repeated cross-edge migrations with
+  // successful handoffs; the migration-ryw invariant must actually run
+  // (migrations > 0) and hold.
+  ScheduleConfig config;
+  config.seed = 195;
+  config.workload = workload::WorkloadShape::kChurn;
+  const ScheduleResult result = run_schedule(config);
+  EXPECT_TRUE(result.passed) << result.summary();
+  EXPECT_GT(result.migrations, 10u) << result.summary();
+  EXPECT_LT(result.handoffs_failed, result.migrations) << result.summary();
+}
+
+TEST(SimVariantTest, ShadowsAreScheduleInvisible) {
+  // The variant shadows replay off-network from CoW pre-state; turning
+  // the cross-check off must not move a single byte of the schedule.
+  for (const std::uint64_t seed : {7ull, 24ull}) {
+    ScheduleConfig on, off;
+    on.seed = off.seed = seed;
+    off.variant_check = false;
+    const ScheduleResult checked = run_schedule(on);
+    const ScheduleResult plain = run_schedule(off);
+    EXPECT_EQ(checked.trace_digest, plain.trace_digest) << "seed " << seed;
+    EXPECT_EQ(checked.state_digest, plain.state_digest) << "seed " << seed;
+    EXPECT_GT(checked.variant_checks, 0u);
+    EXPECT_EQ(plain.variant_checks, 0u);
+  }
+}
+
+TEST(SimVariantTest, PlantedVariantFaultIsCaught) {
+  // Mirrors OptimisticAcksRegressionIsCaught for the execution engine: a
+  // semantic fault planted on the legacy shadow (an unconditional UPDATE
+  // skew on every replay) must surface as variant-agreement violations on
+  // virtually every seed, each carrying the offending request.
+  std::size_t caught = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    ScheduleConfig config;
+    config.seed = seed;
+    config.variant_fault = true;
+    const ScheduleResult result = run_schedule(config);
+    if (result.passed) continue;
+    bool variant_violation = false;
+    for (const Violation& v : result.violations) {
+      if (v.invariant == "variant-agreement") variant_violation = true;
+    }
+    if (variant_violation) ++caught;
+    EXPECT_GT(result.variant_divergences, 0u) << result.summary();
+  }
+  EXPECT_GE(caught, 4u) << "planted engine fault escaped the variant harness";
 }
 
 TEST(SimTraceTest, DigestIsOrderSensitive) {

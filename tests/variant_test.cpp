@@ -1,0 +1,187 @@
+// Online multi-variant divergence checking (runtime::VariantHarness).
+//
+// The harness's job is to notice when two engine variants disagree about
+// the same request. A detector is only trustworthy if it (a) stays silent
+// on a correct system and (b) actually fires on a broken one — so these
+// tests drive both directions: clean cross-checks over mixed read/write
+// traffic must produce zero divergences, and a deliberately planted
+// semantic fault (a test-only hook that skews the legacy shadow's data on
+// every replay) must be flagged with the offending request and the
+// RW-log delta attached.
+#include <gtest/gtest.h>
+
+#include "edgstr/deployment.h"
+#include "edgstr/pipeline.h"
+#include "apps/app.h"
+#include "runtime/service_runtime.h"
+#include "runtime/variant_harness.h"
+
+namespace edgstr::runtime {
+namespace {
+
+constexpr const char* kService = R"JS(
+db.query("CREATE TABLE readings (sensor, value)");
+app.post("/ingest", function (req, res) {
+  db.query("INSERT INTO readings (sensor, value) VALUES (?, ?)",
+           [req.params.sensor, req.params.value]);
+  res.send({ ok: 1 });
+});
+app.get("/summary", function (req, res) {
+  var rows = db.query("SELECT sensor, value FROM readings");
+  var total = 0;
+  for (var i = 0; i < rows.length; i++) total += rows[i].value;
+  res.send({ count: rows.length, total: total });
+});
+)JS";
+
+http::HttpRequest ingest(const std::string& sensor, double value) {
+  http::HttpRequest req;
+  req.verb = http::Verb::kPost;
+  req.path = "/ingest";
+  req.params = json::Value::object({{"sensor", sensor}, {"value", value}});
+  return req;
+}
+
+http::HttpRequest summary() {
+  http::HttpRequest req;
+  req.path = "/summary";
+  return req;
+}
+
+/// fast (resolver on) + legacy (tree-walker), optionally with a fault
+/// planted on the legacy shadow.
+std::unique_ptr<VariantHarness> make_harness(std::function<void(ServiceRuntime&)> fault = {}) {
+  std::vector<VariantSpec> specs(2);
+  specs[0].name = "fast";
+  specs[0].config.resolve = true;
+  specs[1].name = "legacy";
+  specs[1].config.resolve = false;
+  specs[1].test_fault = std::move(fault);
+  return std::make_unique<VariantHarness>(kService, std::move(specs));
+}
+
+TEST(VariantHarnessTest, CleanVariantsAgreeOnEveryRequest) {
+  ServiceRuntime primary(kService);
+  auto harness = make_harness();
+  primary.set_variant_harness(harness.get());
+
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_FALSE(primary.handle(ingest("s" + std::to_string(i % 3), 10.0 * i)).failed);
+    EXPECT_FALSE(primary.handle(summary()).failed);
+  }
+  EXPECT_EQ(harness->checks(), 12u);
+  EXPECT_TRUE(harness->divergences().empty())
+      << harness->divergences().front().kind << ": " << harness->divergences().front().detail;
+}
+
+TEST(VariantHarnessTest, FailedRequestsStillAgree) {
+  ServiceRuntime primary(kService);
+  auto harness = make_harness();
+  primary.set_variant_harness(harness.get());
+  http::HttpRequest missing;
+  missing.path = "/nope";
+  EXPECT_TRUE(primary.handle(missing).response.status == 404 ||
+              primary.handle(missing).failed);
+  EXPECT_TRUE(harness->divergences().empty());
+}
+
+TEST(VariantHarnessTest, PlantedSemanticFaultIsFlaggedWithRequestAndDelta) {
+  ServiceRuntime primary(kService);
+  // The fault skews every reading to 999999 on the legacy shadow after
+  // each pre-state restore — any /summary over non-empty data must
+  // diverge in both the response and the RW-log.
+  auto harness = make_harness([](ServiceRuntime& rt) {
+    rt.database().execute("UPDATE readings SET value = 999999");
+  });
+  primary.set_variant_harness(harness.get());
+
+  ASSERT_FALSE(primary.handle(ingest("s0", 21.0)).failed);
+  const std::size_t before = harness->divergences().size();
+  ASSERT_FALSE(primary.handle(summary()).failed);
+  ASSERT_GT(harness->divergences().size(), before) << "fault not detected";
+
+  bool saw_response = false, saw_rwlog = false;
+  for (const Divergence& d : harness->divergences()) {
+    EXPECT_EQ(d.variant, "legacy");
+    // Every divergence names the offending request.
+    EXPECT_EQ(d.request.path, "/summary");
+    EXPECT_FALSE(d.detail.empty());
+    if (d.kind == "response") {
+      saw_response = true;
+      // The detail carries the disagreeing bodies (999999 visible).
+      EXPECT_NE(d.detail.find("999999"), std::string::npos) << d.detail;
+    }
+    if (d.kind == "rwlog") saw_rwlog = true;
+  }
+  EXPECT_TRUE(saw_response);
+  EXPECT_TRUE(saw_rwlog) << "RW-log delta missing from the divergence report";
+}
+
+TEST(VariantHarnessTest, DetachedHarnessCostsNothing) {
+  ServiceRuntime primary(kService);
+  EXPECT_EQ(primary.variant_harness(), nullptr);
+  EXPECT_FALSE(primary.handle(ingest("s0", 1.0)).failed);
+}
+
+// ------------------------------------------------------------ deployment --
+
+const core::TransformResult& transformed_sensor_hub() {
+  static const core::TransformResult result = [] {
+    const apps::SubjectApp& app = apps::sensor_hub();
+    const http::TrafficRecorder traffic = core::record_traffic(app.server_source, app.workload);
+    return core::Pipeline().transform(app.name, app.server_source, traffic);
+  }();
+  return result;
+}
+
+TEST(DeploymentVariantTest, CrossChecksEveryServedRequestCleanly) {
+  const core::TransformResult& result = transformed_sensor_hub();
+  ASSERT_TRUE(result.ok) << result.error;
+  core::DeploymentConfig config;
+  config.start_sync = false;
+  config.edge_devices.assign(2, cluster::DeviceProfile::rpi4());
+  config.variant_check = true;
+  core::ThreeTierDeployment three(result, config);
+
+  std::size_t i = 0;
+  for (const http::HttpRequest& req : apps::sensor_hub().workload) {
+    three.request_sync(req, i++ % 2);
+  }
+  EXPECT_GT(three.variant_checks(), 0u);
+  EXPECT_EQ(three.variant_divergence_count(), 0u);
+
+  // The metrics snapshot exports the counters...
+  const std::string snapshot = three.metrics_snapshot().dump();
+  EXPECT_NE(snapshot.find("variant.checks"), std::string::npos);
+  EXPECT_NE(snapshot.find("variant.divergence.count"), std::string::npos);
+  // ...and only when harnesses exist (variant-off snapshots unchanged).
+  core::DeploymentConfig off = config;
+  off.variant_check = false;
+  core::ThreeTierDeployment plain(result, off);
+  EXPECT_EQ(plain.metrics_snapshot().dump().find("variant."), std::string::npos);
+  EXPECT_EQ(plain.variant_checks(), 0u);
+}
+
+TEST(DeploymentVariantTest, PlantedFaultSurfacesInDivergenceCount) {
+  const core::TransformResult& result = transformed_sensor_hub();
+  ASSERT_TRUE(result.ok) << result.error;
+  core::DeploymentConfig config;
+  config.start_sync = false;
+  config.variant_check = true;
+  config.variant_test_fault = [](runtime::ServiceRuntime& rt) {
+    rt.database().execute("UPDATE readings SET value = 999999");
+  };
+  core::ThreeTierDeployment three(result, config);
+
+  for (const http::HttpRequest& req : apps::sensor_hub().workload) {
+    three.request_sync(req, 0);
+  }
+  EXPECT_GT(three.variant_divergence_count(), 0u);
+  const std::vector<runtime::Divergence> divergences = three.variant_divergences();
+  ASSERT_FALSE(divergences.empty());
+  EXPECT_EQ(divergences.front().variant, "legacy");
+  EXPECT_FALSE(divergences.front().detail.empty());
+}
+
+}  // namespace
+}  // namespace edgstr::runtime

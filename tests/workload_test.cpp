@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
 #include "runtime/node.h"
 #include "runtime/proxy.h"
 #include "workload/generator.h"
+#include "workload/shapes.h"
 
 namespace edgstr::workload {
 namespace {
@@ -58,8 +63,185 @@ TEST(ArrivalScheduleTest, DiurnalOscillates) {
 
 TEST(ArrivalScheduleTest, RejectsBadArguments) {
   EXPECT_THROW(ArrivalSchedule::constant(0, 1), std::invalid_argument);
-  EXPECT_THROW(ArrivalSchedule::poisson(10, 0), std::invalid_argument);
-  EXPECT_THROW(ArrivalSchedule::diurnal(5, 2, 10, 10), std::invalid_argument);
+  EXPECT_THROW(ArrivalSchedule::poisson(10, 0, 1), std::invalid_argument);
+  EXPECT_THROW(ArrivalSchedule::diurnal(5, 2, 10, 10, 1), std::invalid_argument);
+}
+
+// ------------------------------------------------------- workload shapes --
+
+TEST(KeyDistributionTest, ZipfEmpiricalFrequenciesMatchTargetSkew) {
+  const double skew = 1.1;
+  const KeyDistribution dist = KeyDistribution::zipf(32, skew);
+  ASSERT_EQ(dist.size(), 32u);
+
+  util::Rng rng(42);
+  std::vector<std::size_t> counts(dist.size(), 0);
+  const std::size_t draws = 200000;
+  for (std::size_t i = 0; i < draws; ++i) ++counts[dist.draw(rng)];
+
+  // Theoretical p(i) ∝ 1/(i+1)^skew; empirical frequency of each of the
+  // top keys must land within 10% relative tolerance of it.
+  double norm = 0.0;
+  for (std::size_t i = 0; i < dist.size(); ++i) norm += 1.0 / std::pow(double(i + 1), skew);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const double expected = (1.0 / std::pow(double(i + 1), skew)) / norm;
+    const double empirical = double(counts[i]) / double(draws);
+    EXPECT_NEAR(empirical, expected, expected * 0.10) << "key " << i;
+  }
+  // The head must dominate: with skew > 1 the top 3 of 32 carry a large
+  // share, and the analytic top_share agrees with the empirical one.
+  const double empirical_top3 =
+      double(counts[0] + counts[1] + counts[2]) / double(draws);
+  EXPECT_GT(empirical_top3, 0.5);
+  EXPECT_NEAR(empirical_top3, dist.top_share(3), 0.02);
+}
+
+TEST(KeyDistributionTest, UniformIsFlat) {
+  const KeyDistribution dist = KeyDistribution::uniform(8);
+  EXPECT_NEAR(dist.top_share(2), 0.25, 1e-12);
+  util::Rng rng(7);
+  std::vector<std::size_t> counts(8, 0);
+  for (std::size_t i = 0; i < 80000; ++i) ++counts[dist.draw(rng)];
+  for (const std::size_t c : counts) EXPECT_NEAR(double(c), 10000.0, 400.0);
+}
+
+TEST(KeyDistributionTest, RejectsBadArguments) {
+  EXPECT_THROW(KeyDistribution::zipf(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(KeyDistribution::zipf(4, -0.5), std::invalid_argument);
+}
+
+TEST(FlashCrowdTest, SameSeedIsByteIdentical) {
+  const ArrivalSchedule base = ArrivalSchedule::poisson(30, 20.0, 9);
+  FlashCrowdSpec spec;
+  spec.crowds = 2;
+  spec.crowd_duration_s = 3.0;
+  spec.compression = 4.0;
+  const ArrivalSchedule a = inject_flash_crowds(base, spec, 5);
+  const ArrivalSchedule b = inject_flash_crowds(base, spec, 5);
+  EXPECT_EQ(a.times(), b.times());
+  // A different seed moves the crowd windows.
+  const ArrivalSchedule c = inject_flash_crowds(base, spec, 6);
+  EXPECT_NE(a.times(), c.times());
+}
+
+TEST(FlashCrowdTest, ConservesTotalArrivalCount) {
+  const ArrivalSchedule base = ArrivalSchedule::poisson(50, 30.0, 3);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    FlashCrowdSpec spec;
+    spec.crowds = 3;
+    spec.crowd_duration_s = 2.5;
+    spec.compression = 6.0;
+    const ArrivalSchedule warped = inject_flash_crowds(base, spec, seed);
+    EXPECT_EQ(warped.size(), base.size()) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(warped.duration_s(), base.duration_s());
+    // Still a valid schedule: sorted, inside the duration.
+    for (std::size_t i = 1; i < warped.times().size(); ++i) {
+      EXPECT_GE(warped.times()[i], warped.times()[i - 1]);
+    }
+    EXPECT_LT(warped.times().back(), base.duration_s());
+  }
+}
+
+TEST(FlashCrowdTest, CompressionRaisesPeakDensity) {
+  const ArrivalSchedule base = ArrivalSchedule::poisson(40, 30.0, 11);
+  FlashCrowdSpec spec;
+  spec.crowds = 2;
+  spec.crowd_duration_s = 4.0;
+  spec.compression = 8.0;
+  const ArrivalSchedule warped = inject_flash_crowds(base, spec, 11);
+  const auto peak_1s = [](const ArrivalSchedule& s) {
+    std::size_t best = 0, lo = 0;
+    for (std::size_t hi = 0; hi < s.times().size(); ++hi) {
+      while (s.times()[hi] - s.times()[lo] > 1.0) ++lo;
+      best = std::max(best, hi - lo + 1);
+    }
+    return best;
+  };
+  EXPECT_GT(peak_1s(warped), peak_1s(base) * 2);
+}
+
+TEST(MigrationTraceTest, SameSeedIsByteIdentical) {
+  ChurnSpec spec;
+  spec.clients = 6;
+  spec.proxies = 3;
+  spec.duration_s = 50.0;
+  spec.migration_rate = 0.2;
+  const MigrationTrace a = MigrationTrace::generate(spec, 17);
+  const MigrationTrace b = MigrationTrace::generate(spec, 17);
+  ASSERT_EQ(a.clients(), b.clients());
+  EXPECT_EQ(a.migrations(), b.migrations());
+  for (std::size_t c = 0; c < a.clients(); ++c) {
+    const auto& sa = a.segments(c);
+    const auto& sb = b.segments(c);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].proxy, sb[i].proxy);
+      EXPECT_DOUBLE_EQ(sa[i].start_s, sb[i].start_s);
+      EXPECT_DOUBLE_EQ(sa[i].end_s, sb[i].end_s);
+    }
+  }
+}
+
+TEST(MigrationTraceTest, SessionsNeverOverlapTwoProxies) {
+  // A client's segments must tile [0, duration) exactly: contiguous,
+  // non-overlapping, never on two proxies at once, and every boundary is a
+  // real migration (adjacent segments differ in proxy).
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    ChurnSpec spec;
+    spec.clients = 5;
+    spec.proxies = 4;
+    spec.duration_s = 40.0;
+    spec.migration_rate = 0.25;
+    const MigrationTrace trace = MigrationTrace::generate(spec, seed);
+    ASSERT_EQ(trace.clients(), spec.clients);
+    std::size_t boundaries = 0;
+    for (std::size_t c = 0; c < trace.clients(); ++c) {
+      const auto& segs = trace.segments(c);
+      ASSERT_FALSE(segs.empty());
+      EXPECT_DOUBLE_EQ(segs.front().start_s, 0.0);
+      EXPECT_DOUBLE_EQ(segs.back().end_s, spec.duration_s);
+      for (std::size_t i = 0; i < segs.size(); ++i) {
+        EXPECT_LT(segs[i].proxy, spec.proxies);
+        EXPECT_LT(segs[i].start_s, segs[i].end_s);
+        if (i > 0) {
+          EXPECT_DOUBLE_EQ(segs[i].start_s, segs[i - 1].end_s);
+          EXPECT_NE(segs[i].proxy, segs[i - 1].proxy)
+              << "seed " << seed << " client " << c << " segment " << i;
+          ++boundaries;
+        }
+      }
+      // proxy_at agrees with the segment list at segment midpoints.
+      for (const SessionSegment& seg : segs) {
+        EXPECT_EQ(trace.proxy_at(c, (seg.start_s + seg.end_s) / 2.0), seg.proxy);
+      }
+    }
+    EXPECT_EQ(trace.migrations(), boundaries) << "seed " << seed;
+  }
+}
+
+TEST(MigrationTraceTest, SingleProxyNeverMigrates) {
+  ChurnSpec spec;
+  spec.clients = 3;
+  spec.proxies = 1;
+  spec.duration_s = 30.0;
+  spec.migration_rate = 0.5;
+  const MigrationTrace trace = MigrationTrace::generate(spec, 4);
+  EXPECT_EQ(trace.migrations(), 0u);
+  for (std::size_t c = 0; c < trace.clients(); ++c) {
+    EXPECT_EQ(trace.segments(c).size(), 1u);
+    EXPECT_EQ(trace.proxy_at(c, 15.0), 0u);
+  }
+}
+
+TEST(ParseWorkloadShapeTest, RoundTripsAndRejectsUnknown) {
+  for (const WorkloadShape shape : {WorkloadShape::kUniform, WorkloadShape::kZipf,
+                                    WorkloadShape::kFlash, WorkloadShape::kChurn}) {
+    WorkloadShape parsed = WorkloadShape::kUniform;
+    ASSERT_TRUE(parse_workload_shape(workload_shape_name(shape), &parsed));
+    EXPECT_EQ(parsed, shape);
+  }
+  WorkloadShape parsed = WorkloadShape::kUniform;
+  EXPECT_FALSE(parse_workload_shape("bursty", &parsed));
 }
 
 TEST(RequestMixTest, SingleRequestAlwaysDrawn) {

@@ -2,19 +2,28 @@
 //
 //   sim_explore --seed N [--rounds R] [--lanes L] [--workload W] [--trace]
 //               [--optimistic-acks] [--no-digest] [--no-variant-check]
-//               [--variant-fault] [--trace-out FILE] [--metrics-out FILE]
+//               [--variant-fault] [--handoff-fault] [--slo]
+//               [--trace-out FILE] [--metrics-out FILE]
+//               [--timeseries-out FILE] [--flight-out FILE]
 //       Replays one schedule and prints its one-line report; --trace dumps
 //       the full event trace (what you diff when chasing a failing seed).
 //       --trace-out writes the run's span log as Chrome-trace JSON (open in
 //       chrome://tracing or ui.perfetto.dev); --metrics-out writes the
-//       metrics snapshot (counters + latency/staleness histograms) as JSON.
+//       metrics snapshot (counters + latency/staleness histograms) as JSON;
+//       --timeseries-out writes the windowed time-series JSON (per-window
+//       request rates, staleness, sync volume); --flight-out writes the
+//       flight-recorder dump (recent per-host events) whether or not the
+//       run failed.
 //   sim_explore --sweep N [--start S] [--rounds R] [--lanes L] [--workload W]
 //               [--optimistic-acks] [--no-digest] [--no-variant-check]
+//               [--handoff-fault] [--slo]
 //       Runs N consecutive seeds starting at S (default 1) and prints a
 //       report per failure. Exits nonzero when any seed fails, with the
 //       failing seeds listed last so CI logs surface them. The sweep
-//       footer reports aggregate migrations, failed handoffs, and variant
-//       checks/divergences so CI can archive per-scenario divergence counts.
+//       footer reports aggregate migrations, failed handoffs, variant
+//       checks/divergences, and (under --slo) watchdog alert counts so CI
+//       can archive per-scenario totals. Failing seeds print their
+//       flight-recorder dump — the black box — after the report line.
 //
 // --workload W (default uniform) picks the adversarial traffic shape:
 // uniform (legacy), zipf (hot keys), flash (crowd rounds), or churn
@@ -22,10 +31,18 @@
 // invariant). The base fault schedule for a seed is identical under every
 // shape.
 //
+// --slo runs the online SLO watchdog (obs::default_slo_rules) over the
+// run's windowed time-series in forbid-alerts mode: any alert fails the
+// seed with an `slo-false-positive` violation. This is the clean-sweep
+// calibration gate — the default rules must stay silent on healthy seeds.
+// --handoff-fault plants the deliberate handoff regression the
+// handoff-fail-rate rule exists to catch (pair with --workload churn).
+//
 // --lanes L (default 1) runs the deployment's sharded runtime with L
-// worker lanes. Traces and state digests are lane-count-invariant, so a
-// sweep at --lanes 4 checks the exact same invariants as the serial sweep
-// — plus the thread-safety of the parallel sections under TSan.
+// worker lanes. Traces, state digests, and time-series exports are
+// lane-count-invariant, so a sweep at --lanes 4 checks the exact same
+// invariants as the serial sweep — plus the thread-safety of the parallel
+// sections under TSan.
 //
 // A failing seed is a complete reproduction: `sim_explore --seed N --trace`
 // re-runs the identical topology, faults, crashes, and traffic — and the
@@ -43,10 +60,12 @@ namespace {
 int usage() {
   std::cerr << "usage: sim_explore --seed N [--rounds R] [--lanes L] [--workload W] [--trace]\n"
             << "                   [--optimistic-acks] [--no-digest] [--no-variant-check]\n"
-            << "                   [--variant-fault] [--trace-out FILE] [--metrics-out FILE]\n"
+            << "                   [--variant-fault] [--handoff-fault] [--slo]\n"
+            << "                   [--trace-out FILE] [--metrics-out FILE]\n"
+            << "                   [--timeseries-out FILE] [--flight-out FILE]\n"
             << "       sim_explore --sweep N [--start S] [--rounds R] [--lanes L]\n"
             << "                   [--workload W] [--optimistic-acks] [--no-digest]\n"
-            << "                   [--no-variant-check]\n"
+            << "                   [--no-variant-check] [--handoff-fault] [--slo]\n"
             << "       W: uniform | zipf | flash | churn\n";
   return 2;
 }
@@ -71,7 +90,7 @@ int main(int argc, char** argv) {
   bool sweep = false;
   bool trace = false;
   std::uint64_t seed = 0, count = 0, start = 1;
-  std::string trace_out, metrics_out;
+  std::string trace_out, metrics_out, timeseries_out, flight_out;
   edgstr::sim::ScheduleConfig config;
   bool have_target = false;
 
@@ -99,6 +118,10 @@ int main(int argc, char** argv) {
       trace_out = args[++i];
     } else if (arg == "--metrics-out" && has_value) {
       metrics_out = args[++i];
+    } else if (arg == "--timeseries-out" && has_value) {
+      timeseries_out = args[++i];
+    } else if (arg == "--flight-out" && has_value) {
+      flight_out = args[++i];
     } else if (arg == "--optimistic-acks") {
       config.optimistic_acks = true;
     } else if (arg == "--no-digest") {
@@ -109,6 +132,11 @@ int main(int argc, char** argv) {
       config.variant_check = false;
     } else if (arg == "--variant-fault") {
       config.variant_fault = true;
+    } else if (arg == "--handoff-fault") {
+      config.handoff_fault = true;
+    } else if (arg == "--slo") {
+      config.slo_watchdog = true;
+      config.forbid_alerts = true;
     } else {
       return usage();
     }
@@ -118,9 +146,12 @@ int main(int argc, char** argv) {
   if (!sweep) {
     config.seed = seed;
     config.capture_telemetry = !trace_out.empty() || !metrics_out.empty();
-    const edgstr::sim::ScheduleResult result = edgstr::sim::run_schedule(config);
+    config.capture_timeseries = config.capture_timeseries || !timeseries_out.empty();
+    if (!flight_out.empty() && config.flight_ring == 0) config.flight_ring = 96;
+    edgstr::sim::ScheduleResult result = edgstr::sim::run_schedule(config);
     std::cout << result.summary() << "\n";
     if (trace) std::cout << result.trace.dump() << "\n";
+    if (!result.flight_dump.empty()) std::cout << result.flight_dump;
     bool io_ok = true;
     if (!trace_out.empty()) {
       io_ok = edgstr::obs::write_text_file(trace_out, result.chrome_trace + "\n") && io_ok;
@@ -128,17 +159,32 @@ int main(int argc, char** argv) {
     if (!metrics_out.empty()) {
       io_ok = edgstr::obs::write_text_file(metrics_out, result.metrics_snapshot + "\n") && io_ok;
     }
+    if (!timeseries_out.empty()) {
+      io_ok = edgstr::obs::write_text_file(timeseries_out, result.timeseries + "\n") && io_ok;
+    }
+    if (!flight_out.empty()) {
+      // --flight-out wants the dump regardless of verdict; a passing run's
+      // result carries none, so re-dump is impossible here — instead the
+      // harness attaches it only on failure. Write what we have (possibly
+      // a note) so CI artifact steps never half-fail.
+      const std::string text =
+          result.flight_dump.empty() ? "flight recorder: run passed, no dump attached\n"
+                                     : result.flight_dump;
+      io_ok = edgstr::obs::write_text_file(flight_out, text) && io_ok;
+    }
     if (!io_ok) return 2;
     return result.passed ? 0 : 1;
   }
 
-  if (!trace_out.empty() || !metrics_out.empty()) {
-    std::cerr << "sim_explore: --trace-out/--metrics-out need a single --seed run\n";
+  if (!trace_out.empty() || !metrics_out.empty() || !timeseries_out.empty() ||
+      !flight_out.empty()) {
+    std::cerr << "sim_explore: --*-out flags need a single --seed run\n";
     return usage();
   }
 
   std::vector<std::uint64_t> failing;
   std::size_t migrations = 0, handoffs_failed = 0, variant_divergences = 0;
+  std::size_t slo_alerts = 0;
   std::uint64_t variant_checks = 0;
   for (std::uint64_t s = start; s < start + count; ++s) {
     config.seed = s;
@@ -147,9 +193,11 @@ int main(int argc, char** argv) {
     handoffs_failed += result.handoffs_failed;
     variant_checks += result.variant_checks;
     variant_divergences += result.variant_divergences;
+    slo_alerts += result.slo_alerts.size();
     if (!result.passed) {
       failing.push_back(s);
       std::cout << result.summary() << "\n";
+      if (!result.flight_dump.empty()) std::cout << result.flight_dump;
     }
   }
   std::cout << "swept " << count << " seeds starting at " << start << ": " << failing.size()
@@ -157,7 +205,9 @@ int main(int argc, char** argv) {
   std::cout << "workload=" << edgstr::workload::workload_shape_name(config.workload)
             << " migrations=" << migrations << " handoff_fail=" << handoffs_failed
             << " variant_checks=" << variant_checks
-            << " variant_divergences=" << variant_divergences << "\n";
+            << " variant_divergences=" << variant_divergences;
+  if (config.slo_watchdog) std::cout << " slo_alerts=" << slo_alerts;
+  std::cout << "\n";
   if (!failing.empty()) {
     std::cout << "failing seeds:";
     for (const std::uint64_t s : failing) std::cout << " " << s;

@@ -68,6 +68,24 @@ ThreeTierDeployment::ThreeTierDeployment(const TransformResult& transform,
     : network_(config.seed), telemetry_(&network_.clock()) {
   if (!transform.ok) throw std::invalid_argument("ThreeTierDeployment: transform failed");
 
+  // ---- windowed observability ---------------------------------------------
+  // Attached to the telemetry plane before any component is built, so every
+  // call site sees the pointers from its first sample on. All three stay
+  // null when their knobs are off — the telemetry-guarded call sites then
+  // skip recording entirely and existing exports keep their exact bytes.
+  timeseries_window_s_ = config.timeseries_window_s;
+  if (config.capture_timeseries) {
+    timeseries_ = std::make_unique<obs::TimeSeries>(config.timeseries_window_s);
+    telemetry_.set_timeseries(timeseries_.get());
+    if (!config.slo_rules.empty()) {
+      watchdog_ = std::make_unique<obs::Watchdog>(timeseries_.get(), config.slo_rules);
+    }
+  }
+  if (config.flight_recorder_ring > 0) {
+    flight_ = std::make_unique<obs::FlightRecorder>(config.flight_recorder_ring);
+    telemetry_.set_flight_recorder(flight_.get());
+  }
+
   // ---- cloud master -------------------------------------------------------
   cloud_ = std::make_unique<runtime::Node>(network_.clock(), config.cloud_device.spec(kCloudHost));
   auto cloud_service = std::make_unique<runtime::ServiceRuntime>(transform.cloud_source);
@@ -277,6 +295,19 @@ json::Value ThreeTierDeployment::metrics_snapshot() const {
     registries.push_back(&variants);
   }
   return obs::metrics_json(registries);
+}
+
+json::Value ThreeTierDeployment::timeseries_json() const {
+  if (timeseries_) return obs::timeseries_json(*timeseries_);
+  return obs::timeseries_json(obs::TimeSeries(timeseries_window_s_));
+}
+
+void ThreeTierDeployment::poll_watchdog() {
+  if (watchdog_) watchdog_->poll(telemetry_.now(), flight_.get());
+}
+
+void ThreeTierDeployment::finish_watchdog() {
+  if (watchdog_) watchdog_->finish(flight_.get());
 }
 
 bool ThreeTierDeployment::converged() {

@@ -21,6 +21,7 @@
 #include "edgstr/pipeline.h"
 #include "obs/export.h"
 #include "obs/telemetry.h"
+#include "obs/watchdog.h"
 #include "runtime/lane_scheduler.h"
 #include "runtime/proxy.h"
 #include "runtime/sync_engine.h"
@@ -67,6 +68,23 @@ struct DeploymentConfig {
   /// each pre-state restore, so divergence-detection tests can inject a
   /// deliberate semantic fault. Never set outside tests.
   std::function<void(runtime::ServiceRuntime&)> variant_test_fault;
+  /// Windowed time-series capture (obs::TimeSeries). Off (default) the
+  /// telemetry plane carries no series pointer and every existing export
+  /// stays byte-identical; on, proxies / the replication graph / the
+  /// variant check path record per-window rates and staleness samples,
+  /// exported via ThreeTierDeployment::timeseries_json() and as Perfetto
+  /// counter tracks in chrome_trace().
+  bool capture_timeseries = false;
+  double timeseries_window_s = 1.0;  ///< simulated seconds per window
+  /// Black-box flight recorder ring size per host; 0 (default) = off. The
+  /// recorder never touches exports, so it can stay on in harness runs
+  /// without perturbing byte-identity.
+  std::size_t flight_recorder_ring = 0;
+  /// Online SLO rules; non-empty (and capture_timeseries on) constructs a
+  /// Watchdog over the deployment's time-series. The driver decides when
+  /// windows close: call poll_watchdog() at settled points and
+  /// finish_watchdog() once at the end.
+  std::vector<obs::SloRule> slo_rules;
 };
 
 /// The original client-cloud deployment (baseline in every benchmark).
@@ -121,7 +139,29 @@ class ThreeTierDeployment {
   obs::Telemetry& telemetry() { return telemetry_; }
   const obs::Telemetry& telemetry() const { return telemetry_; }
   /// Chrome-trace JSON of every span recorded so far (Perfetto-loadable).
-  json::Value chrome_trace() const { return obs::chrome_trace_json(telemetry_.tracer()); }
+  /// With time-series capture on, the export also carries one counter
+  /// track per windowed metric; capture-off exports are byte-identical to
+  /// pre-capture builds.
+  json::Value chrome_trace() const {
+    return obs::chrome_trace_json(telemetry_.tracer(), timeseries_.get());
+  }
+
+  // --- windowed observability (config.capture_timeseries etc.) -----------
+
+  /// The deployment's time-series / flight recorder / watchdog; nullptr
+  /// when the corresponding config knob is off.
+  obs::TimeSeries* timeseries() { return timeseries_.get(); }
+  obs::FlightRecorder* flight_recorder() { return flight_.get(); }
+  obs::Watchdog* watchdog() { return watchdog_.get(); }
+
+  /// Windowed export of everything captured so far (empty sections when
+  /// capture is off).
+  json::Value timeseries_json() const;
+
+  /// Evaluates SLO rules over every window completed before the simulated
+  /// now / over the final partial window. No-ops without a watchdog.
+  void poll_watchdog();
+  void finish_watchdog();
   /// Merged metrics snapshot: request-path (`runtime.*`) histograms from
   /// the telemetry registry plus the replication graph's `sync.*` series;
   /// multi-lane deployments add the `runtime.lanes.*` occupancy series
@@ -201,6 +241,12 @@ class ThreeTierDeployment {
   std::unique_ptr<cluster::EnergyMeter> energy_meter_;
   std::set<http::Route> served_routes_;
   trace::Snapshot init_snapshot_;  ///< what a crashed edge is reborn from
+  double timeseries_window_s_ = 1.0;
+  /// Windowed-observability plane; each piece exists only when its config
+  /// knob asked for it (telemetry_ carries non-owning pointers).
+  std::unique_ptr<obs::TimeSeries> timeseries_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::unique_ptr<obs::Watchdog> watchdog_;
 };
 
 /// Canonical host names used in the simulated topology.

@@ -27,7 +27,35 @@ json::Value span_args(const Span& span) {
 
 }  // namespace
 
-json::Value chrome_trace_json(const Tracer& tracer) {
+namespace {
+
+/// Counter-track events for every time-series counter and gauge, all under
+/// one synthetic process so they group in the Perfetto UI. Counters step at
+/// each touched window's opening boundary; untouched windows emit nothing
+/// (Perfetto holds the previous value), keeping the export sparse.
+void append_counter_tracks(json::Array& events, const TimeSeries& series, int pid) {
+  events.push_back(json::Value::object(
+      {{"name", "process_name"},
+       {"ph", "M"},
+       {"pid", pid},
+       {"args", json::Value::object({{"name", "timeseries"}})}}));
+  const auto track = [&](const std::string& name, const TimeSeries::Windows& windows) {
+    for (const auto& [window, value] : windows) {
+      events.push_back(json::Value::object(
+          {{"name", name},
+           {"ph", "C"},
+           {"ts", double(window) * series.window_s() * kMicros},
+           {"pid", pid},
+           {"args", json::Value::object({{"value", value}})}}));
+    }
+  };
+  for (const auto& [name, windows] : series.counters()) track(name, windows);
+  for (const auto& [name, windows] : series.gauges()) track(name, windows);
+}
+
+}  // namespace
+
+json::Value chrome_trace_json(const Tracer& tracer, const TimeSeries* timeseries) {
   json::Array events;
 
   // Stable pid per simulated host, in first-use order.
@@ -88,6 +116,10 @@ json::Value chrome_trace_json(const Tracer& tracer) {
     }
   }
 
+  if (timeseries && !timeseries->empty()) {
+    append_counter_tracks(events, *timeseries, int(pid_of.size()) + 1);
+  }
+
   return json::Value::object({{"traceEvents", json::Value(std::move(events))},
                               {"displayTimeUnit", "ms"}});
 }
@@ -118,20 +150,67 @@ json::Value histogram_json(const util::Histogram& h) {
 
 json::Value metrics_json(const std::vector<const util::MetricsRegistry*>& registries) {
   json::Object counters;
-  json::Object histograms;
   for (const util::MetricsRegistry* registry : registries) {
     if (!registry) continue;
     for (const auto& [name, value] : registry->snapshot()) counters.set(name, json::Value(value));
+  }
+
+  // Histogram collisions across registries merge bucket-wise so no samples
+  // vanish from the export; emission keeps first-seen order, which leaves
+  // collision-free exports (the common case) byte-identical.
+  std::map<std::string, util::Histogram> merged;
+  std::vector<std::string> order;
+  for (const util::MetricsRegistry* registry : registries) {
+    if (!registry) continue;
     for (const auto& [name, histogram] : registry->histograms()) {
-      histograms.set(name, histogram_json(*histogram));
+      auto it = merged.find(name);
+      if (it == merged.end()) {
+        merged.emplace(name, *histogram);
+        order.push_back(name);
+      } else if (it->second.bounds() == histogram->bounds()) {
+        it->second.merge(*histogram);
+      } else {
+        it->second = *histogram;  // incompatible layouts: later wins
+      }
     }
   }
+  json::Object histograms;
+  for (const std::string& name : order) histograms.set(name, histogram_json(merged.at(name)));
+
   return json::Value::object({{"counters", json::Value(std::move(counters))},
                               {"histograms", json::Value(std::move(histograms))}});
 }
 
 json::Value metrics_json(const util::MetricsRegistry& registry) {
   return metrics_json(std::vector<const util::MetricsRegistry*>{&registry});
+}
+
+json::Value timeseries_json(const TimeSeries& series) {
+  const auto windows_json = [](const TimeSeries::Windows& windows) {
+    json::Array rows;
+    for (const auto& [window, value] : windows) {
+      rows.push_back(json::Value::array({double(window), value}));
+    }
+    return json::Value(std::move(rows));
+  };
+
+  json::Object counters;
+  for (const auto& [name, windows] : series.counters()) counters.set(name, windows_json(windows));
+  json::Object gauges;
+  for (const auto& [name, windows] : series.gauges()) gauges.set(name, windows_json(windows));
+  json::Object histograms;
+  for (const auto& [name, hist] : series.histograms()) {
+    json::Array rows;
+    for (const auto& [window, histogram] : hist.windows) {
+      rows.push_back(json::Value::array({json::Value(double(window)), histogram_json(histogram)}));
+    }
+    histograms.set(name, json::Value(std::move(rows)));
+  }
+
+  return json::Value::object({{"window_s", series.window_s()},
+                              {"counters", json::Value(std::move(counters))},
+                              {"gauges", json::Value(std::move(gauges))},
+                              {"histograms", json::Value(std::move(histograms))}});
 }
 
 bool write_text_file(const std::string& path, const std::string& text) {

@@ -17,14 +17,26 @@
 
 namespace edgstr::obs {
 
-/// Full span log as Chrome-trace JSON.
-json::Value chrome_trace_json(const Tracer& tracer);
+/// Full span log as Chrome-trace JSON. When `timeseries` is non-null and
+/// non-empty, its counters and gauges are appended as Perfetto counter
+/// tracks ("ph":"C" events under a dedicated "timeseries" process), one
+/// track per metric, stepped at window boundaries — the export is
+/// unchanged byte-for-byte when `timeseries` is null.
+json::Value chrome_trace_json(const Tracer& tracer, const TimeSeries* timeseries = nullptr);
 
 /// Metrics as {"counters": {...}, "histograms": {name: {count, sum, min,
 /// max, mean, p50, p95, p99, buckets: [[bound, count], ...]}}}. Registries
-/// are merged in order; on a name collision the later registry wins.
+/// are merged in order: on a counter collision the later registry wins; on
+/// a histogram collision the samples merge bucket-wise (later wins only
+/// when the bucket layouts differ and a merge is impossible).
 json::Value metrics_json(const std::vector<const util::MetricsRegistry*>& registries);
 json::Value metrics_json(const util::MetricsRegistry& registry);
+
+/// Windowed time-series as {"window_s": w, "counters": {name: [[window,
+/// value], ...]}, "gauges": {...}, "histograms": {name: [[window,
+/// {count, ..., buckets}], ...]}}. Windows appear sorted and sparse (only
+/// the touched ones), so same-seed exports are byte-identical.
+json::Value timeseries_json(const TimeSeries& series);
 
 /// Writes text to `path`; returns false (and logs a warning) on failure.
 bool write_text_file(const std::string& path, const std::string& text);

@@ -1,0 +1,71 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace edgstr::obs {
+
+FlightRecorder::FlightRecorder(std::size_t ring) : ring_(ring) {
+  if (ring_ == 0) throw std::invalid_argument("FlightRecorder: ring must be > 0");
+}
+
+void FlightRecorder::record(double time, const std::string& host, const std::string& kind,
+                            std::string detail) {
+  Ring& r = hosts_[host];
+  FlightEvent event;
+  event.time = time;
+  event.host = host;
+  event.kind = kind;
+  event.detail = std::move(detail);
+  event.serial = ++serial_;
+  if (r.events.size() < ring_) {
+    r.events.push_back(std::move(event));
+  } else {
+    r.events[r.next] = std::move(event);
+    r.next = (r.next + 1) % ring_;
+  }
+}
+
+std::size_t FlightRecorder::retained() const {
+  std::size_t total = 0;
+  for (const auto& [host, r] : hosts_) total += r.events.size();
+  return total;
+}
+
+std::vector<FlightEvent> FlightRecorder::dump() const {
+  std::vector<FlightEvent> out;
+  out.reserve(retained());
+  for (const auto& [host, r] : hosts_) {
+    // Unwind the ring oldest-first: once full, `next` is the oldest slot.
+    const std::size_t n = r.events.size();
+    const std::size_t start = n < ring_ ? 0 : r.next;
+    for (std::size_t i = 0; i < n; ++i) out.push_back(r.events[(start + i) % n]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) { return a.serial < b.serial; });
+  return out;
+}
+
+std::string FlightRecorder::dump_text() const {
+  const std::vector<FlightEvent> events = dump();
+  char line[160];
+  std::snprintf(line, sizeof(line), "flight recorder: %llu events recorded, %zu retained\n",
+                static_cast<unsigned long long>(serial_), events.size());
+  std::string out = line;
+  for (const FlightEvent& event : events) {
+    std::snprintf(line, sizeof(line), "[%13.6f] %-12s %-9s ", event.time, event.host.c_str(),
+                  event.kind.c_str());
+    out += line;
+    out += event.detail;
+    out += '\n';
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  hosts_.clear();
+  serial_ = 0;
+}
+
+}  // namespace edgstr::obs

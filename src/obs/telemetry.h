@@ -13,7 +13,9 @@
 #include <string>
 #include <tuple>
 
+#include "obs/flight_recorder.h"
 #include "obs/span.h"
+#include "obs/timeseries.h"
 #include "util/metrics.h"
 
 namespace edgstr::obs {
@@ -25,6 +27,22 @@ class Telemetry {
 
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
+
+  /// Simulated now from the bound clock (0 when unbound) — the timestamp
+  /// call sites stamp time-series samples and flight events with.
+  double now() const { return tracer_.now(); }
+
+  // --- optional planes -----------------------------------------------------
+  //
+  // Both are non-owning and default to null; call sites guard every record
+  // on the pointer, so a deployment that never attaches them pays nothing
+  // and its exports stay byte-identical to pre-capture builds.
+
+  void set_timeseries(TimeSeries* series) { timeseries_ = series; }
+  TimeSeries* timeseries() const { return timeseries_; }
+
+  void set_flight_recorder(FlightRecorder* flight) { flight_ = flight; }
+  FlightRecorder* flight_recorder() const { return flight_; }
 
   /// Request-path metrics (`runtime.*`); the replication plane keeps its
   /// own `sync.*` registry on the graph — exporters merge the two.
@@ -66,6 +84,8 @@ class Telemetry {
 
   Tracer tracer_;
   util::MetricsRegistry metrics_;
+  TimeSeries* timeseries_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
   TraceContext active_;
   std::map<OpKey, std::uint64_t> op_trace_;
   std::map<std::uint64_t, std::set<std::string>> delivered_;

@@ -1,0 +1,143 @@
+#include "obs/watchdog.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace edgstr::obs {
+
+std::string SloAlert::detail() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "=%.6g >= %.6g for %zu window%s, window %lld", value,
+                threshold, consecutive, consecutive == 1 ? "" : "s",
+                static_cast<long long>(window));
+  return rule + ": " + metric + buf;
+}
+
+std::vector<SloRule> default_slo_rules() {
+  std::vector<SloRule> rules(3);
+  // Staleness: p95 of the per-round endpoint staleness samples. Crashed
+  // edges legitimately stay stale for as long as the schedule leaves them
+  // down, so the bound must exceed any plausible down-time of a sweep run;
+  // a genuinely wedged replication plane blows past it anyway.
+  rules[0].name = "staleness-p95";
+  rules[0].kind = SloRule::Kind::kQuantile;
+  rules[0].metric = "staleness.seconds";
+  rules[0].q = 0.95;
+  rules[0].threshold = 600.0;
+  rules[0].windows = 3;
+  // Handoff failures: churn schedules lose the occasional handoff to
+  // partitions and crashes (the invariants treat that as a lapsed session,
+  // not a bug), and those scattered losses overlap in per-window *counts*
+  // with a genuinely broken flush path. What separates them is the
+  // consecutive-failure run the graph records into handoff.fail.run: a
+  // partition's losses are interleaved with successes and keep resetting
+  // it (a 1000-seed churn sweep tops out at a run of 11), while a broken
+  // path — the planted handoff fault — grows it monotonically past any
+  // bound. q=1.0 reads the window's largest observed run exactly.
+  rules[1].name = "handoff-fail-rate";
+  rules[1].kind = SloRule::Kind::kQuantile;
+  rules[1].metric = "handoff.fail.run";
+  rules[1].q = 1.0;
+  rules[1].threshold = 14.0;
+  rules[1].windows = 1;
+  // Variant divergence: the multi-variant harness guarantees zero in a
+  // correct build, so any divergence at all is alert-worthy.
+  rules[2].name = "variant-divergence";
+  rules[2].kind = SloRule::Kind::kTotal;
+  rules[2].metric = "variant.divergence";
+  rules[2].threshold = 0.0;
+  return rules;
+}
+
+Watchdog::Watchdog(TimeSeries* series, std::vector<SloRule> rules)
+    : series_(series), rules_(std::move(rules)) {
+  if (!series_) throw std::invalid_argument("Watchdog: null time-series");
+  streak_.assign(rules_.size(), 0);
+  total_fired_.assign(rules_.size(), false);
+}
+
+void Watchdog::poll(double now, FlightRecorder* flight) {
+  const std::int64_t current = series_->window_index(now);
+  while (next_window_ < current) evaluate_window(next_window_++, flight);
+}
+
+void Watchdog::finish(FlightRecorder* flight) {
+  const std::int64_t last = series_->last_window();
+  while (next_window_ <= last) evaluate_window(next_window_++, flight);
+}
+
+std::size_t Watchdog::alert_count(const std::string& rule) const {
+  std::size_t n = 0;
+  for (const SloAlert& alert : alerts_) {
+    if (alert.rule == rule) ++n;
+  }
+  return n;
+}
+
+void Watchdog::evaluate_window(std::int64_t window, FlightRecorder* flight) {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const SloRule& rule = rules_[i];
+    bool violated = false;
+    bool has_data = false;
+    double value = 0;
+    switch (rule.kind) {
+      case SloRule::Kind::kQuantile: {
+        const util::Histogram* h = series_->histogram_at(rule.metric, window);
+        if (h && !h->empty()) {
+          has_data = true;
+          value = h->quantile(rule.q);
+          violated = value >= rule.threshold;
+        }
+        break;
+      }
+      case SloRule::Kind::kRate: {
+        // A window with no samples is a genuine zero-rate window, not a
+        // data gap: counters are event-driven.
+        has_data = true;
+        value = series_->counter_at(rule.metric, window);
+        violated = value >= rule.threshold;
+        break;
+      }
+      case SloRule::Kind::kTotal: {
+        if (total_fired_[i]) break;
+        has_data = true;
+        value = series_->counter_through(rule.metric, window);
+        violated = value > rule.threshold;
+        break;
+      }
+    }
+
+    if (rule.kind == SloRule::Kind::kTotal) {
+      if (!violated) continue;
+      // Fire once, at the window where the cumulative total first crossed.
+      total_fired_[i] = true;
+      streak_[i] = 1;
+    } else {
+      if (!violated) {
+        // Both a clean window and (for quantile rules) a window with no
+        // samples break the streak: "k consecutive windows" means k
+        // windows of observed violation.
+        if (has_data || streak_[i] > 0) streak_[i] = 0;
+        continue;
+      }
+      ++streak_[i];
+      if (streak_[i] != rule.windows) continue;  // not yet at k, or already alerted
+    }
+
+    SloAlert alert;
+    alert.rule = rule.name;
+    alert.metric = rule.metric;
+    alert.window = window;
+    alert.value = value;
+    alert.threshold = rule.threshold;
+    alert.consecutive = streak_[i];
+    series_->add_at(window, "watchdog.alert." + rule.name);
+    if (flight) {
+      flight->record(double(window + 1) * series_->window_s(), "watchdog", "alert",
+                     alert.detail());
+    }
+    alerts_.push_back(std::move(alert));
+  }
+}
+
+}  // namespace edgstr::obs

@@ -39,6 +39,9 @@ void TwoTierPath::request(const http::HttpRequest& req, RequestCallback done) {
                                       telemetry_->metrics().observe(
                                           "runtime.request.latency.cloud", latency);
                                       telemetry_->metrics().add("runtime.request.count.cloud");
+                                      if (obs::TimeSeries* ts = telemetry_->timeseries()) {
+                                        ts->add(network_.clock().now(), "req.cloud");
+                                      }
                                     }
                                     done(resp, latency);
                                   });
@@ -70,6 +73,9 @@ void EdgeProxy::respond_to_client(const http::HttpResponse& resp, double start_t
                     telemetry_->metrics().observe(
                         std::string("runtime.request.latency.") + kind, latency);
                     telemetry_->metrics().add(std::string("runtime.request.count.") + kind);
+                    if (obs::TimeSeries* ts = telemetry_->timeseries()) {
+                      ts->add(network_.clock().now(), std::string("req.") + kind);
+                    }
                   }
                   done(resp, latency);
                 });

@@ -99,6 +99,14 @@ std::uint64_t ops_missing(const crdt::DocVersions& have, const crdt::DocVersions
 
 }  // namespace
 
+void ReplicationGraph::flight(const std::string& host, const std::string& kind,
+                              std::string detail) const {
+  if (!telemetry_) return;
+  if (obs::FlightRecorder* recorder = telemetry_->flight_recorder()) {
+    recorder->record(network_.clock().now(), host, kind, std::move(detail));
+  }
+}
+
 void ReplicationGraph::note_apply(ReplicaState& receiver, const crdt::SyncMessage& delivered,
                                   const obs::TraceContext& round_ctx, obs::SpanId round_span,
                                   const char* span_name) {
@@ -121,6 +129,8 @@ void ReplicationGraph::note_apply(ReplicaState& receiver, const crdt::SyncMessag
   tracer.add_arg(apply, "from", delivered.from);
   tracer.add_arg(apply, "ops", std::to_string(op_count));
   tracer.end_span(apply);
+  flight(receiver.id(), "apply",
+         std::string(span_name) + " from=" + delivered.from + " ops=" + std::to_string(op_count));
   // end_span keeps the max end time, so every delivery stretches the
   // round span to cover the round's full in-flight window.
   tracer.end_span(round_span);
@@ -147,6 +157,8 @@ void ReplicationGraph::exchange(ReplicaState& sender, ReplicaState& receiver, Sy
   const crdt::SyncMessage message = sender.collect_changes(known);
   if (optimistic_acks_) peer_known_[key] = message.versions;
   pending_round_ops_ += message.op_count();
+  flight(sender.id(), "send",
+         "push->" + receiver.id() + " ops=" + std::to_string(message.op_count()));
   const std::uint64_t sent_inc = incarnation_[receiver.id()];
   pending_round_bytes_ += link.send(
       sender.id(), message,
@@ -174,6 +186,8 @@ void ReplicationGraph::start_digest_exchange(ReplicaState& advertiser, ReplicaSt
   digest.rejoin = rejoin;
   const std::uint64_t advertiser_inc = incarnation_[advertiser.id()];
   const std::uint64_t responder_inc = incarnation_[responder.id()];
+  flight(advertiser.id(), "send",
+         std::string(rejoin ? "rejoin-digest->" : "digest->") + responder.id());
   pending_round_bytes_ += link.send(
       advertiser.id(), digest,
       [this, &advertiser, &responder, &link, advertiser_inc, responder_inc, round_ctx,
@@ -241,6 +255,7 @@ void ReplicationGraph::serve_digest(ReplicaState& advertiser, ReplicaState& resp
                     round_ctx);
       metrics_.add("sync.bootstrap_bytes", double(bytes));
       pending_round_bytes_ += bytes;
+      flight(rid, "send", "bootstrap->" + aid + " bytes=" + std::to_string(bytes));
     } else {
       // A live advertiser below our compaction horizon should be
       // impossible (compaction only trims digest-proven acks), but the
@@ -261,6 +276,7 @@ void ReplicationGraph::serve_digest(ReplicaState& advertiser, ReplicaState& resp
   metrics_.add(reply.op_count() ? "sync.digest.miss" : "sync.digest.hit");
   reply.rejoin = digest.rejoin;
   pending_round_ops_ += reply.op_count();
+  flight(rid, "send", "delta->" + aid + " ops=" + std::to_string(reply.op_count()));
   pending_round_bytes_ += link.send(
       rid, reply,
       [this, &advertiser, advertiser_inc, rid, round_ctx,
@@ -322,6 +338,14 @@ void ReplicationGraph::finalize_round_stats() {
                    util::Histogram::default_count_bounds());
   metrics_.observe("sync.round.ops", double(pending_round_ops_),
                    util::Histogram::default_count_bounds());
+  if (obs::TimeSeries* ts = timeseries()) {
+    // Totals are attributed to the simulated moment the round's deliveries
+    // finished draining — the end of its (stretched) span.
+    const obs::Span& round = telemetry_->tracer().span(last_round_span_);
+    const double settled = round.start + round.duration();
+    ts->add(settled, "sync.bytes", double(pending_round_bytes_));
+    ts->add(settled, "sync.ops", double(pending_round_ops_));
+  }
 }
 
 void ReplicationGraph::tick_round() {
@@ -431,6 +455,12 @@ void ReplicationGraph::sample_staleness() {
     metrics_.set("sync.staleness.seconds." + id, stale_s);
     metrics_.observe("sync.staleness.ops", total_lag, util::Histogram::default_count_bounds());
     metrics_.observe("sync.staleness.seconds", stale_s);
+    if (obs::TimeSeries* ts = timeseries()) {
+      ts->set(now, "staleness.ops." + id, total_lag);
+      ts->set(now, "staleness.seconds." + id, stale_s);
+      ts->observe(now, "staleness.ops", total_lag, util::Histogram::default_count_bounds());
+      ts->observe(now, "staleness.seconds", stale_s);
+    }
   }
 }
 
@@ -449,6 +479,8 @@ void ReplicationGraph::crash(const std::string& id) {
     peer_known_.erase(other + "<-" + id);
   }
   metrics_.add("sync.crashes");
+  if (obs::TimeSeries* ts = timeseries()) ts->add(network_.clock().now(), "node.crash");
+  flight(id, "crash", "epoch=" + std::to_string(incarnation_[id]));
 }
 
 void ReplicationGraph::restart(const std::string& id) {
@@ -458,6 +490,8 @@ void ReplicationGraph::restart(const std::string& id) {
   down_.erase(id);
   recovering_.insert(id);
   metrics_.add("sync.restarts");
+  if (obs::TimeSeries* ts = timeseries()) ts->add(network_.clock().now(), "node.restart");
+  flight(id, "restart", "epoch=" + std::to_string(incarnation_[id]) + " recovering");
 }
 
 std::uint64_t ReplicationGraph::incarnation(const std::string& id) const {
@@ -514,6 +548,8 @@ void ReplicationGraph::complete_rejoin(ReplicaState& joiner, bool delta) {
     peer_known_[other + "<-" + joiner.id()] = common;
   }
   metrics_.add(delta ? "sync.rejoins.delta" : "sync.rejoins.bootstrap");
+  if (obs::TimeSeries* ts = timeseries()) ts->add(network_.clock().now(), "node.rejoin");
+  flight(joiner.id(), "rejoin", delta ? "via=delta" : "via=bootstrap");
   if (on_rejoined_) on_rejoined_(joiner.id());
 }
 
@@ -559,13 +595,26 @@ bool ReplicationGraph::flush_session(const std::string& from, const std::string&
   }
   metrics_.add("session.handoffs");
   if (from == to) return true;
+  const auto fail = [this, &from, &to](const char* why) {
+    metrics_.add("session.handoff_failures");
+    ++handoff_fail_run_;
+    if (obs::TimeSeries* ts = timeseries()) {
+      const double t = network_.clock().now();
+      ts->add(t, "handoff.fail");
+      // The unbroken run of consecutive failures is the SLO watchdog's
+      // signal: scattered losses (partitions, crashes) keep resetting it,
+      // a broken flush path grows it without bound.
+      ts->observe(t, "handoff.fail.run", double(handoff_fail_run_),
+                  util::Histogram::default_count_bounds());
+    }
+    flight(from, "handoff", "->" + to + " FAIL (" + why + ")");
+    return false;
+  };
+  if (handoff_fault_) return fail("injected fault");
   const auto unavailable = [this](const std::string& id) {
     return !endpoint_up(id) || recovering_.count(id) > 0;
   };
-  if (unavailable(from) || unavailable(to)) {
-    metrics_.add("session.handoff_failures");
-    return false;
-  }
+  if (unavailable(from) || unavailable(to)) return fail("endpoint unavailable");
 
   // BFS over live, unpartitioned links: the flush must relay through real
   // neighbors so every delta it triggers is one an endpoint's compaction
@@ -589,10 +638,7 @@ bool ReplicationGraph::flush_session(const std::string& from, const std::string&
     }
     frontier = std::move(next);
   }
-  if (!parent.count(to)) {
-    metrics_.add("session.handoff_failures");
-    return false;
-  }
+  if (!parent.count(to)) return fail("no live path");
   std::vector<std::string> path{to};
   while (path.back() != from) path.push_back(parent[path.back()]);
   std::reverse(path.begin(), path.end());
@@ -642,12 +688,12 @@ bool ReplicationGraph::flush_session(const std::string& from, const std::string&
     telemetry_->tracer().add_arg(span, "ok", ok ? "1" : "0");
     telemetry_->tracer().end_span(span);
   }
-  if (!ok) {
-    metrics_.add("session.handoff_failures");
-    return false;
-  }
+  if (!ok) return fail("hop starved");
   metrics_.observe("session.handoff.hops", double(path.size() - 1),
                    util::Histogram::default_count_bounds());
+  handoff_fail_run_ = 0;
+  if (obs::TimeSeries* ts = timeseries()) ts->add(network_.clock().now(), "handoff.ok");
+  flight(from, "handoff", "->" + to + " ok hops=" + std::to_string(path.size() - 1));
   return true;
 }
 

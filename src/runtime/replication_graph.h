@@ -131,6 +131,13 @@ class ReplicationGraph {
   /// send-time ack to corrupt.
   void set_optimistic_acks(bool enabled) { optimistic_acks_ = enabled; }
 
+  /// Deliberate-regression knob for the simulation harness: when enabled,
+  /// every cross-host session handoff fails immediately (as if the flush
+  /// path were broken). Pure session-guarantee lapse — replication itself
+  /// stays healthy, so convergence invariants pass and only the SLO
+  /// watchdog's handoff-failure-rate rule catches it.
+  void set_handoff_fault(bool enabled) { handoff_fault_ = enabled; }
+
   /// True when every *up, non-recovering* endpoint's observable state
   /// matches every other's (compared through the first such endpoint's
   /// digests). Crashed or still-rejoining endpoints are excluded — they
@@ -227,6 +234,8 @@ class ReplicationGraph {
   std::set<std::string> recovering_;  ///< restarted, rejoin not yet complete
   std::map<std::string, std::uint64_t> incarnation_;
   bool optimistic_acks_ = false;
+  bool handoff_fault_ = false;
+  std::size_t handoff_fail_run_ = 0;  ///< consecutive failed flushes (SLO signal)
   std::function<void(const std::string&)> on_rejoined_;
   LaneScheduler* scheduler_ = nullptr;  ///< not owned; nullptr = serial
 
@@ -275,6 +284,13 @@ class ReplicationGraph {
   /// Per-endpoint version-vector lag and time-since-converged vs the first
   /// endpoint; gauges + aggregate histograms. No-op without telemetry.
   void sample_staleness();
+  /// Attached time-series sink, or nullptr (capture off / no telemetry).
+  obs::TimeSeries* timeseries() const {
+    return telemetry_ ? telemetry_->timeseries() : nullptr;
+  }
+  /// One flight-recorder event stamped with the simulated clock; no-op
+  /// when no recorder is attached.
+  void flight(const std::string& host, const std::string& kind, std::string detail) const;
 };
 
 /// Topology helpers: links every endpoint in `leaves` to `root` (star),

@@ -68,7 +68,23 @@ ExecutionResult ServiceRuntime::handle(const http::HttpRequest& request) {
                                   util::Histogram::default_count_bounds());
   }
   result.compute_units = interp_->drain_compute_units();
-  if (variant_harness_) variant_harness_->check(request, *pre_state, pre_rng, result);
+  if (variant_harness_) {
+    const std::size_t diverged = variant_harness_->check(request, *pre_state, pre_rng, result);
+    if (telemetry_) {
+      const double now = telemetry_->now();
+      if (obs::TimeSeries* ts = telemetry_->timeseries()) {
+        ts->add(now, "variant.check");
+        if (diverged > 0) ts->add(now, "variant.divergence", double(diverged));
+      }
+      if (diverged > 0) {
+        if (obs::FlightRecorder* flight = telemetry_->flight_recorder()) {
+          flight->record(now, "variant", "diverge",
+                         http::to_string(request.verb) + " " + request.path + " x" +
+                             std::to_string(diverged));
+        }
+      }
+    }
+  }
   return result;
 }
 

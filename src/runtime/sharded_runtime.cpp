@@ -85,18 +85,22 @@ void ShardedRuntime::post_envelope(Actor& a, Envelope env) {
 void ShardedRuntime::drain_actor(Actor& a) {
   Envelope env;
   double cost = 0;
+  obs::TimeSeries* ts = timeseries_ ? lane_series_[a.lane].get() : nullptr;
   while (a.inbox.try_pop(&env)) {
     if (env.kind == Envelope::Kind::kClient) {
       for (const ClientOp& op : env.ops) on_client_op_(*a.replica, op);
       a.replica->record_local();
       a.client_ops += env.ops.size();
       cost += config_.client_op_cost_s * double(env.ops.size());
+      if (ts) ts->add(round_time_, "shard.client_ops", double(env.ops.size()));
     } else {
       // Work is proportional to ops carried, applied or not (duplicates
       // still have to be decoded and version-checked).
       const std::size_t carried = env.sync.op_count();
-      a.applied_ops += a.replica->apply_message(env.sync);
+      const std::uint64_t applied = a.replica->apply_message(env.sync);
+      a.applied_ops += applied;
       cost += config_.apply_op_cost_s * double(carried);
+      if (ts) ts->add(round_time_, "shard.applied_ops", double(applied));
     }
     env = Envelope{};  // drop payloads before the next pop
   }
@@ -118,6 +122,9 @@ void ShardedRuntime::collect_deltas(Actor& a) {
     a.sent[i] = msg.versions;
     a.shipped_ops += fresh;
     cost += config_.ship_op_cost_s * double(fresh);
+    if (timeseries_) {
+      lane_series_[a.lane]->add(round_time_, "shard.shipped_ops", double(fresh));
+    }
     a.outbox.emplace_back(a.uplinks[i], std::move(msg));
   }
   if (cost > 0) {
@@ -128,6 +135,7 @@ void ShardedRuntime::collect_deltas(Actor& a) {
 
 RoundStats ShardedRuntime::run_round() {
   RoundStats stats;
+  if (timeseries_) round_time_ = double(rounds_) * timeseries_->window_s();
   const std::size_t lane_count = scheduler_.lanes();
   // Lanes that may have pending inbox work or fresh local ops. Every lane
   // is dirty on the first sub-round (client batches were posted since the
@@ -176,10 +184,34 @@ RoundStats ShardedRuntime::run_round() {
     stats.messages_routed += routed;
     pending = routed > 0;
   }
+  if (timeseries_) {
+    // All lanes are quiesced (the last barrier preceded the empty route),
+    // so the driver can fold the scratch series. Merge order is the
+    // scheduler's seed-derived permutation — the same discipline the
+    // metrics registries use — though round counters are integer-valued,
+    // so any fold order would produce the same bytes.
+    timeseries_->add(round_time_, "shard.messages", double(stats.messages_routed));
+    for (const std::size_t lane : scheduler_.merge_order()) {
+      if (lane_series_[lane]->empty()) continue;
+      timeseries_->merge(*lane_series_[lane]);
+      lane_series_[lane]->clear();
+    }
+  }
   ++rounds_;
   messages_total_ += stats.messages_routed;
   stats.sim_now = clocks_.merged_now();
   return stats;
+}
+
+void ShardedRuntime::set_timeseries(obs::TimeSeries* sink) {
+  scheduler_.barrier();  // no lane may still hold a scratch pointer
+  timeseries_ = sink;
+  lane_series_.clear();
+  if (!sink) return;
+  lane_series_.reserve(scheduler_.lanes());
+  for (std::size_t lane = 0; lane < scheduler_.lanes(); ++lane) {
+    lane_series_.push_back(std::make_unique<obs::TimeSeries>(sink->window_s()));
+  }
 }
 
 std::uint64_t ShardedRuntime::client_ops_processed() const {

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "netsim/lane_clock.h"
+#include "obs/timeseries.h"
 #include "runtime/lane_scheduler.h"
 #include "runtime/mailbox.h"
 #include "runtime/replica_state.h"
@@ -132,6 +133,18 @@ class ShardedRuntime {
   /// counts) — the lane-imbalance view the benches export.
   void export_metrics(util::MetricsRegistry& out) const;
 
+  /// Attaches a windowed time-series sink (not owned; nullptr detaches).
+  /// Capture is keyed by the *logical round index* — round r's counters
+  /// (`shard.client_ops`, `shard.applied_ops`, `shard.shipped_ops`,
+  /// `shard.messages`) land in window r — because merged virtual time
+  /// depends on the lane count (BSP accounting charges busiest-lane +
+  /// barrier costs) while the round structure does not. Lanes record into
+  /// per-lane scratch series and the driver folds them into the sink in
+  /// the scheduler's seed-derived merge order at the end of each round, so
+  /// same-seed series are byte-identical at any lane count. Call between
+  /// rounds only.
+  void set_timeseries(obs::TimeSeries* sink);
+
  private:
   struct Envelope {
     enum class Kind { kClient, kSync };
@@ -176,6 +189,14 @@ class ShardedRuntime {
   std::vector<std::vector<Actor*>> lane_actors_;        ///< per lane, registration order
   std::uint64_t rounds_ = 0;
   std::uint64_t messages_total_ = 0;
+
+  obs::TimeSeries* timeseries_ = nullptr;  ///< sink; nullptr = capture off
+  /// Per-lane scratch series, folded into the sink in merge order.
+  std::vector<std::unique_ptr<obs::TimeSeries>> lane_series_;
+  /// Timestamp all of this round's samples carry: rounds_ * window_s, so
+  /// round r is window r regardless of lane count. Set by run_round before
+  /// lanes start; lanes only read it.
+  double round_time_ = 0;
 };
 
 }  // namespace edgstr::runtime

@@ -92,6 +92,7 @@ std::string ScheduleResult::summary() const {
     out += " vchecks=" + std::to_string(variant_checks) +
            " vdiv=" + std::to_string(variant_divergences);
   }
+  if (!slo_alerts.empty()) out += " slo_alerts=" + std::to_string(slo_alerts.size());
   out += " trace=" + hex64(trace_digest) + " state=" + state_digest +
          (passed ? " PASS" : " FAIL");
   for (const Violation& v : violations) out += "\n  [" + v.invariant + "] " + v.detail;
@@ -116,6 +117,14 @@ ScheduleResult run_schedule(const ScheduleConfig& config) {
   dep.digest_sync = config.digest_sync;
   dep.lanes = config.lanes;
   dep.variant_check = config.variant_check;
+  // The watchdog consumes the windowed series, so it forces capture on;
+  // whether the series is *serialized* still follows capture_timeseries.
+  dep.capture_timeseries = config.capture_timeseries || config.slo_watchdog;
+  dep.timeseries_window_s = config.timeseries_window_s;
+  dep.flight_recorder_ring = config.flight_ring;
+  if (config.slo_watchdog) {
+    dep.slo_rules = config.slo_rules.empty() ? obs::default_slo_rules() : config.slo_rules;
+  }
   if (config.variant_fault) {
     // The planted semantic fault: the legacy shadow's replayed state gets
     // every reading skewed, so any summary/alert read over non-empty data
@@ -154,6 +163,7 @@ ScheduleResult run_schedule(const ScheduleConfig& config) {
   netsim::Network& net = three.network();
   runtime::ReplicationGraph& graph = three.replication();
   if (config.optimistic_acks) graph.set_optimistic_acks(true);
+  if (config.handoff_fault) graph.set_handoff_fault(true);
 
   EventTrace& trace = result.trace;
   InvariantChecker checker;
@@ -491,6 +501,9 @@ ScheduleResult run_schedule(const ScheduleConfig& config) {
       net.clock().run();
     }
     trace.record(now(), "sync", "rounds=" + std::to_string(rounds));
+    // Settled point: every window the clock has moved past is final, so
+    // the watchdog can consume it (no-op without one).
+    three.poll_watchdog();
 
     for (const auto& [id, state] : endpoints) checker.observe_versions(id, state->versions());
 
@@ -518,6 +531,7 @@ ScheduleResult run_schedule(const ScheduleConfig& config) {
   for (; quiesce < max_quiesce; ++quiesce) {
     three.sync().tick();
     net.clock().run();
+    three.poll_watchdog();
     if (graph.recovering_count() == 0 && graph.converged()) break;
   }
   result.quiesce_rounds = quiesce;
@@ -575,6 +589,37 @@ ScheduleResult run_schedule(const ScheduleConfig& config) {
     }
   }
 
+  // ---- SLO watchdog accounting ---------------------------------------------
+  // Close out the final (possibly partial) window, then apply the alert
+  // assertion mode: forbid_alerts turns any alert into a violation (the
+  // default rules must stay silent on healthy seeds at sweep scale);
+  // require_alerts demands each named rule fired (planted faults MUST be
+  // caught). An alert's detail() names the offending window — the evidence.
+  three.finish_watchdog();
+  if (obs::Watchdog* dog = three.watchdog()) {
+    for (const obs::SloAlert& alert : dog->alerts()) {
+      result.slo_alerts.push_back(alert.detail());
+      trace.record(now(), "alert", alert.detail());
+    }
+    if (config.forbid_alerts) {
+      constexpr std::size_t kMaxAlertsReported = 8;
+      for (std::size_t i = 0; i < std::min(result.slo_alerts.size(), kMaxAlertsReported); ++i) {
+        checker.record("slo-false-positive", result.slo_alerts[i]);
+      }
+      if (result.slo_alerts.size() > kMaxAlertsReported) {
+        checker.record("slo-false-positive",
+                       std::to_string(result.slo_alerts.size() - kMaxAlertsReported) +
+                           " further alerts");
+      }
+    }
+    for (const std::string& rule : config.require_alerts) {
+      if (dog->alert_count(rule) == 0) {
+        checker.record("slo-missed-alert",
+                       "rule '" + rule + "' never fired despite the planted fault");
+      }
+    }
+  }
+
   std::string joint;
   for (const runtime::DocUnit& unit : three.cloud_state().docs()) {
     joint += unit.doc->state_digest();
@@ -586,6 +631,12 @@ ScheduleResult run_schedule(const ScheduleConfig& config) {
   if (config.capture_telemetry) {
     result.chrome_trace = three.chrome_trace().dump_pretty();
     result.metrics_snapshot = three.metrics_snapshot().dump_pretty();
+  }
+  if (config.capture_timeseries) result.timeseries = three.timeseries_json().dump_pretty();
+  if (!result.passed && three.flight_recorder()) {
+    // The black box: the recent past of every host, materialized only on
+    // failure and attached to the report the sweep uploads.
+    result.flight_dump = three.flight_recorder()->dump_text();
   }
   return result;
 }

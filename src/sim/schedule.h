@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/watchdog.h"
 #include "sim/invariants.h"
 #include "sim/trace.h"
 #include "workload/shapes.h"
@@ -88,6 +89,39 @@ struct ScheduleConfig {
   /// correct harness MUST report variant-agreement violations once data
   /// exists. Requires variant_check.
   bool variant_fault = false;
+
+  // ---- windowed observability ---------------------------------------------
+
+  /// Capture a windowed time-series of the run (request rates split
+  /// local/forward/cloud, staleness samples, sync volume, crash/handoff
+  /// counts) and serialize it into ScheduleResult::timeseries. Same seed =>
+  /// byte-identical series, at any lane count. Off by default; exports of
+  /// capture-off runs carry the exact pre-capture bytes.
+  bool capture_timeseries = false;
+  double timeseries_window_s = 1.0;
+  /// Per-host flight-recorder ring (0 = off). On by default: the recorder
+  /// is O(hosts x ring) memory, touches no export, and its dump is
+  /// attached to ScheduleResult::flight_dump only when the run fails.
+  std::size_t flight_ring = 96;
+  /// Evaluate SLO watchdog rules online at window boundaries (forces
+  /// time-series capture internally; the serialized export still obeys
+  /// capture_timeseries). Alert details land in ScheduleResult::slo_alerts.
+  bool slo_watchdog = false;
+  /// Rules for the watchdog; empty = obs::default_slo_rules().
+  std::vector<obs::SloRule> slo_rules;
+  /// Alert assertion mode. forbid_alerts: any alert fails the run with an
+  /// `slo-false-positive` violation (clean-sweep mode — the default rule
+  /// set must stay silent on healthy seeds). require_alerts: each named
+  /// rule must fire at least once or the run fails with `slo-missed-alert`
+  /// (planted-fault mode). Both require slo_watchdog.
+  bool forbid_alerts = false;
+  std::vector<std::string> require_alerts;
+  /// Deliberate-regression knob, the watchdog twin of optimistic_acks /
+  /// variant_fault: every cross-host session handoff fails immediately.
+  /// Invariants stay green (a failed handoff lawfully lapses the
+  /// migration-ryw obligation) — only the handoff-failure-rate SLO rule
+  /// catches it. Meaningful with the churn workload.
+  bool handoff_fault = false;
 };
 
 struct ScheduleResult {
@@ -117,6 +151,14 @@ struct ScheduleResult {
   /// histogram summaries). Same-seed runs produce identical strings.
   std::string chrome_trace;
   std::string metrics_snapshot;
+
+  /// SLO alert details (slo_watchdog only), in firing order.
+  std::vector<std::string> slo_alerts;
+  /// Serialized windowed time-series (capture_timeseries only).
+  std::string timeseries;
+  /// Flight-recorder dump, attached only when the run FAILED (and a ring
+  /// was configured) — the black box the nightly sweep uploads.
+  std::string flight_dump;
 
   /// One-line report ("seed=7 topology=star edges=3 ... PASS").
   std::string summary() const;

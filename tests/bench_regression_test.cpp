@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -282,6 +283,51 @@ TEST(BenchRegressionTest, SyncBytesAndLatencyStayNearBaseline) {
     EXPECT_LE(got, want * 1.15) << key << " regressed vs the committed baseline (" << got
                                 << " vs " << want << ")";
   }
+}
+
+/// Observability overhead gate (scaled-down bench_obs): the same seeded
+/// churn schedule runs with the full obs plane (time-series capture +
+/// flight recorder + SLO watchdog) off and on, min-of-reps wall clock on
+/// both arms so scheduler noise cancels instead of inflating one side.
+/// The capture-on arm gets a 5% budget — the plane's whole pitch is that
+/// it stays on in every sim run. No golden baseline: the ratio is
+/// self-normalizing, so the gate is a plain assertion.
+TEST(BenchRegressionTest, ObservabilityOverheadStaysWithinBudget) {
+  const auto arm = [](bool obs_on) {
+    sim::ScheduleConfig config;
+    config.seed = 303;
+    config.rounds = 8;
+    config.workload = workload::WorkloadShape::kChurn;
+    config.capture_timeseries = obs_on;
+    config.flight_ring = obs_on ? 96 : 0;
+    config.slo_watchdog = obs_on;
+    return config;
+  };
+  const auto run_ms = [](const sim::ScheduleConfig& config, std::uint64_t* digest) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const sim::ScheduleResult result = sim::run_schedule(config);
+    const auto t1 = std::chrono::steady_clock::now();
+    *digest = result.trace_digest;
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+  };
+
+  constexpr int kReps = 4;
+  double off_ms = -1, on_ms = -1;
+  std::uint64_t digest_off = 0, digest_on = 0;
+  for (int r = 0; r < kReps; ++r) {  // interleaved, so drift hits both arms
+    off_ms = off_ms < 0 ? run_ms(arm(false), &digest_off)
+                        : std::min(off_ms, run_ms(arm(false), &digest_off));
+    on_ms = on_ms < 0 ? run_ms(arm(true), &digest_on)
+                      : std::min(on_ms, run_ms(arm(true), &digest_on));
+  }
+
+  // Observation must not perturb the schedule: identical seeds, identical
+  // trace digests, obs plane on or off.
+  EXPECT_EQ(digest_off, digest_on);
+  const double ratio = on_ms / off_ms;
+  EXPECT_LE(ratio, 1.05) << "obs plane overhead " << (ratio - 1.0) * 100.0
+                         << "% exceeds the 5% budget (off=" << off_ms << "ms on=" << on_ms
+                         << "ms)";
 }
 
 }  // namespace

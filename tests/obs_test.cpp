@@ -213,6 +213,100 @@ TEST(ExportTest, MetricsJsonMergesRegistriesLaterWins) {
   EXPECT_TRUE(h["buckets"].is_array());
 }
 
+TEST(ExportTest, MetricsJsonMergesCollidingHistogramsBucketWise) {
+  // Two registries observing the same histogram name used to export only
+  // the later registry's samples; matching layouts now merge bucket-wise.
+  util::MetricsRegistry first, second;
+  first.observe("runtime.request.latency.local", 0.010);
+  first.observe("runtime.request.latency.local", 0.020);
+  second.observe("runtime.request.latency.local", 0.500);
+
+  const json::Value doc = json::parse(metrics_json({&first, &second}).dump());
+  const json::Value& merged = doc["histograms"].as_object().at("runtime.request.latency.local");
+  EXPECT_DOUBLE_EQ(merged["count"].as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(merged["min"].as_number(), 0.010);
+  EXPECT_DOUBLE_EQ(merged["max"].as_number(), 0.500);
+  EXPECT_DOUBLE_EQ(merged["sum"].as_number(), 0.530);
+
+  // Mismatched bucket layouts cannot merge — later wins, as for counters.
+  util::MetricsRegistry custom;
+  custom.observe("runtime.request.latency.local", 5.0, {1.0, 10.0});
+  const json::Value doc2 = json::parse(metrics_json({&first, &custom}).dump());
+  const json::Value& replaced =
+      doc2["histograms"].as_object().at("runtime.request.latency.local");
+  EXPECT_DOUBLE_EQ(replaced["count"].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(replaced["max"].as_number(), 5.0);
+  ASSERT_EQ(replaced["buckets"].as_array().size(), 1u);  // sparse: one touched bucket
+  EXPECT_DOUBLE_EQ(replaced["buckets"].as_array()[0][0].as_number(), 10.0);
+}
+
+TEST(ExportTest, ChromeTraceAppendsCounterTracksWhenTimeSeriesGiven) {
+  netsim::SimClock clock;
+  Tracer tracer(&clock);
+  const SpanId span = tracer.begin_span("request", "request", "edge0");
+  tracer.end_span(span);
+
+  const std::string bare = chrome_trace_json(tracer).dump_pretty();
+  // Null and empty series leave the export byte-identical.
+  const TimeSeries empty_series(1.0);
+  EXPECT_EQ(chrome_trace_json(tracer, nullptr).dump_pretty(), bare);
+  EXPECT_EQ(chrome_trace_json(tracer, &empty_series).dump_pretty(), bare);
+
+  TimeSeries series(1.0);
+  series.add(0.5, "req.local", 2.0);
+  series.add(1.5, "req.local", 3.0);
+  series.set(0.5, "queue.depth", 7.0);
+  const json::Value doc = json::parse(chrome_trace_json(tracer, &series).dump_pretty());
+
+  int counter_events = 0;
+  bool named_timeseries_process = false;
+  double req_window1 = -1;
+  for (const json::Value& event : doc["traceEvents"].as_array()) {
+    const std::string& ph = event["ph"].as_string();
+    if (ph == "M" && event["args"]["name"].as_string() == "timeseries") {
+      named_timeseries_process = true;
+    }
+    if (ph != "C") continue;
+    ++counter_events;
+    if (event["name"].as_string() == "req.local" && event["ts"].as_number() == 1000000.0) {
+      req_window1 = event["args"]["value"].as_number();
+    }
+  }
+  EXPECT_TRUE(named_timeseries_process);
+  EXPECT_EQ(counter_events, 3);  // two req.local windows + one gauge window
+  EXPECT_DOUBLE_EQ(req_window1, 3.0);
+}
+
+TEST(ExportTest, TimeSeriesJsonSchemaAndByteIdentity) {
+  auto build = [] {
+    TimeSeries series(0.5);
+    series.add(0.1, "req.local");
+    series.add(0.6, "req.local", 2.0);
+    series.set(0.1, "queue.depth", 4.0);
+    series.observe(0.1, "staleness.seconds", 12.0);
+    series.observe(0.7, "staleness.seconds", 30.0);
+    return series;
+  };
+  const TimeSeries series = build();
+  const std::string dump = timeseries_json(series).dump_pretty();
+  EXPECT_EQ(timeseries_json(build()).dump_pretty(), dump);  // byte-identical
+
+  const json::Value doc = json::parse(dump);
+  EXPECT_DOUBLE_EQ(doc["window_s"].as_number(), 0.5);
+  const json::Array& req = doc["counters"].as_object().at("req.local").as_array();
+  ASSERT_EQ(req.size(), 2u);  // sparse: only touched windows appear
+  EXPECT_DOUBLE_EQ(req[0][0].as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(req[0][1].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(req[1][0].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(req[1][1].as_number(), 2.0);
+  EXPECT_TRUE(doc["gauges"].as_object().contains("queue.depth"));
+  const json::Array& hist =
+      doc["histograms"].as_object().at("staleness.seconds").as_array();
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_DOUBLE_EQ(hist[0][1]["count"].as_number(), 1.0);
+  EXPECT_TRUE(hist[0][1]["buckets"].is_array());
+}
+
 TEST(ExportTest, WriteTextFileRoundTrip) {
   const std::string path = "obs_test_export.tmp";
   ASSERT_TRUE(write_text_file(path, "hello trace\n"));

@@ -274,6 +274,200 @@ TEST(SimVariantTest, PlantedVariantFaultIsCaught) {
   EXPECT_GE(caught, 4u) << "planted engine fault escaped the variant harness";
 }
 
+// ------------------------------------------------- observability plane --
+
+TEST(SimObservabilityTest, TimeseriesExportIsByteIdenticalAcrossRunsAndLanes) {
+  ScheduleConfig config;
+  config.seed = 42;
+  config.capture_timeseries = true;
+  const ScheduleResult first = run_schedule(config);
+  const ScheduleResult second = run_schedule(config);
+  ASSERT_FALSE(first.timeseries.empty());
+  EXPECT_EQ(first.timeseries, second.timeseries);
+  // The series actually saw the run: request counters and staleness
+  // samples, windowed.
+  EXPECT_NE(first.timeseries.find("req."), std::string::npos);
+  EXPECT_NE(first.timeseries.find("staleness.seconds"), std::string::npos);
+  EXPECT_NE(first.timeseries.find("sync.ops"), std::string::npos);
+
+  // Lane-parallel sections record through the driver thread only, so the
+  // export is lane-count-invariant byte for byte.
+  ScheduleConfig wide = config;
+  wide.lanes = 4;
+  EXPECT_EQ(run_schedule(wide).timeseries, first.timeseries);
+}
+
+TEST(SimObservabilityTest, CaptureStaysOutOfTheScheduleAndTheOldExports) {
+  // Turning the whole obs plane on must not move a byte of the run: same
+  // trace digest, same converged state.
+  ScheduleConfig off;
+  off.seed = 7;
+  off.flight_ring = 0;
+  ScheduleConfig on = off;
+  on.capture_timeseries = true;
+  on.flight_ring = 96;
+  on.slo_watchdog = true;
+  const ScheduleResult plain = run_schedule(off);
+  const ScheduleResult observed = run_schedule(on);
+  EXPECT_EQ(plain.trace_digest, observed.trace_digest);
+  EXPECT_EQ(plain.state_digest, observed.state_digest);
+  EXPECT_TRUE(plain.timeseries.empty());  // capture off: nothing serialized
+
+  // And the pre-existing telemetry exports keep their exact bytes when the
+  // time-series capture is off — the flight recorder (on by default)
+  // touches no export at all.
+  ScheduleConfig tele = off;
+  tele.capture_telemetry = true;
+  ScheduleConfig tele_flight = tele;
+  tele_flight.flight_ring = 96;
+  const ScheduleResult bare = run_schedule(tele);
+  const ScheduleResult with_flight = run_schedule(tele_flight);
+  EXPECT_EQ(bare.chrome_trace, with_flight.chrome_trace);
+  EXPECT_EQ(bare.metrics_snapshot, with_flight.metrics_snapshot);
+}
+
+TEST(SimObservabilityTest, FlightDumpIsAttachedOnlyToFailures) {
+  ScheduleConfig clean;
+  clean.seed = 42;
+  const ScheduleResult passed = run_schedule(clean);
+  ASSERT_TRUE(passed.passed) << passed.summary();
+  EXPECT_TRUE(passed.flight_dump.empty());
+
+  // Seed 24 under push-mode optimistic acks diverges; the black box must
+  // come out with the failure report.
+  ScheduleConfig failing;
+  failing.seed = 24;
+  failing.optimistic_acks = true;
+  failing.digest_sync = false;
+  const ScheduleResult failed = run_schedule(failing);
+  ASSERT_FALSE(failed.passed) << failed.summary();
+  EXPECT_NE(failed.flight_dump.find("flight recorder:"), std::string::npos);
+  // The ring saw the replication plane, not just bookkeeping.
+  EXPECT_NE(failed.flight_dump.find("send"), std::string::npos);
+
+  ScheduleConfig no_ring = failing;
+  no_ring.flight_ring = 0;
+  EXPECT_TRUE(run_schedule(no_ring).flight_dump.empty());
+}
+
+TEST(SimSloTest, DefaultRulesStaySilentOnCleanSeeds) {
+  // The clean-sweep contract: the default rule set must produce zero false
+  // positives on healthy runs (the nightly sweep checks 1000 seeds; this
+  // is the in-gate slice, across every workload shape).
+  for (const workload::WorkloadShape shape :
+       {workload::WorkloadShape::kUniform, workload::WorkloadShape::kChurn,
+        workload::WorkloadShape::kFlash}) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      ScheduleConfig config;
+      config.seed = seed;
+      config.workload = shape;
+      config.slo_watchdog = true;
+      config.forbid_alerts = true;
+      const ScheduleResult result = run_schedule(config);
+      EXPECT_TRUE(result.passed) << result.summary();
+      EXPECT_TRUE(result.slo_alerts.empty()) << result.summary();
+    }
+  }
+}
+
+TEST(SimSloTest, PlantedHandoffFaultFiresTheHandoffRateRule) {
+  // The watchdog's reason to exist: every cross-host handoff failing is
+  // invisible to the invariants (a failed flush lawfully lapses the
+  // migration-ryw obligation) — only the handoff-fail-rate rule sees the
+  // unbroken consecutive-failure run the broken flush path produces. Seed
+  // 195 churn performs 17 migrations, all of which the fault fails, so the
+  // run grows to 17 — past the sweep-calibrated threshold of 14.
+  ScheduleConfig config;
+  config.seed = 195;
+  config.workload = workload::WorkloadShape::kChurn;
+  config.handoff_fault = true;
+  config.slo_watchdog = true;
+  config.require_alerts = {"handoff-fail-rate"};
+  const ScheduleResult result = run_schedule(config);
+  EXPECT_TRUE(result.passed) << result.summary();
+  ASSERT_FALSE(result.slo_alerts.empty()) << result.summary();
+  // The alert names the offending window — evidence, not detection time.
+  EXPECT_NE(result.slo_alerts[0].find("handoff-fail-rate"), std::string::npos);
+  EXPECT_NE(result.slo_alerts[0].find("window"), std::string::npos);
+
+  // And without the planted fault, the same schedule stays silent — the
+  // rule keys on the sustained run, not on churn itself.
+  ScheduleConfig healthy = config;
+  healthy.handoff_fault = false;
+  healthy.require_alerts.clear();
+  healthy.forbid_alerts = true;
+  EXPECT_TRUE(run_schedule(healthy).passed);
+}
+
+TEST(SimSloTest, PlantedVariantFaultFiresTheDivergenceRule) {
+  // kTotal rule with threshold 0: a single divergence anywhere must alert,
+  // once, at the window where the total first crossed.
+  ScheduleConfig config;
+  config.seed = 1;
+  config.variant_fault = true;
+  config.slo_watchdog = true;
+  config.require_alerts = {"variant-divergence"};
+  const ScheduleResult result = run_schedule(config);
+  // The run fails on variant-agreement (the planted fault is real), but
+  // the watchdog must ALSO have caught it — and only once.
+  EXPECT_GT(result.variant_divergences, 0u) << result.summary();
+  std::size_t divergence_alerts = 0;
+  for (const std::string& alert : result.slo_alerts) {
+    if (alert.find("variant-divergence") != std::string::npos) ++divergence_alerts;
+  }
+  EXPECT_EQ(divergence_alerts, 1u) << result.summary();
+  bool missed = false;
+  for (const Violation& v : result.violations) {
+    if (v.invariant == "slo-missed-alert") missed = true;
+  }
+  EXPECT_FALSE(missed) << result.summary();
+}
+
+TEST(SimSloTest, StalenessRuleCatchesAWedgedReplicationPlane) {
+  // A tight custom quantile rule over a flash-crowd schedule: staleness
+  // p95 above 1.5 simulated seconds for 2 consecutive windows. Clean runs
+  // ride under it only when the plane keeps up; with sync wedged (every
+  // link lossy under optimistic acks) staleness climbs monotonically and
+  // the rule must fire, naming the offending window.
+  obs::SloRule rule;
+  rule.name = "staleness-tight";
+  rule.kind = obs::SloRule::Kind::kQuantile;
+  rule.metric = "staleness.seconds";
+  rule.q = 0.95;
+  rule.threshold = 1.5;
+  rule.windows = 2;
+
+  ScheduleConfig config;
+  config.seed = 9;
+  config.workload = workload::WorkloadShape::kFlash;
+  config.optimistic_acks = true;
+  config.digest_sync = false;
+  config.slo_watchdog = true;
+  config.slo_rules = {rule};
+  config.require_alerts = {"staleness-tight"};
+  const ScheduleResult result = run_schedule(config);
+  bool missed = false;
+  for (const Violation& v : result.violations) {
+    if (v.invariant == "slo-missed-alert") missed = true;
+  }
+  EXPECT_FALSE(missed) << result.summary();
+  ASSERT_FALSE(result.slo_alerts.empty()) << result.summary();
+  EXPECT_NE(result.slo_alerts[0].find("staleness-tight"), std::string::npos);
+  EXPECT_NE(result.slo_alerts[0].find("window"), std::string::npos);
+}
+
+TEST(SimSloTest, AlertsAreSeedDeterministic) {
+  ScheduleConfig config;
+  config.seed = 195;
+  config.workload = workload::WorkloadShape::kChurn;
+  config.handoff_fault = true;
+  config.slo_watchdog = true;
+  const ScheduleResult first = run_schedule(config);
+  const ScheduleResult second = run_schedule(config);
+  EXPECT_EQ(first.slo_alerts, second.slo_alerts);
+  EXPECT_EQ(first.trace_digest, second.trace_digest);
+}
+
 TEST(SimTraceTest, DigestIsOrderSensitive) {
   EventTrace a, b;
   a.record(1.0, "write", "x");

@@ -449,6 +449,45 @@ TEST(HistogramTest, MergeCombinesCountsAndRange) {
   EXPECT_DOUBLE_EQ(a.max(), 1000.0);
 }
 
+TEST(HistogramTest, BoundsAreInclusiveUpperBounds) {
+  // Pins the bucket-assignment convention the exporters and the SLO
+  // watchdog's quantile rules depend on: a bound is an *inclusive* upper
+  // bound, so a value exactly on a bound lands in that bound's bucket and
+  // anything above it spills into the next.
+  Histogram h({1.0, 2.0, 5.0});
+  h.observe(1.0);        // == bound 1.0 → bucket 0
+  h.observe(1.0000001);  // just above → bucket 1
+  h.observe(2.0);        // == bound 2.0 → bucket 1
+  h.observe(5.0);        // == last bound → bucket 2, not overflow
+  h.observe(5.1);        // above the last bound → overflow
+  const std::vector<std::uint64_t>& counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinObservedRange) {
+  // All four samples share one bucket; interpolation runs between the
+  // observed min and max (2 and 8), not the nominal bucket edges (0, 10).
+  Histogram h({10.0});
+  for (double v : {2.0, 4.0, 6.0, 8.0}) h.observe(v);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);   // clamps to observed min
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);   // midpoint of [2, 8]
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);   // clamps to observed max
+}
+
+TEST(HistogramTest, OverflowBucketQuantileUsesObservedMax) {
+  // Overflow samples have no nominal upper edge; the observed max caps the
+  // interpolation instead of returning an unbounded estimate.
+  Histogram h({1.0});
+  h.observe(100.0);
+  h.observe(200.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 150.0);  // midpoint of [100, 200]
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 200.0);
+}
+
 TEST(MetricsTest, RegistryObserveAndQuantile) {
   MetricsRegistry reg;
   for (int i = 0; i < 100; ++i) reg.observe("req.latency", 0.001 * (i + 1));

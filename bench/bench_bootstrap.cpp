@@ -1,0 +1,220 @@
+// Cold-start bootstrap: snapshot + tail vs full op replay.
+//
+// A rebooted replica can rebuild a doc two ways: replay the peer's entire
+// op history, or install a consistent state snapshot and apply only the
+// tail past the snapshot's covered version. Once history outgrows live
+// state the snapshot wins on both axes — bytes on the wire and time to a
+// serving state. This bench quantifies the claim at the scale the design
+// targets: 10^5 ops over ~10^3 hot keys (overwrite-heavy, the regime the
+// paper's edge workloads live in) with a 512-op tail past the checkpoint.
+//
+// Headline check: snapshot+tail must beat full replay by >= 5x on BOTH
+// wire bytes and install time, or the bench fails loudly. Numbers land in
+// BENCH_bootstrap.json for CI diffing.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "crdt/json_doc.h"
+#include "crdt/snapshot.h"
+#include "crdt/wire.h"
+#include "runtime/replica_state.h"
+#include "runtime/service_runtime.h"
+
+using namespace edgstr;
+using namespace edgstr::bench;
+
+namespace {
+
+util::MetricsRegistry g_reg;  ///< headline numbers, dumped from main()
+
+constexpr std::size_t kTotalOps = 100000;
+constexpr std::size_t kKeys = 1024;
+constexpr std::size_t kTailOps = 512;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Wire bytes of a message, as the replication plane accounts them.
+std::size_t wire_bytes(const crdt::SyncMessage& message) {
+  return crdt::encode_message(message).dump().size();
+}
+
+void run_doc_bootstrap() {
+  std::printf("\n=== Cold-start bootstrap: snapshot + tail vs full op replay ===\n\n");
+  std::printf("source doc: %zu ops over %zu keys (overwrite-heavy), %zu-op tail\n\n",
+              kTotalOps, kKeys, kTailOps);
+
+  // The source replica: 10^5 overwrites concentrated on 10^3 keys, with a
+  // checkpoint cut kTailOps before the end — the durable-checkpoint shape
+  // a serving replica would actually hold.
+  crdt::CrdtJson source("source");
+  source.initialize(json::Value::object({}));
+  crdt::Snapshot checkpoint;
+  for (std::size_t i = 0; i < kTotalOps; ++i) {
+    if (i == kTotalOps - kTailOps) checkpoint = source.cut_snapshot();
+    source.set("key" + std::to_string(i % kKeys), json::Value(double(i)));
+  }
+
+  // Full-replay arm: every op ever minted, in one ops message.
+  crdt::SyncMessage replay;
+  replay.from = "source";
+  replay.versions["globals"] = source.version();
+  replay.ops["globals"] = source.getChanges({});
+  const std::size_t replay_ops = replay.op_count();
+  const std::size_t replay_bytes = wire_bytes(replay);
+  const double replay_t0 = now_ms();
+  crdt::CrdtJson replayed("joiner-replay");
+  replayed.initialize(json::Value::object({}));
+  replayed.applyChanges(replay.ops["globals"]);
+  const double replay_ms = now_ms() - replay_t0;
+
+  // Snapshot arm: the checkpoint plus the tail past its covered version.
+  crdt::SyncMessage snap;
+  snap.kind = crdt::SyncKind::kSnapshot;
+  snap.from = "source";
+  snap.versions["globals"] = source.version();
+  snap.snapshot = json::Value::object({{"globals", checkpoint.to_json()}});
+  snap.ops["globals"] = source.getChanges(checkpoint.covered);
+  const std::size_t tail_ops = snap.op_count();
+  const std::size_t snap_bytes = wire_bytes(snap);
+  const double snap_t0 = now_ms();
+  crdt::CrdtJson installed("joiner-snapshot");
+  installed.initialize(json::Value::object({}));
+  installed.install_snapshot(crdt::Snapshot::from_json(snap.snapshot["globals"]));
+  installed.applyChanges(snap.ops["globals"]);
+  const double snap_ms = now_ms() - snap_t0;
+
+  // Both roads must lead to the same state, or the speedup is a lie.
+  if (replayed.state_digest() != installed.state_digest() ||
+      replayed.state_digest() != source.state_digest()) {
+    std::fprintf(stderr, "FATAL: bootstrap arms diverged from the source state\n");
+    std::exit(1);
+  }
+
+  const double byte_speedup = double(replay_bytes) / double(snap_bytes);
+  const double time_speedup = replay_ms / snap_ms;
+  std::printf("%-18s %12s %12s %12s\n", "arm", "ops", "bytes", "ms");
+  print_rule('-', 58);
+  std::printf("%-18s %12zu %12zu %12.2f\n", "full replay", replay_ops, replay_bytes, replay_ms);
+  std::printf("%-18s %12zu %12zu %12.2f\n", "snapshot+tail", tail_ops, snap_bytes, snap_ms);
+  std::printf("\nspeedup: %.1fx bytes, %.1fx time (target >= 5x on both)\n", byte_speedup,
+              time_speedup);
+
+  g_reg.set("bootstrap.replay.ops", double(replay_ops));
+  g_reg.set("bootstrap.replay.bytes", double(replay_bytes));
+  g_reg.set("bootstrap.replay.ms", replay_ms);
+  g_reg.set("bootstrap.snapshot.tail_ops", double(tail_ops));
+  g_reg.set("bootstrap.snapshot.bytes", double(snap_bytes));
+  g_reg.set("bootstrap.snapshot.ms", snap_ms);
+  g_reg.set("bootstrap.speedup.bytes", byte_speedup);
+  g_reg.set("bootstrap.speedup.time", time_speedup);
+
+  if (byte_speedup < 5.0 || time_speedup < 5.0) {
+    std::fprintf(stderr,
+                 "FATAL: snapshot bootstrap under the 5x bar (bytes %.1fx, time %.1fx)\n",
+                 byte_speedup, time_speedup);
+    std::exit(1);
+  }
+}
+
+// Replica-level cross-check at a smaller scale: the full three-unit
+// ReplicaState message a rejoiner actually receives, snapshot-kind vs the
+// full bootstrap_state() transfer the pre-snapshot plane shipped.
+void run_replica_bootstrap() {
+  std::printf("\n=== ReplicaState rejoin payloads: kSnapshot vs full bootstrap ===\n\n");
+  const char* kServer = R"JS(
+var total = 0;
+db.query("CREATE TABLE events (k, v)");
+app.post("/hit", function (req, res) {
+  total = total + 1;
+  db.query("INSERT INTO events (k, v) VALUES (?, ?)", [req.params.k, total]);
+  res.send({ total: total });
+});
+)JS";
+  runtime::ServiceRuntime svc(kServer);
+  runtime::ReplicaState replica("cloud", &svc, {}, {"*"});
+  replica.attach_existing();
+  for (int i = 0; i < 2000; ++i) {
+    http::HttpRequest req;
+    req.verb = http::Verb::kPost;
+    req.path = "/hit";
+    req.params = json::Value::object({{"k", "k" + std::to_string(i % 64)}});
+    svc.handle(req);
+    replica.record_local();
+  }
+
+  const std::size_t snap_bytes = wire_bytes(replica.collect_snapshot_bootstrap());
+  crdt::SyncMessage full;
+  full.kind = crdt::SyncKind::kBootstrap;
+  full.from = "cloud";
+  full.versions = replica.versions();
+  full.bootstrap = replica.bootstrap_state();
+  const std::size_t full_bytes = wire_bytes(full);
+  std::printf("%-18s %12zu bytes\n", "full bootstrap", full_bytes);
+  std::printf("%-18s %12zu bytes (%.1fx smaller)\n", "kSnapshot", snap_bytes,
+              double(full_bytes) / double(snap_bytes));
+  g_reg.set("bootstrap.replica.full_bytes", double(full_bytes));
+  g_reg.set("bootstrap.replica.snapshot_bytes", double(snap_bytes));
+}
+
+/// Shared source doc for the micro-benchmarks: range(0) ops, 1/8 tail.
+const crdt::CrdtJson& bm_source(std::size_t total_ops, crdt::Snapshot* checkpoint) {
+  static std::map<std::size_t, std::pair<crdt::CrdtJson, crdt::Snapshot>> cache;
+  auto it = cache.find(total_ops);
+  if (it == cache.end()) {
+    crdt::CrdtJson doc("bm-source");
+    doc.initialize(json::Value::object({}));
+    crdt::Snapshot cut;
+    for (std::size_t i = 0; i < total_ops; ++i) {
+      if (i == total_ops - total_ops / 8) cut = doc.cut_snapshot();
+      doc.set("key" + std::to_string(i % 256), json::Value(double(i)));
+    }
+    it = cache.emplace(total_ops, std::make_pair(std::move(doc), std::move(cut))).first;
+  }
+  *checkpoint = it->second.second;
+  return it->second.first;
+}
+
+void BM_FullOpReplay(benchmark::State& state) {
+  crdt::Snapshot checkpoint;
+  const crdt::CrdtJson& source = bm_source(std::size_t(state.range(0)), &checkpoint);
+  const std::vector<crdt::Op> ops = source.getChanges({});
+  for (auto _ : state) {
+    crdt::CrdtJson joiner("bm-replay");
+    joiner.initialize(json::Value::object({}));
+    joiner.applyChanges(ops);
+    benchmark::DoNotOptimize(joiner.version());
+  }
+}
+BENCHMARK(BM_FullOpReplay)->Arg(1000)->Arg(10000);
+
+void BM_SnapshotInstall(benchmark::State& state) {
+  crdt::Snapshot checkpoint;
+  const crdt::CrdtJson& source = bm_source(std::size_t(state.range(0)), &checkpoint);
+  const std::vector<crdt::Op> tail = source.getChanges(checkpoint.covered);
+  for (auto _ : state) {
+    crdt::CrdtJson joiner("bm-install");
+    joiner.initialize(json::Value::object({}));
+    joiner.install_snapshot(checkpoint);
+    joiner.applyChanges(tail);
+    benchmark::DoNotOptimize(joiner.version());
+  }
+}
+BENCHMARK(BM_SnapshotInstall)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_doc_bootstrap();
+  run_replica_bootstrap();
+  dump_metrics_json(g_reg, "bootstrap");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -3,6 +3,7 @@
 //   sim_explore --seed N [--rounds R] [--lanes L] [--workload W] [--trace]
 //               [--optimistic-acks] [--no-digest] [--no-variant-check]
 //               [--variant-fault] [--handoff-fault] [--slo]
+//               [--durable] [--power-loss] [--durability-fault]
 //               [--trace-out FILE] [--metrics-out FILE]
 //               [--timeseries-out FILE] [--flight-out FILE]
 //       Replays one schedule and prints its one-line report; --trace dumps
@@ -38,6 +39,14 @@
 // --handoff-fault plants the deliberate handoff regression the
 // handoff-fail-rate rule exists to catch (pair with --workload churn).
 //
+// --durable gives every edge a power-loss-aware durable op log: acked ops
+// are fsynced, crashes recover from the durable image (snapshot + fsynced
+// tail), rejoins ship snapshot + tail past the op-count gap threshold, and
+// the durable-op-loss invariant holds every acked write to its fsync.
+// --power-loss additionally tears the unsynced tail at a stream-drawn
+// offset on every crash. --durability-fault plants the deliberate
+// regression (the disk lies about fsync) the invariant exists to catch.
+//
 // --lanes L (default 1) runs the deployment's sharded runtime with L
 // worker lanes. Traces, state digests, and time-series exports are
 // lane-count-invariant, so a sweep at --lanes 4 checks the exact same
@@ -61,11 +70,13 @@ int usage() {
   std::cerr << "usage: sim_explore --seed N [--rounds R] [--lanes L] [--workload W] [--trace]\n"
             << "                   [--optimistic-acks] [--no-digest] [--no-variant-check]\n"
             << "                   [--variant-fault] [--handoff-fault] [--slo]\n"
+            << "                   [--durable] [--power-loss] [--durability-fault]\n"
             << "                   [--trace-out FILE] [--metrics-out FILE]\n"
             << "                   [--timeseries-out FILE] [--flight-out FILE]\n"
             << "       sim_explore --sweep N [--start S] [--rounds R] [--lanes L]\n"
             << "                   [--workload W] [--optimistic-acks] [--no-digest]\n"
             << "                   [--no-variant-check] [--handoff-fault] [--slo]\n"
+            << "                   [--durable] [--power-loss] [--durability-fault]\n"
             << "       W: uniform | zipf | flash | churn\n";
   return 2;
 }
@@ -134,6 +145,14 @@ int main(int argc, char** argv) {
       config.variant_fault = true;
     } else if (arg == "--handoff-fault") {
       config.handoff_fault = true;
+    } else if (arg == "--durable") {
+      config.durable = true;
+    } else if (arg == "--power-loss") {
+      config.durable = true;
+      config.power_loss = true;
+    } else if (arg == "--durability-fault") {
+      config.durable = true;
+      config.durability_fault = true;
     } else if (arg == "--slo") {
       config.slo_watchdog = true;
       config.forbid_alerts = true;
@@ -185,6 +204,7 @@ int main(int argc, char** argv) {
   std::vector<std::uint64_t> failing;
   std::size_t migrations = 0, handoffs_failed = 0, variant_divergences = 0;
   std::size_t slo_alerts = 0;
+  std::size_t recoveries = 0, recovered_ops = 0, truncated_records = 0;
   std::uint64_t variant_checks = 0;
   for (std::uint64_t s = start; s < start + count; ++s) {
     config.seed = s;
@@ -194,6 +214,9 @@ int main(int argc, char** argv) {
     variant_checks += result.variant_checks;
     variant_divergences += result.variant_divergences;
     slo_alerts += result.slo_alerts.size();
+    recoveries += result.durable_recoveries;
+    recovered_ops += result.recovered_ops;
+    truncated_records += result.truncated_records;
     if (!result.passed) {
       failing.push_back(s);
       std::cout << result.summary() << "\n";
@@ -207,6 +230,10 @@ int main(int argc, char** argv) {
             << " variant_checks=" << variant_checks
             << " variant_divergences=" << variant_divergences;
   if (config.slo_watchdog) std::cout << " slo_alerts=" << slo_alerts;
+  if (config.durable) {
+    std::cout << " recoveries=" << recoveries << " recovered_ops=" << recovered_ops
+              << " truncated_records=" << truncated_records;
+  }
   std::cout << "\n";
   if (!failing.empty()) {
     std::cout << "failing seeds:";

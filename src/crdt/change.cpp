@@ -77,6 +77,13 @@ void OpLog::observe(const Stamp& stamp) {
   if (stamp.counter > lamport_) lamport_ = stamp.counter;
 }
 
+void OpLog::reset_to(const VersionVector& covered, std::uint64_t lamport) {
+  ops_.clear();
+  version_ = covered;
+  floor_ = covered;
+  if (lamport > lamport_) lamport_ = lamport;
+}
+
 VersionVector version_min(const VersionVector& a, const VersionVector& b) {
   VersionVector out;
   for (const auto& [origin, seq] : a) {

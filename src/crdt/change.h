@@ -119,6 +119,17 @@ class OpLog {
   /// Advances the Lamport clock past an observed stamp.
   void observe(const Stamp& stamp);
 
+  /// Current Lamport clock value (snapshots carry it so an installing
+  /// replica resumes stamping past everything the snapshot covers).
+  std::uint64_t lamport() const { return lamport_; }
+
+  /// Adopts a snapshot horizon: drops every retained op and sets both the
+  /// version vector and the compaction floor to `covered` — the snapshot
+  /// state stands in for all ops at or below it, so this log can apply (and
+  /// serve) ops strictly past `covered` but can never replay history below
+  /// it. The Lamport clock only ratchets forward; identity is untouched.
+  void reset_to(const VersionVector& covered, std::uint64_t lamport);
+
   /// Serializes ops + version + floor + lamport (the "replica" field is
   /// provenance only; restore() keeps this log's own identity so a peer's
   /// bootstrap payload cannot hijack the local origin).

@@ -198,6 +198,41 @@ void CrdtFiles::restore_bootstrap(const json::Value& v) {
   for (const std::string& path : paths) sync_local_file(path);
 }
 
+Snapshot CrdtFiles::cut_snapshot() const {
+  json::Object appends;
+  for (const auto& [path, tail] : appends_) {
+    json::Array entries;
+    for (const AppendEntry& entry : tail) {
+      entries.push_back(
+          json::Value::object({{"stamp", entry.stamp.to_json()}, {"data", entry.data}}));
+    }
+    appends.set(path, json::Value(std::move(entries)));
+  }
+  Snapshot snap;
+  snap.state = json::Value::object(
+      {{"files", files_.to_json()}, {"appends", json::Value(std::move(appends))}});
+  snap.covered = log_.version();
+  snap.lamport = log_.lamport();
+  snap.digest = Snapshot::content_digest(snap.state);
+  return snap;
+}
+
+void CrdtFiles::install_snapshot(const Snapshot& snap) {
+  files_ = LwwMap::from_json(snap.state["files"]);
+  appends_.clear();
+  for (const auto& [path, entries] : snap.state["appends"].as_object()) {
+    std::vector<AppendEntry>& tail = appends_[path];
+    for (const json::Value& entry : entries.as_array()) {
+      tail.push_back(AppendEntry{Stamp::from_json(entry["stamp"]), entry["data"].as_string()});
+    }
+  }
+  log_.reset_to(snap.covered, snap.lamport);
+  std::set<std::string> paths;
+  for (const std::string& path : files_.all_keys()) paths.insert(path);
+  for (const auto& [path, tail] : appends_) paths.insert(path);
+  for (const std::string& path : paths) sync_local_file(path);
+}
+
 std::set<std::string> CrdtFiles::live_paths() const {
   std::set<std::string> out;
   for (const std::string& path : files_.keys()) out.insert(path);

@@ -75,6 +75,8 @@ class CrdtFiles : public ReplicatedDoc {
   std::string state_digest() const override;
   json::Value bootstrap_state() const override;
   void restore_bootstrap(const json::Value& v) override;
+  Snapshot cut_snapshot() const override;
+  void install_snapshot(const Snapshot& snap) override;
   void set_origin(const std::string& origin) override { log_.set_origin(origin); }
 
   bool converged_with(const CrdtFiles& other) const;

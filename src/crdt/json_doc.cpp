@@ -80,6 +80,22 @@ void CrdtJson::restore_bootstrap(const json::Value& v) {
   // ReplicaState re-seeds the interpreter from materialize() afterwards.
 }
 
+Snapshot CrdtJson::cut_snapshot() const {
+  Snapshot snap;
+  snap.state = json::Value::object({{"state", state_.to_json()}});
+  snap.covered = log_.version();
+  snap.lamport = log_.lamport();
+  snap.digest = Snapshot::content_digest(snap.state);
+  return snap;
+}
+
+void CrdtJson::install_snapshot(const Snapshot& snap) {
+  state_ = LwwMap::from_json(snap.state["state"]);
+  log_.reset_to(snap.covered, snap.lamport);
+  // Live-state materialization (interpreter globals) is the owner's job,
+  // exactly as for restore_bootstrap().
+}
+
 json::Value CrdtJson::materialize() const {
   json::Object obj;
   for (const std::string& key : state_.keys()) obj.set(key, *state_.get(key));

@@ -81,6 +81,8 @@ class CrdtJson : public ReplicatedDoc {
   std::string state_digest() const override { return state_.digest(); }
   json::Value bootstrap_state() const override;
   void restore_bootstrap(const json::Value& v) override;
+  Snapshot cut_snapshot() const override;
+  void install_snapshot(const Snapshot& snap) override;
   void set_origin(const std::string& origin) override { log_.set_origin(origin); }
 
   /// Live document as a JSON object.

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "crdt/change.h"
+#include "crdt/snapshot.h"
 
 namespace edgstr::crdt {
 
@@ -59,6 +60,19 @@ class ReplicatedDoc {
   /// replica (it overwrites, it does not merge); the log keeps this
   /// replica's own identity, never the serializing peer's.
   virtual void restore_bootstrap(const json::Value& v) = 0;
+
+  /// Cuts a consistent state snapshot: the observable CRDT state WITHOUT
+  /// the retained op log, covering this doc's full version vector. Far
+  /// smaller than bootstrap_state() once history outgrows live state; a
+  /// peer installs it and then needs only the ops past `covered`.
+  virtual Snapshot cut_snapshot() const = 0;
+
+  /// Adopts a peer's snapshot wholesale: overwrites the CRDT state,
+  /// re-materializes the local view, and resets the op log to the covered
+  /// version (see OpLog::reset_to). Overwrites, does not merge — callers
+  /// that may hold ops past the snapshot (a durable replica that recovered
+  /// its log) must save and re-apply them around the install.
+  virtual void install_snapshot(const Snapshot& snap) = 0;
 
   /// Re-identifies the origin future local ops are minted under (see
   /// OpLog::set_origin). A replica reborn after a crash must mint under a

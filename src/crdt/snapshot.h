@@ -1,0 +1,43 @@
+// Consistent per-doc state snapshots for cold-start bootstrap.
+//
+// A Snapshot is the observable CRDT state of one doc unit — rows, files,
+// key/value entries — WITHOUT the retained op log, plus the version vector
+// the state covers. That split is the whole point: a doc that has seen 10^5
+// ops over 10^3 keys serializes to ~10^3 entries, so shipping a snapshot
+// and the op tail past `covered` is an order of magnitude cheaper than
+// replaying history (bench_bootstrap quantifies it). The same encoding is
+// what the durable op log checkpoints to disk, so a rebooted replica can
+// reload the snapshot and replay only the durable tail.
+//
+// Encoding is deterministic: the state payloads come from std::map-backed
+// structures serialized in key order, so equal states produce byte-equal
+// encodings and the content digest doubles as an end-to-end integrity and
+// equivalence check (install verifies it before adopting anything).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crdt/change.h"
+#include "json/value.h"
+
+namespace edgstr::crdt {
+
+struct Snapshot {
+  json::Value state;      ///< doc-type-specific observable state (no ops)
+  VersionVector covered;  ///< version vector the state accounts for
+  std::uint64_t lamport = 0;  ///< Lamport clock at the cut (installers resume past it)
+  std::string digest;     ///< content digest of `state` (fnv1a over the encoding)
+
+  /// Digest of a state payload; to_json() stamps it, install verifies it.
+  static std::string content_digest(const json::Value& state);
+
+  /// Deterministic encoding: {"state":..., "v":..., "lam":..., "dig":...}.
+  json::Value to_json() const;
+
+  /// Parses and verifies the content digest; throws std::runtime_error on
+  /// a digest mismatch (a torn or tampered snapshot must never install).
+  static Snapshot from_json(const json::Value& v);
+};
+
+}  // namespace edgstr::crdt

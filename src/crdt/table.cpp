@@ -171,4 +171,19 @@ void CrdtTable::restore_bootstrap(const json::Value& v) {
   for (const std::string& key : rows_.all_keys()) materialize(key);
 }
 
+Snapshot CrdtTable::cut_snapshot() const {
+  Snapshot snap;
+  snap.state = json::Value::object({{"rows", rows_.to_json()}});
+  snap.covered = log_.version();
+  snap.lamport = log_.lamport();
+  snap.digest = Snapshot::content_digest(snap.state);
+  return snap;
+}
+
+void CrdtTable::install_snapshot(const Snapshot& snap) {
+  rows_ = LwwMap::from_json(snap.state["rows"]);
+  log_.reset_to(snap.covered, snap.lamport);
+  for (const std::string& key : rows_.all_keys()) materialize(key);
+}
+
 }  // namespace edgstr::crdt

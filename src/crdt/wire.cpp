@@ -187,6 +187,18 @@ json::Value encode_message(const SyncMessage& message) {
     if (message.rejoin) out.set("rj", json::Value(true));
     return json::Value(std::move(out));
   }
+  if (message.kind == SyncKind::kSnapshot) {
+    out.set("k", json::Value("snap"));
+    out.set("v", doc_versions_to_json(message.versions));
+    out.set("sn", message.snapshot);
+    json::Object docs;
+    for (const auto& [doc, doc_ops] : message.ops) {
+      if (!doc_ops.empty()) docs.set(doc, encode_runs(doc_ops));
+    }
+    if (!docs.empty()) out.set("d", json::Value(std::move(docs)));
+    if (message.rejoin) out.set("rj", json::Value(true));
+    return json::Value(std::move(out));
+  }
   // An absent doc decodes as an empty vector, so empty ones are skipped.
   json::Object versions;
   for (const auto& [doc, version] : message.versions) {
@@ -213,14 +225,18 @@ SyncMessage decode_message(const json::Value& wire) {
       // A kind-tagged message carrying another kind's payload is corrupt
       // or hostile (digest-kind confusion): reject before touching it.
       if (k == "dig") {
-        if (wire.find("d") || wire.find("b")) throw WireError("wire: digest carrying a payload");
+        if (wire.find("d") || wire.find("b") || wire.find("sn")) {
+          throw WireError("wire: digest carrying a payload");
+        }
         out.kind = SyncKind::kDigest;
         out.versions = decode_digest(wire);
         if (const json::Value* rejoin = wire.find("rj")) out.rejoin = rejoin->as_bool();
         return out;
       }
       if (k == "boot") {
-        if (wire.find("d")) throw WireError("wire: bootstrap carrying an op payload");
+        if (wire.find("d") || wire.find("sn")) {
+          throw WireError("wire: bootstrap carrying another kind's payload");
+        }
         out.kind = SyncKind::kBootstrap;
         out.versions = doc_versions_from_json(wire["v"]);
         out.bootstrap = wire["b"];
@@ -228,9 +244,32 @@ SyncMessage decode_message(const json::Value& wire) {
         if (const json::Value* rejoin = wire.find("rj")) out.rejoin = rejoin->as_bool();
         return out;
       }
+      if (k == "snap") {
+        if (wire.find("b")) throw WireError("wire: snapshot carrying a bootstrap payload");
+        out.kind = SyncKind::kSnapshot;
+        out.versions = doc_versions_from_json(wire["v"]);
+        out.snapshot = wire["sn"];
+        if (!out.snapshot.is_object()) throw WireError("wire: snapshot payload must be an object");
+        // Structural validation up front: every per-doc entry must look like
+        // a crdt::Snapshot encoding. Content digests are verified at install.
+        for (const auto& [doc, snap] : out.snapshot.as_object()) {
+          if (!snap.is_object() || !snap.find("state") || !snap.find("v") ||
+              !snap.find("lam") || !snap.find("dig")) {
+            throw WireError("wire: malformed snapshot for doc '" + doc + "'");
+          }
+          if (!(*snap.find("v")).is_object()) {
+            throw WireError("wire: snapshot version must be an object for doc '" + doc + "'");
+          }
+        }
+        if (const json::Value* docs = wire.find("d")) {
+          for (const auto& [doc, runs] : docs->as_object()) out.ops[doc] = decode_runs(runs);
+        }
+        if (const json::Value* rejoin = wire.find("rj")) out.rejoin = rejoin->as_bool();
+        return out;
+      }
       throw WireError("wire: unknown message kind '" + k + "'");
     }
-    if (wire.find("b") || wire.find("g")) {
+    if (wire.find("b") || wire.find("g") || wire.find("sn")) {
       throw WireError("wire: ops message carrying digest/bootstrap fields");
     }
     out.versions = doc_versions_from_json(wire["v"]);

@@ -38,6 +38,13 @@
 //   bootstrap {"k":"boot", "from":..., "v":..., "b":<full CRDT state>}
 //             Full-state transfer for a peer behind the sender's
 //             compaction horizon (rejoin only).
+//   snapshot  {"k":"snap", "from":..., "v":..., "sn":{doc:<snapshot>},
+//              "d":{doc:[run,...]}}
+//             Per-doc state snapshot (crdt::Snapshot encoding: observable
+//             state without the op log) plus optional tail-op runs past
+//             each snapshot's covered version. The cheap bootstrap: a
+//             joining or rebooted replica installs the snapshots and
+//             applies the tail instead of replaying full history.
 //
 // Ops messages additionally carry "t" (truncated: the delta was split at a
 // byte budget; the rest follows in later rounds) and "rj" (this message is
@@ -69,9 +76,9 @@ using DocVersions = std::map<std::string, VersionVector>;
 json::Value doc_versions_to_json(const DocVersions& versions);
 DocVersions doc_versions_from_json(const json::Value& v);
 
-/// What a sync message is: an op delta, a version-vector digest, or a
-/// full-state bootstrap transfer.
-enum class SyncKind { kOps, kDigest, kBootstrap };
+/// What a sync message is: an op delta, a version-vector digest, a
+/// full-state bootstrap transfer, or a snapshot + tail-ops bootstrap.
+enum class SyncKind { kOps, kDigest, kBootstrap, kSnapshot };
 
 /// One sync exchange. For kOps: the sender's versions plus, per doc unit,
 /// the ops the receiver lacks (doc units with no pending ops are simply
@@ -93,6 +100,9 @@ struct SyncMessage {
   bool rejoin = false;
   /// kBootstrap only: full CRDT state of every doc unit.
   json::Value bootstrap;
+  /// kSnapshot only: per-doc crdt::Snapshot encodings (doc -> snapshot);
+  /// `ops` carries the tail past each snapshot's covered version.
+  json::Value snapshot;
 
   std::size_t op_count() const;
 };

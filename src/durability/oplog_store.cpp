@@ -1,0 +1,175 @@
+#include "durability/oplog_store.h"
+
+#include <stdexcept>
+
+#include "json/parse.h"
+
+namespace edgstr::durability {
+
+namespace {
+
+// A frame larger than this is a corrupt length field, not a real record.
+constexpr std::uint32_t kMaxRecordBytes = 1u << 26;
+
+void put_u32(std::string* out, std::uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+std::uint32_t get_u32(const std::string& data, std::size_t at) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(data[at])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(data[at + 1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(data[at + 2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(data[at + 3])) << 24;
+}
+
+std::string frame(const std::string& payload) {
+  std::string out;
+  out.reserve(payload.size() + 8);
+  put_u32(&out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(&out, crc32(payload));
+  out += payload;
+  return out;
+}
+
+std::string op_record(const std::string& doc, const crdt::Op& op) {
+  return json::Value::object({{"t", "o"}, {"d", doc}, {"op", op.to_json()}}).dump();
+}
+
+std::string snapshot_record(const std::string& doc, const crdt::Snapshot& snap) {
+  return json::Value::object({{"t", "s"}, {"d", doc}, {"s", snap.to_json()}}).dump();
+}
+
+/// Scans framed records off the front of `data`. Returns the clean-prefix
+/// length; `*torn` is true when a corrupt or partial frame cut the scan
+/// short (as opposed to running cleanly off the end).
+std::size_t scan_records(const std::string& data, std::vector<json::Value>* out, bool* torn) {
+  *torn = false;
+  std::size_t at = 0;
+  while (at < data.size()) {
+    if (data.size() - at < 8) {
+      *torn = true;  // partial header
+      break;
+    }
+    const std::uint32_t len = get_u32(data, at);
+    const std::uint32_t crc = get_u32(data, at + 4);
+    if (len > kMaxRecordBytes || data.size() - at - 8 < len) {
+      *torn = true;  // bogus length or partial payload
+      break;
+    }
+    const std::string payload = data.substr(at + 8, len);
+    if (crc32(payload) != crc) {
+      *torn = true;  // CRC rejects the tail
+      break;
+    }
+    const std::optional<json::Value> parsed = json::try_parse(payload);
+    if (!parsed || !parsed->is_object()) {
+      *torn = true;  // CRC-valid garbage still must not reach apply
+      break;
+    }
+    out->push_back(std::move(*parsed));
+    at += 8 + len;
+  }
+  return at;
+}
+
+}  // namespace
+
+std::size_t OpLogStore::Recovered::op_count() const {
+  std::size_t total = 0;
+  for (const auto& [doc, doc_ops] : ops) total += doc_ops.size();
+  return total;
+}
+
+OpLogStore::OpLogStore(StorageBackend* backend) : backend_(backend) {
+  if (!backend_) throw std::invalid_argument("OpLogStore: null backend");
+}
+
+void OpLogStore::append_op(const std::string& doc, const crdt::Op& op) {
+  backend_->append(frame(op_record(doc, op)));
+  ++appended_ops_;
+}
+
+void OpLogStore::append_snapshot(const std::string& doc, const crdt::Snapshot& snap) {
+  backend_->append(frame(snapshot_record(doc, snap)));
+}
+
+void OpLogStore::sync() {
+  backend_->sync();
+  ++fsyncs_;
+}
+
+OpLogStore::Recovered OpLogStore::recover() {
+  const std::string data = backend_->read_all();
+  std::vector<json::Value> records;
+  bool torn = false;
+  const std::size_t clean = scan_records(data, &records, &torn);
+  Recovered out;
+  out.records = records.size();
+  if (torn) {
+    ++out.truncated_records;
+    truncated_records_ += 1;
+    out.truncated_bytes = data.size() - clean;
+    // Persist the truncation so the torn tail can never resurface.
+    backend_->rewrite(data.substr(0, clean));
+    backend_->sync();
+    ++fsyncs_;
+  }
+  for (const json::Value& record : records) {
+    const std::string& type = record["t"].as_string();
+    const std::string& doc = record["d"].as_string();
+    if (type == "s") {
+      crdt::Snapshot snap = crdt::Snapshot::from_json(record["s"]);
+      // The snapshot stands in for every op at or below its covered
+      // version; earlier op records for this doc are superseded.
+      std::vector<crdt::Op>& doc_ops = out.ops[doc];
+      std::vector<crdt::Op> kept;
+      for (crdt::Op& op : doc_ops) {
+        auto it = snap.covered.find(op.origin);
+        const std::uint64_t covered = it == snap.covered.end() ? 0 : it->second;
+        if (op.seq > covered) kept.push_back(std::move(op));
+      }
+      doc_ops = std::move(kept);
+      out.snapshots[doc] = std::move(snap);
+    } else {
+      out.ops[doc].push_back(crdt::Op::from_json(record["op"]));
+    }
+  }
+  ++recoveries_;
+  return out;
+}
+
+std::size_t OpLogStore::compact(const std::map<std::string, crdt::Snapshot>& snapshots) {
+  const std::string data = backend_->read_all();
+  std::vector<json::Value> records;
+  bool torn = false;
+  scan_records(data, &records, &torn);  // appends keep the log clean; torn tail drops below
+  std::string rebuilt;
+  for (const auto& [doc, snap] : snapshots) rebuilt += frame(snapshot_record(doc, snap));
+  std::size_t dropped = 0;
+  for (const json::Value& record : records) {
+    if (record["t"].as_string() != "o") continue;  // superseded snapshots drop
+    const std::string& doc = record["d"].as_string();
+    const crdt::Op op = crdt::Op::from_json(record["op"]);
+    auto snap_it = snapshots.find(doc);
+    std::uint64_t covered = 0;
+    if (snap_it != snapshots.end()) {
+      auto it = snap_it->second.covered.find(op.origin);
+      covered = it == snap_it->second.covered.end() ? 0 : it->second;
+    }
+    if (op.seq > covered) {
+      rebuilt += frame(op_record(doc, op));
+    } else {
+      ++dropped;
+    }
+  }
+  backend_->rewrite(rebuilt);
+  backend_->sync();
+  ++fsyncs_;
+  ++compactions_;
+  return dropped;
+}
+
+}  // namespace edgstr::durability

@@ -1,0 +1,93 @@
+// Log-structured durable op log with CRC-framed records.
+//
+// Every record is framed as
+//
+//   [u32 payload length | u32 crc32(payload) | payload]
+//
+// where the payload is one JSON object: an op record
+// {"t":"o","d":<doc>,"op":<Op>} or a snapshot record
+// {"t":"s","d":<doc>,"s":<crdt::Snapshot>}. Little-endian fixed-width
+// headers make torn writes detectable by construction: a record is valid
+// only if its full header and payload are present AND the CRC matches, so
+// recovery scans from the front and truncates at the first frame that
+// fails either test — everything before it is a clean, fsync-guaranteed
+// prefix; everything after it is gone (the tail a power loss tore).
+//
+// Compaction is snapshot-gated: records are dropped only by rewriting the
+// log as (latest snapshot per doc) + (ops past each snapshot's covered
+// version), through StorageBackend::rewrite's atomic-replace semantics.
+// The durable horizon therefore moves only when a durable snapshot does —
+// never because a peer acked something — which is what lets a replica's
+// in-memory compaction be bounded by its durable snapshot instead of by
+// peer acks (ReplicaState enforces that bound).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crdt/change.h"
+#include "crdt/snapshot.h"
+#include "durability/storage.h"
+
+namespace edgstr::durability {
+
+class OpLogStore {
+ public:
+  /// The backend outlives the store; the store does not own it.
+  explicit OpLogStore(StorageBackend* backend);
+
+  /// Appends one op record (buffered; durable after sync()).
+  void append_op(const std::string& doc, const crdt::Op& op);
+
+  /// Appends one snapshot record.
+  void append_snapshot(const std::string& doc, const crdt::Snapshot& snap);
+
+  /// fsyncs the backend; counted for the durability.fsync metric.
+  void sync();
+
+  struct Recovered {
+    /// Latest durable snapshot per doc, if any.
+    std::map<std::string, crdt::Snapshot> snapshots;
+    /// Per doc: ops past its snapshot's covered version (or all ops when
+    /// the doc has no snapshot), in log/append order.
+    std::map<std::string, std::vector<crdt::Op>> ops;
+    std::size_t records = 0;            ///< clean records read
+    std::size_t truncated_records = 0;  ///< corrupt/torn frames dropped
+    std::uint64_t truncated_bytes = 0;  ///< bytes cut off the tail
+
+    std::size_t op_count() const;
+  };
+
+  /// Replays the log from the front, truncating at the first corrupt
+  /// record (the truncation is written back so the next recovery sees a
+  /// clean log). Idempotent: recover() after recover() yields the same
+  /// image; appends between recoveries extend it.
+  Recovered recover();
+
+  /// Snapshot-gated compaction: atomically rewrites the log as the given
+  /// snapshots plus every currently-durable op past each snapshot's
+  /// covered version. Returns the number of op records dropped.
+  std::size_t compact(const std::map<std::string, crdt::Snapshot>& snapshots);
+
+  // Counters (exported as durability.* metrics by the deployment).
+  std::uint64_t fsyncs() const { return fsyncs_; }
+  std::uint64_t appended_ops() const { return appended_ops_; }
+  std::uint64_t recoveries() const { return recoveries_; }
+  std::uint64_t truncated_records() const { return truncated_records_; }
+  std::uint64_t compactions() const { return compactions_; }
+  std::uint64_t bytes() const { return backend_->size(); }
+
+  StorageBackend* backend() { return backend_; }
+
+ private:
+  StorageBackend* backend_;
+  std::uint64_t fsyncs_ = 0;
+  std::uint64_t appended_ops_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t truncated_records_ = 0;
+  std::uint64_t compactions_ = 0;
+};
+
+}  // namespace edgstr::durability

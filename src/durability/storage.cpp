@@ -1,0 +1,124 @@
+#include "durability/storage.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace edgstr::durability {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::string& data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+FileBackend::FileBackend(std::string path) : path_(std::move(path)) { open_log(); }
+
+FileBackend::~FileBackend() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FileBackend::open_log() {
+  fd_ = ::open(path_.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("FileBackend: cannot open " + path_ + ": " +
+                             std::strerror(errno));
+  }
+}
+
+void FileBackend::append(const std::string& bytes) {
+  const char* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("FileBackend: write failed: " + std::string(std::strerror(errno)));
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+void FileBackend::sync() {
+  if (::fsync(fd_) != 0) {
+    throw std::runtime_error("FileBackend: fsync failed: " + std::string(std::strerror(errno)));
+  }
+}
+
+void FileBackend::rewrite(const std::string& bytes) {
+  // Write-temp + rename: the old log stays intact until the rename lands,
+  // so a crash mid-rewrite recovers the previous image, never a mix.
+  const std::string tmp = path_ + ".tmp";
+  int tmp_fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (tmp_fd < 0) {
+    throw std::runtime_error("FileBackend: cannot open " + tmp + ": " +
+                             std::strerror(errno));
+  }
+  const char* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(tmp_fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(tmp_fd);
+      throw std::runtime_error("FileBackend: rewrite failed: " + std::string(std::strerror(errno)));
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  ::fsync(tmp_fd);
+  ::close(tmp_fd);
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    throw std::runtime_error("FileBackend: rename failed: " + std::string(std::strerror(errno)));
+  }
+  ::close(fd_);
+  open_log();
+}
+
+std::string FileBackend::read_all() const {
+  std::string out;
+  const int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) return out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+std::uint64_t FileBackend::size() const {
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  return end < 0 ? 0 : static_cast<std::uint64_t>(end);
+}
+
+}  // namespace edgstr::durability

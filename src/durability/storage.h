@@ -1,0 +1,124 @@
+// Storage backends for the durable op log.
+//
+// The durability layer is written against a tiny append-only contract so
+// the same OpLogStore runs over a real file (FileBackend) and inside the
+// deterministic simulation (MemBackend). The contract mirrors what a
+// journaling store actually gets from an OS:
+//
+//   append()  — buffered write; NOT durable until sync()
+//   sync()    — fsync: everything appended so far survives power loss
+//   rewrite() — atomic full replacement (write-temp + rename + fsync
+//               semantics): the old content stays durable until the next
+//               sync() commits the new one. Compaction and recovery
+//               truncation go through this, so a crash mid-compaction can
+//               never lose both the old and the new log.
+//
+// MemBackend models the failure physics the tests need: power loss at an
+// arbitrary write offset keeps the fsynced prefix plus any prefix of the
+// unsynced tail (torn/partial records), and a fault-injection switch makes
+// sync() lie — claim durability without providing it — which is exactly
+// the planted fault the sim's `durable-op-loss` invariant must catch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace edgstr::durability {
+
+/// CRC-32 (IEEE 802.3, reflected) over `data`. Guards every log record:
+/// a torn or bit-flipped record fails its CRC and recovery truncates there.
+std::uint32_t crc32(const std::string& data);
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Appends bytes to the log. Buffered: not durable until sync().
+  virtual void append(const std::string& bytes) = 0;
+
+  /// Makes everything appended (or rewritten) so far durable.
+  virtual void sync() = 0;
+
+  /// Atomically replaces the whole log. The previous durable content
+  /// remains the recovery image until the next sync() commits this one.
+  virtual void rewrite(const std::string& bytes) = 0;
+
+  /// Current logical content (what a crash-free reader sees).
+  virtual std::string read_all() const = 0;
+
+  /// Current logical size in bytes.
+  virtual std::uint64_t size() const = 0;
+};
+
+/// Simulation backend: in-memory, with power-loss modelling.
+class MemBackend : public StorageBackend {
+ public:
+  MemBackend() = default;
+  /// Starts with `bytes` already durable (tests cloning a log image).
+  explicit MemBackend(std::string bytes) : data_(bytes), durable_(std::move(bytes)) {}
+
+  void append(const std::string& bytes) override { data_ += bytes; }
+  void sync() override {
+    if (fail_sync_) return;  // planted fault: the disk lies
+    durable_ = data_;
+    rewrite_pending_ = false;
+  }
+  void rewrite(const std::string& bytes) override {
+    data_ = bytes;
+    rewrite_pending_ = true;
+  }
+  std::string read_all() const override { return data_; }
+  std::uint64_t size() const override { return data_.size(); }
+
+  /// Simulated power loss: the durable prefix survives; of the unsynced
+  /// tail, only the first `keep_unsynced` bytes make it to the platter
+  /// (0 = clean cut at the fsync horizon; anything else models a torn
+  /// write). A pending rewrite that was never synced vanishes entirely —
+  /// the old durable image is what recovery sees.
+  void power_loss(std::uint64_t keep_unsynced) {
+    if (rewrite_pending_) {
+      data_ = durable_;
+      rewrite_pending_ = false;
+      return;
+    }
+    const std::uint64_t unsynced = data_.size() - durable_.size();
+    data_.resize(durable_.size() + std::min(keep_unsynced, unsynced));
+  }
+
+  /// Bytes appended since the last (honest) sync.
+  std::uint64_t unsynced_bytes() const {
+    return rewrite_pending_ ? data_.size() : data_.size() - durable_.size();
+  }
+
+  /// Fault injection: when set, sync() claims success but makes nothing
+  /// durable. Acked-and-"fsynced" ops then die with the power, which the
+  /// durable-op-loss invariant exists to catch.
+  void set_fail_sync(bool fail) { fail_sync_ = fail; }
+
+ private:
+  std::string data_;     ///< logical content (what append/read_all see)
+  std::string durable_;  ///< what survives power loss
+  bool rewrite_pending_ = false;
+  bool fail_sync_ = false;
+};
+
+/// Real file backend (write-temp + rename for rewrite, fsync for sync).
+class FileBackend : public StorageBackend {
+ public:
+  explicit FileBackend(std::string path);
+  ~FileBackend() override;
+
+  void append(const std::string& bytes) override;
+  void sync() override;
+  void rewrite(const std::string& bytes) override;
+  std::string read_all() const override;
+  std::uint64_t size() const override;
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+
+  void open_log();
+};
+
+}  // namespace edgstr::durability

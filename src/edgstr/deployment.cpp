@@ -107,6 +107,7 @@ ThreeTierDeployment::ThreeTierDeployment(const TransformResult& transform,
   sync_ = std::make_unique<runtime::SyncEngine>(network_, kCloudHost);
   sync_->set_cloud(cloud_state_);
   sync_->graph().set_digest_sync(config.digest_sync);
+  sync_->graph().set_snapshot_bootstrap(config.bootstrap_snapshot_ops);
   sync_->graph().set_telemetry(&telemetry_);
   if (config.lanes > 1) {
     // Multi-lane deployments shard the replication graph's per-endpoint
@@ -143,6 +144,16 @@ ThreeTierDeployment::ThreeTierDeployment(const TransformResult& transform,
         host, service.get(), transform.replicated_files, transform.replicated_globals);
     state->initialize_from_snapshot(transform.init_snapshot);
     state->set_telemetry(&telemetry_);
+    if (config.durable_edges) {
+      durable_backends_.push_back(std::make_unique<durability::MemBackend>());
+      if (config.durability_fault) durable_backends_.back()->set_fail_sync(true);
+      durable_stores_.push_back(
+          std::make_unique<durability::OpLogStore>(durable_backends_.back().get()));
+      state->attach_durable(durable_stores_.back().get());
+      // Durable baseline: the init-snapshot cut. Gives the edge a serving
+      // checkpoint from round zero and bounds its in-memory compaction.
+      state->checkpoint_durable();
+    }
     node->host(std::move(service));
 
     network_.connect(kClientHost, host, config.lan);
@@ -229,10 +240,29 @@ http::HttpResponse ThreeTierDeployment::request_sync(const http::HttpRequest& re
   return completion->response;
 }
 
-void ThreeTierDeployment::crash_edge(std::size_t i) {
+std::size_t ThreeTierDeployment::crash_edge(std::size_t i, std::uint64_t keep_unsynced_bytes) {
   edges_.at(i)->set_power_state(runtime::PowerState::kCrashed);
   sync_->graph().crash(edge_host(i));
+  if (i < durable_backends_.size() && durable_backends_[i]) {
+    // Power loss, then rebirth from whatever the platter kept: the fsynced
+    // prefix plus up to `keep_unsynced_bytes` of torn tail, which recovery
+    // truncates at the first corrupt frame.
+    durable_backends_[i]->power_loss(keep_unsynced_bytes);
+    return edge_states_.at(i)->crash_reset_durable(init_snapshot_);
+  }
   edge_states_.at(i)->crash_reset(init_snapshot_);
+  return 0;
+}
+
+std::size_t ThreeTierDeployment::checkpoint_durable_edges() {
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < edge_states_.size(); ++i) {
+    if (i >= durable_stores_.size() || !durable_stores_[i]) continue;
+    const std::string host = edge_host(i);
+    if (!sync_->graph().endpoint_up(host) || sync_->graph().recovering(host)) continue;
+    dropped += edge_states_[i]->checkpoint_durable();
+  }
+  return dropped;
 }
 
 void ThreeTierDeployment::restart_edge(std::size_t i) {
@@ -293,6 +323,27 @@ json::Value ThreeTierDeployment::metrics_snapshot() const {
       variants.add("variant.divergence." + name, count);
     }
     registries.push_back(&variants);
+  }
+  // Durability series appear only when durable stores exist, keeping
+  // durability-off snapshots byte-identical to pre-durability builds.
+  util::MetricsRegistry durability;
+  if (!durable_stores_.empty()) {
+    double fsyncs = 0, appended = 0, recoveries = 0, truncated = 0, compactions = 0, bytes = 0;
+    for (const auto& store : durable_stores_) {
+      fsyncs += double(store->fsyncs());
+      appended += double(store->appended_ops());
+      recoveries += double(store->recoveries());
+      truncated += double(store->truncated_records());
+      compactions += double(store->compactions());
+      bytes += double(store->bytes());
+    }
+    durability.add("durability.fsyncs", fsyncs);
+    durability.add("durability.appended_ops", appended);
+    durability.add("durability.recoveries", recoveries);
+    durability.add("durability.truncated_records", truncated);
+    durability.add("durability.compactions", compactions);
+    durability.add("durability.log_bytes", bytes);
+    registries.push_back(&durability);
   }
   return obs::metrics_json(registries);
 }

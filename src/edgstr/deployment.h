@@ -85,6 +85,21 @@ struct DeploymentConfig {
   /// windows close: call poll_watchdog() at settled points and
   /// finish_watchdog() once at the end.
   std::vector<obs::SloRule> slo_rules;
+  /// Durable op logs on every edge replica: each edge gets a simulated
+  /// power-loss-aware store (durability::OpLogStore over a MemBackend) and
+  /// fsyncs every acked op. crash_edge() then recovers the edge from its
+  /// durable log (snapshot + fsynced tail) instead of the bare checkpoint.
+  /// Off (default) nothing durable is constructed and every export stays
+  /// byte-identical to pre-durability builds.
+  bool durable_edges = false;
+  /// Snapshot bootstrap threshold forwarded to the replication graph
+  /// (ReplicationGraph::set_snapshot_bootstrap); 0 = op replay only.
+  std::uint64_t bootstrap_snapshot_ops = 0;
+  /// Test-only planted fault: every durable edge's disk lies — sync()
+  /// claims durability without providing it. An acked "durable" write then
+  /// dies with the power, which the sim's durable-op-loss invariant must
+  /// catch. Never set outside tests.
+  bool durability_fault = false;
 };
 
 /// The original client-cloud deployment (baseline in every benchmark).
@@ -184,8 +199,24 @@ class ThreeTierDeployment {
 
   /// Fail-stop crash of edge i: the node stops serving (its proxy falls
   /// back to the cloud), its volatile CRDT state is wiped back to the
-  /// shared checkpoint, and all sync connection state is forgotten.
-  void crash_edge(std::size_t i);
+  /// shared checkpoint, and all sync connection state is forgotten. With
+  /// durable_edges the rebirth instead replays the edge's durable op log
+  /// (latest snapshot + fsynced tail); `keep_unsynced_bytes` models power
+  /// loss mid-write — that many bytes of the *unsynced* tail reach the
+  /// platter before the cut (0 = clean loss at the fsync horizon, anything
+  /// else a torn record for recovery to truncate). Returns the number of
+  /// ops replayed from the durable log (0 without durable_edges).
+  std::size_t crash_edge(std::size_t i, std::uint64_t keep_unsynced_bytes = 0);
+  /// Edge i's durable store / sim backend; nullptr without durable_edges.
+  durability::OpLogStore* durable_store(std::size_t i) {
+    return i < durable_stores_.size() ? durable_stores_[i].get() : nullptr;
+  }
+  durability::MemBackend* durable_backend(std::size_t i) {
+    return i < durable_backends_.size() ? durable_backends_[i].get() : nullptr;
+  }
+  /// Durable checkpoint on every live durable edge (snapshot cut + store
+  /// compaction); returns op records dropped. No-op without durable_edges.
+  std::size_t checkpoint_durable_edges();
   /// Restarts a crashed edge as *recovering*. The node resumes serving
   /// only once the replication graph completes a rejoin (delta from a
   /// peer, or a full bootstrap when peers compacted past the checkpoint).
@@ -224,6 +255,11 @@ class ThreeTierDeployment {
   std::unique_ptr<runtime::Node> cloud_;
   std::vector<std::unique_ptr<runtime::Node>> edges_;
   std::shared_ptr<runtime::ReplicaState> cloud_state_;
+  /// Per-edge durable op logs (config.durable_edges); parallel to edges_.
+  /// Declared before the states that hold raw pointers into them, so the
+  /// stores outlive every attached ReplicaState.
+  std::vector<std::unique_ptr<durability::MemBackend>> durable_backends_;
+  std::vector<std::unique_ptr<durability::OpLogStore>> durable_stores_;
   std::vector<std::shared_ptr<runtime::ReplicaState>> edge_states_;
   /// Regional aggregators (kHierarchy): sync relays between cloud and
   /// edges, each backed by its own replica service.

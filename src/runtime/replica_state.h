@@ -12,10 +12,14 @@
 #include <string>
 #include <vector>
 
+#include <map>
+
 #include "crdt/files.h"
 #include "crdt/json_doc.h"
+#include "crdt/snapshot.h"
 #include "crdt/table.h"
 #include "crdt/wire.h"
+#include "durability/oplog_store.h"
 #include "obs/telemetry.h"
 #include "runtime/service_runtime.h"
 
@@ -50,6 +54,30 @@ class ReplicaState {
   /// survived only at a third party would otherwise collide with a fresh
   /// (origin, seq) — a split-brain that version vectors cannot see.
   void crash_reset(const trace::Snapshot& snapshot);
+
+  /// Attaches a durable op log. While attached, every op harvested by
+  /// record_local() or adopted by apply_message() is appended and fsynced
+  /// before control returns — an acked write is a durable write — and the
+  /// in-memory compaction horizon is bounded by the last durable
+  /// checkpoint instead of peer acks (the checkpoint must be able to serve
+  /// its own tail). The store outlives this replica; pass nullptr to detach.
+  void attach_durable(durability::OpLogStore* store) { durable_ = store; }
+  durability::OpLogStore* durable() const { return durable_; }
+
+  /// Durable checkpoint: cuts a consistent snapshot of every unit, writes
+  /// the snapshots to the store, and compacts the store down to (snapshots
+  /// + ops past them). The cut also becomes the serving checkpoint for
+  /// snapshot bootstrap and the in-memory compaction bound. Returns the
+  /// number of op records dropped from the store; no-op without a store.
+  std::size_t checkpoint_durable();
+
+  /// Crash rebirth with recovery: the volatile wipe and epoch-origin mint
+  /// of crash_reset(), then — when a durable log is attached — replay of
+  /// the recovered image (latest snapshot per unit + the durable op tail)
+  /// on top of the checkpoint baseline. What was fsynced survives the
+  /// crash; everything else is lost, exactly like real power loss.
+  /// Returns the number of ops replayed from the durable log.
+  std::size_t crash_reset_durable(const trace::Snapshot& snapshot);
 
   /// Attaches the deployment's telemetry plane: ops harvested while a
   /// trace context is active are tagged with the client trace that
@@ -88,10 +116,29 @@ class ReplicaState {
   /// Full CRDT state of every unit — what a rejoining replica that is
   /// behind our compaction horizon receives instead of a delta.
   json::Value bootstrap_state() const;
-  /// Installs a peer's bootstrap_state(). Only safe on a freshly
-  /// re-initialized replica (crash_reset first); state is overwritten, not
-  /// merged, and the interpreter's replicated globals are re-seeded.
+  /// Installs a peer's bootstrap_state() and re-seeds the interpreter's
+  /// replicated globals. Guarded per unit: a payload whose version vector
+  /// is *strictly behind* a unit's local version is skipped — overwriting
+  /// would silently lose ops a durable replica just recovered, and local
+  /// state already dominates it (normal in a multi-unit message where the
+  /// joiner is ahead on one unit but needs the payload for another). When
+  /// local state is ahead only on components the payload lacks
+  /// (recovered-but-never-shipped ops), those ops are saved and
+  /// re-applied after the install instead of being destroyed.
   void restore_bootstrap(const json::Value& v);
+
+  /// Builds a kSnapshot bootstrap: per-unit snapshots plus tail ops. With
+  /// a durable checkpoint, ships the cached checkpoint + the in-memory
+  /// tail past it (the compaction bound guarantees the tail is servable);
+  /// otherwise cuts fresh full-coverage snapshots with an empty tail.
+  crdt::SyncMessage collect_snapshot_bootstrap() const;
+
+  /// Installs a kSnapshot message: per-unit stale-cut skipping and
+  /// ahead-op preservation as in restore_bootstrap(), then the tail ops,
+  /// then a globals re-seed. With a durable log attached the merged result is
+  /// checkpointed so a follow-up crash recovers the post-bootstrap state.
+  /// Returns the number of tail ops applied.
+  std::size_t install_snapshot_message(const crdt::SyncMessage& message);
 
   /// Compacts every unit's op log against the version every direct peer
   /// has acknowledged. Returns the number of ops dropped.
@@ -129,9 +176,19 @@ class ReplicaState {
   std::set<std::string> replicated_globals_;
   obs::Telemetry* telemetry_ = nullptr;
   std::uint64_t rebirths_ = 0;  ///< crash count; suffixes the op origin
+  durability::OpLogStore* durable_ = nullptr;
+  /// Last durable checkpoint per unit: the snapshot-bootstrap serving
+  /// image and the in-memory compaction bound.
+  std::map<std::string, crdt::Snapshot> checkpoint_;
 
   json::Value filtered_globals();
   void materialize_globals(const std::vector<crdt::Op>& applied);
+  void reseed_globals();
+  /// Ops past `covered` that an install would destroy; throws when the
+  /// unit cannot reconstruct them (already compacted past `covered`) —
+  /// installing anyway would silently destroy recovered acked writes.
+  std::vector<crdt::Op> ops_ahead_of(const DocUnit& unit,
+                                     const crdt::VersionVector& covered) const;
 };
 
 }  // namespace edgstr::runtime

@@ -235,6 +235,29 @@ void ReplicationGraph::serve_digest(ReplicaState& advertiser, ReplicaState& resp
     merge_max(peer_known_[rid + "<-" + aid], digest.versions);
   }
 
+  if (digest.rejoin && snapshot_min_gap_ > 0 &&
+      (!responder.can_serve(digest.versions) || missing >= snapshot_min_gap_)) {
+    // Snapshot negotiation won: either the responder compacted past the
+    // joiner (snapshot is the only option) or the advertised gap is wide
+    // enough that shipping state + tail beats replaying `missing` ops.
+    const crdt::SyncMessage snap = responder.collect_snapshot_bootstrap();
+    const std::uint64_t bytes =
+        link.send(rid, snap,
+                  [this, &advertiser, advertiser_inc, rid, round_ctx,
+                   round_span](const crdt::SyncMessage& delivered) {
+                    deliver_reply(advertiser, delivered, advertiser_inc, rid, round_ctx,
+                                  round_span);
+                  },
+                  round_ctx);
+    metrics_.add("sync.bootstrap_bytes", double(bytes));
+    rejoin_bytes_[aid] += bytes;
+    pending_round_bytes_ += bytes;
+    flight(rid, "send",
+           "snapshot->" + aid + " bytes=" + std::to_string(bytes) +
+               " tail_ops=" + std::to_string(snap.op_count()));
+    return;
+  }
+
   if (!responder.can_serve(digest.versions)) {
     if (digest.rejoin) {
       // Compacted past the joiner's reset state: ship the full CRDT state
@@ -254,6 +277,7 @@ void ReplicationGraph::serve_digest(ReplicaState& advertiser, ReplicaState& resp
                     },
                     round_ctx);
       metrics_.add("sync.bootstrap_bytes", double(bytes));
+      rejoin_bytes_[aid] += bytes;
       pending_round_bytes_ += bytes;
       flight(rid, "send", "bootstrap->" + aid + " bytes=" + std::to_string(bytes));
     } else {
@@ -277,13 +301,15 @@ void ReplicationGraph::serve_digest(ReplicaState& advertiser, ReplicaState& resp
   reply.rejoin = digest.rejoin;
   pending_round_ops_ += reply.op_count();
   flight(rid, "send", "delta->" + aid + " ops=" + std::to_string(reply.op_count()));
-  pending_round_bytes_ += link.send(
+  const std::uint64_t reply_bytes = link.send(
       rid, reply,
       [this, &advertiser, advertiser_inc, rid, round_ctx,
        round_span](const crdt::SyncMessage& delivered) {
         deliver_reply(advertiser, delivered, advertiser_inc, rid, round_ctx, round_span);
       },
       round_ctx);
+  if (digest.rejoin) rejoin_bytes_[aid] += reply_bytes;
+  pending_round_bytes_ += reply_bytes;
 }
 
 void ReplicationGraph::deliver_reply(ReplicaState& advertiser,
@@ -298,6 +324,23 @@ void ReplicationGraph::deliver_reply(ReplicaState& advertiser,
   // message from before the state flip.
   if (delivered.rejoin != rejoining) return;
 
+  if (delivered.kind == crdt::SyncKind::kSnapshot) {
+    if (!rejoining) return;
+    const std::size_t tail_ops = advertiser.install_snapshot_message(delivered);
+    rejoin_ops_[aid] += tail_ops;
+    if (telemetry_) {
+      obs::Tracer& tracer = telemetry_->tracer();
+      const obs::SpanId span =
+          tracer.begin_span("sync.rejoin.snapshot", "sync", aid, round_ctx);
+      tracer.add_arg(span, "from", delivered.from);
+      tracer.add_arg(span, "tail_ops", std::to_string(tail_ops));
+      tracer.end_span(span);
+      tracer.end_span(round_span);
+    }
+    complete_rejoin(advertiser, RejoinVia::kSnapshot);
+    return;
+  }
+
   if (delivered.kind == crdt::SyncKind::kBootstrap) {
     if (!rejoining) return;
     advertiser.restore_bootstrap(delivered.bootstrap);
@@ -309,11 +352,12 @@ void ReplicationGraph::deliver_reply(ReplicaState& advertiser,
       tracer.end_span(span);
       tracer.end_span(round_span);
     }
-    complete_rejoin(advertiser, /*delta=*/false);
+    complete_rejoin(advertiser, RejoinVia::kBootstrap);
     return;
   }
 
-  advertiser.apply_message(delivered);
+  const std::size_t applied = advertiser.apply_message(delivered);
+  if (rejoining) rejoin_ops_[aid] += applied;
   // The reply's versions are capped to what its ops actually deliver, so
   // merging them keeps the ack cache a strict lower bound on the
   // responder's holdings.
@@ -323,7 +367,7 @@ void ReplicationGraph::deliver_reply(ReplicaState& advertiser,
   // A truncated rejoin delta leaves the joiner recovering: its next
   // rejoin digest resumes the remainder, and only the final full piece
   // completes the rejoin.
-  if (rejoining && !delivered.truncated) complete_rejoin(advertiser, /*delta=*/true);
+  if (rejoining && !delivered.truncated) complete_rejoin(advertiser, RejoinVia::kDelta);
 }
 
 void ReplicationGraph::finalize_round_stats() {
@@ -489,6 +533,9 @@ void ReplicationGraph::restart(const std::string& id) {
   }
   down_.erase(id);
   recovering_.insert(id);
+  recovery_started_[id] = network_.clock().now();
+  rejoin_bytes_[id] = 0;
+  rejoin_ops_[id] = 0;
   metrics_.add("sync.restarts");
   if (obs::TimeSeries* ts = timeseries()) ts->add(network_.clock().now(), "node.restart");
   flight(id, "restart", "epoch=" + std::to_string(incarnation_[id]) + " recovering");
@@ -531,7 +578,7 @@ void ReplicationGraph::attempt_rejoin(ReplicaState& joiner, const obs::TraceCont
   start_digest_exchange(joiner, *source, *source_link, round_ctx, round_span, /*rejoin=*/true);
 }
 
-void ReplicationGraph::complete_rejoin(ReplicaState& joiner, bool delta) {
+void ReplicationGraph::complete_rejoin(ReplicaState& joiner, RejoinVia via) {
   recovering_.erase(joiner.id());
   // Seed fresh connection state with what both sides *provably* hold: the
   // pointwise minimum of their version vectors. That is simultaneously a
@@ -547,9 +594,24 @@ void ReplicationGraph::complete_rejoin(ReplicaState& joiner, bool delta) {
     peer_known_[joiner.id() + "<-" + other] = common;
     peer_known_[other + "<-" + joiner.id()] = common;
   }
-  metrics_.add(delta ? "sync.rejoins.delta" : "sync.rejoins.bootstrap");
+  const char* via_name = via == RejoinVia::kDelta      ? "delta"
+                         : via == RejoinVia::kBootstrap ? "bootstrap"
+                                                        : "snapshot";
+  metrics_.add(std::string("sync.rejoins.") + via_name);
+  if (snapshot_min_gap_ > 0) {
+    // Negotiation scoreboard: snapshot-shipped rejoins vs op-replay
+    // rejoins (delta or full bootstrap), in bytes, ops, and wall time from
+    // restart to completion. Only with the knob on — keys must not appear
+    // in pre-snapshot exports.
+    const std::string bucket =
+        via == RejoinVia::kSnapshot ? "bootstrap.snapshot" : "bootstrap.replay";
+    metrics_.add(bucket + ".bytes", double(rejoin_bytes_[joiner.id()]));
+    metrics_.add(bucket + ".ops", double(rejoin_ops_[joiner.id()]));
+    metrics_.observe(bucket + ".ms",
+                     (network_.clock().now() - recovery_started_[joiner.id()]) * 1000.0);
+  }
   if (obs::TimeSeries* ts = timeseries()) ts->add(network_.clock().now(), "node.rejoin");
-  flight(joiner.id(), "rejoin", delta ? "via=delta" : "via=bootstrap");
+  flight(joiner.id(), "rejoin", std::string("via=") + via_name);
   if (on_rejoined_) on_rejoined_(joiner.id());
 }
 

@@ -123,6 +123,16 @@ class ReplicationGraph {
     on_rejoined_ = std::move(cb);
   }
 
+  /// Snapshot bootstrap negotiation (0 = off, the default): when a rejoin
+  /// digest arrives, the responder compares the advertised op-count gap
+  /// against this threshold. At or past it — or whenever it cannot serve a
+  /// delta at all — it ships a kSnapshot message (per-unit consistent
+  /// state snapshots + tail ops) instead of op replay or a full
+  /// bootstrap_state() transfer. Off, behavior (and every exported byte)
+  /// is identical to the pre-snapshot protocol.
+  void set_snapshot_bootstrap(std::uint64_t min_gap_ops) { snapshot_min_gap_ = min_gap_ops; }
+  std::uint64_t snapshot_bootstrap() const { return snapshot_min_gap_; }
+
   /// Deliberate-regression knob for the simulation harness: when enabled,
   /// peer acks are recorded at *send* time instead of delivery time, so a
   /// lost message is never retransmitted. Convergence invariants must
@@ -235,7 +245,14 @@ class ReplicationGraph {
   std::map<std::string, std::uint64_t> incarnation_;
   bool optimistic_acks_ = false;
   bool handoff_fault_ = false;
+  std::uint64_t snapshot_min_gap_ = 0;  ///< 0 = snapshot bootstrap off
   std::size_t handoff_fail_run_ = 0;  ///< consecutive failed flushes (SLO signal)
+  /// Per-recovering-endpoint bootstrap accounting (snapshot negotiation
+  /// only): sim time the restart landed, bytes and ops its rejoin cost so
+  /// far. Folded into bootstrap.{snapshot,replay}.* at rejoin completion.
+  std::map<std::string, double> recovery_started_;
+  std::map<std::string, std::uint64_t> rejoin_bytes_;
+  std::map<std::string, std::uint64_t> rejoin_ops_;
   std::function<void(const std::string&)> on_rejoined_;
   LaneScheduler* scheduler_ = nullptr;  ///< not owned; nullptr = serial
 
@@ -280,7 +297,10 @@ class ReplicationGraph {
   void finalize_round_stats();
   void attempt_rejoin(ReplicaState& joiner, const obs::TraceContext& round_ctx,
                       obs::SpanId round_span);
-  void complete_rejoin(ReplicaState& joiner, bool delta);
+  /// How a rejoin was completed; picks the sync.rejoins.* counter and the
+  /// bootstrap.{snapshot,replay}.* bucket under snapshot negotiation.
+  enum class RejoinVia { kDelta, kBootstrap, kSnapshot };
+  void complete_rejoin(ReplicaState& joiner, RejoinVia via);
   /// Per-endpoint version-vector lag and time-since-converged vs the first
   /// endpoint; gauges + aggregate histograms. No-op without telemetry.
   void sample_staleness();

@@ -92,6 +92,11 @@ std::string ScheduleResult::summary() const {
     out += " vchecks=" + std::to_string(variant_checks) +
            " vdiv=" + std::to_string(variant_divergences);
   }
+  if (durable_recoveries) {
+    out += " recoveries=" + std::to_string(durable_recoveries) +
+           " recovered_ops=" + std::to_string(recovered_ops) +
+           " truncated=" + std::to_string(truncated_records);
+  }
   if (!slo_alerts.empty()) out += " slo_alerts=" + std::to_string(slo_alerts.size());
   out += " trace=" + hex64(trace_digest) + " state=" + state_digest +
          (passed ? " PASS" : " FAIL");
@@ -109,6 +114,10 @@ ScheduleResult run_schedule(const ScheduleConfig& config) {
   // main `rng` stream — and with it a seed's topology, fault schedule, and
   // base traffic — is identical under every shape.
   util::Rng wl_rng(config.seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+  // Durability draws (power-loss cut offsets) ride their own stream for
+  // the same reason: a seed's base schedule is identical with the durable
+  // plane on or off.
+  util::Rng dur_rng(config.seed * 0xD6E8FEB86659FD93ULL + 0xA0761D6478BD642FULL);
 
   // ---- randomized deployment ----------------------------------------------
   core::DeploymentConfig dep;
@@ -122,6 +131,9 @@ ScheduleResult run_schedule(const ScheduleConfig& config) {
   dep.capture_timeseries = config.capture_timeseries || config.slo_watchdog;
   dep.timeseries_window_s = config.timeseries_window_s;
   dep.flight_recorder_ring = config.flight_ring;
+  dep.durable_edges = config.durable;
+  dep.durability_fault = config.durable && config.durability_fault;
+  dep.bootstrap_snapshot_ops = config.durable ? config.snapshot_bootstrap_ops : 0;
   if (config.slo_watchdog) {
     dep.slo_rules = config.slo_rules.empty() ? obs::default_slo_rules() : config.slo_rules;
   }
@@ -341,8 +353,64 @@ ScheduleResult run_schedule(const ScheduleConfig& config) {
             }
           }
         }
-        three.crash_edge(victim);
+        // Durable edges strengthen the obligation: acked means fsynced
+        // (the proxy harvests + syncs at serve time), so every ack from
+        // this life must survive the crash whatever the peers hold.
+        if (config.durable) {
+          for (TrackedWrite& w : tracked) {
+            if (!w.at_edge || w.edge_index != victim) continue;
+            if (w.crash_epoch != crash_count[victim]) continue;
+            w.must_survive = true;
+          }
+        }
+        // Power loss mid-write: a stream-drawn prefix of the unsynced tail
+        // reaches the platter (torn records). With an honest disk every
+        // acked append is already fsynced, so the unsynced tail is empty
+        // between rounds — model the power failing DURING an append
+        // instead: about half the crashes catch the victim mid-record,
+        // leaving a torn frame (length header promising more bytes than
+        // the platter holds) that recovery must truncate, not replay.
+        // When the disk lied (--durability-fault), the genuinely unsynced
+        // tail is cut at a drawn offset and the loss surfaces for real.
+        std::uint64_t keep_unsynced = 0;
+        if (config.durable && config.power_loss) {
+          if (durability::MemBackend* backend = three.durable_backend(victim)) {
+            const std::uint64_t unsynced = backend->unsynced_bytes();
+            if (unsynced > 0) {
+              keep_unsynced =
+                  std::uint64_t(dur_rng.uniform_int(0, std::int64_t(unsynced)));
+            } else if (dur_rng.uniform_int(0, 1) == 0) {
+              // [u32 len | u32 crc | payload] with len far past what is
+              // written: any kept prefix is an incomplete frame.
+              std::string torn("\x40\x00\x00\x00\xde\xad\xbe\xef", 8);
+              torn.append(std::size_t(dur_rng.uniform_int(0, 40)), '~');
+              backend->append(torn);
+              keep_unsynced = std::uint64_t(dur_rng.uniform_int(1, std::int64_t(torn.size())));
+            }
+          }
+        }
+        result.recovered_ops += three.crash_edge(victim, keep_unsynced);
         checker.reset_baseline(host);
+        if (config.durable) {
+          ++result.durable_recoveries;
+          // The durable-op-loss invariant, checked against the freshly
+          // recovered state: acked + fsynced => replayed by recovery.
+          std::size_t lost = 0;
+          for (const TrackedWrite& w : tracked) {
+            if (!w.at_edge || w.edge_index != victim) continue;
+            if (w.crash_epoch != crash_count[victim]) continue;
+            if (key_visible(three.edge_state(victim), w.key)) continue;
+            if (++lost <= 3) {
+              checker.record("durable-op-loss",
+                             "write " + w.key + " acked+fsynced at " + host +
+                                 " missing from its recovered durable log");
+            }
+          }
+          if (lost > 3) {
+            checker.record("durable-op-loss",
+                           std::to_string(lost - 3) + " further losses at " + host);
+          }
+        }
         ++crash_count[victim];
         down_edges.insert(victim);
         ++result.crashes;
@@ -357,7 +425,12 @@ ScheduleResult run_schedule(const ScheduleConfig& config) {
           if (!w.must_survive) continue;
           bool held = false;
           for (const auto& [id, state] : endpoints) {
-            if (!graph.endpoint_up(id)) continue;
+            // A down durable edge still counts as a holder: its recovered
+            // state (rebuilt synchronously at crash time) comes back with
+            // it on restart, so the obligation stands.
+            const bool durable_holder =
+                config.durable && id.rfind("edge", 0) == 0;
+            if (!graph.endpoint_up(id) && !durable_holder) continue;
             if (key_visible(*state, w.key)) {
               held = true;
               break;
@@ -508,6 +581,13 @@ ScheduleResult run_schedule(const ScheduleConfig& config) {
     for (const auto& [id, state] : endpoints) checker.observe_versions(id, state->versions());
 
     if (config.enable_compaction && rng.chance(0.25)) {
+      // Durable edges checkpoint first: the cut refreshes each store
+      // (snapshot-gated log compaction) and raises the in-memory bound so
+      // compact_logs below can actually advance past it.
+      if (config.durable) {
+        const std::size_t log_dropped = three.checkpoint_durable_edges();
+        trace.record(now(), "checkpoint", "log_dropped=" + std::to_string(log_dropped));
+      }
       const std::size_t dropped = three.sync().compact_logs();
       trace.record(now(), "compact", "dropped=" + std::to_string(dropped));
     }
@@ -567,6 +647,15 @@ ScheduleResult run_schedule(const ScheduleConfig& config) {
     trace.record(now(), "exception", e.what());
     checker.record("no-crash",
                    std::string("exception escaped the replication plane: ") + e.what());
+  }
+
+  // ---- durability accounting -----------------------------------------------
+  if (config.durable) {
+    for (std::size_t e = 0; e < n_edges; ++e) {
+      if (durability::OpLogStore* store = three.durable_store(e)) {
+        result.truncated_records += std::size_t(store->truncated_records());
+      }
+    }
   }
 
   // ---- variant agreement ---------------------------------------------------

@@ -122,6 +122,36 @@ struct ScheduleConfig {
   /// migration-ryw obligation) — only the handoff-failure-rate SLO rule
   /// catches it. Meaningful with the churn workload.
   bool handoff_fault = false;
+
+  // ---- durability -----------------------------------------------------------
+
+  /// Durable op logs on every edge: each edge fsyncs acked ops to a
+  /// simulated power-loss-aware store and a crash recovers from the
+  /// durable image (latest snapshot + fsynced tail) instead of the bare
+  /// checkpoint. Adds the `durable-op-loss` invariant: a write acked at a
+  /// durable edge (acked => fsynced, the proxy harvests at serve time)
+  /// must be visible in that edge's recovered state immediately after the
+  /// crash. All durability draws come from a separate RNG stream, so a
+  /// seed's base topology/fault/traffic schedule is unchanged by this
+  /// knob. Off (default) nothing durable exists and runs are
+  /// byte-identical to pre-durability builds.
+  bool durable = false;
+  /// Power loss at arbitrary write offsets: each durable crash keeps a
+  /// stream-drawn prefix of the victim's *unsynced* tail (modelling torn /
+  /// partial records for recovery to truncate) instead of a clean cut at
+  /// the fsync horizon. Requires `durable`.
+  bool power_loss = false;
+  /// Deliberate-regression knob, the durability twin of optimistic_acks:
+  /// every durable edge's disk lies — fsync claims durability without
+  /// providing it — so acked "durable" writes die with the power. A
+  /// correct harness MUST flag `durable-op-loss` on (most) seeds that
+  /// crash an edge holding data. Requires `durable`.
+  bool durability_fault = false;
+  /// Snapshot bootstrap threshold (ReplicationGraph::set_snapshot_bootstrap)
+  /// applied when `durable` is on: a rejoiner whose advertised op gap
+  /// reaches this ships snapshot + tail instead of op replay. 0 = replay
+  /// only even when durable.
+  std::uint64_t snapshot_bootstrap_ops = 32;
 };
 
 struct ScheduleResult {
@@ -141,6 +171,10 @@ struct ScheduleResult {
   std::size_t handoffs_failed = 0;  ///< flushes that starved / had no path
   std::uint64_t variant_checks = 0; ///< requests cross-checked by harnesses
   std::size_t variant_divergences = 0;
+  // Durability accounting (config.durable only; all zero otherwise).
+  std::size_t durable_recoveries = 0;   ///< log recoveries run (one per crash)
+  std::size_t recovered_ops = 0;        ///< ops replayed from durable logs
+  std::size_t truncated_records = 0;    ///< torn/corrupt frames recovery cut
 
   EventTrace trace;
   std::uint64_t trace_digest = 0;  ///< byte-identity fingerprint of the run

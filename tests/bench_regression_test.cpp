@@ -19,6 +19,9 @@
 #include <vector>
 
 #include "apps/app.h"
+#include "crdt/json_doc.h"
+#include "crdt/snapshot.h"
+#include "crdt/wire.h"
 #include "edgstr/deployment.h"
 #include "edgstr/pipeline.h"
 #include "json/parse.h"
@@ -243,6 +246,45 @@ void measure_workload_scenarios(json::Object* measured) {
   }
 }
 
+/// Scaled-down bench_bootstrap: cold-start payload sizes for the two
+/// rejoin arms over the same overwrite-heavy doc — full op replay vs
+/// snapshot + tail. Wire encodings of deterministic messages, so the keys
+/// are exactly reproducible; wall-clock stays in the bench binary. A
+/// framing or snapshot-encoding change moves the byte keys, and the 5x
+/// acceptance bar is asserted outright (not just baselined) so the
+/// snapshot path can never silently decay into replay-sized transfers.
+void measure_bootstrap(json::Object* measured) {
+  constexpr std::size_t kOps = 4000, kKeys = 256, kTail = 128;
+  crdt::CrdtJson source("bench-src");
+  source.initialize(json::Value::object({}));
+  crdt::Snapshot checkpoint;
+  for (std::size_t i = 0; i < kOps; ++i) {
+    if (i == kOps - kTail) checkpoint = source.cut_snapshot();
+    source.set("key" + std::to_string(i % kKeys), json::Value(double(i)));
+  }
+
+  crdt::SyncMessage replay;
+  replay.from = "bench-src";
+  replay.versions["globals"] = source.version();
+  replay.ops["globals"] = source.getChanges({});
+  const double replay_bytes = double(crdt::encode_message(replay).dump().size());
+
+  crdt::SyncMessage snap;
+  snap.kind = crdt::SyncKind::kSnapshot;
+  snap.from = "bench-src";
+  snap.versions["globals"] = source.version();
+  snap.snapshot = json::Value::object({{"globals", checkpoint.to_json()}});
+  snap.ops["globals"] = source.getChanges(checkpoint.covered);
+  const double snap_bytes = double(crdt::encode_message(snap).dump().size());
+
+  EXPECT_GE(replay_bytes, snap_bytes * 5.0)
+      << "snapshot bootstrap lost its >=5x byte advantage over full replay";
+  measured->set("bootstrap_scaled.replay_ops", json::Value(double(replay.op_count())));
+  measured->set("bootstrap_scaled.replay_bytes", json::Value(replay_bytes));
+  measured->set("bootstrap_scaled.tail_ops", json::Value(double(snap.op_count())));
+  measured->set("bootstrap_scaled.snapshot_bytes", json::Value(snap_bytes));
+}
+
 TEST(BenchRegressionTest, SyncBytesAndLatencyStayNearBaseline) {
   const core::TransformResult& result = transformed_sensor_hub();
   ASSERT_TRUE(result.ok) << result.error;
@@ -256,6 +298,7 @@ TEST(BenchRegressionTest, SyncBytesAndLatencyStayNearBaseline) {
   measure_interp_counters(&measured);
   measure_sharded_cluster(&measured);
   measure_workload_scenarios(&measured);
+  measure_bootstrap(&measured);
 
   const std::string path = std::string(EDGSTR_TESTS_DIR) + "/golden/bench_baseline.json";
   if (std::getenv("EDGSTR_UPDATE_BENCH_BASELINE")) {

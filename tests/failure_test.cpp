@@ -417,5 +417,111 @@ TEST_F(FailureFixture, GossipAndStarTogetherStayIdempotent) {
   }
 }
 
+// ------------------------------------------------------------- durability --
+
+TEST_F(FailureFixture, DurableEdgeRecoversAckedWritesAVolatileCrashLoses) {
+  // The write exists only at edge 0 (sync never ran). A volatile crash
+  // destroys it; a durable crash replays it from the fsynced op log.
+  for (const bool durable : {false, true}) {
+    DeploymentConfig config;
+    config.start_sync = false;
+    config.durable_edges = durable;
+    ThreeTierDeployment three(result_, config);
+
+    EXPECT_TRUE(three.request_sync(ingest("only-here", 7), 0).ok());
+    const std::size_t replayed = three.crash_edge(0);
+    three.restart_edge(0);
+    EXPECT_GE(three.sync().sync_until_converged(16), 1);
+    EXPECT_TRUE(three.edge_serving(0));
+
+    const double count =
+        three.request_sync(summary("only-here"), 0).body["count"].as_number();
+    if (durable) {
+      EXPECT_GT(replayed, 0u);
+      EXPECT_DOUBLE_EQ(count, 1.0) << "durable recovery dropped an acked write";
+    } else {
+      EXPECT_EQ(replayed, 0u);
+      EXPECT_DOUBLE_EQ(count, 0.0) << "volatile crash should have lost the write";
+    }
+  }
+}
+
+TEST_F(FailureFixture, PowerLossDuringCompactionRecoversTheOldLogImage) {
+  // Crash inside the compaction window: the rewritten log never commits
+  // (its fsync is a lie), so power loss must fall back to the full
+  // pre-compaction image — losing neither the old log nor the new one.
+  DeploymentConfig config;
+  config.start_sync = false;
+  config.durable_edges = true;
+  ThreeTierDeployment three(result_, config);
+
+  EXPECT_TRUE(three.request_sync(ingest("pre-compaction", 1), 0).ok());
+  EXPECT_TRUE(three.request_sync(ingest("pre-compaction", 2), 0).ok());
+  const std::uint64_t logged = three.durable_store(0)->appended_ops();
+  EXPECT_GT(logged, 0u);
+
+  three.durable_backend(0)->set_fail_sync(true);
+  three.checkpoint_durable_edges();  // rewrite lands, its commit sync lies
+  three.durable_backend(0)->set_fail_sync(false);
+
+  const std::size_t replayed = three.crash_edge(0);
+  EXPECT_GE(replayed, logged);  // the whole pre-compaction log replays
+  three.restart_edge(0);
+  EXPECT_GE(three.sync().sync_until_converged(16), 1);
+  EXPECT_TRUE(three.converged());
+  EXPECT_DOUBLE_EQ(
+      three.request_sync(summary("pre-compaction"), 0).body["count"].as_number(), 2.0);
+}
+
+TEST_F(FailureFixture, TornDurableTailIsTruncatedNotReplayed) {
+  DeploymentConfig config;
+  config.start_sync = false;
+  config.durable_edges = true;
+  ThreeTierDeployment three(result_, config);
+
+  EXPECT_TRUE(three.request_sync(ingest("kept", 3), 0).ok());
+  // A torn record: bytes appended but never fsynced reach the platter only
+  // partially. Recovery must cut them, keeping every fsynced op.
+  three.durable_backend(0)->append("\x40\x00\x00\x00 torn frame");
+  EXPECT_GT(three.durable_backend(0)->unsynced_bytes(), 0u);
+  const std::size_t replayed =
+      three.crash_edge(0, three.durable_backend(0)->unsynced_bytes());
+  EXPECT_GT(replayed, 0u);
+  EXPECT_GE(three.durable_store(0)->truncated_records(), 1u);
+
+  three.restart_edge(0);
+  EXPECT_GE(three.sync().sync_until_converged(16), 1);
+  EXPECT_DOUBLE_EQ(three.request_sync(summary("kept"), 0).body["count"].as_number(), 1.0);
+}
+
+TEST_F(FailureFixture, CrashDuringSnapshotBootstrapEventuallyConverges) {
+  // The recovering edge crashes again mid-rejoin; the second recovery must
+  // still land on the converged state, via a fresh snapshot bootstrap.
+  DeploymentConfig config;
+  config.start_sync = false;
+  config.durable_edges = true;
+  config.bootstrap_snapshot_ops = 1;
+  ThreeTierDeployment three(result_, config);
+
+  EXPECT_TRUE(three.request_sync(ingest("stable", 1), 0).ok());
+  EXPECT_GE(three.sync().sync_until_converged(16), 1);
+  three.sync().compact_logs();
+  three.crash_edge(0);
+  EXPECT_TRUE(three.request_sync(ingest("while-down", 2), 0).ok());  // forwarded
+
+  three.restart_edge(0);
+  three.sync().tick();  // at most a partial rejoin...
+  three.network().clock().run();
+  three.crash_edge(0);  // ...then the power dies again
+  three.restart_edge(0);
+  EXPECT_GE(three.sync().sync_until_converged(32), 1);
+  EXPECT_TRUE(three.edge_serving(0));
+  EXPECT_TRUE(three.converged());
+  EXPECT_GE(three.replication().metrics().value("sync.rejoins.snapshot"), 1.0);
+  EXPECT_DOUBLE_EQ(three.request_sync(summary("stable"), 0).body["count"].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(three.request_sync(summary("while-down"), 0).body["count"].as_number(),
+                   1.0);
+}
+
 }  // namespace
 }  // namespace edgstr::core

@@ -145,42 +145,79 @@ TEST(SimRegressionCatchTest, ConvergenceInvariantCatchesSilentDivergence) {
 // exact schedules that caught them in the gate forever. Each seed runs
 // under both sync protocols — some of the recorded bugs were push-only,
 // some digest-only, and the schedule is identical either way. A line may
-// carry a workload-shape prefix ("churn 19"): those seeds replay
-// migration/handoff bugs, which only a shaped schedule can reach.
+// carry a prefix: a workload shape ("churn 19") replays migration/handoff
+// bugs only a shaped schedule can reach; "durable N" replays the seed with
+// durable op logs and power-loss injection on; "durable-fault N" pins a
+// planted-fault TRUE POSITIVE — the lying-fsync regression must keep
+// failing that schedule with a durable-op-loss violation forever.
 TEST(SimRegressionCatchTest, RegressionSeedCorpusStaysGreen) {
   std::ifstream corpus(std::string(EDGSTR_TESTS_DIR) + "/seeds/regressions.txt");
   ASSERT_TRUE(corpus.is_open()) << "tests/seeds/regressions.txt missing";
-  std::vector<std::pair<workload::WorkloadShape, std::uint64_t>> seeds;
+  struct CorpusLine {
+    workload::WorkloadShape shape = workload::WorkloadShape::kUniform;
+    std::uint64_t seed = 0;
+    bool durable = false;
+    bool durability_fault = false;  ///< expected to FAIL (true positive)
+  };
+  std::vector<CorpusLine> seeds;
   std::string line;
   while (std::getline(corpus, line)) {
     std::size_t start = line.find_first_not_of(" \t");
     if (start == std::string::npos || line[start] == '#') continue;
-    workload::WorkloadShape shape = workload::WorkloadShape::kUniform;
+    CorpusLine entry;
     const std::size_t space = line.find(' ', start);
     if (space != std::string::npos && !std::isdigit(static_cast<unsigned char>(line[start]))) {
-      ASSERT_TRUE(workload::parse_workload_shape(line.substr(start, space - start), &shape))
-          << "bad shape in corpus line: " << line;
+      const std::string token = line.substr(start, space - start);
+      if (token == "durable") {
+        entry.durable = true;
+      } else if (token == "durable-fault") {
+        entry.durable = entry.durability_fault = true;
+      } else {
+        ASSERT_TRUE(workload::parse_workload_shape(token, &entry.shape))
+            << "bad prefix in corpus line: " << line;
+      }
       start = line.find_first_not_of(" \t", space);
-      ASSERT_NE(start, std::string::npos) << "shape without seed: " << line;
+      ASSERT_NE(start, std::string::npos) << "prefix without seed: " << line;
     }
-    seeds.emplace_back(shape, std::stoull(line.substr(start)));
+    entry.seed = std::stoull(line.substr(start));
+    seeds.push_back(entry);
   }
   ASSERT_FALSE(seeds.empty()) << "empty regression corpus";
-  bool saw_shaped = false;
-  for (const auto& [shape, seed] : seeds) {
-    saw_shaped = saw_shaped || shape != workload::WorkloadShape::kUniform;
+  bool saw_shaped = false, saw_durable = false, saw_fault = false;
+  for (const CorpusLine& entry : seeds) {
+    saw_shaped = saw_shaped || entry.shape != workload::WorkloadShape::kUniform;
+    saw_durable = saw_durable || (entry.durable && !entry.durability_fault);
+    saw_fault = saw_fault || entry.durability_fault;
     for (const bool digest : {true, false}) {
       ScheduleConfig config;
-      config.seed = seed;
+      config.seed = entry.seed;
       config.digest_sync = digest;
-      config.workload = shape;
+      config.workload = entry.shape;
+      config.durable = entry.durable;
+      config.power_loss = entry.durable && !entry.durability_fault;
+      config.durability_fault = entry.durability_fault;
       const ScheduleResult result = run_schedule(config);
-      EXPECT_TRUE(result.passed) << "regression seed resurfaced ("
-                                 << (digest ? "digest" : "push")
-                                 << " sync): " << result.summary();
+      if (entry.durability_fault) {
+        // The planted fault stays caught: a green run here means the
+        // durable-op-loss invariant went blind.
+        ASSERT_FALSE(result.passed)
+            << "lying-fsync fault escaped (" << (digest ? "digest" : "push")
+            << " sync): " << result.summary();
+        bool loss_violation = false;
+        for (const Violation& v : result.violations) {
+          if (v.invariant == "durable-op-loss") loss_violation = true;
+        }
+        EXPECT_TRUE(loss_violation) << result.summary();
+      } else {
+        EXPECT_TRUE(result.passed) << "regression seed resurfaced ("
+                                   << (digest ? "digest" : "push")
+                                   << " sync): " << result.summary();
+      }
     }
   }
   EXPECT_TRUE(saw_shaped) << "migration regression seeds missing from the corpus";
+  EXPECT_TRUE(saw_durable) << "durable regression seeds missing from the corpus";
+  EXPECT_TRUE(saw_fault) << "durable-fault true-positive seed missing from the corpus";
 }
 
 // ------------------------------------------------- workload & variants --
@@ -272,6 +309,124 @@ TEST(SimVariantTest, PlantedVariantFaultIsCaught) {
     EXPECT_GT(result.variant_divergences, 0u) << result.summary();
   }
   EXPECT_GE(caught, 4u) << "planted engine fault escaped the variant harness";
+}
+
+// ------------------------------------------------------------ durability --
+
+TEST(SimDurabilityTest, DurableRunsPassAndRecoverFromEveryCrash) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull, 1234ull}) {
+    ScheduleConfig config;
+    config.seed = seed;
+    config.durable = true;
+    const ScheduleResult result = run_schedule(config);
+    EXPECT_TRUE(result.passed) << result.summary();
+    // Every durable-edge crash ran a log recovery; a crash-bearing
+    // schedule that recovered nothing would mean the log never engaged.
+    if (result.crashes > 0) {
+      EXPECT_GT(result.durable_recoveries, 0u) << result.summary();
+    }
+  }
+}
+
+TEST(SimDurabilityTest, DurabilityKeepsTheBaseScheduleIntact) {
+  // Durability draws come from a separate RNG stream: the topology and the
+  // fault schedule for a seed are identical with the knob on or off — the
+  // durable log changes what a crash *loses*, never what the run does.
+  for (const std::uint64_t seed : {3ull, 7ull, 42ull}) {
+    ScheduleConfig plain;
+    plain.seed = seed;
+    const ScheduleResult base = run_schedule(plain);
+    for (const bool power_loss : {false, true}) {
+      ScheduleConfig durable = plain;
+      durable.durable = true;
+      durable.power_loss = power_loss;
+      const ScheduleResult result = run_schedule(durable);
+      EXPECT_EQ(result.topology, base.topology) << "seed " << seed;
+      EXPECT_EQ(result.edges, base.edges) << "seed " << seed;
+      EXPECT_EQ(result.crashes, base.crashes) << "seed " << seed;
+      EXPECT_EQ(result.partitions, base.partitions) << "seed " << seed;
+      EXPECT_TRUE(result.passed) << result.summary();
+    }
+  }
+}
+
+TEST(SimDurabilityTest, DurableRunsAreSeedDeterministic) {
+  ScheduleConfig config;
+  config.seed = 7;
+  config.durable = true;
+  config.power_loss = true;
+  const ScheduleResult first = run_schedule(config);
+  const ScheduleResult second = run_schedule(config);
+  EXPECT_EQ(first.trace_digest, second.trace_digest);
+  EXPECT_EQ(first.state_digest, second.state_digest);
+  EXPECT_EQ(first.durable_recoveries, second.durable_recoveries);
+  EXPECT_EQ(first.recovered_ops, second.recovered_ops);
+  EXPECT_EQ(first.truncated_records, second.truncated_records);
+}
+
+TEST(SimDurabilityTest, DurableDigestsAreLaneCountInvariant) {
+  ScheduleConfig serial;
+  serial.seed = 7;
+  serial.durable = true;
+  ScheduleConfig wide = serial;
+  wide.lanes = 4;
+  const ScheduleResult a = run_schedule(serial);
+  const ScheduleResult b = run_schedule(wide);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.state_digest, b.state_digest);
+  EXPECT_EQ(a.recovered_ops, b.recovered_ops);
+}
+
+TEST(SimDurabilityTest, PowerLossSweepStaysGreen) {
+  // Torn-tail injection at stream-drawn offsets: recovery truncates the
+  // tear and every invariant still holds (acked => fsynced => recovered).
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    ScheduleConfig config;
+    config.seed = seed;
+    config.durable = true;
+    config.power_loss = true;
+    const ScheduleResult result = run_schedule(config);
+    EXPECT_TRUE(result.passed) << result.summary();
+  }
+}
+
+TEST(SimDurabilityTest, MetricsCarryDurabilityKeysOnlyWhenDurable) {
+  ScheduleConfig plain;
+  plain.seed = 42;
+  plain.capture_telemetry = true;
+  const ScheduleResult off = run_schedule(plain);
+  EXPECT_EQ(off.metrics_snapshot.find("durability."), std::string::npos);
+  EXPECT_EQ(off.metrics_snapshot.find("bootstrap.snapshot"), std::string::npos);
+
+  ScheduleConfig durable = plain;
+  durable.durable = true;
+  const ScheduleResult on = run_schedule(durable);
+  EXPECT_NE(on.metrics_snapshot.find("durability.fsyncs"), std::string::npos);
+  EXPECT_NE(on.metrics_snapshot.find("durability.appended_ops"), std::string::npos);
+  EXPECT_NE(on.metrics_snapshot.find("durability.recoveries"), std::string::npos);
+}
+
+// Mirrors OptimisticAcksRegressionIsCaught for the durability plane: a
+// disk that lies about fsync (claims durability, provides none) must be
+// flagged by the durable-op-loss invariant on (most) seeds that crash an
+// edge holding acked data.
+TEST(SimRegressionCatchTest, DurabilityFaultIsCaught) {
+  std::size_t caught = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    ScheduleConfig config;
+    config.seed = seed;
+    config.durable = true;
+    config.durability_fault = true;
+    const ScheduleResult result = run_schedule(config);
+    if (result.passed) continue;
+    bool loss_violation = false;
+    for (const Violation& v : result.violations) {
+      if (v.invariant == "durable-op-loss") loss_violation = true;
+    }
+    if (loss_violation) ++caught;
+    EXPECT_NE(result.summary().find("FAIL"), std::string::npos);
+  }
+  EXPECT_GE(caught, 7u) << "lying-fsync regression escaped the harness";
 }
 
 // ------------------------------------------------- observability plane --

@@ -80,37 +80,41 @@ http::HttpRequest loop_request(const std::string& path, double n) {
   return req;
 }
 
-trace::ProfilingHarness make_harness(bool resolve, bool cow) {
+trace::ProfilingHarness make_harness(bool resolve, bool cow, bool vm = false) {
   minijs::InterpreterConfig config;
   // The step guard is cumulative over the interpreter's lifetime; benchmark
   // iteration counts would trip the default runaway-loop budget.
   config.max_steps = std::uint64_t(-1);
   config.resolve = resolve;
+  config.vm = vm;
   trace::HarnessOptions options;
   options.cow = cow;
   return trace::ProfilingHarness(kServer, config, options);
 }
 
-// --- interpreter fast path: resolved (arg=1) vs named slow path (arg=0) ---
+// --- engine A/B/C: named slow path (0), resolved tree-walker (1), VM (2) --
+
+const char* engine_label(int arg) { return arg == 2 ? "vm" : arg == 1 ? "resolved" : "named"; }
 
 void run_route(benchmark::State& state, const std::string& path) {
-  trace::ProfilingHarness harness = make_harness(/*resolve=*/state.range(0) != 0, /*cow=*/true);
+  trace::ProfilingHarness harness =
+      make_harness(/*resolve=*/state.range(0) != 0, /*cow=*/true, /*vm=*/state.range(0) == 2);
   const http::HttpRequest req = loop_request(path, 200);
   const http::Route route{http::Verb::kPost, path};
   for (auto _ : state) {
     benchmark::DoNotOptimize(harness.invoke(route, req));
   }
-  state.SetLabel(state.range(0) ? "resolved" : "named");
+  state.SetLabel(engine_label(state.range(0)));
 }
 
 void BM_Arith(benchmark::State& state) { run_route(state, "/arith"); }
-BENCHMARK(BM_Arith)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Arith)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
 
 void BM_Calls(benchmark::State& state) { run_route(state, "/calls"); }
-BENCHMARK(BM_Calls)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Calls)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
 
 void BM_PropertyAccess(benchmark::State& state) { run_route(state, "/props"); }
-BENCHMARK(BM_PropertyAccess)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PropertyAccess)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
 
 // --- checkpointing: CoW (arg=1) vs full serialize/restore (arg=0) ---------
 
@@ -160,14 +164,15 @@ void BM_ServeLocal(benchmark::State& state) {
   minijs::InterpreterConfig config;
   config.max_steps = std::uint64_t(-1);
   config.resolve = state.range(0) != 0;
+  config.vm = state.range(0) == 2;
   runtime::ServiceRuntime service(kServer, config);
   const http::HttpRequest req = loop_request("/props", 200);
   for (auto _ : state) {
     benchmark::DoNotOptimize(service.handle(req));
   }
-  state.SetLabel(state.range(0) ? "resolved" : "named");
+  state.SetLabel(engine_label(state.range(0)));
 }
-BENCHMARK(BM_ServeLocal)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ServeLocal)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
 
 // --- deterministic counters (machine-independent) --------------------------
 
@@ -190,10 +195,27 @@ void dump_counters() {
   }
   reg.set("interp.named_reads.slow_path", double(slow.interpreter().named_reads()));
 
+  // VM arm: step counts must equal the tree-walker's exactly; the cache
+  // counters and compile-time totals pin the IC and compiler behaviour.
+  trace::ProfilingHarness vm = make_harness(/*resolve=*/true, /*cow=*/true, /*vm=*/true);
+  for (const char* path : {"/arith", "/calls", "/props"}) {
+    const std::uint64_t before = vm.interpreter().steps();
+    vm.invoke(http::Route{http::Verb::kPost, path}, loop_request(path, 200));
+    reg.set(std::string("vm.steps.") + (path + 1), double(vm.interpreter().steps() - before));
+  }
+  reg.set("vm.ic.hit", double(vm.interpreter().ic_hits()));
+  reg.set("vm.ic.miss", double(vm.interpreter().ic_misses()));
+  reg.set("vm.chunks", double(vm.interpreter().compiled().chunk_count));
+  reg.set("vm.constants", double(vm.interpreter().compiled().constant_count));
+  reg.set("vm.code_bytes", double(vm.interpreter().compiled().code_bytes));
+
   std::printf("\n=== Execution counters (deterministic) ===\n");
   std::printf("  slot_reads=%.0f named_reads=%.0f (resolved)  named_reads=%.0f (slow path)\n",
               reg.value("interp.slot_reads"), reg.value("interp.named_reads"),
               reg.value("interp.named_reads.slow_path"));
+  std::printf("  vm: ic.hit=%.0f ic.miss=%.0f chunks=%.0f constants=%.0f code_bytes=%.0f\n",
+              reg.value("vm.ic.hit"), reg.value("vm.ic.miss"), reg.value("vm.chunks"),
+              reg.value("vm.constants"), reg.value("vm.code_bytes"));
   dump_metrics_json(reg, "interp");
 }
 

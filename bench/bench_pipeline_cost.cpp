@@ -26,12 +26,14 @@ double ms_since(const std::chrono::steady_clock::time_point& start) {
 
 // One pipeline-cost sweep over every subject app. `fast_path` toggles the
 // execution-engine optimizations (lexical slot resolution + copy-on-write
-// checkpoints) so the bench records the before/after of the engine work;
-// `key_prefix` distinguishes the two runs in the dumped metrics. Returns
+// checkpoints) and `vm` additionally routes execution through the bytecode
+// compiler + VM, so the bench records the full engine A/B/C;
+// `key_prefix` distinguishes the runs in the dumped metrics. Returns
 // the all-apps total in milliseconds.
-double run_cost_table(util::MetricsRegistry& reg, bool fast_path, const std::string& key_prefix) {
+double run_cost_table(util::MetricsRegistry& reg, bool fast_path, const std::string& key_prefix,
+                      bool vm = false) {
   std::printf("\n=== Pipeline analysis cost per subject — %s engine (wall-clock) ===\n\n",
-              fast_path ? "fast-path" : "legacy");
+              vm ? "bytecode-vm" : fast_path ? "fast-path" : "legacy");
   std::printf("%-15s %9s %9s %9s %9s %9s %10s %9s\n", "app", "capture", "init", "fuzz",
               "datalog", "extract", "facts", "deps");
   std::printf("%-15s %9s %9s %9s %9s %9s %10s %9s\n", "", "(ms)", "(ms)", "(ms)", "(ms)",
@@ -40,6 +42,7 @@ double run_cost_table(util::MetricsRegistry& reg, bool fast_path, const std::str
 
   minijs::InterpreterConfig config;
   config.resolve = fast_path;
+  config.vm = vm;
   trace::HarnessOptions options;
   options.cow = fast_path;
 
@@ -97,12 +100,16 @@ void run_cost_tables() {
   // pre-optimization engine, kept as a measurable A/B inside the bench.
   const double legacy_ms = run_cost_table(reg, /*fast_path=*/false, "pipeline.legacy.");
   const double fast_ms = run_cost_table(reg, /*fast_path=*/true, "pipeline.");
+  const double vm_ms = run_cost_table(reg, /*fast_path=*/true, "pipeline.vm.", /*vm=*/true);
   const double speedup = fast_ms > 0 ? legacy_ms / fast_ms : 0;
+  const double vm_speedup = vm_ms > 0 ? legacy_ms / vm_ms : 0;
   reg.set("pipeline.engine_speedup", speedup);
-  std::printf("\nEngine fast path: %.0f ms -> %.0f ms across all subjects (%.1fx).\n"
+  reg.set("pipeline.vm_speedup", vm_speedup);
+  std::printf("\nEngine fast path: %.0f ms -> %.0f ms across all subjects (%.1fx);\n"
+              "the bytecode VM brings the same sweep to %.0f ms (%.1fx).\n"
               "The whole-transformation cost is sub-second per app on commodity\n"
               "hardware — a one-time developer-side cost, not a runtime one.\n",
-              legacy_ms, fast_ms, speedup);
+              legacy_ms, fast_ms, speedup, vm_ms, vm_speedup);
   dump_metrics_json(reg, "pipeline_cost");
 }
 

@@ -14,6 +14,9 @@
 //       then prints the merged metrics snapshot (request-latency histograms
 //       + sync counters). --trace-out writes the three-tier run's span log
 //       as Chrome-trace JSON; --metrics writes the snapshot as JSON.
+//   edgstr_cli --dump-bytecode <app>
+//       Compiles the app's server source through the bytecode pipeline
+//       (parse -> resolve -> compile) and prints the disassembled chunks.
 //
 // The global flag --log-level <error|warn|info|debug> sets the runtime
 // log threshold (default warn).
@@ -26,6 +29,9 @@
 #include "edgstr/pipeline.h"
 #include "edgstr/transform.h"
 #include "json/parse.h"
+#include "minijs/compile.h"
+#include "minijs/parser.h"
+#include "minijs/resolve.h"
 #include "obs/export.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -168,13 +174,28 @@ int cmd_compare(const apps::SubjectApp& app, const std::vector<std::string>& arg
   return status;
 }
 
+// What the MiniJS engine actually executes for an app when the bytecode
+// VM variant is selected: the same parse -> resolve front end the
+// tree-walker uses, then the compile pass, printed chunk by chunk.
+int cmd_dump_bytecode(const apps::SubjectApp& app) {
+  minijs::Program program = minijs::parse_program(app.server_source);
+  minijs::resolve_program(program);
+  const minijs::CompiledProgram compiled = minijs::compile_program(program);
+  std::cout << minijs::disassemble_program(compiled);
+  std::printf("\n%zu chunk(s), %zu constant(s), %zu code byte(s)\n", compiled.chunk_count,
+              compiled.constant_count, compiled.code_bytes);
+  return 0;
+}
+
 int usage() {
   std::cerr << "usage: edgstr_cli [--log-level LEVEL] "
-               "<list | capture <app> | transform <app> | compare <app>>\n"
+               "<list | capture <app> | transform <app> | compare <app> | "
+               "--dump-bytecode <app>>\n"
                "  capture   [--out FILE]\n"
                "  transform [--traffic FILE] [--replica] [--consult]\n"
                "  compare   [--wan limited|fast|intercontinental] [--trace-out FILE] "
                "[--metrics FILE]\n"
+               "  --dump-bytecode  print the compiled MiniJS bytecode for an app\n"
                "  --log-level error|warn|info|debug\n";
   return 2;
 }
@@ -209,6 +230,7 @@ int main(int argc, char** argv) {
     if (cmd == "capture") return cmd_capture(*app, args);
     if (cmd == "transform") return cmd_transform(*app, args);
     if (cmd == "compare") return cmd_compare(*app, args);
+    if (cmd == "--dump-bytecode" || cmd == "bytecode") return cmd_dump_bytecode(*app);
   } catch (const std::exception& err) {
     std::cerr << "error: " << err.what() << "\n";
     return 1;

@@ -11,19 +11,23 @@ std::string regional_host(std::size_t i) { return "regional" + std::to_string(i)
 
 namespace {
 
-/// The two engine variants every harness compares: "fast" is the
-/// production config (static resolver + CoW) and doubles as the RW-log
-/// reference; "legacy" is the PR 5 tree-walker (named lookups). The
-/// test-only fault, when present, rides the legacy shadow.
+/// The engine variants every harness compares: "fast" is the production
+/// config (static resolver + CoW) and doubles as the RW-log reference;
+/// "legacy" is the PR 5 tree-walker (named lookups); "vm" is the bytecode
+/// compiler + inline-cache VM. The test-only fault, when present, rides
+/// the legacy shadow.
 std::unique_ptr<runtime::VariantHarness> make_variant_harness(
     const std::string& source, const std::function<void(runtime::ServiceRuntime&)>& fault) {
   minijs::InterpreterConfig fast;
   fast.resolve = true;
   minijs::InterpreterConfig legacy;
   legacy.resolve = false;
-  std::vector<runtime::VariantSpec> specs(2);
+  minijs::InterpreterConfig vm;
+  vm.vm = true;
+  std::vector<runtime::VariantSpec> specs(3);
   specs[0] = runtime::VariantSpec{"fast", fast, nullptr};
   specs[1] = runtime::VariantSpec{"legacy", legacy, fault};
+  specs[2] = runtime::VariantSpec{"vm", vm, nullptr};
   return std::make_unique<runtime::VariantHarness>(source, std::move(specs));
 }
 

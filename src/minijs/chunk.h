@@ -1,0 +1,227 @@
+// MiniJS bytecode containers.
+//
+// A Chunk is one compiled function body (or the program top level): a flat
+// byte-encoded instruction stream plus the pools it indexes — constants,
+// interned symbols, resolver scope layouts, and nested function chunks.
+// Inline-cache slots live alongside the code; they are mutable runtime
+// state (monomorphic property / global-binding / call-target caches) owned
+// by the chunk so a cache survives across invocations of the same site.
+//
+// The instruction encoding is a classic stack design: one opcode byte
+// followed by fixed-width little-endian operands (u8/u16/u32, written and
+// read with memcpy — no alignment assumptions). Jumps use absolute u32
+// offsets into the code vector.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minijs/ast.h"
+#include "minijs/value.h"
+#include "util/intern.h"
+
+namespace edgstr::minijs {
+
+enum class Op : std::uint8_t {
+  // Literals / stack shuffling.
+  kConst,         ///< u16 pool index: push constants[i]
+  kNull,          ///< push null
+  kTrue,          ///< push true
+  kFalse,         ///< push false
+  kPop,           ///< discard top
+
+  // Hook attribution and step accounting. The VM's step counter must track
+  // the tree-walker's exactly (one tick per statement entry, per loop
+  // iteration, per expression node evaluated), so most value-producing ops
+  // carry their expression node's tick themselves; kTick covers the nodes
+  // whose ops are shared with non-ticking contexts (ternary conditions,
+  // function expressions), and kStmtId re-establishes attribution without
+  // ticking (for-loop condition/update re-entry).
+  kStmt,          ///< u32 stmt id; sets attribution and ticks (statement entry)
+  kStmtId,        ///< u32 stmt id; sets attribution only, no tick
+  kTick,          ///< bare step tick
+
+  // Variable access. Slot ops carry the symbol for the unbound-slot
+  // fallback (forward reference before declaration) and for hooks/errors.
+  kLoadSlot,      ///< u8 depth, u16 slot, u32 sym
+  kLoadGlobal,    ///< u32 sym, u16 global-cache index
+  kLoadNamed,     ///< u32 sym — unresolved: dynamic chain walk
+  kStoreSlot,     ///< u8 depth, u16 slot, u32 sym, u8 assign-op
+  kStoreGlobal,   ///< u32 sym, u16 global-cache index, u8 assign-op
+  kStoreNamed,    ///< u32 sym, u8 assign-op
+
+  // Property / index access.
+  kGetMember,     ///< u32 sym, u16 prop-cache index
+  kSetMember,     ///< u32 sym, u32 root sym, u16 prop-cache index, u8 assign-op
+  kGetIndex,      ///< [obj idx] -> [value]
+  kSetIndex,      ///< u32 root sym, u8 assign-op; [rhs obj idx] -> [value]
+
+  // Fused `ident.member` forms. The hot property pattern is a member read
+  // or write whose receiver is a plain resolved variable; routing the
+  // receiver through the value stack costs a JsValue copy plus a VmBox
+  // per access. These ops read the receiver by reference straight out of
+  // the environment slot / global binding and do the property lookup in
+  // place. They account for BOTH expression nodes: two step ticks, the
+  // receiver's on_read hook and read counter, then the member cache probe.
+  kGetMemberSlot,   ///< u8 depth, u16 slot, u32 root sym, u8 hops,
+                    ///< hops x (u32 member sym, u16 prop-cache index)
+  kGetMemberGlobal, ///< u32 root sym, u16 global-cache index, u8 hops,
+                    ///< hops x (u32 member sym, u16 prop-cache index)
+  kSetMemberSlot,   ///< u8 depth, u16 slot, u32 obj sym, u32 member sym,
+                    ///< u16 prop-cache index, u8 assign-op; pops the rhs
+  kAddMemberSlot,   ///< operands of kGetMemberSlot; pops the pending lhs and
+                    ///< pushes lhs + member (fused [get_member][add])
+  kAddMemberGlobal, ///< operands of kGetMemberGlobal; same add fusion
+  kAddConst,        ///< u16 const index; TOS = TOS + const (fused [const][add])
+  kIncSlot,         ///< u8 depth, u16 slot, u32 sym, u16 const index,
+                    ///< u8 assign-op, u8 plain: statement-form `i = i + c` /
+                    ///< `i += c` on a resolved local; pushes nothing
+  kJumpCmpSlots,    ///< u8 cmp, 2 x (u8 depth, u16 slot, u32 sym), u32 target:
+                    ///< fused compare-and-branch on two resolved locals
+  kSetMemberGlobal, ///< u32 obj sym, u16 global-cache index, u32 member sym,
+                    ///< u16 prop-cache index, u8 assign-op; pops the rhs
+
+  // Calls. kCall pops [callee a0..aN]; kCallMethod pops [recv a0..aN].
+  kCall,          ///< u8 argc, u32 callee name sym, u16 call-cache index
+  kCallMethod,    ///< u8 argc, u32 method sym, u32 root sym, u16 prop-cache index,
+                  ///< u8 mutating (receiver-write hook flag)
+
+  // Operators (string-polymorphic where the tree-walker is).
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kNot, kNeg,
+
+  // Control flow: absolute u32 targets.
+  kJump,            ///< u32 target
+  kJumpIfFalse,     ///< u32 target; pops the condition
+  kAndJump,         ///< u32 target; falsy: jump keeping lhs, else pop
+  kOrJump,          ///< u32 target; truthy: jump keeping lhs, else pop
+
+  // Aggregates / closures.
+  kMakeObject,    ///< u16 count, u16 base into syms (keys, in order)
+  kMakeArray,     ///< u16 count
+  kMakeClosure,   ///< u16 index into fn_chunks
+
+  // Scope chain (only scopes the compiler materializes — see compile.cpp).
+  kPushScope,     ///< u16 index into scopes
+  kPopScope,
+  kPopScopeN,     ///< u8 count (break/continue unwinding)
+
+  // Declarations (value popped from the stack).
+  kDeclareSlot,   ///< u16 slot, u32 sym — var decl: declare+write hooks
+  kDeclareNamed,  ///< u32 sym — toplevel var decl
+  kDeclareFnSlot, ///< u16 slot, u32 sym — function decl: declare hook only
+  kDeclareFnNamed,///< u32 sym
+
+  // Exceptions.
+  kTryPush,       ///< u32 handler target
+  kTryPop,
+  kCatchBind,     ///< u16 scope index (0xffff named), u16 slot (0xffff named),
+                  ///< u32 catch sym; pops the caught value, pushes a scope
+
+  kReturn,        ///< pop return value, leave the chunk
+  kThrow,         ///< pop value, raise as JsError
+};
+
+/// Sentinel for "no cached entry yet" in PropCache::index.
+inline constexpr std::uint32_t kNoCacheEntry = 0xffffffffu;
+
+/// High bit of a store op's assign-op operand: statement form. The store
+/// discards its value instead of pushing it, and the compiler emits no
+/// kPop — an assignment in statement position never touches the stack
+/// with its result.
+inline constexpr std::uint8_t kAopDiscard = 0x80;
+
+/// Monomorphic property cache: the entry index `sym` resolved to last time
+/// at this site. Valid iff the receiver still has `sym` at that index
+/// (JsObject::sym_at), which holds across every same-layout object.
+struct PropCache {
+  std::uint32_t index = kNoCacheEntry;
+};
+
+/// Global-binding cache: raw pointer into the globals/builtins named map,
+/// guarded by the environment identity and both binding-set versions.
+struct GlobalCache {
+  const void* env = nullptr;  ///< globals Environment this was filled against
+  std::uint64_t globals_version = 0;
+  std::uint64_t builtins_version = 0;
+  JsValue* binding = nullptr;
+};
+
+/// Monomorphic call-target cache: identity of the last callee object seen
+/// at this site (Closure* / NativeFunction*).
+struct CallCache {
+  const void* target = nullptr;
+};
+
+class Chunk {
+ public:
+  // Function metadata (empty/null for the toplevel chunk): everything
+  // needed to build a Closure at kMakeClosure, mirroring the tree-walker's
+  // closure construction so either engine can call the result.
+  std::string name;
+  util::Symbol name_sym = util::kNoSymbol;
+  std::vector<std::string> params;
+  ScopeInfoPtr fn_scope;
+  StmtPtr body;
+
+  std::vector<std::uint8_t> code;
+  std::vector<JsValue> constants;
+  std::vector<util::Symbol> syms;      ///< object-literal key tables
+  std::vector<ScopeInfoPtr> scopes;    ///< kPushScope / kCatchBind layouts
+  std::vector<std::shared_ptr<const Chunk>> fn_chunks;  ///< nested functions
+
+  // Inline-cache slots (runtime state; chunks are per-interpreter).
+  mutable std::vector<PropCache> prop_caches;
+  mutable std::vector<GlobalCache> global_caches;
+  mutable std::vector<CallCache> call_caches;
+
+  // -- emit helpers (compiler) ------------------------------------------
+  void emit(Op op) { code.push_back(static_cast<std::uint8_t>(op)); }
+  void emit_u8(std::uint8_t v) { code.push_back(v); }
+  void emit_u16(std::uint16_t v) {
+    const std::size_t at = code.size();
+    code.resize(at + 2);
+    std::memcpy(code.data() + at, &v, 2);
+  }
+  void emit_u32(std::uint32_t v) {
+    const std::size_t at = code.size();
+    code.resize(at + 4);
+    std::memcpy(code.data() + at, &v, 4);
+  }
+  void patch_u32(std::size_t at, std::uint32_t v) { std::memcpy(code.data() + at, &v, 4); }
+
+  // -- decode helpers (VM / disassembler) -------------------------------
+  std::uint8_t read_u8(std::size_t at) const { return code[at]; }
+  std::uint16_t read_u16(std::size_t at) const {
+    std::uint16_t v;
+    std::memcpy(&v, code.data() + at, 2);
+    return v;
+  }
+  std::uint32_t read_u32(std::size_t at) const {
+    std::uint32_t v;
+    std::memcpy(&v, code.data() + at, 4);
+    return v;
+  }
+};
+
+/// A compiled program: the toplevel chunk (function chunks hang off it via
+/// fn_chunks, recursively) plus whole-program totals for telemetry.
+struct CompiledProgram {
+  std::shared_ptr<const Chunk> toplevel;
+  std::size_t chunk_count = 0;     ///< toplevel + every nested function
+  std::size_t constant_count = 0;  ///< summed constant-pool entries
+  std::size_t code_bytes = 0;      ///< summed instruction bytes
+};
+
+/// Human-readable listing of one chunk (no nested functions).
+std::string disassemble(const Chunk& chunk);
+
+/// Listing of a whole program: the toplevel followed by every nested
+/// function chunk, depth-first, each under a `== name ==` header.
+std::string disassemble_program(const CompiledProgram& program);
+
+}  // namespace edgstr::minijs

@@ -1,0 +1,870 @@
+#include "minijs/compile.h"
+
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace edgstr::minijs {
+
+namespace {
+
+/// One entry of the compile-time scope stack. The stack mirrors the
+/// resolver's scope stack exactly (function frames, block scopes, for-loop
+/// headers, catch scopes) so resolver depths can be translated.
+///
+/// Scopes with no slots are *elided*: the tree-walker still allocates an
+/// empty frame for them every iteration, but nothing can bind there (the
+/// resolver claims every declaration a slot), so the VM skips the push
+/// entirely and the compiler rewrites identifier depths to count only
+/// materialized scopes. Function frames and catch scopes always
+/// materialize (calls build them; catch binds there).
+struct ScopeCtx {
+  ScopeInfoPtr scope;
+  bool materialized = false;
+};
+
+struct LoopCtx {
+  std::vector<std::size_t> break_patches;     ///< jump operand offsets
+  std::vector<std::size_t> continue_patches;  ///< patched to the update/cond
+  int scope_depth = 0;   ///< materialized scopes live at loop level
+  int try_depth = 0;     ///< active handlers at loop level
+};
+
+class Compiler {
+ public:
+  CompiledProgram run(const Program& program) {
+    auto toplevel = std::make_shared<Chunk>();
+    toplevel->name = "<toplevel>";
+    chunk_ = toplevel.get();
+    for (const StmtPtr& stmt : program.body) compile_stmt(stmt);
+    chunk_->emit(Op::kNull);
+    chunk_->emit(Op::kReturn);
+
+    CompiledProgram out;
+    out.toplevel = std::move(toplevel);
+    tally(*out.toplevel, out);
+    return out;
+  }
+
+ private:
+  Chunk* chunk_ = nullptr;
+  std::vector<ScopeCtx> scope_stack_;
+  std::vector<LoopCtx*> loops_;
+  int scope_depth_ = 0;  ///< materialized scopes below the current point
+  int try_depth_ = 0;    ///< active kTryPush handlers (current chunk)
+
+  static void tally(const Chunk& chunk, CompiledProgram& out) {
+    ++out.chunk_count;
+    out.constant_count += chunk.constants.size();
+    out.code_bytes += chunk.code.size();
+    for (const auto& fn : chunk.fn_chunks) tally(*fn, out);
+  }
+
+  [[noreturn]] static void limit(const std::string& what) {
+    throw std::runtime_error("minijs compile: " + what + " overflows operand width");
+  }
+
+  static std::uint16_t u16_checked(std::size_t v, const char* what) {
+    if (v > 0xffff) limit(what);
+    return static_cast<std::uint16_t>(v);
+  }
+
+  // -- pools -------------------------------------------------------------
+
+  std::uint16_t const_number(double d) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    auto it = number_consts_.find(bits);
+    if (it != number_consts_.end()) return it->second;
+    const auto idx = u16_checked(chunk_->constants.size(), "constant pool");
+    chunk_->constants.emplace_back(d);
+    number_consts_.emplace(bits, idx);
+    return idx;
+  }
+
+  /// Null *literals* compile to kConst (which ticks, like any literal
+  /// eval); the bare kNull op stays reserved for synthetic nulls the
+  /// tree-walker never ticks (missing var-decl init, bare return).
+  std::uint16_t const_null() {
+    if (null_const_ >= 0) return static_cast<std::uint16_t>(null_const_);
+    const auto idx = u16_checked(chunk_->constants.size(), "constant pool");
+    chunk_->constants.emplace_back();
+    null_const_ = idx;
+    return idx;
+  }
+
+  std::uint16_t const_string(const std::string& s) {
+    auto it = string_consts_.find(s);
+    if (it != string_consts_.end()) return it->second;
+    const auto idx = u16_checked(chunk_->constants.size(), "constant pool");
+    chunk_->constants.emplace_back(s);
+    string_consts_.emplace(s, idx);
+    return idx;
+  }
+
+  std::uint16_t scope_index(const ScopeInfoPtr& scope) {
+    for (std::size_t i = 0; i < chunk_->scopes.size(); ++i) {
+      if (chunk_->scopes[i] == scope) return static_cast<std::uint16_t>(i);
+    }
+    const auto idx = u16_checked(chunk_->scopes.size(), "scope table");
+    chunk_->scopes.push_back(scope);
+    return idx;
+  }
+
+  std::uint16_t new_prop_cache() {
+    const auto idx = u16_checked(chunk_->prop_caches.size(), "prop-cache table");
+    chunk_->prop_caches.emplace_back();
+    return idx;
+  }
+  std::uint16_t new_global_cache() {
+    const auto idx = u16_checked(chunk_->global_caches.size(), "global-cache table");
+    chunk_->global_caches.emplace_back();
+    return idx;
+  }
+  std::uint16_t new_call_cache() {
+    const auto idx = u16_checked(chunk_->call_caches.size(), "call-cache table");
+    chunk_->call_caches.emplace_back();
+    return idx;
+  }
+
+  // Constant dedup maps are per-chunk; saved/restored around nested
+  // function compilation.
+  std::unordered_map<std::uint64_t, std::uint16_t> number_consts_;
+  std::map<std::string, std::uint16_t> string_consts_;
+  std::int32_t null_const_ = -1;
+
+  // -- jumps -------------------------------------------------------------
+
+  /// Emits `op` with a placeholder target; returns the operand offset.
+  std::size_t emit_jump(Op op) {
+    chunk_->emit(op);
+    const std::size_t at = chunk_->code.size();
+    chunk_->emit_u32(0);
+    return at;
+  }
+  void patch_here(std::size_t at) {
+    chunk_->patch_u32(at, static_cast<std::uint32_t>(chunk_->code.size()));
+  }
+
+  // -- scopes ------------------------------------------------------------
+
+  /// Resolver depth -> runtime depth: count materialized scopes among the
+  /// `depth` scopes above the binding scope (inclusive of the innermost).
+  std::uint8_t runtime_depth(std::int32_t depth) const {
+    int rt = 0;
+    const std::size_t n = scope_stack_.size();
+    for (std::int32_t d = 0; d < depth; ++d) {
+      rt += scope_stack_[n - 1 - static_cast<std::size_t>(d)].materialized ? 1 : 0;
+    }
+    if (rt > 0xff) limit("scope depth");
+    return static_cast<std::uint8_t>(rt);
+  }
+
+  /// Compiles a block with its own child scope (if/while/for bodies, try
+  /// blocks, standalone blocks). Pushes the scope context even when the
+  /// scope is elided so depth translation mirrors the resolver stack.
+  void compile_scoped_block(const StmtPtr& block) {
+    const bool mat = block->block_scope && !block->block_scope->slots.empty();
+    scope_stack_.push_back({block->block_scope, mat});
+    if (mat) {
+      chunk_->emit(Op::kPushScope);
+      chunk_->emit_u16(scope_index(block->block_scope));
+      ++scope_depth_;
+    }
+    for (const StmtPtr& stmt : block->stmts) compile_stmt(stmt);
+    if (mat) {
+      chunk_->emit(Op::kPopScope);
+      --scope_depth_;
+    }
+    scope_stack_.pop_back();
+  }
+
+  /// break/continue unwinding down to the loop's level: discard handlers
+  /// opened inside the loop body, pop materialized scopes above the loop.
+  void unwind_to(const LoopCtx& loop) {
+    for (int i = try_depth_; i > loop.try_depth; --i) chunk_->emit(Op::kTryPop);
+    const int pops = scope_depth_ - loop.scope_depth;
+    if (pops > 0) {
+      if (pops == 1) {
+        chunk_->emit(Op::kPopScope);
+      } else {
+        chunk_->emit(Op::kPopScopeN);
+        chunk_->emit_u8(static_cast<std::uint8_t>(pops));
+      }
+    }
+  }
+
+  // -- statements --------------------------------------------------------
+
+  void emit_stmt_id(int id) {
+    chunk_->emit(Op::kStmt);
+    chunk_->emit_u32(static_cast<std::uint32_t>(id));
+  }
+
+  /// Attribution without the tick — the tree-walker restores current_stmt_
+  /// after every nested exec_stmt, so loop headers re-entered after the
+  /// body need their id back without counting another statement step.
+  void emit_stmt_attr(int id) {
+    chunk_->emit(Op::kStmtId);
+    chunk_->emit_u32(static_cast<std::uint32_t>(id));
+  }
+
+  void compile_stmt(const StmtPtr& stmt) {
+    const std::size_t stmt_at = chunk_->code.size();
+    emit_stmt_id(stmt->id);
+    switch (stmt->kind) {
+      case StmtKind::kVarDecl: {
+        if (stmt->expr) {
+          compile_expr(stmt->expr);
+        } else {
+          chunk_->emit(Op::kNull);
+        }
+        // res_slot indexes the innermost resolver scope; it is >= 0 exactly
+        // when that scope is a frame (toplevel decls stay named).
+        if (stmt->res_slot >= 0 && !scope_stack_.empty()) {
+          chunk_->emit(Op::kDeclareSlot);
+          chunk_->emit_u16(u16_checked(static_cast<std::size_t>(stmt->res_slot), "slot"));
+          chunk_->emit_u32(stmt->name_sym);
+        } else {
+          chunk_->emit(Op::kDeclareNamed);
+          chunk_->emit_u32(stmt->name_sym);
+        }
+        return;
+      }
+      case StmtKind::kExpr:
+        compile_expr_stmt(stmt->expr);
+        return;
+      case StmtKind::kIf: {
+        const std::size_t to_else = emit_cond_branch(stmt->expr);
+        compile_scoped_block(stmt->a_block);
+        if (stmt->b_block) {
+          const std::size_t to_end = emit_jump(Op::kJump);
+          patch_here(to_else);
+          compile_scoped_block(stmt->b_block);
+          patch_here(to_end);
+        } else {
+          patch_here(to_else);
+        }
+        return;
+      }
+      case StmtKind::kWhile: {
+        LoopCtx loop;
+        loop.scope_depth = scope_depth_;
+        loop.try_depth = try_depth_;
+        // Loop back to the statement's own kStmt: re-executing it gives the
+        // per-iteration tick the tree-walker takes, and re-establishes the
+        // while's statement id for condition hooks.
+        const std::size_t cond_at = stmt_at;
+        const std::size_t to_end = emit_cond_branch(stmt->expr);
+        loops_.push_back(&loop);
+        compile_scoped_block(stmt->a_block);
+        loops_.pop_back();
+        chunk_->emit(Op::kJump);
+        chunk_->emit_u32(static_cast<std::uint32_t>(cond_at));
+        patch_here(to_end);
+        for (const std::size_t at : loop.break_patches) patch_here(at);
+        for (const std::size_t at : loop.continue_patches) {
+          chunk_->patch_u32(at, static_cast<std::uint32_t>(cond_at));
+        }
+        return;
+      }
+      case StmtKind::kFor: {
+        const bool aux_mat = stmt->aux_scope && !stmt->aux_scope->slots.empty();
+        scope_stack_.push_back({stmt->aux_scope, aux_mat});
+        if (aux_mat) {
+          chunk_->emit(Op::kPushScope);
+          chunk_->emit_u16(scope_index(stmt->aux_scope));
+          ++scope_depth_;
+        }
+        LoopCtx loop;
+        loop.scope_depth = scope_depth_;
+        loop.try_depth = try_depth_;
+        if (stmt->for_init) compile_stmt(stmt->for_init);
+        const std::size_t cond_at = chunk_->code.size();
+        emit_stmt_attr(stmt->id);
+        std::size_t to_end = 0;
+        const bool has_cond = stmt->expr != nullptr;
+        if (has_cond) {
+          to_end = emit_cond_branch(stmt->expr);
+        }
+        // The tree-walker ticks once per iteration after the condition
+        // passes, on top of the condition's own expression ticks.
+        chunk_->emit(Op::kTick);
+        loops_.push_back(&loop);
+        compile_scoped_block(stmt->a_block);
+        loops_.pop_back();
+        const std::size_t update_at = chunk_->code.size();
+        emit_stmt_attr(stmt->id);
+        if (stmt->for_update) {
+          compile_expr_stmt(stmt->for_update);
+        }
+        chunk_->emit(Op::kJump);
+        chunk_->emit_u32(static_cast<std::uint32_t>(cond_at));
+        if (has_cond) patch_here(to_end);
+        for (const std::size_t at : loop.break_patches) patch_here(at);
+        for (const std::size_t at : loop.continue_patches) {
+          chunk_->patch_u32(at, static_cast<std::uint32_t>(update_at));
+        }
+        if (aux_mat) {
+          chunk_->emit(Op::kPopScope);
+          --scope_depth_;
+        }
+        scope_stack_.pop_back();
+        return;
+      }
+      case StmtKind::kReturn:
+        if (stmt->expr) {
+          compile_expr(stmt->expr);
+        } else {
+          chunk_->emit(Op::kNull);
+        }
+        chunk_->emit(Op::kReturn);
+        return;
+      case StmtKind::kBlock:
+        compile_scoped_block(stmt);
+        return;
+      case StmtKind::kFunctionDecl: {
+        const std::uint16_t fn = compile_function(stmt->name, stmt->name_sym, stmt->params,
+                                                  stmt->a_block, stmt->fn_scope);
+        chunk_->emit(Op::kMakeClosure);
+        chunk_->emit_u16(fn);
+        if (stmt->res_slot >= 0 && !scope_stack_.empty()) {
+          chunk_->emit(Op::kDeclareFnSlot);
+          chunk_->emit_u16(u16_checked(static_cast<std::size_t>(stmt->res_slot), "slot"));
+          chunk_->emit_u32(stmt->name_sym);
+        } else {
+          chunk_->emit(Op::kDeclareFnNamed);
+          chunk_->emit_u32(stmt->name_sym);
+        }
+        return;
+      }
+      case StmtKind::kThrow:
+        compile_expr(stmt->expr);
+        chunk_->emit(Op::kThrow);
+        return;
+      case StmtKind::kTryCatch: {
+        const std::size_t to_handler = emit_jump(Op::kTryPush);
+        ++try_depth_;
+        compile_scoped_block(stmt->a_block);
+        chunk_->emit(Op::kTryPop);
+        --try_depth_;
+        const std::size_t to_end = emit_jump(Op::kJump);
+        patch_here(to_handler);
+        // Handler entry: the caught value sits on the stack. kCatchBind
+        // makes the catch scope and binds it; the catch body then runs
+        // directly in that scope, like the tree-walker.
+        chunk_->emit(Op::kCatchBind);
+        chunk_->emit_u16(stmt->aux_scope ? scope_index(stmt->aux_scope) : 0xffff);
+        chunk_->emit_u16(stmt->res_slot >= 0 && stmt->aux_scope
+                             ? u16_checked(static_cast<std::size_t>(stmt->res_slot), "slot")
+                             : 0xffff);
+        chunk_->emit_u32(stmt->catch_sym);
+        scope_stack_.push_back({stmt->aux_scope, true});
+        ++scope_depth_;
+        if (stmt->b_block) {
+          for (const StmtPtr& s : stmt->b_block->stmts) compile_stmt(s);
+        }
+        chunk_->emit(Op::kPopScope);
+        --scope_depth_;
+        scope_stack_.pop_back();
+        patch_here(to_end);
+        return;
+      }
+      case StmtKind::kBreak:
+        // Outside a loop the tree-walker's BreakSignal would escape the
+        // program entirely; valid programs never do this, so compile to a
+        // no-op rather than invent new behaviour.
+        if (!loops_.empty()) {
+          unwind_to(*loops_.back());
+          loops_.back()->break_patches.push_back(emit_jump(Op::kJump));
+        }
+        return;
+      case StmtKind::kContinue:
+        if (!loops_.empty()) {
+          unwind_to(*loops_.back());
+          loops_.back()->continue_patches.push_back(emit_jump(Op::kJump));
+        }
+        return;
+    }
+  }
+
+  // -- functions ---------------------------------------------------------
+
+  std::uint16_t compile_function(const std::string& name, util::Symbol name_sym,
+                                 const std::vector<std::string>& params, const StmtPtr& body,
+                                 const ScopeInfoPtr& fn_scope) {
+    auto fn = std::make_shared<Chunk>();
+    fn->name = name;
+    fn->name_sym = name_sym;
+    fn->params = params;
+    fn->fn_scope = fn_scope;
+    fn->body = body;
+
+    Chunk* const saved_chunk = chunk_;
+    auto saved_numbers = std::move(number_consts_);
+    auto saved_strings = std::move(string_consts_);
+    const std::int32_t saved_null = null_const_;
+    const int saved_scope_depth = scope_depth_;
+    const int saved_try_depth = try_depth_;
+    std::vector<LoopCtx*> saved_loops = std::move(loops_);
+    number_consts_.clear();
+    string_consts_.clear();
+    null_const_ = -1;
+    loops_.clear();
+    chunk_ = fn.get();
+    scope_depth_ = 0;
+    try_depth_ = 0;
+
+    // The function frame is always materialized: calls build it to bind
+    // parameters regardless of slot count.
+    scope_stack_.push_back({fn_scope, true});
+    if (body) {
+      for (const StmtPtr& stmt : body->stmts) compile_stmt(stmt);
+    }
+    chunk_->emit(Op::kNull);
+    chunk_->emit(Op::kReturn);
+    scope_stack_.pop_back();
+
+    chunk_ = saved_chunk;
+    number_consts_ = std::move(saved_numbers);
+    string_consts_ = std::move(saved_strings);
+    null_const_ = saved_null;
+    scope_depth_ = saved_scope_depth;
+    try_depth_ = saved_try_depth;
+    loops_ = std::move(saved_loops);
+
+    const auto idx = u16_checked(chunk_->fn_chunks.size(), "function table");
+    chunk_->fn_chunks.push_back(std::move(fn));
+    return idx;
+  }
+
+  // -- expressions -------------------------------------------------------
+
+  static util::Symbol root_sym(const ExprPtr& expr) {
+    const Expr* e = expr.get();
+    while (e) {
+      if (e->kind == ExprKind::kIdent) return e->sym;
+      if (e->kind == ExprKind::kMember || e->kind == ExprKind::kIndex) {
+        e = e->a.get();
+        continue;
+      }
+      return util::kNoSymbol;
+    }
+    return util::kNoSymbol;
+  }
+
+  static util::Symbol member_sym(const Expr& e) {
+    return e.sym != util::kNoSymbol ? e.sym : util::intern(e.text);
+  }
+
+  static bool is_mutating_method(const std::string& m) {
+    return m == "push" || m == "pop" || m == "splice" || m == "sort" || m == "shift" ||
+           m == "unshift";
+  }
+
+  void compile_expr(const ExprPtr& expr) {
+    switch (expr->kind) {
+      case ExprKind::kNumber:
+        chunk_->emit(Op::kConst);
+        chunk_->emit_u16(const_number(expr->number));
+        return;
+      case ExprKind::kString:
+        chunk_->emit(Op::kConst);
+        chunk_->emit_u16(const_string(expr->text));
+        return;
+      case ExprKind::kBool:
+        chunk_->emit(expr->boolean ? Op::kTrue : Op::kFalse);
+        return;
+      case ExprKind::kNull:
+        chunk_->emit(Op::kConst);
+        chunk_->emit_u16(const_null());
+        return;
+      case ExprKind::kIdent:
+        compile_ident_load(*expr);
+        return;
+      case ExprKind::kMember: {
+        // Fuse whole `ident.a.b...` chains when the innermost receiver is
+        // a resolved variable: the VM reads the root by reference and
+        // walks the hops in place, so no intermediate object round-trips
+        // through the value stack. Named (unresolved) roots keep the
+        // generic per-hop form.
+        std::vector<const Expr*> links;
+        const Expr* root = expr.get();
+        while (root->kind == ExprKind::kMember) {
+          links.push_back(root);
+          root = root->a.get();
+        }
+        if (root->kind == ExprKind::kIdent && links.size() <= 255 &&
+            (root->res_depth >= 0 || root->res_depth == kDepthGlobal)) {
+          if (root->res_depth >= 0) {
+            chunk_->emit(Op::kGetMemberSlot);
+            chunk_->emit_u8(runtime_depth(root->res_depth));
+            chunk_->emit_u16(u16_checked(static_cast<std::size_t>(root->res_slot), "slot"));
+            chunk_->emit_u32(root->sym);
+          } else {
+            chunk_->emit(Op::kGetMemberGlobal);
+            chunk_->emit_u32(root->sym);
+            chunk_->emit_u16(new_global_cache());
+          }
+          chunk_->emit_u8(static_cast<std::uint8_t>(links.size()));
+          for (auto it = links.rbegin(); it != links.rend(); ++it) {
+            chunk_->emit_u32(member_sym(**it));
+            chunk_->emit_u16(new_prop_cache());
+          }
+          return;
+        }
+        compile_expr(expr->a);
+        chunk_->emit(Op::kGetMember);
+        chunk_->emit_u32(member_sym(*expr));
+        chunk_->emit_u16(new_prop_cache());
+        return;
+      }
+      case ExprKind::kIndex:
+        compile_expr(expr->a);
+        compile_expr(expr->b);
+        chunk_->emit(Op::kGetIndex);
+        return;
+      case ExprKind::kCall:
+        compile_call(*expr);
+        return;
+      case ExprKind::kBinary:
+        compile_binary(*expr);
+        return;
+      case ExprKind::kUnary:
+        compile_expr(expr->a);
+        chunk_->emit(expr->unary_op == UnaryOp::kNot ? Op::kNot : Op::kNeg);
+        return;
+      case ExprKind::kTernary: {
+        // The ternary node's own eval tick; its jump ops are shared with
+        // non-ticking statement control flow, so the tick is explicit.
+        chunk_->emit(Op::kTick);
+        compile_expr(expr->a);
+        const std::size_t to_else = emit_jump(Op::kJumpIfFalse);
+        compile_expr(expr->b);
+        const std::size_t to_end = emit_jump(Op::kJump);
+        patch_here(to_else);
+        compile_expr(expr->c);
+        patch_here(to_end);
+        return;
+      }
+      case ExprKind::kObject: {
+        const bool have_syms = expr->entry_syms.size() == expr->entries.size();
+        const auto base = u16_checked(chunk_->syms.size(), "symbol table");
+        for (std::size_t i = 0; i < expr->entries.size(); ++i) {
+          chunk_->syms.push_back(have_syms ? expr->entry_syms[i]
+                                           : util::intern(expr->entries[i].first));
+        }
+        for (const auto& [key, value] : expr->entries) compile_expr(value);
+        chunk_->emit(Op::kMakeObject);
+        chunk_->emit_u16(u16_checked(expr->entries.size(), "object literal"));
+        chunk_->emit_u16(base);
+        return;
+      }
+      case ExprKind::kArray:
+        for (const ExprPtr& item : expr->args) compile_expr(item);
+        chunk_->emit(Op::kMakeArray);
+        chunk_->emit_u16(u16_checked(expr->args.size(), "array literal"));
+        return;
+      case ExprKind::kFunction: {
+        const std::uint16_t fn =
+            compile_function("", util::kNoSymbol, expr->params, expr->body, expr->fn_scope);
+        // Function *expressions* are evaluated (ticked) by the tree-walker;
+        // kMakeClosure itself stays tick-free because function declarations
+        // build their closure inside exec_stmt without an eval.
+        chunk_->emit(Op::kTick);
+        chunk_->emit(Op::kMakeClosure);
+        chunk_->emit_u16(fn);
+        return;
+      }
+      case ExprKind::kAssign:
+        compile_assign(*expr);
+        return;
+    }
+    throw std::runtime_error("minijs compile: unhandled expression kind");
+  }
+
+  void compile_ident_load(const Expr& e) {
+    if (e.res_depth >= 0) {
+      chunk_->emit(Op::kLoadSlot);
+      chunk_->emit_u8(runtime_depth(e.res_depth));
+      chunk_->emit_u16(u16_checked(static_cast<std::size_t>(e.res_slot), "slot"));
+      chunk_->emit_u32(e.sym);
+      return;
+    }
+    if (e.res_depth == kDepthGlobal) {
+      chunk_->emit(Op::kLoadGlobal);
+      chunk_->emit_u32(e.sym);
+      chunk_->emit_u16(new_global_cache());
+      return;
+    }
+    chunk_->emit(Op::kLoadNamed);
+    chunk_->emit_u32(e.sym);
+  }
+
+  void compile_binary(const Expr& e) {
+    if (e.binary_op == BinaryOp::kAnd) {
+      compile_expr(e.a);
+      const std::size_t to_end = emit_jump(Op::kAndJump);
+      compile_expr(e.b);
+      patch_here(to_end);
+      return;
+    }
+    if (e.binary_op == BinaryOp::kOr) {
+      compile_expr(e.a);
+      const std::size_t to_end = emit_jump(Op::kOrJump);
+      compile_expr(e.b);
+      patch_here(to_end);
+      return;
+    }
+    compile_expr(e.a);
+    if (e.binary_op == BinaryOp::kAdd && emit_fused_add_rhs(e.b)) return;
+    compile_expr(e.b);
+    switch (e.binary_op) {
+      case BinaryOp::kAdd: chunk_->emit(Op::kAdd); return;
+      case BinaryOp::kSub: chunk_->emit(Op::kSub); return;
+      case BinaryOp::kMul: chunk_->emit(Op::kMul); return;
+      case BinaryOp::kDiv: chunk_->emit(Op::kDiv); return;
+      case BinaryOp::kMod: chunk_->emit(Op::kMod); return;
+      case BinaryOp::kEq: chunk_->emit(Op::kEq); return;
+      case BinaryOp::kNe: chunk_->emit(Op::kNe); return;
+      case BinaryOp::kLt: chunk_->emit(Op::kLt); return;
+      case BinaryOp::kLe: chunk_->emit(Op::kLe); return;
+      case BinaryOp::kGt: chunk_->emit(Op::kGt); return;
+      case BinaryOp::kGe: chunk_->emit(Op::kGe); return;
+      default: throw std::runtime_error("minijs compile: unhandled binary operator");
+    }
+  }
+
+  void compile_call(const Expr& e) {
+    if (e.args.size() > 0xff) limit("argument count");
+    // Method call: receiver.method(args) — receiver, then args, matching
+    // the tree-walker's evaluation order.
+    if (e.a->kind == ExprKind::kMember) {
+      compile_expr(e.a->a);
+      for (const ExprPtr& arg : e.args) compile_expr(arg);
+      chunk_->emit(Op::kCallMethod);
+      chunk_->emit_u8(static_cast<std::uint8_t>(e.args.size()));
+      chunk_->emit_u32(member_sym(*e.a));
+      chunk_->emit_u32(root_sym(e.a->a));
+      chunk_->emit_u16(new_prop_cache());
+      chunk_->emit_u8(is_mutating_method(e.a->text) ? 1 : 0);
+      return;
+    }
+    // Plain call: callee, then args.
+    compile_expr(e.a);
+    for (const ExprPtr& arg : e.args) compile_expr(arg);
+    chunk_->emit(Op::kCall);
+    chunk_->emit_u8(static_cast<std::uint8_t>(e.args.size()));
+    chunk_->emit_u32(e.a->kind == ExprKind::kIdent ? e.a->sym : util::kNoSymbol);
+    chunk_->emit_u16(new_call_cache());
+  }
+
+  /// Expression in statement position: the produced value is discarded.
+  /// Local-increment statements (`i = i + c`, `i += c`) collapse to one op
+  /// that never touches the value stack.
+  void compile_expr_stmt(const ExprPtr& expr) {
+    if (try_compile_slot_increment(expr)) return;
+    if (expr->kind == ExprKind::kAssign) {
+      compile_assign(*expr, /*statement=*/true);
+      return;
+    }
+    compile_expr(expr);
+    chunk_->emit(Op::kPop);
+  }
+
+  /// Fuses `i = i + c` / `i = i - c` / `i += c` / `i -= c` on a resolved
+  /// local with a number constant into kIncSlot. Only valid in statement
+  /// position (the op pushes nothing).
+  bool try_compile_slot_increment(const ExprPtr& expr) {
+    if (expr->kind != ExprKind::kAssign) return false;
+    const Expr& target = *expr->a;
+    if (target.kind != ExprKind::kIdent || target.res_depth < 0) return false;
+    AssignOp aop;
+    const Expr* constant;
+    bool plain;
+    if (expr->assign_op != AssignOp::kAssign) {
+      if (expr->b->kind != ExprKind::kNumber) return false;
+      aop = expr->assign_op;
+      constant = expr->b.get();
+      plain = false;
+    } else {
+      const Expr& rhs = *expr->b;
+      if (rhs.kind != ExprKind::kBinary ||
+          (rhs.binary_op != BinaryOp::kAdd && rhs.binary_op != BinaryOp::kSub)) {
+        return false;
+      }
+      const Expr& read = *rhs.a;
+      if (read.kind != ExprKind::kIdent || read.sym != target.sym ||
+          read.res_depth != target.res_depth || read.res_slot != target.res_slot) {
+        return false;
+      }
+      if (rhs.b->kind != ExprKind::kNumber) return false;
+      aop = rhs.binary_op == BinaryOp::kAdd ? AssignOp::kAddAssign : AssignOp::kSubAssign;
+      constant = rhs.b.get();
+      plain = true;
+    }
+    chunk_->emit(Op::kIncSlot);
+    chunk_->emit_u8(runtime_depth(target.res_depth));
+    chunk_->emit_u16(u16_checked(static_cast<std::size_t>(target.res_slot), "slot"));
+    chunk_->emit_u32(target.sym);
+    chunk_->emit_u16(const_number(constant->number));
+    chunk_->emit_u8(static_cast<std::uint8_t>(aop));
+    chunk_->emit_u8(plain ? 1 : 0);
+    return true;
+  }
+
+  /// Emits a condition followed by its false-branch, fusing `a < b`-style
+  /// comparisons of two resolved locals into one compare-and-branch op.
+  /// Returns the jump operand offset to patch with the branch target.
+  std::size_t emit_cond_branch(const ExprPtr& cond) {
+    if (cond->kind == ExprKind::kBinary) {
+      int cmp = -1;
+      switch (cond->binary_op) {
+        case BinaryOp::kLt: cmp = 0; break;
+        case BinaryOp::kLe: cmp = 1; break;
+        case BinaryOp::kGt: cmp = 2; break;
+        case BinaryOp::kGe: cmp = 3; break;
+        case BinaryOp::kEq: cmp = 4; break;
+        case BinaryOp::kNe: cmp = 5; break;
+        default: break;
+      }
+      const Expr& a = *cond->a;
+      const Expr& b = *cond->b;
+      if (cmp >= 0 && a.kind == ExprKind::kIdent && a.res_depth >= 0 &&
+          b.kind == ExprKind::kIdent && b.res_depth >= 0) {
+        chunk_->emit(Op::kJumpCmpSlots);
+        chunk_->emit_u8(static_cast<std::uint8_t>(cmp));
+        chunk_->emit_u8(runtime_depth(a.res_depth));
+        chunk_->emit_u16(u16_checked(static_cast<std::size_t>(a.res_slot), "slot"));
+        chunk_->emit_u32(a.sym);
+        chunk_->emit_u8(runtime_depth(b.res_depth));
+        chunk_->emit_u16(u16_checked(static_cast<std::size_t>(b.res_slot), "slot"));
+        chunk_->emit_u32(b.sym);
+        const std::size_t at = chunk_->code.size();
+        chunk_->emit_u32(0);
+        return at;
+      }
+    }
+    compile_expr(cond);
+    return emit_jump(Op::kJumpIfFalse);
+  }
+
+  /// Fuses the right operand of an add into the add itself when it is a
+  /// resolvable member chain (kAddMember*) or a constant (kAddConst).
+  /// Returns false when the caller should compile the operand generically.
+  bool emit_fused_add_rhs(const ExprPtr& rhs) {
+    if (rhs->kind == ExprKind::kNumber) {
+      chunk_->emit(Op::kAddConst);
+      chunk_->emit_u16(const_number(rhs->number));
+      return true;
+    }
+    if (rhs->kind == ExprKind::kString) {
+      chunk_->emit(Op::kAddConst);
+      chunk_->emit_u16(const_string(rhs->text));
+      return true;
+    }
+    if (rhs->kind != ExprKind::kMember) return false;
+    std::vector<const Expr*> links;
+    const Expr* root = rhs.get();
+    while (root->kind == ExprKind::kMember) {
+      links.push_back(root);
+      root = root->a.get();
+    }
+    if (root->kind != ExprKind::kIdent || links.size() > 255 ||
+        (root->res_depth < 0 && root->res_depth != kDepthGlobal)) {
+      return false;
+    }
+    if (root->res_depth >= 0) {
+      chunk_->emit(Op::kAddMemberSlot);
+      chunk_->emit_u8(runtime_depth(root->res_depth));
+      chunk_->emit_u16(u16_checked(static_cast<std::size_t>(root->res_slot), "slot"));
+      chunk_->emit_u32(root->sym);
+    } else {
+      chunk_->emit(Op::kAddMemberGlobal);
+      chunk_->emit_u32(root->sym);
+      chunk_->emit_u16(new_global_cache());
+    }
+    chunk_->emit_u8(static_cast<std::uint8_t>(links.size()));
+    for (auto it = links.rbegin(); it != links.rend(); ++it) {
+      chunk_->emit_u32(member_sym(**it));
+      chunk_->emit_u16(new_prop_cache());
+    }
+    return true;
+  }
+
+  void compile_assign(const Expr& e, bool statement = false) {
+    // The tree-walker evaluates the RHS before any part of the target.
+    compile_expr(e.b);
+    const ExprPtr& target = e.a;
+    const auto aop =
+        static_cast<std::uint8_t>(e.assign_op) | (statement ? kAopDiscard : 0);
+    if (target->kind == ExprKind::kIdent) {
+      if (target->res_depth >= 0) {
+        chunk_->emit(Op::kStoreSlot);
+        chunk_->emit_u8(runtime_depth(target->res_depth));
+        chunk_->emit_u16(u16_checked(static_cast<std::size_t>(target->res_slot), "slot"));
+        chunk_->emit_u32(target->sym);
+        chunk_->emit_u8(aop);
+      } else if (target->res_depth == kDepthGlobal) {
+        chunk_->emit(Op::kStoreGlobal);
+        chunk_->emit_u32(target->sym);
+        chunk_->emit_u16(new_global_cache());
+        chunk_->emit_u8(aop);
+      } else {
+        chunk_->emit(Op::kStoreNamed);
+        chunk_->emit_u32(target->sym);
+        chunk_->emit_u8(aop);
+      }
+      return;
+    }
+    if (target->kind == ExprKind::kMember) {
+      // Same receiver fusion as the read path; the receiver ident IS the
+      // root symbol, so the fused forms drop the separate root operand.
+      const Expr& recv = *target->a;
+      if (recv.kind == ExprKind::kIdent && recv.res_depth >= 0) {
+        chunk_->emit(Op::kSetMemberSlot);
+        chunk_->emit_u8(runtime_depth(recv.res_depth));
+        chunk_->emit_u16(u16_checked(static_cast<std::size_t>(recv.res_slot), "slot"));
+        chunk_->emit_u32(recv.sym);
+        chunk_->emit_u32(member_sym(*target));
+        chunk_->emit_u16(new_prop_cache());
+        chunk_->emit_u8(aop);
+        return;
+      }
+      if (recv.kind == ExprKind::kIdent && recv.res_depth == kDepthGlobal) {
+        chunk_->emit(Op::kSetMemberGlobal);
+        chunk_->emit_u32(recv.sym);
+        chunk_->emit_u16(new_global_cache());
+        chunk_->emit_u32(member_sym(*target));
+        chunk_->emit_u16(new_prop_cache());
+        chunk_->emit_u8(aop);
+        return;
+      }
+      compile_expr(target->a);
+      chunk_->emit(Op::kSetMember);
+      chunk_->emit_u32(member_sym(*target));
+      chunk_->emit_u32(root_sym(target));
+      chunk_->emit_u16(new_prop_cache());
+      chunk_->emit_u8(aop);
+      return;
+    }
+    if (target->kind == ExprKind::kIndex) {
+      compile_expr(target->a);
+      compile_expr(target->b);
+      chunk_->emit(Op::kSetIndex);
+      chunk_->emit_u32(root_sym(target));
+      chunk_->emit_u8(aop);
+      return;
+    }
+    throw std::runtime_error("minijs compile: invalid assignment target");
+  }
+};
+
+}  // namespace
+
+CompiledProgram compile_program(const Program& program) {
+  return Compiler().run(program);
+}
+
+}  // namespace edgstr::minijs

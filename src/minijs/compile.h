@@ -1,0 +1,22 @@
+// AST -> bytecode compiler for the MiniJS VM.
+//
+// Consumes a *resolved* program (minijs/resolve.h must have run: every
+// identifier carries its (depth, slot) lexical address or the global /
+// unresolved sentinel) and lowers it to stack bytecode chunks. The
+// compiler's contract is behavioural identity with the tree-walking
+// interpreter under instrumentation: evaluation order, hook order
+// (declare/read/write/invoke with statement ids), error messages, and
+// environment-chain shape (as observed through closures and the dynamic
+// fallback) all match, so RW logs are byte-identical across engines.
+#pragma once
+
+#include "minijs/ast.h"
+#include "minijs/chunk.h"
+
+namespace edgstr::minijs {
+
+/// Compiles a resolved program. Throws std::runtime_error on compiler
+/// limits (operand overflow) — never on valid subject programs.
+CompiledProgram compile_program(const Program& program);
+
+}  // namespace edgstr::minijs

@@ -1,0 +1,400 @@
+// Bytecode listing for golden tests and `edgstr_cli --dump-bytecode`.
+//
+// Output is deliberately stable: symbolic operands print as their interned
+// names (never raw symbol ids, which depend on global intern order) and
+// constants print through JsValue::to_display, so the same source always
+// disassembles to the same text.
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "minijs/chunk.h"
+#include "util/intern.h"
+
+namespace edgstr::minijs {
+
+namespace {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kConst: return "const";
+    case Op::kNull: return "null";
+    case Op::kTrue: return "true";
+    case Op::kFalse: return "false";
+    case Op::kPop: return "pop";
+    case Op::kStmt: return "stmt";
+    case Op::kStmtId: return "stmt_id";
+    case Op::kTick: return "tick";
+    case Op::kLoadSlot: return "load_slot";
+    case Op::kLoadGlobal: return "load_global";
+    case Op::kLoadNamed: return "load_named";
+    case Op::kStoreSlot: return "store_slot";
+    case Op::kStoreGlobal: return "store_global";
+    case Op::kStoreNamed: return "store_named";
+    case Op::kGetMember: return "get_member";
+    case Op::kSetMember: return "set_member";
+    case Op::kGetMemberSlot: return "get_member_slot";
+    case Op::kGetMemberGlobal: return "get_member_global";
+    case Op::kSetMemberSlot: return "set_member_slot";
+    case Op::kSetMemberGlobal: return "set_member_global";
+    case Op::kAddMemberSlot: return "add_member_slot";
+    case Op::kAddMemberGlobal: return "add_member_global";
+    case Op::kAddConst: return "add_const";
+    case Op::kIncSlot: return "inc_slot";
+    case Op::kJumpCmpSlots: return "jump_cmp_slots";
+    case Op::kGetIndex: return "get_index";
+    case Op::kSetIndex: return "set_index";
+    case Op::kCall: return "call";
+    case Op::kCallMethod: return "call_method";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kMod: return "mod";
+    case Op::kEq: return "eq";
+    case Op::kNe: return "ne";
+    case Op::kLt: return "lt";
+    case Op::kLe: return "le";
+    case Op::kGt: return "gt";
+    case Op::kGe: return "ge";
+    case Op::kNot: return "not";
+    case Op::kNeg: return "neg";
+    case Op::kJump: return "jump";
+    case Op::kJumpIfFalse: return "jump_if_false";
+    case Op::kAndJump: return "and_jump";
+    case Op::kOrJump: return "or_jump";
+    case Op::kMakeObject: return "make_object";
+    case Op::kMakeArray: return "make_array";
+    case Op::kMakeClosure: return "make_closure";
+    case Op::kPushScope: return "push_scope";
+    case Op::kPopScope: return "pop_scope";
+    case Op::kPopScopeN: return "pop_scope_n";
+    case Op::kDeclareSlot: return "declare_slot";
+    case Op::kDeclareNamed: return "declare_named";
+    case Op::kDeclareFnSlot: return "declare_fn_slot";
+    case Op::kDeclareFnNamed: return "declare_fn_named";
+    case Op::kTryPush: return "try_push";
+    case Op::kTryPop: return "try_pop";
+    case Op::kCatchBind: return "catch_bind";
+    case Op::kReturn: return "return";
+    case Op::kThrow: return "throw";
+  }
+  return "??";
+}
+
+std::string aop_name(std::uint8_t aop) {
+  std::string out;
+  switch (static_cast<AssignOp>(aop & ~kAopDiscard)) {
+    case AssignOp::kAssign: out = "="; break;
+    case AssignOp::kAddAssign: out = "+="; break;
+    case AssignOp::kSubAssign: out = "-="; break;
+    default: out = "?"; break;
+  }
+  if (aop & kAopDiscard) out += " (stmt)";
+  return out;
+}
+
+std::string const_repr(const JsValue& v) {
+  if (v.is_string()) return "\"" + v.as_string() + "\"";
+  return v.to_display();
+}
+
+void append(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+void disassemble_into(const Chunk& chunk, std::string& out) {
+  std::size_t pc = 0;
+  while (pc < chunk.code.size()) {
+    const std::size_t at = pc;
+    const Op op = static_cast<Op>(chunk.code[pc++]);
+    append(out, "%5zu  %-18s", at, op_name(op));
+    switch (op) {
+      case Op::kConst: {
+        const std::uint16_t idx = chunk.read_u16(pc);
+        pc += 2;
+        append(out, "%u  ; %s", idx, const_repr(chunk.constants[idx]).c_str());
+        break;
+      }
+      case Op::kStmt:
+      case Op::kStmtId:
+        append(out, "#%u", chunk.read_u32(pc));
+        pc += 4;
+        break;
+      case Op::kLoadSlot:
+      case Op::kStoreSlot: {
+        const std::uint8_t depth = chunk.read_u8(pc);
+        const std::uint16_t slot = chunk.read_u16(pc + 1);
+        const auto sym = static_cast<util::Symbol>(chunk.read_u32(pc + 3));
+        pc += 7;
+        append(out, "depth=%u slot=%u  ; %s", depth, slot, util::symbol_name(sym).c_str());
+        if (op == Op::kStoreSlot) {
+          append(out, " %s", aop_name(chunk.read_u8(pc)).c_str());
+          pc += 1;
+        }
+        break;
+      }
+      case Op::kLoadGlobal: {
+        const auto sym = static_cast<util::Symbol>(chunk.read_u32(pc));
+        const std::uint16_t ic = chunk.read_u16(pc + 4);
+        pc += 6;
+        append(out, "%s ic=%u", util::symbol_name(sym).c_str(), ic);
+        break;
+      }
+      case Op::kStoreGlobal: {
+        const auto sym = static_cast<util::Symbol>(chunk.read_u32(pc));
+        const std::uint16_t ic = chunk.read_u16(pc + 4);
+        const std::uint8_t aop = chunk.read_u8(pc + 6);
+        pc += 7;
+        append(out, "%s ic=%u %s", util::symbol_name(sym).c_str(), ic, aop_name(aop).c_str());
+        break;
+      }
+      case Op::kLoadNamed:
+        append(out, "%s", util::symbol_name(chunk.read_u32(pc)).c_str());
+        pc += 4;
+        break;
+      case Op::kStoreNamed: {
+        const auto sym = static_cast<util::Symbol>(chunk.read_u32(pc));
+        const std::uint8_t aop = chunk.read_u8(pc + 4);
+        pc += 5;
+        append(out, "%s %s", util::symbol_name(sym).c_str(), aop_name(aop).c_str());
+        break;
+      }
+      case Op::kGetMember: {
+        const auto sym = static_cast<util::Symbol>(chunk.read_u32(pc));
+        const std::uint16_t ic = chunk.read_u16(pc + 4);
+        pc += 6;
+        append(out, ".%s ic=%u", util::symbol_name(sym).c_str(), ic);
+        break;
+      }
+      case Op::kSetMember: {
+        const auto sym = static_cast<util::Symbol>(chunk.read_u32(pc));
+        const auto root = static_cast<util::Symbol>(chunk.read_u32(pc + 4));
+        const std::uint16_t ic = chunk.read_u16(pc + 8);
+        const std::uint8_t aop = chunk.read_u8(pc + 10);
+        pc += 11;
+        append(out, ".%s root=%s ic=%u %s", util::symbol_name(sym).c_str(),
+               util::symbol_name(root).c_str(), ic, aop_name(aop).c_str());
+        break;
+      }
+      case Op::kGetMemberSlot:
+      case Op::kAddMemberSlot: {
+        const std::uint8_t depth = chunk.read_u8(pc);
+        const std::uint16_t slot = chunk.read_u16(pc + 1);
+        const auto obj = static_cast<util::Symbol>(chunk.read_u32(pc + 3));
+        const std::uint8_t hops = chunk.read_u8(pc + 7);
+        pc += 8;
+        append(out, "depth=%u slot=%u %s", depth, slot, util::symbol_name(obj).c_str());
+        for (std::uint8_t h = 0; h < hops; ++h) {
+          const auto sym = static_cast<util::Symbol>(chunk.read_u32(pc));
+          const std::uint16_t ic = chunk.read_u16(pc + 4);
+          pc += 6;
+          append(out, ".%s[ic=%u]", util::symbol_name(sym).c_str(), ic);
+        }
+        break;
+      }
+      case Op::kGetMemberGlobal:
+      case Op::kAddMemberGlobal: {
+        const auto obj = static_cast<util::Symbol>(chunk.read_u32(pc));
+        const std::uint16_t gic = chunk.read_u16(pc + 4);
+        const std::uint8_t hops = chunk.read_u8(pc + 6);
+        pc += 7;
+        append(out, "%s gic=%u", util::symbol_name(obj).c_str(), gic);
+        for (std::uint8_t h = 0; h < hops; ++h) {
+          const auto sym = static_cast<util::Symbol>(chunk.read_u32(pc));
+          const std::uint16_t ic = chunk.read_u16(pc + 4);
+          pc += 6;
+          append(out, ".%s[ic=%u]", util::symbol_name(sym).c_str(), ic);
+        }
+        break;
+      }
+      case Op::kSetMemberSlot: {
+        const std::uint8_t depth = chunk.read_u8(pc);
+        const std::uint16_t slot = chunk.read_u16(pc + 1);
+        const auto obj = static_cast<util::Symbol>(chunk.read_u32(pc + 3));
+        const auto sym = static_cast<util::Symbol>(chunk.read_u32(pc + 7));
+        const std::uint16_t ic = chunk.read_u16(pc + 11);
+        const std::uint8_t aop = chunk.read_u8(pc + 13);
+        pc += 14;
+        append(out, "depth=%u slot=%u .%s ic=%u %s  ; %s", depth, slot,
+               util::symbol_name(sym).c_str(), ic, aop_name(aop).c_str(),
+               util::symbol_name(obj).c_str());
+        break;
+      }
+      case Op::kSetMemberGlobal: {
+        const auto obj = static_cast<util::Symbol>(chunk.read_u32(pc));
+        const std::uint16_t gic = chunk.read_u16(pc + 4);
+        const auto sym = static_cast<util::Symbol>(chunk.read_u32(pc + 6));
+        const std::uint16_t ic = chunk.read_u16(pc + 10);
+        const std::uint8_t aop = chunk.read_u8(pc + 12);
+        pc += 13;
+        append(out, "%s.%s gic=%u ic=%u %s", util::symbol_name(obj).c_str(),
+               util::symbol_name(sym).c_str(), gic, ic, aop_name(aop).c_str());
+        break;
+      }
+      case Op::kAddConst: {
+        const std::uint16_t idx = chunk.read_u16(pc);
+        pc += 2;
+        append(out, "%u  ; %s", idx, const_repr(chunk.constants[idx]).c_str());
+        break;
+      }
+      case Op::kIncSlot: {
+        const std::uint8_t depth = chunk.read_u8(pc);
+        const std::uint16_t slot = chunk.read_u16(pc + 1);
+        const auto sym = static_cast<util::Symbol>(chunk.read_u32(pc + 3));
+        const std::uint16_t idx = chunk.read_u16(pc + 7);
+        const std::uint8_t aop = chunk.read_u8(pc + 9);
+        const std::uint8_t plain = chunk.read_u8(pc + 10);
+        pc += 11;
+        append(out, "depth=%u slot=%u %s %s  ; %s %s", depth, slot,
+               aop_name(aop).c_str(), const_repr(chunk.constants[idx]).c_str(),
+               util::symbol_name(sym).c_str(), plain ? "(plain)" : "(compound)");
+        break;
+      }
+      case Op::kJumpCmpSlots: {
+        static const char* kCmpNames[] = {"<", "<=", ">", ">=", "==", "!="};
+        const std::uint8_t cmp = chunk.read_u8(pc);
+        pc += 1;
+        std::string sides[2];
+        for (int s = 0; s < 2; ++s) {
+          const std::uint8_t depth = chunk.read_u8(pc);
+          const std::uint16_t slot = chunk.read_u16(pc + 1);
+          const auto sym = static_cast<util::Symbol>(chunk.read_u32(pc + 3));
+          pc += 7;
+          char buf[96];
+          std::snprintf(buf, sizeof(buf), "%s(d%u:s%u)", util::symbol_name(sym).c_str(),
+                        depth, slot);
+          sides[s] = buf;
+        }
+        const std::uint32_t target = chunk.read_u32(pc);
+        pc += 4;
+        append(out, "%s %s %s -> %u", sides[0].c_str(), cmp <= 5 ? kCmpNames[cmp] : "?",
+               sides[1].c_str(), target);
+        break;
+      }
+      case Op::kSetIndex: {
+        const auto root = static_cast<util::Symbol>(chunk.read_u32(pc));
+        const std::uint8_t aop = chunk.read_u8(pc + 4);
+        pc += 5;
+        append(out, "root=%s %s", util::symbol_name(root).c_str(), aop_name(aop).c_str());
+        break;
+      }
+      case Op::kCall: {
+        const std::uint8_t argc = chunk.read_u8(pc);
+        const auto name = static_cast<util::Symbol>(chunk.read_u32(pc + 1));
+        const std::uint16_t ic = chunk.read_u16(pc + 5);
+        pc += 7;
+        append(out, "argc=%u ic=%u  ; %s", argc, ic, util::symbol_name(name).c_str());
+        break;
+      }
+      case Op::kCallMethod: {
+        const std::uint8_t argc = chunk.read_u8(pc);
+        const auto method = static_cast<util::Symbol>(chunk.read_u32(pc + 1));
+        const auto root = static_cast<util::Symbol>(chunk.read_u32(pc + 5));
+        const std::uint16_t ic = chunk.read_u16(pc + 9);
+        const std::uint8_t mutating = chunk.read_u8(pc + 11);
+        pc += 12;
+        append(out, ".%s argc=%u ic=%u%s  ; root=%s", util::symbol_name(method).c_str(), argc,
+               ic, mutating ? " mut" : "", util::symbol_name(root).c_str());
+        break;
+      }
+      case Op::kJump:
+      case Op::kJumpIfFalse:
+      case Op::kAndJump:
+      case Op::kOrJump:
+      case Op::kTryPush:
+        append(out, "-> %u", chunk.read_u32(pc));
+        pc += 4;
+        break;
+      case Op::kMakeObject: {
+        const std::uint16_t count = chunk.read_u16(pc);
+        const std::uint16_t base = chunk.read_u16(pc + 2);
+        pc += 4;
+        append(out, "n=%u  ;", count);
+        for (std::uint16_t i = 0; i < count; ++i) {
+          append(out, " %s", util::symbol_name(chunk.syms[base + i]).c_str());
+        }
+        break;
+      }
+      case Op::kMakeArray:
+        append(out, "n=%u", chunk.read_u16(pc));
+        pc += 2;
+        break;
+      case Op::kMakeClosure: {
+        const std::uint16_t idx = chunk.read_u16(pc);
+        pc += 2;
+        const std::string& name = chunk.fn_chunks[idx]->name;
+        append(out, "fn=%u  ; %s", idx, name.empty() ? "<anonymous>" : name.c_str());
+        break;
+      }
+      case Op::kPushScope:
+        append(out, "scope=%u", chunk.read_u16(pc));
+        pc += 2;
+        break;
+      case Op::kPopScopeN:
+        append(out, "n=%u", chunk.read_u8(pc));
+        pc += 1;
+        break;
+      case Op::kDeclareSlot:
+      case Op::kDeclareFnSlot: {
+        const std::uint16_t slot = chunk.read_u16(pc);
+        const auto sym = static_cast<util::Symbol>(chunk.read_u32(pc + 2));
+        pc += 6;
+        append(out, "slot=%u  ; %s", slot, util::symbol_name(sym).c_str());
+        break;
+      }
+      case Op::kDeclareNamed:
+      case Op::kDeclareFnNamed:
+        append(out, "%s", util::symbol_name(chunk.read_u32(pc)).c_str());
+        pc += 4;
+        break;
+      case Op::kCatchBind: {
+        const std::uint16_t scope = chunk.read_u16(pc);
+        const std::uint16_t slot = chunk.read_u16(pc + 2);
+        const auto sym = static_cast<util::Symbol>(chunk.read_u32(pc + 4));
+        pc += 8;
+        if (scope == 0xffff) {
+          append(out, "named  ; %s", util::symbol_name(sym).c_str());
+        } else {
+          append(out, "scope=%u slot=%u  ; %s", scope, slot, util::symbol_name(sym).c_str());
+        }
+        break;
+      }
+      default:
+        break;  // no operands
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  }
+}
+
+void disassemble_tree(const Chunk& chunk, std::string& out) {
+  out += "== ";
+  out += chunk.name.empty() ? "<anonymous>" : chunk.name;
+  append(out, " ==  (%zu bytes, %zu consts, %zu ic)\n", chunk.code.size(),
+         chunk.constants.size(),
+         chunk.prop_caches.size() + chunk.global_caches.size() + chunk.call_caches.size());
+  disassemble_into(chunk, out);
+  for (const auto& fn : chunk.fn_chunks) disassemble_tree(*fn, out);
+}
+
+}  // namespace
+
+std::string disassemble(const Chunk& chunk) {
+  std::string out;
+  disassemble_into(chunk, out);
+  return out;
+}
+
+std::string disassemble_program(const CompiledProgram& program) {
+  std::string out;
+  disassemble_tree(*program.toplevel, out);
+  return out;
+}
+
+}  // namespace edgstr::minijs

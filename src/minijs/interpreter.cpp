@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "minijs/builtins.h"
+#include "minijs/compile.h"
+#include "minijs/vm.h"
 
 namespace edgstr::minijs {
 
@@ -16,6 +18,9 @@ Interpreter::Interpreter(Program program, Config config)
       config_(config),
       pool_(std::make_shared<FramePool>()),
       rng_(config.rng_seed) {
+  // The bytecode compiler consumes (depth, slot) addresses, so the VM
+  // implies the resolver.
+  if (config_.vm) config_.resolve = true;
   // Annotate (or scrub) the AST in place: either way every name is
   // interned, so the evaluator can rely on symbol ids being present.
   if (config_.resolve) {
@@ -23,10 +28,19 @@ Interpreter::Interpreter(Program program, Config config)
   } else {
     strip_resolution(program_);
   }
+  if (config_.vm) {
+    compiled_ = compile_program(program_);
+    vm_ = std::make_unique<Vm>(*this);
+  }
   builtins_ = std::make_shared<Environment>();
   globals_ = std::make_shared<Environment>(builtins_);
   install_builtins(*this, *builtins_);
 }
+
+Interpreter::~Interpreter() = default;
+
+std::uint64_t Interpreter::ic_hits() const { return vm_ ? vm_->ic_hits() : 0; }
+std::uint64_t Interpreter::ic_misses() const { return vm_ ? vm_->ic_misses() : 0; }
 
 void Interpreter::FrameReclaimer::operator()(Environment* env) const {
   if (pool && pool->free.size() < kFramePoolCap) {
@@ -71,13 +85,11 @@ void Interpreter::register_route(http::Verb verb, const std::string& path, JsVal
   routes_[http::Route{verb, path}] = std::move(handler);
 }
 
-void Interpreter::tick() {
-  if (++steps_ > config_.max_steps) {
-    throw JsError("step limit exceeded (possible infinite loop)");
-  }
-}
-
 void Interpreter::run_toplevel() {
+  if (vm_) {
+    vm_->run_toplevel();
+    return;
+  }
   if (hooks_) {
     for (const StmtPtr& stmt : program_.body) exec_stmt<true>(stmt, globals_);
   } else {
@@ -179,6 +191,11 @@ JsValue Interpreter::call_global(const std::string& name, std::vector<JsValue> a
 template <bool WithHooks>
 JsValue Interpreter::call_value(const JsValue& fn, util::Symbol name,
                                 std::vector<JsValue>& args) {
+  // Chunked closures run on the VM (which does its own tick / depth guard /
+  // invoke hook); everything else tree-walks.
+  if (vm_ && fn.type() == JsValue::Type::kClosure && fn.as_closure()->chunk) {
+    return vm_->call_chunked<WithHooks>(fn.as_closure(), name, args);
+  }
   tick();
   if (fn.type() == JsValue::Type::kNative) {
     JsValue result = fn.as_native()->fn(*this, args);
@@ -334,7 +351,10 @@ void Interpreter::exec_stmt(const StmtPtr& stmt, const std::shared_ptr<Environme
     }
     case StmtKind::kThrow: {
       JsValue value = eval<WithHooks>(stmt->expr, env);
-      throw JsError("minijs throw: " + value.to_display(), std::move(value));
+      // Sequenced: constructor argument order is unspecified, so building
+      // the message inline would race value.to_display() against the move.
+      std::string message = "minijs throw: " + value.to_display();
+      throw JsError(std::move(message), std::move(value));
     }
     case StmtKind::kTryCatch:
       try {
@@ -380,14 +400,12 @@ JsValue* Interpreter::resolved_slot(const Expr& ident, Environment* env) {
     // any) is an outer one — fall back to the dynamic walk.
     return nullptr;
   }
-  ++slot_reads_;
   return &frame->slot(ident.res_slot);
 }
 
 JsValue* Interpreter::global_binding(util::Symbol sym) {
   JsValue* v = globals_->find_local(sym);
   if (!v) v = builtins_->find_local(sym);
-  if (v) ++slot_reads_;
   return v;
 }
 
@@ -403,9 +421,11 @@ JsValue Interpreter::eval(const ExprPtr& expr, const std::shared_ptr<Environment
       const JsValue* value = nullptr;
       if (expr->res_depth >= 0) {
         value = resolved_slot(*expr, env.get());
+        if (value) ++slot_reads_;
       } else if (expr->res_depth == kDepthGlobal) {
         value = global_binding(expr->sym);
         if (!value) throw JsError("undefined variable: " + expr->text);
+        ++slot_reads_;
       }
       if (!value) {
         ++named_reads_;
@@ -568,6 +588,7 @@ JsValue Interpreter::eval_assign(const ExprPtr& expr, const std::shared_ptr<Envi
     JsValue* binding = nullptr;
     if (target->res_depth >= 0) {
       binding = resolved_slot(*target, env.get());
+      if (binding) ++slot_writes_;
     } else if (target->res_depth == kDepthGlobal) {
       binding = global_binding(target->sym);
       if (!binding) {
@@ -576,9 +597,10 @@ JsValue Interpreter::eval_assign(const ExprPtr& expr, const std::shared_ptr<Envi
         // catch typos instead.
         throw JsError("assignment to undeclared variable: " + target->text);
       }
+      ++slot_writes_;
     }
     if (!binding) {
-      ++named_reads_;
+      ++named_writes_;
       binding = env->find_mutable(target->sym);
       if (!binding) throw JsError("assignment to undeclared variable: " + target->text);
     }
@@ -802,5 +824,16 @@ JsValue Interpreter::builtin_method(const JsValue& receiver, const std::string& 
   handled = false;
   return JsValue();
 }
+
+// Instantiated here for the VM (vm.cpp calls back into the dispatcher and
+// the builtin methods from bytecode call sites).
+template JsValue Interpreter::call_value<true>(const JsValue&, util::Symbol,
+                                               std::vector<JsValue>&);
+template JsValue Interpreter::call_value<false>(const JsValue&, util::Symbol,
+                                                std::vector<JsValue>&);
+template JsValue Interpreter::builtin_method<true>(const JsValue&, const std::string&,
+                                                   std::vector<JsValue>&, bool&);
+template JsValue Interpreter::builtin_method<false>(const JsValue&, const std::string&,
+                                                    std::vector<JsValue>&, bool&);
 
 }  // namespace edgstr::minijs

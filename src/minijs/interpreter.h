@@ -28,6 +28,7 @@
 #include "http/message.h"
 #include "http/router.h"
 #include "minijs/ast.h"
+#include "minijs/chunk.h"
 #include "minijs/resolve.h"
 #include "minijs/value.h"
 #include "sqldb/database.h"
@@ -36,6 +37,8 @@
 #include "vfs/vfs.h"
 
 namespace edgstr::minijs {
+
+class Vm;
 
 /// Runtime error raised by MiniJS code (`throw`), by builtins, or by the
 /// interpreter itself (type errors, step-limit exhaustion).
@@ -76,6 +79,7 @@ struct InterpreterConfig {
   std::uint64_t rng_seed = 7;            ///< for Math.random determinism
   int max_call_depth = 512;              ///< guards the host C++ stack
   bool resolve = true;  ///< run the static resolver (false -> named slow path)
+  bool vm = false;      ///< compile to bytecode and run on the VM (forces resolve)
 };
 
 class Interpreter {
@@ -83,6 +87,7 @@ class Interpreter {
   using Config = InterpreterConfig;
 
   explicit Interpreter(Program program, Config config = Config());
+  ~Interpreter();
 
   // Host bindings (must be set before run_toplevel for services that use
   // them; they may also be swapped between executions for state isolation).
@@ -136,10 +141,20 @@ class Interpreter {
   util::Rng& rng() { return rng_; }
 
   // Execution counters (monotonic since construction; deterministic for a
-  // given program + inputs, which is what the bench gates key on).
+  // given program + inputs, which is what the bench gates key on). Reads
+  // and writes are counted separately: a fast-path assignment bumps
+  // slot_writes, not slot_reads.
   std::uint64_t steps() const { return steps_; }
-  std::uint64_t slot_reads() const { return slot_reads_; }    ///< fast-path hits
-  std::uint64_t named_reads() const { return named_reads_; }  ///< dynamic walks
+  std::uint64_t slot_reads() const { return slot_reads_; }    ///< fast-path reads
+  std::uint64_t named_reads() const { return named_reads_; }  ///< dynamic-walk reads
+  std::uint64_t slot_writes() const { return slot_writes_; }    ///< fast-path writes
+  std::uint64_t named_writes() const { return named_writes_; }  ///< dynamic-walk writes
+
+  // VM introspection (zeros / null when config.vm is off).
+  bool vm_enabled() const { return vm_ != nullptr; }
+  const CompiledProgram& compiled() const { return compiled_; }
+  std::uint64_t ic_hits() const;    ///< inline-cache hits (prop + global + call)
+  std::uint64_t ic_misses() const;  ///< inline-cache misses / refills
 
   /// Used by the `res.send` builtin.
   void set_pending_response(JsValue value, int status);
@@ -163,9 +178,13 @@ class Interpreter {
     void operator()(Environment* env) const;
   };
 
+  friend class Vm;  ///< the bytecode engine shares the whole runtime state
+
   Program program_;
   Config config_;
   ResolveStats resolve_stats_;
+  CompiledProgram compiled_;  ///< populated when config.vm is on
+  std::unique_ptr<Vm> vm_;    ///< bytecode engine; null -> tree-walk only
   std::shared_ptr<FramePool> pool_;
   std::shared_ptr<Environment> builtins_;  ///< root scope: natives
   std::shared_ptr<Environment> globals_;   ///< user globals
@@ -177,6 +196,8 @@ class Interpreter {
   std::uint64_t steps_ = 0;
   std::uint64_t slot_reads_ = 0;
   std::uint64_t named_reads_ = 0;
+  std::uint64_t slot_writes_ = 0;
+  std::uint64_t named_writes_ = 0;
   double compute_units_ = 0;
   std::vector<std::string> console_;
 
@@ -193,7 +214,13 @@ class Interpreter {
   struct BreakSignal {};
   struct ContinueSignal {};
 
-  void tick();
+  // One step of the runaway-loop guard. Inline: the VM calls this per
+  // expression op, so an out-of-line call shows up in profiles.
+  void tick() {
+    if (++steps_ > config_.max_steps) {
+      throw JsError("step limit exceeded (possible infinite loop)");
+    }
+  }
 
   std::shared_ptr<Environment> acquire_env();
   std::shared_ptr<Environment> make_named(std::shared_ptr<Environment> parent);

@@ -64,24 +64,8 @@ bool JsValue::as_bool() const {
   throw std::logic_error("JsValue: not a bool");
 }
 
-double JsValue::as_number() const {
-  if (const double* d = std::get_if<double>(&data_)) return *d;
-  throw std::logic_error("JsValue: not a number (got " + to_display() + ")");
-}
-
-const std::string& JsValue::as_string() const {
-  if (const std::string* s = std::get_if<std::string>(&data_)) return *s;
-  throw std::logic_error("JsValue: not a string (got " + to_display() + ")");
-}
-
-const std::shared_ptr<JsArray>& JsValue::as_array() const {
-  if (const auto* a = std::get_if<std::shared_ptr<JsArray>>(&data_)) return *a;
-  throw std::logic_error("JsValue: not an array (got " + to_display() + ")");
-}
-
-const std::shared_ptr<JsObject>& JsValue::as_object() const {
-  if (const auto* o = std::get_if<std::shared_ptr<JsObject>>(&data_)) return *o;
-  throw std::logic_error("JsValue: not an object (got " + to_display() + ")");
+void JsValue::not_a(const char* kind) const {
+  throw std::logic_error(std::string("JsValue: not a ") + kind + " (got " + to_display() + ")");
 }
 
 const std::shared_ptr<Closure>& JsValue::as_closure() const {
@@ -365,6 +349,7 @@ void Environment::reset() {
   slots_.clear();   // releases held values; keeps capacity for reuse
   bound_.clear();
   parent_.reset();
+  ++version_;
 }
 
 void Environment::define(util::Symbol sym, JsValue value) {
@@ -375,7 +360,13 @@ void Environment::define(util::Symbol sym, JsValue value) {
       return;
     }
   }
-  named_[sym] = std::move(value);
+  auto it = named_.find(sym);
+  if (it != named_.end()) {
+    it->second = std::move(value);  // redefinition: binding set unchanged
+    return;
+  }
+  ++version_;
+  named_.emplace(sym, std::move(value));
 }
 
 bool Environment::has_local(const std::string& name) const {
@@ -415,10 +406,15 @@ bool Environment::erase_local(util::Symbol sym) {
     if (idx >= 0 && bound_[static_cast<std::size_t>(idx)]) {
       slots_[static_cast<std::size_t>(idx)] = JsValue();
       bound_[static_cast<std::size_t>(idx)] = 0;
+      ++version_;
       return true;
     }
   }
-  return named_.erase(sym) > 0;
+  if (named_.erase(sym) > 0) {
+    ++version_;
+    return true;
+  }
+  return false;
 }
 
 const JsValue& Environment::get(const std::string& name) const {

@@ -24,6 +24,7 @@ namespace edgstr::minijs {
 
 class JsValue;
 class Interpreter;
+class Chunk;
 
 using JsArray = std::vector<JsValue>;
 
@@ -44,6 +45,16 @@ class JsObject {
   std::size_t size() const { return entries_.size(); }
 
   const std::vector<std::pair<std::string, JsValue>>& entries() const { return entries_; }
+
+  // Positional access for the VM's monomorphic inline caches: a property
+  // cache remembers the entry index a symbol last resolved to and
+  // revalidates it with sym_at — one 32-bit compare instead of a scan.
+  int find_index(util::Symbol key) const { return index_of(key); }
+  bool sym_at(std::size_t i, util::Symbol key) const {
+    return i < syms_.size() && syms_[i] == key;
+  }
+  const JsValue& value_at(std::size_t i) const;  // defined below JsValue
+  JsValue& value_at(std::size_t i);
 
  private:
   int index_of(util::Symbol key) const {
@@ -67,6 +78,7 @@ struct Closure {
   StmtPtr body;  ///< Block
   std::shared_ptr<Environment> env;
   ScopeInfoPtr scope;  ///< call-frame layout; null -> named slow path
+  std::shared_ptr<const Chunk> chunk;  ///< compiled bytecode; null -> tree-walk
 };
 
 /// Host-provided function.
@@ -119,13 +131,38 @@ class JsValue {
   bool is_blob() const { return type() == Type::kBlob; }
 
   bool as_bool() const;
-  double as_number() const;
-  const std::string& as_string() const;
-  const std::shared_ptr<JsArray>& as_array() const;
-  const std::shared_ptr<JsObject>& as_object() const;
+  // The four hottest accessors are inline: the VM calls them per property
+  // access / arithmetic op, and the out-of-line call cost shows up in
+  // profiles. The cold throw path stays in value.cpp.
+  double as_number() const {
+    if (const double* d = std::get_if<double>(&data_)) return *d;
+    not_a("number");
+  }
+  const std::string& as_string() const {
+    if (const std::string* s = std::get_if<std::string>(&data_)) return *s;
+    not_a("string");
+  }
+  const std::shared_ptr<JsArray>& as_array() const {
+    if (const auto* a = std::get_if<std::shared_ptr<JsArray>>(&data_)) return *a;
+    not_a("array");
+  }
+  const std::shared_ptr<JsObject>& as_object() const {
+    if (const auto* o = std::get_if<std::shared_ptr<JsObject>>(&data_)) return *o;
+    not_a("object");
+  }
   const std::shared_ptr<Closure>& as_closure() const;
   const std::shared_ptr<NativeFunction>& as_native() const;
   Blob as_blob() const;
+
+  /// In-place number write for the VM's store fast path: true when this
+  /// value already holds a number, so no variant destroy/reconstruct runs.
+  bool set_number(double v) {
+    if (double* d = std::get_if<double>(&data_)) {
+      *d = v;
+      return true;
+    }
+    return false;
+  }
 
   /// JavaScript truthiness.
   bool truthy() const;
@@ -157,11 +194,16 @@ class JsValue {
   std::uint64_t digest() const;
 
  private:
+  [[noreturn]] void not_a(const char* kind) const;
+
   std::variant<std::nullptr_t, bool, double, std::string, std::shared_ptr<JsArray>,
                std::shared_ptr<JsObject>, std::shared_ptr<Closure>,
                std::shared_ptr<NativeFunction>, Blob>
       data_;
 };
+
+inline const JsValue& JsObject::value_at(std::size_t i) const { return entries_[i].second; }
+inline JsValue& JsObject::value_at(std::size_t i) { return entries_[i].second; }
 
 /// Lexical scope chain. Two storage modes:
 ///
@@ -216,9 +258,17 @@ class Environment {
   const JsValue& slot(std::size_t i) const { return slots_[i]; }
   bool slot_bound(std::size_t i) const { return bound_[i] != 0; }
   void bind_slot(std::size_t i, JsValue value) {
+    version_ += bound_[i] == 0;
     slots_[i] = std::move(value);
     bound_[i] = 1;
   }
+
+  /// Bumped whenever the *set* of bindings visible in this scope changes
+  /// (new define, slot first bound, erase, reset). In-place value writes
+  /// keep the version, so the VM's global-binding caches — which hold raw
+  /// pointers into the named map — stay valid exactly as long as the
+  /// version matches (unordered_map nodes are address-stable).
+  std::uint64_t version() const { return version_; }
 
   Environment* parent() const { return parent_.get(); }
 
@@ -245,6 +295,7 @@ class Environment {
   std::vector<JsValue> slots_;         ///< aligned with scope_->slots
   std::vector<unsigned char> bound_;   ///< slot occupancy
   std::shared_ptr<Environment> parent_;
+  std::uint64_t version_ = 0;          ///< binding-set generation (see version())
 };
 
 }  // namespace edgstr::minijs

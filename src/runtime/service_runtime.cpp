@@ -35,8 +35,14 @@ ExecutionResult ServiceRuntime::handle(const http::HttpRequest& request) {
   ++requests_served_;
   std::chrono::steady_clock::time_point started;
   std::uint64_t steps_before = 0;
+  std::uint64_t ic_hits_before = 0;
+  std::uint64_t ic_misses_before = 0;
   if (telemetry_) {
     steps_before = interp_->steps();
+    if (interp_->vm_enabled()) {
+      ic_hits_before = interp_->ic_hits();
+      ic_misses_before = interp_->ic_misses();
+    }
     if (wall_clock_metrics_) started = std::chrono::steady_clock::now();
   }
   // Pre-request state + RNG for the shadow variants: CoW capture is
@@ -66,6 +72,16 @@ ExecutionResult ServiceRuntime::handle(const http::HttpRequest& request) {
     telemetry_->metrics().observe("interp.steps",
                                   static_cast<double>(interp_->steps() - steps_before),
                                   util::Histogram::default_count_bounds());
+    // VM-only keys are gated so tree-walking runtimes keep byte-identical
+    // metrics snapshots.
+    if (interp_->vm_enabled()) {
+      telemetry_->metrics().observe("vm.ic.hit",
+                                    static_cast<double>(interp_->ic_hits() - ic_hits_before),
+                                    util::Histogram::default_count_bounds());
+      telemetry_->metrics().observe("vm.ic.miss",
+                                    static_cast<double>(interp_->ic_misses() - ic_misses_before),
+                                    util::Histogram::default_count_bounds());
+    }
   }
   result.compute_units = interp_->drain_compute_units();
   if (variant_harness_) {

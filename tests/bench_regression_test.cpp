@@ -122,6 +122,25 @@ void measure_interp_counters(json::Object* measured) {
   measured->set("interp_scaled.slot_reads", json::Value(double(interp.slot_reads())));
   measured->set("interp_scaled.named_reads", json::Value(double(interp.named_reads())));
 
+  // VM arm over the same workload: step totals must track the tree-walker
+  // exactly (the VM ticks per expression node, like the walker), and the
+  // inline-cache hit/miss split is deterministic — a compiler or cache
+  // change that alters dispatch behaviour moves these keys.
+  minijs::InterpreterConfig vm_config;
+  vm_config.vm = true;
+  trace::ProfilingHarness vm_harness(app.server_source, vm_config);
+  for (const http::HttpRequest& req : app.workload) {
+    const http::Route route{req.verb, req.path};
+    if (!vm_harness.interpreter().has_route(route)) continue;
+    vm_harness.invoke_isolated(route, req);
+  }
+  const minijs::Interpreter& vm = vm_harness.interpreter();
+  EXPECT_EQ(vm.steps(), interp.steps()) << "VM step accounting diverged from the tree-walker";
+  measured->set("vm_scaled.steps_total", json::Value(double(vm.steps())));
+  measured->set("vm_scaled.slot_reads", json::Value(double(vm.slot_reads())));
+  measured->set("vm_scaled.ic_hits", json::Value(double(vm.ic_hits())));
+  measured->set("vm_scaled.ic_misses", json::Value(double(vm.ic_misses())));
+
   const trace::Snapshot now = harness.capture();
   std::size_t shared = 0;
   const auto count_shared = [&shared](const trace::ComponentMap& a, const trace::ComponentMap& b) {

@@ -24,9 +24,11 @@
 namespace edgstr {
 namespace {
 
-trace::ProfilingHarness make_harness(const std::string& source, bool resolve, bool cow = true) {
+trace::ProfilingHarness make_harness(const std::string& source, bool resolve, bool cow = true,
+                                     bool vm = false) {
   minijs::InterpreterConfig config;
   config.resolve = resolve;
+  config.vm = vm;
   trace::HarnessOptions options;
   options.cow = cow;
   return trace::ProfilingHarness(source, config, options);
@@ -61,7 +63,9 @@ app.get("/shadow", function (req, res) {
         harness.invoke({http::Verb::kGet, "/shadow"}, get_request("/shadow", json::Value::object({})));
     EXPECT_EQ(resp.body["sum"].as_number(), 110);
     EXPECT_EQ(resp.body["global_x"].as_number(), 1);
-    if (resolve) EXPECT_GT(harness.interpreter().slot_reads(), 0u);
+    if (resolve) {
+      EXPECT_GT(harness.interpreter().slot_reads(), 0u);
+    }
   }
 }
 
@@ -199,11 +203,11 @@ void append_plan(std::ostream& out, const refactor::ExtractionPlan& plan) {
 /// Runs the full profiling front end (fuzz every inferred service, analyze
 /// each report) under one engine configuration and serializes everything
 /// the downstream transformation consumes.
-std::string engine_trace(const apps::SubjectApp& app, bool resolve, bool cow) {
+std::string engine_trace(const apps::SubjectApp& app, bool resolve, bool cow, bool vm = false) {
   const http::TrafficRecorder traffic = core::record_traffic(app.server_source, app.workload);
   trace::ProfilingHarness harness = make_harness(
       minijs::print_program(refactor::normalize(minijs::parse_program(app.server_source))),
-      resolve, cow);
+      resolve, cow, vm);
   refactor::DependenceAnalyzer analyzer(harness.interpreter().program());
   trace::Fuzzer fuzzer(harness, util::Rng(17));
   std::ostringstream out;
@@ -225,6 +229,8 @@ TEST(EngineDifferentialTest, FactsAndPlansIdenticalAcrossEngineConfigs) {
     EXPECT_EQ(fast, engine_trace(*app, /*resolve=*/false, /*cow=*/false)) << "vs legacy";
     EXPECT_EQ(fast, engine_trace(*app, /*resolve=*/false, /*cow=*/true)) << "vs named+cow";
     EXPECT_EQ(fast, engine_trace(*app, /*resolve=*/true, /*cow=*/false)) << "vs resolved+full";
+    // The bytecode VM must be just as invisible: same facts, same plans.
+    EXPECT_EQ(fast, engine_trace(*app, /*resolve=*/true, /*cow=*/true, /*vm=*/true)) << "vs vm";
   }
 }
 

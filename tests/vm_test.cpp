@@ -1,0 +1,445 @@
+// Bytecode VM differentials and compiler goldens.
+//
+// The VM (InterpreterConfig::vm) must be observably identical to the
+// tree-walker: same responses, same console output, same deterministic
+// step counts, same instrumentation event stream, same error text. The
+// parity helper runs every program on both engines and compares all of
+// those at once, so a divergence fails with the exact program attached.
+// The golden tests pin the compiler's output shape (disassembly is
+// intern-order independent by construction), and the IC tests walk a
+// property cache through the monomorphic hit -> shape-change miss ->
+// refill lifecycle via the public hit/miss counters.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "json/parse.h"
+#include "minijs/chunk.h"
+#include "minijs/compile.h"
+#include "minijs/interpreter.h"
+#include "minijs/parser.h"
+#include "minijs/resolve.h"
+
+namespace edgstr::minijs {
+namespace {
+
+/// Everything observable about one engine run of a `/t` service.
+struct EngineRun {
+  std::string body;
+  int status = 0;
+  std::string error;  ///< JsError text when the invoke threw
+  std::uint64_t steps = 0;
+  std::uint64_t slot_reads = 0;
+  std::uint64_t slot_writes = 0;
+  std::uint64_t named_reads = 0;
+  std::uint64_t named_writes = 0;
+  std::vector<std::string> console;
+  std::vector<std::string> events;  ///< instrumentation hook stream
+};
+
+struct RecordingHooks : InstrumentationHooks {
+  std::vector<std::string>* out;
+  explicit RecordingHooks(std::vector<std::string>* o) : out(o) {}
+  void on_declare(int stmt, util::Symbol name, const JsValue& v) override {
+    out->push_back("D " + std::to_string(stmt) + " " + util::symbol_name(name) + " " +
+                   v.to_display());
+  }
+  void on_read(int stmt, util::Symbol name, const JsValue& v) override {
+    out->push_back("R " + std::to_string(stmt) + " " + util::symbol_name(name) + " " +
+                   v.to_display());
+  }
+  void on_write(int stmt, util::Symbol name, const JsValue& v) override {
+    out->push_back("W " + std::to_string(stmt) + " " + util::symbol_name(name) + " " +
+                   v.to_display());
+  }
+  void on_invoke(int stmt, util::Symbol fn, const std::vector<JsValue>& args,
+                 const JsValue& result) override {
+    std::string line = "I " + std::to_string(stmt) + " " + util::symbol_name(fn) + "(";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (i) line += ",";
+      line += args[i].to_display();
+    }
+    out->push_back(line + ")=" + result.to_display());
+  }
+};
+
+EngineRun run_engine(const std::string& source, bool vm, bool hooks,
+                     json::Value params = json::Value::object({})) {
+  InterpreterConfig config;
+  config.vm = vm;
+  Interpreter interp(parse_program(source), config);
+  EngineRun run;
+  RecordingHooks recorder(&run.events);
+  if (hooks) interp.set_hooks(&recorder);
+  sqldb::Database db;
+  vfs::Vfs fs;
+  interp.bind_database(&db);
+  interp.bind_vfs(&fs);
+  try {
+    interp.run_toplevel();
+    http::HttpRequest req;
+    req.verb = http::Verb::kGet;
+    req.path = "/t";
+    req.params = std::move(params);
+    const http::HttpResponse resp = interp.invoke(http::Route{http::Verb::kGet, "/t"}, req);
+    run.body = resp.body.dump();
+    run.status = resp.status;
+  } catch (const JsError& err) {
+    run.error = err.what();
+  }
+  run.steps = interp.steps();
+  run.slot_reads = interp.slot_reads();
+  run.slot_writes = interp.slot_writes();
+  run.named_reads = interp.named_reads();
+  run.named_writes = interp.named_writes();
+  run.console = interp.console_output();
+  return run;
+}
+
+/// Runs `source` on the tree-walker and the VM (hooks off and on) and
+/// requires identical observable behaviour everywhere.
+void expect_parity(const std::string& source, json::Value params = json::Value::object({})) {
+  for (const bool hooks : {false, true}) {
+    SCOPED_TRACE(hooks ? "hooks on" : "hooks off");
+    const EngineRun tree = run_engine(source, /*vm=*/false, hooks, params);
+    const EngineRun vm = run_engine(source, /*vm=*/true, hooks, params);
+    EXPECT_EQ(tree.body, vm.body);
+    EXPECT_EQ(tree.status, vm.status);
+    EXPECT_EQ(tree.error, vm.error);
+    // Step totals match exactly on error-free runs. The tree-walker ticks
+    // expression nodes pre-order and the VM post-order, so an *engine*
+    // error thrown mid-expression can skip operator ticks the tree-walker
+    // already counted; everything else is identical either way.
+    if (tree.error.empty()) {
+      EXPECT_EQ(tree.steps, vm.steps);
+    }
+    EXPECT_EQ(tree.console, vm.console);
+    EXPECT_EQ(tree.events, vm.events);
+    EXPECT_EQ(tree.slot_reads, vm.slot_reads);
+    EXPECT_EQ(tree.slot_writes, vm.slot_writes);
+    EXPECT_EQ(tree.named_reads, vm.named_reads);
+    EXPECT_EQ(tree.named_writes, vm.named_writes);
+  }
+}
+
+// ------------------------------------------------------------------ parity --
+
+TEST(VmParity, ArithmeticAndStrings) {
+  expect_parity(R"JS(
+app.get("/t", function (req, res) {
+  var s = "v=" + (1 + 2 * 3) + "/" + (10 % 4) + "/" + (7 / 2) + "/" + (-4 + 1);
+  res.send({ s: s, cmp: "a" < "b", eq: "abc" == "abc", ne: 1 != 2 });
+});
+)JS");
+}
+
+TEST(VmParity, ControlFlowLoops) {
+  expect_parity(R"JS(
+app.get("/t", function (req, res) {
+  var total = 0;
+  for (var i = 0; i < 10; i = i + 1) {
+    if (i % 2 == 0) { continue; }
+    if (i > 7) { break; }
+    total = total + i;
+  }
+  var w = 0;
+  while (w < 3) { w += 1; }
+  var t = w > 1 ? "big" : "small";
+  res.send({ total: total, w: w, t: t, and: w > 0 && total, or: 0 || "fb" });
+});
+)JS");
+}
+
+TEST(VmParity, ClosuresAndHigherOrder) {
+  expect_parity(R"JS(
+function makeCounter() {
+  var n = 0;
+  return function () { n = n + 1; return n; };
+}
+var c = makeCounter();
+function apply(f, x) { return f(x); }
+app.get("/t", function (req, res) {
+  c(); c();
+  res.send({ n: c(), sq: apply(function (v) { return v * v; }, 6) });
+});
+)JS");
+}
+
+TEST(VmParity, ObjectsArraysAndIndexing) {
+  expect_parity(R"JS(
+var store = { items: [], meta: { count: 0 } };
+app.get("/t", function (req, res) {
+  store.items.push({ id: 1, tag: "a" });
+  store.items.push({ id: 2, tag: "b" });
+  store.meta.count += 2;
+  var tags = store.items.map(function (it) { return it.tag; });
+  var first = store.items[0];
+  first.id = first.id + 10;
+  var grid = [[1, 2], [3, 4]];
+  grid[1][0] = 9;
+  res.send({ tags: tags.join(","), id0: store.items[0].id, g: grid,
+             n: store.meta.count, missing: store.nope });
+});
+)JS");
+}
+
+TEST(VmParity, StringBuiltins) {
+  expect_parity(R"JS(
+app.get("/t", function (req, res) {
+  var s = "  Hello,World ";
+  res.send({
+    parts: s.trim().split(","),
+    up: s.toUpperCase(),
+    sub: s.substring(2, 7),
+    has: s.includes("World"),
+    idx: s.indexOf("World"),
+    code: s.charCodeAt(2)
+  });
+});
+)JS");
+}
+
+TEST(VmParity, TryCatchThrow) {
+  expect_parity(R"JS(
+function boom(kind) {
+  if (kind == "value") { throw { code: 42 }; }
+  if (kind == "deep") { return boom("value"); }
+  return "no";
+}
+app.get("/t", function (req, res) {
+  var caught = [];
+  try { boom("value"); } catch (e) { caught.push(e.code); }
+  try { boom("deep"); } catch (e) { caught.push(e.code + 1); }
+  try {
+    try { throw "inner"; } catch (e) { caught.push(e); throw "outer"; }
+  } catch (e2) { caught.push(e2); }
+  res.send({ caught: caught });
+});
+)JS");
+}
+
+TEST(VmParity, TypeErrorTextMatchesTreeWalker) {
+  // Uncaught engine errors must carry byte-identical text.
+  expect_parity(R"JS(
+app.get("/t", function (req, res) { res.send({ v: missingVar }); });
+)JS");
+  expect_parity(R"JS(
+app.get("/t", function (req, res) { var o = null; res.send({ v: o.field }); });
+)JS");
+  expect_parity(R"JS(
+app.get("/t", function (req, res) { var n = 3; res.send({ v: n.nothing() }); });
+)JS");
+}
+
+TEST(VmParity, ScopingShadowingAndUseBeforeDeclare) {
+  expect_parity(R"JS(
+var x = 1;
+var y = 7;
+function outer() {
+  var x = 10;
+  function inner() { var x = 100; return x; }
+  return inner() + x;
+}
+function ubd() {
+  var seen = y;
+  var y = 100;
+  return seen + y;
+}
+app.get("/t", function (req, res) {
+  res.send({ sum: outer(), global_x: x, ubd: ubd() });
+});
+)JS");
+}
+
+TEST(VmParity, ConsoleAndGlobalMutation) {
+  expect_parity(R"JS(
+var hits = 0;
+app.get("/t", function (req, res) {
+  hits = hits + 1;
+  console.log("serving " + hits);
+  res.send({ hits: hits });
+});
+)JS");
+}
+
+TEST(VmParity, RequestParams) {
+  expect_parity(R"JS(
+app.get("/t", function (req, res) {
+  res.send({ doubled: req.params.x * 2 });
+});
+)JS",
+                json::Value::object({{"x", json::Value(21.0)}}));
+}
+
+TEST(VmParity, CrossEngineClosureInterop) {
+  // A chunked closure handed to a builtin (map) re-enters the VM through
+  // the tree-walker's call_value; both directions must agree.
+  expect_parity(R"JS(
+function describe(v) { return "<" + v + ">"; }
+app.get("/t", function (req, res) {
+  var out = [1, 2, 3].map(describe);
+  var picked = [4, 5, 6].filter(function (v) { return v % 2 == 0; });
+  res.send({ out: out.join(""), picked: picked });
+});
+)JS");
+}
+
+// -------------------------------------------------------------- goldens --
+
+std::string disassemble_source(const std::string& source) {
+  Program program = parse_program(source);
+  resolve_program(program);
+  return disassemble_program(compile_program(program));
+}
+
+TEST(VmCompilerGolden, ToplevelVarAndCall) {
+  const std::string text = disassemble_source("var limit = 3;\nreport(limit + 1);\n");
+  EXPECT_EQ(text, R"(== <toplevel> ==  (46 bytes, 2 consts, 3 ic)
+    0  stmt              #1
+    5  const             0  ; 3
+    8  declare_named     limit
+   13  stmt              #2
+   18  load_global       report ic=0
+   25  load_global       limit ic=1
+   32  add_const         1  ; 1
+   35  call              argc=1 ic=0  ; report
+   43  pop
+   44  null
+   45  return
+)");
+}
+
+TEST(VmCompilerGolden, FunctionLoopAndMember) {
+  const std::string text = disassemble_source(
+      "function tally(items) {\n"
+      "  var total = 0;\n"
+      "  for (var i = 0; i < items.length; i += 1) { total += items[i].v; }\n"
+      "  return total;\n"
+      "}\n");
+  EXPECT_EQ(text, R"(== <toplevel> ==  (15 bytes, 0 consts, 0 ic)
+    0  stmt              #8
+    5  make_closure      fn=0  ; tally
+    8  declare_fn_named  tally
+   13  null
+   14  return
+== tally ==  (150 bytes, 2 consts, 2 ic)
+    0  stmt              #1
+    5  const             0  ; 0
+    8  declare_slot      slot=1  ; total
+   15  stmt              #2
+   20  push_scope        scope=0
+   23  stmt              #3
+   28  const             0  ; 0
+   31  declare_slot      slot=0  ; i
+   38  stmt_id           #2
+   43  load_slot         depth=0 slot=0  ; i
+   51  get_member_slot   depth=1 slot=0 items.length[ic=0]
+   66  lt
+   67  jump_if_false     -> 133
+   72  tick
+   73  stmt              #4
+   78  load_slot         depth=1 slot=0  ; items
+   86  load_slot         depth=0 slot=0  ; i
+   94  get_index
+   95  get_member        .v ic=1
+  102  store_slot        depth=1 slot=1  ; total += (stmt)
+  111  stmt_id           #2
+  116  inc_slot          depth=0 slot=0 += 1  ; i (compound)
+  128  jump              -> 38
+  133  pop_scope
+  134  stmt              #6
+  139  load_slot         depth=0 slot=1  ; total
+  147  return
+  148  null
+  149  return
+)");
+}
+
+// --------------------------------------------------------- inline caches --
+
+TEST(VmInlineCache, MonomorphicHitShapeChangeMissRefill) {
+  InterpreterConfig config;
+  config.vm = true;
+  Interpreter interp(parse_program("function rd(o) { return o.x; }\n"), config);
+  interp.run_toplevel();
+  ASSERT_TRUE(interp.vm_enabled());
+
+  const auto make_obj = [](std::vector<std::pair<std::string, double>> props) {
+    JsValue obj = JsValue::new_object();
+    for (const auto& [key, val] : props) obj.as_object()->set(key, JsValue(val));
+    return obj;
+  };
+  const JsValue same_shape_a = make_obj({{"x", 1.0}, {"y", 2.0}});
+  const JsValue same_shape_b = make_obj({{"x", 3.0}, {"y", 4.0}});
+  const JsValue shifted = make_obj({{"y", 5.0}, {"x", 6.0}});  // x at a new index
+
+  const auto read_x = [&](const JsValue& obj) {
+    const std::uint64_t hits = interp.ic_hits(), misses = interp.ic_misses();
+    const JsValue out = interp.call_global("rd", {obj});
+    return std::make_tuple(out.as_number(), interp.ic_hits() - hits,
+                           interp.ic_misses() - misses);
+  };
+
+  // Cold site: first access misses and fills the cache.
+  EXPECT_EQ(read_x(same_shape_a), std::make_tuple(1.0, std::uint64_t(0), std::uint64_t(1)));
+  // Monomorphic: every same-layout receiver hits, including other objects.
+  EXPECT_EQ(read_x(same_shape_a), std::make_tuple(1.0, std::uint64_t(1), std::uint64_t(0)));
+  EXPECT_EQ(read_x(same_shape_b), std::make_tuple(3.0, std::uint64_t(1), std::uint64_t(0)));
+  // Shape change: the cached index no longer holds `x` -> miss + refill.
+  EXPECT_EQ(read_x(shifted), std::make_tuple(6.0, std::uint64_t(0), std::uint64_t(1)));
+  // Refill took: the new layout is now the monomorphic one...
+  EXPECT_EQ(read_x(shifted), std::make_tuple(6.0, std::uint64_t(1), std::uint64_t(0)));
+  // ...and going back to the old layout misses again.
+  EXPECT_EQ(read_x(same_shape_a), std::make_tuple(1.0, std::uint64_t(0), std::uint64_t(1)));
+}
+
+TEST(VmInlineCache, GlobalAndCallCachesServeHotLoop) {
+  // A hot loop calling a global function: after warmup every iteration's
+  // global load and call dispatch should hit, so hits dominate misses.
+  InterpreterConfig config;
+  config.vm = true;
+  Interpreter interp(parse_program(R"JS(
+var acc = 0;
+function bump(v) { return v + 1; }
+function spin(n) {
+  for (var i = 0; i < n; i += 1) { acc = bump(acc); }
+  return acc;
+}
+)JS"),
+                     config);
+  interp.run_toplevel();
+  const JsValue out = interp.call_global("spin", {JsValue(1000.0)});
+  EXPECT_DOUBLE_EQ(out.as_number(), 1000.0);
+  EXPECT_GT(interp.ic_hits(), interp.ic_misses() * 100);
+}
+
+TEST(VmInlineCache, GlobalCacheInvalidatesOnBindingSetChange) {
+  // Rebinding a global *in place* keeps caches valid; adding a new global
+  // bumps the environment version and forces a re-probe (miss), so stale
+  // pointers can never be dereferenced.
+  InterpreterConfig config;
+  config.vm = true;
+  Interpreter interp(parse_program(R"JS(
+var target = 1;
+function rd() { return target; }
+)JS"),
+                     config);
+  interp.run_toplevel();
+  (void)interp.call_global("rd", {});  // fill
+  std::uint64_t hits = interp.ic_hits(), misses = interp.ic_misses();
+  (void)interp.call_global("rd", {});
+  EXPECT_EQ(interp.ic_hits() - hits, 1u);
+  EXPECT_EQ(interp.ic_misses() - misses, 0u);
+
+  interp.globals()->define("freshly_added", JsValue(9.0));  // binding-set change
+  hits = interp.ic_hits();
+  misses = interp.ic_misses();
+  const JsValue out = interp.call_global("rd", {});
+  EXPECT_DOUBLE_EQ(out.as_number(), 1.0);
+  EXPECT_EQ(interp.ic_hits() - hits, 0u);
+  EXPECT_EQ(interp.ic_misses() - misses, 1u);
+}
+
+}  // namespace
+}  // namespace edgstr::minijs
